@@ -1,0 +1,90 @@
+//! Criterion kernels behind the multi-server figures (13-15). Full
+//! regenerators are the `fig13`, `fig14` and `fig15` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use debar_core::{ClientId, Dataset, DebarCluster, DebarConfig, RunId};
+use debar_workload::{ChunkRecord, MultiStreamConfig, MultiStreamGen};
+use std::hint::black_box;
+
+fn records(range: std::ops::Range<u64>) -> Vec<ChunkRecord> {
+    range.map(ChunkRecord::of_counter).collect()
+}
+
+/// Fig. 13 kernel: one PSIL round on a 4-server cluster.
+fn fig13_psil_round(c: &mut Criterion) {
+    c.bench_function("fig13/psil_4_servers", |b| {
+        b.iter(|| {
+            let mut cluster = DebarCluster::new(DebarConfig::tiny_test(2));
+            let job = cluster.define_job("j", ClientId(0));
+            cluster.backup(job, &Dataset::from_records("s", records(0..4000)));
+            let d2 = cluster.run_dedup2();
+            black_box((d2.sil_wall, d2.new_fps))
+        })
+    });
+}
+
+/// Fig. 14(a) kernel: one multi-client write round.
+fn fig14a_write_round(c: &mut Criterion) {
+    let mut gen = MultiStreamGen::new(MultiStreamConfig {
+        clients: 8,
+        version_chunks: 1024,
+        run_len: (64, 256),
+        ..MultiStreamConfig::default()
+    });
+    let round0 = gen.next_round();
+    let round1 = gen.next_round();
+    c.bench_function("fig14a/write_round_8_clients", |b| {
+        b.iter(|| {
+            let mut cluster = DebarCluster::new(DebarConfig::tiny_test(2));
+            let jobs: Vec<_> = (0..8)
+                .map(|i| cluster.define_job(format!("j{i}"), ClientId(i as u32)))
+                .collect();
+            for (i, v) in round0.iter().enumerate() {
+                cluster.backup(jobs[i], &Dataset::from_records("v", v.clone()));
+            }
+            cluster.run_dedup2();
+            for (i, v) in round1.iter().enumerate() {
+                cluster.backup(jobs[i], &Dataset::from_records("v", v.clone()));
+            }
+            black_box(cluster.run_dedup2().store.stored_chunks)
+        })
+    });
+}
+
+/// Fig. 14(b) kernel: restore of a stored run.
+fn fig14b_read(c: &mut Criterion) {
+    let mut cluster = DebarCluster::new(DebarConfig::tiny_test(1));
+    let job = cluster.define_job("j", ClientId(0));
+    cluster.backup(job, &Dataset::from_records("s", records(0..4000)));
+    cluster.run_dedup2();
+    cluster.force_siu();
+    c.bench_function("fig14b/restore_4k_chunks", |b| {
+        b.iter(|| {
+            let rep = cluster.restore_run(RunId { job, version: 0 });
+            assert_eq!(rep.failures, 0);
+            black_box(rep.bytes)
+        })
+    });
+}
+
+/// Fig. 15 kernel: a scale-out transition carrying stored data.
+fn fig15_scale_out(c: &mut Criterion) {
+    c.bench_function("fig15/scale_out_1_to_2", |b| {
+        b.iter(|| {
+            let mut cluster = DebarCluster::new(DebarConfig::tiny_test(0));
+            let job = cluster.define_job("j", ClientId(0));
+            cluster.backup(job, &Dataset::from_records("s", records(0..2000)));
+            cluster.run_dedup2();
+            cluster.force_siu();
+            cluster.scale_out();
+            black_box(cluster.index_entries())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig13_psil_round, fig14a_write_round, fig14b_read, fig15_scale_out
+}
+criterion_main!(benches);

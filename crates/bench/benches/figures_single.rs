@@ -1,0 +1,145 @@
+//! Criterion kernels behind the single-server figures (6-12). Full
+//! regenerators are the `fig6_7`, `fig8_9`, `fig10_11` and `fig12`
+//! binaries; these benches time the hot paths they exercise.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use debar_core::{ClientId, Dataset, DebarCluster, DebarConfig};
+use debar_ddfs::{DdfsConfig, DdfsServer};
+use debar_hash::{ContainerId, Fingerprint};
+use debar_index::{DiskIndex, IndexCache, IndexParams};
+use debar_workload::{ChunkRecord, HustConfig, HustGen};
+use std::hint::black_box;
+
+fn records(range: std::ops::Range<u64>) -> Vec<ChunkRecord> {
+    range.map(ChunkRecord::of_counter).collect()
+}
+
+/// Fig. 6/7 kernel: one HUSt day generated and filtered through dedup-1.
+fn fig6_7_hust_day_dedup1(c: &mut Criterion) {
+    let mut days = HustGen::new(HustConfig {
+        clients: 2,
+        days: 2,
+        mean_daily_bytes: 64 << 20,
+        scale: debar_simio::ScaleModel::FULL,
+        run_len: (64, 256),
+        ..HustConfig::default()
+    });
+    let day1 = days.next().expect("day 1");
+    let day2 = days.next().expect("day 2");
+    c.bench_function("fig6_7/hust_day_dedup1", |b| {
+        b.iter(|| {
+            let mut cluster = DebarCluster::new(DebarConfig::tiny_test(0));
+            let jobs: Vec<_> = (0..2)
+                .map(|i| cluster.define_job(format!("j{i}"), ClientId(i as u32)))
+                .collect();
+            for (i, s) in day1.per_client.iter().enumerate() {
+                cluster.backup(jobs[i], &Dataset::from_records("d", s.clone()));
+            }
+            for (i, s) in day2.per_client.iter().enumerate() {
+                cluster.backup(jobs[i], &Dataset::from_records("d", s.clone()));
+            }
+            black_box(cluster.undetermined_counts())
+        })
+    });
+}
+
+/// Fig. 8 kernel: dedup-1 + dedup-2 on a fresh stream.
+fn fig8_tpds_round(c: &mut Criterion) {
+    let recs = records(0..4000);
+    c.bench_function("fig8/tpds_round_4k_chunks", |b| {
+        b.iter(|| {
+            let mut cluster = DebarCluster::new(DebarConfig::tiny_test(0));
+            let job = cluster.define_job("j", ClientId(0));
+            cluster.backup(job, &Dataset::from_records("s", recs.clone()));
+            black_box(cluster.run_dedup2().store.stored_chunks)
+        })
+    });
+}
+
+/// Fig. 9 kernel: the DDFS inline write path.
+fn fig9_ddfs_stream(c: &mut Criterion) {
+    let recs = records(0..4000);
+    c.bench_function("fig9/ddfs_stream_4k_chunks", |b| {
+        b.iter(|| {
+            let mut s = DdfsServer::new(DdfsConfig {
+                bloom_bytes: 64 << 10,
+                bloom_k: 4,
+                lpc_containers: 8,
+                write_buffer_fps: 4000,
+                index: IndexParams::new(8, 512),
+                container_bytes: 1 << 20,
+                repo_nodes: 2,
+                seed: 1,
+            });
+            let rep = s.backup_stream(&recs);
+            black_box(rep.new_chunks)
+        })
+    });
+}
+
+fn filled_index(n_bits: u32, seed: u64) -> DiskIndex {
+    let params = IndexParams::new(n_bits, 512);
+    let mut idx = DiskIndex::with_paper_disk(params, seed);
+    let entries = params.max_entries() / 3;
+    idx.bulk_load((0..entries).map(|i| (Fingerprint::of_counter(i), ContainerId::new(0))));
+    idx
+}
+
+/// Fig. 10 kernels: one SIL sweep and one SIU sweep.
+fn fig10_sil_siu(c: &mut Criterion) {
+    let mut idx = filled_index(12, 1);
+    c.bench_function("fig10/sil_sweep_2^12_buckets", |b| {
+        b.iter(|| {
+            let mut cache = IndexCache::new(8, 4096);
+            for i in 0..2000u64 {
+                cache.insert(Fingerprint::of_counter(1_000_000 + i), 0);
+            }
+            black_box(idx.sequential_lookup(&mut cache).value.duplicates.len())
+        })
+    });
+    let mut next = 2_000_000u64;
+    c.bench_function("fig10/siu_sweep_2^12_buckets", |b| {
+        b.iter(|| {
+            let updates: Vec<_> = (0..512u64)
+                .map(|i| (Fingerprint::of_counter(next + i), ContainerId::new(1)))
+                .collect();
+            next += 512;
+            black_box(idx.sequential_update(&updates).value.inserted)
+        })
+    });
+}
+
+/// Fig. 11 kernel: the random-lookup baseline SIL replaces.
+fn fig11_random_lookup(c: &mut Criterion) {
+    let mut idx = filled_index(12, 2);
+    let mut i = 0u64;
+    c.bench_function("fig11/random_lookup", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(idx.lookup_random(&Fingerprint::of_counter(i % 100_000)).value)
+        })
+    });
+}
+
+/// Fig. 12 kernel: the DDFS per-chunk decision path at a stressed m/n.
+fn fig12_bloom_path(c: &mut Criterion) {
+    let mut bloom = debar_filter::BloomFilter::new(1 << 14, 4);
+    for i in 0..((1u64 << 14) / 4) {
+        bloom.insert(&Fingerprint::of_counter(i));
+    }
+    let mut i = 0u64;
+    c.bench_function("fig12/bloom_contains_stressed", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(bloom.contains(&Fingerprint::of_counter(10_000_000 + i)))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig6_7_hust_day_dedup1, fig8_tpds_round, fig9_ddfs_stream, fig10_sil_siu,
+              fig11_random_lookup, fig12_bloom_path
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion kernels for Table 1 (formula (1) evaluation) and Table 2 (the
+//! counter-array utilization experiment). The full regenerators are the
+//! `table1`/`table2` binaries; these benches time the underlying kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use debar_index::theory::{pr_c_bound, predicted_exit_eta, UtilizationSim};
+use std::hint::black_box;
+
+fn table1_theory(c: &mut Criterion) {
+    c.bench_function("table1/pr_c_bound_8kb_bucket", |b| {
+        b.iter(|| black_box(pr_c_bound(black_box(26), black_box(320), black_box(0.80))))
+    });
+    c.bench_function("table1/predicted_exit_eta", |b| {
+        b.iter(|| black_box(predicted_exit_eta(black_box(26), black_box(320))))
+    });
+}
+
+fn table2_utilization(c: &mut Criterion) {
+    let sim = UtilizationSim { n_bits: 10, b: 20 };
+    let mut seed = 0u64;
+    c.bench_function("table2/utilization_sim_2^10x20", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(sim.run(seed))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = table1_theory, table2_utilization
+}
+criterion_main!(benches);

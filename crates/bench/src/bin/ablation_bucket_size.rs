@@ -1,0 +1,54 @@
+//! Ablation: disk-index bucket size (DESIGN.md §4.1).
+//!
+//! The paper selects 8 KB buckets from the Table 1/Table 2 analysis. This
+//! ablation sweeps bucket sizes and shows the trade-off both analyses
+//! capture: bigger buckets sustain higher utilization before capacity
+//! scaling (less index storage overhead per fingerprint) but the usable
+//! index space per fingerprint is identical — while random lookups barely
+//! care (seek-dominated) and SIL sweeps are size-indifferent.
+//!
+//! Run: `cargo run --release -p debar-bench --bin ablation_bucket_size [runs]`
+
+use debar_bench::table::{f, TablePrinter};
+use debar_index::theory::{max_eta_for_bound, predicted_exit_eta, UtilizationSim};
+use debar_simio::models::paper;
+
+fn main() {
+    let runs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let mut t = TablePrinter::new(&[
+        "bucket",
+        "b",
+        "measured eta",
+        "eta @2% bound",
+        "exit eta (paper n)",
+        "rand-lookup cost (ms)",
+    ]);
+    for (kb, n_paper) in [(0.5f64, 30u32), (1.0, 29), (2.0, 28), (4.0, 27), (8.0, 26), (16.0, 25), (32.0, 24), (64.0, 23)] {
+        let bucket_bytes = (kb * 1024.0) as usize;
+        let b = (bucket_bytes / 512 * 20) as u32;
+        let n_scaled = n_paper - 10;
+        let sim = UtilizationSim { n_bits: n_scaled, b };
+        let measured: f64 = sim
+            .run_many(7, runs)
+            .iter()
+            .map(|r| r.utilization)
+            .sum::<f64>()
+            / runs as f64;
+        let disk = paper::index_disk();
+        t.row(vec![
+            format!("{kb}KB"),
+            b.to_string(),
+            f(measured, 3),
+            f(max_eta_for_bound(n_paper, b, 0.02), 3),
+            f(predicted_exit_eta(n_paper, b), 3),
+            f(disk.rand_read_cost(bucket_bytes as u64) * 1e3, 3),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nThe paper picks 8KB: ≥80% utilization while a random bucket read\n\
+         still costs ~one seek (the 64KB bucket's transfer time starts to\n\
+         show). Utilization keeps rising with bucket size — the trade-off\n\
+         is in-memory compare work and lookup transfer, not capacity."
+    );
+}

@@ -1,0 +1,60 @@
+//! Ablation: SISL container layout × LPC read cache (DESIGN.md §4.4).
+//!
+//! SISL "creates so much spatial locality for chunk and fingerprint
+//! accesses" that one container fetch serves the next ~1000 stream-local
+//! lookups. To isolate the layout's contribution we store the *same*
+//! chunks twice: once in stream order (SISL) and once pre-shuffled (no
+//! locality), then restore a stream-ordered reference of the content from
+//! each and compare LPC hit ratios and restore throughput.
+//!
+//! Run: `cargo run --release -p debar-bench --bin ablation_sisl_lpc [denom]`
+
+use debar_bench::table::{f, TablePrinter};
+use debar_core::{ClientId, Dataset, DebarCluster, DebarConfig, RunId};
+use debar_hash::SplitMix64;
+use debar_workload::ChunkRecord;
+
+fn run(shuffled_layout: bool, denom: u64) -> (f64, f64) {
+    let cfg = DebarConfig::single_server_scaled(denom);
+    let mut cluster = DebarCluster::new(cfg);
+    let n = ((2u64 << 30) / 8192 / denom * 1024).max(4096) as usize;
+    let ordered: Vec<ChunkRecord> = (0..n as u64).map(ChunkRecord::of_counter).collect();
+
+    // Job 1 determines the physical container layout.
+    let layout_job = cluster.define_job("layout", ClientId(0));
+    let mut layout = ordered.clone();
+    if shuffled_layout {
+        SplitMix64::new(99).shuffle(&mut layout);
+    }
+    cluster.backup(layout_job, &Dataset::from_records("layout", layout));
+    cluster.run_dedup2();
+    cluster.force_siu();
+
+    // Job 2 references the same content in stream order (all duplicates);
+    // restoring it replays a stream-local access pattern against whatever
+    // layout job 1 created.
+    let ref_job = cluster.define_job("reference", ClientId(1));
+    cluster.backup(ref_job, &Dataset::from_records("ref", ordered));
+    cluster.run_dedup2();
+    cluster.force_siu();
+
+    let rep = cluster.restore_run(RunId { job: ref_job, version: 0 });
+    assert_eq!(rep.failures, 0);
+    (rep.lpc_hit_ratio(), rep.throughput_mibps())
+}
+
+fn main() {
+    let denom: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1024);
+    let mut t = TablePrinter::new(&["layout", "LPC hit ratio", "restore MiB/s"]);
+    for (label, shuffled) in [("SISL (stream order)", false), ("shuffled (no locality)", true)] {
+        let (hits, tp) = run(shuffled, denom);
+        t.row(vec![label.into(), f(hits, 4), f(tp, 1)]);
+    }
+    t.print();
+    println!(
+        "\nWith SISL the LPC hit ratio should reach ~99% (one miss per\n\
+         container, the paper's '99.3% of random lookups eliminated') and\n\
+         restores run near the network line; a shuffled layout defeats the\n\
+         prefetch and collapses restore throughput."
+    );
+}

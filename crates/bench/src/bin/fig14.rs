@@ -1,0 +1,147 @@
+//! Regenerates **Figure 14**: aggregate throughput of a 16-server DEBAR
+//! cluster — (a) write throughput (dedup-1, dedup-2, total) under
+//! 0.5-8 TB global indexes, and (b) read (restore) throughput per version.
+//!
+//! The workload follows §6.2: 64 backup clients, 10 synthetic fingerprint
+//! versions each, ~90% duplicates of which ~30% are cross-stream, written
+//! in parallel (4 clients per server).
+//!
+//! Run: `cargo run --release -p debar-bench --bin fig14 [denom]`
+
+use debar_bench::table::{f, TablePrinter};
+use debar_core::{ClientId, Dataset, DebarCluster, DebarConfig, JobId, RunId};
+use debar_simio::throughput::mibps;
+use debar_workload::{MultiStreamConfig, MultiStreamGen};
+
+const TIB: u64 = 1 << 40;
+const W_BITS: u32 = 4; // 16 servers
+const CLIENTS: usize = 64;
+const VERSIONS: usize = 10;
+
+fn main() {
+    let denom: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4096);
+    // Nominal 50 GB per version per client (§6.2).
+    let version_chunks = ((50u64 << 30) / 8192 / denom).max(64) as usize;
+    let totals = [TIB / 2, TIB, 2 * TIB, 4 * TIB, 8 * TIB];
+
+    println!(
+        "Figure 14(a): aggregate write throughput, 16 servers, 64 clients,\n\
+         {VERSIONS} versions x {version_chunks} chunks/client (scale 1/{denom}; MiB/s)\n"
+    );
+    let mut ta = TablePrinter::new(&["index total", "dedup-1", "dedup-2", "total"]);
+    for (pi, &total) in totals.iter().enumerate() {
+        let mut cfg = DebarConfig::cluster_scaled(W_BITS, total / (1 << W_BITS), denom);
+        cfg.dedup2_trigger_fps = cfg.cache_fps();
+        let mut cluster = DebarCluster::new(cfg);
+        let jobs: Vec<JobId> = (0..CLIENTS)
+            .map(|i| cluster.define_job(format!("stream{i}"), ClientId(i as u32)))
+            .collect();
+        let mut gen = MultiStreamGen::new(MultiStreamConfig {
+            clients: CLIENTS,
+            version_chunks,
+            run_len: (256, (version_chunks / 4).max(257)),
+            ..MultiStreamConfig::default()
+        });
+
+        let mut logical = 0u64;
+        let mut d1_time = 0.0;
+        let mut d2_time = 0.0;
+        let mut d1_bytes_time: Vec<(u64, f64)> = Vec::new();
+        for _round in 0..VERSIONS {
+            let versions = gen.next_round();
+            let t0 = cluster.align_clocks();
+            let mut round_bytes = 0u64;
+            for (i, v) in versions.into_iter().enumerate() {
+                let rep = cluster.backup(jobs[i], &Dataset::from_records("v", v));
+                logical += rep.logical_bytes;
+                round_bytes += rep.logical_bytes;
+            }
+            let d1_wall = cluster.align_clocks() - t0;
+            d1_time += d1_wall;
+            d1_bytes_time.push((round_bytes, d1_wall));
+            if cluster.should_run_dedup2() {
+                let d2 = cluster.run_dedup2();
+                d2_time += d2.total_wall();
+            }
+        }
+        // Final round + registration barrier.
+        let d2 = cluster.run_dedup2();
+        d2_time += d2.total_wall();
+        let (_, siu_wall) = cluster.force_siu();
+        d2_time += siu_wall;
+
+        let label = if total >= TIB {
+            format!("{}TB", total / TIB)
+        } else {
+            format!("{:.1}TB", total as f64 / TIB as f64)
+        };
+        ta.row(vec![
+            label,
+            f(mibps(logical, d1_time), 0),
+            f(mibps(logical, d2_time), 0),
+            f(mibps(logical, d1_time + d2_time), 0),
+        ]);
+
+        let _ = pi;
+    }
+    ta.print();
+    println!(
+        "\nPaper: dedup-1 >9GB/s sustained; total 4.3 / 2.5 / 1.7 GB/s at\n\
+         0.5 / 4 / 8 TB (larger index => longer PSIL/PSIU sweeps).\n"
+    );
+
+    // ---- Read pass (Figure 14(b)) ----
+    // Runs at a finer scale (denom/4) on the 0.5 TB configuration: read
+    // throughput is index-size independent (LPC absorbs nearly all index
+    // lookups) but container-fetch overhead per byte is sensitive to the
+    // chunks-per-version to container-size ratio, which the finer scale
+    // keeps at the paper's proportions.
+    let read_denom = (denom / 4).max(256);
+    let version_chunks = ((50u64 << 30) / 8192 / read_denom).max(64) as usize;
+    eprintln!("read pass at scale 1/{read_denom} ({version_chunks} chunks/version)...");
+    let mut cfg = DebarConfig::cluster_scaled(W_BITS, (TIB / 2) / (1 << W_BITS), read_denom);
+    cfg.dedup2_trigger_fps = cfg.cache_fps();
+    let mut cluster = DebarCluster::new(cfg);
+    let jobs: Vec<JobId> = (0..CLIENTS)
+        .map(|i| cluster.define_job(format!("stream{i}"), ClientId(i as u32)))
+        .collect();
+    let mut gen = MultiStreamGen::new(MultiStreamConfig {
+        clients: CLIENTS,
+        version_chunks,
+        run_len: (256, (version_chunks / 4).max(257)),
+        ..MultiStreamConfig::default()
+    });
+    for _round in 0..VERSIONS {
+        let versions = gen.next_round();
+        for (i, v) in versions.into_iter().enumerate() {
+            cluster.backup(jobs[i], &Dataset::from_records("v", v));
+        }
+        if cluster.should_run_dedup2() {
+            cluster.run_dedup2();
+        }
+    }
+    cluster.run_dedup2();
+    cluster.force_siu();
+
+    println!("Figure 14(b): aggregate read throughput per version (MiB/s)\n");
+    let mut tb = TablePrinter::new(&["version", "read MiB/s"]);
+    for v in 0..VERSIONS {
+        let t0 = cluster.align_clocks();
+        let mut bytes = 0u64;
+        let mut failures = 0u64;
+        for &job in &jobs {
+            let rep = cluster.restore_run(RunId { job, version: v as u32 });
+            bytes += rep.bytes;
+            failures += rep.failures;
+        }
+        let wall = cluster.align_clocks() - t0;
+        assert_eq!(failures, 0, "restore must verify cleanly");
+        tb.row(vec![(v + 1).to_string(), f(mibps(bytes, wall), 0)]);
+    }
+    tb.print();
+    println!(
+        "\nPaper: 1620 MB/s for version 1, declining to a stable ~1520 MB/s\n\
+         (cross-stream duplicates spread chunks across storage nodes; SISL +\n\
+         LPC keep the decline bounded — 99.3% of random lookups eliminated)."
+    );
+}

@@ -1,0 +1,42 @@
+//! Regenerates **Table 1**: calculated upper bounds of Pr(D) — the
+//! probability that the disk index triggers capacity scaling before
+//! reaching utilization η — from the paper's formula (1), for a 512 GB
+//! index across bucket sizes 0.5-64 KB.
+//!
+//! Run: `cargo run --release -p debar-bench --bin table1`
+
+use debar_bench::table::{f, TablePrinter};
+use debar_index::theory::{max_eta_for_bound, table1_rows};
+
+fn main() {
+    let paper_bounds = [1.71, 1.02, 1.24, 1.59, 1.91, 1.93, 2.16, 2.08];
+    println!("Table 1: upper bound of Pr(D), 512GB disk index, formula (1)\n");
+    let mut t = TablePrinter::new(&[
+        "bucket",
+        "b (entries)",
+        "n (bits)",
+        "eta",
+        "bound % (ours)",
+        "bound % (paper)",
+        "eta @ 2% (ours)",
+    ]);
+    for (row, paper) in table1_rows(512u64 << 30).iter().zip(paper_bounds) {
+        let eta_at_2pct = max_eta_for_bound(row.n_bits, row.b, 0.02);
+        t.row(vec![
+            format!("{}KB", row.bucket_bytes as f64 / 1024.0),
+            row.b.to_string(),
+            row.n_bits.to_string(),
+            f(row.eta, 2),
+            format!("{:.4}", row.bound * 100.0),
+            f(paper, 2),
+            f(eta_at_2pct, 3),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nNote: our exact evaluation of formula (1) yields *smaller* (stronger)\n\
+         bounds than the paper's printed values at the same utilizations; the\n\
+         last column shows the highest utilization our evaluation certifies at\n\
+         the paper's ~2% risk level (monotone in bucket size, like Table 2)."
+    );
+}

@@ -1,0 +1,413 @@
+//! Content-defined chunking (paper §3.2, following LBFS).
+//!
+//! CDC computes the Rabin fingerprint of every overlapping 48-byte window of
+//! the stream. A position is an *anchor* — a chunk boundary — when the
+//! low-order `k` bits of the window fingerprint equal a predetermined
+//! constant; the expected chunk size is therefore `2^k` bytes. DEBAR uses
+//! `2^13 = 8 KB` expected chunks with a 2 KB lower and 64 KB upper bound to
+//! "eliminate the possibility of pathological cases described in LBFS".
+//!
+//! The rolling hash is reset at each chunk boundary, so boundary placement
+//! depends only on the bytes of the current chunk; an edit therefore
+//! re-synchronizes chunking at the first anchor after the edited region,
+//! which is precisely the property that lets CDC detect duplicates in
+//! shifted content.
+
+use crate::span::ChunkSpan;
+use debar_hash::rabin::{RabinParams, RabinTables, RollingHash};
+
+/// Parameters of the CDC chunker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CdcParams {
+    /// Rabin fingerprinting configuration (polynomial + window width).
+    pub rabin: RabinParams,
+    /// Number of low-order fingerprint bits compared against `magic`; the
+    /// expected chunk size is `2^mask_bits` bytes.
+    pub mask_bits: u32,
+    /// The predetermined anchor constant. Must be below `2^mask_bits`.
+    /// A non-zero default avoids anchoring inside all-zero regions.
+    pub magic: u64,
+    /// Minimum chunk size in bytes (paper: 2 KB).
+    pub min_size: usize,
+    /// Maximum chunk size in bytes (paper: 64 KB).
+    pub max_size: usize,
+}
+
+impl CdcParams {
+    /// The paper's configuration: 48-byte window, 8 KB expected chunks,
+    /// 2 KB minimum, 64 KB maximum.
+    pub fn paper() -> Self {
+        CdcParams {
+            rabin: RabinParams::default(),
+            mask_bits: 13,
+            magic: 0x0f37,
+            min_size: 2 * 1024,
+            max_size: 64 * 1024,
+        }
+    }
+
+    /// A small configuration (64-byte expected chunks) for fast tests.
+    pub fn small() -> Self {
+        CdcParams {
+            rabin: RabinParams { window: 16, ..RabinParams::default() },
+            mask_bits: 6,
+            magic: 0x15,
+            min_size: 16,
+            max_size: 256,
+        }
+    }
+
+    /// Expected chunk size, `2^mask_bits`.
+    pub fn expected_size(&self) -> usize {
+        1usize << self.mask_bits
+    }
+
+    fn validate(&self) {
+        assert!(self.mask_bits >= 1 && self.mask_bits < 32, "mask_bits out of range");
+        assert!(self.magic < (1u64 << self.mask_bits), "magic must fit the mask");
+        assert!(self.min_size >= 1, "min_size must be positive");
+        assert!(self.min_size <= self.max_size, "min must not exceed max");
+        assert!(
+            self.min_size >= self.rabin.window,
+            "min_size must cover the rolling window"
+        );
+    }
+}
+
+impl Default for CdcParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// A reusable content-defined chunker (owns the Rabin tables).
+#[derive(Debug, Clone)]
+pub struct CdcChunker {
+    params: CdcParams,
+    tables: RabinTables,
+    mask: u64,
+}
+
+impl CdcChunker {
+    /// Build a chunker (precomputes Rabin tables).
+    pub fn new(params: CdcParams) -> Self {
+        params.validate();
+        let tables = RabinTables::new(params.rabin);
+        let mask = (1u64 << params.mask_bits) - 1;
+        CdcChunker { params, tables, mask }
+    }
+
+    /// Chunker with the paper's parameters.
+    pub fn paper() -> Self {
+        Self::new(CdcParams::paper())
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &CdcParams {
+        &self.params
+    }
+
+    /// Begin a streaming chunking session.
+    pub fn stream(&self) -> CdcStream<'_> {
+        CdcStream {
+            chunker: self,
+            roll: RollingHash::new(&self.tables),
+            chunk_start: 0,
+            cur_len: 0,
+        }
+    }
+
+    /// Chunk an entire buffer; returned spans tile `[0, data.len())`.
+    pub fn chunk_all(&self, data: &[u8]) -> Vec<ChunkSpan> {
+        let mut out = Vec::with_capacity(data.len() / self.params.expected_size() + 1);
+        let mut s = self.stream();
+        s.push_slice(data, |span| out.push(span));
+        if let Some(tail) = s.finish() {
+            out.push(tail);
+        }
+        out
+    }
+
+    /// Split a buffer into chunk byte-slices.
+    pub fn split<'a>(&self, data: &'a [u8]) -> Vec<&'a [u8]> {
+        self.chunk_all(data).iter().map(|s| s.slice(data)).collect()
+    }
+
+    /// Raw anchor positions (offsets whose trailing window fingerprint
+    /// matches), ignoring min/max constraints. Exposed for validation: every
+    /// emitted boundary that is not a max-size cut must be an anchor.
+    pub fn anchors(&self, data: &[u8]) -> Vec<u64> {
+        let mut roll = RollingHash::new(&self.tables);
+        let mut out = Vec::new();
+        for (i, &b) in data.iter().enumerate() {
+            let fp = roll.push(b);
+            if roll.window_full() && fp & self.mask == self.params.magic {
+                out.push(i as u64 + 1); // boundary is *after* byte i
+            }
+        }
+        out
+    }
+}
+
+/// Incremental chunking state; feed bytes, collect [`ChunkSpan`]s.
+pub struct CdcStream<'c> {
+    chunker: &'c CdcChunker,
+    roll: RollingHash<'c>,
+    chunk_start: u64,
+    cur_len: usize,
+}
+
+impl CdcStream<'_> {
+    /// Push one byte; returns the completed chunk if `b` closed one.
+    #[inline]
+    pub fn push(&mut self, b: u8) -> Option<ChunkSpan> {
+        let p = &self.chunker.params;
+        let fp = self.roll.push(b);
+        self.cur_len += 1;
+        let at_anchor = self.cur_len >= p.min_size
+            && self.roll.window_full()
+            && fp & self.chunker.mask == p.magic;
+        if at_anchor || self.cur_len >= p.max_size {
+            let span = ChunkSpan::new(self.chunk_start, self.cur_len as u32);
+            self.chunk_start = span.end();
+            self.cur_len = 0;
+            self.roll.reset();
+            Some(span)
+        } else {
+            None
+        }
+    }
+
+    /// Push a slice, invoking `sink` for each completed chunk.
+    pub fn push_slice(&mut self, data: &[u8], mut sink: impl FnMut(ChunkSpan)) {
+        for &b in data {
+            if let Some(span) = self.push(b) {
+                sink(span);
+            }
+        }
+    }
+
+    /// Bytes accumulated in the currently open chunk.
+    pub fn pending(&self) -> usize {
+        self.cur_len
+    }
+
+    /// Terminate the stream, emitting the final partial chunk if non-empty.
+    pub fn finish(self) -> Option<ChunkSpan> {
+        if self.cur_len > 0 {
+            Some(ChunkSpan::new(self.chunk_start, self.cur_len as u32))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::spans_tile;
+
+    fn test_data(len: usize, seed: u64) -> Vec<u8> {
+        // xorshift-based deterministic pseudo-random bytes.
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 32) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chunks_tile_input() {
+        let c = CdcChunker::new(CdcParams::small());
+        for len in [0usize, 1, 15, 16, 17, 100, 1000, 10_000] {
+            let data = test_data(len, 7);
+            let spans = c.chunk_all(&data);
+            assert!(spans_tile(&spans, len as u64), "bad tiling for len={len}");
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_respect_bounds() {
+        let p = CdcParams::small();
+        let c = CdcChunker::new(p);
+        let data = test_data(50_000, 3);
+        let spans = c.chunk_all(&data);
+        assert!(spans.len() > 10, "expected many chunks");
+        for (i, s) in spans.iter().enumerate() {
+            assert!(s.len as usize <= p.max_size, "chunk {i} exceeds max");
+            if i + 1 < spans.len() {
+                assert!(s.len as usize >= p.min_size, "chunk {i} below min");
+            }
+        }
+    }
+
+    #[test]
+    fn expected_size_roughly_2k() {
+        let p = CdcParams::small();
+        let c = CdcChunker::new(p);
+        let data = test_data(1 << 20, 11);
+        let spans = c.chunk_all(&data);
+        let mean = data.len() as f64 / spans.len() as f64;
+        // min/max clamping biases the mean; accept a generous band around
+        // the nominal 64-byte expectation.
+        assert!(
+            mean > 40.0 && mean < 160.0,
+            "mean chunk size {mean} far from expected {}",
+            p.expected_size()
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let c = CdcChunker::new(CdcParams::small());
+        let data = test_data(20_000, 5);
+        let oneshot = c.chunk_all(&data);
+        let mut streamed = Vec::new();
+        let mut s = c.stream();
+        // Push in awkward increments.
+        for part in data.chunks(7) {
+            s.push_slice(part, |span| streamed.push(span));
+        }
+        if let Some(t) = s.finish() {
+            streamed.push(t);
+        }
+        assert_eq!(oneshot, streamed);
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = CdcChunker::new(CdcParams::small());
+        let data = test_data(30_000, 9);
+        assert_eq!(c.chunk_all(&data), c.chunk_all(&data));
+    }
+
+    #[test]
+    fn boundaries_are_anchors_or_max_cuts() {
+        let p = CdcParams::small();
+        let c = CdcChunker::new(p);
+        let data = test_data(40_000, 13);
+        let spans = c.chunk_all(&data);
+        for (i, s) in spans.iter().enumerate().take(spans.len().saturating_sub(1)) {
+            if (s.len as usize) < p.max_size {
+                // Verify the window fingerprint at the boundary actually
+                // matches, by recomputing over the chunk's own bytes (the
+                // hash resets at each chunk start).
+                let chunk = s.slice(&data);
+                let anchors = c.anchors(chunk);
+                assert_eq!(
+                    anchors.last().copied(),
+                    Some(s.len as u64),
+                    "chunk {i} does not end on an anchor"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edit_resynchronizes_chunking() {
+        let p = CdcParams::small();
+        let c = CdcChunker::new(p);
+        let data = test_data(32_768, 21);
+        let mut edited = data.clone();
+        let edit_pos = 10_000usize;
+        edited[edit_pos] ^= 0xff;
+
+        let a = c.chunk_all(&data);
+        let b = c.chunk_all(&edited);
+
+        // Chunks entirely before the edit are identical.
+        let before_a: Vec<_> = a.iter().filter(|s| s.end() <= edit_pos as u64).collect();
+        let before_b: Vec<_> = b.iter().filter(|s| s.end() <= edit_pos as u64).collect();
+        assert_eq!(before_a, before_b, "chunks before the edit changed");
+        assert!(!before_a.is_empty());
+
+        // Boundaries resynchronize within a few max-sizes after the edit.
+        let bounds = |spans: &[ChunkSpan]| -> Vec<u64> { spans.iter().map(|s| s.end()).collect() };
+        let ba = bounds(&a);
+        let bb = bounds(&b);
+        let horizon = (edit_pos + 4 * p.max_size) as u64;
+        let tail_a: Vec<u64> = ba.iter().copied().filter(|&x| x > horizon).collect();
+        let tail_b: Vec<u64> = bb.iter().copied().filter(|&x| x > horizon).collect();
+        assert_eq!(tail_a, tail_b, "chunking did not resynchronize after edit");
+        assert!(tail_a.len() > 5, "test horizon leaves too few chunks");
+    }
+
+    #[test]
+    fn insertion_shifts_resynchronize() {
+        // The motivating CDC property (paper §3.2): inserting data at the
+        // beginning must not re-chunk the whole file.
+        let p = CdcParams::small();
+        let c = CdcChunker::new(p);
+        let data = test_data(32_768, 33);
+        let mut shifted = test_data(137, 99);
+        shifted.extend_from_slice(&data);
+
+        let orig_chunks: std::collections::HashSet<Vec<u8>> =
+            c.split(&data).into_iter().map(|s| s.to_vec()).collect();
+        let shifted_chunks: Vec<Vec<u8>> =
+            c.split(&shifted).into_iter().map(|s| s.to_vec()).collect();
+        let shared = shifted_chunks.iter().filter(|ch| orig_chunks.contains(*ch)).count();
+        // The vast majority of shifted chunks should be byte-identical to
+        // original chunks (only those near the insertion differ).
+        assert!(
+            shared as f64 >= 0.9 * orig_chunks.len() as f64,
+            "only {shared}/{} chunks survived an insertion",
+            orig_chunks.len()
+        );
+    }
+
+    #[test]
+    fn zero_region_hits_max_size() {
+        // All-zero data has no anchors (magic != 0), so chunks cap at max.
+        let p = CdcParams::small();
+        let c = CdcChunker::new(p);
+        let data = vec![0u8; 5000];
+        let spans = c.chunk_all(&data);
+        for s in spans.iter().take(spans.len() - 1) {
+            assert_eq!(s.len as usize, p.max_size);
+        }
+    }
+
+    #[test]
+    fn paper_params_validate() {
+        let c = CdcChunker::paper();
+        assert_eq!(c.params().expected_size(), 8 * 1024);
+        let data = test_data(1 << 18, 17);
+        let spans = c.chunk_all(&data);
+        assert!(spans_tile(&spans, data.len() as u64));
+    }
+
+    #[test]
+    #[should_panic]
+    fn magic_must_fit_mask() {
+        CdcChunker::new(CdcParams { magic: 1 << 13, ..CdcParams::paper() });
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_tiling(data: Vec<u8>) {
+            let c = CdcChunker::new(CdcParams::small());
+            let spans = c.chunk_all(&data);
+            proptest::prop_assert!(spans_tile(&spans, data.len() as u64));
+        }
+
+        #[test]
+        fn prop_bounds(data: Vec<u8>) {
+            let p = CdcParams::small();
+            let c = CdcChunker::new(p);
+            let spans = c.chunk_all(&data);
+            for (i, s) in spans.iter().enumerate() {
+                proptest::prop_assert!((s.len as usize) <= p.max_size);
+                if i + 1 < spans.len() {
+                    proptest::prop_assert!((s.len as usize) >= p.min_size);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Fixed-size blocking: the baseline chunking strategy CDC improves upon.
+//!
+//! The paper (§3.2) chooses CDC precisely because fixed-size blocking
+//! "limits the number of potential duplicates that can be detected": any
+//! byte insertion shifts every subsequent block boundary. We implement it
+//! both as a comparison baseline and for workloads that want cheap chunking.
+
+use crate::span::ChunkSpan;
+
+/// Splits a stream into fixed-size blocks (the final block may be short).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedChunker {
+    block_size: usize,
+}
+
+impl FixedChunker {
+    /// Create a chunker with the given block size.
+    ///
+    /// # Panics
+    /// Panics if `block_size == 0`.
+    pub fn new(block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        FixedChunker { block_size }
+    }
+
+    /// The configured block size.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Chunk an entire buffer; spans tile `[0, data.len())`.
+    pub fn chunk_all(&self, data: &[u8]) -> Vec<ChunkSpan> {
+        let mut out = Vec::with_capacity(data.len() / self.block_size + 1);
+        let mut offset = 0u64;
+        let mut remaining = data.len();
+        while remaining > 0 {
+            let len = remaining.min(self.block_size) as u32;
+            out.push(ChunkSpan::new(offset, len));
+            offset += len as u64;
+            remaining -= len as usize;
+        }
+        out
+    }
+
+    /// Split a buffer into block byte-slices.
+    pub fn split<'a>(&self, data: &'a [u8]) -> Vec<&'a [u8]> {
+        self.chunk_all(data).iter().map(|s| s.slice(data)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::spans_tile;
+
+    #[test]
+    fn exact_multiple() {
+        let c = FixedChunker::new(4);
+        let spans = c.chunk_all(&[0u8; 12]);
+        assert_eq!(spans.len(), 3);
+        assert!(spans.iter().all(|s| s.len == 4));
+        assert!(spans_tile(&spans, 12));
+    }
+
+    #[test]
+    fn trailing_partial_block() {
+        let c = FixedChunker::new(5);
+        let spans = c.chunk_all(&[0u8; 13]);
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[2].len, 3);
+        assert!(spans_tile(&spans, 13));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(FixedChunker::new(8).chunk_all(&[]).is_empty());
+    }
+
+    #[test]
+    fn insertion_shifts_all_blocks() {
+        // Demonstrates the weakness CDC fixes: a 1-byte insertion changes
+        // every downstream block.
+        let c = FixedChunker::new(8);
+        let data: Vec<u8> = (0..128u8).collect();
+        let mut shifted = vec![0xff];
+        shifted.extend_from_slice(&data);
+        let orig: std::collections::HashSet<Vec<u8>> =
+            c.split(&data).into_iter().map(|s| s.to_vec()).collect();
+        let shared = c
+            .split(&shifted)
+            .into_iter()
+            .filter(|s| orig.contains(&s.to_vec()))
+            .count();
+        assert_eq!(shared, 0, "fixed blocking should share nothing after a shift");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_block_size_rejected() {
+        FixedChunker::new(0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_tiling(data: Vec<u8>, size in 1usize..64) {
+            let c = FixedChunker::new(size);
+            proptest::prop_assert!(spans_tile(&c.chunk_all(&data), data.len() as u64));
+        }
+    }
+}

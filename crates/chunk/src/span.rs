@@ -1,0 +1,69 @@
+//! Chunk spans: the `(offset, length)` description of a chunk within a file
+//! or stream.
+
+/// A contiguous chunk of a file/stream, described by byte offset and length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChunkSpan {
+    /// Byte offset of the chunk start within the stream.
+    pub offset: u64,
+    /// Chunk length in bytes (always ≥ 1 for emitted chunks).
+    pub len: u32,
+}
+
+impl ChunkSpan {
+    /// Construct a span.
+    pub fn new(offset: u64, len: u32) -> Self {
+        ChunkSpan { offset, len }
+    }
+
+    /// Exclusive end offset.
+    pub fn end(&self) -> u64 {
+        self.offset + self.len as u64
+    }
+
+    /// Extract this span's bytes from the backing buffer.
+    ///
+    /// # Panics
+    /// Panics if the span lies outside `data`.
+    pub fn slice<'a>(&self, data: &'a [u8]) -> &'a [u8] {
+        &data[self.offset as usize..self.end() as usize]
+    }
+}
+
+/// Validate that `spans` tile `[0, total_len)` without gaps or overlaps.
+/// Returns `true` when the tiling is exact.
+pub fn spans_tile(spans: &[ChunkSpan], total_len: u64) -> bool {
+    let mut cursor = 0u64;
+    for s in spans {
+        if s.offset != cursor || s.len == 0 {
+            return false;
+        }
+        cursor = s.end();
+    }
+    cursor == total_len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_and_slice() {
+        let s = ChunkSpan::new(2, 3);
+        assert_eq!(s.end(), 5);
+        assert_eq!(s.slice(b"abcdefgh"), b"cde");
+    }
+
+    #[test]
+    fn tiling_checks() {
+        let good = [ChunkSpan::new(0, 4), ChunkSpan::new(4, 4)];
+        assert!(spans_tile(&good, 8));
+        assert!(!spans_tile(&good, 9));
+        let gap = [ChunkSpan::new(0, 4), ChunkSpan::new(5, 3)];
+        assert!(!spans_tile(&gap, 8));
+        let overlap = [ChunkSpan::new(0, 4), ChunkSpan::new(3, 5)];
+        assert!(!spans_tile(&overlap, 8));
+        assert!(spans_tile(&[], 0));
+        assert!(!spans_tile(&[ChunkSpan::new(0, 0)], 0));
+    }
+}

@@ -1,0 +1,101 @@
+//! Chunk-size distribution statistics.
+
+use crate::span::ChunkSpan;
+
+/// Summary statistics over a set of chunk sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkStats {
+    /// Number of chunks observed.
+    pub count: u64,
+    /// Total bytes across all chunks.
+    pub total_bytes: u64,
+    /// Smallest chunk, in bytes (0 when no chunks).
+    pub min: u32,
+    /// Largest chunk, in bytes (0 when no chunks).
+    pub max: u32,
+    /// Histogram over power-of-two size classes: slot `i` counts chunks with
+    /// `2^i <= len < 2^(i+1)`.
+    pub pow2_histogram: Vec<u64>,
+}
+
+impl ChunkStats {
+    /// Compute statistics from spans.
+    pub fn from_spans(spans: &[ChunkSpan]) -> Self {
+        Self::from_sizes(spans.iter().map(|s| s.len))
+    }
+
+    /// Compute statistics from an iterator of chunk sizes.
+    pub fn from_sizes(sizes: impl IntoIterator<Item = u32>) -> Self {
+        let mut count = 0u64;
+        let mut total = 0u64;
+        let mut min = u32::MAX;
+        let mut max = 0u32;
+        let mut hist = vec![0u64; 33];
+        for len in sizes {
+            count += 1;
+            total += len as u64;
+            min = min.min(len);
+            max = max.max(len);
+            let slot = if len == 0 { 0 } else { 31 - len.leading_zeros() } as usize;
+            hist[slot] += 1;
+        }
+        if count == 0 {
+            min = 0;
+        }
+        // Trim trailing empty histogram slots.
+        while hist.len() > 1 && *hist.last().expect("non-empty") == 0 {
+            hist.pop();
+        }
+        ChunkStats { count, total_bytes: total, min, max, pow2_histogram: hist }
+    }
+
+    /// Mean chunk size in bytes (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_bytes as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = ChunkStats::from_sizes([]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn basic_aggregation() {
+        let s = ChunkStats::from_sizes([4u32, 8, 12]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.total_bytes, 24);
+        assert_eq!(s.min, 4);
+        assert_eq!(s.max, 12);
+        assert_eq!(s.mean(), 8.0);
+    }
+
+    #[test]
+    fn histogram_slots() {
+        let s = ChunkStats::from_sizes([1u32, 2, 3, 4, 7, 8]);
+        // 1 -> slot 0; 2,3 -> slot 1; 4,7 -> slot 2; 8 -> slot 3.
+        assert_eq!(s.pow2_histogram[0], 1);
+        assert_eq!(s.pow2_histogram[1], 2);
+        assert_eq!(s.pow2_histogram[2], 2);
+        assert_eq!(s.pow2_histogram[3], 1);
+        assert_eq!(s.pow2_histogram.len(), 4);
+    }
+
+    #[test]
+    fn from_spans_matches_from_sizes() {
+        let spans = [ChunkSpan::new(0, 10), ChunkSpan::new(10, 20)];
+        assert_eq!(ChunkStats::from_spans(&spans), ChunkStats::from_sizes([10, 20]));
+    }
+}

@@ -1,0 +1,907 @@
+//! The DEBAR cluster: TPDS orchestration across `2^w` backup servers
+//! (paper §2, §5).
+//!
+//! Dedup-2 is bulk-synchronous (Fig. 5): every phase runs on all servers,
+//! a barrier aligns the virtual clocks, and the phase's wall-clock time is
+//! the slowest server's. The compute-heavy phases — PSIL and PSIU, which
+//! sweep each server's index part — run on real OS threads (one per
+//! server); the exchange and chunk-storing phases run sequentially for
+//! deterministic container-ID assignment, with their *virtual* time still
+//! accounted per server.
+//!
+//! | phase | §, what happens |
+//! |---|---|
+//! | exchange | §5.2: undetermined fingerprints partitioned by first `w` bits and exchanged |
+//! | PSIL | each server sweeps its index part; verdicts routed back to origins |
+//! | chunk storing | §5.3: each origin drains its chunk log, stores designated chunks via SISL |
+//! | update routing | unregistered `(fp, container)` pairs exchanged to owner parts |
+//! | PSIU | §5.4: owners merge updates; may be deferred (asynchronous SIU) |
+
+use crate::client::BackupClient;
+use crate::config::DebarConfig;
+use crate::dataset::{ChunkedFile, Dataset};
+use crate::director::Director;
+use crate::ids::{ClientId, JobId, RunId, ServerId};
+use crate::job::{JobSpec, Schedule};
+use crate::report::{Dedup1Report, Dedup2Report, RestoreReport, StoreReport};
+use crate::server::{BackupServer, Decision, SilPartOutput};
+use debar_hash::{ContainerId, Fingerprint, Sha1};
+use debar_index::SiuReport;
+use debar_simio::models::paper;
+use debar_simio::Secs;
+use debar_store::{ChunkRepository, Payload};
+use std::collections::HashMap;
+
+/// A DEBAR deployment: director + backup servers + chunk repository.
+pub struct DebarCluster {
+    cfg: DebarConfig,
+    /// The director (public for metadata inspection).
+    pub director: Director,
+    servers: Vec<BackupServer>,
+    repo: ChunkRepository,
+    clients: HashMap<ClientId, BackupClient>,
+}
+
+impl DebarCluster {
+    /// Build a cluster from a configuration.
+    pub fn new(cfg: DebarConfig) -> Self {
+        cfg.validate();
+        let servers = (0..cfg.servers() as u16).map(|id| BackupServer::new(id, cfg)).collect();
+        DebarCluster {
+            director: Director::new(&cfg),
+            servers,
+            repo: ChunkRepository::new(cfg.repo_nodes, paper::repo_disk(), cfg.container_bytes),
+            clients: HashMap::new(),
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DebarConfig {
+        &self.cfg
+    }
+
+    /// Number of backup servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// A server view.
+    pub fn server(&self, id: ServerId) -> &BackupServer {
+        &self.servers[id as usize]
+    }
+
+    /// The chunk repository.
+    pub fn repository(&self) -> &ChunkRepository {
+        &self.repo
+    }
+
+    /// Per-server undetermined fingerprint counts.
+    pub fn undetermined_counts(&self) -> Vec<usize> {
+        self.servers.iter().map(BackupServer::undetermined_len).collect()
+    }
+
+    /// Whether the director's automatic dedup-2 trigger fires.
+    pub fn should_run_dedup2(&self) -> bool {
+        self.director.should_run_dedup2(&self.undetermined_counts())
+    }
+
+    /// Max virtual time across server clocks (the cluster "now").
+    pub fn now(&self) -> Secs {
+        self.servers.iter().map(|s| s.clock.now()).fold(0.0, f64::max)
+    }
+
+    /// Register a job for `client` with a manual schedule.
+    pub fn define_job(&mut self, name: impl Into<String>, client: ClientId) -> JobId {
+        self.director.define_job(JobSpec { name: name.into(), client, schedule: Schedule::Manual })
+    }
+
+    /// Back up a dataset under a job (de-duplication phase I): client-side
+    /// chunking/fingerprinting, server assignment, preliminary filtering,
+    /// chunk logging, metadata recording.
+    pub fn backup(&mut self, job: JobId, dataset: &Dataset) -> Dedup1Report {
+        let client_id = self.director.metadata.job(job).spec.client;
+        let client =
+            self.clients.entry(client_id).or_insert_with(|| BackupClient::new(client_id));
+        let files = client.prepare(dataset).value;
+        self.backup_prepared(job, &files)
+    }
+
+    /// Back up pre-chunked files (bench harness path).
+    pub fn backup_prepared(&mut self, job: JobId, files: &[ChunkedFile]) -> Dedup1Report {
+        let job_obj = self.director.metadata.job(job);
+        let client_id = job_obj.spec.client;
+        let version = job_obj.next_version();
+        let run = RunId { job, version };
+        let filtering = self.director.metadata.filtering_fingerprints(job);
+        let est: u64 = files.iter().map(ChunkedFile::bytes).sum();
+        let sid = self.director.assign_server(est);
+        let (record, report) =
+            self.servers[sid as usize].run_backup(run, client_id, filtering, files);
+        self.director.metadata.record_run(record);
+        report
+    }
+
+    /// Align all server clocks to the slowest and return that time.
+    fn barrier(&mut self) -> Secs {
+        let max = self.now();
+        for s in &mut self.servers {
+            s.clock.advance_to(max);
+        }
+        max
+    }
+
+    /// Public clock barrier for experiment harnesses measuring wall-clock
+    /// phases across servers (e.g. "one day of backups").
+    pub fn align_clocks(&mut self) -> Secs {
+        self.barrier()
+    }
+
+    /// Run one de-duplication phase-II round (PSIL → chunk storing → PSIU).
+    pub fn run_dedup2(&mut self) -> Dedup2Report {
+        let (round, run_siu) = self.director.begin_dedup2();
+        let s = self.servers.len();
+        let w = self.cfg.w_bits;
+        let t0 = self.barrier();
+
+        // ---- Phase 1: partition undetermined fingerprints, exchange. ----
+        let mut batches: Vec<Vec<(Fingerprint, ServerId)>> = vec![Vec::new(); s];
+        let mut tx_bytes = vec![0u64; s];
+        let mut rx_bytes = vec![0u64; s];
+        for i in 0..s {
+            for fp in self.servers[i].take_undetermined() {
+                let owner = fp.server_number(w) as usize;
+                if owner != i {
+                    tx_bytes[i] += 25;
+                    rx_bytes[owner] += 25;
+                }
+                batches[owner].push((fp, i as ServerId));
+            }
+        }
+        for i in 0..s {
+            self.servers[i].charge_net(tx_bytes[i] + rx_bytes[i]);
+        }
+        let submitted_fps: u64 = batches.iter().map(|b| b.len() as u64).sum();
+        let t1 = self.barrier();
+
+        // ---- Phase 2: PSIL on real threads, one per server. ----
+        let outputs: Vec<SilPartOutput> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .servers
+                .iter_mut()
+                .zip(&batches)
+                .map(|(srv, batch)| scope.spawn(move || srv.sil_on_part(batch, s)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("PSIL worker panicked"))
+                .collect()
+        });
+        // Route verdicts back to origins (charging the result exchange).
+        let mut decisions: Vec<HashMap<Fingerprint, Decision>> =
+            (0..s).map(|_| HashMap::new()).collect();
+        let mut tx2 = vec![0u64; s];
+        for (owner, out) in outputs.iter().enumerate() {
+            for (origin, list) in out.verdicts.iter().enumerate() {
+                if origin != owner {
+                    tx2[owner] += 26 * list.len() as u64;
+                    tx2[origin] += 26 * list.len() as u64;
+                }
+                for &(fp, d) in list {
+                    // The same (fp, origin) pair can be adjudicated twice
+                    // when an origin re-submitted a fingerprint and the two
+                    // submissions landed in different SIL sub-batches: the
+                    // first yields Store, the second a checking-file Skip.
+                    // A Store designation is binding — it must never be
+                    // overwritten by a later Skip.
+                    decisions[origin]
+                        .entry(fp)
+                        .and_modify(|existing| {
+                            if d == Decision::Store {
+                                *existing = Decision::Store;
+                            }
+                        })
+                        .or_insert(d);
+                }
+            }
+        }
+        for i in 0..s {
+            self.servers[i].charge_net(tx2[i]);
+        }
+        let dup_registered: u64 = outputs.iter().map(|o| o.stats.dup_registered).sum();
+        let dup_pending: u64 = outputs.iter().map(|o| o.stats.dup_pending).sum();
+        let new_fps: u64 = outputs.iter().map(|o| o.stats.new_fps).sum();
+        let sil_sweeps: u32 = outputs.iter().map(|o| o.stats.sweeps).sum();
+        let t2 = self.barrier();
+
+        // ---- Phase 3: chunk storing (sequential for deterministic IDs;
+        //      virtual time still per-server). ----
+        let mut store_total = StoreReport::default();
+        let mut routed_updates: Vec<Vec<(Fingerprint, ContainerId)>> = vec![Vec::new(); s];
+        let mut tx3 = vec![0u64; s];
+        for i in 0..s {
+            let (rep, assigned) = {
+                let repo = &mut self.repo;
+                self.servers[i].store_chunks(&decisions[i], repo)
+            };
+            store_total.log_records += rep.log_records;
+            store_total.log_bytes += rep.log_bytes;
+            store_total.stored_chunks += rep.stored_chunks;
+            store_total.stored_bytes += rep.stored_bytes;
+            store_total.discarded += rep.discarded;
+            store_total.containers += rep.containers;
+            for (fp, cid) in assigned {
+                let owner = fp.server_number(w) as usize;
+                if owner != i {
+                    tx3[i] += 30;
+                    tx3[owner] += 30;
+                }
+                routed_updates[owner].push((fp, cid));
+            }
+        }
+        for i in 0..s {
+            self.servers[i].charge_net(tx3[i]);
+        }
+        for (i, updates) in routed_updates.into_iter().enumerate() {
+            self.servers[i].queue_updates(updates);
+        }
+        let t3 = self.barrier();
+
+        // ---- Phase 4: PSIU (possibly deferred: asynchronous SIU). ----
+        let (siu_reports, siu_updates) = if run_siu {
+            let results: Vec<(SiuReport, u64)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .servers
+                    .iter_mut()
+                    .map(|srv| scope.spawn(move || srv.run_siu()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("PSIU worker panicked"))
+                    .collect()
+            });
+            let updates: u64 = results.iter().map(|(_, u)| *u).sum();
+            (results.into_iter().map(|(r, _)| r).collect(), updates)
+        } else {
+            (Vec::new(), 0)
+        };
+        let t4 = self.barrier();
+
+        Dedup2Report {
+            round,
+            submitted_fps,
+            dup_registered,
+            dup_pending,
+            new_fps,
+            sil_sweeps,
+            store: store_total,
+            siu_ran: run_siu,
+            siu_reports,
+            siu_updates,
+            exchange_wall: t1 - t0,
+            sil_wall: t2 - t1,
+            store_wall: t3 - t2,
+            siu_wall: t4 - t3,
+        }
+    }
+
+    /// Force PSIU now (register every pending fingerprint). Used before
+    /// restores and at experiment end.
+    pub fn force_siu(&mut self) -> (Vec<SiuReport>, Secs) {
+        let t0 = self.barrier();
+        let results: Vec<(SiuReport, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .servers
+                .iter_mut()
+                .map(|srv| scope.spawn(move || srv.run_siu()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("PSIU worker panicked"))
+                .collect()
+        });
+        let t1 = self.barrier();
+        (results.into_iter().map(|(r, _)| r).collect(), t1 - t0)
+    }
+
+    /// Resolve a fingerprint to its container via the owning index part
+    /// (uncharged; test/verification support).
+    pub fn resolve(&self, fp: &Fingerprint) -> Option<ContainerId> {
+        let owner = fp.server_number(self.cfg.w_bits) as usize;
+        self.servers[owner].index().lookup_uncharged(fp)
+    }
+
+    /// Restore one run: file indices from the director, fingerprints
+    /// resolved via LPC / owner index parts, chunks read from repository
+    /// containers, payloads verified (SHA-1 for real bytes) and streamed to
+    /// the client.
+    pub fn restore_run(&mut self, run: RunId) -> RestoreReport {
+        self.restore_impl(run, None, true)
+    }
+
+    /// Verify one run (the director's third job kind, §3.1): walk the file
+    /// indices and check that every chunk is resolvable, readable and
+    /// hashes back to its fingerprint — without streaming anything to a
+    /// client.
+    pub fn verify_run(&mut self, run: RunId) -> RestoreReport {
+        self.restore_impl(run, None, false)
+    }
+
+    /// Restore a single file of a run by its dataset path.
+    ///
+    /// # Panics
+    /// Panics if the run is unknown.
+    pub fn restore_file(&mut self, run: RunId, path: &str) -> RestoreReport {
+        self.restore_impl(run, Some(path), true)
+    }
+
+    fn restore_impl(&mut self, run: RunId, only_path: Option<&str>, to_client: bool) -> RestoreReport {
+        let record = self.director.metadata.run(run).expect("unknown run").clone();
+        let sid = record.server as usize;
+        let w = self.cfg.w_bits;
+        let start = self.servers[sid].clock.now();
+        let mut report = RestoreReport {
+            run,
+            files: 0,
+            bytes: 0,
+            chunks: 0,
+            lpc_hits: 0,
+            lpc_misses: 0,
+            failures: 0,
+            elapsed: 0.0,
+        };
+        for file in &record.files {
+            if let Some(p) = only_path {
+                if file.path != p {
+                    continue;
+                }
+            }
+            report.files += 1;
+            for fp in &file.fingerprints {
+                report.chunks += 1;
+                let cid = match self.servers[sid].lpc.lookup(fp) {
+                    Some(cid) => {
+                        report.lpc_hits += 1;
+                        cid
+                    }
+                    None => {
+                        report.lpc_misses += 1;
+                        let owner = fp.server_number(w) as usize;
+                        let found = self.lookup_with_owner(sid, owner, fp);
+                        let Some(cid) = found else {
+                            report.failures += 1;
+                            continue;
+                        };
+                        let t = self.repo.read_anywhere(cid);
+                        let container = self.servers[sid].clock.charge(t);
+                        let Some(container) = container else {
+                            report.failures += 1;
+                            continue;
+                        };
+                        let evicted = self.servers[sid]
+                            .lpc
+                            .insert_container(cid, container.fingerprints().collect());
+                        for e in evicted {
+                            self.servers[sid].container_cache.remove(&e);
+                        }
+                        self.servers[sid]
+                            .container_cache
+                            .insert(cid, crate::server::CachedContainer::new(container));
+                        cid
+                    }
+                };
+                let chunk =
+                    self.servers[sid].container_cache.get(&cid).and_then(|c| c.chunk(fp));
+                match chunk {
+                    Some((len, payload)) => {
+                        if !verify_payload(fp, &payload) {
+                            report.failures += 1;
+                            continue;
+                        }
+                        report.bytes += len as u64;
+                        if to_client {
+                            self.servers[sid].charge_net(len as u64);
+                        }
+                    }
+                    None => report.failures += 1,
+                }
+            }
+        }
+        report.elapsed = self.servers[sid].clock.since(start);
+        report
+    }
+
+    /// Random index lookup on `owner`'s part, charged to both the owner's
+    /// disk and the requesting server's (blocking) clock.
+    fn lookup_with_owner(
+        &mut self,
+        sid: usize,
+        owner: usize,
+        fp: &Fingerprint,
+    ) -> Option<ContainerId> {
+        if sid == owner {
+            let t = self.servers[sid].index_mut().lookup_random(fp);
+            return self.servers[sid].clock.charge(t);
+        }
+        // Request/response hop.
+        self.servers[sid].charge_net(64);
+        let t = {
+            let srv = &mut self.servers[owner];
+            let t = srv.index_mut().lookup_random(fp);
+            srv.clock.advance(t.cost);
+            srv.charge_net(64);
+            t
+        };
+        self.servers[sid].clock.advance(t.cost);
+        t.value
+    }
+
+    /// Capacity scaling at cluster level (§4.1): double every server's
+    /// index part in place. Returns the wall-clock cost of the slowest
+    /// server's rebuild.
+    pub fn scale_up_indexes(&mut self) -> Secs {
+        let t0 = self.barrier();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .servers
+                .iter_mut()
+                .map(|srv| scope.spawn(move || srv.scale_up_index()))
+                .collect();
+            for h in handles {
+                h.join().expect("scale-up worker panicked");
+            }
+        });
+        self.cfg.index_part_bytes *= 2;
+        let t1 = self.barrier();
+        t1 - t0
+    }
+
+    /// Performance scaling at cluster level (§4.1/§5.2): double the number
+    /// of backup servers by splitting every index part on one more prefix
+    /// bit. Old server `i` becomes servers `2i` and `2i+1`; existing run
+    /// records are remapped so restores keep working. Requires every server
+    /// to be quiesced (no staged dedup-2 work; call
+    /// [`DebarCluster::force_siu`] first).
+    ///
+    /// Returns the wall-clock cost of the redistribution.
+    pub fn scale_out(&mut self) -> Secs {
+        assert!(
+            self.servers.iter().all(BackupServer::is_quiesced),
+            "scale-out requires quiesced servers (run dedup-2 + force_siu first)"
+        );
+        let t0 = self.barrier();
+        let mut new_cfg = self.cfg;
+        new_cfg.w_bits += 1;
+        new_cfg.index_part_bytes /= 2;
+        new_cfg.validate();
+        let old = std::mem::take(&mut self.servers);
+        for srv in old {
+            let (a, b) = srv.split_for_scale_out(new_cfg);
+            self.servers.push(a);
+            self.servers.push(b);
+        }
+        self.cfg = new_cfg;
+        self.director.metadata.remap_servers(|s| s * 2);
+        self.director.resize_servers(self.servers.len());
+        let t1 = self.barrier();
+        t1 - t0
+    }
+
+    /// Recover a server's disk-index part after loss/corruption by scanning
+    /// the chunk repository (§4.1: "scan the chunk repository to extract
+    /// necessary information from the containers to the reconstructed
+    /// bucket entries ... used to recover a corrupted index").
+    ///
+    /// Charged as a sequential read of every container plus one write sweep
+    /// of the rebuilt part; pending (unregistered) fingerprints survive in
+    /// the server's update queue and re-register at the next SIU.
+    pub fn recover_index(&mut self, server: ServerId) -> Secs {
+        let sid = server as usize;
+        let w = self.cfg.w_bits;
+        self.servers[sid].index_mut().reset_empty();
+        let mut entries: Vec<(Fingerprint, ContainerId)> = Vec::new();
+        let mut scan_cost = 0.0;
+        for cid in self.repo.container_ids() {
+            let t = self.repo.read_anywhere(cid);
+            scan_cost += t.cost;
+            let container = t.value.expect("listed container exists");
+            for meta in container.metas() {
+                if meta.fp.server_number(w) == server as u64 {
+                    entries.push((meta.fp, cid));
+                }
+            }
+        }
+        let t = self.servers[sid].index_mut().bulk_load(entries);
+        self.servers[sid].clock.advance(scan_cost + t.cost);
+        scan_cost + t.cost
+    }
+
+    /// Pre-load ballast fingerprints into the index parts (experiment
+    /// setup: "the system already stores X TB"). No virtual time is
+    /// charged; fingerprints must be distinct and absent.
+    pub fn preload_index(
+        &mut self,
+        entries: impl IntoIterator<Item = (Fingerprint, ContainerId)>,
+    ) {
+        let w = self.cfg.w_bits;
+        let mut per_server: Vec<Vec<(Fingerprint, ContainerId)>> =
+            vec![Vec::new(); self.servers.len()];
+        for (fp, cid) in entries {
+            per_server[fp.server_number(w) as usize].push((fp, cid));
+        }
+        for (srv, batch) in self.servers.iter_mut().zip(per_server) {
+            srv.index_mut().bulk_load(batch);
+        }
+    }
+
+    /// Total index entries across parts.
+    pub fn index_entries(&self) -> u64 {
+        self.servers.iter().map(|s| s.index().entry_count()).sum()
+    }
+
+    /// Mean index utilization across parts.
+    pub fn index_utilization(&self) -> f64 {
+        let sum: f64 = self.servers.iter().map(|s| s.index().utilization()).sum();
+        sum / self.servers.len() as f64
+    }
+}
+
+/// Verify a restored payload against its fingerprint: real bytes must hash
+/// back to the fingerprint; synthetic zero payloads are length-checked
+/// (their fingerprints are counter-derived, §6.2).
+fn verify_payload(fp: &Fingerprint, payload: &Payload) -> bool {
+    match payload {
+        Payload::Real(bytes) => &Fingerprint(Sha1::digest(bytes)) == fp,
+        Payload::Zero(len) => *len > 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use debar_workload::ChunkRecord;
+
+    fn records(range: std::ops::Range<u64>) -> Vec<ChunkRecord> {
+        range.map(ChunkRecord::of_counter).collect()
+    }
+
+    fn cluster(w: u32) -> DebarCluster {
+        DebarCluster::new(DebarConfig::tiny_test(w))
+    }
+
+    #[test]
+    fn single_server_backup_dedup2_roundtrip() {
+        let mut c = cluster(0);
+        let job = c.define_job("j", ClientId(0));
+        let rep1 = c.backup(job, &Dataset::from_records("s", records(0..2000)));
+        assert_eq!(rep1.logical_chunks, 2000);
+        assert_eq!(rep1.transferred_chunks, 2000, "fresh data all transfers");
+        let rep2 = c.run_dedup2();
+        assert_eq!(rep2.submitted_fps, 2000);
+        assert_eq!(rep2.new_fps, 2000);
+        assert_eq!(rep2.store.stored_chunks, 2000);
+        assert!(rep2.siu_ran, "siu_interval=1 runs synchronously");
+        assert_eq!(c.index_entries(), 2000);
+    }
+
+    #[test]
+    fn duplicate_backup_stores_nothing_new() {
+        let mut c = cluster(0);
+        let job = c.define_job("j", ClientId(0));
+        c.backup(job, &Dataset::from_records("s", records(0..1500)));
+        c.run_dedup2();
+        // Same data again: the preliminary filter (primed from the job
+        // chain) should eliminate everything before the network.
+        let rep = c.backup(job, &Dataset::from_records("s", records(0..1500)));
+        assert_eq!(rep.filtered_dups, 1500);
+        assert_eq!(rep.transferred_chunks, 0);
+        let d2 = c.run_dedup2();
+        assert_eq!(d2.store.stored_chunks, 0);
+        assert_eq!(c.index_entries(), 1500);
+    }
+
+    #[test]
+    fn dedup2_finds_cross_job_duplicates() {
+        let mut c = cluster(0);
+        let a = c.define_job("a", ClientId(0));
+        let b = c.define_job("b", ClientId(1));
+        c.backup(a, &Dataset::from_records("s", records(0..1000)));
+        c.run_dedup2();
+        // Job b's data half-overlaps job a's: the filter can't see it
+        // (different chain), SIL must.
+        c.backup(b, &Dataset::from_records("s", records(500..1500)));
+        let d2 = c.run_dedup2();
+        assert_eq!(d2.submitted_fps, 1000);
+        assert_eq!(d2.dup_registered, 500);
+        assert_eq!(d2.new_fps, 500);
+        assert_eq!(d2.store.stored_chunks, 500);
+        assert_eq!(d2.store.discarded, 500);
+        assert_eq!(c.index_entries(), 1500);
+    }
+
+    #[test]
+    fn multi_server_routes_by_prefix_and_dedups_cross_stream() {
+        let mut c = cluster(2); // 4 servers
+        let jobs: Vec<JobId> =
+            (0..4).map(|i| c.define_job(format!("j{i}"), ClientId(i))).collect();
+        // All four jobs share half their data (cross-stream duplicates).
+        for (i, &job) in jobs.iter().enumerate() {
+            let mut recs = records(0..800); // shared half
+            recs.extend(records(10_000 * (i as u64 + 1)..10_000 * (i as u64 + 1) + 800));
+            c.backup(job, &Dataset::from_records("s", recs));
+        }
+        let d2 = c.run_dedup2();
+        assert_eq!(d2.submitted_fps, 4 * 1600);
+        // Shared 800 fingerprints: stored once each; 4×800 unique.
+        assert_eq!(d2.store.stored_chunks as usize, 800 + 4 * 800);
+        assert_eq!(c.index_entries() as usize, 800 + 4 * 800);
+        // Every fingerprint resolvable at its owning part.
+        for r in records(0..800) {
+            assert!(c.resolve(&r.fp).is_some());
+        }
+    }
+
+    #[test]
+    fn async_siu_checking_file_prevents_double_store() {
+        let mut c = DebarCluster::new(DebarConfig {
+            siu_interval: 2, // SIU deferred on odd rounds
+            ..DebarConfig::tiny_test(0)
+        });
+        let a = c.define_job("a", ClientId(0));
+        let b = c.define_job("b", ClientId(1));
+        c.backup(a, &Dataset::from_records("s", records(0..1000)));
+        let d1 = c.run_dedup2();
+        assert!(!d1.siu_ran, "round 1 defers SIU");
+        assert_eq!(d1.store.stored_chunks, 1000);
+        // Same content under another job, before SIU has registered it: the
+        // checking file must suppress re-storing.
+        c.backup(b, &Dataset::from_records("s", records(0..1000)));
+        let d2 = c.run_dedup2();
+        assert!(d2.siu_ran, "round 2 runs SIU");
+        assert_eq!(d2.dup_pending, 1000, "pending duplicates detected");
+        assert_eq!(d2.store.stored_chunks, 0, "no double storage");
+        assert_eq!(c.index_entries(), 1000);
+    }
+
+    #[test]
+    fn restore_verifies_synthetic_stream() {
+        let mut c = cluster(1);
+        let job = c.define_job("j", ClientId(0));
+        let recs = records(0..3000);
+        c.backup(job, &Dataset::from_records("s", recs.clone()));
+        c.run_dedup2();
+        let run = RunId { job, version: 0 };
+        let rep = c.restore_run(run);
+        assert_eq!(rep.chunks, 3000);
+        assert_eq!(rep.failures, 0);
+        let expect: u64 = recs.iter().map(|r| r.len as u64).sum();
+        assert_eq!(rep.bytes, expect);
+        // SISL + LPC: one miss per container, everything else hits.
+        assert!(rep.lpc_hit_ratio() > 0.9, "hit ratio {}", rep.lpc_hit_ratio());
+    }
+
+    #[test]
+    fn restore_real_bytes_end_to_end() {
+        use debar_workload::files::{FileTreeConfig, FileTreeGen};
+        let mut c = cluster(0);
+        let job = c.define_job("files", ClientId(0));
+        let tree = FileTreeGen::new(FileTreeConfig::default()).initial();
+        let ds = Dataset::from_file_specs(&tree);
+        let logical = ds.logical_bytes();
+        c.backup(job, &ds);
+        c.run_dedup2();
+        let rep = c.restore_run(RunId { job, version: 0 });
+        assert_eq!(rep.failures, 0, "all real chunks must verify by SHA-1");
+        assert_eq!(rep.bytes, logical);
+    }
+
+    #[test]
+    fn phase_walls_are_positive_and_reported() {
+        let mut c = cluster(1);
+        let job = c.define_job("j", ClientId(0));
+        c.backup(job, &Dataset::from_records("s", records(0..2000)));
+        let d2 = c.run_dedup2();
+        assert!(d2.sil_wall > 0.0);
+        assert!(d2.store_wall > 0.0);
+        assert!(d2.siu_wall > 0.0);
+        assert!(d2.total_wall() >= d2.sil_wall + d2.store_wall);
+        assert!(d2.psil_fps_per_s() > 0.0);
+    }
+
+    #[test]
+    fn resubmitted_fingerprints_across_sil_subbatches_still_store() {
+        // Regression: when the same fingerprint is submitted twice by one
+        // origin (two jobs on one server) and the copies straddle two SIL
+        // sub-batches, the second adjudication is a checking-file Skip that
+        // must not overwrite the first sub-batch's binding Store verdict.
+        let mut cfg = DebarConfig::tiny_test(0);
+        cfg.cache_bytes = 24 * 100; // 100-fingerprint sub-batches
+        let mut c = DebarCluster::new(cfg);
+        let a = c.define_job("a", ClientId(0));
+        let b = c.define_job("b", ClientId(1));
+        let recs = records(0..500);
+        // Two different jobs, same content: the per-run filters can't see
+        // each other, so the server's undetermined set holds every
+        // fingerprint twice, ~500 positions apart.
+        c.backup(a, &Dataset::from_records("s", recs.clone()));
+        c.backup(b, &Dataset::from_records("s", recs.clone()));
+        let d2 = c.run_dedup2();
+        assert!(d2.sil_sweeps > 1, "test needs multiple sub-batches");
+        assert_eq!(d2.store.stored_chunks, 500, "every unique chunk stored once");
+        c.force_siu();
+        for r in &recs {
+            assert!(c.resolve(&r.fp).is_some(), "fingerprint lost: {:?}", r.fp);
+        }
+        let rep = c.restore_run(RunId { job: a, version: 0 });
+        assert_eq!(rep.failures, 0);
+    }
+
+    #[test]
+    fn scale_out_preserves_data_and_routing() {
+        let mut c = cluster(0);
+        let job = c.define_job("j", ClientId(0));
+        let recs = records(0..2000);
+        c.backup(job, &Dataset::from_records("s", recs.clone()));
+        c.run_dedup2();
+        c.force_siu();
+        assert_eq!(c.server_count(), 1);
+        let cost = c.scale_out();
+        assert!(cost > 0.0);
+        assert_eq!(c.server_count(), 2);
+        assert_eq!(c.index_entries(), 2000, "entries preserved across split");
+        for r in &recs {
+            assert!(c.resolve(&r.fp).is_some(), "fingerprint lost in scale-out");
+        }
+        // Restores still route correctly after server renumbering.
+        let rep = c.restore_run(RunId { job, version: 0 });
+        assert_eq!(rep.failures, 0);
+        // New backups de-duplicate against pre-scaling content.
+        c.backup(job, &Dataset::from_records("s", recs));
+        let d2 = c.run_dedup2();
+        assert_eq!(d2.store.stored_chunks, 0);
+        // And the cluster can scale out again.
+        c.force_siu();
+        c.scale_out();
+        assert_eq!(c.server_count(), 4);
+        assert_eq!(c.index_entries(), 2000);
+    }
+
+    #[test]
+    fn verify_run_checks_without_network_and_file_restore_selects() {
+        let mut c = cluster(0);
+        let job = c.define_job("j", ClientId(0));
+        // Two files in one dataset.
+        let ds = Dataset {
+            files: vec![
+                crate::dataset::FileEntry {
+                    path: "a.bin".into(),
+                    content: crate::dataset::FileContent::Records(records(0..700)),
+                },
+                crate::dataset::FileEntry {
+                    path: "b.bin".into(),
+                    content: crate::dataset::FileContent::Records(records(700..1000)),
+                },
+            ],
+        };
+        c.backup(job, &ds);
+        c.run_dedup2();
+        let run = RunId { job, version: 0 };
+        let v = c.verify_run(run);
+        assert_eq!(v.failures, 0);
+        assert_eq!(v.chunks, 1000);
+        let f = c.restore_file(run, "b.bin");
+        assert_eq!(f.failures, 0);
+        assert_eq!(f.files, 1);
+        assert_eq!(f.chunks, 300);
+        let expect: u64 = records(700..1000).iter().map(|r| r.len as u64).sum();
+        assert_eq!(f.bytes, expect);
+        // Verify charges no client-bound network for payloads: it must be
+        // cheaper than the real restore of the same run.
+        let t0 = c.now();
+        c.verify_run(run);
+        let verify_cost = c.now() - t0;
+        let t0 = c.now();
+        c.restore_run(run);
+        let restore_cost = c.now() - t0;
+        assert!(verify_cost < restore_cost, "{verify_cost} !< {restore_cost}");
+    }
+
+    #[test]
+    fn index_recovery_from_repository_scan() {
+        let mut c = cluster(1);
+        let job = c.define_job("j", ClientId(0));
+        let recs = records(0..2500);
+        c.backup(job, &Dataset::from_records("s", recs.clone()));
+        c.run_dedup2();
+        c.force_siu();
+        // Corrupt server 1's index part.
+        let before = c.index_entries();
+        c.servers[1].index_mut().reset_empty();
+        assert!(c.index_entries() < before);
+        let lost = recs.iter().filter(|r| c.resolve(&r.fp).is_none()).count();
+        assert!(lost > 0, "corruption should lose entries");
+        // Rebuild from the chunk repository.
+        let cost = c.recover_index(1);
+        assert!(cost > 0.0);
+        assert_eq!(c.index_entries(), before);
+        for r in &recs {
+            assert!(c.resolve(&r.fp).is_some(), "not recovered: {:?}", r.fp);
+        }
+        let rep = c.restore_run(RunId { job, version: 0 });
+        assert_eq!(rep.failures, 0);
+    }
+
+    #[test]
+    fn daily_scheduler_fires_matching_jobs() {
+        use crate::job::{JobSpec, Schedule};
+        let mut c = cluster(0);
+        let night = c.director.define_job(JobSpec {
+            name: "nightly".into(),
+            client: ClientId(0),
+            schedule: Schedule::Daily { hour: 1, minute: 5 },
+        });
+        let manual = c.define_job("manual", ClientId(1));
+        assert_eq!(c.director.due_jobs(1, 5), vec![night]);
+        assert!(c.director.due_jobs(2, 5).is_empty());
+        let _ = manual;
+    }
+
+    #[test]
+    fn repeated_scale_out_routes_by_successive_prefix_bits() {
+        // Regression: the second scale-out must split each part on the bit
+        // *after* the already-consumed routing prefix. A naive first-bit
+        // split sends every entry of part 1 into one child and leaves the
+        // sibling empty, orphaning half the fingerprint space.
+        let mut c = cluster(0);
+        let job = c.define_job("j", ClientId(0));
+        let recs = records(0..3000);
+        c.backup(job, &Dataset::from_records("s", recs.clone()));
+        c.run_dedup2();
+        c.force_siu();
+        c.scale_out(); // 1 -> 2 (split on bit 0)
+        // New content after the first split, then split again.
+        c.backup(job, &Dataset::from_records("s", records(3000..5000)));
+        c.run_dedup2();
+        c.force_siu();
+        c.scale_out(); // 2 -> 4 (split on bit 1)
+        assert_eq!(c.server_count(), 4);
+        for r in recs.iter().chain(records(3000..5000).iter()) {
+            assert!(c.resolve(&r.fp).is_some(), "orphaned after double split: {:?}", r.fp);
+        }
+        // Parts must all hold a fair share (no empty siblings).
+        for s in 0..4u16 {
+            let n = c.server(s).index().entry_count();
+            assert!(n > 500, "server {s} holds only {n} entries");
+        }
+        let rep = c.restore_run(RunId { job, version: 0 });
+        assert_eq!(rep.failures, 0);
+    }
+
+    #[test]
+    fn scale_up_indexes_preserves_entries_and_halves_utilization() {
+        let mut c = cluster(1);
+        let job = c.define_job("j", ClientId(0));
+        c.backup(job, &Dataset::from_records("s", records(0..2000)));
+        c.run_dedup2();
+        let u_before = c.index_utilization();
+        let cost = c.scale_up_indexes();
+        assert!(cost > 0.0);
+        assert_eq!(c.index_entries(), 2000);
+        assert!((c.index_utilization() - u_before / 2.0).abs() < 1e-9);
+        for r in records(0..2000) {
+            assert!(c.resolve(&r.fp).is_some());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut c = cluster(2);
+            let job = c.define_job("j", ClientId(0));
+            c.backup(job, &Dataset::from_records("s", records(0..2500)));
+            let d = c.run_dedup2();
+            (d.store.stored_chunks, d.total_wall(), c.now(), c.index_entries())
+        };
+        assert_eq!(run(), run());
+    }
+}

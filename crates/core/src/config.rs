@@ -1,0 +1,164 @@
+//! Cluster configuration.
+
+use debar_index::IndexParams;
+use debar_simio::ScaleModel;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a DEBAR deployment.
+///
+/// Sizes are *actual* in-memory sizes; use the `*_scaled` constructors to
+/// derive them from the paper's nominal sizes via a [`ScaleModel`]
+/// denominator (see DESIGN.md).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DebarConfig {
+    /// `2^w_bits` backup servers; the first `w` fingerprint bits route to a
+    /// server's index part (paper §5.2).
+    pub w_bits: u32,
+    /// Disk-index part size per server, in bytes.
+    pub index_part_bytes: u64,
+    /// Disk-index bucket size (the paper selects 8 KB; small test
+    /// geometries use 512 B).
+    pub bucket_bytes: usize,
+    /// In-memory index-cache budget per server for SIL/SIU, in bytes
+    /// (≈24 bytes/fingerprint).
+    pub cache_bytes: u64,
+    /// Preliminary-filter budget per backup job, in bytes.
+    pub filter_bytes: u64,
+    /// LPC read-cache capacity, in containers.
+    pub lpc_containers: usize,
+    /// Container size in bytes.
+    pub container_bytes: u64,
+    /// Chunk-repository storage nodes.
+    pub repo_nodes: usize,
+    /// Run PSIU once every `siu_interval` dedup-2 rounds (asynchronous SIU,
+    /// §5.4: "one PSIU servicing more than one PSIL"). `1` = synchronous.
+    pub siu_interval: u32,
+    /// Director policy: trigger dedup-2 once any server's undetermined
+    /// fingerprints reach this count (0 disables the automatic trigger).
+    pub dedup2_trigger_fps: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl DebarConfig {
+    /// The paper's single-server deployment (32 GB index, 1 GB index cache,
+    /// 1 GB preliminary filter, 8 KB buckets, 8 MB containers), scaled down
+    /// by `denom`.
+    pub fn single_server_scaled(denom: u64) -> Self {
+        let scale = ScaleModel::new(denom);
+        DebarConfig {
+            w_bits: 0,
+            index_part_bytes: scale.to_actual(32 << 30),
+            bucket_bytes: 8 * 1024,
+            cache_bytes: scale.to_actual(1 << 30),
+            filter_bytes: scale.to_actual(1 << 30),
+            lpc_containers: 16,
+            container_bytes: 8 << 20,
+            repo_nodes: 2,
+            siu_interval: 3,
+            dedup2_trigger_fps: 0,
+            seed: 0xDEBA_0001,
+        }
+    }
+
+    /// A multi-server deployment: `2^w_bits` servers each holding an index
+    /// part of nominal size `index_part_nominal` (scaled by `denom`), with
+    /// the paper's per-server 1 GB cache and one repository node per server.
+    pub fn cluster_scaled(w_bits: u32, index_part_nominal: u64, denom: u64) -> Self {
+        let scale = ScaleModel::new(denom);
+        DebarConfig {
+            w_bits,
+            index_part_bytes: scale.to_actual(index_part_nominal),
+            bucket_bytes: 8 * 1024,
+            cache_bytes: scale.to_actual(1 << 30),
+            filter_bytes: scale.to_actual(1 << 30),
+            lpc_containers: 16,
+            container_bytes: 8 << 20,
+            repo_nodes: (1usize << w_bits).max(2),
+            siu_interval: 2,
+            dedup2_trigger_fps: 0,
+            seed: 0xDEBA_0002,
+        }
+    }
+
+    /// A tiny geometry for unit tests: 2 KB-bucket index parts, small
+    /// caches, 1 MB containers.
+    pub fn tiny_test(w_bits: u32) -> Self {
+        DebarConfig {
+            w_bits,
+            index_part_bytes: 256 * 512,
+            bucket_bytes: 512,
+            cache_bytes: 24 * 10_000,
+            filter_bytes: 28 * 10_000,
+            lpc_containers: 8,
+            container_bytes: 1 << 20,
+            repo_nodes: 2,
+            siu_interval: 1,
+            dedup2_trigger_fps: 0,
+            seed: 0xDEBA_7E57,
+        }
+    }
+
+    /// Number of backup servers, `2^w_bits`.
+    pub fn servers(&self) -> usize {
+        1usize << self.w_bits
+    }
+
+    /// Index-cache capacity in fingerprints.
+    pub fn cache_fps(&self) -> usize {
+        (self.cache_bytes / debar_simio::models::paper::CACHE_BYTES_PER_FP).max(1) as usize
+    }
+
+    /// Geometry of one server's index part.
+    pub fn index_part_params(&self) -> IndexParams {
+        IndexParams::from_total_size(self.index_part_bytes, self.bucket_bytes)
+    }
+
+    /// Global bucket-number width: `w` server bits + per-part bucket bits.
+    pub fn global_n_bits(&self) -> u32 {
+        self.w_bits + self.index_part_params().n_bits
+    }
+
+    /// Validate invariants.
+    ///
+    /// # Panics
+    /// Panics on inconsistent geometry.
+    pub fn validate(&self) {
+        assert!(self.w_bits <= 8, "at most 256 servers");
+        let _ = self.index_part_params();
+        assert!(self.cache_fps() >= 1);
+        assert!(self.container_bytes > 0);
+        assert!(self.repo_nodes > 0);
+        assert!(self.siu_interval >= 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_single_server_geometry() {
+        let cfg = DebarConfig::single_server_scaled(1024);
+        cfg.validate();
+        assert_eq!(cfg.servers(), 1);
+        // 32 GB / 1024 = 32 MB of 8 KB buckets = 2^12 buckets.
+        assert_eq!(cfg.index_part_params().n_bits, 12);
+        assert_eq!(cfg.index_part_params().bucket_capacity(), 320);
+        // 1 GB/1024 cache ≈ 43k fingerprints.
+        assert!((40_000..46_000).contains(&cfg.cache_fps()));
+    }
+
+    #[test]
+    fn cluster_geometry_routing_bits() {
+        let cfg = DebarConfig::cluster_scaled(4, 32 << 30, 1024);
+        cfg.validate();
+        assert_eq!(cfg.servers(), 16);
+        assert_eq!(cfg.global_n_bits(), 4 + 12);
+    }
+
+    #[test]
+    fn tiny_test_valid() {
+        DebarConfig::tiny_test(2).validate();
+    }
+}

@@ -1,0 +1,42 @@
+//! # debar-core
+//!
+//! The DEBAR system proper (paper §2-§5): a scalable de-duplication backup
+//! architecture built from
+//!
+//! * a **director** ([`director`]) — job objects, scheduling, load
+//!   balancing and metadata management (§3.1);
+//! * **backup clients** ([`client`]) — CDC anchoring + SHA-1 chunk
+//!   fingerprinting of datasets (§3.2);
+//! * **backup servers** ([`server`]) — the File Store (de-duplication
+//!   phase I: preliminary filtering + chunk log) and the Chunk Store
+//!   (phase II: SIL, chunk storing, SIU) (§3.3, §5);
+//! * the **chunk repository** (from `debar-store`) — the global container
+//!   pool (§3.4);
+//! * the **cluster** ([`cluster`]) — the two-phase de-duplication scheme
+//!   (TPDS) orchestrated across `2^w` backup servers with parallel
+//!   sequential index lookups/updates (PSIL/PSIU, §5.2/§5.4) on real OS
+//!   threads in bulk-synchronous phases, plus the restore path with LPC.
+//!
+//! [`system::DebarSystem`] is the single-facade entry point used by the
+//! examples: define jobs, back up datasets, run dedup-2, restore and
+//! verify.
+
+pub mod chunklog;
+pub mod client;
+pub mod cluster;
+pub mod config;
+pub mod dataset;
+pub mod director;
+pub mod ids;
+pub mod job;
+pub mod metadata;
+pub mod report;
+pub mod server;
+pub mod system;
+
+pub use cluster::DebarCluster;
+pub use config::DebarConfig;
+pub use dataset::{ChunkedFile, Dataset, FileContent, FileEntry, StreamChunk};
+pub use ids::{ClientId, JobId, RunId, ServerId};
+pub use report::{Dedup1Report, Dedup2Report, RestoreReport};
+pub use system::DebarSystem;

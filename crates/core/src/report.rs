@@ -1,0 +1,230 @@
+//! Reports produced by backups, dedup-2 rounds and restores.
+
+use crate::ids::{RunId, ServerId};
+use debar_index::SiuReport;
+use debar_simio::throughput::mibps;
+use debar_simio::Secs;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one de-duplication phase-I backup (§3.3 File Store).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Dedup1Report {
+    /// The run this report describes.
+    pub run: RunId,
+    /// The server that executed it.
+    pub server: ServerId,
+    /// Logical bytes in the backup stream.
+    pub logical_bytes: u64,
+    /// Logical chunks in the stream.
+    pub logical_chunks: u64,
+    /// Bytes actually transferred (preliminary-filter survivors).
+    pub transferred_bytes: u64,
+    /// Chunks actually transferred and appended to the chunk log.
+    pub transferred_chunks: u64,
+    /// Chunks the preliminary filter eliminated.
+    pub filtered_dups: u64,
+    /// Undetermined fingerprints added for dedup-2.
+    pub undetermined_added: u64,
+    /// Virtual seconds of server time consumed.
+    pub elapsed: Secs,
+}
+
+impl Dedup1Report {
+    /// Dedup-1 throughput: logical bytes over elapsed server time.
+    pub fn throughput_mibps(&self) -> f64 {
+        mibps(self.logical_bytes, self.elapsed)
+    }
+
+    /// Phase-I compression: logical over transferred bytes.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.transferred_bytes == 0 {
+            f64::INFINITY
+        } else {
+            self.logical_bytes as f64 / self.transferred_bytes as f64
+        }
+    }
+}
+
+/// Per-server chunk-storing outcome within dedup-2 (§5.3).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct StoreReport {
+    /// Log records processed.
+    pub log_records: u64,
+    /// Log bytes drained.
+    pub log_bytes: u64,
+    /// Chunks written to containers.
+    pub stored_chunks: u64,
+    /// Bytes written to containers.
+    pub stored_bytes: u64,
+    /// Log records discarded as duplicates.
+    pub discarded: u64,
+    /// Containers sealed and stored.
+    pub containers: u64,
+}
+
+/// Outcome of one dedup-2 round (§5.2-§5.4).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dedup2Report {
+    /// Round number (1-based).
+    pub round: u32,
+    /// Undetermined fingerprints submitted across servers.
+    pub submitted_fps: u64,
+    /// Fingerprints found registered in the disk index (duplicates).
+    pub dup_registered: u64,
+    /// Fingerprints found pending (scheduled by an earlier SIL, awaiting
+    /// SIU) or claimed by another origin in the same round.
+    pub dup_pending: u64,
+    /// Fingerprints determined new and assigned a storer.
+    pub new_fps: u64,
+    /// SIL sweeps performed (cache-capacity sub-batches summed over
+    /// servers).
+    pub sil_sweeps: u32,
+    /// Aggregate chunk-storing outcome.
+    pub store: StoreReport,
+    /// Whether PSIU ran this round.
+    pub siu_ran: bool,
+    /// Per-server SIU reports when it ran.
+    pub siu_reports: Vec<SiuReport>,
+    /// Fingerprints registered by PSIU this round.
+    pub siu_updates: u64,
+    /// Wall time of the undetermined-exchange phase.
+    pub exchange_wall: Secs,
+    /// Wall time of the PSIL phase.
+    pub sil_wall: Secs,
+    /// Wall time of the chunk-storing phase.
+    pub store_wall: Secs,
+    /// Wall time of the PSIU phase (zero when deferred).
+    pub siu_wall: Secs,
+}
+
+impl Dedup2Report {
+    /// Total wall time of the round.
+    pub fn total_wall(&self) -> Secs {
+        self.exchange_wall + self.sil_wall + self.store_wall + self.siu_wall
+    }
+
+    /// PSIL speed in fingerprints/second.
+    pub fn psil_fps_per_s(&self) -> f64 {
+        if self.sil_wall <= 0.0 {
+            0.0
+        } else {
+            self.submitted_fps as f64 / self.sil_wall
+        }
+    }
+
+    /// PSIU speed in fingerprints/second (0 when SIU deferred).
+    pub fn psiu_fps_per_s(&self) -> f64 {
+        if self.siu_wall <= 0.0 {
+            0.0
+        } else {
+            self.siu_updates as f64 / self.siu_wall
+        }
+    }
+
+    /// Dedup-2 throughput over the drained log bytes.
+    pub fn throughput_mibps(&self) -> f64 {
+        mibps(self.store.log_bytes, self.total_wall())
+    }
+
+    /// Phase-II compression: log bytes over stored bytes.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.store.stored_bytes == 0 {
+            f64::INFINITY
+        } else {
+            self.store.log_bytes as f64 / self.store.stored_bytes as f64
+        }
+    }
+}
+
+/// Outcome of restoring one run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RestoreReport {
+    /// The run restored.
+    pub run: RunId,
+    /// Files restored.
+    pub files: u64,
+    /// Bytes restored.
+    pub bytes: u64,
+    /// Chunks restored.
+    pub chunks: u64,
+    /// LPC hits during the restore.
+    pub lpc_hits: u64,
+    /// LPC misses (container fetches).
+    pub lpc_misses: u64,
+    /// Chunks whose payload failed verification or could not be found.
+    pub failures: u64,
+    /// Virtual seconds consumed.
+    pub elapsed: Secs,
+}
+
+impl RestoreReport {
+    /// Restore throughput in MiB/s.
+    pub fn throughput_mibps(&self) -> f64 {
+        mibps(self.bytes, self.elapsed)
+    }
+
+    /// LPC hit ratio during the restore.
+    pub fn lpc_hit_ratio(&self) -> f64 {
+        let total = self.lpc_hits + self.lpc_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.lpc_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::JobId;
+
+    #[test]
+    fn dedup1_derived_metrics() {
+        let r = Dedup1Report {
+            run: RunId { job: JobId(0), version: 0 },
+            server: 0,
+            logical_bytes: 4 << 20,
+            logical_chunks: 512,
+            transferred_bytes: 1 << 20,
+            transferred_chunks: 128,
+            filtered_dups: 384,
+            undetermined_added: 128,
+            elapsed: 2.0,
+        };
+        assert_eq!(r.throughput_mibps(), 2.0);
+        assert_eq!(r.compression_ratio(), 4.0);
+    }
+
+    #[test]
+    fn dedup2_derived_metrics() {
+        let r = Dedup2Report {
+            round: 1,
+            submitted_fps: 1000,
+            dup_registered: 400,
+            dup_pending: 100,
+            new_fps: 500,
+            sil_sweeps: 1,
+            store: StoreReport {
+                log_records: 1000,
+                log_bytes: 8 << 20,
+                stored_chunks: 500,
+                stored_bytes: 4 << 20,
+                discarded: 500,
+                containers: 1,
+            },
+            siu_ran: true,
+            siu_reports: Vec::new(),
+            siu_updates: 500,
+            exchange_wall: 0.5,
+            sil_wall: 1.0,
+            store_wall: 2.0,
+            siu_wall: 0.5,
+        };
+        assert_eq!(r.total_wall(), 4.0);
+        assert_eq!(r.psil_fps_per_s(), 1000.0);
+        assert_eq!(r.psiu_fps_per_s(), 1000.0);
+        assert_eq!(r.compression_ratio(), 2.0);
+        assert_eq!(r.throughput_mibps(), 2.0);
+    }
+}

@@ -1,0 +1,484 @@
+//! The backup server (paper §3.3): File Store (dedup-1) + Chunk Store
+//! (dedup-2 pieces).
+//!
+//! Dedup-1 ([`BackupServer::run_backup`]): receive a client stream, build
+//! file indices, filter duplicates with the preliminary filter primed from
+//! the job chain, append survivors to the on-disk chunk log and accumulate
+//! their fingerprints as *undetermined*.
+//!
+//! Dedup-2 pieces (driven bulk-synchronously by
+//! [`crate::cluster::DebarCluster`]):
+//! [`BackupServer::sil_on_part`] (SIL over this server's index part with
+//! checking-fingerprint-file semantics for asynchronous SIU, §5.4),
+//! [`BackupServer::store_chunks`] (drain the log, write new chunks to
+//! containers per the SIL verdicts, §5.3) and [`BackupServer::run_siu`]
+//! (merge the unregistered fingerprints into the index part).
+
+use crate::chunklog::{ChunkLog, LogRecord};
+use crate::config::DebarConfig;
+use crate::dataset::ChunkedFile;
+use crate::ids::{ClientId, RunId, ServerId};
+use crate::metadata::{FileIndexEntry, RunRecord};
+use crate::report::{Dedup1Report, StoreReport};
+use debar_filter::{FilterVerdict, PrelimFilter};
+use debar_hash::{ContainerId, Fingerprint};
+use debar_index::{DiskIndex, IndexCache, SiuReport};
+use debar_simio::models::paper;
+use debar_simio::{Secs, SimCpu, SimLink, VirtualClock};
+use debar_store::{ChunkRepository, Container, ContainerManager, LpcCache};
+use std::collections::{HashMap, HashSet};
+
+/// Per-origin storage decision for a fingerprint this origin submitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// This origin is the designated storer: write the chunk.
+    Store,
+    /// Skip the chunk (registered duplicate, pending duplicate, or another
+    /// origin stores it).
+    Skip,
+}
+
+/// Statistics of one server's SIL pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SilPartStats {
+    /// Fingerprints looked up on this part.
+    pub submitted: u64,
+    /// Found registered in the index.
+    pub dup_registered: u64,
+    /// Suppressed by the checking file (pending SIU) or claimed by a
+    /// lower origin in the same round.
+    pub dup_pending: u64,
+    /// Determined new (a storer was designated).
+    pub new_fps: u64,
+    /// Cache-capacity sub-batches swept.
+    pub sweeps: u32,
+}
+
+/// Output of one server's SIL pass: per-origin verdicts plus statistics.
+pub struct SilPartOutput {
+    /// `verdicts[origin]` = decisions for the fingerprints `origin`
+    /// submitted to this part.
+    pub verdicts: Vec<Vec<(Fingerprint, Decision)>>,
+    /// Pass statistics.
+    pub stats: SilPartStats,
+}
+
+/// A DEBAR backup server.
+pub struct BackupServer {
+    /// This server's ID (also its index-part number).
+    pub id: ServerId,
+    /// The server's virtual clock.
+    pub clock: VirtualClock,
+    cfg: DebarConfig,
+    nic: SimLink,
+    cpu: SimCpu,
+    chunk_log: ChunkLog,
+    undetermined: Vec<Fingerprint>,
+    index: DiskIndex,
+    /// The checking fingerprint file (§5.4): fingerprints scheduled for
+    /// storage whose index registration (SIU) is still pending.
+    checking: HashSet<Fingerprint>,
+    /// The unregistered fingerprint file: fp → container mappings awaiting
+    /// SIU on this part.
+    pending_updates: Vec<(Fingerprint, ContainerId)>,
+    /// LPC read cache (fingerprint side).
+    pub(crate) lpc: LpcCache,
+    /// Payload side of the LPC: resident containers for chunk extraction.
+    pub(crate) container_cache: HashMap<ContainerId, CachedContainer>,
+}
+
+/// A container resident in the restore cache, with an O(1) chunk map.
+pub(crate) struct CachedContainer {
+    pub(crate) container: Container,
+    by_fp: HashMap<Fingerprint, usize>,
+}
+
+impl CachedContainer {
+    pub(crate) fn new(container: Container) -> Self {
+        let by_fp = container.build_lookup();
+        CachedContainer { container, by_fp }
+    }
+
+    /// Chunk length and payload for a fingerprint, if present.
+    pub(crate) fn chunk(&self, fp: &Fingerprint) -> Option<(u32, debar_store::Payload)> {
+        self.by_fp.get(fp).map(|&i| {
+            let (meta, payload) = self.container.slot(i);
+            (meta.len, payload.clone())
+        })
+    }
+}
+
+impl BackupServer {
+    /// Create server `id` of a deployment described by `cfg`.
+    pub fn new(id: ServerId, cfg: DebarConfig) -> Self {
+        let params = cfg.index_part_params();
+        BackupServer {
+            id,
+            clock: VirtualClock::new(),
+            nic: SimLink::new(paper::server_nic()),
+            cpu: SimCpu::new(paper::cpu()),
+            chunk_log: ChunkLog::new(),
+            undetermined: Vec::new(),
+            // This server owns index part `id`: the first w fingerprint
+            // bits route to it, the *next* n bits are its bucket number
+            // (§5.2).
+            index: DiskIndex::with_prefix(
+                params,
+                cfg.w_bits,
+                paper::index_disk(),
+                cfg.seed ^ (0x5e4 + id as u64),
+            ),
+            checking: HashSet::new(),
+            pending_updates: Vec::new(),
+            lpc: LpcCache::new(cfg.lpc_containers),
+            container_cache: HashMap::new(),
+            cfg,
+        }
+    }
+
+    /// Undetermined fingerprints accumulated since the last dedup-2.
+    pub fn undetermined_len(&self) -> usize {
+        self.undetermined.len()
+    }
+
+    /// Bytes waiting in the chunk log.
+    pub fn log_bytes(&self) -> u64 {
+        self.chunk_log.bytes()
+    }
+
+    /// Unregistered fingerprints awaiting SIU on this part.
+    pub fn pending_updates_len(&self) -> usize {
+        self.pending_updates.len()
+    }
+
+    /// This server's disk-index part.
+    pub fn index(&self) -> &DiskIndex {
+        &self.index
+    }
+
+    /// Mutable index access (cluster restore path).
+    pub(crate) fn index_mut(&mut self) -> &mut DiskIndex {
+        &mut self.index
+    }
+
+    /// Charge a network transfer to this server's clock.
+    pub(crate) fn charge_net(&mut self, bytes: u64) {
+        let c = self.nic.stream(bytes);
+        self.clock.advance(c);
+    }
+
+    // ------------------------------------------------------------------
+    // Dedup-1: File Store
+    // ------------------------------------------------------------------
+
+    /// Execute one backup job run (de-duplication phase I).
+    pub fn run_backup(
+        &mut self,
+        run: RunId,
+        client: ClientId,
+        filtering: Vec<Fingerprint>,
+        files: &[ChunkedFile],
+    ) -> (RunRecord, Dedup1Report) {
+        let start = self.clock.now();
+        let mut filter = PrelimFilter::with_memory(self.cfg.filter_bytes);
+        filter.prime(filtering);
+
+        let mut report = Dedup1Report {
+            run,
+            server: self.id,
+            logical_bytes: 0,
+            logical_chunks: 0,
+            transferred_bytes: 0,
+            transferred_chunks: 0,
+            filtered_dups: 0,
+            undetermined_added: 0,
+            elapsed: 0.0,
+        };
+        let mut file_indices = Vec::with_capacity(files.len());
+        let mut log_cost: Secs = 0.0;
+        for file in files {
+            let mut fps = Vec::with_capacity(file.chunks.len());
+            let mut fbytes = 0u64;
+            for chunk in &file.chunks {
+                let len = chunk.len();
+                report.logical_bytes += len;
+                report.logical_chunks += 1;
+                fbytes += len;
+                // The fingerprint always crosses the wire (the negotiation
+                // of §3.2 "content backup"), plus one in-memory probe.
+                let c = self.nic.stream(25) + self.cpu.probe_fps(1);
+                self.clock.advance(c);
+                match filter.check(chunk.fp) {
+                    FilterVerdict::Transfer => {
+                        let c = self.nic.stream(len);
+                        self.clock.advance(c);
+                        // Chunk-log appends go to a dedicated disk and are
+                        // pipelined behind the network receive; only the
+                        // excess (log slower than stream) stalls the run.
+                        log_cost += self.chunk_log.append(LogRecord::from(chunk));
+                        report.transferred_bytes += len;
+                        report.transferred_chunks += 1;
+                    }
+                    FilterVerdict::Duplicate => {
+                        report.filtered_dups += 1;
+                    }
+                }
+                fps.push(chunk.fp);
+            }
+            file_indices.push(FileIndexEntry { path: file.path.clone(), fingerprints: fps, bytes: fbytes });
+        }
+        let produced = self.clock.since(start);
+        if log_cost > produced {
+            self.clock.advance(log_cost - produced);
+        }
+        let und = filter.take_undetermined();
+        report.undetermined_added = und.len() as u64;
+        self.undetermined.extend(und);
+        report.elapsed = self.clock.since(start);
+        let record = RunRecord {
+            run,
+            server: self.id,
+            client,
+            files: file_indices,
+            logical_bytes: report.logical_bytes,
+            logical_chunks: report.logical_chunks,
+        };
+        (record, report)
+    }
+
+    /// Take the accumulated undetermined fingerprints (start of dedup-2).
+    pub fn take_undetermined(&mut self) -> Vec<Fingerprint> {
+        std::mem::take(&mut self.undetermined)
+    }
+
+    // ------------------------------------------------------------------
+    // Dedup-2: Chunk Store
+    // ------------------------------------------------------------------
+
+    /// Sequential index lookups over this server's part for a batch of
+    /// `(fingerprint, origin)` pairs (PSIL worker, §5.2).
+    ///
+    /// The batch is processed in index-cache-capacity sub-batches; each
+    /// sub-batch costs one sequential sweep of the index part. Verdicts are
+    /// grouped by origin for the result exchange. The checking fingerprint
+    /// file suppresses re-stores of chunks whose SIU is still pending, and
+    /// the lowest origin is designated storer when several submit the same
+    /// new fingerprint in one round (§5.4).
+    pub fn sil_on_part(&mut self, batch: &[(Fingerprint, ServerId)], servers: usize) -> SilPartOutput {
+        let mut verdicts: Vec<Vec<(Fingerprint, Decision)>> = vec![Vec::new(); servers];
+        let mut stats = SilPartStats::default();
+        let cache_cap = self.cfg.cache_fps();
+
+        for sub in batch.chunks(cache_cap.max(1)) {
+            stats.sweeps += 1;
+            let mut cache = IndexCache::with_memory(self.cfg.cache_bytes);
+            for &(fp, origin) in sub {
+                stats.submitted += 1;
+                cache.insert(fp, origin);
+            }
+            let t = self.index.sequential_lookup(&mut cache);
+            let sil = self.clock.charge(t);
+            for node in &sil.duplicates {
+                stats.dup_registered += node.origins.len() as u64;
+                for &origin in &node.origins {
+                    verdicts[origin as usize].push((node.fp, Decision::Skip));
+                }
+            }
+            for node in cache.drain() {
+                if self.checking.contains(&node.fp) {
+                    // Scheduled by an earlier SIL; its SIU is pending.
+                    stats.dup_pending += node.origins.len() as u64;
+                    for &origin in &node.origins {
+                        verdicts[origin as usize].push((node.fp, Decision::Skip));
+                    }
+                    continue;
+                }
+                self.checking.insert(node.fp);
+                stats.new_fps += 1;
+                let storer = node.storer().expect("node has at least one origin");
+                for &origin in &node.origins {
+                    let d = if origin == storer { Decision::Store } else { Decision::Skip };
+                    if origin != storer {
+                        stats.dup_pending += 1;
+                    }
+                    verdicts[origin as usize].push((node.fp, d));
+                }
+            }
+        }
+        SilPartOutput { verdicts, stats }
+    }
+
+    /// Chunk storing (§5.3): drain the chunk log sequentially and write the
+    /// chunks this server was designated to store into SISL containers,
+    /// submitting sealed containers to the repository. Returns the
+    /// report and the `(fp, container)` pairs for SIU registration.
+    pub fn store_chunks(
+        &mut self,
+        decisions: &HashMap<Fingerprint, Decision>,
+        repo: &mut ChunkRepository,
+    ) -> (StoreReport, Vec<(Fingerprint, ContainerId)>) {
+        let start = self.clock.now();
+        let t = self.chunk_log.drain();
+        let log_bytes = t.value.iter().map(|r| r.record_bytes()).sum();
+        let records = self.clock.charge(t);
+        let mut report = StoreReport {
+            log_records: records.len() as u64,
+            log_bytes,
+            ..StoreReport::default()
+        };
+        let mut manager = ContainerManager::new(self.cfg.container_bytes);
+        // Fingerprints in the open container (container ID still null).
+        let mut open: HashSet<Fingerprint> = HashSet::new();
+        let mut assigned: Vec<(Fingerprint, ContainerId)> = Vec::new();
+        let mut stored: HashSet<Fingerprint> = HashSet::new();
+        // Container writes land on repository-node disks and are pipelined
+        // behind the log drain (the paper measures chunk storing at exactly
+        // the log's sustained read rate, §6.1.2); only the excess stalls.
+        let mut store_cost: Secs = 0.0;
+
+        for rec in records {
+            let c = self.cpu.probe_fps(1);
+            self.clock.advance(c);
+            let store_it = matches!(decisions.get(&rec.fp), Some(Decision::Store))
+                && !open.contains(&rec.fp)
+                && !stored.contains(&rec.fp);
+            if !store_it {
+                report.discarded += 1;
+                continue;
+            }
+            report.stored_chunks += 1;
+            report.stored_bytes += rec.payload.len();
+            if let Some(sealed) = manager.append(rec.fp, rec.payload) {
+                store_cost +=
+                    self.submit_container(sealed, repo, &mut open, &mut stored, &mut assigned);
+                report.containers += 1;
+            }
+            open.insert(rec.fp);
+        }
+        if let Some(sealed) = manager.flush() {
+            store_cost += self.submit_container(sealed, repo, &mut open, &mut stored, &mut assigned);
+            report.containers += 1;
+        }
+        // Round-robin placement spreads container writes over all
+        // repository nodes in parallel.
+        let store_path = store_cost / repo.node_count() as f64;
+        let produced = self.clock.since(start);
+        if store_path > produced {
+            self.clock.advance(store_path - produced);
+        }
+        debug_assert!(open.is_empty(), "all open chunks must be sealed");
+        (report, assigned)
+    }
+
+    fn submit_container(
+        &mut self,
+        sealed: Container,
+        repo: &mut ChunkRepository,
+        open: &mut HashSet<Fingerprint>,
+        stored: &mut HashSet<Fingerprint>,
+        assigned: &mut Vec<(Fingerprint, ContainerId)>,
+    ) -> Secs {
+        let fps: Vec<Fingerprint> = sealed.fingerprints().collect();
+        let t = repo.store(sealed);
+        let cid = t.value;
+        for fp in fps {
+            open.remove(&fp);
+            stored.insert(fp);
+            assigned.push((fp, cid));
+        }
+        t.cost
+    }
+
+    /// Accept unregistered fingerprints routed to this index part.
+    pub fn queue_updates(&mut self, updates: impl IntoIterator<Item = (Fingerprint, ContainerId)>) {
+        self.pending_updates.extend(updates);
+    }
+
+    /// Sequential index update (§5.4): merge all pending `(fp, container)`
+    /// mappings into this part and clear them from the checking file.
+    pub fn run_siu(&mut self) -> (SiuReport, u64) {
+        let updates = std::mem::take(&mut self.pending_updates);
+        let t = self.index.sequential_update(&updates);
+        let report = self.clock.charge(t);
+        for (fp, _) in &updates {
+            self.checking.remove(fp);
+        }
+        (report, updates.len() as u64)
+    }
+
+    /// Whether this server still has fingerprints awaiting SIU.
+    pub fn has_pending_registration(&self) -> bool {
+        !self.pending_updates.is_empty() || !self.checking.is_empty()
+    }
+
+    /// Verify internal dedup-2 invariants (test support): the checking file
+    /// only holds fingerprints with a pending update or an unsealed store.
+    pub fn checking_len(&self) -> usize {
+        self.checking.len()
+    }
+
+    /// Elapsed-time helper: run `f`, return its result and the clock delta.
+    pub fn timed<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> (R, Secs) {
+        let start = self.clock.now();
+        let r = f(self);
+        (r, self.clock.since(start))
+    }
+
+    /// Whether the server is quiescent (no staged dedup-2 work) — the
+    /// precondition for online scaling.
+    pub fn is_quiesced(&self) -> bool {
+        self.undetermined.is_empty()
+            && self.chunk_log.is_empty()
+            && self.pending_updates.is_empty()
+            && self.checking.is_empty()
+    }
+
+    /// Capacity scaling (§4.1): double this server's index part in place.
+    pub(crate) fn scale_up_index(&mut self) {
+        let t = self.index.scale_up();
+        self.clock.advance(t.cost);
+        self.cfg.index_part_bytes *= 2;
+    }
+
+    /// Performance scaling (§4.1): split this server into two servers with
+    /// ids `2·id` and `2·id + 1`, each owning half the index part (routing
+    /// gains one prefix bit). Requires quiescence.
+    pub(crate) fn split_for_scale_out(mut self, new_cfg: DebarConfig) -> (BackupServer, BackupServer) {
+        assert!(self.is_quiesced(), "scale-out requires a quiesced server");
+        let old_id = self.id;
+        let t = self.index.split(1);
+        self.clock.advance(t.cost);
+        let mut parts = t.value;
+        let part1 = parts.pop().expect("two parts");
+        let part0 = parts.pop().expect("two parts");
+        let a = BackupServer {
+            id: old_id * 2,
+            clock: self.clock.clone(),
+            nic: SimLink::new(paper::server_nic()),
+            cpu: SimCpu::new(paper::cpu()),
+            chunk_log: ChunkLog::new(),
+            undetermined: Vec::new(),
+            index: part0,
+            checking: HashSet::new(),
+            pending_updates: Vec::new(),
+            lpc: LpcCache::new(new_cfg.lpc_containers),
+            container_cache: HashMap::new(),
+            cfg: new_cfg,
+        };
+        let b = BackupServer {
+            id: old_id * 2 + 1,
+            clock: self.clock.clone(),
+            nic: SimLink::new(paper::server_nic()),
+            cpu: SimCpu::new(paper::cpu()),
+            chunk_log: ChunkLog::new(),
+            undetermined: Vec::new(),
+            index: part1,
+            checking: HashSet::new(),
+            pending_updates: Vec::new(),
+            lpc: LpcCache::new(new_cfg.lpc_containers),
+            container_cache: HashMap::new(),
+            cfg: new_cfg,
+        };
+        (a, b)
+    }
+}

@@ -1,0 +1,303 @@
+//! Carry-less polynomial arithmetic over GF(2).
+//!
+//! Polynomials are represented as `u64` bit masks: bit `i` is the coefficient
+//! of `x^i`. This module provides the modular arithmetic underlying Rabin
+//! fingerprints ([`crate::rabin`]): multiplication modulo an irreducible
+//! polynomial, modular exponentiation of `x`, polynomial GCD and Rabin's
+//! irreducibility test (used to validate the default fingerprinting
+//! polynomial and to search for alternatives).
+
+/// Degree of a non-zero polynomial (position of the highest set bit).
+///
+/// # Panics
+/// Panics if `p == 0` (the zero polynomial has no degree).
+pub fn degree(p: u64) -> u32 {
+    assert!(p != 0, "zero polynomial has no degree");
+    63 - p.leading_zeros()
+}
+
+/// Carry-less multiplication of two `u64` polynomials into a 128-bit product.
+pub fn clmul(a: u64, b: u64) -> u128 {
+    let mut acc: u128 = 0;
+    let a = a as u128;
+    let mut b = b;
+    let mut shift = 0u32;
+    while b != 0 {
+        let tz = b.trailing_zeros();
+        shift += tz;
+        acc ^= a << shift;
+        b >>= tz;
+        // Clear the bit we just consumed.
+        b &= !1;
+    }
+    acc
+}
+
+/// Reduce a 128-bit polynomial modulo `p` (any non-zero `u64` polynomial).
+pub fn reduce128(mut x: u128, p: u64) -> u64 {
+    let d = degree(p);
+    let p128 = p as u128;
+    while x >> d != 0 {
+        let shift = (128 - x.leading_zeros()) - 1 - d;
+        x ^= p128 << shift;
+    }
+    x as u64
+}
+
+/// `(a * b) mod p` over GF(2). `a` and `b` need not be reduced beforehand.
+pub fn mulmod(a: u64, b: u64, p: u64) -> u64 {
+    reduce128(clmul(a, b), p)
+}
+
+/// `x^e mod p` by square-and-multiply over the bits of `e`.
+///
+/// `e` may be astronomically large (the irreducibility test raises `x` to
+/// `2^53`), hence the `u128` exponent and the squaring chain formulation.
+pub fn xpow_mod(e: u128, p: u64) -> u64 {
+    // result = x^e = prod over set bits i of e of x^(2^i).
+    // Maintain base = x^(2^i) by repeated squaring.
+    let mut result = reduce128(1, p); // x^0 = 1
+    let mut base = reduce128(2, p); // x^1
+    let mut e = e;
+    while e != 0 {
+        if e & 1 == 1 {
+            result = mulmod(result, base, p);
+        }
+        base = mulmod(base, base, p);
+        e >>= 1;
+    }
+    result
+}
+
+/// Polynomial GCD over GF(2) (Euclid's algorithm with XOR-based remainder).
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let r = polymod(a, b);
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// `a mod b` over GF(2) for `u64` polynomials, `b != 0`.
+pub fn polymod(mut a: u64, b: u64) -> u64 {
+    let db = degree(b);
+    while a != 0 && degree(a) >= db {
+        a ^= b << (degree(a) - db);
+    }
+    a
+}
+
+/// Rabin's irreducibility test for a polynomial `p` of degree `d`:
+/// `p` is irreducible over GF(2) iff
+///   1. `x^(2^d) ≡ x (mod p)`, and
+///   2. `gcd(x^(2^(d/q)) − x, p) = 1` for every prime divisor `q` of `d`.
+pub fn is_irreducible(p: u64) -> bool {
+    if p < 2 {
+        return false;
+    }
+    let d = degree(p);
+    if d == 0 {
+        return false;
+    }
+    if d == 1 {
+        return true; // x and x+1
+    }
+    // Squaring chain: h_i = x^(2^i) mod p.
+    let x = reduce128(2, p);
+    let mut h = x;
+    let mut chain = Vec::with_capacity(d as usize + 1);
+    chain.push(h); // h_0 = x^(2^0) = x
+    for _ in 0..d {
+        h = mulmod(h, h, p);
+        chain.push(h);
+    }
+    // Condition 1: x^(2^d) == x.
+    if chain[d as usize] != x {
+        return false;
+    }
+    // Condition 2 for each prime q dividing d.
+    for q in prime_divisors(d) {
+        let k = (d / q) as usize;
+        let g = gcd(chain[k] ^ x, p);
+        if g != 1 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Distinct prime divisors of `n` in ascending order.
+pub fn prime_divisors(mut n: u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut q = 2;
+    while q * q <= n {
+        if n.is_multiple_of(q) {
+            out.push(q);
+            while n.is_multiple_of(q) {
+                n /= q;
+            }
+        }
+        q += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+/// Deterministically search for an irreducible polynomial of degree `d`
+/// starting from a seed pattern. Used by tests and by users who want an
+/// alternative fingerprinting polynomial.
+pub fn find_irreducible(d: u32, seed: u64) -> u64 {
+    assert!((2..=63).contains(&d), "degree must be in 2..=63");
+    let lead = 1u64 << d;
+    let mask = lead - 1;
+    let mut candidate = seed & mask;
+    loop {
+        // Constant term must be 1, otherwise x divides the polynomial.
+        let p = lead | candidate | 1;
+        if is_irreducible(p) {
+            return p;
+        }
+        candidate = candidate.wrapping_add(1) & mask;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_basics() {
+        assert_eq!(degree(1), 0);
+        assert_eq!(degree(2), 1);
+        assert_eq!(degree(0b1000_0000), 7);
+        assert_eq!(degree(u64::MAX), 63);
+    }
+
+    #[test]
+    #[should_panic]
+    fn degree_zero_panics() {
+        degree(0);
+    }
+
+    #[test]
+    fn clmul_small_cases() {
+        // (x+1)(x+1) = x^2 + 1 over GF(2) (cross terms cancel).
+        assert_eq!(clmul(0b11, 0b11), 0b101);
+        // x * (x^2 + x + 1) = x^3 + x^2 + x.
+        assert_eq!(clmul(0b10, 0b111), 0b1110);
+        assert_eq!(clmul(0, 12345), 0);
+        assert_eq!(clmul(1, 12345), 12345);
+    }
+
+    #[test]
+    fn reduce_identity_below_modulus() {
+        let p = 0b1011; // x^3 + x + 1, irreducible
+        for v in 0u64..8 {
+            assert_eq!(reduce128(v as u128, p), v);
+        }
+    }
+
+    #[test]
+    fn mulmod_field_properties_gf8() {
+        let p = 0b1011; // GF(8)
+        // Commutativity and associativity over the whole field.
+        for a in 0u64..8 {
+            for b in 0u64..8 {
+                assert_eq!(mulmod(a, b, p), mulmod(b, a, p));
+                for c in 0u64..8 {
+                    assert_eq!(
+                        mulmod(mulmod(a, b, p), c, p),
+                        mulmod(a, mulmod(b, c, p), p)
+                    );
+                }
+            }
+        }
+        // Every non-zero element has an inverse (field, since p irreducible).
+        for a in 1u64..8 {
+            assert!((1..8).any(|b| mulmod(a, b, p) == 1), "no inverse for {a}");
+        }
+    }
+
+    #[test]
+    fn xpow_mod_matches_iterated_multiplication() {
+        let p = 0x11d; // x^8+x^4+x^3+x^2+1 (AES-adjacent, irreducible)
+        let x = 2u64;
+        let mut acc = 1u64;
+        for e in 0u32..64 {
+            assert_eq!(xpow_mod(e as u128, p), acc, "e={e}");
+            acc = mulmod(acc, x, p);
+        }
+    }
+
+    #[test]
+    fn known_irreducibles() {
+        // Classic irreducible polynomials over GF(2).
+        for p in [0b10u64, 0b11, 0b111, 0b1011, 0b1101, 0x11b, 0x11d] {
+            assert!(is_irreducible(p), "{p:#b} should be irreducible");
+        }
+    }
+
+    #[test]
+    fn known_reducibles() {
+        // x^2 (= x*x), x^2+x = x(x+1), x^4+1 = (x+1)^4, x^2+1 = (x+1)^2.
+        for p in [0b100u64, 0b110, 0b10001, 0b101] {
+            assert!(!is_irreducible(p), "{p:#b} should be reducible");
+        }
+    }
+
+    #[test]
+    fn lbfs_polynomial_is_irreducible_degree_53() {
+        let p = crate::rabin::DEFAULT_POLY;
+        assert_eq!(degree(p), 53);
+        assert!(is_irreducible(p));
+    }
+
+    #[test]
+    fn find_irreducible_finds_valid_polys() {
+        for (d, seed) in [(8u32, 0u64), (16, 99), (32, 12345), (53, 7)] {
+            let p = find_irreducible(d, seed);
+            assert_eq!(degree(p), d);
+            assert!(is_irreducible(p));
+        }
+    }
+
+    #[test]
+    fn prime_divisor_lists() {
+        assert_eq!(prime_divisors(53), vec![53]);
+        assert_eq!(prime_divisors(12), vec![2, 3]);
+        assert_eq!(prime_divisors(64), vec![2]);
+        assert_eq!(prime_divisors(1), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn gcd_of_coprime_is_one() {
+        // x and x+1 are coprime.
+        assert_eq!(gcd(0b10, 0b11), 1);
+        // p and anything reduced mod p where p irreducible: gcd = 1 unless 0.
+        let p = 0b1011;
+        for a in 1u64..8 {
+            assert_eq!(gcd(a, p), 1);
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_mulmod_distributes(a: u64, b: u64, c: u64) {
+            let p = crate::rabin::DEFAULT_POLY;
+            let left = mulmod(a ^ b, c, p);
+            let right = mulmod(a, c, p) ^ mulmod(b, c, p);
+            proptest::prop_assert_eq!(left, right);
+        }
+
+        #[test]
+        fn prop_reduce_is_fixed_point(a: u64) {
+            let p = crate::rabin::DEFAULT_POLY;
+            let r = reduce128(a as u128, p);
+            proptest::prop_assert_eq!(reduce128(r as u128, p), r);
+            proptest::prop_assert!(r < (1u64 << 53));
+        }
+    }
+}

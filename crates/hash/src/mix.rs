@@ -1,0 +1,186 @@
+//! A tiny, portable, deterministic PRNG (SplitMix64).
+//!
+//! The simulation substrate must be reproducible bit-for-bit across
+//! platforms and library versions; external RNGs explicitly reserve the
+//! right to change algorithms between releases, so every randomized choice
+//! in this workspace (adjacent-bucket overflow, workload synthesis,
+//! replacement victims) draws from this generator instead.
+//!
+//! SplitMix64 (Steele, Lea & Flood, "Fast splittable pseudorandom number
+//! generators", OOPSLA 2014) passes BigCrush, is `Copy`-cheap, and splits
+//! cleanly into independent streams via [`SplitMix64::fork`].
+
+/// A SplitMix64 pseudorandom generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl SplitMix64 {
+    /// Seed a generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)` (Lemire's multiply-shift; slight bias below
+    /// 2^-64, irrelevant for simulation purposes).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "range must be non-empty");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.below(hi - lo)
+    }
+
+    /// A uniformly random boolean.
+    #[inline]
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Split off an independent child generator.
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Choose a uniformly random element.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.below(items.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(1);
+        let mut c = SplitMix64::new(2);
+        let xs: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..10).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn known_reference_values() {
+        // Reference output of SplitMix64 seeded with 1234567 (from the
+        // public-domain reference implementation).
+        let mut g = SplitMix64::new(1234567);
+        assert_eq!(g.next_u64(), 6457827717110365317);
+        assert_eq!(g.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut g = SplitMix64::new(3);
+        for _ in 0..1000 {
+            assert!(g.below(7) < 7);
+            let v = g.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn below_roughly_uniform() {
+        let mut g = SplitMix64::new(4);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[g.below(8) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut g = SplitMix64::new(5);
+        for _ in 0..1000 {
+            let v = g.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_probability() {
+        let mut g = SplitMix64::new(6);
+        let hits = (0..100_000).filter(|_| g.chance(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut g = SplitMix64::new(7);
+        let mut a = g.fork();
+        let mut b = g.fork();
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut g = SplitMix64::new(8);
+        let mut v: Vec<u32> = (0..100).collect();
+        g.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, (0..100).collect::<Vec<u32>>(), "shuffle left input unchanged");
+    }
+
+    #[test]
+    fn choose_from_slices() {
+        let mut g = SplitMix64::new(9);
+        assert_eq!(g.choose::<u8>(&[]), None);
+        assert_eq!(g.choose(&[42]), Some(&42));
+        let items = [1, 2, 3];
+        assert!(items.contains(g.choose(&items).unwrap()));
+    }
+}

@@ -1,0 +1,263 @@
+//! SHA-1 implemented from scratch per FIPS 180-1 (the standard the paper
+//! cites as its reference 27).
+//!
+//! DEBAR uses SHA-1 for chunk fingerprints because it is collision-resistant
+//! and its outputs are uniformly distributed, which is what gives the disk
+//! index its *uniform fingerprint distribution* property (paper §4.1).
+//!
+//! The implementation provides both a streaming interface ([`Sha1::update`] /
+//! [`Sha1::finalize`]) and one-shot helpers. A dedicated single-block fast
+//! path ([`sha1_u64`]) hashes a 64-bit counter, which the paper uses to
+//! synthesize unlimited random fingerprint streams (§4.2, §6.2).
+
+const H0: [u32; 5] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+
+/// Streaming SHA-1 hasher.
+#[derive(Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    /// Total message length in bytes (the standard allows 2^64 bits; byte
+    /// granularity is all we need).
+    len_bytes: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Create a fresh hasher.
+    pub fn new() -> Self {
+        Sha1 { state: H0, len_bytes: 0, buf: [0u8; 64], buf_len: 0 }
+    }
+
+    /// Absorb `data` into the hash state.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.len_bytes = self.len_bytes.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let need = 64 - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                compress(&mut self.state, &block);
+                self.buf_len = 0;
+            }
+            if data.is_empty() {
+                return;
+            }
+        }
+        let mut chunks = data.chunks_exact(64);
+        for block in &mut chunks {
+            compress(&mut self.state, block.try_into().expect("exact chunk"));
+        }
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buf_len = rem.len();
+    }
+
+    /// Finish the computation and return the 20-byte digest.
+    pub fn finalize(mut self) -> [u8; 20] {
+        let bit_len = self.len_bytes.wrapping_mul(8);
+        // Append the 0x80 terminator, zero padding, then the 64-bit length.
+        let mut pad = [0u8; 128];
+        pad[0] = 0x80;
+        let pad_len = if self.buf_len < 56 { 56 - self.buf_len } else { 120 - self.buf_len };
+        pad[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
+        self.update_no_len(&pad[..pad_len + 8]);
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; 20];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// `update` without advancing the message length (used for padding).
+    fn update_no_len(&mut self, data: &[u8]) {
+        let saved = self.len_bytes;
+        self.update(data);
+        self.len_bytes = saved;
+    }
+
+    /// One-shot digest of `data`.
+    pub fn digest(data: &[u8]) -> [u8; 20] {
+        let mut h = Sha1::new();
+        h.update(data);
+        h.finalize()
+    }
+}
+
+/// The SHA-1 compression function: absorb one 64-byte block.
+fn compress(state: &mut [u32; 5], block: &[u8; 64]) {
+    let mut w = [0u32; 80];
+    for (i, word) in w.iter_mut().take(16).enumerate() {
+        *word = u32::from_be_bytes(block[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+    }
+    for i in 16..80 {
+        w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e] = *state;
+    for (i, &wi) in w.iter().enumerate() {
+        let (f, k) = match i {
+            0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999u32),
+            20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+            40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+            _ => (b ^ c ^ d, 0xCA62_C1D6),
+        };
+        let tmp = a
+            .rotate_left(5)
+            .wrapping_add(f)
+            .wrapping_add(e)
+            .wrapping_add(k)
+            .wrapping_add(wi);
+        e = d;
+        d = c;
+        c = b.rotate_left(30);
+        b = a;
+        a = tmp;
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+}
+
+/// Fast single-block SHA-1 of a little-endian `u64` — the synthetic
+/// fingerprint source of paper §4.2/§6.2 ("a 64-bit variable ... as input to
+/// the SHA-1 algorithm").
+///
+/// Equivalent to `Sha1::digest(&value.to_le_bytes())` but avoids the
+/// streaming machinery; the message (8 bytes) plus padding always fits a
+/// single compression block.
+pub fn sha1_u64(value: u64) -> [u8; 20] {
+    let mut block = [0u8; 64];
+    block[..8].copy_from_slice(&value.to_le_bytes());
+    block[8] = 0x80;
+    // 8 bytes = 64 bits, big-endian in the final 8 bytes of the block.
+    block[56..64].copy_from_slice(&64u64.to_be_bytes());
+    let mut state = H0;
+    compress(&mut state, &block);
+    let mut out = [0u8; 20];
+    for (i, word) in state.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn fips_vector_empty() {
+        assert_eq!(hex(&Sha1::digest(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn fips_vector_abc() {
+        assert_eq!(hex(&Sha1::digest(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+
+    #[test]
+    fn fips_vector_two_blocks() {
+        let msg = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+        assert_eq!(hex(&Sha1::digest(msg)), "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+    }
+
+    #[test]
+    fn fips_vector_million_a() {
+        let mut h = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(hex(&h.finalize()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn vector_quick_brown_fox() {
+        assert_eq!(
+            hex(&Sha1::digest(b"The quick brown fox jumps over the lazy dog")),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"
+        );
+    }
+
+    #[test]
+    fn exact_block_boundary_message() {
+        // 64-byte message forces padding into a second block.
+        let msg = [0x61u8; 64];
+        let mut h = Sha1::new();
+        h.update(&msg);
+        assert_eq!(hex(&h.finalize()), hex(&Sha1::digest(&msg)));
+        assert_eq!(hex(&Sha1::digest(&msg)), "0098ba824b5c16427bd7a1122a5a442a25ec644d");
+    }
+
+    #[test]
+    fn len_55_56_57_padding_edges() {
+        // 55 bytes: length fits the same block; 56/57: spills to next block.
+        for n in [55usize, 56, 57, 63, 64, 65, 127, 128, 129] {
+            let msg = vec![0xa5u8; n];
+            let whole = Sha1::digest(&msg);
+            let mut h = Sha1::new();
+            for b in &msg {
+                h.update(std::slice::from_ref(b));
+            }
+            assert_eq!(h.finalize(), whole, "byte-at-a-time mismatch at n={n}");
+        }
+    }
+
+    #[test]
+    fn incremental_equals_oneshot_random_splits() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 31 % 251) as u8).collect();
+        let whole = Sha1::digest(&data);
+        for split in [0usize, 1, 63, 64, 65, 500, 999, 1000] {
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn sha1_u64_matches_streaming() {
+        for v in [0u64, 1, 42, u64::MAX, 0x0123_4567_89ab_cdef] {
+            assert_eq!(sha1_u64(v), Sha1::digest(&v.to_le_bytes()));
+        }
+    }
+
+    #[test]
+    fn distinct_counters_distinct_digests() {
+        let a = sha1_u64(7);
+        let b = sha1_u64(8);
+        assert_ne!(a, b);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_incremental_equals_oneshot(data: Vec<u8>, split in 0usize..4096) {
+            let split = split.min(data.len());
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            proptest::prop_assert_eq!(h.finalize(), Sha1::digest(&data));
+        }
+
+        #[test]
+        fn prop_sha1_u64_matches(v: u64) {
+            proptest::prop_assert_eq!(sha1_u64(v), Sha1::digest(&v.to_le_bytes()));
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Virtual-time aggregation for bulk-synchronous parallel phases.
+//!
+//! PSIL/PSIU (paper §5.2, Fig. 5) run `2^w` backup servers in parallel with
+//! barrier-synchronized exchange steps. The wall-clock time of such a phase
+//! is the *maximum* of the per-server elapsed times; [`barrier_max`] computes
+//! it and [`PhaseLog`] records a named breakdown for reports.
+
+use crate::clock::Secs;
+use serde::{Deserialize, Serialize};
+
+/// Wall-clock duration of a parallel phase: the slowest participant.
+pub fn barrier_max(durations: &[Secs]) -> Secs {
+    durations.iter().copied().fold(0.0, f64::max)
+}
+
+/// Sum of phase durations (the sequential-execution equivalent), used to
+/// report parallel speedup.
+pub fn sequential_sum(durations: &[Secs]) -> Secs {
+    durations.iter().sum()
+}
+
+/// A named record of bulk-synchronous phases and their wall-clock times.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PhaseLog {
+    entries: Vec<(String, Secs)>,
+}
+
+impl PhaseLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a phase.
+    pub fn record(&mut self, name: impl Into<String>, wall: Secs) {
+        self.entries.push((name.into(), wall));
+    }
+
+    /// Record a parallel phase from per-participant durations.
+    pub fn record_parallel(&mut self, name: impl Into<String>, durations: &[Secs]) -> Secs {
+        let wall = barrier_max(durations);
+        self.record(name, wall);
+        wall
+    }
+
+    /// Total wall-clock time across recorded phases.
+    pub fn total(&self) -> Secs {
+        self.entries.iter().map(|(_, t)| t).sum()
+    }
+
+    /// The recorded `(name, wall)` pairs.
+    pub fn entries(&self) -> &[(String, Secs)] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_is_max() {
+        assert_eq!(barrier_max(&[1.0, 3.0, 2.0]), 3.0);
+        assert_eq!(barrier_max(&[]), 0.0);
+    }
+
+    #[test]
+    fn sum_is_sequential_equivalent() {
+        assert_eq!(sequential_sum(&[1.0, 3.0, 2.0]), 6.0);
+    }
+
+    #[test]
+    fn phase_log_totals() {
+        let mut log = PhaseLog::new();
+        log.record("sil", 2.0);
+        let wall = log.record_parallel("siu", &[1.0, 4.0]);
+        assert_eq!(wall, 4.0);
+        assert_eq!(log.total(), 6.0);
+        assert_eq!(log.entries().len(), 2);
+    }
+
+    #[test]
+    fn speedup_example() {
+        // 16 equal servers: parallel time is 1/16 of sequential.
+        let per_server = vec![2.0; 16];
+        let speedup = sequential_sum(&per_server) / barrier_max(&per_server);
+        assert_eq!(speedup, 16.0);
+    }
+}

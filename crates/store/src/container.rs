@@ -1,0 +1,329 @@
+//! Self-describing, fixed-size containers (paper §3.4).
+//!
+//! "A container ... is fixed-sized and self-described in that a metadata
+//! section located before the data section stores metadata describing the
+//! chunks stored in the data section. The chunk metadata ... includes the
+//! fingerprint, chunk size and storage offset." DEBAR uses 8 MB containers:
+//! ~1024 chunks at the 8 KB expected chunk size.
+//!
+//! Payloads are either real bytes (full-pipeline backups) or synthetic
+//! zero-runs of a recorded length (the paper's fingerprint-level workloads
+//! pad each synthetic fingerprint with a zero chunk; we keep only the
+//! length and materialize zeros on read).
+
+use bytes::Bytes;
+use debar_hash::{ContainerId, Fingerprint};
+use serde::{Deserialize, Serialize};
+
+/// Default container size (paper §3.4).
+pub const DEFAULT_CONTAINER_BYTES: u64 = 8 << 20;
+
+/// A chunk payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// Real chunk bytes.
+    Real(Bytes),
+    /// A synthetic zero-filled chunk of the given length (fingerprint-level
+    /// workloads; see DESIGN.md).
+    Zero(u32),
+}
+
+impl Payload {
+    /// Payload length in bytes.
+    pub fn len(&self) -> u64 {
+        match self {
+            Payload::Real(b) => b.len() as u64,
+            Payload::Zero(n) => *n as u64,
+        }
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialize the payload bytes (zero-runs are synthesized).
+    pub fn materialize(&self) -> Bytes {
+        match self {
+            Payload::Real(b) => b.clone(),
+            Payload::Zero(n) => Bytes::from(vec![0u8; *n as usize]),
+        }
+    }
+}
+
+/// Metadata describing one chunk within a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkMeta {
+    /// The chunk fingerprint.
+    pub fp: Fingerprint,
+    /// Chunk length in bytes.
+    pub len: u32,
+    /// Offset of the chunk within the container's data section.
+    pub offset: u64,
+}
+
+/// A container: ID + metadata section + data section.
+#[derive(Debug, Clone)]
+pub struct Container {
+    id: ContainerId,
+    capacity: u64,
+    metas: Vec<ChunkMeta>,
+    payloads: Vec<Payload>,
+    data_bytes: u64,
+}
+
+impl Container {
+    /// Create an empty container with the given data-section capacity.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "container capacity must be positive");
+        Container { id: ContainerId::NULL, capacity, metas: Vec::new(), payloads: Vec::new(), data_bytes: 0 }
+    }
+
+    /// The container's ID ([`ContainerId::NULL`] until the repository
+    /// assigns one at store time).
+    pub fn id(&self) -> ContainerId {
+        self.id
+    }
+
+    pub(crate) fn set_id(&mut self, id: ContainerId) {
+        self.id = id;
+    }
+
+    /// Data-section capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes of chunk data stored.
+    pub fn data_bytes(&self) -> u64 {
+        self.data_bytes
+    }
+
+    /// Remaining data-section room.
+    pub fn remaining(&self) -> u64 {
+        self.capacity - self.data_bytes
+    }
+
+    /// Number of chunks.
+    pub fn len(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// Whether the container holds no chunks.
+    pub fn is_empty(&self) -> bool {
+        self.metas.is_empty()
+    }
+
+    /// The metadata section.
+    pub fn metas(&self) -> &[ChunkMeta] {
+        &self.metas
+    }
+
+    /// Fingerprints in stream (SISL) order.
+    pub fn fingerprints(&self) -> impl Iterator<Item = Fingerprint> + '_ {
+        self.metas.iter().map(|m| m.fp)
+    }
+
+    /// Append a chunk if it fits; `false` when the data section would
+    /// overflow.
+    ///
+    /// # Panics
+    /// Panics if a single chunk exceeds the container capacity.
+    pub fn try_append(&mut self, fp: Fingerprint, payload: Payload) -> bool {
+        let len = payload.len();
+        assert!(len <= self.capacity, "chunk larger than container");
+        if self.data_bytes + len > self.capacity {
+            return false;
+        }
+        self.metas.push(ChunkMeta { fp, len: len as u32, offset: self.data_bytes });
+        self.data_bytes += len;
+        self.payloads.push(payload);
+        true
+    }
+
+    /// Find a chunk by fingerprint (linear scan of the metadata section —
+    /// restore hot paths should use [`Container::build_lookup`]).
+    pub fn find(&self, fp: &Fingerprint) -> Option<(&ChunkMeta, &Payload)> {
+        self.metas
+            .iter()
+            .position(|m| &m.fp == fp)
+            .map(|i| (&self.metas[i], &self.payloads[i]))
+    }
+
+    /// Build a fingerprint → chunk-slot map for O(1) repeated lookups (the
+    /// LPC payload cache uses this on insertion).
+    pub fn build_lookup(&self) -> std::collections::HashMap<Fingerprint, usize> {
+        self.metas.iter().enumerate().map(|(i, m)| (m.fp, i)).collect()
+    }
+
+    /// Access a chunk by slot index (pairs with [`Container::build_lookup`]).
+    pub fn slot(&self, i: usize) -> (&ChunkMeta, &Payload) {
+        (&self.metas[i], &self.payloads[i])
+    }
+
+    /// Read a chunk's payload bytes by fingerprint.
+    pub fn read_chunk(&self, fp: &Fingerprint) -> Option<Bytes> {
+        self.find(fp).map(|(_, p)| p.materialize())
+    }
+
+    /// Serialized on-disk size: metadata section + data section (the
+    /// repository charges the fixed container size regardless; this is the
+    /// self-described payload encoding).
+    pub fn serialized_len(&self) -> usize {
+        4 + self.metas.len() * 32 + self.data_bytes as usize
+    }
+
+    /// Encode: `[u32 chunk count] [fp:20 len:4 offset:8]* [data section]`.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.serialized_len());
+        out.extend_from_slice(&(self.metas.len() as u32).to_le_bytes());
+        for m in &self.metas {
+            out.extend_from_slice(m.fp.as_bytes());
+            out.extend_from_slice(&m.len.to_le_bytes());
+            out.extend_from_slice(&m.offset.to_le_bytes());
+        }
+        for p in &self.payloads {
+            out.extend_from_slice(&p.materialize());
+        }
+        out
+    }
+
+    /// Decode a serialized container (payloads become `Real`).
+    pub fn deserialize(raw: &[u8], capacity: u64) -> Option<Container> {
+        if raw.len() < 4 {
+            return None;
+        }
+        let count = u32::from_le_bytes(raw[0..4].try_into().ok()?) as usize;
+        let meta_end = 4 + count * 32;
+        if raw.len() < meta_end {
+            return None;
+        }
+        let mut metas = Vec::with_capacity(count);
+        for i in 0..count {
+            let base = 4 + i * 32;
+            let mut fpb = [0u8; 20];
+            fpb.copy_from_slice(&raw[base..base + 20]);
+            let len = u32::from_le_bytes(raw[base + 20..base + 24].try_into().ok()?);
+            let offset = u64::from_le_bytes(raw[base + 24..base + 32].try_into().ok()?);
+            metas.push(ChunkMeta { fp: Fingerprint(fpb), len, offset });
+        }
+        let data = &raw[meta_end..];
+        let mut payloads = Vec::with_capacity(count);
+        let mut data_bytes = 0u64;
+        for m in &metas {
+            let start = m.offset as usize;
+            let end = start + m.len as usize;
+            if end > data.len() {
+                return None;
+            }
+            payloads.push(Payload::Real(Bytes::copy_from_slice(&data[start..end])));
+            data_bytes += m.len as u64;
+        }
+        Some(Container { id: ContainerId::NULL, capacity, metas, payloads, data_bytes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u64) -> Fingerprint {
+        Fingerprint::of_counter(n)
+    }
+
+    #[test]
+    fn append_until_full() {
+        let mut c = Container::new(100);
+        assert!(c.try_append(fp(1), Payload::Zero(40)));
+        assert!(c.try_append(fp(2), Payload::Zero(40)));
+        assert!(!c.try_append(fp(3), Payload::Zero(40)), "should not fit");
+        assert!(c.try_append(fp(3), Payload::Zero(20)), "exact fit allowed");
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.data_bytes(), 100);
+        assert_eq!(c.remaining(), 0);
+    }
+
+    #[test]
+    fn offsets_are_cumulative_stream_order() {
+        let mut c = Container::new(1000);
+        c.try_append(fp(1), Payload::Zero(10));
+        c.try_append(fp(2), Payload::Zero(20));
+        c.try_append(fp(3), Payload::Zero(30));
+        let offs: Vec<u64> = c.metas().iter().map(|m| m.offset).collect();
+        assert_eq!(offs, vec![0, 10, 30]);
+        // SISL: fingerprints preserved in append (stream) order.
+        let fps: Vec<Fingerprint> = c.fingerprints().collect();
+        assert_eq!(fps, vec![fp(1), fp(2), fp(3)]);
+    }
+
+    #[test]
+    fn find_and_read_real_payload() {
+        let mut c = Container::new(1000);
+        let data = Bytes::from_static(b"hello chunk");
+        c.try_append(fp(7), Payload::Real(data.clone()));
+        let (meta, payload) = c.find(&fp(7)).unwrap();
+        assert_eq!(meta.len as usize, data.len());
+        assert_eq!(payload.materialize(), data);
+        assert_eq!(c.read_chunk(&fp(7)).unwrap(), data);
+        assert!(c.find(&fp(8)).is_none());
+    }
+
+    #[test]
+    fn zero_payload_materializes_zeros() {
+        let p = Payload::Zero(5);
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.materialize(), Bytes::from(vec![0u8; 5]));
+    }
+
+    #[test]
+    fn serialize_roundtrip_real_payloads() {
+        let mut c = Container::new(1 << 16);
+        for i in 0..20u64 {
+            let body: Vec<u8> = (0..50 + i).map(|j| (i * 7 + j) as u8).collect();
+            c.try_append(fp(i), Payload::Real(Bytes::from(body)));
+        }
+        let raw = c.serialize();
+        assert_eq!(raw.len(), c.serialized_len());
+        let back = Container::deserialize(&raw, 1 << 16).unwrap();
+        assert_eq!(back.len(), c.len());
+        for i in 0..20u64 {
+            assert_eq!(back.read_chunk(&fp(i)), c.read_chunk(&fp(i)), "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn serialize_roundtrip_zero_payloads() {
+        let mut c = Container::new(1 << 16);
+        c.try_append(fp(1), Payload::Zero(100));
+        c.try_append(fp(2), Payload::Zero(200));
+        let back = Container::deserialize(&c.serialize(), 1 << 16).unwrap();
+        assert_eq!(back.read_chunk(&fp(1)).unwrap().len(), 100);
+        assert_eq!(back.read_chunk(&fp(2)).unwrap(), Bytes::from(vec![0u8; 200]));
+    }
+
+    #[test]
+    fn deserialize_rejects_truncated() {
+        let mut c = Container::new(1000);
+        c.try_append(fp(1), Payload::Zero(100));
+        let raw = c.serialize();
+        assert!(Container::deserialize(&raw[..raw.len() - 10], 1000).is_none());
+        assert!(Container::deserialize(&raw[..3], 1000).is_none());
+    }
+
+    #[test]
+    fn paper_geometry_1024_chunks() {
+        // 8 MB container / 8 KB chunks ≈ 1024 chunks (paper §3.4).
+        let mut c = Container::new(DEFAULT_CONTAINER_BYTES);
+        let mut n = 0u64;
+        while c.try_append(fp(n), Payload::Zero(8192)) {
+            n += 1;
+        }
+        assert_eq!(n, 1024);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_chunk_rejected() {
+        Container::new(10).try_append(fp(1), Payload::Zero(11));
+    }
+}

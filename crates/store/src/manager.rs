@@ -1,0 +1,121 @@
+//! The Container Manager (paper §3.3): fills containers with new chunks in
+//! stream order (the SISL layout) and hands sealed containers to the
+//! repository.
+//!
+//! "SISL writes new chunks to the containers in the logical order that they
+//! appear in the backup stream. It hence creates a spatial locality for the
+//! chunk access" — the property LPC exploits on reads.
+
+use crate::container::Container;
+use crate::container::Payload;
+use debar_hash::Fingerprint;
+
+/// Stream-order container filler.
+#[derive(Debug, Clone)]
+pub struct ContainerManager {
+    capacity: u64,
+    open: Container,
+    sealed_count: u64,
+}
+
+impl ContainerManager {
+    /// Create a manager producing containers of `capacity` data bytes.
+    pub fn new(capacity: u64) -> Self {
+        ContainerManager { capacity, open: Container::new(capacity), sealed_count: 0 }
+    }
+
+    /// Container capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Chunks currently buffered in the open container.
+    pub fn pending_chunks(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Containers sealed so far.
+    pub fn sealed_count(&self) -> u64 {
+        self.sealed_count
+    }
+
+    /// Append a chunk in stream order. When the open container cannot take
+    /// the chunk, it is sealed and returned (ready for repository storage)
+    /// and a fresh container receives the chunk.
+    pub fn append(&mut self, fp: Fingerprint, payload: Payload) -> Option<Container> {
+        if self.open.try_append(fp, payload.clone()) {
+            return None;
+        }
+        let sealed = std::mem::replace(&mut self.open, Container::new(self.capacity));
+        let ok = self.open.try_append(fp, payload);
+        debug_assert!(ok, "chunk must fit an empty container");
+        self.sealed_count += 1;
+        Some(sealed)
+    }
+
+    /// Seal and return the open container if it holds any chunks (end of a
+    /// chunk-storing pass, §5.3).
+    pub fn flush(&mut self) -> Option<Container> {
+        if self.open.is_empty() {
+            return None;
+        }
+        self.sealed_count += 1;
+        Some(std::mem::replace(&mut self.open, Container::new(self.capacity)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u64) -> Fingerprint {
+        Fingerprint::of_counter(n)
+    }
+
+    #[test]
+    fn seals_when_full() {
+        let mut m = ContainerManager::new(100);
+        assert!(m.append(fp(1), Payload::Zero(60)).is_none());
+        // 60 + 60 > 100: seals the first container.
+        let sealed = m.append(fp(2), Payload::Zero(60)).expect("should seal");
+        assert_eq!(sealed.len(), 1);
+        assert_eq!(sealed.fingerprints().next(), Some(fp(1)));
+        assert_eq!(m.pending_chunks(), 1);
+        assert_eq!(m.sealed_count(), 1);
+    }
+
+    #[test]
+    fn flush_returns_partial_container() {
+        let mut m = ContainerManager::new(100);
+        assert!(m.flush().is_none(), "nothing to flush");
+        m.append(fp(1), Payload::Zero(10));
+        let sealed = m.flush().expect("partial container");
+        assert_eq!(sealed.len(), 1);
+        assert!(m.flush().is_none());
+    }
+
+    #[test]
+    fn sisl_stream_order_across_containers() {
+        let mut m = ContainerManager::new(64);
+        let mut sealed_fps = Vec::new();
+        for i in 0..10u64 {
+            if let Some(c) = m.append(fp(i), Payload::Zero(20)) {
+                sealed_fps.extend(c.fingerprints());
+            }
+        }
+        if let Some(c) = m.flush() {
+            sealed_fps.extend(c.fingerprints());
+        }
+        // Every chunk present, in exactly stream order.
+        assert_eq!(sealed_fps, (0..10u64).map(fp).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn exact_fit_does_not_seal_early() {
+        let mut m = ContainerManager::new(100);
+        assert!(m.append(fp(1), Payload::Zero(50)).is_none());
+        assert!(m.append(fp(2), Payload::Zero(50)).is_none(), "exact fit stays open");
+        let sealed = m.append(fp(3), Payload::Zero(1)).expect("now seals");
+        assert_eq!(sealed.len(), 2);
+    }
+}

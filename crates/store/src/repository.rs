@@ -1,0 +1,317 @@
+//! The chunk repository (paper §3.4): "a uniform container log storage to
+//! the backup servers", built from a cluster of storage nodes.
+//!
+//! Container IDs are assigned at store time ("When a container is written
+//! into the chunk repository, a container ID will be generated") and placed
+//! round-robin across nodes, which both spreads load and makes the node of
+//! any container derivable from its ID.
+
+use crate::container::Container;
+use debar_hash::ContainerId;
+use debar_simio::{DiskModel, Secs, SimDisk, Timed};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One storage node: a simulated disk plus its resident containers.
+#[derive(Debug, Clone)]
+pub struct StorageNode {
+    disk: SimDisk,
+    containers: HashMap<u64, Container>,
+}
+
+impl StorageNode {
+    fn new(model: DiskModel) -> Self {
+        StorageNode { disk: SimDisk::new(model), containers: HashMap::new() }
+    }
+
+    /// Containers resident on this node.
+    pub fn container_count(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// Disk statistics for this node.
+    pub fn disk_stats(&self) -> debar_simio::DiskStats {
+        self.disk.stats()
+    }
+}
+
+/// Aggregate repository statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RepoStats {
+    /// Containers stored.
+    pub containers: u64,
+    /// Total chunk-data bytes stored (logical container payload).
+    pub data_bytes: u64,
+    /// Container reads served.
+    pub reads: u64,
+}
+
+/// The multi-node container log.
+#[derive(Debug, Clone)]
+pub struct ChunkRepository {
+    nodes: Vec<StorageNode>,
+    container_bytes: u64,
+    next_id: u64,
+    stats: RepoStats,
+}
+
+impl ChunkRepository {
+    /// Create a repository of `num_nodes` storage nodes whose disks follow
+    /// `model`; `container_bytes` is the fixed on-disk container size used
+    /// for I/O charging.
+    pub fn new(num_nodes: usize, model: DiskModel, container_bytes: u64) -> Self {
+        assert!(num_nodes > 0, "repository needs at least one node");
+        assert!(container_bytes > 0);
+        ChunkRepository {
+            nodes: (0..num_nodes).map(|_| StorageNode::new(model)).collect(),
+            container_bytes,
+            next_id: 0,
+            stats: RepoStats::default(),
+        }
+    }
+
+    /// Number of storage nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Fixed container size used for I/O accounting.
+    pub fn container_bytes(&self) -> u64 {
+        self.container_bytes
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> RepoStats {
+        self.stats
+    }
+
+    /// Per-node views.
+    pub fn nodes(&self) -> &[StorageNode] {
+        &self.nodes
+    }
+
+    /// The node a container lives on (round-robin by ID).
+    pub fn node_of(&self, cid: ContainerId) -> usize {
+        (cid.raw() % self.nodes.len() as u64) as usize
+    }
+
+    /// Store a sealed container: assigns its ID, places it round-robin and
+    /// charges one sequential container write on the target node.
+    pub fn store(&mut self, mut container: Container) -> Timed<ContainerId> {
+        assert!(container.id().is_null(), "container already stored");
+        assert!(!container.is_empty(), "refusing to store an empty container");
+        let id = ContainerId::new(self.next_id);
+        self.next_id += 1;
+        container.set_id(id);
+        self.stats.containers += 1;
+        self.stats.data_bytes += container.data_bytes();
+        let node = self.node_of(id);
+        let cost = self.nodes[node].disk.seq_write(self.container_bytes);
+        self.nodes[node].containers.insert(id.raw(), container);
+        Timed::new(id, cost)
+    }
+
+    /// Read a container (one random container-sized I/O on its node).
+    /// Returns a clone — cheap for zero payloads and refcounted for real
+    /// bytes.
+    pub fn read(&mut self, cid: ContainerId) -> Timed<Option<Container>> {
+        if cid.is_null() {
+            return Timed::free(None);
+        }
+        let node = self.node_of(cid);
+        let found = self.nodes[node].containers.get(&cid.raw()).cloned();
+        let cost = if found.is_some() {
+            self.stats.reads += 1;
+            self.nodes[node].disk.rand_read(self.container_bytes)
+        } else {
+            0.0
+        };
+        Timed::new(found, cost)
+    }
+
+    /// Read only a container's metadata section (fingerprints): the cheap
+    /// prefetch LPC performs on an index hit. Charged as one small random
+    /// read (metadata section ≈ 32 bytes/chunk).
+    pub fn read_metas(&mut self, cid: ContainerId) -> Timed<Option<Vec<debar_hash::Fingerprint>>> {
+        if cid.is_null() {
+            return Timed::free(None);
+        }
+        let node = self.node_of(cid);
+        match self.nodes[node].containers.get(&cid.raw()) {
+            Some(c) => {
+                let fps: Vec<_> = c.fingerprints().collect();
+                let meta_bytes = 4 + 32 * fps.len() as u64;
+                let cost = self.nodes[node].disk.rand_read(meta_bytes);
+                Timed::new(Some(fps), cost)
+            }
+            None => Timed::free(None),
+        }
+    }
+
+    /// Whether a container exists.
+    pub fn contains(&self, cid: ContainerId) -> bool {
+        !cid.is_null() && self.nodes[self.node_of(cid)].containers.contains_key(&cid.raw())
+    }
+
+    /// All container IDs, ascending.
+    pub fn container_ids(&self) -> Vec<ContainerId> {
+        let mut ids: Vec<ContainerId> = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.containers.keys().map(|&r| ContainerId::new(r)))
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Move a container onto an explicit node (defragmentation, §6.3);
+    /// charges a read on the source node and a write on the target.
+    /// Returns the I/O cost, or `None` if the container does not exist.
+    pub fn migrate(&mut self, cid: ContainerId, target_node: usize) -> Option<Secs> {
+        assert!(target_node < self.nodes.len());
+        let source = self.locate(cid)?;
+        if source == target_node {
+            return Some(0.0);
+        }
+        let container = self.nodes[source].containers.remove(&cid.raw())?;
+        let mut cost = self.nodes[source].disk.rand_read(self.container_bytes);
+        cost += self.nodes[target_node].disk.seq_write(self.container_bytes);
+        // Migrated containers keep their ID; the node mapping for migrated
+        // containers is overridden by presence.
+        self.nodes[target_node].containers.insert(cid.raw(), container);
+        Some(cost)
+    }
+
+    /// Locate a container after possible migration (presence scan fallback).
+    pub fn locate(&self, cid: ContainerId) -> Option<usize> {
+        let home = self.node_of(cid);
+        if self.nodes[home].containers.contains_key(&cid.raw()) {
+            return Some(home);
+        }
+        self.nodes.iter().position(|n| n.containers.contains_key(&cid.raw()))
+    }
+
+    /// Read a container wherever it lives (supports migrated containers).
+    pub fn read_anywhere(&mut self, cid: ContainerId) -> Timed<Option<Container>> {
+        match self.locate(cid) {
+            Some(node) => {
+                let found = self.nodes[node].containers.get(&cid.raw()).cloned();
+                self.stats.reads += 1;
+                let cost = self.nodes[node].disk.rand_read(self.container_bytes);
+                Timed::new(found, cost)
+            }
+            None => Timed::free(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::Payload;
+    use debar_hash::Fingerprint;
+    use debar_simio::models::paper;
+
+    fn fp(n: u64) -> Fingerprint {
+        Fingerprint::of_counter(n)
+    }
+
+    fn repo(nodes: usize) -> ChunkRepository {
+        ChunkRepository::new(nodes, paper::repo_disk(), 1 << 20)
+    }
+
+    fn container_with(range: std::ops::Range<u64>) -> Container {
+        let mut c = Container::new(1 << 20);
+        for i in range {
+            c.try_append(fp(i), Payload::Zero(1000));
+        }
+        c
+    }
+
+    #[test]
+    fn store_assigns_sequential_ids_round_robin() {
+        let mut r = repo(4);
+        let a = r.store(container_with(0..3)).value;
+        let b = r.store(container_with(3..6)).value;
+        let c = r.store(container_with(6..9)).value;
+        assert_eq!(a.raw(), 0);
+        assert_eq!(b.raw(), 1);
+        assert_eq!(c.raw(), 2);
+        assert_eq!(r.node_of(a), 0);
+        assert_eq!(r.node_of(b), 1);
+        assert_eq!(r.node_of(c), 2);
+        assert_eq!(r.stats().containers, 3);
+    }
+
+    #[test]
+    fn read_returns_stored_container() {
+        let mut r = repo(2);
+        let id = r.store(container_with(0..5)).value;
+        let got = r.read(id).value.expect("stored container");
+        assert_eq!(got.len(), 5);
+        assert_eq!(got.id(), id);
+        assert!(got.read_chunk(&fp(2)).is_some());
+        assert!(r.read(ContainerId::new(999)).value.is_none());
+        assert!(r.read(ContainerId::NULL).value.is_none());
+    }
+
+    #[test]
+    fn read_metas_is_cheaper_than_full_read() {
+        let mut r = repo(1);
+        let id = r.store(container_with(0..100)).value;
+        let metas = r.read_metas(id);
+        let full = r.read(id);
+        assert_eq!(metas.value.unwrap().len(), 100);
+        assert!(metas.cost < full.cost, "meta read must be cheaper");
+    }
+
+    #[test]
+    fn store_charges_target_node_disk() {
+        let mut r = repo(2);
+        let t = r.store(container_with(0..2));
+        assert!(t.cost > 0.0);
+        assert_eq!(r.nodes()[0].disk_stats().seq_write_bytes, r.container_bytes());
+        assert_eq!(r.nodes()[1].disk_stats().seq_write_bytes, 0);
+    }
+
+    #[test]
+    fn migrate_moves_and_read_anywhere_finds() {
+        let mut r = repo(3);
+        let id = r.store(container_with(0..4)).value; // node 0
+        let cost = r.migrate(id, 2).expect("exists");
+        assert!(cost > 0.0);
+        assert_eq!(r.locate(id), Some(2));
+        assert!(r.read(id).value.is_none(), "home node no longer has it");
+        let got = r.read_anywhere(id).value.expect("found after migration");
+        assert_eq!(got.len(), 4);
+        // Self-migration is free.
+        assert_eq!(r.migrate(id, 2), Some(0.0));
+        assert_eq!(r.migrate(ContainerId::new(123), 0), None);
+    }
+
+    #[test]
+    fn container_ids_sorted() {
+        let mut r = repo(2);
+        for i in 0..5u64 {
+            r.store(container_with(i * 2..i * 2 + 2));
+        }
+        let ids = r.container_ids();
+        assert_eq!(ids.len(), 5);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn storing_empty_container_rejected() {
+        repo(1).store(Container::new(100));
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_store_rejected() {
+        let mut r = repo(1);
+        let mut c = container_with(0..1);
+        c.set_id(ContainerId::new(5));
+        r.store(c);
+    }
+}

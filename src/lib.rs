@@ -1,0 +1,59 @@
+//! # DEBAR
+//!
+//! A from-scratch Rust implementation of **DEBAR**, the scalable
+//! high-performance de-duplication storage system for backup and archiving
+//! (Yang, Jiang, Feng, Niu — IPDPS 2010 / UNL TR-UNL-CSE-2009-0004).
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! * [`hash`] — SHA-1, Rabin fingerprinting, the 160-bit [`Fingerprint`]
+//! * [`chunk`] — content-defined chunking (CDC) and the fixed-size baseline
+//! * [`simio`] — the calibrated virtual-time disk/network/CPU substrate
+//! * [`index`] — the DEBAR disk index with SIL/SIU and capacity/performance
+//!   scaling
+//! * [`filter`] — the preliminary filter and the Bloom filter
+//! * [`store`] — containers, the chunk repository, SISL and LPC
+//! * [`workload`] — synthetic version-chain and HUSt-month workloads
+//! * [`ddfs`] — the DDFS comparison baseline
+//! * [`core`] — the DEBAR system: director, backup servers, TPDS,
+//!   PSIL/PSIU cluster, restore
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use debar::{DebarSystem, ClientId, Dataset};
+//! use debar::workload::files::{FileTreeConfig, FileTreeGen};
+//!
+//! // A single-server DEBAR deployment at 1/1024 of the paper's sizes.
+//! let mut system = DebarSystem::new(debar::core::config::DebarConfig::tiny_test(0));
+//! let job = system.define_job("documents", ClientId(0));
+//!
+//! // Back up a real-byte file tree (CDC + SHA-1 at the client).
+//! let tree = FileTreeGen::new(FileTreeConfig::default()).initial();
+//! let report = system.backup(job, &Dataset::from_file_specs(&tree));
+//! assert!(report.logical_bytes > 0);
+//!
+//! // Phase II: sequential index lookup, chunk storing, sequential update.
+//! let d2 = system.dedup2();
+//! assert_eq!(d2.store.stored_chunks as usize, report.transferred_chunks as usize);
+//!
+//! // Restore and verify every chunk by its SHA-1.
+//! let restored = system.restore_latest(job);
+//! assert_eq!(restored.failures, 0);
+//! ```
+
+pub use debar_chunk as chunk;
+pub use debar_core as core;
+pub use debar_ddfs as ddfs;
+pub use debar_filter as filter;
+pub use debar_hash as hash;
+pub use debar_index as index;
+pub use debar_simio as simio;
+pub use debar_store as store;
+pub use debar_workload as workload;
+
+pub use debar_core::{
+    ChunkedFile, ClientId, Dataset, DebarCluster, DebarConfig, DebarSystem, Dedup1Report,
+    Dedup2Report, FileContent, FileEntry, JobId, RestoreReport, RunId, ServerId, StreamChunk,
+};
+pub use debar_hash::{ContainerId, Fingerprint};

@@ -1,0 +1,146 @@
+//! Paper-shaped invariants: small-scale checks that the headline
+//! qualitative results of the evaluation hold in this implementation.
+
+use debar::ddfs::{DdfsConfig, DdfsServer};
+use debar::filter::bloom::false_positive_rate;
+use debar::index::theory::{predicted_exit_eta, UtilizationSim};
+use debar::index::{DiskIndex, IndexCache, IndexParams};
+use debar::workload::ChunkRecord;
+use debar::{ClientId, ContainerId, Dataset, DebarCluster, DebarConfig, Fingerprint};
+
+fn records(range: std::ops::Range<u64>) -> Vec<ChunkRecord> {
+    range.map(ChunkRecord::of_counter).collect()
+}
+
+#[test]
+fn sil_beats_random_lookup_by_orders_of_magnitude() {
+    // §5.2: "such a lookup speed is over two orders of magnitude higher
+    // than conventional random index lookup approaches".
+    let mut idx = DiskIndex::with_paper_disk(IndexParams::new(10, 512), 1);
+    idx.bulk_load((0..5000u64).map(|i| (Fingerprint::of_counter(i), ContainerId::new(0))));
+    let mut cache = IndexCache::new(8, 50_000);
+    for i in 0..20_000u64 {
+        cache.insert(Fingerprint::of_counter(100_000 + i), 0);
+    }
+    let batch = cache.len() as f64;
+    let t = idx.sequential_lookup(&mut cache);
+    let sil_rate = batch / t.cost;
+    let rand_rate = 1.0 / idx.lookup_random(&Fingerprint::of_counter(1)).cost;
+    assert!(
+        sil_rate > 100.0 * rand_rate,
+        "SIL {sil_rate:.0} fps/s vs random {rand_rate:.0} fps/s"
+    );
+}
+
+#[test]
+fn ddfs_throughput_collapses_when_bloom_saturates() {
+    // Fig. 12's cliff: same stream, healthy vs saturated summary vector.
+    let stream = records(5_000_000..5_004_000);
+    let run = |ballast: u64| {
+        let mut cfg = DdfsConfig::paper_scaled(8192);
+        cfg.index = IndexParams::new(12, 512);
+        let mut s = DdfsServer::new(cfg);
+        s.preload((0..ballast).map(|i| (Fingerprint::of_counter(i), ContainerId::new(0))));
+        let rep = s.backup_stream(&stream);
+        rep.throughput_mibps()
+    };
+    let healthy = run(1_000); // m/n huge
+    let saturated = run(400_000); // m/n ~ 2.6: fp rate > 30%
+    assert!(
+        saturated < 0.5 * healthy,
+        "no cliff: healthy {healthy:.0} vs saturated {saturated:.0} MiB/s"
+    );
+}
+
+#[test]
+fn bloom_false_positive_math_matches_paper_quotes() {
+    // §1: 1GB filter / 8TB capacity -> ~2%; §6.1.3: m/n=4 -> ~14.6%.
+    let two_pct = false_positive_rate(8, 1, 4);
+    assert!((0.015..0.03).contains(&two_pct), "{two_pct}");
+    let fourteen = false_positive_rate(4, 1, 4);
+    assert!((0.12..0.18).contains(&fourteen), "{fourteen}");
+}
+
+#[test]
+fn bucket_utilization_tracks_table2_ordering() {
+    // Table 2: utilization strictly rises with bucket size, and the
+    // formula-(1) exit prediction tracks measurement.
+    let mut last = 0.0;
+    for (n, b) in [(12u32, 20u32), (12, 80), (12, 320)] {
+        let runs = UtilizationSim { n_bits: n, b }.run_many(3, 4);
+        let eta = runs.iter().map(|r| r.utilization).sum::<f64>() / runs.len() as f64;
+        assert!(eta > last, "utilization not increasing at b={b}");
+        let predicted = predicted_exit_eta(n, b);
+        assert!((eta - predicted).abs() < 0.09, "b={b}: {eta} vs {predicted}");
+        last = eta;
+    }
+}
+
+#[test]
+fn preliminary_filter_cuts_network_traffic_not_compression() {
+    // §5.1/Fig. 7: the filter reduces transfer; dedup-2 guarantees the
+    // same final stored set either way.
+    let version_a = records(0..2000);
+    let mut version_b = records(0..1500); // 75% overlap with a
+    version_b.extend(records(10_000..10_500));
+
+    let run = |filter_bytes: u64| {
+        let mut cfg = DebarConfig::tiny_test(0);
+        cfg.filter_bytes = filter_bytes;
+        let mut c = DebarCluster::new(cfg);
+        let job = c.define_job("j", ClientId(0));
+        c.backup(job, &Dataset::from_records("s", version_a.clone()));
+        c.run_dedup2();
+        let rep = c.backup(job, &Dataset::from_records("s", version_b.clone()));
+        c.run_dedup2();
+        c.force_siu();
+        (rep.transferred_bytes, c.index_entries())
+    };
+    let (with_filter_tx, with_entries) = run(28 * 100_000);
+    let (no_filter_tx, no_entries) = run(28); // 1-entry filter = disabled
+    assert!(
+        (with_filter_tx as f64) < 0.4 * no_filter_tx as f64,
+        "filter saved too little: {with_filter_tx} vs {no_filter_tx}"
+    );
+    assert_eq!(with_entries, no_entries, "final stored set must be identical");
+    assert_eq!(with_entries, 2500);
+}
+
+#[test]
+fn sisl_gives_lpc_high_hit_rate_on_restore() {
+    // §6.2: "99.3% random small disk I/Os for fingerprint lookup were
+    // eliminated by LPC."
+    let mut c = DebarCluster::new(DebarConfig::tiny_test(0));
+    let job = c.define_job("j", ClientId(0));
+    c.backup(job, &Dataset::from_records("s", records(0..4000)));
+    c.run_dedup2();
+    c.force_siu();
+    let rep = c.restore_run(debar::RunId { job, version: 0 });
+    assert_eq!(rep.failures, 0);
+    assert!(
+        rep.lpc_hit_ratio() > 0.97,
+        "LPC hit ratio {:.4} below the paper's regime",
+        rep.lpc_hit_ratio()
+    );
+}
+
+#[test]
+fn sil_time_independent_of_batch_size() {
+    // §5.2/Fig. 10: SIL time is a function of index size and transfer
+    // rate, not of how many fingerprints are processed.
+    let mut idx = DiskIndex::with_paper_disk(IndexParams::new(12, 512), 2);
+    idx.bulk_load((0..20_000u64).map(|i| (Fingerprint::of_counter(i), ContainerId::new(0))));
+    let mut cost_of = |n: u64| {
+        let mut cache = IndexCache::new(8, 1 << 20);
+        for i in 0..n {
+            cache.insert(Fingerprint::of_counter(1_000_000 + i), 0);
+        }
+        idx.sequential_lookup(&mut cache).cost
+    };
+    let small = cost_of(100);
+    let large = cost_of(5_000);
+    assert!(
+        (small - large).abs() / small < 0.02,
+        "SIL cost varied with batch: {small} vs {large}"
+    );
+}

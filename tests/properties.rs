@@ -1,0 +1,102 @@
+//! Cross-crate property tests: arbitrary inputs through chunking, hashing,
+//! containers and the full system.
+
+use bytes::Bytes;
+use debar::chunk::{CdcChunker, CdcParams};
+use debar::store::{Container, Payload};
+use debar::workload::ChunkRecord;
+use debar::{ClientId, Dataset, DebarCluster, DebarConfig, FileContent, FileEntry, Fingerprint, RunId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any byte content survives chunk → hash → container → read intact.
+    #[test]
+    fn prop_chunk_store_read_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+        let chunker = CdcChunker::new(CdcParams::small());
+        let bytes = Bytes::from(data.clone());
+        let spans = chunker.chunk_all(&bytes);
+        let mut container = Container::new(1 << 20);
+        let mut fps = Vec::new();
+        for span in &spans {
+            let body = bytes.slice(span.offset as usize..span.end() as usize);
+            let fp = Fingerprint::of_bytes(&body);
+            prop_assert!(container.try_append(fp, Payload::Real(body)));
+            fps.push(fp);
+        }
+        // Serialize/deserialize and reassemble the original bytes by
+        // walking chunks in stream order.
+        let back = Container::deserialize(&container.serialize(), 1 << 20).expect("roundtrip");
+        let mut rebuilt = Vec::with_capacity(data.len());
+        for (meta, payload) in back.metas().iter().zip(0..back.len()).map(|(m, i)| {
+            let (meta, payload) = back.slot(i);
+            prop_assert_eq!(m.fp, meta.fp);
+            Ok((meta, payload))
+        }).collect::<Result<Vec<_>, TestCaseError>>()? {
+            let body = payload.materialize();
+            prop_assert_eq!(body.len() as u32, meta.len);
+            rebuilt.extend_from_slice(&body);
+        }
+        prop_assert_eq!(rebuilt, data);
+    }
+
+    /// Backing up any record stream and restoring returns exactly its
+    /// logical bytes, and the index holds exactly the distinct fingerprints.
+    #[test]
+    fn prop_system_roundtrip_records(counters in proptest::collection::vec(0u64..500, 1..400)) {
+        let mut c = DebarCluster::new(DebarConfig::tiny_test(1));
+        let job = c.define_job("p", ClientId(0));
+        let recs: Vec<ChunkRecord> = counters.iter().map(|&x| ChunkRecord::of_counter(x)).collect();
+        let logical: u64 = recs.iter().map(|r| r.len as u64).sum();
+        let distinct: std::collections::HashSet<_> = recs.iter().map(|r| r.fp).collect();
+        c.backup(job, &Dataset::from_records("s", recs));
+        let d2 = c.run_dedup2();
+        prop_assert_eq!(d2.store.stored_chunks as usize, distinct.len());
+        prop_assert_eq!(c.index_entries() as usize, distinct.len());
+        let rep = c.restore_run(RunId { job, version: 0 });
+        prop_assert_eq!(rep.failures, 0);
+        prop_assert_eq!(rep.bytes, logical);
+    }
+
+    /// Multi-file byte datasets restore byte-exact regardless of content.
+    #[test]
+    fn prop_system_roundtrip_bytes(
+        files in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..4000), 1..6)
+    ) {
+        let mut c = DebarCluster::new(DebarConfig::tiny_test(0));
+        let job = c.define_job("p", ClientId(0));
+        let ds = Dataset {
+            files: files
+                .iter()
+                .enumerate()
+                .map(|(i, data)| FileEntry {
+                    path: format!("f{i}"),
+                    content: FileContent::Bytes(Bytes::from(data.clone())),
+                })
+                .collect(),
+        };
+        let logical = ds.logical_bytes();
+        c.backup(job, &ds);
+        c.run_dedup2();
+        let rep = c.restore_run(RunId { job, version: 0 });
+        prop_assert_eq!(rep.failures, 0);
+        prop_assert_eq!(rep.bytes, logical);
+        prop_assert_eq!(rep.files as usize, files.len());
+    }
+
+    /// Re-backing-up any stream under the same job transfers nothing and
+    /// stores nothing new.
+    #[test]
+    fn prop_repeat_backup_is_free(counters in proptest::collection::vec(0u64..1000, 1..300)) {
+        let mut c = DebarCluster::new(DebarConfig::tiny_test(0));
+        let job = c.define_job("p", ClientId(0));
+        let recs: Vec<ChunkRecord> = counters.iter().map(|&x| ChunkRecord::of_counter(x)).collect();
+        c.backup(job, &Dataset::from_records("s", recs.clone()));
+        c.run_dedup2();
+        let rep = c.backup(job, &Dataset::from_records("s", recs));
+        prop_assert_eq!(rep.transferred_chunks, 0, "job-chain filter must eliminate everything");
+        let d2 = c.run_dedup2();
+        prop_assert_eq!(d2.store.stored_chunks, 0);
+    }
+}

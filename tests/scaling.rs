@@ -1,0 +1,110 @@
+//! Integration tests for the §4.1 scaling properties at cluster level:
+//! capacity scaling (double each part) and performance scaling (double the
+//! servers), applied repeatedly while data keeps flowing.
+
+use debar::workload::ChunkRecord;
+use debar::{ClientId, Dataset, DebarCluster, DebarConfig, RunId};
+
+fn records(range: std::ops::Range<u64>) -> Vec<ChunkRecord> {
+    range.map(ChunkRecord::of_counter).collect()
+}
+
+#[test]
+fn full_scaling_ladder_preserves_everything() {
+    // (1,x) -> capacity x2 -> (2, x) -> capacity x2 -> (4, x), with new
+    // backups between every transition; everything stays restorable.
+    let mut c = DebarCluster::new(DebarConfig::tiny_test(0));
+    let job = c.define_job("ladder", ClientId(0));
+    let mut next = 0u64;
+    let mut backed_up: Vec<std::ops::Range<u64>> = Vec::new();
+    let step = |c: &mut DebarCluster, next: &mut u64| {
+        let range = *next..*next + 1200;
+        *next += 1200;
+        c.backup(job, &Dataset::from_records("s", records(range.clone())));
+        c.run_dedup2();
+        c.force_siu();
+        range
+    };
+
+    backed_up.push(step(&mut c, &mut next));
+    let entries = c.index_entries();
+    c.scale_up_indexes();
+    assert_eq!(c.index_entries(), entries, "capacity scaling lost entries");
+
+    backed_up.push(step(&mut c, &mut next));
+    c.scale_out();
+    assert_eq!(c.server_count(), 2);
+
+    backed_up.push(step(&mut c, &mut next));
+    c.scale_up_indexes();
+    c.scale_out();
+    assert_eq!(c.server_count(), 4);
+
+    backed_up.push(step(&mut c, &mut next));
+
+    // All fingerprints from every era resolve; all runs restore clean.
+    for range in &backed_up {
+        for r in records(range.clone()) {
+            assert!(c.resolve(&r.fp).is_some(), "lost {:?}", r.fp);
+        }
+    }
+    for version in 0..backed_up.len() as u32 {
+        let rep = c.restore_run(RunId { job, version });
+        assert_eq!(rep.failures, 0, "version {version} broken after scaling");
+    }
+    assert_eq!(c.index_entries(), next);
+}
+
+#[test]
+fn dedup_still_works_after_scaling() {
+    // Content stored before any scaling must be recognized as duplicate
+    // after two scale-outs.
+    let mut c = DebarCluster::new(DebarConfig::tiny_test(0));
+    let job = c.define_job("j", ClientId(0));
+    let recs = records(0..2500);
+    c.backup(job, &Dataset::from_records("s", recs.clone()));
+    c.run_dedup2();
+    c.force_siu();
+    c.scale_out();
+    c.scale_out();
+    assert_eq!(c.server_count(), 4);
+
+    c.backup(job, &Dataset::from_records("s", recs));
+    let d2 = c.run_dedup2();
+    assert_eq!(d2.store.stored_chunks, 0, "pre-scaling content re-stored");
+    assert_eq!(c.index_entries(), 2500);
+}
+
+#[test]
+fn scale_out_requires_quiescence() {
+    let mut c = DebarCluster::new(DebarConfig::tiny_test(0));
+    let job = c.define_job("j", ClientId(0));
+    c.backup(job, &Dataset::from_records("s", records(0..500)));
+    // Undetermined fingerprints staged: scaling must refuse.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        c.scale_out();
+    }));
+    assert!(result.is_err(), "scale-out must refuse non-quiesced servers");
+}
+
+#[test]
+fn siu_capacity_scaling_under_pressure() {
+    // A deliberately tiny index: repeated SIU batches force repeated
+    // capacity scalings; nothing is lost and utilization stays sane.
+    let mut cfg = DebarConfig::tiny_test(0);
+    cfg.index_part_bytes = 16 * 512; // 16 buckets of 20 entries
+    let mut c = DebarCluster::new(cfg);
+    let job = c.define_job("j", ClientId(0));
+    for round in 0..4u64 {
+        let range = round * 2000..(round + 1) * 2000;
+        c.backup(job, &Dataset::from_records("s", records(range)));
+        c.run_dedup2();
+    }
+    c.force_siu();
+    assert_eq!(c.index_entries(), 8000);
+    let util = c.index_utilization();
+    assert!(util > 0.05 && util < 0.95, "utilization {util} out of range");
+    for r in records(0..8000) {
+        assert!(c.resolve(&r.fp).is_some());
+    }
+}
