@@ -116,7 +116,10 @@ fn fig11_random_lookup(c: &mut Criterion) {
     c.bench_function("fig11/random_lookup", |b| {
         b.iter(|| {
             i += 1;
-            black_box(idx.lookup_random(&Fingerprint::of_counter(i % 100_000)).value)
+            black_box(
+                idx.lookup_random(&Fingerprint::of_counter(i % 100_000))
+                    .value,
+            )
         })
     });
 }

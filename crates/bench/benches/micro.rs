@@ -51,9 +51,13 @@ fn chunk_benches(c: &mut Criterion) {
     let cdc = CdcChunker::new(CdcParams::small());
     let mut g = c.benchmark_group("chunking");
     g.throughput(Throughput::Bytes(data.len() as u64));
-    g.bench_function("cdc_256k", |b| b.iter(|| black_box(cdc.chunk_all(&data).len())));
+    g.bench_function("cdc_256k", |b| {
+        b.iter(|| black_box(cdc.chunk_all(&data).len()))
+    });
     let fixed = FixedChunker::new(4096);
-    g.bench_function("fixed_256k", |b| b.iter(|| black_box(fixed.chunk_all(&data).len())));
+    g.bench_function("fixed_256k", |b| {
+        b.iter(|| black_box(fixed.chunk_all(&data).len()))
+    });
     g.finish();
 }
 
@@ -63,7 +67,10 @@ fn index_benches(c: &mut Criterion) {
     c.bench_function("index/insert_random", |b| {
         b.iter(|| {
             i += 1;
-            black_box(idx.insert_random(Fingerprint::of_counter(i), ContainerId::new(0)).value)
+            black_box(
+                idx.insert_random(Fingerprint::of_counter(i), ContainerId::new(0))
+                    .value,
+            )
         })
     });
     c.bench_function("index/lookup_uncharged", |b| {
@@ -100,7 +107,9 @@ fn store_benches(c: &mut Criterion) {
             let mut m = ContainerManager::new(8 << 20);
             let mut sealed = 0;
             for k in 0..1024u64 {
-                if m.append(Fingerprint::of_counter(k), Payload::Zero(8192)).is_some() {
+                if m.append(Fingerprint::of_counter(k), Payload::Zero(8192))
+                    .is_some()
+                {
                     sealed += 1;
                 }
             }
@@ -117,14 +126,20 @@ fn store_benches(c: &mut Criterion) {
         }
         b.iter(|| {
             let raw = cont.serialize();
-            black_box(Container::deserialize(&raw, 1 << 20).expect("roundtrip").len())
+            black_box(
+                Container::deserialize(&raw, 1 << 20)
+                    .expect("roundtrip")
+                    .len(),
+            )
         })
     });
     let mut lpc = LpcCache::new(16);
     for cid in 0..16u64 {
         lpc.insert_container(
             ContainerId::new(cid),
-            (0..1024).map(|k| Fingerprint::of_counter(cid * 1024 + k)).collect(),
+            (0..1024)
+                .map(|k| Fingerprint::of_counter(cid * 1024 + k))
+                .collect(),
         );
     }
     let mut i = 0u64;

@@ -19,8 +19,9 @@ fn run(siu_interval: u32, denom: u64) -> (f64, f64, u32, u64) {
     cfg.siu_interval = siu_interval;
     let mut cluster = DebarCluster::new(cfg);
     let clients = 4usize;
-    let jobs: Vec<JobId> =
-        (0..clients).map(|i| cluster.define_job(format!("j{i}"), ClientId(i as u32))).collect();
+    let jobs: Vec<JobId> = (0..clients)
+        .map(|i| cluster.define_job(format!("j{i}"), ClientId(i as u32)))
+        .collect();
     let mut gen = MultiStreamGen::new(MultiStreamConfig {
         clients,
         version_chunks: ((10u64 << 30) / 8192 / denom).max(64) as usize,
@@ -32,7 +33,9 @@ fn run(siu_interval: u32, denom: u64) -> (f64, f64, u32, u64) {
     let mut stored = 0u64;
     for _ in 0..9 {
         for (i, v) in gen.next_round().into_iter().enumerate() {
-            logical += cluster.backup(jobs[i], &Dataset::from_records("v", v)).logical_bytes;
+            logical += cluster
+                .backup(jobs[i], &Dataset::from_records("v", v))
+                .logical_bytes;
         }
         let d2 = cluster.run_dedup2();
         d2_time += d2.total_wall();
@@ -46,7 +49,10 @@ fn run(siu_interval: u32, denom: u64) -> (f64, f64, u32, u64) {
 }
 
 fn main() {
-    let denom: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1024);
+    let denom: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
     let mut t = TablePrinter::new(&[
         "SIU policy",
         "dedup-2 MiB/s",
@@ -54,7 +60,10 @@ fn main() {
         "SIU sweeps",
         "stored chunks",
     ]);
-    for (label, interval) in [("synchronous (every round)", 1u32), ("async (every 3rd)", 3)] {
+    for (label, interval) in [
+        ("synchronous (every round)", 1u32),
+        ("async (every 3rd)", 3),
+    ] {
         let (tp, time, sweeps, stored) = run(interval, denom);
         t.row(vec![
             label.into(),

@@ -14,7 +14,10 @@ use debar_index::theory::{max_eta_for_bound, predicted_exit_eta, UtilizationSim}
 use debar_simio::models::paper;
 
 fn main() {
-    let runs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let runs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
     let mut t = TablePrinter::new(&[
         "bucket",
         "b",
@@ -23,11 +26,23 @@ fn main() {
         "exit eta (paper n)",
         "rand-lookup cost (ms)",
     ]);
-    for (kb, n_paper) in [(0.5f64, 30u32), (1.0, 29), (2.0, 28), (4.0, 27), (8.0, 26), (16.0, 25), (32.0, 24), (64.0, 23)] {
+    for (kb, n_paper) in [
+        (0.5f64, 30u32),
+        (1.0, 29),
+        (2.0, 28),
+        (4.0, 27),
+        (8.0, 26),
+        (16.0, 25),
+        (32.0, 24),
+        (64.0, 23),
+    ] {
         let bucket_bytes = (kb * 1024.0) as usize;
         let b = (bucket_bytes / 512 * 20) as u32;
         let n_scaled = n_paper - 10;
-        let sim = UtilizationSim { n_bits: n_scaled, b };
+        let sim = UtilizationSim {
+            n_bits: n_scaled,
+            b,
+        };
         let measured: f64 = sim
             .run_many(7, runs)
             .iter()

@@ -17,11 +17,18 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(MonthConfig::default().denom);
-    let base = MonthConfig { denom, run_ddfs: false, ..MonthConfig::default() };
+    let base = MonthConfig {
+        denom,
+        run_ddfs: false,
+        ..MonthConfig::default()
+    };
     eprintln!("with filter...");
     let with = run_month(base);
     eprintln!("without filter...");
-    let without = run_month(MonthConfig { disable_prelim_filter: true, ..base });
+    let without = run_month(MonthConfig {
+        disable_prelim_filter: true,
+        ..base
+    });
 
     let last = with.last();
     let row = |label: &str, r: &debar_bench::month::MonthReport| {

@@ -38,15 +38,24 @@ fn run(shuffled_layout: bool, denom: u64) -> (f64, f64) {
     cluster.run_dedup2();
     cluster.force_siu();
 
-    let rep = cluster.restore_run(RunId { job: ref_job, version: 0 });
+    let rep = cluster.restore_run(RunId {
+        job: ref_job,
+        version: 0,
+    });
     assert_eq!(rep.failures, 0);
     (rep.lpc_hit_ratio(), rep.throughput_mibps())
 }
 
 fn main() {
-    let denom: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1024);
+    let denom: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
     let mut t = TablePrinter::new(&["layout", "LPC hit ratio", "restore MiB/s"]);
-    for (label, shuffled) in [("SISL (stream order)", false), ("shuffled (no locality)", true)] {
+    for (label, shuffled) in [
+        ("SISL (stream order)", false),
+        ("shuffled (no locality)", true),
+    ] {
         let (hits, tp) = run(shuffled, denom);
         t.row(vec![label.into(), f(hits, 4), f(tp, 1)]);
     }

@@ -21,9 +21,7 @@ fn build_index(nominal_bytes: u64, denom: u64, fill: f64, seed: u64) -> DiskInde
     let params = IndexParams::from_total_size(nominal_bytes / denom, paper::DEFAULT_BUCKET_BYTES);
     let mut idx = DiskIndex::with_paper_disk(params, seed);
     let entries = (params.max_entries() as f64 * fill) as u64;
-    idx.bulk_load(
-        (0..entries).map(|i| (Fingerprint::of_counter(i), ContainerId::new(i % 1000))),
-    );
+    idx.bulk_load((0..entries).map(|i| (Fingerprint::of_counter(i), ContainerId::new(i % 1000))));
     idx
 }
 
@@ -32,19 +30,17 @@ fn cache_for(nominal_cache: u64, denom: u64) -> IndexCache {
 }
 
 fn main() {
-    let denom: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1024);
+    let denom: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
     let sizes = [32 * GIB, 64 * GIB, 128 * GIB, 256 * GIB, 512 * GIB];
     let caches = [GIB, 2 * GIB, 3 * GIB];
     let fill = 0.35;
 
     println!("Figure 10: SIL and SIU time overheads vs disk index size\n");
-    let mut fig10 = TablePrinter::new(&[
-        "index",
-        "SIL (min)",
-        "SIU (min)",
-        "SIL paper",
-        "SIU paper",
-    ]);
+    let mut fig10 =
+        TablePrinter::new(&["index", "SIL (min)", "SIU (min)", "SIL paper", "SIU paper"]);
     let paper_sil = [2.53, 5.1, 10.1, 19.9, 38.98];
     let paper_siu = [6.16, 12.3, 24.5, 48.9, 97.07];
     // Measured speeds for Figure 11: speeds[(cache, size)] = (sil, siu).
@@ -70,7 +66,12 @@ fn main() {
             sil_speed[ci][si] = batch as f64 / t.cost;
             // SIU: register the batch (all new).
             let updates: Vec<(Fingerprint, ContainerId)> = (0..batch as u64)
-                .map(|i| (Fingerprint::of_counter(2_000_000_000 + i), ContainerId::new(1)))
+                .map(|i| {
+                    (
+                        Fingerprint::of_counter(2_000_000_000 + i),
+                        ContainerId::new(1),
+                    )
+                })
                 .collect();
             let t = idx.sequential_update(&updates);
             let siu_nominal = t.cost * denom as f64;
@@ -101,7 +102,10 @@ fn main() {
     let mut update_cost = 0.0;
     for i in 0..probes {
         update_cost += idx
-            .insert_random(Fingerprint::of_counter(3_000_000_000 + i), ContainerId::new(2))
+            .insert_random(
+                Fingerprint::of_counter(3_000_000_000 + i),
+                ContainerId::new(2),
+            )
             .cost;
         // An update is a read-modify-write: add the write-back of the
         // bucket (insert_random already charges it).
@@ -110,7 +114,14 @@ fn main() {
 
     println!("\nFigure 11: lookup/update efficiencies (fingerprints per second)\n");
     let mut fig11 = TablePrinter::new(&[
-        "index", "SIL-1GB", "SIL-2GB", "SIL-3GB", "SIU-1GB", "SIU-2GB", "SIU-3GB", "rand-lookup",
+        "index",
+        "SIL-1GB",
+        "SIL-2GB",
+        "SIL-3GB",
+        "SIU-1GB",
+        "SIU-2GB",
+        "SIU-3GB",
+        "rand-lookup",
         "rand-update",
     ]);
     for (si, &size) in sizes.iter().enumerate() {

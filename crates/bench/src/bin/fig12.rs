@@ -24,7 +24,10 @@ const TIB: u64 = 1 << 40;
 const BALLAST_BASE: u64 = 63u64 << 58;
 
 fn main() {
-    let denom: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1024);
+    let denom: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
     // (capacity, index size): 8 TB per 32 GB of index (§5.2).
     let points: [(u64, u64); 5] = [
         (8 * TIB, 32 * GIB),
@@ -56,9 +59,12 @@ fn main() {
         cfg.index_part_bytes = index_bytes / denom;
         cfg.dedup2_trigger_fps = cfg.cache_fps();
         let mut debar = DebarCluster::new(cfg);
-        debar.preload_index(
-            (0..ballast).map(|i| (Fingerprint::of_counter(BALLAST_BASE + i), ContainerId::new(0))),
-        );
+        debar.preload_index((0..ballast).map(|i| {
+            (
+                Fingerprint::of_counter(BALLAST_BASE + i),
+                ContainerId::new(0),
+            )
+        }));
         let hust = HustConfig {
             scale: debar_simio::ScaleModel::new(denom),
             days,
@@ -101,9 +107,12 @@ fn main() {
         let mut dcfg = DdfsConfig::paper_scaled(denom);
         dcfg.index = debar_index::IndexParams::from_total_size(index_bytes / denom, 512);
         let mut ddfs = DdfsServer::new(dcfg);
-        ddfs.preload(
-            (0..ballast).map(|i| (Fingerprint::of_counter(BALLAST_BASE + i), ContainerId::new(0))),
-        );
+        ddfs.preload((0..ballast).map(|i| {
+            (
+                Fingerprint::of_counter(BALLAST_BASE + i),
+                ContainerId::new(0),
+            )
+        }));
         let hust = HustConfig {
             scale: debar_simio::ScaleModel::new(denom),
             days,

@@ -19,7 +19,10 @@ const TIB: u64 = 1 << 40;
 const SERVERS: usize = 16;
 
 fn main() {
-    let denom: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4096);
+    let denom: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4096);
     let totals = [TIB / 2, TIB, 2 * TIB, 4 * TIB, 8 * TIB];
     let cache_bytes = GIB / denom;
     let fill = 0.35;
@@ -39,8 +42,7 @@ fn main() {
                 let entries = (params.max_entries() as f64 * fill) as u64;
                 let base = (s as u64) << 40;
                 idx.bulk_load(
-                    (0..entries)
-                        .map(|i| (Fingerprint::of_counter(base + i), ContainerId::new(0))),
+                    (0..entries).map(|i| (Fingerprint::of_counter(base + i), ContainerId::new(0))),
                 );
                 idx
             })
@@ -63,7 +65,10 @@ fn main() {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("PSIL worker")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("PSIL worker"))
+                .collect()
         });
         let psil_wall = barrier_max(&psil_walls);
         let psil = (SERVERS * batch) as f64 / psil_wall / 1e3;
@@ -83,7 +88,10 @@ fn main() {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("PSIU worker")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("PSIU worker"))
+                .collect()
         });
         let psiu_wall = barrier_max(&psiu_walls);
         let psiu = (SERVERS * batch) as f64 / psiu_wall / 1e3;

@@ -19,7 +19,10 @@ const CLIENTS: usize = 64;
 const VERSIONS: usize = 10;
 
 fn main() {
-    let denom: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4096);
+    let denom: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4096);
     // Nominal 50 GB per version per client (§6.2).
     let version_chunks = ((50u64 << 30) / 8192 / denom).max(64) as usize;
     let totals = [TIB / 2, TIB, 2 * TIB, 4 * TIB, 8 * TIB];
@@ -130,7 +133,10 @@ fn main() {
         let mut bytes = 0u64;
         let mut failures = 0u64;
         for &job in &jobs {
-            let rep = cluster.restore_run(RunId { job, version: v as u32 });
+            let rep = cluster.restore_run(RunId {
+                job,
+                version: v as u32,
+            });
             bytes += rep.bytes;
             failures += rep.failures;
         }

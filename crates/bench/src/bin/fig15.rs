@@ -17,7 +17,10 @@ use debar_workload::{MultiStreamConfig, MultiStreamGen};
 const GIB: u64 = 1 << 30;
 
 fn main() {
-    let denom: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2048);
+    let denom: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2048);
     let rounds_per_mode = 2usize;
     let version_chunks = ((50u64 << 30) / 8192 / denom).max(64) as usize;
     // 64 clients throughout, matching the paper's testbed.
@@ -71,8 +74,7 @@ fn main() {
             let max_fps: u64 = (0..cluster.server_count())
                 .map(|s| cluster.server(s as u16).index().params().max_entries())
                 .sum();
-            let capacity_tb =
-                (max_fps as f64 * 0.8 * 8192.0 * denom as f64) / (1u64 << 40) as f64;
+            let capacity_tb = (max_fps as f64 * 0.8 * 8192.0 * denom as f64) / (1u64 << 40) as f64;
             t.row(vec![
                 servers.to_string(),
                 format!("{part_gb}GB"),

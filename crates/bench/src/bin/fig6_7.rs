@@ -14,9 +14,14 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(MonthConfig::default().denom);
     eprintln!("running the HUSt month at scale 1/{denom} (DEBAR + DDFS)...");
-    let r = run_month(MonthConfig { denom, ..MonthConfig::default() });
+    let r = run_month(MonthConfig {
+        denom,
+        ..MonthConfig::default()
+    });
 
-    println!("Figure 6: logical vs physically stored data (scale 1/{denom}; paper sizes = x{denom})\n");
+    println!(
+        "Figure 6: logical vs physically stored data (scale 1/{denom}; paper sizes = x{denom})\n"
+    );
     let mut t = TablePrinter::new(&["day", "logical(cum)", "DEBAR stored", "DDFS stored"]);
     for (i, row) in r.rows.iter().enumerate() {
         t.row(vec![

@@ -13,7 +13,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(MonthConfig::default().denom);
     eprintln!("running the HUSt month at scale 1/{denom} (DEBAR + DDFS)...");
-    let r = run_month(MonthConfig { denom, ..MonthConfig::default() });
+    let r = run_month(MonthConfig {
+        denom,
+        ..MonthConfig::default()
+    });
 
     println!("Figure 8: DEBAR throughput over time (MiB/s)\n");
     let mut t = TablePrinter::new(&[

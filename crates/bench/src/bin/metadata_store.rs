@@ -19,7 +19,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
-    let jobs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(256);
+    let jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
     let versions = 6usize;
     let fps_per_run = 4096usize;
 
@@ -38,7 +41,10 @@ fn main() {
     };
 
     let start = Instant::now();
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8).min(16);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8)
+        .min(16);
     let written_bytes: u64 = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
@@ -57,7 +63,10 @@ fn main() {
                                 .collect();
                             bytes += 20 * fps.len() as u64;
                             let rec = RunRecord {
-                                run: debar_core::RunId { job, version: v as u32 },
+                                run: debar_core::RunId {
+                                    job,
+                                    version: v as u32,
+                                },
                                 server: 0,
                                 client: ClientId(i as u32),
                                 logical_bytes: fps.len() as u64 * 8192,

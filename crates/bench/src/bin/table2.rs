@@ -16,7 +16,10 @@ use debar_bench::table::{f, TablePrinter};
 use debar_index::theory::{predicted_exit_eta, UtilizationSim};
 
 fn main() {
-    let runs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let runs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
     // (bucket KB, b, paper n, paper eta avg, paper rho %, paper n3 over 50 runs)
     let cases = [
         (0.5, 20u32, 30u32, 0.4145, 0.068, 147u64),

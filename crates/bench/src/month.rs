@@ -26,7 +26,13 @@ pub struct MonthConfig {
 
 impl Default for MonthConfig {
     fn default() -> Self {
-        MonthConfig { denom: 256, days: 31, clients: 8, run_ddfs: true, disable_prelim_filter: false }
+        MonthConfig {
+            denom: 256,
+            days: 31,
+            clients: 8,
+            run_ddfs: true,
+            disable_prelim_filter: false,
+        }
     }
 }
 
@@ -123,7 +129,10 @@ impl MonthReport {
 
     /// DEBAR dedup-1 cumulative throughput.
     pub fn d1_cum_tp(&self, i: usize) -> f64 {
-        mibps(self.cum_logical(i), self.rows[..=i].iter().map(|r| r.d1_wall).sum())
+        mibps(
+            self.cum_logical(i),
+            self.rows[..=i].iter().map(|r| r.d1_wall).sum(),
+        )
     }
 
     /// DEBAR dedup-2 daily throughput over its processed log bytes.
@@ -154,7 +163,10 @@ impl MonthReport {
 
     /// DDFS cumulative throughput.
     pub fn ddfs_cum_tp(&self, i: usize) -> f64 {
-        mibps(self.cum_logical(i), self.rows[..=i].iter().map(|r| r.ddfs_wall).sum())
+        mibps(
+            self.cum_logical(i),
+            self.rows[..=i].iter().map(|r| r.ddfs_wall).sum(),
+        )
     }
 
     /// Last day index.
@@ -194,11 +206,16 @@ pub fn run_month(cfg: MonthConfig) -> MonthReport {
         .map(|i| debar.define_job(format!("hust-node-{i}"), ClientId(i as u32)))
         .collect();
 
-    let mut ddfs = cfg.run_ddfs.then(|| DdfsServer::new(DdfsConfig::paper_scaled(cfg.denom)));
+    let mut ddfs = cfg
+        .run_ddfs
+        .then(|| DdfsServer::new(DdfsConfig::paper_scaled(cfg.denom)));
 
     let mut report = MonthReport::default();
     for day in HustGen::new(hust) {
-        let mut row = DayRow { day: day.day, ..DayRow::default() };
+        let mut row = DayRow {
+            day: day.day,
+            ..DayRow::default()
+        };
         // --- DEBAR dedup-1: one job per client. ---
         let t0 = debar.align_clocks();
         for (i, stream) in day.per_client.iter().enumerate() {
@@ -238,7 +255,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> MonthConfig {
-        MonthConfig { denom: 16384, days: 6, clients: 4, ..MonthConfig::default() }
+        MonthConfig {
+            denom: 16384,
+            days: 6,
+            clients: 4,
+            ..MonthConfig::default()
+        }
     }
 
     #[test]
@@ -254,7 +276,10 @@ mod tests {
         let debar = r.rows[last].debar_stored_cum as f64;
         let ddfs = r.rows[last].ddfs_stored_cum as f64;
         assert!(debar > 0.0 && ddfs > 0.0);
-        assert!((debar - ddfs).abs() / debar < 0.1, "debar {debar} vs ddfs {ddfs}");
+        assert!(
+            (debar - ddfs).abs() / debar < 0.1,
+            "debar {debar} vs ddfs {ddfs}"
+        );
     }
 
     #[test]

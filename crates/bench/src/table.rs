@@ -9,7 +9,10 @@ pub struct TablePrinter {
 impl TablePrinter {
     /// Start a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        TablePrinter { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        TablePrinter {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Add a row (cells will be right-aligned).

@@ -49,7 +49,10 @@ impl CdcParams {
     /// A small configuration (64-byte expected chunks) for fast tests.
     pub fn small() -> Self {
         CdcParams {
-            rabin: RabinParams { window: 16, ..RabinParams::default() },
+            rabin: RabinParams {
+                window: 16,
+                ..RabinParams::default()
+            },
             mask_bits: 6,
             magic: 0x15,
             min_size: 16,
@@ -63,8 +66,14 @@ impl CdcParams {
     }
 
     fn validate(&self) {
-        assert!(self.mask_bits >= 1 && self.mask_bits < 32, "mask_bits out of range");
-        assert!(self.magic < (1u64 << self.mask_bits), "magic must fit the mask");
+        assert!(
+            self.mask_bits >= 1 && self.mask_bits < 32,
+            "mask_bits out of range"
+        );
+        assert!(
+            self.magic < (1u64 << self.mask_bits),
+            "magic must fit the mask"
+        );
         assert!(self.min_size >= 1, "min_size must be positive");
         assert!(self.min_size <= self.max_size, "min must not exceed max");
         assert!(
@@ -86,6 +95,12 @@ pub struct CdcChunker {
     params: CdcParams,
     tables: RabinTables,
     mask: u64,
+    /// Bytes at the start of each chunk that cannot influence any boundary
+    /// decision (`min_size − window`): a boundary is only possible at
+    /// positions ≥ `min_size`, and the window fingerprint there depends
+    /// only on the trailing `window` bytes, so the rolling hash skips
+    /// everything before `min_size − window` entirely.
+    skip: usize,
 }
 
 impl CdcChunker {
@@ -94,7 +109,13 @@ impl CdcChunker {
         params.validate();
         let tables = RabinTables::new(params.rabin);
         let mask = (1u64 << params.mask_bits) - 1;
-        CdcChunker { params, tables, mask }
+        let skip = params.min_size - params.rabin.window;
+        CdcChunker {
+            params,
+            tables,
+            mask,
+            skip,
+        }
     }
 
     /// Chunker with the paper's parameters.
@@ -114,7 +135,34 @@ impl CdcChunker {
             roll: RollingHash::new(&self.tables),
             chunk_start: 0,
             cur_len: 0,
+            skip: self.skip,
         }
+    }
+
+    /// Begin a streaming session with the min-size skip disabled: every
+    /// byte feeds the rolling hash, as the pre-optimisation chunker did.
+    /// Produces identical spans to [`CdcChunker::stream`]; kept as the
+    /// reference for equivalence tests and the with/without-skip
+    /// micro-benchmark.
+    pub fn stream_reference(&self) -> CdcStream<'_> {
+        CdcStream {
+            chunker: self,
+            roll: RollingHash::new(&self.tables),
+            chunk_start: 0,
+            cur_len: 0,
+            skip: 0,
+        }
+    }
+
+    /// [`CdcChunker::chunk_all`] via the skip-free reference stream.
+    pub fn chunk_all_reference(&self, data: &[u8]) -> Vec<ChunkSpan> {
+        let mut out = Vec::with_capacity(data.len() / self.params.expected_size() + 1);
+        let mut s = self.stream_reference();
+        s.push_slice(data, |span| out.push(span));
+        if let Some(tail) = s.finish() {
+            out.push(tail);
+        }
+        out
     }
 
     /// Chunk an entire buffer; returned spans tile `[0, data.len())`.
@@ -155,6 +203,9 @@ pub struct CdcStream<'c> {
     roll: RollingHash<'c>,
     chunk_start: u64,
     cur_len: usize,
+    /// Chunk-leading bytes excluded from the rolling hash (see
+    /// [`CdcChunker`]'s `skip`; 0 for the reference stream).
+    skip: usize,
 }
 
 impl CdcStream<'_> {
@@ -162,6 +213,15 @@ impl CdcStream<'_> {
     #[inline]
     pub fn push(&mut self, b: u8) -> Option<ChunkSpan> {
         let p = &self.chunker.params;
+        // Min-size skip: bytes before `min_size − window` cannot be covered
+        // by any window evaluated at a legal boundary position (≥ min_size),
+        // and the rolling hash is a pure function of its window, so they
+        // need not touch the hash at all. `skip < min_size ≤ max_size`, so
+        // no boundary can fall inside the skipped prefix either.
+        if self.cur_len < self.skip {
+            self.cur_len += 1;
+            return None;
+        }
         let fp = self.roll.push(b);
         self.cur_len += 1;
         let at_anchor = self.cur_len >= p.min_size
@@ -178,12 +238,22 @@ impl CdcStream<'_> {
         }
     }
 
-    /// Push a slice, invoking `sink` for each completed chunk.
+    /// Push a slice, invoking `sink` for each completed chunk. The
+    /// min-size skip is applied in bulk: whole skipped prefixes are jumped
+    /// over without a per-byte loop.
     pub fn push_slice(&mut self, data: &[u8], mut sink: impl FnMut(ChunkSpan)) {
-        for &b in data {
-            if let Some(span) = self.push(b) {
+        let mut i = 0;
+        while i < data.len() {
+            if self.cur_len < self.skip {
+                let jump = (self.skip - self.cur_len).min(data.len() - i);
+                self.cur_len += jump;
+                i += jump;
+                continue;
+            }
+            if let Some(span) = self.push(data[i]) {
                 sink(span);
             }
+            i += 1;
         }
     }
 
@@ -350,7 +420,10 @@ mod tests {
             c.split(&data).into_iter().map(|s| s.to_vec()).collect();
         let shifted_chunks: Vec<Vec<u8>> =
             c.split(&shifted).into_iter().map(|s| s.to_vec()).collect();
-        let shared = shifted_chunks.iter().filter(|ch| orig_chunks.contains(*ch)).count();
+        let shared = shifted_chunks
+            .iter()
+            .filter(|ch| orig_chunks.contains(*ch))
+            .count();
         // The vast majority of shifted chunks should be byte-identical to
         // original chunks (only those near the insertion differ).
         assert!(
@@ -384,11 +457,32 @@ mod tests {
     #[test]
     #[should_panic]
     fn magic_must_fit_mask() {
-        CdcChunker::new(CdcParams { magic: 1 << 13, ..CdcParams::paper() });
+        CdcChunker::new(CdcParams {
+            magic: 1 << 13,
+            ..CdcParams::paper()
+        });
+    }
+
+    #[test]
+    fn skip_matches_reference_on_long_streams() {
+        for seed in [1u64, 7, 42] {
+            let data = test_data(200_000, seed);
+            let small = CdcChunker::new(CdcParams::small());
+            assert_eq!(small.chunk_all(&data), small.chunk_all_reference(&data));
+            let paper = CdcChunker::paper();
+            assert_eq!(paper.chunk_all(&data), paper.chunk_all_reference(&data));
+        }
     }
 
     proptest::proptest! {
         #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_skip_equals_reference(data: Vec<u8>) {
+            // The min-size skip must be invisible in the produced spans.
+            let c = CdcChunker::new(CdcParams::small());
+            proptest::prop_assert_eq!(c.chunk_all(&data), c.chunk_all_reference(&data));
+        }
 
         #[test]
         fn prop_tiling(data: Vec<u8>) {

@@ -89,9 +89,12 @@ mod tests {
         let shared = c
             .split(&shifted)
             .into_iter()
-            .filter(|s| orig.contains(&s.to_vec()))
+            .filter(|s| orig.contains(&s[..]))
             .count();
-        assert_eq!(shared, 0, "fixed blocking should share nothing after a shift");
+        assert_eq!(
+            shared, 0,
+            "fixed blocking should share nothing after a shift"
+        );
     }
 
     #[test]

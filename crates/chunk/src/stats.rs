@@ -36,7 +36,11 @@ impl ChunkStats {
             total += len as u64;
             min = min.min(len);
             max = max.max(len);
-            let slot = if len == 0 { 0 } else { 31 - len.leading_zeros() } as usize;
+            let slot = if len == 0 {
+                0
+            } else {
+                31 - len.leading_zeros()
+            } as usize;
             hist[slot] += 1;
         }
         if count == 0 {
@@ -46,7 +50,13 @@ impl ChunkStats {
         while hist.len() > 1 && *hist.last().expect("non-empty") == 0 {
             hist.pop();
         }
-        ChunkStats { count, total_bytes: total, min, max, pow2_histogram: hist }
+        ChunkStats {
+            count,
+            total_bytes: total,
+            min,
+            max,
+            pow2_histogram: hist,
+        }
     }
 
     /// Mean chunk size in bytes (0.0 when empty).
@@ -96,6 +106,9 @@ mod tests {
     #[test]
     fn from_spans_matches_from_sizes() {
         let spans = [ChunkSpan::new(0, 10), ChunkSpan::new(10, 20)];
-        assert_eq!(ChunkStats::from_spans(&spans), ChunkStats::from_sizes([10, 20]));
+        assert_eq!(
+            ChunkStats::from_spans(&spans),
+            ChunkStats::from_sizes([10, 20])
+        );
     }
 }

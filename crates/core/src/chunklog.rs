@@ -29,7 +29,10 @@ impl LogRecord {
 
 impl From<&StreamChunk> for LogRecord {
     fn from(c: &StreamChunk) -> Self {
-        LogRecord { fp: c.fp, payload: c.payload.clone() }
+        LogRecord {
+            fp: c.fp,
+            payload: c.payload.clone(),
+        }
     }
 }
 
@@ -98,7 +101,10 @@ mod tests {
     use super::*;
 
     fn rec(n: u64, len: u32) -> LogRecord {
-        LogRecord { fp: Fingerprint::of_counter(n), payload: Payload::Zero(len) }
+        LogRecord {
+            fp: Fingerprint::of_counter(n),
+            payload: Payload::Zero(len),
+        }
     }
 
     #[test]

@@ -32,7 +32,11 @@ impl BackupClient {
     /// Create a client with custom chunking parameters (small parameters
     /// keep unit tests fast).
     pub fn with_params(id: ClientId, params: CdcParams) -> Self {
-        BackupClient { id, chunker: CdcChunker::new(params), cpu: SimCpu::new(paper::cpu()) }
+        BackupClient {
+            id,
+            chunker: CdcChunker::new(params),
+            cpu: SimCpu::new(paper::cpu()),
+        }
     }
 
     /// Chunk and fingerprint a dataset; the cost models the client-side
@@ -48,10 +52,16 @@ impl BackupClient {
                 }
                 FileContent::Records(records) => records
                     .iter()
-                    .map(|r| StreamChunk { fp: r.fp, payload: Payload::Zero(r.len) })
+                    .map(|r| StreamChunk {
+                        fp: r.fp,
+                        payload: Payload::Zero(r.len),
+                    })
                     .collect(),
             };
-            out.push(ChunkedFile { path: file.path.clone(), chunks });
+            out.push(ChunkedFile {
+                path: file.path.clone(),
+                chunks,
+            });
         }
         Timed::new(out, cost)
     }
@@ -62,7 +72,10 @@ impl BackupClient {
             .into_iter()
             .map(|span| {
                 let body = data.slice(span.offset as usize..span.end() as usize);
-                StreamChunk { fp: Fingerprint::of_bytes(&body), payload: Payload::Real(body) }
+                StreamChunk {
+                    fp: Fingerprint::of_bytes(&body),
+                    payload: Payload::Real(body),
+                }
             })
             .collect()
     }
@@ -74,9 +87,14 @@ mod tests {
     use crate::dataset::FileEntry;
 
     fn byte_dataset(len: usize, seed: u8) -> Dataset {
-        let data: Vec<u8> = (0..len).map(|i| ((i as u64 * 131 + seed as u64) % 251) as u8).collect();
+        let data: Vec<u8> = (0..len)
+            .map(|i| ((i as u64 * 131 + seed as u64) % 251) as u8)
+            .collect();
         Dataset {
-            files: vec![FileEntry { path: "f.dat".into(), content: FileContent::Bytes(Bytes::from(data)) }],
+            files: vec![FileEntry {
+                path: "f.dat".into(),
+                content: FileContent::Bytes(Bytes::from(data)),
+            }],
         }
     }
 
@@ -90,7 +108,9 @@ mod tests {
         for ch in &files[0].chunks {
             rebuilt.extend_from_slice(&ch.payload.materialize());
         }
-        let FileContent::Bytes(orig) = &ds.files[0].content else { unreachable!() };
+        let FileContent::Bytes(orig) = &ds.files[0].content else {
+            unreachable!()
+        };
         assert_eq!(&rebuilt[..], &orig[..]);
     }
 

@@ -46,7 +46,9 @@ impl DebarCluster {
     /// Build a cluster from a configuration.
     pub fn new(cfg: DebarConfig) -> Self {
         cfg.validate();
-        let servers = (0..cfg.servers() as u16).map(|id| BackupServer::new(id, cfg)).collect();
+        let servers = (0..cfg.servers() as u16)
+            .map(|id| BackupServer::new(id, cfg))
+            .collect();
         DebarCluster {
             director: Director::new(&cfg),
             servers,
@@ -78,7 +80,10 @@ impl DebarCluster {
 
     /// Per-server undetermined fingerprint counts.
     pub fn undetermined_counts(&self) -> Vec<usize> {
-        self.servers.iter().map(BackupServer::undetermined_len).collect()
+        self.servers
+            .iter()
+            .map(BackupServer::undetermined_len)
+            .collect()
     }
 
     /// Whether the director's automatic dedup-2 trigger fires.
@@ -88,12 +93,19 @@ impl DebarCluster {
 
     /// Max virtual time across server clocks (the cluster "now").
     pub fn now(&self) -> Secs {
-        self.servers.iter().map(|s| s.clock.now()).fold(0.0, f64::max)
+        self.servers
+            .iter()
+            .map(|s| s.clock.now())
+            .fold(0.0, f64::max)
     }
 
     /// Register a job for `client` with a manual schedule.
     pub fn define_job(&mut self, name: impl Into<String>, client: ClientId) -> JobId {
-        self.director.define_job(JobSpec { name: name.into(), client, schedule: Schedule::Manual })
+        self.director.define_job(JobSpec {
+            name: name.into(),
+            client,
+            schedule: Schedule::Manual,
+        })
     }
 
     /// Back up a dataset under a job (de-duplication phase I): client-side
@@ -101,8 +113,10 @@ impl DebarCluster {
     /// chunk logging, metadata recording.
     pub fn backup(&mut self, job: JobId, dataset: &Dataset) -> Dedup1Report {
         let client_id = self.director.metadata.job(job).spec.client;
-        let client =
-            self.clients.entry(client_id).or_insert_with(|| BackupClient::new(client_id));
+        let client = self
+            .clients
+            .entry(client_id)
+            .or_insert_with(|| BackupClient::new(client_id));
         let files = client.prepare(dataset).value;
         self.backup_prepared(job, &files)
     }
@@ -148,8 +162,8 @@ impl DebarCluster {
         let mut batches: Vec<Vec<(Fingerprint, ServerId)>> = vec![Vec::new(); s];
         let mut tx_bytes = vec![0u64; s];
         let mut rx_bytes = vec![0u64; s];
-        for i in 0..s {
-            for fp in self.servers[i].take_undetermined() {
+        for (i, srv) in self.servers.iter_mut().enumerate() {
+            for fp in srv.take_undetermined() {
                 let owner = fp.server_number(w) as usize;
                 if owner != i {
                     tx_bytes[i] += 25;
@@ -205,8 +219,8 @@ impl DebarCluster {
                 }
             }
         }
-        for i in 0..s {
-            self.servers[i].charge_net(tx2[i]);
+        for (srv, &t) in self.servers.iter_mut().zip(&tx2) {
+            srv.charge_net(t);
         }
         let dup_registered: u64 = outputs.iter().map(|o| o.stats.dup_registered).sum();
         let dup_pending: u64 = outputs.iter().map(|o| o.stats.dup_pending).sum();
@@ -239,8 +253,8 @@ impl DebarCluster {
                 routed_updates[owner].push((fp, cid));
             }
         }
-        for i in 0..s {
-            self.servers[i].charge_net(tx3[i]);
+        for (srv, &t) in self.servers.iter_mut().zip(&tx3) {
+            srv.charge_net(t);
         }
         for (i, updates) in routed_updates.into_iter().enumerate() {
             self.servers[i].queue_updates(updates);
@@ -335,8 +349,18 @@ impl DebarCluster {
         self.restore_impl(run, Some(path), true)
     }
 
-    fn restore_impl(&mut self, run: RunId, only_path: Option<&str>, to_client: bool) -> RestoreReport {
-        let record = self.director.metadata.run(run).expect("unknown run").clone();
+    fn restore_impl(
+        &mut self,
+        run: RunId,
+        only_path: Option<&str>,
+        to_client: bool,
+    ) -> RestoreReport {
+        let record = self
+            .director
+            .metadata
+            .run(run)
+            .expect("unknown run")
+            .clone();
         let sid = record.server as usize;
         let w = self.cfg.w_bits;
         let start = self.servers[sid].clock.now();
@@ -390,8 +414,10 @@ impl DebarCluster {
                         cid
                     }
                 };
-                let chunk =
-                    self.servers[sid].container_cache.get(&cid).and_then(|c| c.chunk(fp));
+                let chunk = self.servers[sid]
+                    .container_cache
+                    .get(&cid)
+                    .and_then(|c| c.chunk(fp));
                 match chunk {
                     Some((len, payload)) => {
                         if !verify_payload(fp, &payload) {
@@ -519,10 +545,7 @@ impl DebarCluster {
     /// Pre-load ballast fingerprints into the index parts (experiment
     /// setup: "the system already stores X TB"). No virtual time is
     /// charged; fingerprints must be distinct and absent.
-    pub fn preload_index(
-        &mut self,
-        entries: impl IntoIterator<Item = (Fingerprint, ContainerId)>,
-    ) {
+    pub fn preload_index(&mut self, entries: impl IntoIterator<Item = (Fingerprint, ContainerId)>) {
         let w = self.cfg.w_bits;
         let mut per_server: Vec<Vec<(Fingerprint, ContainerId)>> =
             vec![Vec::new(); self.servers.len()];
@@ -622,12 +645,15 @@ mod tests {
     #[test]
     fn multi_server_routes_by_prefix_and_dedups_cross_stream() {
         let mut c = cluster(2); // 4 servers
-        let jobs: Vec<JobId> =
-            (0..4).map(|i| c.define_job(format!("j{i}"), ClientId(i))).collect();
+        let jobs: Vec<JobId> = (0..4)
+            .map(|i| c.define_job(format!("j{i}"), ClientId(i)))
+            .collect();
         // All four jobs share half their data (cross-stream duplicates).
         for (i, &job) in jobs.iter().enumerate() {
             let mut recs = records(0..800); // shared half
-            recs.extend(records(10_000 * (i as u64 + 1)..10_000 * (i as u64 + 1) + 800));
+            recs.extend(records(
+                10_000 * (i as u64 + 1)..10_000 * (i as u64 + 1) + 800,
+            ));
             c.backup(job, &Dataset::from_records("s", recs));
         }
         let d2 = c.run_dedup2();
@@ -677,7 +703,11 @@ mod tests {
         let expect: u64 = recs.iter().map(|r| r.len as u64).sum();
         assert_eq!(rep.bytes, expect);
         // SISL + LPC: one miss per container, everything else hits.
-        assert!(rep.lpc_hit_ratio() > 0.9, "hit ratio {}", rep.lpc_hit_ratio());
+        assert!(
+            rep.lpc_hit_ratio() > 0.9,
+            "hit ratio {}",
+            rep.lpc_hit_ratio()
+        );
     }
 
     #[test]
@@ -727,7 +757,10 @@ mod tests {
         c.backup(b, &Dataset::from_records("s", recs.clone()));
         let d2 = c.run_dedup2();
         assert!(d2.sil_sweeps > 1, "test needs multiple sub-batches");
-        assert_eq!(d2.store.stored_chunks, 500, "every unique chunk stored once");
+        assert_eq!(
+            d2.store.stored_chunks, 500,
+            "every unique chunk stored once"
+        );
         c.force_siu();
         for r in &recs {
             assert!(c.resolve(&r.fp).is_some(), "fingerprint lost: {:?}", r.fp);
@@ -803,7 +836,10 @@ mod tests {
         let t0 = c.now();
         c.restore_run(run);
         let restore_cost = c.now() - t0;
-        assert!(verify_cost < restore_cost, "{verify_cost} !< {restore_cost}");
+        assert!(
+            verify_cost < restore_cost,
+            "{verify_cost} !< {restore_cost}"
+        );
     }
 
     #[test]
@@ -859,14 +895,18 @@ mod tests {
         c.run_dedup2();
         c.force_siu();
         c.scale_out(); // 1 -> 2 (split on bit 0)
-        // New content after the first split, then split again.
+                       // New content after the first split, then split again.
         c.backup(job, &Dataset::from_records("s", records(3000..5000)));
         c.run_dedup2();
         c.force_siu();
         c.scale_out(); // 2 -> 4 (split on bit 1)
         assert_eq!(c.server_count(), 4);
         for r in recs.iter().chain(records(3000..5000).iter()) {
-            assert!(c.resolve(&r.fp).is_some(), "orphaned after double split: {:?}", r.fp);
+            assert!(
+                c.resolve(&r.fp).is_some(),
+                "orphaned after double split: {:?}",
+                r.fp
+            );
         }
         // Parts must all hold a fair share (no empty siblings).
         for s in 0..4u16 {
@@ -900,7 +940,12 @@ mod tests {
             let job = c.define_job("j", ClientId(0));
             c.backup(job, &Dataset::from_records("s", records(0..2500)));
             let d = c.run_dedup2();
-            (d.store.stored_chunks, d.total_wall(), c.now(), c.index_entries())
+            (
+                d.store.stored_chunks,
+                d.total_wall(),
+                c.now(),
+                c.index_entries(),
+            )
         };
         assert_eq!(run(), run());
     }

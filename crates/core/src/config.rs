@@ -36,6 +36,13 @@ pub struct DebarConfig {
     /// Director policy: trigger dedup-2 once any server's undetermined
     /// fingerprints reach this count (0 disables the automatic trigger).
     pub dedup2_trigger_fps: usize,
+    /// Partitions per SIL/SIU sweep on each server's index part (the
+    /// multi-part index of §5.2 within one server): the bucket range is
+    /// split into this many contiguous shards swept concurrently, and
+    /// virtual sweep time is charged as the max over the even shards
+    /// (≈ 1/parts). `1` reproduces the paper's single index volume per
+    /// server and is the default everywhere.
+    pub sweep_parts: usize,
     /// Master seed.
     pub seed: u64,
 }
@@ -57,6 +64,7 @@ impl DebarConfig {
             repo_nodes: 2,
             siu_interval: 3,
             dedup2_trigger_fps: 0,
+            sweep_parts: 1,
             seed: 0xDEBA_0001,
         }
     }
@@ -77,6 +85,7 @@ impl DebarConfig {
             repo_nodes: (1usize << w_bits).max(2),
             siu_interval: 2,
             dedup2_trigger_fps: 0,
+            sweep_parts: 1,
             seed: 0xDEBA_0002,
         }
     }
@@ -95,8 +104,16 @@ impl DebarConfig {
             repo_nodes: 2,
             siu_interval: 1,
             dedup2_trigger_fps: 0,
+            sweep_parts: 1,
             seed: 0xDEBA_7E57,
         }
+    }
+
+    /// Builder: shard each server's SIL/SIU sweeps into `parts` bucket
+    /// partitions (striped part-disks; see the `sweep_parts` field).
+    pub fn with_sweep_parts(mut self, parts: usize) -> Self {
+        self.sweep_parts = parts;
+        self
     }
 
     /// Number of backup servers, `2^w_bits`.
@@ -130,6 +147,7 @@ impl DebarConfig {
         assert!(self.container_bytes > 0);
         assert!(self.repo_nodes > 0);
         assert!(self.siu_interval >= 1);
+        assert!(self.sweep_parts >= 1, "sweeps need at least one partition");
     }
 }
 

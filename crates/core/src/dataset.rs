@@ -52,7 +52,10 @@ impl Dataset {
     /// Build from a single fingerprint-level stream (one pseudo-file).
     pub fn from_records(name: impl Into<String>, records: Vec<ChunkRecord>) -> Self {
         Dataset {
-            files: vec![FileEntry { path: name.into(), content: FileContent::Records(records) }],
+            files: vec![FileEntry {
+                path: name.into(),
+                content: FileContent::Records(records),
+            }],
         }
     }
 

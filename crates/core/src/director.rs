@@ -33,7 +33,10 @@ pub struct Director {
 
 impl Default for DirectorPolicy {
     fn default() -> Self {
-        DirectorPolicy { dedup2_trigger_fps: 0, siu_interval: 1 }
+        DirectorPolicy {
+            dedup2_trigger_fps: 0,
+            siu_interval: 1,
+        }
     }
 }
 
@@ -78,7 +81,9 @@ impl Director {
     /// undetermined counts.
     pub fn should_run_dedup2(&self, undetermined: &[usize]) -> bool {
         self.policy.dedup2_trigger_fps > 0
-            && undetermined.iter().any(|&u| u >= self.policy.dedup2_trigger_fps)
+            && undetermined
+                .iter()
+                .any(|&u| u >= self.policy.dedup2_trigger_fps)
     }
 
     /// Record the start of a dedup-2 round; returns `(round, run_siu_now)`.
@@ -125,7 +130,11 @@ mod tests {
     use crate::job::Schedule;
 
     fn cfg(w: u32) -> DebarConfig {
-        DebarConfig { dedup2_trigger_fps: 100, siu_interval: 3, ..DebarConfig::tiny_test(w) }
+        DebarConfig {
+            dedup2_trigger_fps: 100,
+            siu_interval: 3,
+            ..DebarConfig::tiny_test(w)
+        }
     }
 
     #[test]

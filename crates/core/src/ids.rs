@@ -37,8 +37,14 @@ mod tests {
 
     #[test]
     fn run_id_display_and_order() {
-        let a = RunId { job: JobId(1), version: 0 };
-        let b = RunId { job: JobId(1), version: 1 };
+        let a = RunId {
+            job: JobId(1),
+            version: 0,
+        };
+        let b = RunId {
+            job: JobId(1),
+            version: 1,
+        };
         assert_eq!(a.to_string(), "job1v0");
         assert!(a < b);
     }

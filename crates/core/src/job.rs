@@ -74,8 +74,17 @@ mod tests {
         };
         assert_eq!(job.next_version(), 0);
         assert_eq!(job.last_run(), None);
-        job.chain.push(RunId { job: job.id, version: 0 });
+        job.chain.push(RunId {
+            job: job.id,
+            version: 0,
+        });
         assert_eq!(job.next_version(), 1);
-        assert_eq!(job.last_run(), Some(RunId { job: JobId(3), version: 0 }));
+        assert_eq!(
+            job.last_run(),
+            Some(RunId {
+                job: JobId(3),
+                version: 0
+            })
+        );
     }
 }

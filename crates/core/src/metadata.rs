@@ -56,7 +56,11 @@ impl MetadataManager {
     /// Register a job, assigning its ID.
     pub fn register_job(&mut self, spec: JobSpec) -> JobId {
         let id = JobId(self.jobs.len() as u32);
-        self.jobs.push(JobObject { id, spec, chain: Vec::new() });
+        self.jobs.push(JobObject {
+            id,
+            spec,
+            chain: Vec::new(),
+        });
         id
     }
 
@@ -79,7 +83,11 @@ impl MetadataManager {
     /// Panics if the run's version is not the next in the chain.
     pub fn record_run(&mut self, rec: RunRecord) {
         let job = &mut self.jobs[rec.run.job.0 as usize];
-        assert_eq!(rec.run.version, job.chain.len() as u32, "run out of chain order");
+        assert_eq!(
+            rec.run.version,
+            job.chain.len() as u32,
+            "run out of chain order"
+        );
         job.chain.push(rec.run);
         self.runs.insert(rec.run, rec);
     }
@@ -91,7 +99,9 @@ impl MetadataManager {
 
     /// The most recent run record for a job.
     pub fn last_run(&self, job: JobId) -> Option<&RunRecord> {
-        self.jobs[job.0 as usize].last_run().and_then(|r| self.runs.get(&r))
+        self.jobs[job.0 as usize]
+            .last_run()
+            .and_then(|r| self.runs.get(&r))
     }
 
     /// Filtering fingerprints for a job's next run: the fingerprints of its
@@ -136,7 +146,11 @@ mod tests {
     use crate::job::Schedule;
 
     fn spec(name: &str) -> JobSpec {
-        JobSpec { name: name.into(), client: ClientId(0), schedule: Schedule::Manual }
+        JobSpec {
+            name: name.into(),
+            client: ClientId(0),
+            schedule: Schedule::Manual,
+        }
     }
 
     fn record(job: JobId, version: u32, fps: Vec<Fingerprint>) -> RunRecord {
@@ -146,7 +160,11 @@ mod tests {
             server: 0,
             client: ClientId(0),
             logical_chunks: fps.len() as u64,
-            files: vec![FileIndexEntry { path: "f".into(), fingerprints: fps, bytes }],
+            files: vec![FileIndexEntry {
+                path: "f".into(),
+                fingerprints: fps,
+                bytes,
+            }],
             logical_bytes: bytes,
         }
     }

@@ -182,7 +182,10 @@ mod tests {
     #[test]
     fn dedup1_derived_metrics() {
         let r = Dedup1Report {
-            run: RunId { job: JobId(0), version: 0 },
+            run: RunId {
+                job: JobId(0),
+                version: 0,
+            },
             server: 0,
             logical_bytes: 4 << 20,
             logical_chunks: 512,

@@ -225,7 +225,11 @@ impl BackupServer {
                 }
                 fps.push(chunk.fp);
             }
-            file_indices.push(FileIndexEntry { path: file.path.clone(), fingerprints: fps, bytes: fbytes });
+            file_indices.push(FileIndexEntry {
+                path: file.path.clone(),
+                fingerprints: fps,
+                bytes: fbytes,
+            });
         }
         let produced = self.clock.since(start);
         if log_cost > produced {
@@ -264,7 +268,11 @@ impl BackupServer {
     /// file suppresses re-stores of chunks whose SIU is still pending, and
     /// the lowest origin is designated storer when several submit the same
     /// new fingerprint in one round (§5.4).
-    pub fn sil_on_part(&mut self, batch: &[(Fingerprint, ServerId)], servers: usize) -> SilPartOutput {
+    pub fn sil_on_part(
+        &mut self,
+        batch: &[(Fingerprint, ServerId)],
+        servers: usize,
+    ) -> SilPartOutput {
         let mut verdicts: Vec<Vec<(Fingerprint, Decision)>> = vec![Vec::new(); servers];
         let mut stats = SilPartStats::default();
         let cache_cap = self.cfg.cache_fps();
@@ -276,7 +284,9 @@ impl BackupServer {
                 stats.submitted += 1;
                 cache.insert(fp, origin);
             }
-            let t = self.index.sequential_lookup(&mut cache);
+            let t = self
+                .index
+                .sequential_lookup_sharded(&mut cache, self.cfg.sweep_parts);
             let sil = self.clock.charge(t);
             for node in &sil.duplicates {
                 stats.dup_registered += node.origins.len() as u64;
@@ -297,7 +307,11 @@ impl BackupServer {
                 stats.new_fps += 1;
                 let storer = node.storer().expect("node has at least one origin");
                 for &origin in &node.origins {
-                    let d = if origin == storer { Decision::Store } else { Decision::Skip };
+                    let d = if origin == storer {
+                        Decision::Store
+                    } else {
+                        Decision::Skip
+                    };
                     if origin != storer {
                         stats.dup_pending += 1;
                     }
@@ -356,7 +370,8 @@ impl BackupServer {
             open.insert(rec.fp);
         }
         if let Some(sealed) = manager.flush() {
-            store_cost += self.submit_container(sealed, repo, &mut open, &mut stored, &mut assigned);
+            store_cost +=
+                self.submit_container(sealed, repo, &mut open, &mut stored, &mut assigned);
             report.containers += 1;
         }
         // Round-robin placement spreads container writes over all
@@ -398,7 +413,9 @@ impl BackupServer {
     /// mappings into this part and clear them from the checking file.
     pub fn run_siu(&mut self) -> (SiuReport, u64) {
         let updates = std::mem::take(&mut self.pending_updates);
-        let t = self.index.sequential_update(&updates);
+        let t = self
+            .index
+            .sequential_update_sharded(&updates, self.cfg.sweep_parts);
         let report = self.clock.charge(t);
         for (fp, _) in &updates {
             self.checking.remove(fp);
@@ -443,7 +460,10 @@ impl BackupServer {
     /// Performance scaling (§4.1): split this server into two servers with
     /// ids `2·id` and `2·id + 1`, each owning half the index part (routing
     /// gains one prefix bit). Requires quiescence.
-    pub(crate) fn split_for_scale_out(mut self, new_cfg: DebarConfig) -> (BackupServer, BackupServer) {
+    pub(crate) fn split_for_scale_out(
+        mut self,
+        new_cfg: DebarConfig,
+    ) -> (BackupServer, BackupServer) {
         assert!(self.is_quiesced(), "scale-out requires a quiesced server");
         let old_id = self.id;
         let t = self.index.split(1);

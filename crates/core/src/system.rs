@@ -16,7 +16,9 @@ pub struct DebarSystem {
 impl DebarSystem {
     /// A deployment from an explicit configuration.
     pub fn new(cfg: DebarConfig) -> Self {
-        DebarSystem { cluster: DebarCluster::new(cfg) }
+        DebarSystem {
+            cluster: DebarCluster::new(cfg),
+        }
     }
 
     /// The paper's single-server deployment scaled down by `denom`

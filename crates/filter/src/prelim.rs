@@ -130,7 +130,17 @@ impl PrelimFilter {
             if self.nodes.len() >= self.capacity {
                 break;
             }
-            if self.nodes.insert(fp, Node { is_new: false, referenced: false }).is_none() {
+            if self
+                .nodes
+                .insert(
+                    fp,
+                    Node {
+                        is_new: false,
+                        referenced: false,
+                    },
+                )
+                .is_none()
+            {
                 self.queue.push_back(fp);
             }
         }
@@ -148,7 +158,13 @@ impl PrelimFilter {
         if self.nodes.len() >= self.capacity {
             self.evict_one();
         }
-        self.nodes.insert(fp, Node { is_new: true, referenced: false });
+        self.nodes.insert(
+            fp,
+            Node {
+                is_new: true,
+                referenced: false,
+            },
+        );
         self.queue.push_back(fp);
         self.stats.transfers += 1;
         FilterVerdict::Transfer
@@ -279,8 +295,16 @@ mod tests {
         assert_eq!(f.check(fp(0)), FilterVerdict::Duplicate);
         // Inserting a 5th evicts fp(1) (fp(0) gets its second chance).
         f.check(fp(100));
-        assert_eq!(f.check(fp(0)), FilterVerdict::Duplicate, "hot entry evicted");
-        assert_eq!(f.check(fp(1)), FilterVerdict::Transfer, "cold entry should be gone");
+        assert_eq!(
+            f.check(fp(0)),
+            FilterVerdict::Duplicate,
+            "hot entry evicted"
+        );
+        assert_eq!(
+            f.check(fp(1)),
+            FilterVerdict::Transfer,
+            "cold entry should be gone"
+        );
     }
 
     #[test]

@@ -43,6 +43,15 @@ impl Fingerprint {
         &self.0
     }
 
+    /// The first 64 fingerprint bits as a big-endian integer: a sort key
+    /// whose order coincides with full lexicographic fingerprint order up
+    /// to 64-bit-prefix ties (used by the sweep paths to sort batches on
+    /// a native integer instead of 20-byte memcmps).
+    #[inline]
+    pub fn prefix64(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().expect("8 bytes"))
+    }
+
     /// The first `n` bits of the fingerprint as an integer (`n ≤ 64`).
     ///
     /// Bit 0 is the most-significant bit of byte 0, matching the paper's
@@ -162,7 +171,11 @@ pub struct FingerprintGenerator {
 impl FingerprintGenerator {
     /// Generator over the full 64-bit counter space.
     pub fn new() -> Self {
-        FingerprintGenerator { base: 0, span: u64::MAX, next: 0 }
+        FingerprintGenerator {
+            base: 0,
+            span: u64::MAX,
+            next: 0,
+        }
     }
 
     /// Generator confined to `[base, base + span)`.
@@ -171,7 +184,11 @@ impl FingerprintGenerator {
     /// Panics if `span == 0`.
     pub fn subspace(base: u64, span: u64) -> Self {
         assert!(span > 0, "subspace must be non-empty");
-        FingerprintGenerator { base, span, next: 0 }
+        FingerprintGenerator {
+            base,
+            span,
+            next: 0,
+        }
     }
 
     /// Number of fingerprints generated so far.
@@ -227,7 +244,7 @@ mod tests {
         assert_eq!(fp.prefix_bits(1), 0b1);
         assert_eq!(fp.prefix_bits(3), 0b101);
         assert_eq!(fp.prefix_bits(4), 0b1010);
-        assert_eq!(fp.prefix_bits(10), 0b1010_0000_11);
+        assert_eq!(fp.prefix_bits(10), 0b10_1000_0011);
         assert_eq!(fp.prefix_bits(0), 0);
     }
 

@@ -203,15 +203,12 @@ mod tests {
     #[test]
     fn mulmod_field_properties_gf8() {
         let p = 0b1011; // GF(8)
-        // Commutativity and associativity over the whole field.
+                        // Commutativity and associativity over the whole field.
         for a in 0u64..8 {
             for b in 0u64..8 {
                 assert_eq!(mulmod(a, b, p), mulmod(b, a, p));
                 for c in 0u64..8 {
-                    assert_eq!(
-                        mulmod(mulmod(a, b, p), c, p),
-                        mulmod(a, mulmod(b, c, p), p)
-                    );
+                    assert_eq!(mulmod(mulmod(a, b, p), c, p), mulmod(a, mulmod(b, c, p), p));
                 }
             }
         }

@@ -172,7 +172,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort();
         assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
-        assert_ne!(v, (0..100).collect::<Vec<u32>>(), "shuffle left input unchanged");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<u32>>(),
+            "shuffle left input unchanged"
+        );
     }
 
     #[test]

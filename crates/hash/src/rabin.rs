@@ -17,7 +17,7 @@ use crate::gf2;
 /// The default irreducible polynomial: degree 53, the polynomial used by
 /// LBFS (`0x3DA3358B4DC173`). Verified irreducible by `gf2::is_irreducible`
 /// in this crate's tests.
-pub const DEFAULT_POLY: u64 = 0x3DA3_358B_4DC1_73;
+pub const DEFAULT_POLY: u64 = 0x003D_A335_8B4D_C173;
 
 /// The default window size in bytes ("usually 48 bytes", paper §3.2).
 pub const DEFAULT_WINDOW: usize = 48;
@@ -33,7 +33,10 @@ pub struct RabinParams {
 
 impl Default for RabinParams {
     fn default() -> Self {
-        RabinParams { poly: DEFAULT_POLY, window: DEFAULT_WINDOW }
+        RabinParams {
+            poly: DEFAULT_POLY,
+            window: DEFAULT_WINDOW,
+        }
     }
 }
 
@@ -63,7 +66,10 @@ impl RabinTables {
     /// `8..=56` (the append step shifts left by 8 bits and must not
     /// overflow), or the window is zero.
     pub fn new(params: RabinParams) -> Self {
-        assert!(gf2::is_irreducible(params.poly), "modulus must be irreducible");
+        assert!(
+            gf2::is_irreducible(params.poly),
+            "modulus must be irreducible"
+        );
         let degree = gf2::degree(params.poly);
         assert!((8..=56).contains(&degree), "degree must be in 8..=56");
         assert!(params.window > 0, "window must be non-empty");
@@ -80,7 +86,13 @@ impl RabinTables {
             *entry = gf2::mulmod(b as u64, xpow, params.poly);
         }
 
-        RabinTables { params, degree, mask, shift8, pop }
+        RabinTables {
+            params,
+            degree,
+            mask,
+            shift8,
+            pop,
+        }
     }
 
     /// Build tables for the default (LBFS) parameters.
@@ -209,7 +221,9 @@ mod tests {
     #[test]
     fn rolling_equals_direct_window_hash() {
         let t = tables();
-        let data: Vec<u8> = (0..512u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let data: Vec<u8> = (0..512u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
         let w = t.params().window;
         let mut roll = RollingHash::new(&t);
         for (i, &b) in data.iter().enumerate() {
@@ -272,7 +286,10 @@ mod tests {
 
     #[test]
     fn small_window_rolls_correctly() {
-        let params = RabinParams { poly: DEFAULT_POLY, window: 4 };
+        let params = RabinParams {
+            poly: DEFAULT_POLY,
+            window: 4,
+        };
         let t = RabinTables::new(params);
         let data = b"abcdefgh";
         let mut r = RollingHash::new(&t);
@@ -296,7 +313,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn reducible_poly_rejected() {
-        RabinTables::new(RabinParams { poly: 0b101, window: 48 }); // (x+1)^2
+        RabinTables::new(RabinParams {
+            poly: 0b101,
+            window: 48,
+        }); // (x+1)^2
     }
 
     proptest::proptest! {

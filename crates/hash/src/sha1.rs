@@ -10,7 +10,13 @@
 //! path ([`sha1_u64`]) hashes a 64-bit counter, which the paper uses to
 //! synthesize unlimited random fingerprint streams (§4.2, §6.2).
 
-const H0: [u32; 5] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+const H0: [u32; 5] = [
+    0x6745_2301,
+    0xEFCD_AB89,
+    0x98BA_DCFE,
+    0x1032_5476,
+    0xC3D2_E1F0,
+];
 
 /// Streaming SHA-1 hasher.
 #[derive(Clone)]
@@ -32,7 +38,12 @@ impl Default for Sha1 {
 impl Sha1 {
     /// Create a fresh hasher.
     pub fn new() -> Self {
-        Sha1 { state: H0, len_bytes: 0, buf: [0u8; 64], buf_len: 0 }
+        Sha1 {
+            state: H0,
+            len_bytes: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
     }
 
     /// Absorb `data` into the hash state.
@@ -68,7 +79,11 @@ impl Sha1 {
         // Append the 0x80 terminator, zero padding, then the 64-bit length.
         let mut pad = [0u8; 128];
         pad[0] = 0x80;
-        let pad_len = if self.buf_len < 56 { 56 - self.buf_len } else { 120 - self.buf_len };
+        let pad_len = if self.buf_len < 56 {
+            56 - self.buf_len
+        } else {
+            120 - self.buf_len
+        };
         pad[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
         self.update_no_len(&pad[..pad_len + 8]);
         debug_assert_eq!(self.buf_len, 0);
@@ -95,35 +110,69 @@ impl Sha1 {
 }
 
 /// The SHA-1 compression function: absorb one 64-byte block.
+///
+/// Hot-loop form: the message schedule lives in a 16-word circular buffer
+/// (the 80-word expansion is never materialised — each `w[t]` is computed
+/// as it is consumed and overwrites the slot it recurs on), and the single
+/// 80-round loop with a per-round 4-way branch on the round family is
+/// split into four specialised 20-round loops the compiler fully unrolls.
+/// The boolean functions use their branch-free forms
+/// (`ch = d ^ (b & (c ^ d))`, `maj = (b & c) | (d & (b | c))`).
 fn compress(state: &mut [u32; 5], block: &[u8; 64]) {
-    let mut w = [0u32; 80];
-    for (i, word) in w.iter_mut().take(16).enumerate() {
+    const K0: u32 = 0x5A82_7999;
+    const K1: u32 = 0x6ED9_EBA1;
+    const K2: u32 = 0x8F1B_BCDC;
+    const K3: u32 = 0xCA62_C1D6;
+
+    let mut w = [0u32; 16];
+    for (i, word) in w.iter_mut().enumerate() {
         *word = u32::from_be_bytes(block[4 * i..4 * i + 4].try_into().expect("4 bytes"));
-    }
-    for i in 16..80 {
-        w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
     }
 
     let [mut a, mut b, mut c, mut d, mut e] = *state;
-    for (i, &wi) in w.iter().enumerate() {
-        let (f, k) = match i {
-            0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999u32),
-            20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
-            40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
-            _ => (b ^ c ^ d, 0xCA62_C1D6),
-        };
-        let tmp = a
-            .rotate_left(5)
-            .wrapping_add(f)
-            .wrapping_add(e)
-            .wrapping_add(k)
-            .wrapping_add(wi);
-        e = d;
-        d = c;
-        c = b.rotate_left(30);
-        b = a;
-        a = tmp;
+
+    // Expand schedule word `t` (t ≥ 16) in place.
+    macro_rules! w_next {
+        ($t:expr) => {{
+            let x = (w[($t + 13) & 15] ^ w[($t + 8) & 15] ^ w[($t + 2) & 15] ^ w[$t & 15])
+                .rotate_left(1);
+            w[$t & 15] = x;
+            x
+        }};
     }
+    // One round with the standard role rotation.
+    macro_rules! round {
+        ($f:expr, $k:expr, $wi:expr) => {{
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add($f)
+                .wrapping_add(e)
+                .wrapping_add($k)
+                .wrapping_add($wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }};
+    }
+
+    for wt in w {
+        round!(d ^ (b & (c ^ d)), K0, wt);
+    }
+    for t in 16..20 {
+        round!(d ^ (b & (c ^ d)), K0, w_next!(t));
+    }
+    for t in 20..40 {
+        round!(b ^ c ^ d, K1, w_next!(t));
+    }
+    for t in 40..60 {
+        round!((b & c) | (d & (b | c)), K2, w_next!(t));
+    }
+    for t in 60..80 {
+        round!(b ^ c ^ d, K3, w_next!(t));
+    }
+
     state[0] = state[0].wrapping_add(a);
     state[1] = state[1].wrapping_add(b);
     state[2] = state[2].wrapping_add(c);
@@ -163,18 +212,27 @@ mod tests {
 
     #[test]
     fn fips_vector_empty() {
-        assert_eq!(hex(&Sha1::digest(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(
+            hex(&Sha1::digest(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
     }
 
     #[test]
     fn fips_vector_abc() {
-        assert_eq!(hex(&Sha1::digest(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(&Sha1::digest(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
     }
 
     #[test]
     fn fips_vector_two_blocks() {
         let msg = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
-        assert_eq!(hex(&Sha1::digest(msg)), "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+        assert_eq!(
+            hex(&Sha1::digest(msg)),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
     }
 
     #[test]
@@ -184,13 +242,18 @@ mod tests {
         for _ in 0..1000 {
             h.update(&chunk);
         }
-        assert_eq!(hex(&h.finalize()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+        assert_eq!(
+            hex(&h.finalize()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
     }
 
     #[test]
     fn vector_quick_brown_fox() {
         assert_eq!(
-            hex(&Sha1::digest(b"The quick brown fox jumps over the lazy dog")),
+            hex(&Sha1::digest(
+                b"The quick brown fox jumps over the lazy dog"
+            )),
             "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"
         );
     }
@@ -202,7 +265,10 @@ mod tests {
         let mut h = Sha1::new();
         h.update(&msg);
         assert_eq!(hex(&h.finalize()), hex(&Sha1::digest(&msg)));
-        assert_eq!(hex(&Sha1::digest(&msg)), "0098ba824b5c16427bd7a1122a5a442a25ec644d");
+        assert_eq!(
+            hex(&Sha1::digest(&msg)),
+            "0098ba824b5c16427bd7a1122a5a442a25ec644d"
+        );
     }
 
     #[test]
@@ -228,6 +294,63 @@ mod tests {
             h.update(&data[..split]);
             h.update(&data[split..]);
             assert_eq!(h.finalize(), whole, "split at {split}");
+        }
+    }
+
+    /// The pre-optimisation compression function (80-word materialised
+    /// schedule, branchy round loop), kept as the correctness reference.
+    fn compress_reference(state: &mut [u32; 5], block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes(block[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = *state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999u32),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+        state[4] = state[4].wrapping_add(e);
+    }
+
+    #[test]
+    fn unrolled_compress_matches_reference() {
+        // Pseudo-random blocks through both compression functions.
+        let mut x = 0x1234_5678_9abc_def0u64;
+        let mut block = [0u8; 64];
+        let mut st_a = super::H0;
+        let mut st_b = super::H0;
+        for _ in 0..200 {
+            for byte in block.iter_mut() {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                *byte = (x >> 24) as u8;
+            }
+            compress(&mut st_a, &block);
+            compress_reference(&mut st_b, &block);
+            assert_eq!(st_a, st_b);
         }
     }
 

@@ -20,6 +20,91 @@
 
 use debar_hash::{ContainerId, Fingerprint};
 
+/// The sorted set of origin servers that submitted a fingerprint.
+///
+/// Almost every fingerprint is submitted by one or two servers per round,
+/// so the set stores up to [`OriginSet::INLINE`] origins inline and only
+/// spills to a heap vector beyond that. Keeping cache nodes allocation-free
+/// makes building and cloning a 64K-node [`IndexCache`] a handful of
+/// `memcpy`s instead of one heap allocation per node — material on the SIL
+/// hot path, which stages every undetermined fingerprint through a cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OriginSet {
+    /// Up to [`OriginSet::INLINE`] origins, sorted ascending.
+    Inline {
+        len: u8,
+        vals: [u16; OriginSet::INLINE],
+    },
+    /// Heap fallback for crowded fingerprints, sorted ascending.
+    Spilled(Vec<u16>),
+}
+
+impl OriginSet {
+    /// Inline capacity.
+    pub const INLINE: usize = 3;
+
+    /// A set holding one origin.
+    pub fn single(origin: u16) -> Self {
+        let mut vals = [0u16; Self::INLINE];
+        vals[0] = origin;
+        OriginSet::Inline { len: 1, vals }
+    }
+
+    /// The origins as a sorted slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u16] {
+        match self {
+            OriginSet::Inline { len, vals } => &vals[..*len as usize],
+            OriginSet::Spilled(v) => v,
+        }
+    }
+
+    /// Insert keeping ascending order; `false` if already present.
+    pub fn insert_sorted(&mut self, origin: u16) -> bool {
+        let pos = match self.as_slice().binary_search(&origin) {
+            Ok(_) => return false,
+            Err(pos) => pos,
+        };
+        match self {
+            OriginSet::Inline { len, vals } => {
+                let n = *len as usize;
+                if n < Self::INLINE {
+                    vals.copy_within(pos..n, pos + 1);
+                    vals[pos] = origin;
+                    *len += 1;
+                } else {
+                    let mut v = vals.to_vec();
+                    v.insert(pos, origin);
+                    *self = OriginSet::Spilled(v);
+                }
+            }
+            OriginSet::Spilled(v) => v.insert(pos, origin),
+        }
+        true
+    }
+}
+
+impl std::ops::Deref for OriginSet {
+    type Target = [u16];
+    fn deref(&self) -> &[u16] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a OriginSet {
+    type Item = &'a u16;
+    type IntoIter = std::slice::Iter<'a, u16>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl PartialEq<Vec<u16>> for OriginSet {
+    fn eq(&self, other: &Vec<u16>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
 /// One cached fingerprint.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheNode {
@@ -29,7 +114,7 @@ pub struct CacheNode {
     /// stored (§5.3).
     pub cid: ContainerId,
     /// Origin servers that submitted this fingerprint, sorted ascending.
-    pub origins: Vec<u16>,
+    pub origins: OriginSet,
 }
 
 impl CacheNode {
@@ -110,13 +195,15 @@ impl IndexCache {
         let b = self.bucket_of(&fp);
         let bucket = &mut self.buckets[b];
         if let Some(node) = bucket.iter_mut().find(|n| n.fp == fp) {
-            if let Err(pos) = node.origins.binary_search(&origin) {
-                node.origins.insert(pos, origin);
-            }
+            node.origins.insert_sorted(origin);
             return false;
         }
         assert!(self.len < self.capacity, "index cache over capacity");
-        bucket.push(CacheNode { fp, cid: ContainerId::NULL, origins: vec![origin] });
+        bucket.push(CacheNode {
+            fp,
+            cid: ContainerId::NULL,
+            origins: OriginSet::single(origin),
+        });
         self.len += 1;
         true
     }
@@ -135,7 +222,9 @@ impl IndexCache {
 
     /// Look up a node.
     pub fn get(&self, fp: &Fingerprint) -> Option<&CacheNode> {
-        self.buckets[self.bucket_of(fp)].iter().find(|n| &n.fp == fp)
+        self.buckets[self.bucket_of(fp)]
+            .iter()
+            .find(|n| &n.fp == fp)
     }
 
     /// Set the container ID of a cached fingerprint; returns `false` when

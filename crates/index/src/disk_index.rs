@@ -14,10 +14,10 @@ use crate::entry::{
     block_entries, block_find, block_full, block_push, block_set_cid, IndexEntry, BLOCK_BYTES,
 };
 use crate::params::IndexParams;
+use debar_hash::SplitMix64;
 use debar_hash::{ContainerId, Fingerprint};
 use debar_simio::models::paper;
 use debar_simio::{DiskModel, SimCpu, SimDisk, Timed};
-use debar_hash::SplitMix64;
 
 /// Result of a random-path insert.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,10 +56,21 @@ impl DiskIndex {
     /// Create an index *part*: bucket numbers use fingerprint bits
     /// `[skip_bits, skip_bits + n)` — the addressing of one part of a
     /// `2^skip_bits`-way split index (§5.2, Fig. 5).
-    pub fn with_prefix(params: IndexParams, skip_bits: u32, disk_model: DiskModel, seed: u64) -> Self {
+    pub fn with_prefix(
+        params: IndexParams,
+        skip_bits: u32,
+        disk_model: DiskModel,
+        seed: u64,
+    ) -> Self {
         let bytes = params.total_bytes();
-        assert!(bytes <= 8 << 30, "actual index larger than 8 GB; scale down");
-        assert!(skip_bits + params.n_bits <= 64, "prefix + bucket bits exceed 64");
+        assert!(
+            bytes <= 8 << 30,
+            "actual index larger than 8 GB; scale down"
+        );
+        assert!(
+            skip_bits + params.n_bits <= 64,
+            "prefix + bucket bits exceed 64"
+        );
         DiskIndex {
             params,
             skip_bits,
@@ -90,7 +101,8 @@ impl DiskIndex {
     /// `[skip_bits, skip_bits + n)` of the fingerprint.
     #[inline]
     pub fn bucket_of(&self, fp: &Fingerprint) -> u64 {
-        fp.route(self.skip_bits, self.skip_bits + self.params.n_bits).1
+        fp.route(self.skip_bits, self.skip_bits + self.params.n_bits)
+            .1
     }
 
     /// Live entry count.
@@ -176,13 +188,23 @@ impl DiskIndex {
 
     /// Place an entry using home-then-adjacent overflow, without I/O
     /// charges (used by sweeps and scaling, which charge sequentially).
+    ///
+    /// The overflow direction is pseudo-random but *derived from the
+    /// fingerprint* (uniform thanks to SHA-1) rather than drawn from
+    /// mutable RNG state: placement therefore depends only on the index
+    /// contents and the entry itself, which is what lets the sharded
+    /// parallel SIU reproduce the scalar path byte-for-byte.
     pub(crate) fn place(&mut self, e: &IndexEntry) -> InsertOutcome {
         let home = self.bucket_of(&e.fp);
         if self.push_to_bucket(home, e) {
             return InsertOutcome::Home;
         }
         let (left, right) = self.neighbours(home);
-        let (first, second) = if self.rng.bool() { (left, right) } else { (right, left) };
+        let (first, second) = if e.fp.as_bytes()[19] & 1 == 0 {
+            (left, right)
+        } else {
+            (right, left)
+        };
         if self.push_to_bucket(first, e) {
             return InsertOutcome::Adjacent(first);
         }
@@ -244,7 +266,8 @@ impl DiskIndex {
             return Some(cid);
         }
         let (left, right) = self.neighbours(home);
-        self.find_in_bucket(left, fp).or_else(|| self.find_in_bucket(right, fp))
+        self.find_in_bucket(left, fp)
+            .or_else(|| self.find_in_bucket(right, fp))
     }
 
     /// Overwrite an existing mapping in place (no structural change).
@@ -252,6 +275,50 @@ impl DiskIndex {
         let home = self.bucket_of(fp);
         let (left, right) = self.neighbours(home);
         for k in [home, left, right] {
+            let r = self.bucket_range(k);
+            for blk in self.data[r].chunks_exact_mut(BLOCK_BYTES) {
+                if block_set_cid(blk, fp, cid) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Read-only snapshot view for (possibly concurrent) probing; see
+    /// [`BucketView`].
+    pub(crate) fn view(&self) -> BucketView<'_> {
+        BucketView {
+            data: &self.data,
+            params: self.params,
+            skip_bits: self.skip_bits,
+        }
+    }
+
+    /// Raw index bytes (verification support: equivalence tests compare
+    /// scalar and sharded sweep results byte-for-byte).
+    pub fn raw_data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Overwrite an existing mapping using the overflow invariant (an entry
+    /// can live in a neighbour only if its home bucket is full): probes the
+    /// home bucket, then the neighbours only when home is full. Same result
+    /// as [`DiskIndex::set_cid_uncharged`], fewer bucket scans.
+    pub(crate) fn set_cid_sweep(&mut self, fp: &Fingerprint, cid: ContainerId) -> bool {
+        let home = self.bucket_of(fp);
+        let full = self.bucket_is_full(home);
+        let r = self.bucket_range(home);
+        for blk in self.data[r].chunks_exact_mut(BLOCK_BYTES) {
+            if block_set_cid(blk, fp, cid) {
+                return true;
+            }
+        }
+        if !full {
+            return false;
+        }
+        let (left, right) = self.neighbours(home);
+        for k in [left, right] {
             let r = self.bucket_range(k);
             for blk in self.data[r].chunks_exact_mut(BLOCK_BYTES) {
                 if block_set_cid(blk, fp, cid) {
@@ -362,9 +429,7 @@ impl DiskIndex {
         let model = self.disk.model();
         let new_skip = self.skip_bits + w_bits;
         let mut parts: Vec<DiskIndex> = (0..(1u64 << w_bits))
-            .map(|p| {
-                DiskIndex::with_prefix(part_params, new_skip, model, self.rng.next_u64() ^ p)
-            })
+            .map(|p| DiskIndex::with_prefix(part_params, new_skip, model, self.rng.next_u64() ^ p))
             .collect();
         let mut moved = 0u64;
         let mut extra = 0.0;
@@ -380,6 +445,148 @@ impl DiskIndex {
             cost += part.disk.seq_write(part.params.total_bytes());
         }
         Timed::new(parts, cost + extra)
+    }
+}
+
+/// A borrowed, read-only view of the index's bucket array, independent of
+/// the simulated devices. `Copy + Sync`, so sharded sweeps can hand one to
+/// each worker thread: probing is pure reads over `&[u8]`.
+#[derive(Clone, Copy)]
+pub(crate) struct BucketView<'a> {
+    data: &'a [u8],
+    params: IndexParams,
+    skip_bits: u32,
+}
+
+impl BucketView<'_> {
+    /// The bucket a fingerprint belongs to.
+    #[inline]
+    pub(crate) fn bucket_of(&self, fp: &Fingerprint) -> u64 {
+        fp.route(self.skip_bits, self.skip_bits + self.params.n_bits)
+            .1
+    }
+
+    /// Total bucket count.
+    pub(crate) fn buckets(&self) -> u64 {
+        self.params.buckets()
+    }
+
+    #[inline]
+    fn bucket(&self, k: u64) -> &[u8] {
+        let start = k as usize * self.params.bucket_bytes;
+        &self.data[start..start + self.params.bucket_bytes]
+    }
+
+    #[inline]
+    fn neighbours(&self, k: u64) -> (u64, u64) {
+        let n = self.params.buckets();
+        ((k + n - 1) % n, (k + 1) % n)
+    }
+
+    #[inline]
+    fn bucket_is_full(&self, k: u64) -> bool {
+        self.bucket(k).chunks_exact(BLOCK_BYTES).all(block_full)
+    }
+
+    /// Scan bucket `k` for `fp`, comparing 8-byte fingerprint prefixes as
+    /// native `u64`s first and verifying the remaining 12 bytes only on a
+    /// prefix match — one integer compare per entry instead of a 20-byte
+    /// memcmp (SHA-1 uniformity makes prefix collisions vanishingly rare).
+    #[inline]
+    fn find_in_bucket_fast(&self, k: u64, fp: &Fingerprint) -> Option<ContainerId> {
+        use crate::entry::{block_len, ENTRY_BYTES, HEADER_BYTES};
+        let bytes = fp.as_bytes();
+        let target = u64::from_ne_bytes(bytes[..8].try_into().expect("8 bytes"));
+        for blk in self.bucket(k).chunks_exact(BLOCK_BYTES) {
+            let len = block_len(blk);
+            let entries = &blk[HEADER_BYTES..HEADER_BYTES + len * ENTRY_BYTES];
+            for s in entries.chunks_exact(ENTRY_BYTES) {
+                let prefix = u64::from_ne_bytes(s[..8].try_into().expect("8 bytes"));
+                if prefix == target && s[8..20] == bytes[8..] {
+                    let mut cid = [0u8; 5];
+                    cid.copy_from_slice(&s[20..25]);
+                    return Some(ContainerId::from_bytes(cid));
+                }
+            }
+        }
+        None
+    }
+
+    /// Membership probe using the overflow invariant: home bucket first,
+    /// neighbours only when home is full (an entry can only have
+    /// overflowed out of a bucket that filled, and entries are never
+    /// removed, so a non-full home bucket is authoritative).
+    #[inline]
+    pub(crate) fn probe(&self, fp: &Fingerprint) -> Option<ContainerId> {
+        let home = self.bucket_of(fp);
+        if let Some(cid) = self.find_in_bucket_fast(home, fp) {
+            return Some(cid);
+        }
+        if !self.bucket_is_full(home) {
+            return None;
+        }
+        let (left, right) = self.neighbours(home);
+        self.find_in_bucket_fast(left, fp)
+            .or_else(|| self.find_in_bucket_fast(right, fp))
+    }
+
+    /// Merge-join probe of a fingerprint batch **sorted ascending**: walks
+    /// the bucket array once in fingerprint order, grouping batch entries
+    /// by home bucket so each bucket is located (and its fullness checked)
+    /// once per group, every entry compare is a native `u64` prefix
+    /// compare, and memory is touched in strictly ascending order. Calls
+    /// `emit(index, resolution)` exactly once per fingerprint, in batch
+    /// order.
+    pub(crate) fn probe_sorted_map(
+        &self,
+        fps: &[Fingerprint],
+        mut emit: impl FnMut(usize, Option<ContainerId>),
+    ) {
+        debug_assert!(
+            fps.windows(2)
+                .all(|w| self.bucket_of(&w[0]) <= self.bucket_of(&w[1])),
+            "batch must be sorted in bucket order"
+        );
+        let mut i = 0;
+        while i < fps.len() {
+            let home = self.bucket_of(&fps[i]);
+            let mut j = i + 1;
+            while j < fps.len() && self.bucket_of(&fps[j]) == home {
+                j += 1;
+            }
+            // Fullness (and thus neighbour eligibility) is shared by the
+            // whole group; compute it lazily on the first home miss.
+            let mut full: Option<(bool, u64, u64)> = None;
+            for (g, fp) in fps[i..j].iter().enumerate() {
+                let mut r = self.find_in_bucket_fast(home, fp);
+                if r.is_none() {
+                    let (is_full, left, right) = *full.get_or_insert_with(|| {
+                        let (l, rt) = self.neighbours(home);
+                        (self.bucket_is_full(home), l, rt)
+                    });
+                    if is_full {
+                        r = self
+                            .find_in_bucket_fast(left, fp)
+                            .or_else(|| self.find_in_bucket_fast(right, fp));
+                    }
+                }
+                emit(i + g, r);
+            }
+            i = j;
+        }
+    }
+
+    /// Merge-join probe collecting `(fingerprint, container)` hits.
+    pub(crate) fn probe_sorted_into(
+        &self,
+        fps: &[Fingerprint],
+        hits: &mut Vec<(Fingerprint, ContainerId)>,
+    ) {
+        self.probe_sorted_map(fps, |i, r| {
+            if let Some(cid) = r {
+                hits.push((fps[i], cid));
+            }
+        });
     }
 }
 
@@ -417,7 +624,11 @@ mod tests {
         idx.insert_random(fp(1), ContainerId::new(1));
         let t = idx.lookup_random(&fp(1));
         // ~1/522 s for the bucket read (+ negligible CPU probe).
-        assert!((t.cost - 1.0 / 522.0).abs() / t.cost < 0.05, "cost {}", t.cost);
+        assert!(
+            (t.cost - 1.0 / 522.0).abs() / t.cost < 0.05,
+            "cost {}",
+            t.cost
+        );
     }
 
     #[test]
@@ -477,14 +688,19 @@ mod tests {
             .map(fp)
             .find(|f| f.bucket_number(6) == target && idx.lookup_uncharged(f).is_none())
             .unwrap();
-        assert_eq!(idx.insert_random(extra, ContainerId::new(2)).value, InsertOutcome::NeedsScaling);
+        assert_eq!(
+            idx.insert_random(extra, ContainerId::new(2)).value,
+            InsertOutcome::NeedsScaling
+        );
     }
 
     #[test]
     fn scale_up_preserves_entries_and_rehomes() {
         let mut idx = small_index(5);
         for i in 0..800u64 {
-            if idx.insert_random(fp(i), ContainerId::new(i)).value == InsertOutcome::NeedsScaling { panic!("unexpected scaling at {i}") }
+            if idx.insert_random(fp(i), ContainerId::new(i)).value == InsertOutcome::NeedsScaling {
+                panic!("unexpected scaling at {i}")
+            }
         }
         let before: Vec<(Fingerprint, ContainerId)> =
             idx.iter_entries().map(|e| (e.fp, e.cid)).collect();
@@ -497,9 +713,11 @@ mod tests {
             // Entry now lives in (or adjacent to) its 7-bit home.
             let home = f.bucket_number(7);
             let (l, r) = idx.neighbours(home);
-            let found = [home, l, r]
-                .iter()
-                .any(|&k| idx.bucket(k).chunks_exact(BLOCK_BYTES).any(|blk| block_find(blk, &f).is_some()));
+            let found = [home, l, r].iter().any(|&k| {
+                idx.bucket(k)
+                    .chunks_exact(BLOCK_BYTES)
+                    .any(|blk| block_find(blk, &f).is_some())
+            });
             assert!(found);
         }
     }
@@ -527,9 +745,16 @@ mod tests {
         let total: u64 = parts.iter().map(|p| p.entry_count()).sum();
         assert_eq!(total, 1000);
         for (p, part) in parts.iter().enumerate() {
-            assert!(part.params().n_bits >= 4, "part must keep at least n-w bits");
+            assert!(
+                part.params().n_bits >= 4,
+                "part must keep at least n-w bits"
+            );
             for e in part.iter_entries() {
-                assert_eq!(e.fp.server_number(2), p as u64, "entry routed to wrong part");
+                assert_eq!(
+                    e.fp.server_number(2),
+                    p as u64,
+                    "entry routed to wrong part"
+                );
                 assert_eq!(part.lookup_uncharged(&e.fp), Some(e.cid));
             }
         }

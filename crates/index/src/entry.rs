@@ -15,7 +15,7 @@ pub const BLOCK_BYTES: usize = 512;
 /// Entries per block.
 pub const ENTRIES_PER_BLOCK: usize = 20;
 /// Byte offset of the first entry within a block (after the count header).
-const HEADER_BYTES: usize = 2;
+pub(crate) const HEADER_BYTES: usize = 2;
 
 /// A fingerprint → container mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,7 +46,10 @@ impl IndexEntry {
         fp.copy_from_slice(&raw[..20]);
         let mut cid = [0u8; 5];
         cid.copy_from_slice(&raw[20..25]);
-        IndexEntry { fp: Fingerprint(fp), cid: ContainerId::from_bytes(cid) }
+        IndexEntry {
+            fp: Fingerprint(fp),
+            cid: ContainerId::from_bytes(cid),
+        }
     }
 }
 
@@ -147,11 +150,17 @@ mod tests {
         let mut block = [0u8; BLOCK_BYTES];
         for i in 0..ENTRIES_PER_BLOCK {
             assert!(!block_full(&block));
-            assert!(block_push(&mut block, &IndexEntry::new(fp(i as u64), ContainerId::new(i as u64))));
+            assert!(block_push(
+                &mut block,
+                &IndexEntry::new(fp(i as u64), ContainerId::new(i as u64))
+            ));
             assert_eq!(block_len(&block), i + 1);
         }
         assert!(block_full(&block));
-        assert!(!block_push(&mut block, &IndexEntry::new(fp(99), ContainerId::new(99))));
+        assert!(!block_push(
+            &mut block,
+            &IndexEntry::new(fp(99), ContainerId::new(99))
+        ));
     }
 
     #[test]
@@ -170,8 +179,9 @@ mod tests {
     #[test]
     fn block_entries_iterates_in_order() {
         let mut block = [0u8; BLOCK_BYTES];
-        let entries: Vec<IndexEntry> =
-            (0..7u64).map(|i| IndexEntry::new(fp(i), ContainerId::new(i * 10))).collect();
+        let entries: Vec<IndexEntry> = (0..7u64)
+            .map(|i| IndexEntry::new(fp(i), ContainerId::new(i * 10)))
+            .collect();
         for e in &entries {
             block_push(&mut block, e);
         }
@@ -180,6 +190,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn capacity_math_matches_paper() {
         // 2 + 20*25 = 502 bytes used of 512.
         assert!(HEADER_BYTES + ENTRIES_PER_BLOCK * ENTRY_BYTES <= BLOCK_BYTES);

@@ -28,7 +28,7 @@ pub mod params;
 pub mod sweep;
 pub mod theory;
 
-pub use cache::{CacheNode, IndexCache};
+pub use cache::{CacheNode, IndexCache, OriginSet};
 pub use disk_index::{DiskIndex, InsertOutcome};
 pub use entry::IndexEntry;
 pub use params::IndexParams;

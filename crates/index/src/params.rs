@@ -21,7 +21,10 @@ impl IndexParams {
     /// # Panics
     /// Panics on a zero/odd-sized bucket or an unusable bit width.
     pub fn new(n_bits: u32, bucket_bytes: usize) -> Self {
-        let p = IndexParams { n_bits, bucket_bytes };
+        let p = IndexParams {
+            n_bits,
+            bucket_bytes,
+        };
         p.validate();
         p
     }
@@ -35,7 +38,10 @@ impl IndexParams {
     pub fn from_total_size(total_bytes: u64, bucket_bytes: usize) -> Self {
         assert!(bucket_bytes > 0 && total_bytes.is_multiple_of(bucket_bytes as u64));
         let buckets = total_bytes / bucket_bytes as u64;
-        assert!(buckets.is_power_of_two(), "bucket count must be a power of two");
+        assert!(
+            buckets.is_power_of_two(),
+            "bucket count must be a power of two"
+        );
         Self::new(buckets.trailing_zeros(), bucket_bytes)
     }
 

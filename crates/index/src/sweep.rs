@@ -15,9 +15,61 @@
 //! into the buckets and writes the index back (read sweep + write sweep).
 //! If a bucket and both neighbours fill up, SIU transparently performs
 //! capacity scaling (§4.1) and continues.
+//!
+//! # Merge-join probing
+//!
+//! The in-memory half of a sweep is itself organised as a **merge-join**
+//! rather than a hash join: the batch is sorted once by fingerprint (it is
+//! already bucketed by leading prefix bits in the [`IndexCache`], so this
+//! is a cheap near-sorted sort), and a single cursor advances through the
+//! bucket array in fingerprint order. Each resident bucket is located once
+//! per batch *group* instead of once per fingerprint, there is no hashing
+//! and no pointer-chasing through cache nodes, and memory is touched in
+//! strictly ascending order — the access pattern the hardware prefetcher
+//! is built for. Overflow is resolved with the *overflow invariant*: an
+//! entry can live in an adjacent bucket only if its home bucket is full
+//! (entries are never removed), so the two neighbour scans of the old
+//! hash-probe path are skipped for every non-full home bucket. The
+//! pre-merge-join path is preserved as
+//! [`DiskIndex::sequential_lookup_hashed`] /
+//! [`DiskIndex::sequential_update_scalar`] for benchmarking and
+//! equivalence testing.
+//!
+//! # Sharded parallel sweeps
+//!
+//! [`DiskIndex::sequential_lookup_sharded`] and
+//! [`DiskIndex::sequential_update_sharded`] split the bucket range into
+//! `P` contiguous partitions swept concurrently under
+//! `std::thread::scope`, modelling the multi-part index of §5.2 (each part
+//! on its own spindle set): virtual sweep/probe time is charged as the
+//! *maximum* over the even partitions (≈ `1/P`, via
+//! [`debar_simio::SimDisk::seq_read_striped`]).
+//!
+//! * SIL shards trivially: probing is read-only, each worker walks its own
+//!   slice of the sorted batch against a shared bucket view, and the
+//!   per-partition hit lists concatenate in fingerprint order.
+//! * Scalar SIU canonicalises the batch the same way and applies it
+//!   per-entry in sorted order (sequential memory order; neighbours only
+//!   when the home bucket is full) — the grouped cursor kernel is used by
+//!   the sharded classification phase below.
+//! * Sharded SIU separates **classification** (does this fingerprint already
+//!   exist? — the probe-heavy part, read-only against the pre-batch state,
+//!   done in parallel) from **application** (append/overwrite entries —
+//!   cheap writes, done serially in canonical order). Existence is stable
+//!   under the batch's own inserts except for *repeats of the same
+//!   fingerprint*, which sorting makes adjacent, so the serial apply pass
+//!   recovers exact scalar semantics with one previous-fingerprint
+//!   comparison. The result is **byte-identical** to the scalar merge-join
+//!   path in all cases, including mid-batch capacity scaling (which the
+//!   serial apply pass performs exactly where the scalar path would).
+//!
+//! Both SIU paths canonicalise the batch by a stable sort on fingerprint
+//! first — the paper's SIU input arrives through the index cache, which
+//! already orders fingerprints by number, so canonical order *is* the
+//! paper's order.
 
 use crate::cache::{CacheNode, IndexCache};
-use crate::disk_index::{DiskIndex, InsertOutcome};
+use crate::disk_index::{BucketView, DiskIndex, InsertOutcome};
 use crate::entry::IndexEntry;
 use debar_hash::{ContainerId, Fingerprint};
 use debar_simio::{Secs, Timed};
@@ -36,6 +88,8 @@ pub struct SilReport {
     /// CPU time spent probing buckets for the batch (overlapped with the
     /// sweep; the larger of the two is the SIL cost).
     pub probe_secs: Secs,
+    /// Partitions the sweep ran on (1 = scalar).
+    pub parts: u32,
 }
 
 impl SilReport {
@@ -46,7 +100,7 @@ impl SilReport {
 }
 
 /// Outcome of one SIU sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SiuReport {
     /// Entries newly inserted.
     pub inserted: u64,
@@ -58,14 +112,68 @@ pub struct SiuReport {
     pub scale_events: u32,
     /// Index utilization after the update.
     pub utilization_after: f64,
+    /// Partitions the sweep ran on (1 = scalar).
+    pub parts: u32,
+}
+
+/// Clamp a requested partition count to something the bucket range can
+/// sustain (at least one bucket per partition).
+fn clamp_parts(parts: usize, buckets: u64) -> u32 {
+    (parts.max(1) as u64).min(buckets).min(u32::MAX as u64) as u32
+}
+
+/// Bucket range `[start, end)` of partition `p` of `parts` over `buckets`.
+fn part_bounds(p: u32, parts: u32, buckets: u64) -> (u64, u64) {
+    let start = buckets * p as u64 / parts as u64;
+    let end = buckets * (p + 1) as u64 / parts as u64;
+    (start, end)
+}
+
+/// Split a fingerprint batch **sorted so `bucket_of` is non-decreasing**
+/// into per-partition sub-slices aligned to the partition bucket ranges
+/// (`partition_point` requires that monotonicity).
+fn split_sorted<'a, T>(
+    sorted: &'a [T],
+    fp_of: impl Fn(&T) -> &Fingerprint,
+    view: &BucketView<'_>,
+    parts: u32,
+) -> Vec<&'a [T]> {
+    let buckets = view.buckets();
+    let mut out = Vec::with_capacity(parts as usize);
+    let mut lo = 0usize;
+    for p in 0..parts {
+        let (_, end_bucket) = part_bounds(p, parts, buckets);
+        let hi = lo + sorted[lo..].partition_point(|t| view.bucket_of(fp_of(t)) < end_bucket);
+        out.push(&sorted[lo..hi]);
+        lo = hi;
+    }
+    debug_assert_eq!(lo, sorted.len());
+    out
 }
 
 impl DiskIndex {
-    /// Sequential index lookup (§5.2, Fig. 4).
+    /// Canonical SIU batch order: stable sort by `(bucket, 64-bit
+    /// prefix)` — native-integer keys sort far faster than 20-byte
+    /// memcmps, the leading bucket component keeps the order monotone in
+    /// bucket number even when this index part's bucket bits start at
+    /// `skip_bits > 0`, and stability preserves the submission order of
+    /// repeated fingerprints so the last mapping wins, as in the
+    /// unsorted scalar path. All SIU paths canonicalise through this one
+    /// method, which is what makes them byte-identical.
+    fn canonical_updates(
+        &self,
+        updates: &[(Fingerprint, ContainerId)],
+    ) -> Vec<(Fingerprint, ContainerId)> {
+        let view = self.view();
+        let mut sorted = updates.to_vec();
+        sorted.sort_by_key(|(fp, _)| (view.bucket_of(fp), fp.prefix64()));
+        sorted
+    }
+    /// Sequential index lookup (§5.2, Fig. 4) with merge-join probing.
     ///
     /// One sequential read sweep of the entire index; as buckets stream
-    /// through memory, each cached fingerprint is searched in its (already
-    /// resident) bucket at the in-memory probe rate. CPU probing is
+    /// through memory, the sorted batch is resolved by a single cursor
+    /// advancing in fingerprint order (see the module docs). CPU probing is
     /// pipelined with the disk sweep, so the SIL cost is the *larger* of
     /// the two — which is why the paper finds SIL time "only related to the
     /// disk index size and the disk transfer rate" (§5.2, Fig. 10).
@@ -73,12 +181,92 @@ impl DiskIndex {
     /// Returns duplicates (with their container IDs) and leaves the new
     /// fingerprints in `cache`.
     pub fn sequential_lookup(&mut self, cache: &mut IndexCache) -> Timed<SilReport> {
+        self.sequential_lookup_sharded(cache, 1)
+    }
+
+    /// Sharded sequential index lookup: the bucket range is split into
+    /// `parts` contiguous partitions swept concurrently (one worker thread
+    /// each), modelling the multi-part index of §5.2. Results are
+    /// identical to [`DiskIndex::sequential_lookup`]; virtual sweep and
+    /// probe time are charged as the maximum over the even partitions.
+    pub fn sequential_lookup_sharded(
+        &mut self,
+        cache: &mut IndexCache,
+        parts: usize,
+    ) -> Timed<SilReport> {
+        let submitted = cache.len();
+        let parts = clamp_parts(parts, self.params().buckets());
+        let view = self.view();
+        let mut fps: Vec<Fingerprint> = cache.iter().map(|n| n.fp).collect();
+        // Sort by (bucket, 64-bit prefix): native-integer keys are far
+        // cheaper than 20-byte lexicographic compares, and leading with
+        // the bucket number keeps the order monotone in `bucket_of` even
+        // on an index *part* whose bucket bits start at `skip_bits > 0`
+        // (multi-server routing) — which grouping and shard partitioning
+        // rely on.
+        fps.sort_unstable_by_key(|fp| (view.bucket_of(fp), fp.prefix64()));
+        let hits: Vec<(Fingerprint, ContainerId)> = if parts == 1 {
+            let mut hits = Vec::new();
+            view.probe_sorted_into(&fps, &mut hits);
+            hits
+        } else {
+            let slices = split_sorted(&fps, |fp| fp, &view, parts);
+            let mut lists: Vec<Vec<(Fingerprint, ContainerId)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = slices
+                    .into_iter()
+                    .map(|slice| {
+                        scope.spawn(move || {
+                            let mut hits = Vec::new();
+                            view.probe_sorted_into(slice, &mut hits);
+                            hits
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("SIL shard worker panicked"))
+                    .collect()
+            });
+            let mut hits = lists.remove(0);
+            for list in lists {
+                hits.extend(list);
+            }
+            hits
+        };
+
+        let mut duplicates = Vec::with_capacity(hits.len());
+        for (fp, cid) in hits {
+            let mut node = cache
+                .remove(&fp)
+                .expect("hit fingerprints come from the cache");
+            node.cid = cid;
+            duplicates.push(node);
+        }
+
+        let total = self.params().total_bytes();
+        let sweep = self.disk_mut().seq_read_striped(total, parts);
+        let probe = self.cpu_mut().probe_fps_striped(submitted as u64, parts);
+        Timed::new(
+            SilReport {
+                duplicates,
+                submitted,
+                sweep_secs: sweep,
+                probe_secs: probe,
+                parts,
+            },
+            sweep.max(probe),
+        )
+    }
+
+    /// The pre-merge-join SIL reference: per-node hash probing through
+    /// [`DiskIndex::lookup_uncharged`] (home bucket plus both neighbours on
+    /// every miss, cache-node order). Kept for benchmarking and for the
+    /// equivalence property tests; results are identical to
+    /// [`DiskIndex::sequential_lookup`].
+    pub fn sequential_lookup_hashed(&mut self, cache: &mut IndexCache) -> Timed<SilReport> {
         let total = self.params().total_bytes();
         let submitted = cache.len();
         let sweep = self.disk_mut().seq_read(total);
-        // Resolve each cached fingerprint against its home bucket (and the
-        // adjacent buckets that overflow may have used). Equivalent to the
-        // in-order sweep since every bucket is resident during the sweep.
         let mut duplicates = Vec::new();
         let mut hits = Vec::new();
         for node in cache.iter() {
@@ -86,6 +274,7 @@ impl DiskIndex {
                 hits.push((node.fp, cid));
             }
         }
+        hits.sort_unstable_by_key(|(fp, _)| *fp);
         for (fp, cid) in hits {
             let mut node = cache.remove(&fp).expect("present above");
             node.cid = cid;
@@ -93,7 +282,13 @@ impl DiskIndex {
         }
         let probe = self.cpu_mut().probe_fps(submitted as u64);
         Timed::new(
-            SilReport { duplicates, submitted, sweep_secs: sweep, probe_secs: probe },
+            SilReport {
+                duplicates,
+                submitted,
+                sweep_secs: sweep,
+                probe_secs: probe,
+                parts: 1,
+            },
             sweep.max(probe),
         )
     }
@@ -101,53 +296,174 @@ impl DiskIndex {
     /// Sequential index update (§5.4): merge `updates` into the index with
     /// one read sweep + one write sweep (merge CPU pipelined with the I/O),
     /// transparently scaling capacity when a bucket and both neighbours are
-    /// full.
+    /// full. The batch is canonicalised by a stable bucket-order sort and
+    /// applied per-entry in that order (ascending memory, overflow-invariant
+    /// neighbour skip, `u64`-prefix compares); the grouped cursor kernel is
+    /// used by [`DiskIndex::sequential_update_sharded`]'s classify phase.
     pub fn sequential_update(
         &mut self,
         updates: &[(Fingerprint, ContainerId)],
     ) -> Timed<SiuReport> {
+        let sorted = self.canonical_updates(updates);
         let total_before = self.params().total_bytes();
         let mut cost = self.disk_mut().seq_read(total_before);
         let mut report = SiuReport {
-            inserted: 0,
-            updated: 0,
-            overflowed: 0,
-            scale_events: 0,
-            utilization_after: 0.0,
+            parts: 1,
+            ..SiuReport::default()
         };
-        for (fp, cid) in updates {
-            if self.lookup_uncharged(fp).is_some() {
-                // Re-registration: overwrite in place (e.g. after
-                // defragmentation moved the chunk).
-                let ok = self.set_cid_uncharged(fp, *cid);
-                debug_assert!(ok);
-                report.updated += 1;
-                continue;
-            }
-            loop {
-                match self.place(&IndexEntry::new(*fp, *cid)) {
-                    InsertOutcome::Home => {
-                        report.inserted += 1;
-                        break;
-                    }
-                    InsertOutcome::Adjacent(_) => {
-                        report.inserted += 1;
-                        report.overflowed += 1;
-                        break;
-                    }
-                    InsertOutcome::NeedsScaling => {
-                        cost += self.scale_up().cost;
-                        report.scale_events += 1;
-                    }
-                }
-            }
+        for &(fp, cid) in &sorted {
+            cost += self.apply_update(fp, cid, &mut report);
         }
         let total_after = self.params().total_bytes();
         cost += self.disk_mut().seq_write(total_after);
         // Merge CPU is pipelined with the sweeps; only the excess stalls.
-        let merge = self.cpu_mut().probe_fps(updates.len() as u64);
+        let merge = self.cpu_mut().probe_fps(sorted.len() as u64);
         report.utilization_after = self.utilization();
         Timed::new(report, cost.max(merge))
+    }
+
+    /// Sharded sequential index update: existence **classification** (the
+    /// probe-heavy half) runs in parallel over bucket-range partitions
+    /// against the pre-batch index state; **application** (appends and
+    /// in-place overwrites, including any capacity scaling) then runs
+    /// serially in canonical order. Byte-identical to
+    /// [`DiskIndex::sequential_update`] on the same batch.
+    pub fn sequential_update_sharded(
+        &mut self,
+        updates: &[(Fingerprint, ContainerId)],
+        parts: usize,
+    ) -> Timed<SiuReport> {
+        let sorted = self.canonical_updates(updates);
+        let parts = clamp_parts(parts, self.params().buckets());
+
+        // ---- Parallel classify against the pre-batch state (grouped
+        //      merge-join probing, one shard per bucket partition). ----
+        let fps: Vec<Fingerprint> = sorted.iter().map(|(fp, _)| *fp).collect();
+        let exists: Vec<bool> = {
+            let view = self.view();
+            let classify = |slice: &[Fingerprint]| {
+                let mut out = vec![false; slice.len()];
+                view.probe_sorted_map(slice, |i, r| out[i] = r.is_some());
+                out
+            };
+            if parts == 1 {
+                classify(&fps)
+            } else {
+                let slices = split_sorted(&fps, |fp| fp, &view, parts);
+                let lists: Vec<Vec<bool>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = slices
+                        .into_iter()
+                        .map(|slice| scope.spawn(move || classify(slice)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("SIU shard worker panicked"))
+                        .collect()
+                });
+                lists.into_iter().flatten().collect()
+            }
+        };
+
+        // ---- Serial apply in canonical order. ----
+        let total_before = self.params().total_bytes();
+        let mut cost = self.disk_mut().seq_read_striped(total_before, parts);
+        let mut report = SiuReport {
+            parts,
+            ..SiuReport::default()
+        };
+        for (k, &(fp, cid)) in sorted.iter().enumerate() {
+            // A fingerprint exists at apply time iff it existed before the
+            // batch or an earlier repeat of it inserted it. Repeats share a
+            // prefix, so they sit inside the (almost always length-1)
+            // equal-prefix run just before `k`.
+            let prefix = fp.prefix64();
+            let repeat = sorted[..k]
+                .iter()
+                .rev()
+                .take_while(|(f, _)| f.prefix64() == prefix)
+                .any(|(f, _)| *f == fp);
+            if exists[k] || repeat {
+                let ok = self.set_cid_sweep(&fp, cid);
+                debug_assert!(ok, "classified-existing fingerprint not found");
+                report.updated += 1;
+            } else {
+                cost += self.place_counted(fp, cid, &mut report);
+            }
+        }
+        let total_after = self.params().total_bytes();
+        cost += self.disk_mut().seq_write_striped(total_after, parts);
+        let merge = self.cpu_mut().probe_fps_striped(sorted.len() as u64, parts);
+        report.utilization_after = self.utilization();
+        Timed::new(report, cost.max(merge))
+    }
+
+    /// The pre-merge-join SIU reference: per-entry hash probing
+    /// ([`DiskIndex::lookup_uncharged`] + in-place overwrite scanning three
+    /// buckets) over the canonically sorted batch. Kept for benchmarking
+    /// and equivalence tests; byte-identical to
+    /// [`DiskIndex::sequential_update`].
+    pub fn sequential_update_scalar(
+        &mut self,
+        updates: &[(Fingerprint, ContainerId)],
+    ) -> Timed<SiuReport> {
+        let sorted = self.canonical_updates(updates);
+        let total_before = self.params().total_bytes();
+        let mut cost = self.disk_mut().seq_read(total_before);
+        let mut report = SiuReport {
+            parts: 1,
+            ..SiuReport::default()
+        };
+        for &(fp, cid) in &sorted {
+            if self.lookup_uncharged(&fp).is_some() {
+                let ok = self.set_cid_uncharged(&fp, cid);
+                debug_assert!(ok);
+                report.updated += 1;
+                continue;
+            }
+            cost += self.place_counted(fp, cid, &mut report);
+        }
+        let total_after = self.params().total_bytes();
+        cost += self.disk_mut().seq_write(total_after);
+        let merge = self.cpu_mut().probe_fps(sorted.len() as u64);
+        report.utilization_after = self.utilization();
+        Timed::new(report, cost.max(merge))
+    }
+
+    /// One merge-join SIU step: overwrite in place when present (home
+    /// bucket, neighbours only if home is full), insert with growth
+    /// otherwise. Returns extra (scaling) cost.
+    fn apply_update(&mut self, fp: Fingerprint, cid: ContainerId, report: &mut SiuReport) -> Secs {
+        if self.view().probe(&fp).is_some() {
+            // Re-registration: overwrite in place (e.g. after
+            // defragmentation moved the chunk).
+            let ok = self.set_cid_sweep(&fp, cid);
+            debug_assert!(ok);
+            report.updated += 1;
+            return 0.0;
+        }
+        self.place_counted(fp, cid, report)
+    }
+
+    /// Insert a new entry, counting outcomes and scaling as needed.
+    fn place_counted(&mut self, fp: Fingerprint, cid: ContainerId, report: &mut SiuReport) -> Secs {
+        let mut cost = 0.0;
+        loop {
+            match self.place(&IndexEntry::new(fp, cid)) {
+                InsertOutcome::Home => {
+                    report.inserted += 1;
+                    return cost;
+                }
+                InsertOutcome::Adjacent(_) => {
+                    report.inserted += 1;
+                    report.overflowed += 1;
+                    return cost;
+                }
+                InsertOutcome::NeedsScaling => {
+                    cost += self.scale_up().cost;
+                    report.scale_events += 1;
+                }
+            }
+        }
     }
 }
 
@@ -155,6 +471,7 @@ impl DiskIndex {
 mod tests {
     use super::*;
     use crate::params::IndexParams;
+    use debar_hash::SplitMix64;
 
     fn index(seed: u64) -> DiskIndex {
         DiskIndex::with_paper_disk(IndexParams::new(8, 512), seed)
@@ -211,7 +528,10 @@ mod tests {
         // Sweep time dominates (CPU probing is pipelined behind the sweep)
         // and is the same for both batches on the same index size.
         let rel = (t_small.cost - t_large.cost).abs() / t_small.cost;
-        assert!(rel < 0.01, "SIL cost should not depend on batch size: {rel}");
+        assert!(
+            rel < 0.01,
+            "SIL cost should not depend on batch size: {rel}"
+        );
         assert!(t_small.value.sweep_secs >= t_small.value.probe_secs);
     }
 
@@ -237,6 +557,23 @@ mod tests {
     }
 
     #[test]
+    fn sharded_sil_charges_fraction_of_scalar_sweep() {
+        let mut idx = index(11);
+        let updates: Vec<_> = (0..2000u64).map(|i| (fp(i), ContainerId::new(i))).collect();
+        idx.sequential_update(&updates);
+
+        let mut a = cache_of(0..1000);
+        let scalar = idx.sequential_lookup(&mut a);
+        let mut b = cache_of(0..1000);
+        let sharded = idx.sequential_lookup_sharded(&mut b, 4);
+        assert_eq!(sharded.value.parts, 4);
+        // Four partitions on four part-disks: ~1/4 the sweep wall time.
+        let ratio = scalar.value.sweep_secs / sharded.value.sweep_secs;
+        assert!((ratio - 4.0).abs() < 1e-9, "sweep ratio {ratio}");
+        assert!(sharded.cost < scalar.cost);
+    }
+
+    #[test]
     fn siu_inserts_and_updates() {
         let mut idx = index(4);
         let first: Vec<_> = (0..100u64).map(|i| (fp(i), ContainerId::new(1))).collect();
@@ -252,6 +589,20 @@ mod tests {
         assert_eq!(idx.lookup_uncharged(&fp(75)), Some(ContainerId::new(2)));
         assert_eq!(idx.lookup_uncharged(&fp(10)), Some(ContainerId::new(1)));
         assert_eq!(idx.entry_count(), 150);
+    }
+
+    #[test]
+    fn siu_repeated_fingerprint_last_mapping_wins() {
+        let mut idx = index(12);
+        let updates = vec![
+            (fp(1), ContainerId::new(10)),
+            (fp(2), ContainerId::new(20)),
+            (fp(1), ContainerId::new(11)),
+        ];
+        let rep = idx.sequential_update(&updates).value;
+        assert_eq!(rep.inserted, 2);
+        assert_eq!(rep.updated, 1);
+        assert_eq!(idx.lookup_uncharged(&fp(1)), Some(ContainerId::new(11)));
     }
 
     #[test]
@@ -273,10 +624,17 @@ mod tests {
         let updates: Vec<_> = (0..200u64).map(|i| (fp(i), ContainerId::new(0))).collect();
         let rep = idx.sequential_update(&updates).value;
         assert_eq!(rep.inserted, 200);
-        assert!(rep.scale_events >= 2, "expected multiple scalings, got {}", rep.scale_events);
+        assert!(
+            rep.scale_events >= 2,
+            "expected multiple scalings, got {}",
+            rep.scale_events
+        );
         assert!(idx.params().n_bits > 1);
         for i in 0..200u64 {
-            assert!(idx.lookup_uncharged(&fp(i)).is_some(), "lost fp {i} across scaling");
+            assert!(
+                idx.lookup_uncharged(&fp(i)).is_some(),
+                "lost fp {i} across scaling"
+            );
         }
     }
 
@@ -284,12 +642,49 @@ mod tests {
     fn sil_after_siu_roundtrip_consistency() {
         // Everything SIU registered must be reported duplicate by SIL.
         let mut idx = index(7);
-        let updates: Vec<_> = (0..300u64).map(|i| (fp(i), ContainerId::new(i % 7))).collect();
+        let updates: Vec<_> = (0..300u64)
+            .map(|i| (fp(i), ContainerId::new(i % 7)))
+            .collect();
         idx.sequential_update(&updates);
         let mut cache = cache_of(0..300);
         let rep = idx.sequential_lookup(&mut cache).value;
         assert_eq!(rep.duplicates.len(), 300);
         assert!(cache.is_empty());
+    }
+
+    // ------------------------------------------------------------------
+    // Equivalence: merge-join and sharded paths vs the scalar reference.
+    // ------------------------------------------------------------------
+
+    /// A seeded random batch: `count` fingerprints drawn from `0..space`.
+    fn random_batch(seed: u64, count: usize, space: u64) -> Vec<(Fingerprint, ContainerId)> {
+        let mut rng = SplitMix64::new(seed);
+        (0..count)
+            .map(|_| {
+                (
+                    fp(rng.next_u64() % space),
+                    ContainerId::new(rng.next_u64() % 1000),
+                )
+            })
+            .collect()
+    }
+
+    fn dup_set(rep: &SilReport) -> Vec<(Fingerprint, ContainerId)> {
+        let mut v: Vec<_> = rep.duplicates.iter().map(|n| (n.fp, n.cid)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn merge_join_sil_matches_hashed_probing() {
+        let mut idx = index(21);
+        idx.sequential_update(&random_batch(1, 3000, 5000));
+        let mut a = cache_of(0..2000);
+        let mut b = cache_of(0..2000);
+        let hashed = idx.sequential_lookup_hashed(&mut a).value;
+        let merged = idx.sequential_lookup(&mut b).value;
+        assert_eq!(dup_set(&hashed), dup_set(&merged));
+        assert_eq!(a.len(), b.len());
     }
 
     proptest::proptest! {
@@ -307,6 +702,112 @@ mod tests {
             let expect_dup = probe.min(reg);
             proptest::prop_assert_eq!(rep.duplicates.len() as u64, expect_dup);
             proptest::prop_assert_eq!(cache.len() as u64, probe - expect_dup);
+        }
+
+        #[test]
+        fn prop_sil_paths_equivalent(seed: u64, reg in 1usize..2000, probe in 1usize..1500, parts in 1usize..9) {
+            // Scalar hashed, merge-join and sharded SIL: identical duplicate
+            // sets and survivors on a randomized registered set.
+            let mut idx = index(seed ^ 0x51);
+            idx.sequential_update(&random_batch(seed, reg, 4000));
+            let before = idx.raw_data().to_vec();
+
+            let mut c_hashed = cache_of(0..probe as u64);
+            let mut c_merge = cache_of(0..probe as u64);
+            let mut c_shard = cache_of(0..probe as u64);
+            let hashed = idx.sequential_lookup_hashed(&mut c_hashed).value;
+            let merged = idx.sequential_lookup(&mut c_merge).value;
+            let sharded = idx.sequential_lookup_sharded(&mut c_shard, parts).value;
+
+            proptest::prop_assert_eq!(dup_set(&hashed), dup_set(&merged));
+            proptest::prop_assert_eq!(dup_set(&merged), dup_set(&sharded));
+            proptest::prop_assert_eq!(c_hashed.len(), c_merge.len());
+            proptest::prop_assert_eq!(c_merge.len(), c_shard.len());
+            // SIL is read-only: the index bytes must be untouched.
+            proptest::prop_assert!(idx.raw_data() == &before[..]);
+        }
+
+        #[test]
+        fn prop_siu_paths_byte_identical(seed: u64, count in 1usize..1500, parts in 1usize..9) {
+            // Scalar, merge-join and sharded SIU must leave byte-identical
+            // index state (same placements, same overflow, same scaling) and
+            // identical reports on the same randomized batch — including
+            // repeated fingerprints within the batch.
+            let batch = random_batch(seed, count, 2000);
+            let mut scalar = index(seed ^ 0xA);
+            let mut merge = index(seed ^ 0xA);
+            let mut shard = index(seed ^ 0xA);
+
+            let r_scalar = scalar.sequential_update_scalar(&batch).value;
+            let r_merge = merge.sequential_update(&batch).value;
+            let r_shard = shard.sequential_update_sharded(&batch, parts).value;
+
+            proptest::prop_assert!(scalar.raw_data() == merge.raw_data());
+            proptest::prop_assert!(merge.raw_data() == shard.raw_data());
+            proptest::prop_assert_eq!(scalar.entry_count(), merge.entry_count());
+            proptest::prop_assert_eq!(merge.entry_count(), shard.entry_count());
+            proptest::prop_assert_eq!(r_scalar.inserted, r_merge.inserted);
+            proptest::prop_assert_eq!(r_scalar.updated, r_merge.updated);
+            proptest::prop_assert_eq!(r_scalar.overflowed, r_merge.overflowed);
+            proptest::prop_assert_eq!(r_merge.inserted, r_shard.inserted);
+            proptest::prop_assert_eq!(r_merge.updated, r_shard.updated);
+            proptest::prop_assert_eq!(r_merge.overflowed, r_shard.overflowed);
+            proptest::prop_assert_eq!(r_scalar.scale_events, r_shard.scale_events);
+        }
+
+        #[test]
+        fn prop_sharded_paths_hold_on_split_parts(seed: u64, parts in 2usize..9) {
+            // On a split index *part* the bucket number starts at
+            // skip_bits > 0; shard partitioning and canonical ordering must
+            // stay bucket-monotone there too (regression: sorting by raw
+            // 64-bit prefix is NOT bucket order once skip_bits > 0).
+            let whole = {
+                let mut idx = DiskIndex::with_paper_disk(IndexParams::new(8, 512), seed ^ 0x99);
+                idx.sequential_update(&random_batch(seed, 1500, 6000));
+                idx
+            };
+            let part0 = whole.split(2).value.remove(0);
+            proptest::prop_assert_eq!(part0.skip_bits(), 2);
+
+            // Fingerprints routed to part 0 (leading 2 bits == 0).
+            let routed: Vec<(Fingerprint, ContainerId)> = random_batch(seed ^ 0x7, 4000, 12_000)
+                .into_iter()
+                .filter(|(fp, _)| fp.server_number(2) == 0)
+                .collect();
+
+            // SIL: hashed vs sharded on the part.
+            let mut a = part0.clone();
+            let mut b = part0.clone();
+            let mut cache_a = IndexCache::new(4, routed.len().max(1));
+            let mut cache_b = IndexCache::new(4, routed.len().max(1));
+            for (fp, _) in &routed {
+                cache_a.insert(*fp, 0);
+                cache_b.insert(*fp, 0);
+            }
+            let hashed = a.sequential_lookup_hashed(&mut cache_a).value;
+            let sharded = b.sequential_lookup_sharded(&mut cache_b, parts).value;
+            proptest::prop_assert_eq!(dup_set(&hashed), dup_set(&sharded));
+
+            // SIU: scalar vs sharded byte-identity on the part.
+            let mut c = part0.clone();
+            let mut d = part0;
+            c.sequential_update(&routed);
+            d.sequential_update_sharded(&routed, parts);
+            proptest::prop_assert!(c.raw_data() == d.raw_data());
+        }
+
+        #[test]
+        fn prop_siu_sharded_scaling_byte_identical(seed: u64, parts in 1usize..9) {
+            // Force mid-batch capacity scaling on a tiny index and verify
+            // the sharded path still reproduces the scalar bytes exactly.
+            let batch = random_batch(seed, 300, 100_000);
+            let mut scalar = DiskIndex::with_paper_disk(IndexParams::new(1, 512), 9);
+            let mut shard = DiskIndex::with_paper_disk(IndexParams::new(1, 512), 9);
+            let a = scalar.sequential_update(&batch).value;
+            let b = shard.sequential_update_sharded(&batch, parts).value;
+            proptest::prop_assert!(a.scale_events >= 1, "test must exercise scaling");
+            proptest::prop_assert_eq!(a.scale_events, b.scale_events);
+            proptest::prop_assert!(scalar.raw_data() == shard.raw_data());
         }
     }
 }

@@ -143,7 +143,13 @@ pub fn table1_rows(index_bytes: u64) -> Vec<Table1Row> {
             let b = (bucket_bytes / 512 * 20) as u32;
             let n_bits = (index_bytes / bucket_bytes as u64).trailing_zeros();
             debug_assert!((index_bytes / bucket_bytes as u64).is_power_of_two());
-            Table1Row { bucket_bytes, b, n_bits, eta, bound: pr_c_bound(n_bits, b, eta) }
+            Table1Row {
+                bucket_bytes,
+                b,
+                n_bits,
+                eta,
+                bound: pr_c_bound(n_bits, b, eta),
+            }
         })
         .collect()
 }
@@ -236,7 +242,13 @@ impl UtilizationSim {
     /// results.
     pub fn run_many(&self, base_seed: u64, runs: usize) -> Vec<UtilRun> {
         (0..runs)
-            .map(|i| self.run(base_seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            .map(|i| {
+                self.run(
+                    base_seed
+                        .wrapping_add(i as u64)
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                )
+            })
             .collect()
     }
 }
@@ -328,7 +340,9 @@ mod tests {
         // every paper claim must hold a fortiori.
         let rows = table1_rows(512u64 << 30);
         assert_eq!(rows.len(), 8);
-        let paper_bounds = [0.0171, 0.0102, 0.0124, 0.0159, 0.0191, 0.0193, 0.0216, 0.0208];
+        let paper_bounds = [
+            0.0171, 0.0102, 0.0124, 0.0159, 0.0191, 0.0193, 0.0216, 0.0208,
+        ];
         for (r, &paper) in rows.iter().zip(&paper_bounds) {
             assert!(
                 r.bound < paper * 1.3,
@@ -350,14 +364,14 @@ mod tests {
         // geometry reproduces Table 2's measured utilizations within a few
         // percent.
         let cases = [
-            (30u32, 20u32, 0.4145),  // 0.5 KB bucket
-            (29, 40, 0.5679),        // 1 KB
-            (28, 80, 0.6804),        // 2 KB
-            (27, 160, 0.7758),       // 4 KB
-            (26, 320, 0.8423),       // 8 KB
-            (25, 640, 0.8825),       // 16 KB
-            (24, 1280, 0.9214),      // 32 KB
-            (23, 2560, 0.9443),      // 64 KB
+            (30u32, 20u32, 0.4145), // 0.5 KB bucket
+            (29, 40, 0.5679),       // 1 KB
+            (28, 80, 0.6804),       // 2 KB
+            (27, 160, 0.7758),      // 4 KB
+            (26, 320, 0.8423),      // 8 KB
+            (25, 640, 0.8825),      // 16 KB
+            (24, 1280, 0.9214),     // 32 KB
+            (23, 2560, 0.9443),     // 64 KB
         ];
         for (n, b, paper_eta) in cases {
             let eta = predicted_exit_eta(n, b);
@@ -387,8 +401,7 @@ mod tests {
         for (n, b) in [(14u32, 20u32), (12, 80), (12, 320)] {
             let predicted = predicted_exit_eta(n, b);
             let runs = UtilizationSim { n_bits: n, b }.run_many(42, 3);
-            let mean: f64 =
-                runs.iter().map(|r| r.utilization).sum::<f64>() / runs.len() as f64;
+            let mean: f64 = runs.iter().map(|r| r.utilization).sum::<f64>() / runs.len() as f64;
             assert!(
                 (mean - predicted).abs() < 0.07,
                 "n={n} b={b}: measured {mean:.3} vs predicted {predicted:.3}"
@@ -404,7 +417,11 @@ mod tests {
             // like the paper's Table 2 (n4 = 0 across all 400 tests).
             assert!(r.full_fraction < 0.05, "rho {} too high", r.full_fraction);
             assert_eq!(r.n4, 0, "four-adjacent full run observed");
-            assert!(r.utilization > 0.75, "8KB bucket utilization {}", r.utilization);
+            assert!(
+                r.utilization > 0.75,
+                "8KB bucket utilization {}",
+                r.utilization
+            );
         }
     }
 

@@ -1,0 +1,260 @@
+//! Minimal API-compatible stand-in for `criterion`.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! real `criterion` cannot be fetched. This shim implements the subset the
+//! workspace's benches use — `Criterion`, `benchmark_group`, `Throughput`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros —
+//! with honest wall-clock measurement: each benchmark is auto-calibrated to
+//! a target batch time, then sampled `sample_size` times, reporting the
+//! minimum and mean time per iteration (min is the stable, noise-resistant
+//! statistic on shared machines).
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's traditional name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// One benchmark measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Best observed nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Mean nanoseconds per iteration across samples.
+    pub mean_ns: f64,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    /// Target wall-clock time per measured batch.
+    batch_target: Duration,
+    results: Vec<(String, Sample)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 12,
+            batch_target: Duration::from_millis(20),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Set the target measurement time (compat; interpreted per batch).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.batch_target = d;
+        self
+    }
+
+    /// Run one benchmark function.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample = run_bench(self.sample_size, self.batch_target, &mut f);
+        report(name, sample, None);
+        self.results.push((name.to_string(), sample));
+        self
+    }
+
+    /// All `(name, sample)` pairs measured so far, in run order (the shim's
+    /// stand-in for criterion's on-disk estimates; lets harnesses emit
+    /// machine-readable summaries).
+    pub fn take_results(&mut self) -> Vec<(String, Sample)> {
+        std::mem::take(&mut self.results)
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the number of measured samples (compat).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(3);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample = run_bench(
+            self.criterion.sample_size,
+            self.criterion.batch_target,
+            &mut f,
+        );
+        report(&format!("{}/{}", self.name, name), sample, self.throughput);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` measures the routine.
+pub struct Bencher {
+    samples: usize,
+    batch_target: Duration,
+    result: Option<Sample>,
+}
+
+impl Bencher {
+    /// Measure `routine`, auto-calibrating the batch size.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibrate: find an iteration count whose batch takes long enough
+        // to measure reliably.
+        let mut n = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                std_black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= self.batch_target || n >= (1 << 28) {
+                break;
+            }
+            // Aim directly for the target from the observed rate.
+            let scale = if took.as_nanos() == 0 {
+                64
+            } else {
+                ((self.batch_target.as_nanos() / took.as_nanos()) + 1).min(64) as u64
+            };
+            n = n.saturating_mul(scale.max(2));
+        }
+        let mut min_ns = f64::INFINITY;
+        let mut total_ns = 0.0f64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..n {
+                std_black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / n as f64;
+            min_ns = min_ns.min(ns);
+            total_ns += ns;
+        }
+        self.result = Some(Sample {
+            min_ns,
+            mean_ns: total_ns / self.samples as f64,
+        });
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(samples: usize, batch_target: Duration, f: &mut F) -> Sample {
+    let mut b = Bencher {
+        samples,
+        batch_target,
+        result: None,
+    };
+    f(&mut b);
+    b.result.unwrap_or(Sample {
+        min_ns: f64::NAN,
+        mean_ns: f64::NAN,
+    })
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn report(name: &str, s: Sample, throughput: Option<Throughput>) {
+    let tp = match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let mibps = bytes as f64 / (s.min_ns / 1e9) / (1u64 << 20) as f64;
+            format!("  ({mibps:.1} MiB/s)")
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / (s.min_ns / 1e9);
+            format!("  ({eps:.0} elem/s)")
+        }
+        None => String::new(),
+    };
+    println!(
+        "bench {name:<48} min {:>10}  mean {:>10}{tp}",
+        human_time(s.min_ns),
+        human_time(s.mean_ns)
+    );
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running the declared groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}

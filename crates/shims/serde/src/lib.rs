@@ -1,0 +1,79 @@
+//! Minimal API-compatible stand-in for `serde`.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! real `serde` cannot be fetched. This shim provides just enough surface for
+//! the workspace to compile:
+//!
+//! * the `Serialize` / `Deserialize` / `Serializer` / `Deserializer` traits
+//!   (reduced to the methods the workspace actually calls),
+//! * re-exported no-op `#[derive(Serialize, Deserialize)]` macros from the
+//!   local `serde_derive` shim.
+//!
+//! No code in the workspace performs real serialization; the traits exist so
+//! that hand-written impls (e.g. `Fingerprint`'s hex codec) type-check and
+//! keep their shape for the day a real serializer is plugged in.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Error produced by a [`Serializer`].
+    pub trait Error: Sized + Display {
+        /// Build an error from a display-able message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A data format that can serialize values (reduced surface).
+    pub trait Serializer: Sized {
+        /// Output produced on success.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+
+        /// Serialize a string slice.
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// A value that can be serialized.
+    pub trait Serialize {
+        /// Serialize `self` into the given serializer.
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+}
+
+pub mod de {
+    use std::fmt::Display;
+
+    /// Error produced by a [`Deserializer`].
+    pub trait Error: Sized + Display {
+        /// Build an error from a display-able message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// A data format that can deserialize values (reduced surface).
+    pub trait Deserializer<'de>: Sized {
+        /// Error type.
+        type Error: Error;
+
+        /// Deserialize an owned string.
+        fn deserialize_string(self) -> Result<String, Self::Error>;
+    }
+
+    /// A value that can be deserialized.
+    pub trait Deserialize<'de>: Sized {
+        /// Deserialize from the given deserializer.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    impl<'de> Deserialize<'de> for String {
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            deserializer.deserialize_string()
+        }
+    }
+}
+
+// Trait names coexist with the derive-macro names above; Rust resolves them
+// in separate namespaces, exactly as the real serde crate does.
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};

@@ -1,0 +1,23 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! This workspace builds in an offline environment with no crates registry,
+//! so the real `serde_derive` cannot be fetched. Nothing in the workspace
+//! actually serializes values (the derives are forward-looking annotations),
+//! so the derives expand to nothing: the annotated types simply do not get
+//! `Serialize`/`Deserialize` impls. Hand-written impls (e.g. for
+//! `Fingerprint`) still compile against the trait definitions in the `serde`
+//! shim.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards the input; emits no impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards the input; emits no impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -62,7 +62,10 @@ pub struct SimCpu {
 impl SimCpu {
     /// Create a CPU with the given model.
     pub fn new(model: CpuModel) -> Self {
-        SimCpu { model, stats: CpuStats::default() }
+        SimCpu {
+            model,
+            stats: CpuStats::default(),
+        }
     }
 
     /// The rate model.
@@ -88,6 +91,17 @@ impl SimCpu {
         c
     }
 
+    /// Perform `count` fingerprint probes spread over `ways` parallel
+    /// workers (sharded sweep partitions); wall time is the `max` over the
+    /// even partitions, i.e. a `1/ways` share. Statistics record the full
+    /// probe count; busy time accrues the parallel wall time.
+    pub fn probe_fps_striped(&mut self, count: u64, ways: u32) -> Secs {
+        let c = self.model.probe_cost(count) / ways.max(1) as f64;
+        self.stats.fp_probes += count;
+        self.stats.busy_s += c;
+        c
+    }
+
     /// Hash `bytes` of payload; returns the cost.
     pub fn hash_bytes(&mut self, bytes: u64) -> Secs {
         let c = self.model.hash_cost(bytes);
@@ -103,21 +117,35 @@ mod tests {
 
     #[test]
     fn probe_cost_matches_rate() {
-        let mut c = SimCpu::new(CpuModel { fp_probes_per_s: 1e6, hash_bw: 1e8 });
+        let mut c = SimCpu::new(CpuModel {
+            fp_probes_per_s: 1e6,
+            hash_bw: 1e8,
+        });
         assert_eq!(c.probe_fps(1_000_000), 1.0);
         assert_eq!(c.stats().fp_probes, 1_000_000);
     }
 
     #[test]
     fn hash_cost_matches_bandwidth() {
-        let mut c = SimCpu::new(CpuModel { fp_probes_per_s: 1e6, hash_bw: 1e8 });
+        let mut c = SimCpu::new(CpuModel {
+            fp_probes_per_s: 1e6,
+            hash_bw: 1e8,
+        });
         assert_eq!(c.hash_bytes(100_000_000), 1.0);
     }
 
     #[test]
     fn merge_accumulates() {
-        let mut a = CpuStats { fp_probes: 5, hashed_bytes: 10, busy_s: 0.25 };
-        a.merge(&CpuStats { fp_probes: 1, hashed_bytes: 2, busy_s: 0.75 });
+        let mut a = CpuStats {
+            fp_probes: 5,
+            hashed_bytes: 10,
+            busy_s: 0.25,
+        };
+        a.merge(&CpuStats {
+            fp_probes: 1,
+            hashed_bytes: 2,
+            busy_s: 0.75,
+        });
         assert_eq!(a.fp_probes, 6);
         assert_eq!(a.busy_s, 1.0);
     }

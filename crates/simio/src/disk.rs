@@ -107,7 +107,10 @@ pub struct SimDisk {
 impl SimDisk {
     /// Create a disk with the given model.
     pub fn new(model: DiskModel) -> Self {
-        SimDisk { model, stats: DiskStats::default() }
+        SimDisk {
+            model,
+            stats: DiskStats::default(),
+        }
     }
 
     /// The timing model.
@@ -141,6 +144,29 @@ impl SimDisk {
         c
     }
 
+    /// Perform a sequential read of `bytes` striped across `ways` identical
+    /// volumes (the multi-part index of paper §5.2: each part sweeps its
+    /// share concurrently, so wall-clock time is `max` over parts ≈ a
+    /// `1/ways` share). Statistics record the full byte volume; the
+    /// returned (and accrued) busy time is the parallel wall time.
+    pub fn seq_read_striped(&mut self, bytes: u64, ways: u32) -> Secs {
+        let ways = ways.max(1) as f64;
+        let c = self.model.seq_read_cost(bytes) / ways;
+        self.stats.seq_read_bytes += bytes;
+        self.stats.busy_s += c;
+        c
+    }
+
+    /// Perform a sequential write of `bytes` striped across `ways` volumes
+    /// (see [`SimDisk::seq_read_striped`]).
+    pub fn seq_write_striped(&mut self, bytes: u64, ways: u32) -> Secs {
+        let ways = ways.max(1) as f64;
+        let c = self.model.seq_write_cost(bytes) / ways;
+        self.stats.seq_write_bytes += bytes;
+        self.stats.busy_s += c;
+        c
+    }
+
     /// Perform a random read of `bytes`; returns the cost.
     pub fn rand_read(&mut self, bytes: u64) -> Secs {
         let c = self.model.rand_read_cost(bytes);
@@ -165,7 +191,11 @@ mod tests {
     use super::*;
 
     fn disk() -> SimDisk {
-        SimDisk::new(DiskModel { seek_s: 0.002, read_bw: 100e6, write_bw: 50e6 })
+        SimDisk::new(DiskModel {
+            seek_s: 0.002,
+            read_bw: 100e6,
+            write_bw: 50e6,
+        })
     }
 
     #[test]
@@ -188,18 +218,29 @@ mod tests {
 
     #[test]
     fn random_ops_dominated_by_seek_for_small_io() {
-        let m = DiskModel { seek_s: 0.002, read_bw: 100e6, write_bw: 100e6 };
+        let m = DiskModel {
+            seek_s: 0.002,
+            read_bw: 100e6,
+            write_bw: 100e6,
+        };
         // 512-byte and 8 KB random reads cost nearly the same (paper §4.2).
         let a = m.rand_read_cost(512);
         let b = m.rand_read_cost(8192);
-        assert!((b - a) / a < 0.05, "8KB random read should cost ~= 512B one");
+        assert!(
+            (b - a) / a < 0.05,
+            "8KB random read should cost ~= 512B one"
+        );
     }
 
     #[test]
     fn sequential_beats_random_by_orders_of_magnitude() {
         // Paper §5.2: sequential transfer is >10x faster than random small
         // I/O per fingerprint.
-        let m = DiskModel { seek_s: 0.0019, read_bw: 225.0 * (1 << 20) as f64, write_bw: 165.0 * (1 << 20) as f64 };
+        let m = DiskModel {
+            seek_s: 0.0019,
+            read_bw: 225.0 * (1 << 20) as f64,
+            write_bw: 165.0 * (1 << 20) as f64,
+        };
         let random_fps_per_s = m.rand_read_ops_per_s(512);
         // One sequential sweep of a 512-byte bucket holding 20 fingerprints:
         let seq_fps_per_s = 20.0 / m.seq_read_cost(512);

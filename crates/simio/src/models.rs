@@ -57,22 +57,36 @@ pub mod paper {
 
     /// The RAID volume holding the on-disk chunk log.
     pub fn log_disk() -> DiskModel {
-        DiskModel { seek_s: 1.913e-3, read_bw: 224.0 * MIB, write_bw: 224.0 * MIB }
+        DiskModel {
+            seek_s: 1.913e-3,
+            read_bw: 224.0 * MIB,
+            write_bw: 224.0 * MIB,
+        }
     }
 
     /// A chunk-repository storage node's volume.
     pub fn repo_disk() -> DiskModel {
-        DiskModel { seek_s: 1.913e-3, read_bw: 224.0 * MIB, write_bw: 224.0 * MIB }
+        DiskModel {
+            seek_s: 1.913e-3,
+            read_bw: 224.0 * MIB,
+            write_bw: 224.0 * MIB,
+        }
     }
 
     /// A backup server's (bonded) NIC.
     pub fn server_nic() -> NetModel {
-        NetModel { bandwidth: 210.0 * MIB, latency_s: 100e-6 }
+        NetModel {
+            bandwidth: 210.0 * MIB,
+            latency_s: 100e-6,
+        }
     }
 
     /// A backup client's NIC (single 1-GbE link).
     pub fn client_nic() -> NetModel {
-        NetModel { bandwidth: 110.0 * MIB, latency_s: 100e-6 }
+        NetModel {
+            bandwidth: 110.0 * MIB,
+            latency_s: 100e-6,
+        }
     }
 
     /// The backup-server CPU.

@@ -65,7 +65,10 @@ pub struct SimLink {
 impl SimLink {
     /// Create a link with the given model.
     pub fn new(model: NetModel) -> Self {
-        SimLink { model, stats: NetStats::default() }
+        SimLink {
+            model,
+            stats: NetStats::default(),
+        }
     }
 
     /// The timing model.
@@ -107,7 +110,10 @@ mod tests {
 
     #[test]
     fn stream_cost_is_linear() {
-        let mut l = SimLink::new(NetModel { bandwidth: 1e6, latency_s: 0.001 });
+        let mut l = SimLink::new(NetModel {
+            bandwidth: 1e6,
+            latency_s: 0.001,
+        });
         assert_eq!(l.stream(1_000_000), 1.0);
         assert_eq!(l.stream(500_000), 0.5);
         assert_eq!(l.stats().stream_bytes, 1_500_000);
@@ -115,7 +121,10 @@ mod tests {
 
     #[test]
     fn message_adds_latency() {
-        let mut l = SimLink::new(NetModel { bandwidth: 1e6, latency_s: 0.001 });
+        let mut l = SimLink::new(NetModel {
+            bandwidth: 1e6,
+            latency_s: 0.001,
+        });
         let c = l.message(1000);
         assert!((c - 0.002).abs() < 1e-12);
         assert_eq!(l.stats().messages, 1);
@@ -123,8 +132,18 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = NetStats { stream_bytes: 10, messages: 1, message_bytes: 5, busy_s: 1.0 };
-        a.merge(&NetStats { stream_bytes: 20, messages: 2, message_bytes: 10, busy_s: 0.5 });
+        let mut a = NetStats {
+            stream_bytes: 10,
+            messages: 1,
+            message_bytes: 5,
+            busy_s: 1.0,
+        };
+        a.merge(&NetStats {
+            stream_bytes: 20,
+            messages: 2,
+            message_bytes: 10,
+            busy_s: 0.5,
+        });
         assert_eq!(a.total_bytes(), 45);
         assert_eq!(a.busy_s, 1.5);
     }

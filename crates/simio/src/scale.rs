@@ -59,7 +59,10 @@ impl ScaleModel {
     /// # Panics
     /// Panics if `denom` is not a power of two or exceeds `2^bits`.
     pub fn scale_bits(&self, bits: u32) -> u32 {
-        assert!(self.denom.is_power_of_two(), "bit scaling needs power-of-two denom");
+        assert!(
+            self.denom.is_power_of_two(),
+            "bit scaling needs power-of-two denom"
+        );
         let shift = self.denom.trailing_zeros();
         assert!(shift <= bits, "scale denominator larger than quantity");
         bits - shift

@@ -27,7 +27,10 @@ impl<T> Timed<T> {
 
     /// Transform the value, keeping the cost.
     pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Timed<U> {
-        Timed { value: f(self.value), cost: self.cost }
+        Timed {
+            value: f(self.value),
+            cost: self.cost,
+        }
     }
 
     /// Add extra cost to this result.
@@ -39,7 +42,10 @@ impl<T> Timed<T> {
 
     /// Combine with another timed value, summing costs.
     pub fn and<U>(self, other: Timed<U>) -> Timed<(T, U)> {
-        Timed { value: (self.value, other.value), cost: self.cost + other.cost }
+        Timed {
+            value: (self.value, other.value),
+            cost: self.cost + other.cost,
+        }
     }
 }
 

@@ -76,7 +76,13 @@ impl Container {
     /// Create an empty container with the given data-section capacity.
     pub fn new(capacity: u64) -> Self {
         assert!(capacity > 0, "container capacity must be positive");
-        Container { id: ContainerId::NULL, capacity, metas: Vec::new(), payloads: Vec::new(), data_bytes: 0 }
+        Container {
+            id: ContainerId::NULL,
+            capacity,
+            metas: Vec::new(),
+            payloads: Vec::new(),
+            data_bytes: 0,
+        }
     }
 
     /// The container's ID ([`ContainerId::NULL`] until the repository
@@ -135,7 +141,11 @@ impl Container {
         if self.data_bytes + len > self.capacity {
             return false;
         }
-        self.metas.push(ChunkMeta { fp, len: len as u32, offset: self.data_bytes });
+        self.metas.push(ChunkMeta {
+            fp,
+            len: len as u32,
+            offset: self.data_bytes,
+        });
         self.data_bytes += len;
         self.payloads.push(payload);
         true
@@ -153,7 +163,11 @@ impl Container {
     /// Build a fingerprint → chunk-slot map for O(1) repeated lookups (the
     /// LPC payload cache uses this on insertion).
     pub fn build_lookup(&self) -> std::collections::HashMap<Fingerprint, usize> {
-        self.metas.iter().enumerate().map(|(i, m)| (m.fp, i)).collect()
+        self.metas
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.fp, i))
+            .collect()
     }
 
     /// Access a chunk by slot index (pairs with [`Container::build_lookup`]).
@@ -205,7 +219,11 @@ impl Container {
             fpb.copy_from_slice(&raw[base..base + 20]);
             let len = u32::from_le_bytes(raw[base + 20..base + 24].try_into().ok()?);
             let offset = u64::from_le_bytes(raw[base + 24..base + 32].try_into().ok()?);
-            metas.push(ChunkMeta { fp: Fingerprint(fpb), len, offset });
+            metas.push(ChunkMeta {
+                fp: Fingerprint(fpb),
+                len,
+                offset,
+            });
         }
         let data = &raw[meta_end..];
         let mut payloads = Vec::with_capacity(count);
@@ -219,7 +237,13 @@ impl Container {
             payloads.push(Payload::Real(Bytes::copy_from_slice(&data[start..end])));
             data_bytes += m.len as u64;
         }
-        Some(Container { id: ContainerId::NULL, capacity, metas, payloads, data_bytes })
+        Some(Container {
+            id: ContainerId::NULL,
+            capacity,
+            metas,
+            payloads,
+            data_bytes,
+        })
     }
 }
 
@@ -298,7 +322,10 @@ mod tests {
         c.try_append(fp(2), Payload::Zero(200));
         let back = Container::deserialize(&c.serialize(), 1 << 16).unwrap();
         assert_eq!(back.read_chunk(&fp(1)).unwrap().len(), 100);
-        assert_eq!(back.read_chunk(&fp(2)).unwrap(), Bytes::from(vec![0u8; 200]));
+        assert_eq!(
+            back.read_chunk(&fp(2)).unwrap(),
+            Bytes::from(vec![0u8; 200])
+        );
     }
 
     #[test]

@@ -89,13 +89,17 @@ mod tests {
     fn aggregates_spread_containers_to_plurality_node() {
         let mut repo = ChunkRepository::new(4, paper::repo_disk(), 1 << 20);
         // Store 8 containers: ids 0..8 land round-robin on nodes 0..3.
-        let ids: Vec<ContainerId> =
-            (0..8u64).map(|i| repo.store(container_with(i * 2..i * 2 + 2)).value).collect();
+        let ids: Vec<ContainerId> = (0..8u64)
+            .map(|i| repo.store(container_with(i * 2..i * 2 + 2)).value)
+            .collect();
         let t = defragment(&mut repo, &ids);
         assert_eq!(t.value.examined, 8);
         assert_eq!(t.value.nodes_before, 4);
         assert_eq!(t.value.nodes_after, 1);
-        assert_eq!(t.value.migrated, 6, "two containers already on the plurality node");
+        assert_eq!(
+            t.value.migrated, 6,
+            "two containers already on the plurality node"
+        );
         assert!(t.cost > 0.0);
         // Everything is findable afterwards on a single node.
         let homes: std::collections::HashSet<usize> =

@@ -121,7 +121,11 @@ impl LpcCache {
     /// a miss), evicting the least-recently-used containers if needed.
     /// Returns the evicted container IDs so callers keeping payload caches
     /// in sync (the restore path) can drop theirs too.
-    pub fn insert_container(&mut self, cid: ContainerId, fps: Vec<Fingerprint>) -> Vec<ContainerId> {
+    pub fn insert_container(
+        &mut self,
+        cid: ContainerId,
+        fps: Vec<Fingerprint>,
+    ) -> Vec<ContainerId> {
         if self.by_container.contains_key(&cid) {
             self.touch(cid);
             return Vec::new();
@@ -212,8 +216,7 @@ mod tests {
         let mut c = LpcCache::new(4);
         let mut misses = 0;
         for container in 0..10u64 {
-            let fps: Vec<Fingerprint> =
-                (0..100).map(|i| fp(container * 100 + i)).collect();
+            let fps: Vec<Fingerprint> = (0..100).map(|i| fp(container * 100 + i)).collect();
             for f in &fps {
                 if c.lookup(f).is_none() {
                     misses += 1;

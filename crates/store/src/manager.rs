@@ -21,7 +21,11 @@ pub struct ContainerManager {
 impl ContainerManager {
     /// Create a manager producing containers of `capacity` data bytes.
     pub fn new(capacity: u64) -> Self {
-        ContainerManager { capacity, open: Container::new(capacity), sealed_count: 0 }
+        ContainerManager {
+            capacity,
+            open: Container::new(capacity),
+            sealed_count: 0,
+        }
     }
 
     /// Container capacity.
@@ -60,7 +64,10 @@ impl ContainerManager {
             return None;
         }
         self.sealed_count += 1;
-        Some(std::mem::replace(&mut self.open, Container::new(self.capacity)))
+        Some(std::mem::replace(
+            &mut self.open,
+            Container::new(self.capacity),
+        ))
     }
 }
 
@@ -114,7 +121,10 @@ mod tests {
     fn exact_fit_does_not_seal_early() {
         let mut m = ContainerManager::new(100);
         assert!(m.append(fp(1), Payload::Zero(50)).is_none());
-        assert!(m.append(fp(2), Payload::Zero(50)).is_none(), "exact fit stays open");
+        assert!(
+            m.append(fp(2), Payload::Zero(50)).is_none(),
+            "exact fit stays open"
+        );
         let sealed = m.append(fp(3), Payload::Zero(1)).expect("now seals");
         assert_eq!(sealed.len(), 2);
     }

@@ -21,7 +21,10 @@ pub struct StorageNode {
 
 impl StorageNode {
     fn new(model: DiskModel) -> Self {
-        StorageNode { disk: SimDisk::new(model), containers: HashMap::new() }
+        StorageNode {
+            disk: SimDisk::new(model),
+            containers: HashMap::new(),
+        }
     }
 
     /// Containers resident on this node.
@@ -99,7 +102,10 @@ impl ChunkRepository {
     /// charges one sequential container write on the target node.
     pub fn store(&mut self, mut container: Container) -> Timed<ContainerId> {
         assert!(container.id().is_null(), "container already stored");
-        assert!(!container.is_empty(), "refusing to store an empty container");
+        assert!(
+            !container.is_empty(),
+            "refusing to store an empty container"
+        );
         let id = ContainerId::new(self.next_id);
         self.next_id += 1;
         container.set_id(id);
@@ -150,7 +156,10 @@ impl ChunkRepository {
 
     /// Whether a container exists.
     pub fn contains(&self, cid: ContainerId) -> bool {
-        !cid.is_null() && self.nodes[self.node_of(cid)].containers.contains_key(&cid.raw())
+        !cid.is_null()
+            && self.nodes[self.node_of(cid)]
+                .containers
+                .contains_key(&cid.raw())
     }
 
     /// All container IDs, ascending.
@@ -178,7 +187,9 @@ impl ChunkRepository {
         cost += self.nodes[target_node].disk.seq_write(self.container_bytes);
         // Migrated containers keep their ID; the node mapping for migrated
         // containers is overridden by presence.
-        self.nodes[target_node].containers.insert(cid.raw(), container);
+        self.nodes[target_node]
+            .containers
+            .insert(cid.raw(), container);
         Some(cost)
     }
 
@@ -188,7 +199,9 @@ impl ChunkRepository {
         if self.nodes[home].containers.contains_key(&cid.raw()) {
             return Some(home);
         }
-        self.nodes.iter().position(|n| n.containers.contains_key(&cid.raw()))
+        self.nodes
+            .iter()
+            .position(|n| n.containers.contains_key(&cid.raw()))
     }
 
     /// Read a container wherever it lives (supports migrated containers).
@@ -270,7 +283,10 @@ mod tests {
         let mut r = repo(2);
         let t = r.store(container_with(0..2));
         assert!(t.cost > 0.0);
-        assert_eq!(r.nodes()[0].disk_stats().seq_write_bytes, r.container_bytes());
+        assert_eq!(
+            r.nodes()[0].disk_stats().seq_write_bytes,
+            r.container_bytes()
+        );
         assert_eq!(r.nodes()[1].disk_stats().seq_write_bytes, 0);
     }
 

@@ -64,7 +64,12 @@ pub struct MutationConfig {
 
 impl Default for MutationConfig {
     fn default() -> Self {
-        MutationConfig { edit_fraction: 0.25, insert_fraction: 0.15, deletes: 1, creates: 2 }
+        MutationConfig {
+            edit_fraction: 0.25,
+            insert_fraction: 0.15,
+            deletes: 1,
+            creates: 2,
+        }
     }
 }
 
@@ -92,13 +97,20 @@ impl FileTreeGen {
                 Bytes::from(block)
             })
             .collect();
-        FileTreeGen { cfg, pool, rng, next_file_id: 0 }
+        FileTreeGen {
+            cfg,
+            pool,
+            rng,
+            next_file_id: 0,
+        }
     }
 
     fn make_file(&mut self) -> FileSpec {
         let id = self.next_file_id;
         self.next_file_id += 1;
-        let size = self.rng.range(self.cfg.file_size.0 as u64, self.cfg.file_size.1 as u64 + 1)
+        let size = self
+            .rng
+            .range(self.cfg.file_size.0 as u64, self.cfg.file_size.1 as u64 + 1)
             as usize;
         let mut data = Vec::with_capacity(size);
         while data.len() < size {
@@ -132,16 +144,23 @@ impl FileTreeGen {
                         *b ^= 0x5a;
                     }
                 }
-                next.push(FileSpec { path: f.path.clone(), data: Bytes::from(data) });
+                next.push(FileSpec {
+                    path: f.path.clone(),
+                    data: Bytes::from(data),
+                });
             } else if roll < m.edit_fraction + m.insert_fraction {
                 // Insert a small run, shifting everything after it — the
                 // CDC resynchronization scenario.
                 let mut data = f.data.to_vec();
                 let at = self.rng.below(data.len() as u64 + 1) as usize;
-                let insert: Vec<u8> =
-                    (0..self.rng.range(16, 128)).map(|_| self.rng.next_u64() as u8).collect();
+                let insert: Vec<u8> = (0..self.rng.range(16, 128))
+                    .map(|_| self.rng.next_u64() as u8)
+                    .collect();
                 data.splice(at..at, insert);
-                next.push(FileSpec { path: f.path.clone(), data: Bytes::from(data) });
+                next.push(FileSpec {
+                    path: f.path.clone(),
+                    data: Bytes::from(data),
+                });
             } else {
                 next.push(f.clone());
             }
@@ -186,7 +205,11 @@ mod tests {
         let v = g.initial();
         assert_eq!(v.len(), 24);
         for f in &v {
-            assert!((4 * 1024..=96 * 1024).contains(&f.data.len()), "size {}", f.data.len());
+            assert!(
+                (4 * 1024..=96 * 1024).contains(&f.data.len()),
+                "size {}",
+                f.data.len()
+            );
             assert!(f.path.contains('/'));
         }
         // Paths unique.
@@ -203,7 +226,10 @@ mod tests {
             .iter()
             .filter(|f| v0.iter().any(|o| o.path == f.path && o.data == f.data))
             .count();
-        assert!(unchanged >= v0.len() / 3, "too much churn: {unchanged} unchanged");
+        assert!(
+            unchanged >= v0.len() / 3,
+            "too much churn: {unchanged} unchanged"
+        );
         assert!(unchanged < v1.len(), "nothing changed");
         assert_eq!(v1.len(), v0.len() - 1 + 2); // deletes=1, creates=2
     }
@@ -234,6 +260,9 @@ mod tests {
     fn tree_bytes_sums() {
         let mut g = FileTreeGen::new(FileTreeConfig::default());
         let v = g.initial();
-        assert_eq!(tree_bytes(&v), v.iter().map(|f| f.data.len() as u64).sum::<u64>());
+        assert_eq!(
+            tree_bytes(&v),
+            v.iter().map(|f| f.data.len() as u64).sum::<u64>()
+        );
     }
 }

@@ -116,7 +116,10 @@ impl HustGen {
     pub fn new(cfg: HustConfig) -> Self {
         assert!(cfg.clients >= 1 && cfg.clients <= 64);
         assert!(cfg.days >= 1);
-        assert!(cfg.p_prev + cfg.p_internal + cfg.p_hist < 1.0, "fractions must leave room for new data");
+        assert!(
+            cfg.p_prev + cfg.p_internal + cfg.p_hist < 1.0,
+            "fractions must leave room for new data"
+        );
         let mut rng = SplitMix64::new(cfg.seed);
         let chains = (0..cfg.clients)
             .map(|i| ClientChain {
@@ -138,7 +141,13 @@ impl HustGen {
             }
             w
         };
-        HustGen { cfg, chains, day: 0, daily_weights, rng }
+        HustGen {
+            cfg,
+            chains,
+            day: 0,
+            daily_weights,
+            rng,
+        }
     }
 
     /// The planned nominal logical size of each day.
@@ -193,7 +202,10 @@ impl Iterator for HustGen {
             chain.prev = v.clone();
         }
         self.day += 1;
-        Some(HustDay { day: self.day, per_client })
+        Some(HustDay {
+            day: self.day,
+            per_client,
+        })
     }
 }
 
@@ -411,6 +423,9 @@ mod tests {
         assert!(max > 650u64 << 30, "max day {max}");
         let total: u64 = plan.iter().sum();
         // ~17 TB nominal.
-        assert!((12u64 << 40..22u64 << 40).contains(&total), "month total {total}");
+        assert!(
+            (12u64 << 40..22u64 << 40).contains(&total),
+            "month total {total}"
+        );
     }
 }

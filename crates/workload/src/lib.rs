@@ -26,6 +26,6 @@ pub mod hust;
 pub mod record;
 pub mod synth;
 
+pub use hust::{HustConfig, HustDay, HustGen};
 pub use record::ChunkRecord;
 pub use synth::{MultiStreamConfig, MultiStreamGen};
-pub use hust::{HustConfig, HustDay, HustGen};

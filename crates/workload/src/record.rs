@@ -21,7 +21,10 @@ impl ChunkRecord {
     /// CDC bounds of [2 KB, 64 KB].
     pub fn of_counter(counter: u64) -> Self {
         let fp = Fingerprint::of_counter(counter);
-        ChunkRecord { fp, len: synthetic_len(&fp) }
+        ChunkRecord {
+            fp,
+            len: synthetic_len(&fp),
+        }
     }
 
     /// A record with an explicit length.
@@ -75,8 +78,10 @@ mod tests {
 
     #[test]
     fn helpers() {
-        let recs: Vec<ChunkRecord> =
-            [1u64, 2, 1].iter().map(|&c| ChunkRecord::of_counter(c)).collect();
+        let recs: Vec<ChunkRecord> = [1u64, 2, 1]
+            .iter()
+            .map(|&c| ChunkRecord::of_counter(c))
+            .collect();
         assert_eq!(unique_fingerprints(&recs), 2);
         assert_eq!(
             total_bytes(&recs),

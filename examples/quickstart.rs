@@ -15,15 +15,18 @@ fn main() {
     let job = system.define_job("home-directories", ClientId(0));
 
     // Version 1: a synthetic file tree with realistic cross-file duplication.
-    let mut gen = FileTreeGen::new(FileTreeConfig { files: 48, ..FileTreeConfig::default() });
+    let mut gen = FileTreeGen::new(FileTreeConfig {
+        files: 48,
+        ..FileTreeConfig::default()
+    });
     let v1 = gen.initial();
     let d1 = system.backup(job, &Dataset::from_file_specs(&v1));
     println!(
-        "backup v1: {} logical in {} chunks, {} transferred ({}x phase-I compression)",
+        "backup v1: {} logical in {} chunks, {} transferred ({:.2}x phase-I compression)",
         human_bytes(d1.logical_bytes),
         d1.logical_chunks,
         human_bytes(d1.transferred_bytes),
-        format!("{:.2}", d1.compression_ratio()),
+        d1.compression_ratio(),
     );
 
     // De-duplication phase II: SIL -> chunk storing -> SIU.
@@ -50,7 +53,8 @@ fn main() {
     let d2b = system.dedup2();
     println!(
         "dedup-2 v2: {} new chunks, {} duplicates eliminated before storage",
-        d2b.store.stored_chunks, d2b.dup_registered + d2b.dup_pending + d2b.store.discarded,
+        d2b.store.stored_chunks,
+        d2b.dup_registered + d2b.dup_pending + d2b.store.discarded,
     );
     system.finish();
 

@@ -7,8 +7,8 @@
 //!
 //! Run: `cargo run --release --example restore_verify`
 
-use debar::store::defrag::defragment;
 use debar::simio::throughput::human_bytes;
+use debar::store::defrag::defragment;
 use debar::workload::files::{FileTreeConfig, FileTreeGen, MutationConfig};
 use debar::{ClientId, Dataset, DebarConfig, DebarSystem, RunId};
 use std::collections::HashSet;
@@ -20,7 +20,10 @@ fn main() {
     let job = system.define_job("project-tree", ClientId(0));
 
     // Ten nightly versions with ongoing edits.
-    let mut gen = FileTreeGen::new(FileTreeConfig { files: 32, ..FileTreeConfig::default() });
+    let mut gen = FileTreeGen::new(FileTreeConfig {
+        files: 32,
+        ..FileTreeConfig::default()
+    });
     let mut tree = gen.initial();
     let mut last_tree = tree.clone();
     for night in 0..10 {
@@ -42,7 +45,10 @@ fn main() {
     // --- Disaster-recovery drill: restore the latest stored version. ---
     let latest = RunId { job, version: 9 };
     let rep = system.restore(latest);
-    assert_eq!(rep.failures, 0, "every chunk must re-hash to its fingerprint");
+    assert_eq!(
+        rep.failures, 0,
+        "every chunk must re-hash to its fingerprint"
+    );
     println!(
         "\nrestore v10: {} files, {} — all {} chunks verified by SHA-1, \
          LPC hit ratio {:.1}%",
@@ -54,7 +60,10 @@ fn main() {
     // Cross-check byte totals against the client's own copy of v10.
     let expect: u64 = last_tree.iter().map(|f| f.data.len() as u64).sum();
     assert_eq!(rep.bytes, expect, "restored byte count mismatch");
-    println!("byte totals match the client's original copy ({})", human_bytes(expect));
+    println!(
+        "byte totals match the client's original copy ({})",
+        human_bytes(expect)
+    );
 
     // --- §6.3 defragmentation: aggregate this job's containers. ---
     // Collect the containers the job's latest version lives in.
@@ -95,7 +104,10 @@ fn main() {
         t.cost,
     );
     for &cid in &cids {
-        assert!(repo.read_anywhere(cid).value.is_some(), "container lost by defrag");
+        assert!(
+            repo.read_anywhere(cid).value.is_some(),
+            "container lost by defrag"
+        );
     }
     println!("all containers intact after migration");
 }

@@ -2,9 +2,9 @@
 //! system must never double-store, never lose a chunk, and always restore
 //! byte counts exactly.
 
+use debar::hash::SplitMix64;
 use debar::workload::ChunkRecord;
 use debar::{ClientId, Dataset, DebarCluster, DebarConfig, Fingerprint, JobId, RunId};
-use debar::hash::SplitMix64;
 use std::collections::HashSet;
 
 /// A random-but-seeded workload: several jobs, several rounds, arbitrary
@@ -14,8 +14,9 @@ fn random_workload(seed: u64, w_bits: u32) {
     let mut cfg = DebarConfig::tiny_test(w_bits);
     cfg.siu_interval = 1 + (seed % 3) as u32;
     let mut c = DebarCluster::new(cfg);
-    let jobs: Vec<JobId> =
-        (0..3).map(|i| c.define_job(format!("j{i}"), ClientId(i as u32))).collect();
+    let jobs: Vec<JobId> = (0..3)
+        .map(|i| c.define_job(format!("j{i}"), ClientId(i as u32)))
+        .collect();
 
     let mut seen: HashSet<Fingerprint> = HashSet::new();
     let mut stored_total = 0u64;
@@ -55,7 +56,11 @@ fn random_workload(seed: u64, w_bits: u32) {
         seen.len() as u64,
         "seed {seed}: duplicate or lost storage"
     );
-    assert_eq!(c.index_entries(), seen.len() as u64, "seed {seed}: index drift");
+    assert_eq!(
+        c.index_entries(),
+        seen.len() as u64,
+        "seed {seed}: index drift"
+    );
 
     // Invariant 2: every fingerprint resolves.
     for fp in &seen {

@@ -6,7 +6,10 @@ use debar::workload::files::{FileTreeConfig, FileTreeGen, MutationConfig};
 use debar::{ClientId, Dataset, DebarConfig, DebarSystem, RunId};
 
 fn tree_gen() -> FileTreeGen {
-    FileTreeGen::new(FileTreeConfig { files: 16, ..FileTreeConfig::default() })
+    FileTreeGen::new(FileTreeConfig {
+        files: 16,
+        ..FileTreeConfig::default()
+    })
 }
 
 #[test]
@@ -23,7 +26,10 @@ fn backup_restore_roundtrip_is_byte_exact() {
     system.finish();
 
     let rep = system.restore_latest(job);
-    assert_eq!(rep.failures, 0, "every chunk must re-hash to its fingerprint");
+    assert_eq!(
+        rep.failures, 0,
+        "every chunk must re-hash to its fingerprint"
+    );
     assert_eq!(rep.bytes, logical, "restored byte count differs");
     assert_eq!(rep.files, tree.len() as u64);
 }
@@ -79,8 +85,14 @@ fn distinct_jobs_deduplicate_against_each_other_in_phase2() {
     system.finish();
 
     assert!(d2a.store.stored_chunks > 0);
-    assert_eq!(d2b.store.stored_chunks, 0, "identical content must not store twice");
-    assert_eq!(d2b.dup_registered as usize, d2a.store.stored_chunks as usize);
+    assert_eq!(
+        d2b.store.stored_chunks, 0,
+        "identical content must not store twice"
+    );
+    assert_eq!(
+        d2b.dup_registered as usize,
+        d2a.store.stored_chunks as usize
+    );
 
     let rep = system.restore_latest(b);
     assert_eq!(rep.failures, 0);
@@ -104,5 +116,9 @@ fn deterministic_end_to_end() {
             system.cluster().index_entries(),
         )
     };
-    assert_eq!(run(), run(), "virtual-time results must be bit-reproducible");
+    assert_eq!(
+        run(),
+        run(),
+        "virtual-time results must be bit-reproducible"
+    );
 }

@@ -17,8 +17,9 @@ fn records(range: std::ops::Range<u64>) -> Vec<ChunkRecord> {
 fn every_unique_chunk_stored_exactly_once_across_servers() {
     let mut c = cluster(2);
     let clients = 8usize;
-    let jobs: Vec<JobId> =
-        (0..clients).map(|i| c.define_job(format!("j{i}"), ClientId(i as u32))).collect();
+    let jobs: Vec<JobId> = (0..clients)
+        .map(|i| c.define_job(format!("j{i}"), ClientId(i as u32)))
+        .collect();
     let mut gen = MultiStreamGen::new(MultiStreamConfig {
         clients,
         version_chunks: 1500,
@@ -60,7 +61,9 @@ fn fingerprints_live_on_their_routing_server() {
         );
     }
     // Entry counts roughly balanced across the four parts (SHA-1 uniform).
-    let counts: Vec<u64> = (0..4u16).map(|s| c.server(s).index().entry_count()).collect();
+    let counts: Vec<u64> = (0..4u16)
+        .map(|s| c.server(s).index().entry_count())
+        .collect();
     let total: u64 = counts.iter().sum();
     assert_eq!(total, 2000);
     for (i, &n) in counts.iter().enumerate() {

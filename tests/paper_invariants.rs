@@ -71,7 +71,10 @@ fn bucket_utilization_tracks_table2_ordering() {
         let eta = runs.iter().map(|r| r.utilization).sum::<f64>() / runs.len() as f64;
         assert!(eta > last, "utilization not increasing at b={b}");
         let predicted = predicted_exit_eta(n, b);
-        assert!((eta - predicted).abs() < 0.09, "b={b}: {eta} vs {predicted}");
+        assert!(
+            (eta - predicted).abs() < 0.09,
+            "b={b}: {eta} vs {predicted}"
+        );
         last = eta;
     }
 }
@@ -102,7 +105,10 @@ fn preliminary_filter_cuts_network_traffic_not_compression() {
         (with_filter_tx as f64) < 0.4 * no_filter_tx as f64,
         "filter saved too little: {with_filter_tx} vs {no_filter_tx}"
     );
-    assert_eq!(with_entries, no_entries, "final stored set must be identical");
+    assert_eq!(
+        with_entries, no_entries,
+        "final stored set must be identical"
+    );
     assert_eq!(with_entries, 2500);
 }
 

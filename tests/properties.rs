@@ -5,7 +5,9 @@ use bytes::Bytes;
 use debar::chunk::{CdcChunker, CdcParams};
 use debar::store::{Container, Payload};
 use debar::workload::ChunkRecord;
-use debar::{ClientId, Dataset, DebarCluster, DebarConfig, FileContent, FileEntry, Fingerprint, RunId};
+use debar::{
+    ClientId, Dataset, DebarCluster, DebarConfig, FileContent, FileEntry, Fingerprint, RunId,
+};
 use proptest::prelude::*;
 
 proptest! {

@@ -8,8 +8,11 @@ use debar::{ClientId, Dataset, DebarConfig, DebarSystem, RunId};
 fn verify_job_detects_healthy_system() {
     let mut system = DebarSystem::new(DebarConfig::tiny_test(0));
     let job = system.define_job("docs", ClientId(0));
-    let tree = FileTreeGen::new(FileTreeConfig { files: 12, ..FileTreeConfig::default() })
-        .initial();
+    let tree = FileTreeGen::new(FileTreeConfig {
+        files: 12,
+        ..FileTreeConfig::default()
+    })
+    .initial();
     system.backup(job, &Dataset::from_file_specs(&tree));
     system.dedup2();
     system.finish();
@@ -26,8 +29,11 @@ fn verify_job_detects_healthy_system() {
 fn single_file_restore_returns_exactly_that_file() {
     let mut system = DebarSystem::new(DebarConfig::tiny_test(0));
     let job = system.define_job("docs", ClientId(0));
-    let tree = FileTreeGen::new(FileTreeConfig { files: 12, ..FileTreeConfig::default() })
-        .initial();
+    let tree = FileTreeGen::new(FileTreeConfig {
+        files: 12,
+        ..FileTreeConfig::default()
+    })
+    .initial();
     system.backup(job, &Dataset::from_file_specs(&tree));
     system.dedup2();
     system.finish();
@@ -42,8 +48,11 @@ fn single_file_restore_returns_exactly_that_file() {
 fn index_loss_is_fully_recoverable_from_containers() {
     let mut system = DebarSystem::new(DebarConfig::tiny_test(1));
     let job = system.define_job("docs", ClientId(0));
-    let tree = FileTreeGen::new(FileTreeConfig { files: 20, ..FileTreeConfig::default() })
-        .initial();
+    let tree = FileTreeGen::new(FileTreeConfig {
+        files: 20,
+        ..FileTreeConfig::default()
+    })
+    .initial();
     system.backup(job, &Dataset::from_file_specs(&tree));
     system.dedup2();
     system.finish();

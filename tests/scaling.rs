@@ -84,7 +84,10 @@ fn scale_out_requires_quiescence() {
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         c.scale_out();
     }));
-    assert!(result.is_err(), "scale-out must refuse non-quiesced servers");
+    assert!(
+        result.is_err(),
+        "scale-out must refuse non-quiesced servers"
+    );
 }
 
 #[test]
@@ -103,7 +106,10 @@ fn siu_capacity_scaling_under_pressure() {
     c.force_siu();
     assert_eq!(c.index_entries(), 8000);
     let util = c.index_utilization();
-    assert!(util > 0.05 && util < 0.95, "utilization {util} out of range");
+    assert!(
+        util > 0.05 && util < 0.95,
+        "utilization {util} out of range"
+    );
     for r in records(0..8000) {
         assert!(c.resolve(&r.fp).is_some());
     }

@@ -1,0 +1,72 @@
+//! End-to-end equivalence of the sharded SIL/SIU configuration: a cluster
+//! whose servers sweep their index parts in `P` partitions must produce
+//! exactly the same dedup decisions, stored chunks and restored bytes as
+//! the scalar (`sweep_parts = 1`) configuration — only the virtual sweep
+//! time changes (max-of-partitions, ≈ 1/P).
+
+use debar::workload::ChunkRecord;
+use debar::{ClientId, Dataset, DebarCluster, DebarConfig, RunId};
+
+fn records(range: std::ops::Range<u64>) -> Vec<ChunkRecord> {
+    range.map(ChunkRecord::of_counter).collect()
+}
+
+fn run_cluster(parts: usize) -> (u64, u64, u64, f64, u64) {
+    let mut c = DebarCluster::new(DebarConfig::tiny_test(2).with_sweep_parts(parts));
+    let a = c.define_job("a", ClientId(0));
+    let b = c.define_job("b", ClientId(1));
+    // Overlapping streams: cross-stream duplicates + fresh content.
+    c.backup(a, &Dataset::from_records("s1", records(0..3000)));
+    c.backup(b, &Dataset::from_records("s2", records(1500..4500)));
+    let d2 = c.run_dedup2();
+    // Second round re-backs-up one stream plus new content.
+    c.backup(a, &Dataset::from_records("s3", records(4000..6000)));
+    let d2b = c.run_dedup2();
+    c.force_siu();
+
+    let restored = c.restore_run(RunId { job: a, version: 0 });
+    assert_eq!(restored.failures, 0);
+    (
+        d2.store.stored_chunks + d2b.store.stored_chunks,
+        d2.new_fps + d2b.new_fps,
+        c.index_entries(),
+        d2.sil_wall,
+        restored.bytes,
+    )
+}
+
+#[test]
+fn sharded_cluster_matches_scalar_dedup_results() {
+    let scalar = run_cluster(1);
+    for parts in [2usize, 4, 8] {
+        let sharded = run_cluster(parts);
+        assert_eq!(scalar.0, sharded.0, "stored chunks differ at parts={parts}");
+        assert_eq!(
+            scalar.1, sharded.1,
+            "new fingerprints differ at parts={parts}"
+        );
+        assert_eq!(scalar.2, sharded.2, "index entries differ at parts={parts}");
+        assert_eq!(
+            scalar.4, sharded.4,
+            "restored bytes differ at parts={parts}"
+        );
+        // The sharded sweep is strictly faster in virtual time.
+        assert!(
+            sharded.3 < scalar.3,
+            "parts={parts}: sharded SIL wall {} !< scalar {}",
+            sharded.3,
+            scalar.3
+        );
+    }
+}
+
+#[test]
+fn sweep_parts_validates() {
+    DebarConfig::tiny_test(0).with_sweep_parts(4).validate();
+}
+
+#[test]
+#[should_panic(expected = "at least one partition")]
+fn zero_sweep_parts_rejected() {
+    DebarConfig::tiny_test(0).with_sweep_parts(0).validate();
+}
