@@ -16,6 +16,7 @@
 //! | `fig13` | Fig. 13 (PSIL/PSIU speeds, 16 servers) |
 //! | `fig14` | Fig. 14 (16-server aggregate write/read throughput) |
 //! | `fig15` | Fig. 15 (throughput/capacity vs number of servers) |
+//! | `fig_multipart` | §5.2 multi-part index analysis (sweep time & throughput vs parts, emits `BENCH_multipart.json`) |
 //! | `ablation_*`, `metadata_store` | design-choice ablations (DESIGN.md §4) |
 //!
 //! Everything runs at a configurable scale denominator (default 1024; see

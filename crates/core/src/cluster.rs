@@ -226,6 +226,14 @@ impl DebarCluster {
         let dup_pending: u64 = outputs.iter().map(|o| o.stats.dup_pending).sum();
         let new_fps: u64 = outputs.iter().map(|o| o.stats.new_fps).sum();
         let sil_sweeps: u32 = outputs.iter().map(|o| o.stats.sweeps).sum();
+        // Partitions the striped sweeps actually engaged (0 when no server
+        // swept this round; report the configured mode then).
+        let sweep_parts = outputs
+            .iter()
+            .map(|o| o.stats.parts)
+            .max()
+            .filter(|&p| p > 0)
+            .unwrap_or(self.cfg.sweep_parts.min(u32::MAX as usize) as u32);
         let t2 = self.barrier();
 
         // ---- Phase 3: chunk storing (sequential for deterministic IDs;
@@ -288,6 +296,7 @@ impl DebarCluster {
             dup_pending,
             new_fps,
             sil_sweeps,
+            sweep_parts,
             store: store_total,
             siu_ran: run_siu,
             siu_reports,
@@ -499,6 +508,9 @@ impl DebarCluster {
         let mut new_cfg = self.cfg;
         new_cfg.w_bits += 1;
         new_cfg.index_part_bytes /= 2;
+        // Halving each part can leave a striped deployment with more sweep
+        // partitions than buckets; apply the documented clamp rule.
+        new_cfg.clamp_sweep_parts();
         new_cfg.validate();
         let old = std::mem::take(&mut self.servers);
         for srv in old {
@@ -537,7 +549,12 @@ impl DebarCluster {
                 }
             }
         }
-        let t = self.servers[sid].index_mut().bulk_load(entries);
+        // The rebuilt part is written back across the deployment's sweep
+        // partitions (striped part-disks recover in parallel too).
+        let parts = self.cfg.sweep_parts;
+        let t = self.servers[sid]
+            .index_mut()
+            .bulk_load_striped(entries, parts);
         self.servers[sid].clock.advance(scan_cost + t.cost);
         scan_cost + t.cost
     }

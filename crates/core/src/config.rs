@@ -1,4 +1,31 @@
 //! Cluster configuration.
+//!
+//! # The striped multi-part index (`sweep_parts`)
+//!
+//! Paper §5.2 sizes SIL so "the lookup time is only related to the disk
+//! index size and the disk transfer rate" — and then observes that a
+//! *multi-part* index, each part on its own disk volume, divides that
+//! sweep time by the number of parts. [`DebarConfig::striped`] makes this
+//! a first-class deployment mode: each backup server's SIL/SIU sweeps run
+//! on `sweep_parts` contiguous bucket partitions concurrently (one
+//! part-disk each), virtual sweep time is charged as the even-split
+//! maximum (≈ `1/parts`), and dedup decisions, index bytes and restores
+//! are **byte-identical** to the single-volume configuration — only the
+//! clock moves differently (`tests/common/` proves this over a scenario
+//! matrix).
+//!
+//! Validation and clamping rules:
+//!
+//! * [`DebarConfig::validate`] rejects `sweep_parts` = 0 and
+//!   `sweep_parts` greater than one index part's bucket count (a sweep
+//!   needs at least one bucket per partition).
+//! * Partition counts that don't divide the bucket count are allowed:
+//!   partitions differ by at most one bucket.
+//! * A *live* index's bucket count changes under a fixed configuration —
+//!   capacity scaling doubles it, performance-scaling splits halve it —
+//!   so sweeps re-clamp to `min(parts, buckets)` at run time, and
+//!   cluster scale-out normalises the configuration with
+//!   [`DebarConfig::clamp_sweep_parts`].
 
 use debar_index::IndexParams;
 use debar_simio::ScaleModel;
@@ -109,11 +136,40 @@ impl DebarConfig {
         }
     }
 
+    /// The paper's §5.2 **multi-part index** deployment: the single-server
+    /// geometry with every SIL/SIU sweep striped over `parts` part-disks
+    /// (scaled down by the default 1/1024 denominator). Dedup results are
+    /// byte-identical to [`DebarConfig::single_server_scaled`]; sweep
+    /// virtual time divides by ≈ `parts`.
+    ///
+    /// # Panics
+    /// Panics if `parts` is 0 or exceeds the index part's bucket count.
+    pub fn striped(parts: usize) -> Self {
+        Self::striped_scaled(parts, 1024)
+    }
+
+    /// [`DebarConfig::striped`] at an explicit scale denominator.
+    pub fn striped_scaled(parts: usize, denom: u64) -> Self {
+        let cfg = Self::single_server_scaled(denom).with_sweep_parts(parts);
+        cfg.validate();
+        cfg
+    }
+
     /// Builder: shard each server's SIL/SIU sweeps into `parts` bucket
-    /// partitions (striped part-disks; see the `sweep_parts` field).
+    /// partitions (striped part-disks; see the `sweep_parts` field and the
+    /// module docs for the validation/clamping rules).
     pub fn with_sweep_parts(mut self, parts: usize) -> Self {
         self.sweep_parts = parts;
         self
+    }
+
+    /// Re-clamp `sweep_parts` to the current part geometry. Performance
+    /// scaling halves each index part, so a striped deployment that
+    /// scales out keeps `min(parts, buckets)` partitions per part
+    /// (documented rule) instead of failing validation.
+    pub fn clamp_sweep_parts(&mut self) {
+        let buckets = self.index_part_params().buckets();
+        self.sweep_parts = (self.sweep_parts.max(1) as u64).min(buckets) as usize;
     }
 
     /// Number of backup servers, `2^w_bits`.
@@ -148,6 +204,14 @@ impl DebarConfig {
         assert!(self.repo_nodes > 0);
         assert!(self.siu_interval >= 1);
         assert!(self.sweep_parts >= 1, "sweeps need at least one partition");
+        let buckets = self.index_part_params().buckets();
+        assert!(
+            self.sweep_parts as u64 <= buckets,
+            "sweep_parts ({}) exceeds the {} buckets of one index part; \
+             a sweep partition needs at least one bucket",
+            self.sweep_parts,
+            buckets
+        );
     }
 }
 
@@ -178,5 +242,50 @@ mod tests {
     #[test]
     fn tiny_test_valid() {
         DebarConfig::tiny_test(2).validate();
+    }
+
+    #[test]
+    fn striped_preset_is_single_server_geometry_with_parts() {
+        let plain = DebarConfig::single_server_scaled(1024);
+        let striped = DebarConfig::striped(4);
+        assert_eq!(striped.sweep_parts, 4);
+        assert_eq!(striped.w_bits, plain.w_bits);
+        assert_eq!(striped.index_part_bytes, plain.index_part_bytes);
+        assert_eq!(striped.bucket_bytes, plain.bucket_bytes);
+        striped.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn sweep_parts_beyond_bucket_count_rejected() {
+        // tiny_test parts have 256 buckets; 257 partitions can't all get
+        // a bucket.
+        DebarConfig::tiny_test(0).with_sweep_parts(257).validate();
+    }
+
+    #[test]
+    fn sweep_parts_equal_to_bucket_count_allowed() {
+        DebarConfig::tiny_test(0).with_sweep_parts(256).validate();
+    }
+
+    #[test]
+    fn non_dividing_sweep_parts_validate() {
+        // 3 does not divide 256; partitions just differ by one bucket.
+        DebarConfig::tiny_test(0).with_sweep_parts(3).validate();
+    }
+
+    #[test]
+    fn clamp_sweep_parts_applies_documented_rule() {
+        let mut cfg = DebarConfig::tiny_test(0).with_sweep_parts(256);
+        cfg.validate();
+        // A performance-scaling split halves the part: 128 buckets left.
+        cfg.index_part_bytes /= 2;
+        cfg.clamp_sweep_parts();
+        assert_eq!(cfg.sweep_parts, 128);
+        cfg.validate();
+        // Clamping an in-range value is a no-op.
+        let mut cfg2 = DebarConfig::tiny_test(0).with_sweep_parts(4);
+        cfg2.clamp_sweep_parts();
+        assert_eq!(cfg2.sweep_parts, 4);
     }
 }

@@ -17,6 +17,11 @@ pub struct DirectorPolicy {
     /// Run PSIU once every this many dedup-2 rounds (§5.4 asynchronous
     /// SIU).
     pub siu_interval: u32,
+    /// Index partitions each server's SIL/SIU sweeps stripe over (the
+    /// multi-part index of §5.2; 1 = single index volume per server). The
+    /// director records the deployment mode so operators and reports can
+    /// see it in the control plane.
+    pub sweep_parts: usize,
 }
 
 /// The control centre of the deployment.
@@ -36,6 +41,7 @@ impl Default for DirectorPolicy {
         DirectorPolicy {
             dedup2_trigger_fps: 0,
             siu_interval: 1,
+            sweep_parts: 1,
         }
     }
 }
@@ -48,6 +54,7 @@ impl Director {
             policy: DirectorPolicy {
                 dedup2_trigger_fps: cfg.dedup2_trigger_fps,
                 siu_interval: cfg.siu_interval,
+                sweep_parts: cfg.sweep_parts,
             },
             assigned_bytes: vec![0; cfg.servers()],
             dedup2_rounds: 0,
@@ -169,6 +176,13 @@ mod tests {
             siu_flags.push(siu);
         }
         assert_eq!(siu_flags, vec![false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn policy_records_striped_mode() {
+        let d = Director::new(&DebarConfig::tiny_test(0).with_sweep_parts(4));
+        assert_eq!(d.policy().sweep_parts, 4);
+        assert_eq!(DirectorPolicy::default().sweep_parts, 1);
     }
 
     #[test]

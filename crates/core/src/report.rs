@@ -79,6 +79,10 @@ pub struct Dedup2Report {
     /// SIL sweeps performed (cache-capacity sub-batches summed over
     /// servers).
     pub sil_sweeps: u32,
+    /// Index partitions the PSIL sweeps ran on (max over servers; the
+    /// striped multi-part index of §5.2 — 1 means the paper's single
+    /// index volume per server).
+    pub sweep_parts: u32,
     /// Aggregate chunk-storing outcome.
     pub store: StoreReport,
     /// Whether PSIU ran this round.
@@ -208,6 +212,7 @@ mod tests {
             dup_pending: 100,
             new_fps: 500,
             sil_sweeps: 1,
+            sweep_parts: 1,
             store: StoreReport {
                 log_records: 1000,
                 log_bytes: 8 << 20,

@@ -52,6 +52,9 @@ pub struct SilPartStats {
     pub new_fps: u64,
     /// Cache-capacity sub-batches swept.
     pub sweeps: u32,
+    /// Index partitions each sweep ran on (the striped multi-part index;
+    /// 0 when the batch was empty and no sweep ran).
+    pub parts: u32,
 }
 
 /// Output of one server's SIL pass: per-origin verdicts plus statistics.
@@ -154,6 +157,12 @@ impl BackupServer {
     /// This server's disk-index part.
     pub fn index(&self) -> &DiskIndex {
         &self.index
+    }
+
+    /// Sweep partitions this server's SIL/SIU runs on (the striped
+    /// multi-part index; 1 = the paper's single index volume).
+    pub fn sweep_parts(&self) -> usize {
+        self.cfg.sweep_parts
     }
 
     /// Mutable index access (cluster restore path).
@@ -288,6 +297,7 @@ impl BackupServer {
                 .index
                 .sequential_lookup_sharded(&mut cache, self.cfg.sweep_parts);
             let sil = self.clock.charge(t);
+            stats.parts = stats.parts.max(sil.parts);
             for node in &sil.duplicates {
                 stats.dup_registered += node.origins.len() as u64;
                 for &origin in &node.origins {

@@ -373,13 +373,27 @@ impl DiskIndex {
         &mut self,
         entries: impl IntoIterator<Item = (Fingerprint, ContainerId)>,
     ) -> Timed<u64> {
+        self.bulk_load_striped(entries, 1)
+    }
+
+    /// [`DiskIndex::bulk_load`] onto a striped multi-part index: the write
+    /// sweep of the rebuilt part is charged across `parts` part-disks
+    /// (max-of-partitions, ≈ `1/parts` — the recovery path of a striped
+    /// deployment). Placement is identical to the scalar load; `parts` is
+    /// clamped to the bucket count.
+    pub fn bulk_load_striped(
+        &mut self,
+        entries: impl IntoIterator<Item = (Fingerprint, ContainerId)>,
+        parts: usize,
+    ) -> Timed<u64> {
         let mut loaded = 0u64;
         let mut extra = 0.0;
         for (fp, cid) in entries {
             extra += self.place_with_growth(&IndexEntry::new(fp, cid)).cost;
             loaded += 1;
         }
-        let cost = self.disk.seq_write(self.params.total_bytes());
+        let ways = crate::sweep::clamp_parts(parts, self.params.buckets());
+        let cost = self.disk.seq_write_striped(self.params.total_bytes(), ways);
         Timed::new(loaded, cost + extra)
     }
 
@@ -510,24 +524,6 @@ impl BucketView<'_> {
             }
         }
         None
-    }
-
-    /// Membership probe using the overflow invariant: home bucket first,
-    /// neighbours only when home is full (an entry can only have
-    /// overflowed out of a bucket that filled, and entries are never
-    /// removed, so a non-full home bucket is authoritative).
-    #[inline]
-    pub(crate) fn probe(&self, fp: &Fingerprint) -> Option<ContainerId> {
-        let home = self.bucket_of(fp);
-        if let Some(cid) = self.find_in_bucket_fast(home, fp) {
-            return Some(cid);
-        }
-        if !self.bucket_is_full(home) {
-            return None;
-        }
-        let (left, right) = self.neighbours(home);
-        self.find_in_bucket_fast(left, fp)
-            .or_else(|| self.find_in_bucket_fast(right, fp))
     }
 
     /// Merge-join probe of a fingerprint batch **sorted ascending**: walks

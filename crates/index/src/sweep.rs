@@ -48,10 +48,12 @@
 //! * SIL shards trivially: probing is read-only, each worker walks its own
 //!   slice of the sorted batch against a shared bucket view, and the
 //!   per-partition hit lists concatenate in fingerprint order.
-//! * Scalar SIU canonicalises the batch the same way and applies it
-//!   per-entry in sorted order (sequential memory order; neighbours only
-//!   when the home bucket is full) — the grouped cursor kernel is used by
-//!   the sharded classification phase below.
+//! * Scalar SIU is simply the one-partition instance of the sharded
+//!   kernel: it classifies the whole canonical batch with the grouped
+//!   [`probe_sorted_map`](crate::disk_index) cursor (one bucket location
+//!   and one fullness check per batch *group*, ascending memory order)
+//!   and then applies serially — no per-entry hash probing anywhere on
+//!   the optimised path.
 //! * Sharded SIU separates **classification** (does this fingerprint already
 //!   exist? — the probe-heavy part, read-only against the pre-batch state,
 //!   done in parallel) from **application** (append/overwrite entries —
@@ -118,7 +120,18 @@ pub struct SiuReport {
 
 /// Clamp a requested partition count to something the bucket range can
 /// sustain (at least one bucket per partition).
-fn clamp_parts(parts: usize, buckets: u64) -> u32 {
+///
+/// This is the runtime half of the `sweep_parts` contract. Deployment
+/// configurations reject `parts > bucket count` up front
+/// (`DebarConfig::validate` in `debar-core`), but the bucket count of a
+/// *live* index changes underneath a fixed configuration — capacity
+/// scaling doubles it mid-batch, performance-scaling splits halve it — so
+/// every sweep re-clamps. The documented rule: a sweep runs on
+/// `min(parts, buckets)` partitions. Parts that don't divide the bucket
+/// count evenly are fine: [`part_bounds`] hands out contiguous ranges
+/// differing by at most one bucket, and virtual sweep time is charged as
+/// the even-split maximum (`SimDisk::seq_read_striped`).
+pub(crate) fn clamp_parts(parts: usize, buckets: u64) -> u32 {
     (parts.max(1) as u64).min(buckets).min(u32::MAX as u64) as u32
 }
 
@@ -296,30 +309,17 @@ impl DiskIndex {
     /// Sequential index update (§5.4): merge `updates` into the index with
     /// one read sweep + one write sweep (merge CPU pipelined with the I/O),
     /// transparently scaling capacity when a bucket and both neighbours are
-    /// full. The batch is canonicalised by a stable bucket-order sort and
-    /// applied per-entry in that order (ascending memory, overflow-invariant
-    /// neighbour skip, `u64`-prefix compares); the grouped cursor kernel is
-    /// used by [`DiskIndex::sequential_update_sharded`]'s classify phase.
+    /// full. The batch is canonicalised by a stable bucket-order sort,
+    /// classified in one pass of the grouped merge-join cursor
+    /// (`probe_sorted_map`: each home bucket located and fullness-checked
+    /// once per batch group, ascending memory, `u64`-prefix compares), and
+    /// applied serially in canonical order — the one-partition instance of
+    /// [`DiskIndex::sequential_update_sharded`].
     pub fn sequential_update(
         &mut self,
         updates: &[(Fingerprint, ContainerId)],
     ) -> Timed<SiuReport> {
-        let sorted = self.canonical_updates(updates);
-        let total_before = self.params().total_bytes();
-        let mut cost = self.disk_mut().seq_read(total_before);
-        let mut report = SiuReport {
-            parts: 1,
-            ..SiuReport::default()
-        };
-        for &(fp, cid) in &sorted {
-            cost += self.apply_update(fp, cid, &mut report);
-        }
-        let total_after = self.params().total_bytes();
-        cost += self.disk_mut().seq_write(total_after);
-        // Merge CPU is pipelined with the sweeps; only the excess stalls.
-        let merge = self.cpu_mut().probe_fps(sorted.len() as u64);
-        report.utilization_after = self.utilization();
-        Timed::new(report, cost.max(merge))
+        self.sequential_update_sharded(updates, 1)
     }
 
     /// Sharded sequential index update: existence **classification** (the
@@ -427,21 +427,6 @@ impl DiskIndex {
         let merge = self.cpu_mut().probe_fps(sorted.len() as u64);
         report.utilization_after = self.utilization();
         Timed::new(report, cost.max(merge))
-    }
-
-    /// One merge-join SIU step: overwrite in place when present (home
-    /// bucket, neighbours only if home is full), insert with growth
-    /// otherwise. Returns extra (scaling) cost.
-    fn apply_update(&mut self, fp: Fingerprint, cid: ContainerId, report: &mut SiuReport) -> Secs {
-        if self.view().probe(&fp).is_some() {
-            // Re-registration: overwrite in place (e.g. after
-            // defragmentation moved the chunk).
-            let ok = self.set_cid_sweep(&fp, cid);
-            debug_assert!(ok);
-            report.updated += 1;
-            return 0.0;
-        }
-        self.place_counted(fp, cid, report)
     }
 
     /// Insert a new entry, counting outcomes and scaling as needed.
@@ -652,6 +637,61 @@ mod tests {
         assert!(cache.is_empty());
     }
 
+    #[test]
+    fn parts_beyond_bucket_count_clamp_to_buckets() {
+        // Documented rule: a sweep runs on min(parts, buckets) partitions.
+        // A 2-bucket index asked for 64 partitions sweeps on 2.
+        let mut idx = DiskIndex::with_paper_disk(IndexParams::new(1, 512), 31);
+        let updates: Vec<_> = (0..30u64).map(|i| (fp(i), ContainerId::new(i))).collect();
+        let rep = idx.sequential_update_sharded(&updates, 64).value;
+        assert_eq!(rep.parts, 2, "parts must clamp to the bucket count");
+        let mut cache = cache_of(0..30);
+        let sil = idx.sequential_lookup_sharded(&mut cache, 64).value;
+        assert_eq!(sil.parts, 2);
+        assert_eq!(sil.duplicates.len(), 30);
+    }
+
+    #[test]
+    fn non_dividing_parts_match_scalar_bytes() {
+        // 256 buckets split 3/5/7 ways (none divides 256): partition bounds
+        // differ by at most one bucket and results stay byte-identical.
+        for parts in [3usize, 5, 7] {
+            let batch = random_batch(0x11D, 900, 3000);
+            let mut scalar = index(77);
+            let mut shard = index(77);
+            scalar.sequential_update(&batch);
+            shard.sequential_update_sharded(&batch, parts);
+            assert!(
+                scalar.raw_data() == shard.raw_data(),
+                "parts={parts} diverged from scalar"
+            );
+        }
+    }
+
+    #[test]
+    fn clamp_rule_survives_mid_batch_capacity_scaling() {
+        // A 2-bucket index asked for 8 partitions: the first sweep clamps
+        // to 2, capacity scaling mid-batch grows the bucket count, and the
+        // *next* sweep picks up the larger clamp — placements stay
+        // byte-identical to scalar throughout.
+        let batch_a = random_batch(0xC1A, 150, 50_000);
+        let batch_b = random_batch(0xC1B, 150, 90_000);
+        let mut scalar = DiskIndex::with_paper_disk(IndexParams::new(1, 512), 13);
+        let mut shard = DiskIndex::with_paper_disk(IndexParams::new(1, 512), 13);
+        let a1 = scalar.sequential_update(&batch_a).value;
+        let b1 = shard.sequential_update_sharded(&batch_a, 8).value;
+        assert!(a1.scale_events >= 1, "test must scale mid-batch");
+        assert_eq!(b1.parts, 2, "pre-scaling clamp is the old bucket count");
+        let b2 = shard.sequential_update_sharded(&batch_b, 8).value;
+        scalar.sequential_update(&batch_b);
+        assert!(
+            b2.parts > 2,
+            "post-scaling sweep must use the grown bucket count, got {}",
+            b2.parts
+        );
+        assert!(scalar.raw_data() == shard.raw_data());
+    }
+
     // ------------------------------------------------------------------
     // Equivalence: merge-join and sharded paths vs the scalar reference.
     // ------------------------------------------------------------------
@@ -753,6 +793,48 @@ mod tests {
             proptest::prop_assert_eq!(r_merge.updated, r_shard.updated);
             proptest::prop_assert_eq!(r_merge.overflowed, r_shard.overflowed);
             proptest::prop_assert_eq!(r_scalar.scale_events, r_shard.scale_events);
+        }
+
+        #[test]
+        fn prop_siu_grouped_kernel_handles_repeat_heavy_batches(
+            seed: u64,
+            count in 1usize..600,
+            parts in 1usize..9,
+        ) {
+            // The grouped kernel classifies existence against the
+            // *pre-batch* state and recovers apply-time existence with a
+            // repeat scan. Stress exactly that edge: a tiny fingerprint
+            // space (most batch entries repeat within the batch AND collide
+            // with pre-registered entries) must still leave the hashed
+            // per-entry reference, the grouped scalar path and every
+            // sharding byte-identical, with identical update/insert splits.
+            let mut scalar = index(seed ^ 0x1F);
+            let mut merge = index(seed ^ 0x1F);
+            let mut shard = index(seed ^ 0x1F);
+            let pre = random_batch(seed ^ 0x77, 120, 150);
+            scalar.sequential_update_scalar(&pre);
+            merge.sequential_update(&pre);
+            shard.sequential_update_sharded(&pre, parts);
+
+            let batch = random_batch(seed, count, 150);
+            let r_scalar = scalar.sequential_update_scalar(&batch).value;
+            let r_merge = merge.sequential_update(&batch).value;
+            let r_shard = shard.sequential_update_sharded(&batch, parts).value;
+
+            proptest::prop_assert!(scalar.raw_data() == merge.raw_data());
+            proptest::prop_assert!(merge.raw_data() == shard.raw_data());
+            proptest::prop_assert_eq!(r_scalar.inserted, r_merge.inserted);
+            proptest::prop_assert_eq!(r_scalar.updated, r_merge.updated);
+            proptest::prop_assert_eq!(r_merge.inserted, r_shard.inserted);
+            proptest::prop_assert_eq!(r_merge.updated, r_shard.updated);
+            // Last mapping wins for repeated fingerprints; spot-check via
+            // the hashed reference lookup on every batch fingerprint.
+            for (fp, _) in &batch {
+                proptest::prop_assert_eq!(
+                    merge.lookup_uncharged(fp),
+                    scalar.lookup_uncharged(fp)
+                );
+            }
         }
 
         #[test]

@@ -209,6 +209,25 @@ mod tests {
     }
 
     #[test]
+    fn striped_sweeps_divide_wall_time_and_keep_volume() {
+        // The multi-part index contract: P part-disks sweep concurrently,
+        // wall time is the even-split maximum (exactly 1/P here), and the
+        // statistics still record the full byte volume moved.
+        let mut d = disk();
+        let scalar_r = d.seq_read(100_000_000);
+        let striped_r = d.seq_read_striped(100_000_000, 4);
+        assert_eq!(striped_r, scalar_r / 4.0);
+        let scalar_w = d.seq_write(50_000_000);
+        let striped_w = d.seq_write_striped(50_000_000, 5);
+        assert_eq!(striped_w, scalar_w / 5.0);
+        assert_eq!(d.stats().seq_read_bytes, 200_000_000);
+        assert_eq!(d.stats().seq_write_bytes, 100_000_000);
+        // ways = 0 and ways = 1 both degrade to the scalar sweep.
+        assert_eq!(d.seq_read_striped(1000, 0), d.seq_read(1000));
+        assert_eq!(d.seq_read_striped(1000, 1), d.seq_read(1000));
+    }
+
+    #[test]
     fn random_costs_include_seek() {
         let mut d = disk();
         let c = d.rand_read(512);

@@ -1,0 +1,340 @@
+//! Parameterized scenario harness shared by the integration suites.
+//!
+//! One deterministic, multi-job / multi-client / multi-version
+//! backup-and-restore scenario, driven by real bytes from
+//! [`FileTreeGen`], runnable under any cluster shape: server count
+//! (`w_bits`), striped sweep partitions (`sweep_parts`), SIU interval,
+//! optional index-loss recovery. The same [`Scenario`] run under
+//! different `sweep_parts` must produce **byte-identical index state**
+//! (SHA-1 digests of every part's bucket array), identical dedup
+//! decisions, and identical restore bytes — only virtual time may
+//! differ. [`assert_equivalent`] pins exactly that, and
+//! [`sweep_parts_matrix`] lets CI widen the partition matrix via the
+//! `DEBAR_SWEEP_PARTS` environment variable.
+
+// Each integration-test target compiles its own copy of this module and
+// uses a different subset of it.
+#![allow(dead_code)]
+
+use debar::hash::Sha1;
+use debar::workload::files::{FileSpec, FileTreeConfig, FileTreeGen, MutationConfig};
+use debar::{ClientId, Dataset, DebarCluster, DebarConfig, JobId, RunId};
+
+/// A parameterized end-to-end scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Name prefix for jobs (diagnostics only).
+    pub name: &'static str,
+    /// `2^w_bits` backup servers.
+    pub w_bits: u32,
+    /// Striped sweep partitions per index part.
+    pub sweep_parts: usize,
+    /// Clients, each with its own job and evolving file tree.
+    pub clients: usize,
+    /// Backup versions per client (dedup-2 after each version round).
+    pub versions: usize,
+    /// Files per client tree.
+    pub files: usize,
+    /// PSIU once every this many dedup-2 rounds (asynchronous SIU).
+    pub siu_interval: u32,
+    /// Workload seed (trees are identical across cluster shapes for the
+    /// same seed, which is what makes outcomes comparable).
+    pub seed: u64,
+    /// After all backups: wipe every index part and rebuild it from the
+    /// chunk repository before verifying/restoring (failure injection).
+    pub recover_indexes: bool,
+}
+
+impl Scenario {
+    /// The default tiny-geometry scenario: 3 clients × 3 versions of an
+    /// 8-file tree, asynchronous SIU every 2 rounds.
+    pub fn tiny(name: &'static str, w_bits: u32, sweep_parts: usize) -> Self {
+        Scenario {
+            name,
+            w_bits,
+            sweep_parts,
+            clients: 3,
+            versions: 3,
+            files: 8,
+            siu_interval: 2,
+            seed: 0x5CE0_A710,
+            recover_indexes: false,
+        }
+    }
+
+    /// Builder: inject index loss + repository-scan recovery.
+    pub fn with_recovery(mut self) -> Self {
+        self.recover_indexes = true;
+        self
+    }
+
+    /// Builder: override the client count.
+    pub fn with_clients(mut self, clients: usize) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// Builder: override the version count.
+    pub fn with_versions(mut self, versions: usize) -> Self {
+        self.versions = versions;
+        self
+    }
+
+    /// Builder: override the SIU interval.
+    pub fn with_siu_interval(mut self, siu_interval: u32) -> Self {
+        self.siu_interval = siu_interval;
+        self
+    }
+
+    fn config(&self) -> DebarConfig {
+        let mut cfg = DebarConfig::tiny_test(self.w_bits).with_sweep_parts(self.sweep_parts);
+        cfg.siu_interval = self.siu_interval;
+        cfg.validate();
+        cfg
+    }
+}
+
+/// One backed-up run the harness will verify and restore.
+struct LedgerEntry {
+    job: JobId,
+    version: u32,
+    logical_bytes: u64,
+    files: u64,
+    /// One file of this run for the partial-restore check.
+    sample_path: String,
+    sample_bytes: u64,
+}
+
+/// Everything a scenario run produced, for cross-shape comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    /// SHA-1 of every server's raw index-part bytes, in server order.
+    pub index_digests: Vec<[u8; 20]>,
+    /// Total index entries across parts.
+    pub index_entries: u64,
+    /// Chunks written to containers across all dedup-2 rounds.
+    pub stored_chunks: u64,
+    /// Bytes written to containers.
+    pub stored_bytes: u64,
+    /// Logical bytes backed up across all runs.
+    pub logical_bytes: u64,
+    /// Bytes streamed back by full-run restores (must equal
+    /// `logical_bytes`).
+    pub restored_bytes: u64,
+    /// Bytes returned by the per-run single-file restores.
+    pub file_restore_bytes: u64,
+    /// Restore chunk failures (must be 0).
+    pub restore_failures: u64,
+    /// Verify-job chunk failures (must be 0).
+    pub verify_failures: u64,
+    /// Partitions the PSIL sweeps engaged (max over rounds).
+    pub sweep_parts_engaged: u32,
+    /// Summed PSIL wall time (virtual seconds) over dedup-2 rounds.
+    pub sil_wall: f64,
+    /// Summed PSIU wall time over dedup-2 rounds.
+    pub siu_wall: f64,
+    /// Summed total dedup-2 wall time.
+    pub dedup2_wall: f64,
+}
+
+impl Outcome {
+    /// Logical over stored bytes (∞-free: 0 when nothing stored).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.stored_bytes == 0 {
+            0.0
+        } else {
+            self.logical_bytes as f64 / self.stored_bytes as f64
+        }
+    }
+}
+
+/// The sweep-partition matrix the suites parameterize over: `{1, 2, 4}`
+/// by default, overridable as a comma-separated list through the
+/// `DEBAR_SWEEP_PARTS` environment variable (the CI striped legs widen
+/// it, e.g. `DEBAR_SWEEP_PARTS=1,2,4,8`).
+pub fn sweep_parts_matrix() -> Vec<usize> {
+    match std::env::var("DEBAR_SWEEP_PARTS") {
+        Ok(s) => {
+            let parsed: Vec<usize> = s
+                .split(',')
+                .filter_map(|p| p.trim().parse().ok())
+                .filter(|&p| p >= 1)
+                .collect();
+            // A set-but-unparsable variable must fail loudly: a silent
+            // fallback would green-light a CI leg that never engaged the
+            // partition counts its name claims.
+            assert!(
+                !parsed.is_empty(),
+                "DEBAR_SWEEP_PARTS is set but unparsable: {s:?} \
+                 (expected a comma-separated list of positive integers)"
+            );
+            parsed
+        }
+        Err(_) => vec![1, 2, 4],
+    }
+}
+
+/// Drive one scenario end to end and collect its [`Outcome`].
+///
+/// Workload: every client's tree derives from one shared base tree (pool
+/// duplication + cross-client duplication), evolving by edits,
+/// insertions, deletes and creates between versions; each version round
+/// ends with a dedup-2, the whole scenario with a forced SIU. Every run
+/// is then verified (integrity walk), fully restored (byte counts
+/// asserted against the ledger) and partially restored (one sample file,
+/// byte count asserted).
+pub fn run_scenario(sc: &Scenario) -> Outcome {
+    let mut cluster = DebarCluster::new(sc.config());
+    let jobs: Vec<JobId> = (0..sc.clients)
+        .map(|i| cluster.define_job(format!("{}-c{i}", sc.name), ClientId(i as u32)))
+        .collect();
+
+    let mut gen = FileTreeGen::new(FileTreeConfig {
+        files: sc.files,
+        seed: sc.seed,
+        ..FileTreeConfig::default()
+    });
+    let base = gen.initial();
+    // Per-client trees share most blocks with the base (and, through the
+    // block pool, with each other).
+    let mut trees: Vec<Vec<FileSpec>> = (0..sc.clients)
+        .map(|_| gen.mutate(&base, MutationConfig::default()))
+        .collect();
+
+    let mut ledger: Vec<LedgerEntry> = Vec::new();
+    let mut out = Outcome {
+        index_digests: Vec::new(),
+        index_entries: 0,
+        stored_chunks: 0,
+        stored_bytes: 0,
+        logical_bytes: 0,
+        restored_bytes: 0,
+        file_restore_bytes: 0,
+        restore_failures: 0,
+        verify_failures: 0,
+        sweep_parts_engaged: 0,
+        sil_wall: 0.0,
+        siu_wall: 0.0,
+        dedup2_wall: 0.0,
+    };
+
+    for version in 0..sc.versions {
+        for (ci, &job) in jobs.iter().enumerate() {
+            if version > 0 {
+                trees[ci] = gen.mutate(&trees[ci], MutationConfig::default());
+            }
+            let tree = &trees[ci];
+            let ds = Dataset::from_file_specs(tree);
+            let logical = ds.logical_bytes();
+            let sample = &tree[version % tree.len()];
+            cluster.backup(job, &ds);
+            out.logical_bytes += logical;
+            ledger.push(LedgerEntry {
+                job,
+                version: version as u32,
+                logical_bytes: logical,
+                files: tree.len() as u64,
+                sample_path: sample.path.clone(),
+                sample_bytes: sample.data.len() as u64,
+            });
+        }
+        let d2 = cluster.run_dedup2();
+        out.stored_chunks += d2.store.stored_chunks;
+        out.stored_bytes += d2.store.stored_bytes;
+        out.sweep_parts_engaged = out.sweep_parts_engaged.max(d2.sweep_parts);
+        out.sil_wall += d2.sil_wall;
+        out.siu_wall += d2.siu_wall;
+        out.dedup2_wall += d2.total_wall();
+    }
+    let (_, siu_wall) = cluster.force_siu();
+    out.siu_wall += siu_wall;
+    out.dedup2_wall += siu_wall;
+
+    if sc.recover_indexes {
+        // Lose every index part, then rebuild each from the repository.
+        let entries_before = cluster.index_entries();
+        for s in 0..cluster.server_count() as u16 {
+            let cost = cluster.recover_index(s);
+            assert!(cost > 0.0, "{}: free index recovery", sc.name);
+        }
+        assert_eq!(
+            cluster.index_entries(),
+            entries_before,
+            "{}: recovery changed the entry count",
+            sc.name
+        );
+    }
+
+    for entry in &ledger {
+        let run = RunId {
+            job: entry.job,
+            version: entry.version,
+        };
+        let v = cluster.verify_run(run);
+        out.verify_failures += v.failures;
+        let r = cluster.restore_run(run);
+        out.restore_failures += r.failures;
+        out.restored_bytes += r.bytes;
+        assert_eq!(
+            r.bytes, entry.logical_bytes,
+            "{}: run {run:?} restored byte count diverged from its backup",
+            sc.name
+        );
+        assert_eq!(r.files, entry.files, "{}: run {run:?} file count", sc.name);
+        let f = cluster.restore_file(run, &entry.sample_path);
+        assert_eq!(
+            f.bytes, entry.sample_bytes,
+            "{}: partial restore of {} diverged",
+            sc.name, entry.sample_path
+        );
+        out.file_restore_bytes += f.bytes;
+    }
+
+    out.index_entries = cluster.index_entries();
+    out.index_digests = (0..cluster.server_count() as u16)
+        .map(|s| Sha1::digest(cluster.server(s).index().raw_data()))
+        .collect();
+    out
+}
+
+/// Assert that two runs of the *same* scenario under different
+/// `sweep_parts` are equivalent: byte-identical index parts, identical
+/// dedup decisions and identical restore results. (Virtual times are
+/// allowed — expected — to differ.)
+pub fn assert_equivalent(base: &Outcome, other: &Outcome, label: &str) {
+    assert_eq!(
+        base.index_digests, other.index_digests,
+        "{label}: index part bytes diverged"
+    );
+    assert_same_dedup(base, other, label);
+}
+
+/// The shape-independent half of [`assert_equivalent`]: same dedup
+/// decisions and restore results, but index layouts may differ (used
+/// when comparing *different server counts* on one workload, where
+/// entries split differently across parts).
+pub fn assert_same_dedup(base: &Outcome, other: &Outcome, label: &str) {
+    assert_eq!(base.index_entries, other.index_entries, "{label}: entries");
+    assert_eq!(
+        base.stored_chunks, other.stored_chunks,
+        "{label}: stored chunks"
+    );
+    assert_eq!(
+        base.stored_bytes, other.stored_bytes,
+        "{label}: stored bytes"
+    );
+    assert_eq!(
+        base.logical_bytes, other.logical_bytes,
+        "{label}: workload drifted — scenario not deterministic"
+    );
+    assert_eq!(
+        base.restored_bytes, other.restored_bytes,
+        "{label}: restored bytes"
+    );
+    assert_eq!(
+        base.file_restore_bytes, other.file_restore_bytes,
+        "{label}: partial-restore bytes"
+    );
+    assert_eq!(other.restore_failures, 0, "{label}: restore failures");
+    assert_eq!(other.verify_failures, 0, "{label}: verify failures");
+}

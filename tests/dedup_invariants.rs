@@ -1,6 +1,9 @@
 //! Randomized cross-crate invariants: arbitrary workloads through the full
 //! system must never double-store, never lose a chunk, and always restore
-//! byte counts exactly.
+//! byte counts exactly — for every sweep-partition count in the striped
+//! matrix.
+
+mod common;
 
 use debar::hash::SplitMix64;
 use debar::workload::ChunkRecord;
@@ -9,9 +12,9 @@ use std::collections::HashSet;
 
 /// A random-but-seeded workload: several jobs, several rounds, arbitrary
 /// overlap within and across jobs, dedup-2 at arbitrary points.
-fn random_workload(seed: u64, w_bits: u32) {
+fn random_workload(seed: u64, w_bits: u32, sweep_parts: usize) {
     let mut rng = SplitMix64::new(seed);
-    let mut cfg = DebarConfig::tiny_test(w_bits);
+    let mut cfg = DebarConfig::tiny_test(w_bits).with_sweep_parts(sweep_parts);
     cfg.siu_interval = 1 + (seed % 3) as u32;
     let mut c = DebarCluster::new(cfg);
     let jobs: Vec<JobId> = (0..3)
@@ -78,20 +81,30 @@ fn random_workload(seed: u64, w_bits: u32) {
 #[test]
 fn random_workloads_single_server() {
     for seed in [1u64, 2, 3] {
-        random_workload(seed, 0);
+        random_workload(seed, 0, 1);
     }
 }
 
 #[test]
 fn random_workloads_two_servers() {
     for seed in [11u64, 12, 13] {
-        random_workload(seed, 1);
+        random_workload(seed, 1, 1);
     }
 }
 
 #[test]
 fn random_workloads_four_servers() {
     for seed in [21u64, 22, 23] {
-        random_workload(seed, 2);
+        random_workload(seed, 2, 1);
+    }
+}
+
+#[test]
+fn random_workloads_striped_matrix() {
+    // The same randomized invariants with the multi-part index engaged,
+    // for every partition count in the (env-widenable) matrix.
+    for parts in common::sweep_parts_matrix().into_iter().filter(|&p| p != 1) {
+        random_workload(31, 0, parts);
+        random_workload(32, 2, parts);
     }
 }

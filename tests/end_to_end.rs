@@ -2,6 +2,9 @@
 //! CDC chunking → SHA-1 fingerprinting → preliminary filter → chunk log →
 //! SIL → SISL containers → SIU → restore with per-chunk verification.
 
+mod common;
+
+use common::{assert_equivalent, run_scenario, sweep_parts_matrix, Scenario};
 use debar::workload::files::{FileTreeConfig, FileTreeGen, MutationConfig};
 use debar::{ClientId, Dataset, DebarConfig, DebarSystem, RunId};
 
@@ -96,6 +99,21 @@ fn distinct_jobs_deduplicate_against_each_other_in_phase2() {
 
     let rep = system.restore_latest(b);
     assert_eq!(rep.failures, 0);
+}
+
+#[test]
+fn striped_pipeline_is_byte_exact_and_byte_identical() {
+    // The full real-byte pipeline (CDC → SHA-1 → filter → log → SIL →
+    // SISL → SIU → restore) under the striped multi-part index: every
+    // partition count restores byte-exact, and all of them leave the
+    // same index bytes as the single-volume run.
+    let base = run_scenario(&Scenario::tiny("e2e", 0, 1).with_siu_interval(1));
+    assert_eq!(base.restored_bytes, base.logical_bytes);
+    assert!(base.dedup_ratio() > 1.0, "versions must share storage");
+    for parts in sweep_parts_matrix().into_iter().filter(|&p| p != 1) {
+        let striped = run_scenario(&Scenario::tiny("e2e", 0, parts).with_siu_interval(1));
+        assert_equivalent(&base, &striped, &format!("e2e parts={parts}"));
+    }
 }
 
 #[test]

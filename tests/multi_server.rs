@@ -1,6 +1,10 @@
 //! Multi-server integration: PSIL/PSIU routing, cross-stream
-//! de-duplication, asynchronous SIU and restores on a 4-server cluster.
+//! de-duplication, asynchronous SIU and restores on a 4-server cluster —
+//! with the cross-stream invariants re-checked under striped sweeps.
 
+mod common;
+
+use common::{assert_equivalent, assert_same_dedup, run_scenario, Scenario};
 use debar::workload::{ChunkRecord, MultiStreamConfig, MultiStreamGen};
 use debar::{ClientId, Dataset, DebarCluster, DebarConfig, Fingerprint, JobId, RunId};
 use std::collections::HashSet;
@@ -15,7 +19,16 @@ fn records(range: std::ops::Range<u64>) -> Vec<ChunkRecord> {
 
 #[test]
 fn every_unique_chunk_stored_exactly_once_across_servers() {
-    let mut c = cluster(2);
+    for parts in [1usize, 4] {
+        unique_chunk_invariant(parts);
+    }
+}
+
+/// The core cross-server invariant, run per sweep-partition count: chunks
+/// stored == distinct fingerprints ever seen, despite ~90% duplication,
+/// cross-stream sharing and per-round adjudication.
+fn unique_chunk_invariant(sweep_parts: usize) {
+    let mut c = DebarCluster::new(DebarConfig::tiny_test(2).with_sweep_parts(sweep_parts));
     let clients = 8usize;
     let jobs: Vec<JobId> = (0..clients)
         .map(|i| c.define_job(format!("j{i}"), ClientId(i as u32)))
@@ -124,6 +137,19 @@ fn cluster_wall_times_scale_with_servers() {
         four < one * 0.6,
         "4-server SIL wall {four} not meaningfully below single-server {one}"
     );
+}
+
+#[test]
+fn six_client_fanout_agrees_across_striping_and_server_counts() {
+    // Heavier client fan-out on 4 servers: striping must stay
+    // byte-identical, and moving the same workload to 1 server must keep
+    // every dedup decision (layout differs, so only the dedup half is
+    // compared there).
+    let base = run_scenario(&Scenario::tiny("ms6", 2, 1).with_clients(6));
+    let striped = run_scenario(&Scenario::tiny("ms6", 2, 4).with_clients(6));
+    assert_equivalent(&base, &striped, "6-client w=2 parts=4");
+    let single = run_scenario(&Scenario::tiny("ms6", 0, 4).with_clients(6));
+    assert_same_dedup(&base, &single, "6-client w=2 vs w=0");
 }
 
 #[test]

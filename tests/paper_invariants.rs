@@ -131,6 +131,38 @@ fn sisl_gives_lpc_high_hit_rate_on_restore() {
 }
 
 #[test]
+fn multipart_index_divides_sweep_time_by_parts() {
+    // §5.2's multi-part analysis: an index striped over P part-disks
+    // sweeps in exactly 1/P of the single-volume time, with identical
+    // lookup results.
+    let build = || {
+        let mut idx = DiskIndex::with_paper_disk(IndexParams::new(12, 512), 4);
+        idx.bulk_load((0..10_000u64).map(|i| (Fingerprint::of_counter(i), ContainerId::new(i))));
+        idx
+    };
+    let probe = |idx: &mut DiskIndex, parts: usize| {
+        let mut cache = IndexCache::new(8, 20_000);
+        for i in 0..8_000u64 {
+            cache.insert(Fingerprint::of_counter(i * 2), 0);
+        }
+        idx.sequential_lookup_sharded(&mut cache, parts).value
+    };
+    let mut scalar_idx = build();
+    let scalar = probe(&mut scalar_idx, 1);
+    for parts in [2usize, 4, 8, 16] {
+        let mut idx = build();
+        let striped = probe(&mut idx, parts);
+        assert_eq!(striped.parts, parts as u32);
+        assert_eq!(striped.duplicates.len(), scalar.duplicates.len());
+        let ratio = scalar.sweep_secs / striped.sweep_secs;
+        assert!(
+            (ratio - parts as f64).abs() < 1e-9,
+            "sweep time at {parts} parts: ratio {ratio}"
+        );
+    }
+}
+
+#[test]
 fn sil_time_independent_of_batch_size() {
     // §5.2/Fig. 10: SIL time is a function of index size and transfer
     // rate, not of how many fingerprints are processed.

@@ -87,6 +87,30 @@ proptest! {
         prop_assert_eq!(rep.files as usize, files.len());
     }
 
+    /// Any record stream deduplicates, stores and restores identically
+    /// whatever the sweep-partition count — the striped multi-part index
+    /// never changes results, only virtual sweep time.
+    #[test]
+    fn prop_striped_parts_never_change_results(
+        counters in proptest::collection::vec(0u64..500, 1..300),
+        parts in 2usize..8,
+    ) {
+        let run = |sweep_parts: usize| {
+            let mut c = DebarCluster::new(
+                DebarConfig::tiny_test(1).with_sweep_parts(sweep_parts),
+            );
+            let job = c.define_job("p", ClientId(0));
+            let recs: Vec<ChunkRecord> =
+                counters.iter().map(|&x| ChunkRecord::of_counter(x)).collect();
+            c.backup(job, &Dataset::from_records("s", recs));
+            let d2 = c.run_dedup2();
+            c.force_siu();
+            let rep = c.restore_run(RunId { job, version: 0 });
+            (d2.store.stored_chunks, c.index_entries(), rep.bytes, rep.failures)
+        };
+        prop_assert_eq!(run(1), run(parts));
+    }
+
     /// Re-backing-up any stream under the same job transfers nothing and
     /// stores nothing new.
     #[test]

@@ -1,6 +1,10 @@
 //! Integration tests for the §4.1 scaling properties at cluster level:
 //! capacity scaling (double each part) and performance scaling (double the
-//! servers), applied repeatedly while data keeps flowing.
+//! servers), applied repeatedly while data keeps flowing — including under
+//! the striped multi-part index, whose partition count must survive both
+//! scaling directions via the documented clamp rule.
+
+mod common;
 
 use debar::workload::ChunkRecord;
 use debar::{ClientId, Dataset, DebarCluster, DebarConfig, RunId};
@@ -88,6 +92,44 @@ fn scale_out_requires_quiescence() {
         result.is_err(),
         "scale-out must refuse non-quiesced servers"
     );
+}
+
+#[test]
+fn striped_scaling_ladder_clamps_and_preserves_everything() {
+    // The full ladder under every matrix partition count: capacity
+    // scaling doubles buckets (more striping headroom), scale-out halves
+    // each part (sweep_parts clamps); every era stays restorable.
+    for parts in common::sweep_parts_matrix() {
+        let mut c = DebarCluster::new(DebarConfig::tiny_test(0).with_sweep_parts(parts));
+        let job = c.define_job("ladder", ClientId(0));
+        c.backup(job, &Dataset::from_records("s", records(0..1500)));
+        c.run_dedup2();
+        c.force_siu();
+        c.scale_up_indexes(); // 256 -> 512 buckets per part
+        c.backup(job, &Dataset::from_records("s", records(1500..3000)));
+        c.run_dedup2();
+        c.force_siu();
+        c.scale_out(); // parts halve: 256 buckets each again
+        c.scale_out(); // 128 buckets each
+        assert_eq!(c.server_count(), 4);
+        assert!(
+            c.config().sweep_parts <= 128,
+            "parts={parts}: sweep_parts {} not clamped to part geometry",
+            c.config().sweep_parts
+        );
+        assert!(c.config().sweep_parts >= parts.min(128));
+        let d2 = {
+            c.backup(job, &Dataset::from_records("s", records(3000..4000)));
+            c.run_dedup2()
+        };
+        assert_eq!(d2.store.stored_chunks, 1000, "parts={parts}");
+        c.force_siu();
+        assert_eq!(c.index_entries(), 4000, "parts={parts}");
+        for version in 0..3u32 {
+            let rep = c.restore_run(RunId { job, version });
+            assert_eq!(rep.failures, 0, "parts={parts} version={version}");
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,118 @@
+//! The striped-index scenario matrix: the same deterministic multi-job,
+//! multi-client, multi-version workload run under `sweep_parts ∈ {1, 2, 4}`
+//! (env-overridable, see `common::sweep_parts_matrix`) and several server
+//! counts must produce **byte-identical index state** and identical
+//! restore bytes — while striped sweeps strictly reduce virtual PSIL/PSIU
+//! time.
+
+mod common;
+
+use common::{assert_equivalent, assert_same_dedup, run_scenario, sweep_parts_matrix, Scenario};
+
+/// tiny_test geometry: 256 buckets per index part (the runtime clamp
+/// ceiling for `sweep_parts_engaged`).
+const TINY_BUCKETS: usize = 256;
+
+#[test]
+fn striped_parts_byte_identical_single_server() {
+    let base = run_scenario(&Scenario::tiny("sm-w0", 0, 1));
+    assert_eq!(base.restore_failures, 0);
+    assert_eq!(base.verify_failures, 0);
+    assert!(
+        base.dedup_ratio() > 1.5,
+        "workload must actually deduplicate"
+    );
+    for parts in sweep_parts_matrix().into_iter().filter(|&p| p != 1) {
+        let striped = run_scenario(&Scenario::tiny("sm-w0", 0, parts));
+        assert_equivalent(&base, &striped, &format!("w=0 parts={parts}"));
+        assert_eq!(
+            striped.sweep_parts_engaged,
+            parts.min(TINY_BUCKETS) as u32,
+            "striped mode not engaged in the full system path"
+        );
+        assert!(
+            striped.sil_wall < base.sil_wall,
+            "parts={parts}: striped PSIL wall {} not below scalar {}",
+            striped.sil_wall,
+            base.sil_wall
+        );
+        assert!(
+            striped.siu_wall < base.siu_wall,
+            "parts={parts}: striped PSIU wall {} not below scalar {}",
+            striped.siu_wall,
+            base.siu_wall
+        );
+    }
+}
+
+#[test]
+fn striped_parts_byte_identical_four_servers() {
+    let base = run_scenario(&Scenario::tiny("sm-w2", 2, 1));
+    assert_eq!(base.index_digests.len(), 4);
+    for parts in sweep_parts_matrix().into_iter().filter(|&p| p != 1) {
+        let striped = run_scenario(&Scenario::tiny("sm-w2", 2, parts));
+        assert_equivalent(&base, &striped, &format!("w=2 parts={parts}"));
+    }
+}
+
+#[test]
+fn server_counts_agree_on_dedup_decisions() {
+    // The same workload on 1, 2 and 4 servers (each striped) stores the
+    // same chunks and restores the same bytes; only the index *layout*
+    // (and the clocks) differ.
+    let one = run_scenario(&Scenario::tiny("sm-x", 0, 2));
+    for w in [1u32, 2] {
+        let more = run_scenario(&Scenario::tiny("sm-x", w, 2));
+        assert_same_dedup(&one, &more, &format!("w={w} vs w=0"));
+        assert_eq!(more.index_digests.len(), 1 << w);
+    }
+}
+
+#[test]
+fn striped_sweep_virtual_time_scales_inversely() {
+    // §5.2's multi-part claim at system level: P part-disks divide the
+    // PSIL wall ≈ 1/P (probe CPU is striped alongside, so the scaling is
+    // near-exact until clamping).
+    let walls: Vec<f64> = [1usize, 2, 4]
+        .iter()
+        .map(|&p| run_scenario(&Scenario::tiny("sm-t", 0, p)).sil_wall)
+        .collect();
+    for (i, &parts) in [2f64, 4.0].iter().enumerate() {
+        let ratio = walls[0] / walls[i + 1];
+        assert!(
+            (ratio - parts).abs() / parts < 0.05,
+            "PSIL wall ratio at {parts} parts: {ratio}"
+        );
+    }
+}
+
+#[test]
+fn synchronous_and_async_siu_agree_under_striping() {
+    // siu_interval ∈ {1, 3} changes *when* registrations land — which may
+    // legitimately reorder insertions within overflowing buckets — but
+    // never the dedup decisions or restore results. And within one
+    // interval, sweep striping must stay byte-identical.
+    let sync1 = run_scenario(&Scenario::tiny("sm-siu", 0, 1).with_siu_interval(1));
+    let lazy1 = run_scenario(&Scenario::tiny("sm-siu", 0, 1).with_siu_interval(3));
+    assert_same_dedup(&sync1, &lazy1, "siu_interval 1 vs 3");
+    for parts in sweep_parts_matrix().into_iter().filter(|&p| p != 1) {
+        let lazy = run_scenario(&Scenario::tiny("sm-siu", 0, parts).with_siu_interval(3));
+        assert_equivalent(&lazy1, &lazy, &format!("async-siu parts={parts}"));
+    }
+}
+
+#[test]
+fn heavier_matrix_point_restores_clean() {
+    // A larger configuration (5 clients × 4 versions) as a tail check
+    // that the harness scales past the default shape.
+    for parts in sweep_parts_matrix() {
+        let out = run_scenario(
+            &Scenario::tiny("sm-big", 1, parts)
+                .with_clients(5)
+                .with_versions(4),
+        );
+        assert_eq!(out.restore_failures, 0, "parts={parts}");
+        assert_eq!(out.verify_failures, 0, "parts={parts}");
+        assert_eq!(out.restored_bytes, out.logical_bytes, "parts={parts}");
+    }
+}
