@@ -16,8 +16,10 @@ fn fig13_psil_round(c: &mut Criterion) {
         b.iter(|| {
             let mut cluster = DebarCluster::new(DebarConfig::tiny_test(2));
             let job = cluster.define_job("j", ClientId(0));
-            cluster.backup(job, &Dataset::from_records("s", records(0..4000)));
-            let d2 = cluster.run_dedup2();
+            cluster
+                .backup(job, &Dataset::from_records("s", records(0..4000)))
+                .expect("backup");
+            let d2 = cluster.run_dedup2().expect("dedup2");
             black_box((d2.sil_wall, d2.new_fps))
         })
     });
@@ -40,13 +42,17 @@ fn fig14a_write_round(c: &mut Criterion) {
                 .map(|i| cluster.define_job(format!("j{i}"), ClientId(i as u32)))
                 .collect();
             for (i, v) in round0.iter().enumerate() {
-                cluster.backup(jobs[i], &Dataset::from_records("v", v.clone()));
+                cluster
+                    .backup(jobs[i], &Dataset::from_records("v", v.clone()))
+                    .expect("backup");
             }
-            cluster.run_dedup2();
+            cluster.run_dedup2().expect("dedup2");
             for (i, v) in round1.iter().enumerate() {
-                cluster.backup(jobs[i], &Dataset::from_records("v", v.clone()));
+                cluster
+                    .backup(jobs[i], &Dataset::from_records("v", v.clone()))
+                    .expect("backup");
             }
-            black_box(cluster.run_dedup2().store.stored_chunks)
+            black_box(cluster.run_dedup2().expect("dedup2").store.stored_chunks)
         })
     });
 }
@@ -55,12 +61,16 @@ fn fig14a_write_round(c: &mut Criterion) {
 fn fig14b_read(c: &mut Criterion) {
     let mut cluster = DebarCluster::new(DebarConfig::tiny_test(1));
     let job = cluster.define_job("j", ClientId(0));
-    cluster.backup(job, &Dataset::from_records("s", records(0..4000)));
-    cluster.run_dedup2();
-    cluster.force_siu();
+    cluster
+        .backup(job, &Dataset::from_records("s", records(0..4000)))
+        .expect("backup");
+    cluster.run_dedup2().expect("dedup2");
+    cluster.force_siu().expect("siu");
     c.bench_function("fig14b/restore_4k_chunks", |b| {
         b.iter(|| {
-            let rep = cluster.restore_run(RunId { job, version: 0 });
+            let rep = cluster
+                .restore_run(RunId { job, version: 0 })
+                .expect("restore");
             assert_eq!(rep.failures, 0);
             black_box(rep.bytes)
         })
@@ -73,10 +83,12 @@ fn fig15_scale_out(c: &mut Criterion) {
         b.iter(|| {
             let mut cluster = DebarCluster::new(DebarConfig::tiny_test(0));
             let job = cluster.define_job("j", ClientId(0));
-            cluster.backup(job, &Dataset::from_records("s", records(0..2000)));
-            cluster.run_dedup2();
-            cluster.force_siu();
-            cluster.scale_out();
+            cluster
+                .backup(job, &Dataset::from_records("s", records(0..2000)))
+                .expect("backup");
+            cluster.run_dedup2().expect("dedup2");
+            cluster.force_siu().expect("siu");
+            cluster.scale_out().expect("scale-out");
             black_box(cluster.index_entries())
         })
     });

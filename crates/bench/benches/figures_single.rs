@@ -33,10 +33,14 @@ fn fig6_7_hust_day_dedup1(c: &mut Criterion) {
                 .map(|i| cluster.define_job(format!("j{i}"), ClientId(i as u32)))
                 .collect();
             for (i, s) in day1.per_client.iter().enumerate() {
-                cluster.backup(jobs[i], &Dataset::from_records("d", s.clone()));
+                cluster
+                    .backup(jobs[i], &Dataset::from_records("d", s.clone()))
+                    .expect("backup");
             }
             for (i, s) in day2.per_client.iter().enumerate() {
-                cluster.backup(jobs[i], &Dataset::from_records("d", s.clone()));
+                cluster
+                    .backup(jobs[i], &Dataset::from_records("d", s.clone()))
+                    .expect("backup");
             }
             black_box(cluster.undetermined_counts())
         })
@@ -50,8 +54,10 @@ fn fig8_tpds_round(c: &mut Criterion) {
         b.iter(|| {
             let mut cluster = DebarCluster::new(DebarConfig::tiny_test(0));
             let job = cluster.define_job("j", ClientId(0));
-            cluster.backup(job, &Dataset::from_records("s", recs.clone()));
-            black_box(cluster.run_dedup2().store.stored_chunks)
+            cluster
+                .backup(job, &Dataset::from_records("s", recs.clone()))
+                .expect("backup");
+            black_box(cluster.run_dedup2().expect("dedup2").store.stored_chunks)
         })
     });
 }
@@ -71,7 +77,7 @@ fn fig9_ddfs_stream(c: &mut Criterion) {
                 repo_nodes: 2,
                 seed: 1,
             });
-            let rep = s.backup_stream(&recs);
+            let rep = s.backup_stream(&recs).expect("backup");
             black_box(rep.new_chunks)
         })
     });

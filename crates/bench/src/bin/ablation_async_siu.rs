@@ -35,14 +35,15 @@ fn run(siu_interval: u32, denom: u64) -> (f64, f64, u32, u64) {
         for (i, v) in gen.next_round().into_iter().enumerate() {
             logical += cluster
                 .backup(jobs[i], &Dataset::from_records("v", v))
+                .expect("backup")
                 .logical_bytes;
         }
-        let d2 = cluster.run_dedup2();
+        let d2 = cluster.run_dedup2().expect("dedup2");
         d2_time += d2.total_wall();
         siu_sweeps += d2.siu_reports.len() as u32;
         stored += d2.store.stored_chunks;
     }
-    let (reports, wall) = cluster.force_siu();
+    let (reports, wall) = cluster.force_siu().expect("siu");
     d2_time += wall;
     siu_sweeps += reports.len() as u32;
     (mibps(logical, d2_time), d2_time, siu_sweeps, stored)

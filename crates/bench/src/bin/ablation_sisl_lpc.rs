@@ -26,22 +26,28 @@ fn run(shuffled_layout: bool, denom: u64) -> (f64, f64) {
     if shuffled_layout {
         SplitMix64::new(99).shuffle(&mut layout);
     }
-    cluster.backup(layout_job, &Dataset::from_records("layout", layout));
-    cluster.run_dedup2();
-    cluster.force_siu();
+    cluster
+        .backup(layout_job, &Dataset::from_records("layout", layout))
+        .expect("backup");
+    cluster.run_dedup2().expect("dedup2");
+    cluster.force_siu().expect("siu");
 
     // Job 2 references the same content in stream order (all duplicates);
     // restoring it replays a stream-local access pattern against whatever
     // layout job 1 created.
     let ref_job = cluster.define_job("reference", ClientId(1));
-    cluster.backup(ref_job, &Dataset::from_records("ref", ordered));
-    cluster.run_dedup2();
-    cluster.force_siu();
+    cluster
+        .backup(ref_job, &Dataset::from_records("ref", ordered))
+        .expect("backup");
+    cluster.run_dedup2().expect("dedup2");
+    cluster.force_siu().expect("siu");
 
-    let rep = cluster.restore_run(RunId {
-        job: ref_job,
-        version: 0,
-    });
+    let rep = cluster
+        .restore_run(RunId {
+            job: ref_job,
+            version: 0,
+        })
+        .expect("restore");
     assert_eq!(rep.failures, 0);
     (rep.lpc_hit_ratio(), rep.throughput_mibps())
 }

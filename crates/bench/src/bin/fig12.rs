@@ -81,7 +81,9 @@ fn main() {
             let measured = day.day > measure_from;
             let t0 = debar.align_clocks();
             for (i, stream) in day.per_client.iter().enumerate() {
-                let rep = debar.backup(jobs[i], &Dataset::from_records("d", stream.clone()));
+                let rep = debar
+                    .backup(jobs[i], &Dataset::from_records("d", stream.clone()))
+                    .expect("backup");
                 if measured {
                     logical += rep.logical_bytes;
                 }
@@ -90,7 +92,7 @@ fn main() {
             let mut d2_wall = 0.0;
             let mut log_bytes = 0;
             if debar.should_run_dedup2() || day.day == days {
-                let d2 = debar.run_dedup2();
+                let d2 = debar.run_dedup2().expect("dedup2");
                 d2_wall = d2.total_wall();
                 log_bytes = d2.store.log_bytes;
             }
@@ -123,7 +125,7 @@ fn main() {
         for day in HustGen::new(hust) {
             let t0 = ddfs.now();
             for stream in &day.per_client {
-                ddfs.backup_stream(stream);
+                ddfs.backup_stream(stream).expect("backup");
             }
             if day.day > measure_from {
                 dd_logical += day.logical_bytes();

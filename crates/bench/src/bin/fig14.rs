@@ -55,7 +55,9 @@ fn main() {
             let t0 = cluster.align_clocks();
             let mut round_bytes = 0u64;
             for (i, v) in versions.into_iter().enumerate() {
-                let rep = cluster.backup(jobs[i], &Dataset::from_records("v", v));
+                let rep = cluster
+                    .backup(jobs[i], &Dataset::from_records("v", v))
+                    .expect("backup");
                 logical += rep.logical_bytes;
                 round_bytes += rep.logical_bytes;
             }
@@ -63,14 +65,14 @@ fn main() {
             d1_time += d1_wall;
             d1_bytes_time.push((round_bytes, d1_wall));
             if cluster.should_run_dedup2() {
-                let d2 = cluster.run_dedup2();
+                let d2 = cluster.run_dedup2().expect("dedup2");
                 d2_time += d2.total_wall();
             }
         }
         // Final round + registration barrier.
-        let d2 = cluster.run_dedup2();
+        let d2 = cluster.run_dedup2().expect("dedup2");
         d2_time += d2.total_wall();
-        let (_, siu_wall) = cluster.force_siu();
+        let (_, siu_wall) = cluster.force_siu().expect("siu");
         d2_time += siu_wall;
 
         let label = if total >= TIB {
@@ -117,14 +119,16 @@ fn main() {
     for _round in 0..VERSIONS {
         let versions = gen.next_round();
         for (i, v) in versions.into_iter().enumerate() {
-            cluster.backup(jobs[i], &Dataset::from_records("v", v));
+            cluster
+                .backup(jobs[i], &Dataset::from_records("v", v))
+                .expect("backup");
         }
         if cluster.should_run_dedup2() {
-            cluster.run_dedup2();
+            cluster.run_dedup2().expect("dedup2");
         }
     }
-    cluster.run_dedup2();
-    cluster.force_siu();
+    cluster.run_dedup2().expect("dedup2");
+    cluster.force_siu().expect("siu");
 
     println!("Figure 14(b): aggregate read throughput per version (MiB/s)\n");
     let mut tb = TablePrinter::new(&["version", "read MiB/s"]);
@@ -133,10 +137,12 @@ fn main() {
         let mut bytes = 0u64;
         let mut failures = 0u64;
         for &job in &jobs {
-            let rep = cluster.restore_run(RunId {
-                job,
-                version: v as u32,
-            });
+            let rep = cluster
+                .restore_run(RunId {
+                    job,
+                    version: v as u32,
+                })
+                .expect("restore");
             bytes += rep.bytes;
             failures += rep.failures;
         }

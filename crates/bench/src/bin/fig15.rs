@@ -61,12 +61,14 @@ fn main() {
             let mut logical = 0u64;
             for _ in 0..rounds_per_mode {
                 for (i, v) in gen.next_round().into_iter().enumerate() {
-                    let rep = cluster.backup(jobs[i], &Dataset::from_records("v", v));
+                    let rep = cluster
+                        .backup(jobs[i], &Dataset::from_records("v", v))
+                        .expect("backup");
                     logical += rep.logical_bytes;
                 }
             }
-            cluster.run_dedup2();
-            let (_, siu_wall) = cluster.force_siu();
+            cluster.run_dedup2().expect("dedup2");
+            let (_, siu_wall) = cluster.force_siu().expect("siu");
             let _ = siu_wall;
             let wall = cluster.align_clocks() - t0;
             // Supported capacity: total index entries x 8 KB chunks, at the
@@ -92,8 +94,8 @@ fn main() {
             break;
         }
         // (x,64) -> (2x,32): performance scaling (split on one prefix bit).
-        cluster.force_siu();
-        cluster.scale_out();
+        cluster.force_siu().expect("siu");
+        cluster.scale_out().expect("scale-out");
         transition = "scale-out".into();
     }
     t.print();

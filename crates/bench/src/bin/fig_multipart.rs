@@ -73,19 +73,21 @@ fn system_point(parts: usize, denom: u64, rounds: u64) -> (f64, f64, f64, f64) {
         let base = round * 2 * n;
         // Job a: fresh content. Job b: half overlaps a's, half fresh —
         // cross-job duplicates only dedup-2 can see.
-        c.backup(a, &Dataset::from_records("s", records(base..base + n)));
+        c.backup(a, &Dataset::from_records("s", records(base..base + n)))
+            .expect("backup");
         c.backup(
             b,
             &Dataset::from_records("s", records(base + n / 2..base + n + n / 2)),
-        );
-        let d2 = c.run_dedup2();
+        )
+        .expect("backup");
+        let d2 = c.run_dedup2().expect("dedup2");
         assert_eq!(d2.sweep_parts, parts as u32, "striped mode not engaged");
         sil += d2.sil_wall;
         siu += d2.siu_wall;
         wall += d2.total_wall();
         log_bytes += d2.store.log_bytes;
     }
-    let (_, siu_tail) = c.force_siu();
+    let (_, siu_tail) = c.force_siu().expect("siu");
     siu += siu_tail;
     wall += siu_tail;
     (sil, siu, wall, mibps(log_bytes, wall))

@@ -219,14 +219,16 @@ pub fn run_month(cfg: MonthConfig) -> MonthReport {
         // --- DEBAR dedup-1: one job per client. ---
         let t0 = debar.align_clocks();
         for (i, stream) in day.per_client.iter().enumerate() {
-            let rep = debar.backup(jobs[i], &Dataset::from_records("daily", stream.clone()));
+            let rep = debar
+                .backup(jobs[i], &Dataset::from_records("daily", stream.clone()))
+                .expect("backup");
             row.logical += rep.logical_bytes;
             row.transferred += rep.transferred_bytes;
         }
         row.d1_wall = debar.align_clocks() - t0;
         // --- DEBAR dedup-2 when the director's trigger fires. ---
         if debar.should_run_dedup2() || day.day == cfg.days {
-            let d2 = debar.run_dedup2();
+            let d2 = debar.run_dedup2().expect("dedup2");
             row.d2_ran = true;
             row.d2_log_bytes = d2.store.log_bytes;
             row.d2_stored = d2.store.stored_bytes;
@@ -239,7 +241,7 @@ pub fn run_month(cfg: MonthConfig) -> MonthReport {
             let before = ddfs.stats().stored_bytes;
             let t0 = ddfs.now();
             for stream in &day.per_client {
-                ddfs.backup_stream(stream);
+                ddfs.backup_stream(stream).expect("backup");
             }
             row.ddfs_wall = ddfs.now() - t0;
             row.ddfs_stored = ddfs.stats().stored_bytes - before;

@@ -84,6 +84,17 @@ impl ChunkLog {
         Timed::new(std::mem::take(&mut self.records), cost)
     }
 
+    /// Put records back at the *front* of the log in order (crash
+    /// rollback: an interrupted chunk-storing phase re-queues the records
+    /// it did not durably store, modelling a log read pointer that never
+    /// advanced past them). No I/O is charged — the bytes are already on
+    /// the log disk.
+    pub fn requeue_front(&mut self, mut records: Vec<LogRecord>) {
+        self.bytes += records.iter().map(LogRecord::record_bytes).sum::<u64>();
+        records.append(&mut self.records);
+        self.records = records;
+    }
+
     /// Disk statistics.
     pub fn disk_stats(&self) -> debar_simio::DiskStats {
         self.disk.stats()

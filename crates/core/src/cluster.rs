@@ -21,6 +21,7 @@ use crate::client::BackupClient;
 use crate::config::DebarConfig;
 use crate::dataset::{ChunkedFile, Dataset};
 use crate::director::Director;
+use crate::error::{DebarError, DebarResult, Dedup2Phase};
 use crate::ids::{ClientId, JobId, RunId, ServerId};
 use crate::job::{JobSpec, Schedule};
 use crate::report::{Dedup1Report, Dedup2Report, RestoreReport, StoreReport};
@@ -28,8 +29,8 @@ use crate::server::{BackupServer, Decision, SilPartOutput};
 use debar_hash::{ContainerId, Fingerprint, Sha1};
 use debar_index::SiuReport;
 use debar_simio::models::paper;
-use debar_simio::Secs;
-use debar_store::{ChunkRepository, Payload};
+use debar_simio::{FaultPlan, Secs};
+use debar_store::{ChunkRepository, CorruptKind, Damage, Payload};
 use std::collections::HashMap;
 
 /// A DEBAR deployment: director + backup servers + chunk repository.
@@ -40,6 +41,10 @@ pub struct DebarCluster {
     servers: Vec<BackupServer>,
     repo: ChunkRepository,
     clients: HashMap<ClientId, BackupClient>,
+    /// Storage statistics of an interrupted round's durable prefix, folded
+    /// into the resumed round's report so crashed-plus-resumed totals
+    /// match an uninterrupted history.
+    carryover_store: StoreReport,
 }
 
 impl DebarCluster {
@@ -54,6 +59,7 @@ impl DebarCluster {
             servers,
             repo: ChunkRepository::new(cfg.repo_nodes, paper::repo_disk(), cfg.container_bytes),
             clients: HashMap::new(),
+            carryover_store: StoreReport::default(),
             cfg,
         }
     }
@@ -76,6 +82,51 @@ impl DebarCluster {
     /// The chunk repository.
     pub fn repository(&self) -> &ChunkRepository {
         &self.repo
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (deterministic; see `debar_simio::fault`)
+    // ------------------------------------------------------------------
+
+    /// Arm a deterministic fault schedule on one repository node's disk.
+    pub fn set_repo_fault_plan(&mut self, node: usize, plan: FaultPlan) {
+        self.repo.set_node_fault_plan(node, plan);
+    }
+
+    /// A repository node disk's op counter (for arming fault plans).
+    pub fn repo_node_ops(&self, node: usize) -> u64 {
+        self.repo.node_disk_ops(node)
+    }
+
+    /// Arm a deterministic fault schedule on one server's index disk.
+    pub fn set_index_fault_plan(&mut self, server: ServerId, plan: FaultPlan) {
+        self.servers[server as usize].set_index_fault_plan(plan);
+    }
+
+    /// A server's index-disk op counter (for arming fault plans).
+    pub fn index_disk_ops(&self, server: ServerId) -> u64 {
+        self.servers[server as usize].index_disk_ops()
+    }
+
+    /// Disarm every fault plan in the deployment (repository nodes and
+    /// index disks).
+    pub fn clear_fault_plans(&mut self) {
+        self.repo.clear_fault_plans();
+        for s in &mut self.servers {
+            s.clear_index_fault_plan();
+        }
+    }
+
+    /// Inject damage against a stored container (torn write / bit rot);
+    /// every later read of it surfaces [`DebarError::CorruptContainer`].
+    /// Returns `false` if the container does not exist.
+    pub fn corrupt_container(&mut self, cid: ContainerId, damage: Damage) -> bool {
+        self.repo.corrupt_container(cid, damage)
+    }
+
+    /// Clear injected damage (admin repair from a replica).
+    pub fn repair_container(&mut self, cid: ContainerId) -> bool {
+        self.repo.repair_container(cid)
     }
 
     /// Per-server undetermined fingerprint counts.
@@ -111,8 +162,14 @@ impl DebarCluster {
     /// Back up a dataset under a job (de-duplication phase I): client-side
     /// chunking/fingerprinting, server assignment, preliminary filtering,
     /// chunk logging, metadata recording.
-    pub fn backup(&mut self, job: JobId, dataset: &Dataset) -> Dedup1Report {
-        let client_id = self.director.metadata.job(job).spec.client;
+    pub fn backup(&mut self, job: JobId, dataset: &Dataset) -> DebarResult<Dedup1Report> {
+        let client_id = self
+            .director
+            .metadata
+            .try_job(job)
+            .ok_or(DebarError::UnknownJob { job })?
+            .spec
+            .client;
         let client = self
             .clients
             .entry(client_id)
@@ -122,8 +179,16 @@ impl DebarCluster {
     }
 
     /// Back up pre-chunked files (bench harness path).
-    pub fn backup_prepared(&mut self, job: JobId, files: &[ChunkedFile]) -> Dedup1Report {
-        let job_obj = self.director.metadata.job(job);
+    pub fn backup_prepared(
+        &mut self,
+        job: JobId,
+        files: &[ChunkedFile],
+    ) -> DebarResult<Dedup1Report> {
+        let job_obj = self
+            .director
+            .metadata
+            .try_job(job)
+            .ok_or(DebarError::UnknownJob { job })?;
         let client_id = job_obj.spec.client;
         let version = job_obj.next_version();
         let run = RunId { job, version };
@@ -133,7 +198,7 @@ impl DebarCluster {
         let (record, report) =
             self.servers[sid as usize].run_backup(run, client_id, filtering, files);
         self.director.metadata.record_run(record);
-        report
+        Ok(report)
     }
 
     /// Align all server clocks to the slowest and return that time.
@@ -152,18 +217,40 @@ impl DebarCluster {
     }
 
     /// Run one de-duplication phase-II round (PSIL → chunk storing → PSIU).
-    pub fn run_dedup2(&mut self) -> Dedup2Report {
-        let (round, run_siu) = self.director.begin_dedup2();
+    ///
+    /// # Failure model
+    ///
+    /// An injected fault mid-round surfaces as
+    /// [`DebarError::InterruptedDedup2`] (PSIL or chunk storing) or
+    /// [`DebarError::PartialSiu`] (PSIU), and the cluster rolls the round
+    /// back to a crash-consistent state: undetermined fingerprints are
+    /// restored, checking-file additions are only committed when every
+    /// PSIL pass succeeded, undrained/unsealed chunks are re-queued into
+    /// the chunk log with their storage decisions carried over, and the
+    /// round number is **not** committed. Calling `run_dedup2` again
+    /// (after clearing the fault) re-runs the same round and converges to
+    /// the byte-identical index parts and restore bytes of an
+    /// uninterrupted run.
+    pub fn run_dedup2(&mut self) -> DebarResult<Dedup2Report> {
+        let (round, run_siu) = self.director.peek_dedup2();
         let s = self.servers.len();
         let w = self.cfg.w_bits;
         let t0 = self.barrier();
 
         // ---- Phase 1: partition undetermined fingerprints, exchange. ----
+        // The per-server snapshot survives until every PSIL pass succeeds
+        // so an interrupted round can restore the exact original order
+        // (sub-batch boundaries must reproduce on the re-run).
+        let taken: Vec<Vec<Fingerprint>> = self
+            .servers
+            .iter_mut()
+            .map(BackupServer::take_undetermined)
+            .collect();
         let mut batches: Vec<Vec<(Fingerprint, ServerId)>> = vec![Vec::new(); s];
         let mut tx_bytes = vec![0u64; s];
         let mut rx_bytes = vec![0u64; s];
-        for (i, srv) in self.servers.iter_mut().enumerate() {
-            for fp in srv.take_undetermined() {
+        for (i, fps) in taken.iter().enumerate() {
+            for &fp in fps {
                 let owner = fp.server_number(w) as usize;
                 if owner != i {
                     tx_bytes[i] += 25;
@@ -179,7 +266,7 @@ impl DebarCluster {
         let t1 = self.barrier();
 
         // ---- Phase 2: PSIL on real threads, one per server. ----
-        let outputs: Vec<SilPartOutput> = std::thread::scope(|scope| {
+        let results: Vec<Result<SilPartOutput, DebarError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .servers
                 .iter_mut()
@@ -191,6 +278,32 @@ impl DebarCluster {
                 .map(|h| h.join().expect("PSIL worker panicked"))
                 .collect()
         });
+        if let Some((sid, cause)) = results
+            .iter()
+            .enumerate()
+            .find_map(|(i, r)| r.as_ref().err().map(|e| (i as ServerId, e.clone())))
+        {
+            // Crash rollback: give every origin its fingerprints back in
+            // original order; no checking entry was committed.
+            for (srv, fps) in self.servers.iter_mut().zip(taken) {
+                srv.restore_undetermined(fps);
+            }
+            let _ = self.barrier();
+            return Err(DebarError::InterruptedDedup2 {
+                round,
+                phase: Dedup2Phase::Sil,
+                server: sid,
+                cause: Box::new(cause),
+            });
+        }
+        let outputs: Vec<SilPartOutput> = results
+            .into_iter()
+            .map(|r| r.expect("errors handled above"))
+            .collect();
+        // Every PSIL pass succeeded: commit the staged checking entries.
+        for (srv, out) in self.servers.iter_mut().zip(&outputs) {
+            srv.commit_checking(&out.newly_checking);
+        }
         // Route verdicts back to origins (charging the result exchange).
         let mut decisions: Vec<HashMap<Fingerprint, Decision>> =
             (0..s).map(|_| HashMap::new()).collect();
@@ -238,27 +351,42 @@ impl DebarCluster {
 
         // ---- Phase 3: chunk storing (sequential for deterministic IDs;
         //      virtual time still per-server). ----
-        let mut store_total = StoreReport::default();
+        // Start from the durable prefix of an interrupted attempt of this
+        // round, so the (re)run's report covers the whole round.
+        let mut store_total = std::mem::take(&mut self.carryover_store);
         let mut routed_updates: Vec<Vec<(Fingerprint, ContainerId)>> = vec![Vec::new(); s];
         let mut tx3 = vec![0u64; s];
+        let mut store_fault: Option<(ServerId, DebarError)> = None;
         for i in 0..s {
-            let (rep, assigned) = {
+            if store_fault.is_some() {
+                // An earlier server's pass faulted: this server's log was
+                // never drained; carry its decisions to the resumed round.
+                self.servers[i].stash_carryover(&decisions[i]);
+                continue;
+            }
+            let outcome = {
                 let repo = &mut self.repo;
                 self.servers[i].store_chunks(&decisions[i], repo)
             };
+            let rep = outcome.report;
             store_total.log_records += rep.log_records;
             store_total.log_bytes += rep.log_bytes;
             store_total.stored_chunks += rep.stored_chunks;
             store_total.stored_bytes += rep.stored_bytes;
             store_total.discarded += rep.discarded;
             store_total.containers += rep.containers;
-            for (fp, cid) in assigned {
+            // Durable assignments route to their owners even when the
+            // pass was interrupted — they are on disk and must register.
+            for (fp, cid) in outcome.assigned {
                 let owner = fp.server_number(w) as usize;
                 if owner != i {
                     tx3[i] += 30;
                     tx3[owner] += 30;
                 }
                 routed_updates[owner].push((fp, cid));
+            }
+            if let Some(e) = outcome.fault {
+                store_fault = Some((i as ServerId, e));
             }
         }
         for (srv, &t) in self.servers.iter_mut().zip(&tx3) {
@@ -267,11 +395,22 @@ impl DebarCluster {
         for (i, updates) in routed_updates.into_iter().enumerate() {
             self.servers[i].queue_updates(updates);
         }
+        if let Some((sid, cause)) = store_fault {
+            // Keep the durable prefix's statistics for the resumed round.
+            self.carryover_store = store_total;
+            let _ = self.barrier();
+            return Err(DebarError::InterruptedDedup2 {
+                round,
+                phase: Dedup2Phase::ChunkStoring,
+                server: sid,
+                cause: Box::new(cause),
+            });
+        }
         let t3 = self.barrier();
 
         // ---- Phase 4: PSIU (possibly deferred: asynchronous SIU). ----
         let (siu_reports, siu_updates) = if run_siu {
-            let results: Vec<(SiuReport, u64)> = std::thread::scope(|scope| {
+            let results: Vec<Result<(SiuReport, u64), DebarError>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .servers
                     .iter_mut()
@@ -282,14 +421,32 @@ impl DebarCluster {
                     .map(|h| h.join().expect("PSIU worker panicked"))
                     .collect()
             });
-            let updates: u64 = results.iter().map(|(_, u)| *u).sum();
-            (results.into_iter().map(|(r, _)| r).collect(), updates)
+            let mut reports = Vec::with_capacity(s);
+            let mut updates = 0u64;
+            let mut fault: Option<DebarError> = None;
+            for r in results {
+                match r {
+                    Ok((rep, u)) => {
+                        reports.push(rep);
+                        updates += u;
+                    }
+                    Err(e) => fault = fault.or(Some(e)),
+                }
+            }
+            if let Some(e) = fault {
+                // The faulted server kept its pending updates; the round
+                // stays uncommitted and a re-run retries the SIU.
+                let _ = self.barrier();
+                return Err(e);
+            }
+            (reports, updates)
         } else {
             (Vec::new(), 0)
         };
         let t4 = self.barrier();
+        self.director.commit_dedup2();
 
-        Dedup2Report {
+        Ok(Dedup2Report {
             round,
             submitted_fps,
             dup_registered,
@@ -305,14 +462,19 @@ impl DebarCluster {
             sil_wall: t2 - t1,
             store_wall: t3 - t2,
             siu_wall: t4 - t3,
-        }
+        })
     }
 
     /// Force PSIU now (register every pending fingerprint). Used before
     /// restores and at experiment end.
-    pub fn force_siu(&mut self) -> (Vec<SiuReport>, Secs) {
+    ///
+    /// An injected index-disk fault surfaces as
+    /// [`DebarError::PartialSiu`]; the faulted server keeps its pending
+    /// updates, and calling `force_siu` again re-applies them
+    /// idempotently (see [`BackupServer::run_siu`]).
+    pub fn force_siu(&mut self) -> DebarResult<(Vec<SiuReport>, Secs)> {
         let t0 = self.barrier();
-        let results: Vec<(SiuReport, u64)> = std::thread::scope(|scope| {
+        let results: Vec<Result<(SiuReport, u64), DebarError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .servers
                 .iter_mut()
@@ -324,7 +486,11 @@ impl DebarCluster {
                 .collect()
         });
         let t1 = self.barrier();
-        (results.into_iter().map(|(r, _)| r).collect(), t1 - t0)
+        let mut reports = Vec::with_capacity(results.len());
+        for r in results {
+            reports.push(r?.0);
+        }
+        Ok((reports, t1 - t0))
     }
 
     /// Resolve a fingerprint to its container via the owning index part
@@ -338,23 +504,30 @@ impl DebarCluster {
     /// resolved via LPC / owner index parts, chunks read from repository
     /// containers, payloads verified (SHA-1 for real bytes) and streamed to
     /// the client.
-    pub fn restore_run(&mut self, run: RunId) -> RestoreReport {
+    ///
+    /// Strict: an unknown run, an unresolvable chunk, a missing container
+    /// or a detected corruption aborts with the matching typed
+    /// [`DebarError`] (use [`DebarCluster::verify_run`] for the auditing
+    /// walk that counts problems instead).
+    pub fn restore_run(&mut self, run: RunId) -> DebarResult<RestoreReport> {
         self.restore_impl(run, None, true)
     }
 
     /// Verify one run (the director's third job kind, §3.1): walk the file
     /// indices and check that every chunk is resolvable, readable and
     /// hashes back to its fingerprint — without streaming anything to a
-    /// client.
-    pub fn verify_run(&mut self, run: RunId) -> RestoreReport {
+    /// client. Integrity problems (missing chunks, corrupt containers,
+    /// injected read faults) are *counted* in
+    /// [`RestoreReport::failures`], not returned as errors: a verify job
+    /// is an audit and must survey the whole run.
+    pub fn verify_run(&mut self, run: RunId) -> DebarResult<RestoreReport> {
         self.restore_impl(run, None, false)
     }
 
-    /// Restore a single file of a run by its dataset path.
-    ///
-    /// # Panics
-    /// Panics if the run is unknown.
-    pub fn restore_file(&mut self, run: RunId, path: &str) -> RestoreReport {
+    /// Restore a single file of a run by its dataset path. Typed errors:
+    /// [`DebarError::UnknownRun`], [`DebarError::UnknownPath`], plus the
+    /// strict-restore errors of [`DebarCluster::restore_run`].
+    pub fn restore_file(&mut self, run: RunId, path: &str) -> DebarResult<RestoreReport> {
         self.restore_impl(run, Some(path), true)
     }
 
@@ -363,12 +536,12 @@ impl DebarCluster {
         run: RunId,
         only_path: Option<&str>,
         to_client: bool,
-    ) -> RestoreReport {
+    ) -> DebarResult<RestoreReport> {
         let record = self
             .director
             .metadata
             .run(run)
-            .expect("unknown run")
+            .ok_or(DebarError::UnknownRun { run })?
             .clone();
         let sid = record.server as usize;
         let w = self.cfg.w_bits;
@@ -402,14 +575,33 @@ impl DebarCluster {
                         let owner = fp.server_number(w) as usize;
                         let found = self.lookup_with_owner(sid, owner, fp);
                         let Some(cid) = found else {
+                            if to_client {
+                                return Err(DebarError::MissingChunk {
+                                    fp: *fp,
+                                    container: None,
+                                });
+                            }
                             report.failures += 1;
                             continue;
                         };
                         let t = self.repo.read_anywhere(cid);
                         let container = self.servers[sid].clock.charge(t);
-                        let Some(container) = container else {
-                            report.failures += 1;
-                            continue;
+                        let container = match container {
+                            Ok(Some(c)) => c,
+                            Ok(None) => {
+                                if to_client {
+                                    return Err(DebarError::MissingContainer { container: cid });
+                                }
+                                report.failures += 1;
+                                continue;
+                            }
+                            Err(e) => {
+                                if to_client {
+                                    return Err(e.into());
+                                }
+                                report.failures += 1;
+                                continue;
+                            }
                         };
                         let evicted = self.servers[sid]
                             .lpc
@@ -430,6 +622,12 @@ impl DebarCluster {
                 match chunk {
                     Some((len, payload)) => {
                         if !verify_payload(fp, &payload) {
+                            if to_client {
+                                return Err(DebarError::CorruptContainer {
+                                    container: cid,
+                                    reason: CorruptKind::PayloadMismatch,
+                                });
+                            }
                             report.failures += 1;
                             continue;
                         }
@@ -438,12 +636,28 @@ impl DebarCluster {
                             self.servers[sid].charge_net(len as u64);
                         }
                     }
-                    None => report.failures += 1,
+                    None => {
+                        if to_client {
+                            return Err(DebarError::MissingChunk {
+                                fp: *fp,
+                                container: Some(cid),
+                            });
+                        }
+                        report.failures += 1;
+                    }
                 }
             }
         }
+        if let Some(p) = only_path {
+            if report.files == 0 {
+                return Err(DebarError::UnknownPath {
+                    run,
+                    path: p.to_string(),
+                });
+            }
+        }
         report.elapsed = self.servers[sid].clock.since(start);
-        report
+        Ok(report)
     }
 
     /// Random index lookup on `owner`'s part, charged to both the owner's
@@ -498,12 +712,15 @@ impl DebarCluster {
     /// to be quiesced (no staged dedup-2 work; call
     /// [`DebarCluster::force_siu`] first).
     ///
-    /// Returns the wall-clock cost of the redistribution.
-    pub fn scale_out(&mut self) -> Secs {
-        assert!(
-            self.servers.iter().all(BackupServer::is_quiesced),
-            "scale-out requires quiesced servers (run dedup-2 + force_siu first)"
-        );
+    /// Returns the wall-clock cost of the redistribution, or
+    /// [`DebarError::NotQuiesced`] when a server still holds staged
+    /// dedup-2 state.
+    pub fn scale_out(&mut self) -> DebarResult<Secs> {
+        if let Some(sid) = self.servers.iter().position(|s| !s.is_quiesced()) {
+            return Err(DebarError::NotQuiesced {
+                server: sid as ServerId,
+            });
+        }
         let t0 = self.barrier();
         let mut new_cfg = self.cfg;
         new_cfg.w_bits += 1;
@@ -522,7 +739,7 @@ impl DebarCluster {
         self.director.metadata.remap_servers(|s| s * 2);
         self.director.resize_servers(self.servers.len());
         let t1 = self.barrier();
-        t1 - t0
+        Ok(t1 - t0)
     }
 
     /// Recover a server's disk-index part after loss/corruption by scanning
@@ -533,7 +750,15 @@ impl DebarCluster {
     /// Charged as a sequential read of every container plus one write sweep
     /// of the rebuilt part; pending (unregistered) fingerprints survive in
     /// the server's update queue and re-register at the next SIU.
-    pub fn recover_index(&mut self, server: ServerId) -> Secs {
+    ///
+    /// The repository scan validates every container: a torn or bit-rotted
+    /// container aborts the rebuild with
+    /// [`DebarError::CorruptContainer`] (corruption is detected on the
+    /// recovery path, not silently rebuilt into the index). A failed
+    /// rebuild leaves the part reset-and-partial; re-running
+    /// `recover_index` after repairing the container starts from a fresh
+    /// reset and converges.
+    pub fn recover_index(&mut self, server: ServerId) -> DebarResult<Secs> {
         let sid = server as usize;
         let w = self.cfg.w_bits;
         self.servers[sid].index_mut().reset_empty();
@@ -542,7 +767,11 @@ impl DebarCluster {
         for cid in self.repo.container_ids() {
             let t = self.repo.read_anywhere(cid);
             scan_cost += t.cost;
-            let container = t.value.expect("listed container exists");
+            let container = match t.value {
+                Ok(Some(c)) => c,
+                Ok(None) => return Err(DebarError::MissingContainer { container: cid }),
+                Err(e) => return Err(e.into()),
+            };
             for meta in container.metas() {
                 if meta.fp.server_number(w) == server as u64 {
                     entries.push((meta.fp, cid));
@@ -554,9 +783,10 @@ impl DebarCluster {
         let parts = self.cfg.sweep_parts;
         let t = self.servers[sid]
             .index_mut()
-            .bulk_load_striped(entries, parts);
+            .try_bulk_load_striped(entries, parts)
+            .map_err(DebarError::from)?;
         self.servers[sid].clock.advance(scan_cost + t.cost);
-        scan_cost + t.cost
+        Ok(scan_cost + t.cost)
     }
 
     /// Pre-load ballast fingerprints into the index parts (experiment
@@ -613,10 +843,12 @@ mod tests {
     fn single_server_backup_dedup2_roundtrip() {
         let mut c = cluster(0);
         let job = c.define_job("j", ClientId(0));
-        let rep1 = c.backup(job, &Dataset::from_records("s", records(0..2000)));
+        let rep1 = c
+            .backup(job, &Dataset::from_records("s", records(0..2000)))
+            .expect("backup");
         assert_eq!(rep1.logical_chunks, 2000);
         assert_eq!(rep1.transferred_chunks, 2000, "fresh data all transfers");
-        let rep2 = c.run_dedup2();
+        let rep2 = c.run_dedup2().expect("dedup2");
         assert_eq!(rep2.submitted_fps, 2000);
         assert_eq!(rep2.new_fps, 2000);
         assert_eq!(rep2.store.stored_chunks, 2000);
@@ -628,14 +860,17 @@ mod tests {
     fn duplicate_backup_stores_nothing_new() {
         let mut c = cluster(0);
         let job = c.define_job("j", ClientId(0));
-        c.backup(job, &Dataset::from_records("s", records(0..1500)));
-        c.run_dedup2();
+        c.backup(job, &Dataset::from_records("s", records(0..1500)))
+            .expect("backup");
+        c.run_dedup2().expect("dedup2");
         // Same data again: the preliminary filter (primed from the job
         // chain) should eliminate everything before the network.
-        let rep = c.backup(job, &Dataset::from_records("s", records(0..1500)));
+        let rep = c
+            .backup(job, &Dataset::from_records("s", records(0..1500)))
+            .expect("backup");
         assert_eq!(rep.filtered_dups, 1500);
         assert_eq!(rep.transferred_chunks, 0);
-        let d2 = c.run_dedup2();
+        let d2 = c.run_dedup2().expect("dedup2");
         assert_eq!(d2.store.stored_chunks, 0);
         assert_eq!(c.index_entries(), 1500);
     }
@@ -645,12 +880,14 @@ mod tests {
         let mut c = cluster(0);
         let a = c.define_job("a", ClientId(0));
         let b = c.define_job("b", ClientId(1));
-        c.backup(a, &Dataset::from_records("s", records(0..1000)));
-        c.run_dedup2();
+        c.backup(a, &Dataset::from_records("s", records(0..1000)))
+            .expect("backup");
+        c.run_dedup2().expect("dedup2");
         // Job b's data half-overlaps job a's: the filter can't see it
         // (different chain), SIL must.
-        c.backup(b, &Dataset::from_records("s", records(500..1500)));
-        let d2 = c.run_dedup2();
+        c.backup(b, &Dataset::from_records("s", records(500..1500)))
+            .expect("backup");
+        let d2 = c.run_dedup2().expect("dedup2");
         assert_eq!(d2.submitted_fps, 1000);
         assert_eq!(d2.dup_registered, 500);
         assert_eq!(d2.new_fps, 500);
@@ -671,9 +908,10 @@ mod tests {
             recs.extend(records(
                 10_000 * (i as u64 + 1)..10_000 * (i as u64 + 1) + 800,
             ));
-            c.backup(job, &Dataset::from_records("s", recs));
+            c.backup(job, &Dataset::from_records("s", recs))
+                .expect("backup");
         }
-        let d2 = c.run_dedup2();
+        let d2 = c.run_dedup2().expect("dedup2");
         assert_eq!(d2.submitted_fps, 4 * 1600);
         // Shared 800 fingerprints: stored once each; 4×800 unique.
         assert_eq!(d2.store.stored_chunks as usize, 800 + 4 * 800);
@@ -692,14 +930,16 @@ mod tests {
         });
         let a = c.define_job("a", ClientId(0));
         let b = c.define_job("b", ClientId(1));
-        c.backup(a, &Dataset::from_records("s", records(0..1000)));
-        let d1 = c.run_dedup2();
+        c.backup(a, &Dataset::from_records("s", records(0..1000)))
+            .expect("backup");
+        let d1 = c.run_dedup2().expect("dedup2");
         assert!(!d1.siu_ran, "round 1 defers SIU");
         assert_eq!(d1.store.stored_chunks, 1000);
         // Same content under another job, before SIU has registered it: the
         // checking file must suppress re-storing.
-        c.backup(b, &Dataset::from_records("s", records(0..1000)));
-        let d2 = c.run_dedup2();
+        c.backup(b, &Dataset::from_records("s", records(0..1000)))
+            .expect("backup");
+        let d2 = c.run_dedup2().expect("dedup2");
         assert!(d2.siu_ran, "round 2 runs SIU");
         assert_eq!(d2.dup_pending, 1000, "pending duplicates detected");
         assert_eq!(d2.store.stored_chunks, 0, "no double storage");
@@ -711,10 +951,11 @@ mod tests {
         let mut c = cluster(1);
         let job = c.define_job("j", ClientId(0));
         let recs = records(0..3000);
-        c.backup(job, &Dataset::from_records("s", recs.clone()));
-        c.run_dedup2();
+        c.backup(job, &Dataset::from_records("s", recs.clone()))
+            .expect("backup");
+        c.run_dedup2().expect("dedup2");
         let run = RunId { job, version: 0 };
-        let rep = c.restore_run(run);
+        let rep = c.restore_run(run).expect("restore");
         assert_eq!(rep.chunks, 3000);
         assert_eq!(rep.failures, 0);
         let expect: u64 = recs.iter().map(|r| r.len as u64).sum();
@@ -735,9 +976,9 @@ mod tests {
         let tree = FileTreeGen::new(FileTreeConfig::default()).initial();
         let ds = Dataset::from_file_specs(&tree);
         let logical = ds.logical_bytes();
-        c.backup(job, &ds);
-        c.run_dedup2();
-        let rep = c.restore_run(RunId { job, version: 0 });
+        c.backup(job, &ds).expect("backup");
+        c.run_dedup2().expect("dedup2");
+        let rep = c.restore_run(RunId { job, version: 0 }).expect("restore");
         assert_eq!(rep.failures, 0, "all real chunks must verify by SHA-1");
         assert_eq!(rep.bytes, logical);
     }
@@ -746,8 +987,9 @@ mod tests {
     fn phase_walls_are_positive_and_reported() {
         let mut c = cluster(1);
         let job = c.define_job("j", ClientId(0));
-        c.backup(job, &Dataset::from_records("s", records(0..2000)));
-        let d2 = c.run_dedup2();
+        c.backup(job, &Dataset::from_records("s", records(0..2000)))
+            .expect("backup");
+        let d2 = c.run_dedup2().expect("dedup2");
         assert!(d2.sil_wall > 0.0);
         assert!(d2.store_wall > 0.0);
         assert!(d2.siu_wall > 0.0);
@@ -770,19 +1012,23 @@ mod tests {
         // Two different jobs, same content: the per-run filters can't see
         // each other, so the server's undetermined set holds every
         // fingerprint twice, ~500 positions apart.
-        c.backup(a, &Dataset::from_records("s", recs.clone()));
-        c.backup(b, &Dataset::from_records("s", recs.clone()));
-        let d2 = c.run_dedup2();
+        c.backup(a, &Dataset::from_records("s", recs.clone()))
+            .expect("backup");
+        c.backup(b, &Dataset::from_records("s", recs.clone()))
+            .expect("backup");
+        let d2 = c.run_dedup2().expect("dedup2");
         assert!(d2.sil_sweeps > 1, "test needs multiple sub-batches");
         assert_eq!(
             d2.store.stored_chunks, 500,
             "every unique chunk stored once"
         );
-        c.force_siu();
+        c.force_siu().expect("siu");
         for r in &recs {
             assert!(c.resolve(&r.fp).is_some(), "fingerprint lost: {:?}", r.fp);
         }
-        let rep = c.restore_run(RunId { job: a, version: 0 });
+        let rep = c
+            .restore_run(RunId { job: a, version: 0 })
+            .expect("restore");
         assert_eq!(rep.failures, 0);
     }
 
@@ -791,11 +1037,12 @@ mod tests {
         let mut c = cluster(0);
         let job = c.define_job("j", ClientId(0));
         let recs = records(0..2000);
-        c.backup(job, &Dataset::from_records("s", recs.clone()));
-        c.run_dedup2();
-        c.force_siu();
+        c.backup(job, &Dataset::from_records("s", recs.clone()))
+            .expect("backup");
+        c.run_dedup2().expect("dedup2");
+        c.force_siu().expect("siu");
         assert_eq!(c.server_count(), 1);
-        let cost = c.scale_out();
+        let cost = c.scale_out().expect("scale-out");
         assert!(cost > 0.0);
         assert_eq!(c.server_count(), 2);
         assert_eq!(c.index_entries(), 2000, "entries preserved across split");
@@ -803,15 +1050,16 @@ mod tests {
             assert!(c.resolve(&r.fp).is_some(), "fingerprint lost in scale-out");
         }
         // Restores still route correctly after server renumbering.
-        let rep = c.restore_run(RunId { job, version: 0 });
+        let rep = c.restore_run(RunId { job, version: 0 }).expect("restore");
         assert_eq!(rep.failures, 0);
         // New backups de-duplicate against pre-scaling content.
-        c.backup(job, &Dataset::from_records("s", recs));
-        let d2 = c.run_dedup2();
+        c.backup(job, &Dataset::from_records("s", recs))
+            .expect("backup");
+        let d2 = c.run_dedup2().expect("dedup2");
         assert_eq!(d2.store.stored_chunks, 0);
         // And the cluster can scale out again.
-        c.force_siu();
-        c.scale_out();
+        c.force_siu().expect("siu");
+        c.scale_out().expect("scale-out");
         assert_eq!(c.server_count(), 4);
         assert_eq!(c.index_entries(), 2000);
     }
@@ -833,13 +1081,13 @@ mod tests {
                 },
             ],
         };
-        c.backup(job, &ds);
-        c.run_dedup2();
+        c.backup(job, &ds).expect("backup");
+        c.run_dedup2().expect("dedup2");
         let run = RunId { job, version: 0 };
-        let v = c.verify_run(run);
+        let v = c.verify_run(run).expect("verify");
         assert_eq!(v.failures, 0);
         assert_eq!(v.chunks, 1000);
-        let f = c.restore_file(run, "b.bin");
+        let f = c.restore_file(run, "b.bin").expect("restore-file");
         assert_eq!(f.failures, 0);
         assert_eq!(f.files, 1);
         assert_eq!(f.chunks, 300);
@@ -848,10 +1096,10 @@ mod tests {
         // Verify charges no client-bound network for payloads: it must be
         // cheaper than the real restore of the same run.
         let t0 = c.now();
-        c.verify_run(run);
+        c.verify_run(run).expect("verify");
         let verify_cost = c.now() - t0;
         let t0 = c.now();
-        c.restore_run(run);
+        c.restore_run(run).expect("restore");
         let restore_cost = c.now() - t0;
         assert!(
             verify_cost < restore_cost,
@@ -864,9 +1112,10 @@ mod tests {
         let mut c = cluster(1);
         let job = c.define_job("j", ClientId(0));
         let recs = records(0..2500);
-        c.backup(job, &Dataset::from_records("s", recs.clone()));
-        c.run_dedup2();
-        c.force_siu();
+        c.backup(job, &Dataset::from_records("s", recs.clone()))
+            .expect("backup");
+        c.run_dedup2().expect("dedup2");
+        c.force_siu().expect("siu");
         // Corrupt server 1's index part.
         let before = c.index_entries();
         c.servers[1].index_mut().reset_empty();
@@ -874,13 +1123,13 @@ mod tests {
         let lost = recs.iter().filter(|r| c.resolve(&r.fp).is_none()).count();
         assert!(lost > 0, "corruption should lose entries");
         // Rebuild from the chunk repository.
-        let cost = c.recover_index(1);
+        let cost = c.recover_index(1).expect("recover");
         assert!(cost > 0.0);
         assert_eq!(c.index_entries(), before);
         for r in &recs {
             assert!(c.resolve(&r.fp).is_some(), "not recovered: {:?}", r.fp);
         }
-        let rep = c.restore_run(RunId { job, version: 0 });
+        let rep = c.restore_run(RunId { job, version: 0 }).expect("restore");
         assert_eq!(rep.failures, 0);
     }
 
@@ -908,15 +1157,17 @@ mod tests {
         let mut c = cluster(0);
         let job = c.define_job("j", ClientId(0));
         let recs = records(0..3000);
-        c.backup(job, &Dataset::from_records("s", recs.clone()));
-        c.run_dedup2();
-        c.force_siu();
-        c.scale_out(); // 1 -> 2 (split on bit 0)
-                       // New content after the first split, then split again.
-        c.backup(job, &Dataset::from_records("s", records(3000..5000)));
-        c.run_dedup2();
-        c.force_siu();
-        c.scale_out(); // 2 -> 4 (split on bit 1)
+        c.backup(job, &Dataset::from_records("s", recs.clone()))
+            .expect("backup");
+        c.run_dedup2().expect("dedup2");
+        c.force_siu().expect("siu");
+        c.scale_out().expect("scale-out"); // 1 -> 2 (split on bit 0)
+                                           // New content after the first split, then split again.
+        c.backup(job, &Dataset::from_records("s", records(3000..5000)))
+            .expect("backup");
+        c.run_dedup2().expect("dedup2");
+        c.force_siu().expect("siu");
+        c.scale_out().expect("scale-out"); // 2 -> 4 (split on bit 1)
         assert_eq!(c.server_count(), 4);
         for r in recs.iter().chain(records(3000..5000).iter()) {
             assert!(
@@ -930,7 +1181,7 @@ mod tests {
             let n = c.server(s).index().entry_count();
             assert!(n > 500, "server {s} holds only {n} entries");
         }
-        let rep = c.restore_run(RunId { job, version: 0 });
+        let rep = c.restore_run(RunId { job, version: 0 }).expect("restore");
         assert_eq!(rep.failures, 0);
     }
 
@@ -938,8 +1189,9 @@ mod tests {
     fn scale_up_indexes_preserves_entries_and_halves_utilization() {
         let mut c = cluster(1);
         let job = c.define_job("j", ClientId(0));
-        c.backup(job, &Dataset::from_records("s", records(0..2000)));
-        c.run_dedup2();
+        c.backup(job, &Dataset::from_records("s", records(0..2000)))
+            .expect("backup");
+        c.run_dedup2().expect("dedup2");
         let u_before = c.index_utilization();
         let cost = c.scale_up_indexes();
         assert!(cost > 0.0);
@@ -951,12 +1203,337 @@ mod tests {
     }
 
     #[test]
+    fn restore_run_on_unknown_run_is_typed_error() {
+        let mut c = cluster(0);
+        let job = c.define_job("j", ClientId(0));
+        c.backup(job, &Dataset::from_records("s", records(0..500)))
+            .expect("backup");
+        c.run_dedup2().expect("dedup2");
+        let bogus = RunId { job, version: 9 };
+        let err = c.restore_run(bogus).expect_err("unknown run");
+        assert_eq!(err, DebarError::UnknownRun { run: bogus });
+        let err = c
+            .restore_run(RunId {
+                job: JobId(42),
+                version: 0,
+            })
+            .expect_err("unknown job's run");
+        assert!(matches!(err, DebarError::UnknownRun { .. }));
+        // The known run still restores.
+        assert_eq!(
+            c.restore_run(RunId { job, version: 0 })
+                .expect("restore")
+                .failures,
+            0
+        );
+    }
+
+    #[test]
+    fn restore_file_on_unknown_path_is_typed_error() {
+        let mut c = cluster(0);
+        let job = c.define_job("j", ClientId(0));
+        c.backup(job, &Dataset::from_records("data.bin", records(0..500)))
+            .expect("backup");
+        c.run_dedup2().expect("dedup2");
+        let run = RunId { job, version: 0 };
+        let err = c
+            .restore_file(run, "no/such/file")
+            .expect_err("unknown path");
+        assert_eq!(
+            err,
+            DebarError::UnknownPath {
+                run,
+                path: "no/such/file".into()
+            }
+        );
+        assert!(c.restore_file(run, "data.bin").is_ok());
+    }
+
+    #[test]
+    fn backup_on_unknown_job_is_typed_error() {
+        let mut c = cluster(0);
+        let err = c
+            .backup(JobId(7), &Dataset::from_records("s", records(0..10)))
+            .expect_err("unknown job");
+        assert_eq!(err, DebarError::UnknownJob { job: JobId(7) });
+    }
+
+    #[test]
+    fn scale_out_on_staged_state_is_typed_error() {
+        let mut c = cluster(0);
+        let job = c.define_job("j", ClientId(0));
+        c.backup(job, &Dataset::from_records("s", records(0..500)))
+            .expect("backup");
+        // Undetermined fingerprints staged, no dedup-2 yet.
+        let err = c.scale_out().expect_err("not quiesced");
+        assert_eq!(err, DebarError::NotQuiesced { server: 0 });
+        c.run_dedup2().expect("dedup2");
+        c.force_siu().expect("siu");
+        assert!(c.scale_out().is_ok());
+    }
+
+    #[test]
+    fn corrupt_container_detected_on_restore_verify_and_recovery() {
+        use debar_store::Damage;
+        let mut c = cluster(0);
+        let job = c.define_job("j", ClientId(0));
+        let recs = records(0..2500);
+        c.backup(job, &Dataset::from_records("s", recs))
+            .expect("backup");
+        c.run_dedup2().expect("dedup2");
+        let run = RunId { job, version: 0 };
+        let target = c.repository().container_ids()[0];
+        assert!(c.corrupt_container(target, Damage::BitFlip));
+        // Strict restore fails fast with the typed error...
+        let err = c.restore_run(run).expect_err("corruption detected");
+        assert!(
+            matches!(err, DebarError::CorruptContainer { container, .. } if container == target),
+            "{err}"
+        );
+        // ...the verify audit counts the problem and keeps going...
+        let v = c.verify_run(run).expect("verify walks the whole run");
+        assert!(v.failures > 0, "audit must count the corrupt chunks");
+        // ...and the §4.1 recovery rebuild detects it instead of silently
+        // rebuilding from garbage.
+        let err = c.recover_index(0).expect_err("rebuild detects corruption");
+        assert!(
+            matches!(err, DebarError::CorruptContainer { container, .. } if container == target),
+            "{err}"
+        );
+        // Repair, then everything converges again.
+        assert!(c.repair_container(target));
+        c.recover_index(0).expect("rebuild after repair");
+        let r = c.restore_run(run).expect("restore after repair");
+        assert_eq!(r.failures, 0);
+    }
+
+    #[test]
+    fn torn_container_write_detected_on_restore() {
+        use debar_simio::FaultPlan;
+        let mut c = cluster(0);
+        let job = c.define_job("j", ClientId(0));
+        // Tear whichever node takes the first container write.
+        for n in 0..c.repository().node_count() {
+            c.set_repo_fault_plan(n, FaultPlan::torn_write_at(c.repo_node_ops(n)));
+        }
+        c.backup(job, &Dataset::from_records("s", records(0..1500)))
+            .expect("backup");
+        // The torn write is silent: the round completes...
+        c.run_dedup2().expect("torn write is silent at store time");
+        c.clear_fault_plans();
+        // ...but the restore detects the damage via the checksum trailer.
+        let err = c
+            .restore_run(RunId { job, version: 0 })
+            .expect_err("torn container detected");
+        assert!(matches!(err, DebarError::CorruptContainer { .. }), "{err}");
+    }
+
+    #[test]
+    fn interrupted_chunk_storing_resumes_byte_identically() {
+        use debar_simio::FaultPlan;
+        let drive = |fault: bool| {
+            let mut c = cluster(0);
+            let job = c.define_job("j", ClientId(0));
+            c.backup(job, &Dataset::from_records("s", records(0..3000)))
+                .expect("backup");
+            if fault {
+                // Fail whichever node takes the first container write.
+                for n in 0..c.repository().node_count() {
+                    c.set_repo_fault_plan(n, FaultPlan::fail_at(c.repo_node_ops(n)));
+                }
+                let err = c.run_dedup2().expect_err("store fault interrupts");
+                assert!(
+                    matches!(
+                        &err,
+                        DebarError::InterruptedDedup2 {
+                            phase: Dedup2Phase::ChunkStoring,
+                            round: 1,
+                            ..
+                        }
+                    ),
+                    "{err}"
+                );
+                c.clear_fault_plans();
+            }
+            let d2 = c.run_dedup2().expect("(re)run");
+            assert_eq!(d2.round, 1, "interrupted round is re-run, not skipped");
+            c
+        };
+        let clean = drive(false);
+        let mut resumed = drive(true);
+        assert_eq!(
+            Sha1::digest(resumed.server(0).index().raw_data()),
+            Sha1::digest(clean.server(0).index().raw_data()),
+            "index parts must converge byte-identically"
+        );
+        assert_eq!(resumed.index_entries(), clean.index_entries());
+        assert_eq!(
+            resumed.repository().stats().containers,
+            clean.repository().stats().containers,
+            "same container IDs: a failed write consumes no ID"
+        );
+        let r = resumed
+            .restore_run(RunId {
+                job: JobId(0),
+                version: 0,
+            })
+            .expect("restore");
+        assert_eq!(r.failures, 0);
+        assert_eq!(r.chunks, 3000);
+    }
+
+    #[test]
+    fn mid_store_interruption_keeps_durable_prefix_and_its_statistics() {
+        use debar_simio::FaultPlan;
+        // Fail node 0's *second* container write: a durable prefix exists
+        // before the fault, unlike the first-write crash above.
+        let drive = |fault: bool| {
+            let mut c = cluster(0);
+            let job = c.define_job("j", ClientId(0));
+            c.backup(job, &Dataset::from_records("s", records(0..3000)))
+                .expect("backup");
+            let mut stored_chunks = 0u64;
+            let mut containers = 0u64;
+            if fault {
+                c.set_repo_fault_plan(0, FaultPlan::fail_at(c.repo_node_ops(0) + 1));
+                let err = c.run_dedup2().expect_err("second write faults");
+                assert!(matches!(
+                    err,
+                    DebarError::InterruptedDedup2 {
+                        phase: Dedup2Phase::ChunkStoring,
+                        ..
+                    }
+                ));
+                c.clear_fault_plans();
+            }
+            let d2 = c.run_dedup2().expect("(re)run");
+            stored_chunks += d2.store.stored_chunks;
+            containers += d2.store.containers;
+            (c, stored_chunks, containers)
+        };
+        let (clean, clean_chunks, clean_containers) = drive(false);
+        let (mut resumed, resumed_chunks, resumed_containers) = drive(true);
+        // The resumed round's report folds in the durable prefix, so the
+        // totals match an uninterrupted history exactly.
+        assert_eq!(resumed_chunks, clean_chunks, "stored-chunk accounting");
+        assert_eq!(resumed_containers, clean_containers, "container count");
+        assert_eq!(
+            Sha1::digest(resumed.server(0).index().raw_data()),
+            Sha1::digest(clean.server(0).index().raw_data())
+        );
+        let r = resumed
+            .restore_run(RunId {
+                job: JobId(0),
+                version: 0,
+            })
+            .expect("restore");
+        assert_eq!(r.failures, 0);
+        assert_eq!(r.chunks, 3000);
+    }
+
+    #[test]
+    fn interrupted_sil_restores_undetermined_and_resumes() {
+        use debar_simio::FaultPlan;
+        let drive = |fault: bool| {
+            let mut c = cluster(0);
+            let job = c.define_job("j", ClientId(0));
+            c.backup(job, &Dataset::from_records("s", records(0..2000)))
+                .expect("backup");
+            if fault {
+                let ops = c.index_disk_ops(0);
+                c.set_index_fault_plan(0, FaultPlan::fail_at(ops));
+                let before = c.undetermined_counts();
+                let err = c.run_dedup2().expect_err("SIL fault interrupts");
+                assert!(
+                    matches!(
+                        &err,
+                        DebarError::InterruptedDedup2 {
+                            phase: Dedup2Phase::Sil,
+                            ..
+                        }
+                    ),
+                    "{err}"
+                );
+                assert_eq!(
+                    c.undetermined_counts(),
+                    before,
+                    "undetermined fingerprints restored for the re-run"
+                );
+                c.clear_fault_plans();
+            }
+            c.run_dedup2().expect("(re)run");
+            c
+        };
+        let clean = drive(false);
+        let resumed = drive(true);
+        assert_eq!(
+            Sha1::digest(resumed.server(0).index().raw_data()),
+            Sha1::digest(clean.server(0).index().raw_data())
+        );
+        assert_eq!(
+            resumed.repository().stats().containers,
+            clean.repository().stats().containers
+        );
+    }
+
+    #[test]
+    fn partial_siu_redo_converges_byte_identically() {
+        use debar_simio::FaultPlan;
+        let drive = |fault: bool| {
+            let mut c = DebarCluster::new(DebarConfig {
+                siu_interval: 2, // round 1 defers SIU: force_siu does the work
+                ..DebarConfig::tiny_test(0)
+            });
+            let job = c.define_job("j", ClientId(0));
+            c.backup(job, &Dataset::from_records("s", records(0..2000)))
+                .expect("backup");
+            let d1 = c.run_dedup2().expect("dedup2");
+            assert!(!d1.siu_ran);
+            if fault {
+                let ops = c.index_disk_ops(0);
+                c.set_index_fault_plan(0, FaultPlan::torn_write_at(ops + 1));
+                let err = c.force_siu().expect_err("torn SIU");
+                let DebarError::PartialSiu {
+                    server: 0,
+                    applied,
+                    total,
+                    ..
+                } = err
+                else {
+                    panic!("expected PartialSiu, got {err:?}");
+                };
+                assert_eq!(total, 2000);
+                assert_eq!(applied, 1000, "half the canonical batch durable");
+                c.clear_fault_plans();
+            }
+            c.force_siu().expect("siu");
+            c
+        };
+        let clean = drive(false);
+        let mut resumed = drive(true);
+        assert_eq!(
+            Sha1::digest(resumed.server(0).index().raw_data()),
+            Sha1::digest(clean.server(0).index().raw_data()),
+            "partial SIU redo must converge byte-identically"
+        );
+        assert_eq!(resumed.index_entries(), 2000);
+        let r = resumed
+            .restore_run(RunId {
+                job: JobId(0),
+                version: 0,
+            })
+            .expect("restore");
+        assert_eq!(r.failures, 0);
+    }
+
+    #[test]
     fn deterministic_across_runs() {
         let run = || {
             let mut c = cluster(2);
             let job = c.define_job("j", ClientId(0));
-            c.backup(job, &Dataset::from_records("s", records(0..2500)));
-            let d = c.run_dedup2();
+            c.backup(job, &Dataset::from_records("s", records(0..2500)))
+                .expect("backup");
+            let d = c.run_dedup2().expect("dedup2");
             (
                 d.store.stored_chunks,
                 d.total_wall(),

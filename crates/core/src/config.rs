@@ -192,26 +192,84 @@ impl DebarConfig {
         self.w_bits + self.index_part_params().n_bits
     }
 
+    /// Validate invariants, returning the typed
+    /// [`DebarError::IndexGeometry`] on inconsistency.
+    pub fn try_validate(&self) -> Result<(), crate::error::DebarError> {
+        let geometry = |reason: String| crate::error::DebarError::IndexGeometry { reason };
+        if self.w_bits > 8 {
+            return Err(geometry(format!(
+                "w_bits {} exceeds the 8-bit routing prefix (at most 256 servers)",
+                self.w_bits
+            )));
+        }
+        // Pre-check the part geometry `IndexParams` would assert on, so a
+        // bad configuration surfaces as a typed error, not a panic.
+        if self.bucket_bytes == 0 {
+            return Err(geometry("bucket size must be positive".into()));
+        }
+        if self.index_part_bytes == 0
+            || !self
+                .index_part_bytes
+                .is_multiple_of(self.bucket_bytes as u64)
+        {
+            return Err(geometry(format!(
+                "index part ({} B) must be a positive multiple of the bucket size ({} B)",
+                self.index_part_bytes, self.bucket_bytes
+            )));
+        }
+        let buckets = self.index_part_bytes / self.bucket_bytes as u64;
+        if !buckets.is_power_of_two() {
+            return Err(geometry(format!(
+                "bucket count {buckets} must be a power of two"
+            )));
+        }
+        let n_bits = buckets.trailing_zeros();
+        if !(1..=40).contains(&n_bits) {
+            return Err(geometry(format!(
+                "bucket bits {n_bits} outside the supported 1..=40 range"
+            )));
+        }
+        if self.bucket_bytes < 512 || !self.bucket_bytes.is_multiple_of(512) {
+            return Err(geometry(format!(
+                "bucket size {} must be a positive multiple of the 512-byte entry block",
+                self.bucket_bytes
+            )));
+        }
+        if self.cache_bytes < debar_simio::models::paper::CACHE_BYTES_PER_FP {
+            return Err(geometry("index cache smaller than one fingerprint".into()));
+        }
+        if self.container_bytes == 0 {
+            return Err(geometry("container size must be positive".into()));
+        }
+        if self.repo_nodes == 0 {
+            return Err(geometry("repository needs at least one node".into()));
+        }
+        if self.siu_interval < 1 {
+            return Err(geometry("siu_interval must be at least 1".into()));
+        }
+        if self.sweep_parts < 1 {
+            return Err(geometry("sweeps need at least one partition".into()));
+        }
+        let buckets = self.index_part_params().buckets();
+        if self.sweep_parts as u64 > buckets {
+            return Err(geometry(format!(
+                "sweep_parts ({}) exceeds the {} buckets of one index part; \
+                 a sweep partition needs at least one bucket",
+                self.sweep_parts, buckets
+            )));
+        }
+        Ok(())
+    }
+
     /// Validate invariants.
     ///
     /// # Panics
-    /// Panics on inconsistent geometry.
+    /// Panics on inconsistent geometry (see [`DebarConfig::try_validate`]
+    /// for the fallible form).
     pub fn validate(&self) {
-        assert!(self.w_bits <= 8, "at most 256 servers");
-        let _ = self.index_part_params();
-        assert!(self.cache_fps() >= 1);
-        assert!(self.container_bytes > 0);
-        assert!(self.repo_nodes > 0);
-        assert!(self.siu_interval >= 1);
-        assert!(self.sweep_parts >= 1, "sweeps need at least one partition");
-        let buckets = self.index_part_params().buckets();
-        assert!(
-            self.sweep_parts as u64 <= buckets,
-            "sweep_parts ({}) exceeds the {} buckets of one index part; \
-             a sweep partition needs at least one bucket",
-            self.sweep_parts,
-            buckets
-        );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -253,6 +311,49 @@ mod tests {
         assert_eq!(striped.index_part_bytes, plain.index_part_bytes);
         assert_eq!(striped.bucket_bytes, plain.bucket_bytes);
         striped.validate();
+    }
+
+    #[test]
+    fn try_validate_returns_typed_geometry_errors() {
+        use crate::error::DebarError;
+        let geom = |cfg: DebarConfig| match cfg.try_validate() {
+            Err(DebarError::IndexGeometry { reason }) => reason,
+            other => panic!("expected IndexGeometry, got {other:?}"),
+        };
+        let base = DebarConfig::tiny_test(0);
+        assert!(base.try_validate().is_ok());
+        // Every arm that used to be an assert deep inside IndexParams now
+        // surfaces as a typed error from the fallible validator.
+        let r = geom(DebarConfig {
+            bucket_bytes: 0,
+            ..base
+        });
+        assert!(r.contains("bucket size"), "{r}");
+        let r = geom(DebarConfig {
+            index_part_bytes: 1000,
+            ..base
+        });
+        assert!(r.contains("multiple"), "{r}");
+        let r = geom(DebarConfig {
+            index_part_bytes: 3 * 512,
+            ..base
+        });
+        assert!(r.contains("power of two"), "{r}");
+        let r = geom(DebarConfig {
+            bucket_bytes: 100,
+            index_part_bytes: 6400,
+            ..base
+        });
+        assert!(r.contains("512"), "{r}");
+        let r = geom(DebarConfig { w_bits: 9, ..base });
+        assert!(r.contains("routing prefix"), "{r}");
+        let r = geom(DebarConfig {
+            cache_bytes: 8,
+            ..base
+        });
+        assert!(r.contains("cache"), "{r}");
+        let r = geom(base.with_sweep_parts(100_000));
+        assert!(r.contains("exceeds"), "{r}");
     }
 
     #[test]

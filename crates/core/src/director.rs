@@ -93,14 +93,24 @@ impl Director {
                 .any(|&u| u >= self.policy.dedup2_trigger_fps)
     }
 
-    /// Record the start of a dedup-2 round; returns `(round, run_siu_now)`.
-    pub fn begin_dedup2(&mut self) -> (u32, bool) {
+    /// Peek the next dedup-2 round without committing it: `(round,
+    /// run_siu_now)`. The cluster commits the round only when it
+    /// *completes* ([`Director::commit_dedup2`]) — an interrupted round is
+    /// re-run under the same round number, so the asynchronous-SIU
+    /// schedule (and therefore the final index bytes) are identical to an
+    /// uninterrupted history.
+    pub fn peek_dedup2(&self) -> (u32, bool) {
+        let round = self.dedup2_rounds + 1;
+        let run_siu = round.is_multiple_of(self.policy.siu_interval);
+        (round, run_siu)
+    }
+
+    /// Commit a completed dedup-2 round (see [`Director::peek_dedup2`]).
+    pub fn commit_dedup2(&mut self) {
         self.dedup2_rounds += 1;
         for b in &mut self.assigned_bytes {
             *b = 0;
         }
-        let run_siu = self.dedup2_rounds.is_multiple_of(self.policy.siu_interval);
-        (self.dedup2_rounds, run_siu)
     }
 
     /// Dedup-2 rounds completed or in flight.
@@ -172,10 +182,14 @@ mod tests {
         let mut d = Director::new(&cfg(0));
         let mut siu_flags = Vec::new();
         for _ in 0..6 {
-            let (_, siu) = d.begin_dedup2();
+            let (_, siu) = d.peek_dedup2();
+            d.commit_dedup2();
             siu_flags.push(siu);
         }
         assert_eq!(siu_flags, vec![false, false, true, false, false, true]);
+        // An uncommitted (interrupted) round does not advance the
+        // schedule: peeking is idempotent.
+        assert_eq!(d.peek_dedup2(), d.peek_dedup2());
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! The DEBAR error taxonomy: every fallible public operation across the
+//! stack returns `Result<T, `[`DebarError`]`>`.
+//!
+//! Lower layers carry their own typed errors
+//! ([`debar_store::StoreError`], [`debar_index::IndexError`]) and convert
+//! into [`DebarError`] at the cluster boundary, so a fault injected on a
+//! simulated disk three crates down surfaces to the caller as one typed,
+//! matchable value — never a panic. See the crate-level "Failure model &
+//! error taxonomy" section for the full contract, including which errors
+//! are *resumable* (re-running the failed operation converges to the
+//! uninterrupted result).
+
+use crate::ids::{JobId, RunId, ServerId};
+use debar_hash::{ContainerId, Fingerprint};
+use debar_index::IndexError;
+use debar_simio::InjectedFault;
+use debar_store::{CorruptKind, StoreError};
+use std::fmt;
+
+/// Result alias for fallible DEBAR operations.
+pub type DebarResult<T> = Result<T, DebarError>;
+
+/// The dedup-2 phase an interruption occurred in (paper Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dedup2Phase {
+    /// Parallel sequential index lookup (§5.2).
+    Sil,
+    /// Chunk storing (§5.3).
+    ChunkStoring,
+}
+
+impl fmt::Display for Dedup2Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dedup2Phase::Sil => write!(f, "PSIL"),
+            Dedup2Phase::ChunkStoring => write!(f, "chunk storing"),
+        }
+    }
+}
+
+/// A typed DEBAR failure.
+///
+/// The enum is `non_exhaustive`: new failure kinds may be added without a
+/// breaking change, so downstream matches need a wildcard arm.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq)]
+pub enum DebarError {
+    /// A container's persisted bytes failed validation (checksum trailer,
+    /// magic, version, structural bounds, or a chunk payload that no
+    /// longer hashes back to its fingerprint).
+    CorruptContainer {
+        /// The corrupt container.
+        container: ContainerId,
+        /// What the validation found.
+        reason: CorruptKind,
+    },
+    /// A simulated disk operation failed outright.
+    DiskFault {
+        /// The injected fault that fired.
+        fault: InjectedFault,
+    },
+    /// A chunk referenced by a file index could not be resolved or read.
+    MissingChunk {
+        /// The unresolvable fingerprint.
+        fp: Fingerprint,
+        /// The container the index mapped it to, if resolution succeeded.
+        container: Option<ContainerId>,
+    },
+    /// A container listed or referenced by metadata does not exist.
+    MissingContainer {
+        /// The absent container.
+        container: ContainerId,
+    },
+    /// The run is not recorded in the director's metadata.
+    UnknownRun {
+        /// The unknown run.
+        run: RunId,
+    },
+    /// The run exists but holds no file at the given path.
+    UnknownPath {
+        /// The run searched.
+        run: RunId,
+        /// The path that matched no file index.
+        path: String,
+    },
+    /// The job is not registered with the director.
+    UnknownJob {
+        /// The unknown job.
+        job: JobId,
+    },
+    /// A deployment configuration's index geometry is inconsistent.
+    IndexGeometry {
+        /// What the validation found.
+        reason: String,
+    },
+    /// A dedup-2 round was interrupted mid-phase by a fault. **Resumable:**
+    /// the cluster rolled the round back to a crash-consistent state
+    /// (undetermined fingerprints restored, chunk-log records re-queued,
+    /// storage decisions carried over, the round not committed); calling
+    /// `run_dedup2` again re-runs the same round and converges to the
+    /// byte-identical result of an uninterrupted run.
+    InterruptedDedup2 {
+        /// The (uncommitted) round number.
+        round: u32,
+        /// The phase the fault fired in.
+        phase: Dedup2Phase,
+        /// The server whose device faulted.
+        server: ServerId,
+        /// The underlying failure.
+        cause: Box<DebarError>,
+    },
+    /// A sequential index update was interrupted; only the first `applied`
+    /// of `total` canonical updates are durable. **Resumable:** the
+    /// server keeps its pending updates and checking file; re-running SIU
+    /// (`force_siu` or the next dedup-2 round) re-applies the whole batch
+    /// idempotently and converges byte-for-byte.
+    PartialSiu {
+        /// The server whose index-part update was interrupted.
+        server: ServerId,
+        /// Updates durable before the interruption (canonical order).
+        applied: u64,
+        /// Updates in the interrupted batch.
+        total: u64,
+        /// The injected fault that fired.
+        fault: InjectedFault,
+    },
+    /// Online scaling was requested while a server still holds staged
+    /// dedup-2 state (run dedup-2 and `force_siu` first).
+    NotQuiesced {
+        /// The first non-quiesced server.
+        server: ServerId,
+    },
+}
+
+impl fmt::Display for DebarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DebarError::CorruptContainer { container, reason } => {
+                write!(f, "container {container:?} is corrupt: {reason}")
+            }
+            DebarError::DiskFault { fault } => write!(f, "disk fault: {fault}"),
+            DebarError::MissingChunk { fp, container } => match container {
+                Some(cid) => write!(f, "chunk {fp:?} missing from container {cid:?}"),
+                None => write!(f, "chunk {fp:?} is not resolvable in any index part"),
+            },
+            DebarError::MissingContainer { container } => {
+                write!(f, "container {container:?} does not exist")
+            }
+            DebarError::UnknownRun { run } => write!(f, "unknown run {run}"),
+            DebarError::UnknownPath { run, path } => {
+                write!(f, "run {run} holds no file at path {path:?}")
+            }
+            DebarError::UnknownJob { job } => write!(f, "unknown job {job:?}"),
+            DebarError::IndexGeometry { reason } => {
+                write!(f, "inconsistent index geometry: {reason}")
+            }
+            DebarError::InterruptedDedup2 {
+                round,
+                phase,
+                server,
+                cause,
+            } => write!(
+                f,
+                "dedup-2 round {round} interrupted in {phase} on server {server}: {cause} \
+                 (re-run dedup-2 to resume)"
+            ),
+            DebarError::PartialSiu {
+                server,
+                applied,
+                total,
+                fault,
+            } => write!(
+                f,
+                "SIU on server {server} interrupted after {applied}/{total} updates: {fault} \
+                 (re-run SIU to resume)"
+            ),
+            DebarError::NotQuiesced { server } => write!(
+                f,
+                "server {server} holds staged dedup-2 state; run dedup-2 + force_siu before scaling"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DebarError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DebarError::InterruptedDedup2 { cause, .. } => Some(cause.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for DebarError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::CorruptContainer { container, reason } => {
+                DebarError::CorruptContainer { container, reason }
+            }
+            StoreError::DiskFault { fault, .. } => DebarError::DiskFault { fault },
+            StoreError::MissingContainer { container } => {
+                DebarError::MissingContainer { container }
+            }
+            // StoreError is non_exhaustive; future kinds surface as faults
+            // at op 0 rather than panicking.
+            _ => DebarError::DiskFault {
+                fault: InjectedFault {
+                    op: 0,
+                    kind: debar_simio::FaultKind::Fail,
+                },
+            },
+        }
+    }
+}
+
+impl From<IndexError> for DebarError {
+    fn from(e: IndexError) -> Self {
+        DebarError::DiskFault { fault: e.fault() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_descriptive() {
+        let e = DebarError::UnknownRun {
+            run: RunId {
+                job: JobId(3),
+                version: 1,
+            },
+        };
+        assert_eq!(e.to_string(), "unknown run job3v1");
+        let e = DebarError::UnknownPath {
+            run: RunId {
+                job: JobId(0),
+                version: 0,
+            },
+            path: "a/b".into(),
+        };
+        assert!(e.to_string().contains("a/b"));
+    }
+
+    #[test]
+    fn store_error_conversion_preserves_variants() {
+        let cid = ContainerId::new(7);
+        let e: DebarError = StoreError::MissingContainer { container: cid }.into();
+        assert_eq!(e, DebarError::MissingContainer { container: cid });
+    }
+
+    #[test]
+    fn interrupted_error_chains_its_cause() {
+        use std::error::Error;
+        let cause = DebarError::DiskFault {
+            fault: InjectedFault {
+                op: 3,
+                kind: debar_simio::FaultKind::Fail,
+            },
+        };
+        let e = DebarError::InterruptedDedup2 {
+            round: 2,
+            phase: Dedup2Phase::ChunkStoring,
+            server: 0,
+            cause: Box::new(cause),
+        };
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("re-run dedup-2"));
+    }
+}

@@ -20,6 +20,56 @@
 //! [`system::DebarSystem`] is the single-facade entry point used by the
 //! examples: define jobs, back up datasets, run dedup-2, restore and
 //! verify.
+//!
+//! # Failure model & error taxonomy
+//!
+//! Every fallible public operation returns `Result<T, `[`DebarError`]`>`
+//! — the stack has **no panicking fault paths**. Faults originate from
+//! three sources and converge on one typed taxonomy:
+//!
+//! * **Injected device faults** (`debar_simio::FaultPlan`): every
+//!   simulated disk carries a deterministic, op-indexed fault schedule
+//!   (outright failure, torn write, bit flip). Arm them per repository
+//!   node ([`DebarCluster::set_repo_fault_plan`]) or per index part-disk
+//!   ([`DebarCluster::set_index_fault_plan`]).
+//! * **Persisted corruption**: containers are serialized with a versioned
+//!   magic byte and a SHA-1 checksum trailer; torn writes and bit rot are
+//!   *detected* on every read path — restore, verify, LPC prefetch and
+//!   the §4.1 recovery rebuild — as [`DebarError::CorruptContainer`],
+//!   never silently read. [`DebarCluster::corrupt_container`] injects
+//!   damage directly against a stored container.
+//! * **Caller errors**: unknown jobs/runs/paths
+//!   ([`DebarError::UnknownJob`] / [`DebarError::UnknownRun`] /
+//!   [`DebarError::UnknownPath`]), inconsistent deployment geometry
+//!   ([`DebarError::IndexGeometry`], from
+//!   [`DebarConfig::try_validate`]), and scaling a non-quiesced cluster
+//!   ([`DebarError::NotQuiesced`]).
+//!
+//! Two failure kinds are **resumable** — the operation rolls back to a
+//! crash-consistent state and *re-running it converges to the
+//! byte-identical index parts and restore bytes of an uninterrupted
+//! run*, for any `sweep_parts` (proven by the failure-kind scenarios in
+//! `tests/failure_kinds.rs`):
+//!
+//! * [`DebarError::InterruptedDedup2`] — a fault in PSIL restores every
+//!   origin's undetermined fingerprints in order (checking-file additions
+//!   are staged and only committed when all PSIL passes succeed); a fault
+//!   in chunk storing re-queues the non-durable chunks at the front of
+//!   the chunk log and carries the storage decisions over, while durable
+//!   container assignments still flow to SIU. The round number is only
+//!   committed on success, so the asynchronous-SIU schedule is unchanged.
+//!   Container IDs are allocated as part of the durable commit (a failed
+//!   write consumes no ID), so the resumed round stores into the same
+//!   containers an uninterrupted run would have.
+//! * [`DebarError::PartialSiu`] — an interrupted index-update sweep may
+//!   leave only a canonical-order prefix of the batch durable; the server
+//!   keeps its pending updates and checking file, and re-running SIU
+//!   re-applies the whole batch idempotently (in-place overwrites for the
+//!   prefix, same-order inserts for the rest).
+//!
+//! Verify jobs ([`DebarCluster::verify_run`]) are the auditing exception:
+//! they *count* integrity problems in [`RestoreReport::failures`] instead
+//! of aborting, because an audit must survey the entire run.
 
 pub mod chunklog;
 pub mod client;
@@ -27,6 +77,7 @@ pub mod cluster;
 pub mod config;
 pub mod dataset;
 pub mod director;
+pub mod error;
 pub mod ids;
 pub mod job;
 pub mod metadata;
@@ -37,6 +88,7 @@ pub mod system;
 pub use cluster::DebarCluster;
 pub use config::DebarConfig;
 pub use dataset::{ChunkedFile, Dataset, FileContent, FileEntry, StreamChunk};
+pub use error::{DebarError, DebarResult, Dedup2Phase};
 pub use ids::{ClientId, JobId, RunId, ServerId};
 pub use report::{Dedup1Report, Dedup2Report, RestoreReport};
 pub use system::DebarSystem;

@@ -67,9 +67,15 @@ impl MetadataManager {
     /// Look up a job.
     ///
     /// # Panics
-    /// Panics on an unknown ID.
+    /// Panics on an unknown ID (see [`MetadataManager::try_job`] for the
+    /// fallible form).
     pub fn job(&self, id: JobId) -> &JobObject {
         &self.jobs[id.0 as usize]
+    }
+
+    /// Look up a job, `None` on an unknown ID.
+    pub fn try_job(&self, id: JobId) -> Option<&JobObject> {
+        self.jobs.get(id.0 as usize)
     }
 
     /// All jobs.

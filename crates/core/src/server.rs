@@ -17,15 +17,16 @@
 use crate::chunklog::{ChunkLog, LogRecord};
 use crate::config::DebarConfig;
 use crate::dataset::ChunkedFile;
+use crate::error::DebarError;
 use crate::ids::{ClientId, RunId, ServerId};
 use crate::metadata::{FileIndexEntry, RunRecord};
 use crate::report::{Dedup1Report, StoreReport};
 use debar_filter::{FilterVerdict, PrelimFilter};
 use debar_hash::{ContainerId, Fingerprint};
-use debar_index::{DiskIndex, IndexCache, SiuReport};
+use debar_index::{DiskIndex, IndexCache, IndexError, SiuReport};
 use debar_simio::models::paper;
-use debar_simio::{Secs, SimCpu, SimLink, VirtualClock};
-use debar_store::{ChunkRepository, Container, ContainerManager, LpcCache};
+use debar_simio::{FaultPlan, Secs, SimCpu, SimLink, VirtualClock};
+use debar_store::{ChunkRepository, Container, ContainerManager, LpcCache, Payload};
 use std::collections::{HashMap, HashSet};
 
 /// Per-origin storage decision for a fingerprint this origin submitted.
@@ -64,6 +65,24 @@ pub struct SilPartOutput {
     pub verdicts: Vec<Vec<(Fingerprint, Decision)>>,
     /// Pass statistics.
     pub stats: SilPartStats,
+    /// Fingerprints this pass designated for storage, to be added to the
+    /// checking file **only after every server's PSIL succeeds** (staged
+    /// so an interrupted round leaves no stale checking entries that
+    /// would suppress the re-run's stores).
+    pub newly_checking: Vec<Fingerprint>,
+}
+
+/// Outcome of one server's chunk-storing pass (§5.3). `fault` is `Some`
+/// when the pass was interrupted: `report`/`assigned` then cover only the
+/// durably stored prefix, the rest of the log was re-queued and the
+/// storage decisions carried over for the resumed round.
+pub struct StoreOutcome {
+    /// Storage statistics for the durable part of the pass.
+    pub report: StoreReport,
+    /// Durable `(fingerprint, container)` assignments awaiting SIU.
+    pub assigned: Vec<(Fingerprint, ContainerId)>,
+    /// The interruption, if the pass faulted.
+    pub fault: Option<DebarError>,
 }
 
 /// A DEBAR backup server.
@@ -84,6 +103,11 @@ pub struct BackupServer {
     /// The unregistered fingerprint file: fp → container mappings awaiting
     /// SIU on this part.
     pending_updates: Vec<(Fingerprint, ContainerId)>,
+    /// Storage decisions carried over from an interrupted chunk-storing
+    /// phase: the chunk log still holds the matching records (re-queued at
+    /// crash rollback), and the resumed round's [`BackupServer::store_chunks`]
+    /// merges these ahead of the new round's verdicts.
+    carryover: HashMap<Fingerprint, Decision>,
     /// LPC read cache (fingerprint side).
     pub(crate) lpc: LpcCache,
     /// Payload side of the LPC: resident containers for chunk extraction.
@@ -133,10 +157,26 @@ impl BackupServer {
             ),
             checking: HashSet::new(),
             pending_updates: Vec::new(),
+            carryover: HashMap::new(),
             lpc: LpcCache::new(cfg.lpc_containers),
             container_cache: HashMap::new(),
             cfg,
         }
+    }
+
+    /// Arm a deterministic fault schedule on this server's index disk.
+    pub fn set_index_fault_plan(&mut self, plan: FaultPlan) {
+        self.index.set_fault_plan(plan);
+    }
+
+    /// Disarm this server's index-disk faults.
+    pub fn clear_index_fault_plan(&mut self) {
+        self.index.clear_fault_plan();
+    }
+
+    /// The index disk's op counter (for arming fault plans).
+    pub fn index_disk_ops(&self) -> u64 {
+        self.index.disk_ops()
     }
 
     /// Undetermined fingerprints accumulated since the last dedup-2.
@@ -277,14 +317,21 @@ impl BackupServer {
     /// file suppresses re-stores of chunks whose SIU is still pending, and
     /// the lowest origin is designated storer when several submit the same
     /// new fingerprint in one round (§5.4).
+    /// Fault-aware: an injected fault on the index disk aborts the pass
+    /// with a typed error and **no state change** — the checking-file
+    /// additions are staged in the returned [`SilPartOutput`] and
+    /// committed by the cluster only once every server's PSIL succeeds,
+    /// so an interrupted round can be re-run verbatim.
     pub fn sil_on_part(
         &mut self,
         batch: &[(Fingerprint, ServerId)],
         servers: usize,
-    ) -> SilPartOutput {
+    ) -> Result<SilPartOutput, DebarError> {
         let mut verdicts: Vec<Vec<(Fingerprint, Decision)>> = vec![Vec::new(); servers];
         let mut stats = SilPartStats::default();
         let cache_cap = self.cfg.cache_fps();
+        let mut newly_checking: Vec<Fingerprint> = Vec::new();
+        let mut staged: HashSet<Fingerprint> = HashSet::new();
 
         for sub in batch.chunks(cache_cap.max(1)) {
             stats.sweeps += 1;
@@ -295,7 +342,8 @@ impl BackupServer {
             }
             let t = self
                 .index
-                .sequential_lookup_sharded(&mut cache, self.cfg.sweep_parts);
+                .try_sequential_lookup_sharded(&mut cache, self.cfg.sweep_parts)
+                .map_err(DebarError::from)?;
             let sil = self.clock.charge(t);
             stats.parts = stats.parts.max(sil.parts);
             for node in &sil.duplicates {
@@ -305,15 +353,17 @@ impl BackupServer {
                 }
             }
             for node in cache.drain() {
-                if self.checking.contains(&node.fp) {
-                    // Scheduled by an earlier SIL; its SIU is pending.
+                if self.checking.contains(&node.fp) || staged.contains(&node.fp) {
+                    // Scheduled by an earlier SIL (or sub-batch); its SIU
+                    // is pending.
                     stats.dup_pending += node.origins.len() as u64;
                     for &origin in &node.origins {
                         verdicts[origin as usize].push((node.fp, Decision::Skip));
                     }
                     continue;
                 }
-                self.checking.insert(node.fp);
+                staged.insert(node.fp);
+                newly_checking.push(node.fp);
                 stats.new_fps += 1;
                 let storer = node.storer().expect("node has at least one origin");
                 for &origin in &node.origins {
@@ -329,18 +379,62 @@ impl BackupServer {
                 }
             }
         }
-        SilPartOutput { verdicts, stats }
+        Ok(SilPartOutput {
+            verdicts,
+            stats,
+            newly_checking,
+        })
+    }
+
+    /// Commit a successful PSIL pass's staged checking-file additions
+    /// (cluster-driven, after *all* servers' passes succeeded).
+    pub(crate) fn commit_checking(&mut self, fps: &[Fingerprint]) {
+        self.checking.extend(fps.iter().copied());
+    }
+
+    /// Restore undetermined fingerprints after an interrupted round (exact
+    /// original order — sub-batch boundaries must reproduce on re-run).
+    pub(crate) fn restore_undetermined(&mut self, mut fps: Vec<Fingerprint>) {
+        fps.append(&mut self.undetermined);
+        self.undetermined = fps;
+    }
+
+    /// Carry storage decisions over to the next round without draining
+    /// the log (this server's chunk-storing never ran because an earlier
+    /// server's pass faulted in the same bulk-synchronous phase).
+    pub(crate) fn stash_carryover(&mut self, decisions: &HashMap<Fingerprint, Decision>) {
+        for (&fp, &d) in decisions {
+            merge_decision(&mut self.carryover, fp, d);
+        }
     }
 
     /// Chunk storing (§5.3): drain the chunk log sequentially and write the
     /// chunks this server was designated to store into SISL containers,
-    /// submitting sealed containers to the repository. Returns the
-    /// report and the `(fp, container)` pairs for SIU registration.
+    /// submitting sealed containers to the repository.
+    ///
+    /// Crash-consistent: when a container write faults, the chunks of the
+    /// failed container, the unsealed open container and the undrained log
+    /// tail are re-queued at the front of the chunk log (a log read
+    /// pointer that never advanced), the remaining storage decisions are
+    /// carried over, and [`StoreOutcome::fault`] reports the interruption.
+    /// The durable prefix's assignments still flow to SIU; re-running the
+    /// round stores the re-queued chunks into the *same* container IDs an
+    /// uninterrupted run would have used.
     pub fn store_chunks(
         &mut self,
         decisions: &HashMap<Fingerprint, Decision>,
         repo: &mut ChunkRepository,
-    ) -> (StoreReport, Vec<(Fingerprint, ContainerId)>) {
+    ) -> StoreOutcome {
+        // Merge decisions carried over from an interrupted round; a Store
+        // designation is binding and never downgraded.
+        let mut decisions = {
+            let mut merged = std::mem::take(&mut self.carryover);
+            for (&fp, &d) in decisions {
+                merge_decision(&mut merged, fp, d);
+            }
+            merged
+        };
+
         let start = self.clock.now();
         let t = self.chunk_log.drain();
         let log_bytes = t.value.iter().map(|r| r.record_bytes()).sum();
@@ -359,8 +453,11 @@ impl BackupServer {
         // behind the log drain (the paper measures chunk storing at exactly
         // the log's sustained read rate, §6.1.2); only the excess stalls.
         let mut store_cost: Secs = 0.0;
+        let mut fault: Option<(DebarError, Vec<(Fingerprint, Payload)>)> = None;
+        let mut next = 0usize;
 
-        for rec in records {
+        while next < records.len() {
+            let rec = &records[next];
             let c = self.cpu.probe_fps(1);
             self.clock.advance(c);
             let store_it = matches!(decisions.get(&rec.fp), Some(Decision::Store))
@@ -368,22 +465,68 @@ impl BackupServer {
                 && !stored.contains(&rec.fp);
             if !store_it {
                 report.discarded += 1;
+                next += 1;
                 continue;
             }
             report.stored_chunks += 1;
             report.stored_bytes += rec.payload.len();
-            if let Some(sealed) = manager.append(rec.fp, rec.payload) {
-                store_cost +=
-                    self.submit_container(sealed, repo, &mut open, &mut stored, &mut assigned);
-                report.containers += 1;
+            next += 1;
+            if let Some(sealed) = manager.append(rec.fp, rec.payload.clone()) {
+                match self.submit_container(sealed, repo, &mut open, &mut stored, &mut assigned) {
+                    Ok(cost) => {
+                        store_cost += cost;
+                        report.containers += 1;
+                    }
+                    Err((e, torn)) => {
+                        fault = Some((e, torn));
+                        break;
+                    }
+                }
             }
             open.insert(rec.fp);
         }
-        if let Some(sealed) = manager.flush() {
-            store_cost +=
-                self.submit_container(sealed, repo, &mut open, &mut stored, &mut assigned);
-            report.containers += 1;
+        if fault.is_none() {
+            if let Some(sealed) = manager.flush() {
+                match self.submit_container(sealed, repo, &mut open, &mut stored, &mut assigned) {
+                    Ok(cost) => {
+                        store_cost += cost;
+                        report.containers += 1;
+                    }
+                    Err((e, torn)) => fault = Some((e, torn)),
+                }
+            }
         }
+
+        let fault = match fault {
+            None => {
+                debug_assert!(open.is_empty(), "all open chunks must be sealed");
+                None
+            }
+            Some((e, failed_chunks)) => {
+                // Crash rollback. Stream order of the lost chunks:
+                // failed-container chunks, then the open container's,
+                // then the undrained log tail.
+                let mut requeue: Vec<LogRecord> = Vec::new();
+                for (fp, payload) in failed_chunks.into_iter().chain(manager.take_open()) {
+                    report.stored_chunks -= 1;
+                    report.stored_bytes -= payload.len();
+                    requeue.push(LogRecord { fp, payload });
+                }
+                requeue.extend(records[next..].iter().map(|r| LogRecord {
+                    fp: r.fp,
+                    payload: r.payload.clone(),
+                }));
+                self.chunk_log.requeue_front(requeue);
+                // Decisions for everything not yet durable carry over to
+                // the resumed round.
+                for fp in &stored {
+                    decisions.remove(fp);
+                }
+                self.carryover = decisions;
+                Some(e)
+            }
+        };
+
         // Round-robin placement spreads container writes over all
         // repository nodes in parallel.
         let store_path = store_cost / repo.node_count() as f64;
@@ -391,10 +534,16 @@ impl BackupServer {
         if store_path > produced {
             self.clock.advance(store_path - produced);
         }
-        debug_assert!(open.is_empty(), "all open chunks must be sealed");
-        (report, assigned)
+        StoreOutcome {
+            report,
+            assigned,
+            fault,
+        }
     }
 
+    /// Submit a sealed container; on a write fault, hand back the
+    /// container's chunks (stream order) for re-queueing.
+    #[allow(clippy::type_complexity)]
     fn submit_container(
         &mut self,
         sealed: Container,
@@ -402,16 +551,27 @@ impl BackupServer {
         open: &mut HashSet<Fingerprint>,
         stored: &mut HashSet<Fingerprint>,
         assigned: &mut Vec<(Fingerprint, ContainerId)>,
-    ) -> Secs {
-        let fps: Vec<Fingerprint> = sealed.fingerprints().collect();
+    ) -> Result<Secs, (DebarError, Vec<(Fingerprint, Payload)>)> {
+        // Cheap staging (refcounted payloads): needed back if the write
+        // faults, because `store` consumes the container.
+        let staged: Vec<(Fingerprint, Payload)> = sealed.chunks().collect();
         let t = repo.store(sealed);
-        let cid = t.value;
-        for fp in fps {
-            open.remove(&fp);
-            stored.insert(fp);
-            assigned.push((fp, cid));
+        match t.value {
+            Ok(cid) => {
+                for (fp, _) in staged {
+                    open.remove(&fp);
+                    stored.insert(fp);
+                    assigned.push((fp, cid));
+                }
+                Ok(t.cost)
+            }
+            Err(e) => {
+                for (fp, _) in &staged {
+                    open.remove(fp);
+                }
+                Err((e.into(), staged))
+            }
         }
-        t.cost
     }
 
     /// Accept unregistered fingerprints routed to this index part.
@@ -421,16 +581,43 @@ impl BackupServer {
 
     /// Sequential index update (§5.4): merge all pending `(fp, container)`
     /// mappings into this part and clear them from the checking file.
-    pub fn run_siu(&mut self) -> (SiuReport, u64) {
+    ///
+    /// Fault-aware and **redo-idempotent**: an injected index-disk fault
+    /// surfaces as [`DebarError::PartialSiu`] (possibly with a durable
+    /// canonical-order prefix applied); the pending updates and checking
+    /// file are kept, so re-running SIU re-applies the whole batch —
+    /// overwrites for the durable prefix, inserts for the rest — and
+    /// converges to the byte-identical uninterrupted index.
+    pub fn run_siu(&mut self) -> Result<(SiuReport, u64), DebarError> {
         let updates = std::mem::take(&mut self.pending_updates);
-        let t = self
+        match self
             .index
-            .sequential_update_sharded(&updates, self.cfg.sweep_parts);
-        let report = self.clock.charge(t);
-        for (fp, _) in &updates {
-            self.checking.remove(fp);
+            .try_sequential_update_sharded(&updates, self.cfg.sweep_parts)
+        {
+            Ok(t) => {
+                let report = self.clock.charge(t);
+                for (fp, _) in &updates {
+                    self.checking.remove(fp);
+                }
+                let n = updates.len() as u64;
+                Ok((report, n))
+            }
+            Err(e) => {
+                let total = updates.len() as u64;
+                let (applied, fault) = match e {
+                    IndexError::PartialSweep { applied, fault, .. } => (applied, fault),
+                    IndexError::SweepFault { fault } => (0, fault),
+                    _ => (0, e.fault()),
+                };
+                self.pending_updates = updates;
+                Err(DebarError::PartialSiu {
+                    server: self.id,
+                    applied,
+                    total,
+                    fault,
+                })
+            }
         }
-        (report, updates.len() as u64)
     }
 
     /// Whether this server still has fingerprints awaiting SIU.
@@ -458,6 +645,7 @@ impl BackupServer {
             && self.chunk_log.is_empty()
             && self.pending_updates.is_empty()
             && self.checking.is_empty()
+            && self.carryover.is_empty()
     }
 
     /// Capacity scaling (§4.1): double this server's index part in place.
@@ -491,6 +679,7 @@ impl BackupServer {
             index: part0,
             checking: HashSet::new(),
             pending_updates: Vec::new(),
+            carryover: HashMap::new(),
             lpc: LpcCache::new(new_cfg.lpc_containers),
             container_cache: HashMap::new(),
             cfg: new_cfg,
@@ -505,10 +694,23 @@ impl BackupServer {
             index: part1,
             checking: HashSet::new(),
             pending_updates: Vec::new(),
+            carryover: HashMap::new(),
             lpc: LpcCache::new(new_cfg.lpc_containers),
             container_cache: HashMap::new(),
             cfg: new_cfg,
         };
         (a, b)
     }
+}
+
+/// Merge one storage decision into a decision map: a `Store` designation
+/// is binding and must never be overwritten by a later `Skip`.
+fn merge_decision(map: &mut HashMap<Fingerprint, Decision>, fp: Fingerprint, d: Decision) {
+    map.entry(fp)
+        .and_modify(|existing| {
+            if d == Decision::Store {
+                *existing = Decision::Store;
+            }
+        })
+        .or_insert(d);
 }

@@ -3,6 +3,7 @@
 use crate::cluster::DebarCluster;
 use crate::config::DebarConfig;
 use crate::dataset::Dataset;
+use crate::error::{DebarError, DebarResult};
 use crate::ids::{ClientId, JobId, RunId};
 use crate::report::{Dedup1Report, Dedup2Report, RestoreReport};
 use debar_index::SiuReport;
@@ -38,49 +39,54 @@ impl DebarSystem {
     }
 
     /// De-duplication phase I: back up a dataset.
-    pub fn backup(&mut self, job: JobId, dataset: &Dataset) -> Dedup1Report {
+    pub fn backup(&mut self, job: JobId, dataset: &Dataset) -> DebarResult<Dedup1Report> {
         self.cluster.backup(job, dataset)
     }
 
-    /// De-duplication phase II: SIL → chunk storing → SIU.
-    pub fn dedup2(&mut self) -> Dedup2Report {
+    /// De-duplication phase II: SIL → chunk storing → SIU. An injected
+    /// fault surfaces as [`DebarError::InterruptedDedup2`] /
+    /// [`DebarError::PartialSiu`]; calling `dedup2` again resumes the
+    /// round (see [`DebarCluster::run_dedup2`]).
+    pub fn dedup2(&mut self) -> DebarResult<Dedup2Report> {
         self.cluster.run_dedup2()
     }
 
     /// Force any deferred SIU work to complete (call before restores when
     /// using asynchronous SIU).
-    pub fn finish(&mut self) -> (Vec<SiuReport>, Secs) {
+    pub fn finish(&mut self) -> DebarResult<(Vec<SiuReport>, Secs)> {
         self.cluster.force_siu()
     }
 
     /// Restore a specific run.
-    pub fn restore(&mut self, run: RunId) -> RestoreReport {
+    pub fn restore(&mut self, run: RunId) -> DebarResult<RestoreReport> {
         self.cluster.restore_run(run)
     }
 
-    /// Restore the latest run of a job.
-    ///
-    /// # Panics
-    /// Panics if the job has no completed run.
-    pub fn restore_latest(&mut self, job: JobId) -> RestoreReport {
+    /// Restore the latest run of a job ([`DebarError::UnknownRun`] when
+    /// the job has no completed run).
+    pub fn restore_latest(&mut self, job: JobId) -> DebarResult<RestoreReport> {
         let run = self
             .cluster
             .director
             .metadata
-            .job(job)
+            .try_job(job)
+            .ok_or(DebarError::UnknownJob { job })?
             .last_run()
-            .expect("job has no completed runs");
+            .ok_or(DebarError::UnknownRun {
+                run: RunId { job, version: 0 },
+            })?;
         self.cluster.restore_run(run)
     }
 
     /// Verify a run's integrity (every chunk resolvable, readable and
-    /// hash-consistent) without streaming data to a client.
-    pub fn verify(&mut self, run: RunId) -> RestoreReport {
+    /// hash-consistent) without streaming data to a client. Integrity
+    /// problems are counted in the report, not returned as errors.
+    pub fn verify(&mut self, run: RunId) -> DebarResult<RestoreReport> {
         self.cluster.verify_run(run)
     }
 
     /// Restore a single file of a run by its dataset path.
-    pub fn restore_file(&mut self, run: RunId, path: &str) -> RestoreReport {
+    pub fn restore_file(&mut self, run: RunId, path: &str) -> DebarResult<RestoreReport> {
         self.cluster.restore_file(run, path)
     }
 
@@ -106,12 +112,14 @@ mod tests {
         let mut sys = DebarSystem::new(crate::config::DebarConfig::tiny_test(0));
         let job = sys.define_job("quick", ClientId(0));
         let recs: Vec<ChunkRecord> = (0..1200).map(ChunkRecord::of_counter).collect();
-        let b = sys.backup(job, &Dataset::from_records("data", recs));
+        let b = sys
+            .backup(job, &Dataset::from_records("data", recs))
+            .expect("backup");
         assert_eq!(b.logical_chunks, 1200);
-        let d = sys.dedup2();
+        let d = sys.dedup2().expect("dedup2");
         assert_eq!(d.store.stored_chunks, 1200);
-        sys.finish();
-        let r = sys.restore_latest(job);
+        sys.finish().expect("siu");
+        let r = sys.restore_latest(job).expect("restore");
         assert_eq!(r.failures, 0);
         assert_eq!(r.chunks, 1200);
     }

@@ -5,7 +5,7 @@ use debar_hash::{ContainerId, Fingerprint};
 use debar_index::{DiskIndex, IndexParams};
 use debar_simio::models::paper;
 use debar_simio::{Secs, SimCpu, SimLink, Timed, VirtualClock};
-use debar_store::{ChunkRepository, Container, ContainerManager, LpcCache, Payload};
+use debar_store::{ChunkRepository, Container, ContainerManager, LpcCache, Payload, StoreError};
 use debar_workload::ChunkRecord;
 use serde::{Deserialize, Serialize};
 
@@ -180,8 +180,12 @@ impl DdfsServer {
         self.index.bulk_load(batch);
     }
 
-    /// Process one backup stream inline.
-    pub fn backup_stream(&mut self, records: &[ChunkRecord]) -> DdfsBackupReport {
+    /// Process one backup stream inline. Injected storage faults and
+    /// detected container corruption surface as typed [`StoreError`]s.
+    pub fn backup_stream(
+        &mut self,
+        records: &[ChunkRecord],
+    ) -> Result<DdfsBackupReport, StoreError> {
         let start = self.clock.now();
         let mut report = DdfsBackupReport {
             logical_bytes: 0,
@@ -220,7 +224,7 @@ impl DdfsServer {
                     self.stats.bloom_negatives += 1;
                     report.new_chunks += 1;
                     batch_inserted.insert(rec.fp);
-                    let f = self.store_new(*rec);
+                    let f = self.store_new(*rec)?;
                     report.flushes += f;
                     continue;
                 }
@@ -243,10 +247,10 @@ impl DdfsServer {
                         // Prefetch the container's fingerprints into LPC.
                         let metas = self.repo.read_metas(cid);
                         let cost = metas.cost;
-                        if let Some(fps) = metas.value {
+                        self.clock.advance(cost);
+                        if let Some(fps) = metas.value? {
                             self.lpc.insert_container(cid, fps);
                         }
-                        self.clock.advance(cost);
                         self.stats.dup_chunks += 1;
                         report.dup_chunks += 1;
                     }
@@ -256,7 +260,7 @@ impl DdfsServer {
                         report.false_positives += 1;
                         report.new_chunks += 1;
                         batch_inserted.insert(rec.fp);
-                        let f = self.store_new(*rec);
+                        let f = self.store_new(*rec)?;
                         report.flushes += f;
                     }
                 }
@@ -272,33 +276,33 @@ impl DdfsServer {
             self.clock.advance(store_path - produced);
         }
         report.elapsed = self.clock.since(start);
-        report
+        Ok(report)
     }
 
     /// Store a new chunk; returns the number of buffer flushes triggered.
-    fn store_new(&mut self, rec: ChunkRecord) -> u64 {
+    fn store_new(&mut self, rec: ChunkRecord) -> Result<u64, StoreError> {
         self.bloom.insert(&rec.fp);
         self.stats.stored_chunks += 1;
         self.stats.stored_bytes += rec.len as u64;
         if let Some(sealed) = self.manager.append(rec.fp, Payload::Zero(rec.len)) {
-            self.seal(sealed);
+            self.seal(sealed)?;
         }
         self.open_fps.push(rec.fp);
         self.open_set.insert(rec.fp);
         if self.write_buffer.len() >= self.cfg.write_buffer_fps {
             self.flush_write_buffer();
-            return 1;
+            return Ok(1);
         }
-        0
+        Ok(0)
     }
 
-    fn seal(&mut self, sealed: Container) {
+    fn seal(&mut self, sealed: Container) -> Result<(), StoreError> {
         let fps: Vec<Fingerprint> = sealed.fingerprints().collect();
         // Container writes go to repository-node disks, pipelined behind
         // the inline stream; the excess is settled at stream end.
         let t = self.repo.store(sealed);
         self.async_store_cost += t.cost;
-        let cid = t.value;
+        let cid = t.value?;
         // Fingerprints of the sealed container: into LPC (recently written
         // chunks are the hottest duplicate targets) and the write buffer.
         debug_assert_eq!(fps.len(), self.open_fps.len());
@@ -309,6 +313,7 @@ impl DdfsServer {
             self.buffer_set.insert(*fp, cid);
         }
         self.lpc.insert_container(cid, fps);
+        Ok(())
     }
 
     /// Flush the write buffer: the stream pauses for a sequential
@@ -328,16 +333,18 @@ impl DdfsServer {
 
     /// Seal the open container and flush the buffer (end-of-experiment
     /// barrier so every stored chunk is indexed).
-    pub fn finish(&mut self) {
+    pub fn finish(&mut self) -> Result<(), StoreError> {
         if let Some(sealed) = self.manager.flush() {
-            self.seal(sealed);
+            self.seal(sealed)?;
         }
         self.flush_write_buffer();
+        Ok(())
     }
 
     /// Restore a stream of fingerprints, verifying each chunk is
-    /// retrievable; returns (bytes restored, elapsed, LPC hit ratio).
-    pub fn restore_stream(&mut self, records: &[ChunkRecord]) -> Timed<u64> {
+    /// retrievable; returns (bytes restored, elapsed). Injected read
+    /// faults and detected container corruption surface as typed errors.
+    pub fn restore_stream(&mut self, records: &[ChunkRecord]) -> Result<Timed<u64>, StoreError> {
         let start = self.clock.now();
         let mut bytes = 0u64;
         for rec in records {
@@ -351,7 +358,7 @@ impl DdfsServer {
                     };
                     let t = self.repo.read(cid);
                     let container = self.clock.charge(t);
-                    if let Some(c) = container {
+                    if let Some(c) = container? {
                         self.lpc.insert_container(cid, c.fingerprints().collect());
                     }
                     cid
@@ -362,7 +369,7 @@ impl DdfsServer {
             let c = self.nic.stream(rec.len as u64);
             self.clock.advance(c);
         }
-        Timed::new(bytes, self.clock.since(start))
+        Ok(Timed::new(bytes, self.clock.since(start)))
     }
 }
 
@@ -391,8 +398,8 @@ mod tests {
     fn new_data_is_stored_once() {
         let mut s = DdfsServer::new(small_cfg());
         let recs = stream(0..3000);
-        let rep = s.backup_stream(&recs);
-        s.finish();
+        let rep = s.backup_stream(&recs).expect("backup");
+        s.finish().expect("finish");
         assert_eq!(rep.chunks, 3000);
         assert_eq!(rep.new_chunks, 3000);
         assert_eq!(rep.dup_chunks, 0);
@@ -404,9 +411,9 @@ mod tests {
     fn duplicate_stream_is_eliminated() {
         let mut s = DdfsServer::new(small_cfg());
         let recs = stream(0..3000);
-        s.backup_stream(&recs);
-        s.finish();
-        let rep = s.backup_stream(&recs);
+        s.backup_stream(&recs).expect("backup");
+        s.finish().expect("finish");
+        let rep = s.backup_stream(&recs).expect("backup");
         assert_eq!(rep.dup_chunks + rep.false_positives, 3000);
         // The vast majority resolved as duplicates (LPC + index).
         assert!(rep.dup_chunks > 2900, "dups {}", rep.dup_chunks);
@@ -423,10 +430,10 @@ mod tests {
         // The paper: >99% of index lookups avoided on duplicate streams.
         let mut s = DdfsServer::new(small_cfg());
         let recs = stream(0..5000);
-        s.backup_stream(&recs);
-        s.finish();
+        s.backup_stream(&recs).expect("backup");
+        s.finish().expect("finish");
         let before = s.stats().index_lookups;
-        s.backup_stream(&recs);
+        s.backup_stream(&recs).expect("backup");
         let lookups = s.stats().index_lookups - before;
         assert!(
             (lookups as f64) < 0.05 * 5000.0,
@@ -437,7 +444,7 @@ mod tests {
     #[test]
     fn bloom_negative_shortcut_for_new_data() {
         let mut s = DdfsServer::new(small_cfg());
-        let rep = s.backup_stream(&stream(0..1000));
+        let rep = s.backup_stream(&stream(0..1000)).expect("backup");
         // Fresh data: nearly every chunk short-circuits at the Bloom filter,
         // no random index I/O.
         assert!(rep.false_positives < 50, "fps {}", rep.false_positives);
@@ -450,7 +457,7 @@ mod tests {
         let mut cfg = small_cfg();
         cfg.write_buffer_fps = 500;
         let mut s = DdfsServer::new(cfg);
-        let rep = s.backup_stream(&stream(0..2600));
+        let rep = s.backup_stream(&stream(0..2600)).expect("backup");
         assert!(rep.flushes >= 4, "flushes {}", rep.flushes);
         // Flush time is visible in elapsed: throughput below NIC line rate.
         let nic_only = rep.logical_bytes as f64 / (210.0 * (1 << 20) as f64);
@@ -467,9 +474,11 @@ mod tests {
         cfg.index = IndexParams::new(12, 512);
         let mut s = DdfsServer::new(cfg);
         let n = (8u64 << 10) * 8 / 3;
-        s.backup_stream(&stream(0..n));
-        s.finish();
-        let rep = s.backup_stream(&stream(1_000_000..1_000_000 + 2000));
+        s.backup_stream(&stream(0..n)).expect("backup");
+        s.finish().expect("finish");
+        let rep = s
+            .backup_stream(&stream(1_000_000..1_000_000 + 2000))
+            .expect("backup");
         let fp_rate = rep.false_positives as f64 / 2000.0;
         let theory =
             debar_filter::bloom::false_positive_rate((8 << 10) * 8, s.stats().stored_chunks, 4);
@@ -483,7 +492,7 @@ mod tests {
     #[test]
     fn throughput_capped_by_nic_for_clean_streams() {
         let mut s = DdfsServer::new(small_cfg());
-        let rep = s.backup_stream(&stream(0..4000));
+        let rep = s.backup_stream(&stream(0..4000)).expect("backup");
         let tp = rep.throughput_mibps();
         // At most the 210 MiB/s NIC; at least half of it (flushes, stores).
         assert!(tp <= 211.0, "tp {tp}");
@@ -494,9 +503,9 @@ mod tests {
     fn restore_roundtrip() {
         let mut s = DdfsServer::new(small_cfg());
         let recs = stream(0..2000);
-        s.backup_stream(&recs);
-        s.finish();
-        let t = s.restore_stream(&recs);
+        s.backup_stream(&recs).expect("backup");
+        s.finish().expect("finish");
+        let t = s.restore_stream(&recs).expect("restore");
         let expect: u64 = recs.iter().map(|r| r.len as u64).sum();
         assert_eq!(t.value, expect, "all bytes restorable");
         assert!(t.cost > 0.0);

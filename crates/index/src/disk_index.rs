@@ -129,6 +129,25 @@ impl DiskIndex {
         &mut self.disk
     }
 
+    /// Arm a deterministic fault schedule on this index's disk (see
+    /// `debar_simio::fault`): the fallible sweep entry points
+    /// (`try_sequential_lookup_sharded`, `try_sequential_update_sharded`,
+    /// [`DiskIndex::try_bulk_load_striped`]) check it.
+    pub fn set_fault_plan(&mut self, plan: debar_simio::FaultPlan) {
+        self.disk.set_fault_plan(plan);
+    }
+
+    /// Disarm all faults on this index's disk.
+    pub fn clear_fault_plan(&mut self) {
+        self.disk.clear_fault_plan();
+    }
+
+    /// The index disk's operation counter (for arming `FaultPlan`s
+    /// relative to "the next op").
+    pub fn disk_ops(&self) -> u64 {
+        self.disk.ops()
+    }
+
     pub(crate) fn cpu_mut(&mut self) -> &mut SimCpu {
         &mut self.cpu
     }
@@ -395,6 +414,24 @@ impl DiskIndex {
         let ways = crate::sweep::clamp_parts(parts, self.params.buckets());
         let cost = self.disk.seq_write_striped(self.params.total_bytes(), ways);
         Timed::new(loaded, cost + extra)
+    }
+
+    /// Fault-checked [`DiskIndex::bulk_load_striped`] (the recovery
+    /// rebuild's write path): any fault fired during the load surfaces as
+    /// [`crate::IndexError::SweepFault`]. The in-memory load has already
+    /// happened when the fault is detected; recovery callers treat the
+    /// rebuild as failed and re-run it from scratch (the rebuild resets
+    /// the part first, so a retry converges).
+    pub fn try_bulk_load_striped(
+        &mut self,
+        entries: impl IntoIterator<Item = (Fingerprint, ContainerId)>,
+        parts: usize,
+    ) -> Result<Timed<u64>, crate::IndexError> {
+        let t = self.bulk_load_striped(entries, parts);
+        match self.disk.take_fault() {
+            Some(fault) => Err(crate::IndexError::SweepFault { fault }),
+            None => Ok(t),
+        }
     }
 
     /// Capacity scaling (§4.1): rebuild with `2^(n+1)` buckets by copying

@@ -1,0 +1,55 @@
+//! Typed index errors — the index-layer half of the DEBAR error taxonomy
+//! (`debar_core::DebarError` wraps these).
+
+use debar_simio::InjectedFault;
+use std::fmt;
+
+/// A fallible disk-index sweep's error.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexError {
+    /// A sweep's disk operation failed; nothing of the batch was applied
+    /// (SIL read sweeps and failed SIU write sweeps are all-or-nothing).
+    SweepFault {
+        /// The injected fault that fired.
+        fault: InjectedFault,
+    },
+    /// An SIU write sweep was torn: only the first `applied` updates of
+    /// the canonically sorted batch are durable. Re-running the same
+    /// batch is idempotent and converges to the uninterrupted result.
+    PartialSweep {
+        /// Updates durable before the tear (canonical-order prefix).
+        applied: u64,
+        /// Updates in the batch.
+        total: u64,
+        /// The injected fault that fired.
+        fault: InjectedFault,
+    },
+}
+
+impl IndexError {
+    /// The underlying injected fault.
+    pub fn fault(&self) -> InjectedFault {
+        match self {
+            IndexError::SweepFault { fault } | IndexError::PartialSweep { fault, .. } => *fault,
+        }
+    }
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::SweepFault { fault } => write!(f, "index sweep failed: {fault}"),
+            IndexError::PartialSweep {
+                applied,
+                total,
+                fault,
+            } => write!(
+                f,
+                "index update sweep torn after {applied}/{total} updates: {fault}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}

@@ -24,6 +24,7 @@
 pub mod cache;
 pub mod disk_index;
 pub mod entry;
+pub mod error;
 pub mod params;
 pub mod sweep;
 pub mod theory;
@@ -31,5 +32,6 @@ pub mod theory;
 pub use cache::{CacheNode, IndexCache, OriginSet};
 pub use disk_index::{DiskIndex, InsertOutcome};
 pub use entry::IndexEntry;
+pub use error::IndexError;
 pub use params::IndexParams;
 pub use sweep::{SilReport, SiuReport};

@@ -73,6 +73,7 @@
 use crate::cache::{CacheNode, IndexCache};
 use crate::disk_index::{BucketView, DiskIndex, InsertOutcome};
 use crate::entry::IndexEntry;
+use crate::error::IndexError;
 use debar_hash::{ContainerId, Fingerprint};
 use debar_simio::{Secs, Timed};
 use serde::{Deserialize, Serialize};
@@ -335,7 +336,22 @@ impl DiskIndex {
     ) -> Timed<SiuReport> {
         let sorted = self.canonical_updates(updates);
         let parts = clamp_parts(parts, self.params().buckets());
+        let limit = sorted.len();
+        self.update_kernel(&sorted, parts, limit)
+    }
 
+    /// The shared SIU kernel: classify the whole canonical batch, then
+    /// apply its first `apply_limit` entries in canonical order.
+    /// `apply_limit < sorted.len()` models a torn write sweep (only a
+    /// prefix of the updates became durable) for the fault-injecting
+    /// [`DiskIndex::try_sequential_update_sharded`]; the normal paths pass
+    /// the full length.
+    fn update_kernel(
+        &mut self,
+        sorted: &[(Fingerprint, ContainerId)],
+        parts: u32,
+        apply_limit: usize,
+    ) -> Timed<SiuReport> {
         // ---- Parallel classify against the pre-batch state (grouped
         //      merge-join probing, one shard per bucket partition). ----
         let fps: Vec<Fingerprint> = sorted.iter().map(|(fp, _)| *fp).collect();
@@ -371,7 +387,7 @@ impl DiskIndex {
             parts,
             ..SiuReport::default()
         };
-        for (k, &(fp, cid)) in sorted.iter().enumerate() {
+        for (k, &(fp, cid)) in sorted.iter().enumerate().take(apply_limit) {
             // A fingerprint exists at apply time iff it existed before the
             // batch or an earlier repeat of it inserted it. Repeats share a
             // prefix, so they sit inside the (almost always length-1)
@@ -429,6 +445,97 @@ impl DiskIndex {
         Timed::new(report, cost.max(merge))
     }
 
+    /// Fault-checked [`DiskIndex::sequential_lookup_sharded`]: if the
+    /// index disk's [`debar_simio::FaultPlan`] arms a fault on this
+    /// sweep's read op, the sweep charges its disk time, consumes the
+    /// fault and returns [`IndexError::SweepFault`] **without touching
+    /// the cache** — the caller re-submits the same batch after recovery
+    /// and converges to the uninterrupted result.
+    pub fn try_sequential_lookup_sharded(
+        &mut self,
+        cache: &mut IndexCache,
+        parts: usize,
+    ) -> Result<Timed<SilReport>, IndexError> {
+        // The "next checked boundary" rule: a fault fired by an unchecked
+        // operation (e.g. a capacity-scaling sweep) surfaces here.
+        if let Some(fault) = self.disk_mut().take_fault() {
+            return Err(IndexError::SweepFault { fault });
+        }
+        let parts = clamp_parts(parts, self.params().buckets());
+        if self.disk_mut().peek_fault(1).is_some() {
+            let total = self.params().total_bytes();
+            let _ = self.disk_mut().seq_read_striped(total, parts);
+            let fault = self
+                .disk_mut()
+                .take_fault()
+                .expect("peeked fault fires on the sweep op");
+            return Err(IndexError::SweepFault { fault });
+        }
+        Ok(self.sequential_lookup_sharded(cache, parts as usize))
+    }
+
+    /// Fault-checked [`DiskIndex::sequential_update_sharded`]. An SIU
+    /// sweep performs two disk ops — the read sweep, then the write sweep:
+    ///
+    /// * a fault on the **read** op applies nothing
+    ///   ([`IndexError::SweepFault`]);
+    /// * an outright failure or bit flip on the **write** op loses the
+    ///   whole in-place update ([`IndexError::SweepFault`], nothing
+    ///   applied);
+    /// * a **torn** write op persists only the first half of the
+    ///   canonically sorted batch ([`IndexError::PartialSweep`]).
+    ///
+    /// In every case re-running the *same* batch converges to the
+    /// uninterrupted result byte-for-byte: already-applied entries are
+    /// overwritten in place with the same container IDs, the rest insert
+    /// in the same canonical order.
+    pub fn try_sequential_update_sharded(
+        &mut self,
+        updates: &[(Fingerprint, ContainerId)],
+        parts: usize,
+    ) -> Result<Timed<SiuReport>, IndexError> {
+        // The "next checked boundary" rule (see the lookup counterpart).
+        if let Some(fault) = self.disk_mut().take_fault() {
+            return Err(IndexError::SweepFault { fault });
+        }
+        let parts = clamp_parts(parts, self.params().buckets());
+        let Some(spec) = self.disk_mut().peek_fault(2) else {
+            let sorted = self.canonical_updates(updates);
+            let limit = sorted.len();
+            return Ok(self.update_kernel(&sorted, parts, limit));
+        };
+        let total = updates.len() as u64;
+        let on_read = spec.at_op == self.disk_mut().ops();
+        let apply_limit = if !on_read && spec.kind == debar_simio::FaultKind::TornWrite {
+            updates.len() / 2
+        } else {
+            0
+        };
+        if on_read {
+            // The read sweep itself fails: charge it, nothing applied.
+            let bytes = self.params().total_bytes();
+            let _ = self.disk_mut().seq_read_striped(bytes, parts);
+        } else {
+            // The write sweep fails (torn or outright): the kernel runs
+            // with a limited apply prefix and charges both sweeps.
+            let sorted = self.canonical_updates(updates);
+            let _ = self.update_kernel(&sorted, parts, apply_limit);
+        }
+        let fault = self
+            .disk_mut()
+            .take_fault()
+            .expect("peeked fault fires within the sweep's ops");
+        if !on_read && spec.kind == debar_simio::FaultKind::TornWrite {
+            Err(IndexError::PartialSweep {
+                applied: apply_limit as u64,
+                total,
+                fault,
+            })
+        } else {
+            Err(IndexError::SweepFault { fault })
+        }
+    }
+
     /// Insert a new entry, counting outcomes and scaling as needed.
     fn place_counted(&mut self, fp: Fingerprint, cid: ContainerId, report: &mut SiuReport) -> Secs {
         let mut cost = 0.0;
@@ -472,6 +579,91 @@ mod tests {
             c.insert(fp(i), 0);
         }
         c
+    }
+
+    #[test]
+    fn try_sil_fault_leaves_cache_untouched_and_retry_matches() {
+        use debar_simio::FaultPlan;
+        let mut idx = index(40);
+        let updates: Vec<_> = (0..400u64).map(|i| (fp(i), ContainerId::new(i))).collect();
+        idx.sequential_update(&updates);
+        let mut cache = cache_of(200..600);
+        let before = cache.len();
+        idx.set_fault_plan(FaultPlan::fail_at(idx.disk_ops()));
+        let err = idx
+            .try_sequential_lookup_sharded(&mut cache, 2)
+            .expect_err("armed fault must fire");
+        assert!(matches!(err, IndexError::SweepFault { .. }));
+        assert_eq!(cache.len(), before, "failed sweep must not drain the cache");
+        // Retry converges to the clean result.
+        let rep = idx
+            .try_sequential_lookup_sharded(&mut cache, 2)
+            .expect("clean retry")
+            .value;
+        assert_eq!(rep.duplicates.len(), 200);
+        assert_eq!(rep.new_count(), 200);
+    }
+
+    #[test]
+    fn torn_siu_applies_half_then_redo_converges_byte_identically() {
+        use debar_simio::FaultPlan;
+        let updates: Vec<_> = (0..500u64)
+            .map(|i| (fp(i), ContainerId::new(i % 30)))
+            .collect();
+        // Reference: uninterrupted SIU.
+        let mut clean = index(41);
+        clean.sequential_update(&updates);
+
+        // Torn write sweep: only half the canonical batch lands.
+        let mut torn = index(41);
+        torn.set_fault_plan(FaultPlan::torn_write_at(torn.disk_ops() + 1));
+        let err = torn
+            .try_sequential_update_sharded(&updates, 1)
+            .expect_err("torn write must surface");
+        let IndexError::PartialSweep {
+            applied,
+            total,
+            fault,
+        } = err
+        else {
+            panic!("expected PartialSweep, got {err:?}");
+        };
+        assert_eq!(total, 500);
+        assert_eq!(applied, 250);
+        assert_eq!(fault.kind, debar_simio::FaultKind::TornWrite);
+        assert_eq!(torn.entry_count(), 250, "only the torn prefix is durable");
+        assert_ne!(torn.raw_data(), clean.raw_data());
+        // Redo the same batch: overwrites for the prefix, inserts for the
+        // rest — byte-identical to the uninterrupted index.
+        let rep = torn
+            .try_sequential_update_sharded(&updates, 1)
+            .expect("clean redo")
+            .value;
+        assert_eq!(rep.updated, 250);
+        assert_eq!(rep.inserted, 250);
+        assert_eq!(torn.raw_data(), clean.raw_data());
+        assert_eq!(torn.entry_count(), clean.entry_count());
+    }
+
+    #[test]
+    fn failed_siu_read_or_write_applies_nothing_and_redo_converges() {
+        use debar_simio::FaultPlan;
+        let updates: Vec<_> = (0..300u64).map(|i| (fp(i), ContainerId::new(i))).collect();
+        let mut clean = index(42);
+        clean.sequential_update(&updates);
+        for write_op in [0u64, 1] {
+            let mut faulted = index(42);
+            faulted.set_fault_plan(FaultPlan::fail_at(faulted.disk_ops() + write_op));
+            let err = faulted
+                .try_sequential_update_sharded(&updates, 4)
+                .expect_err("fault fires");
+            assert!(matches!(err, IndexError::SweepFault { .. }), "{err:?}");
+            assert_eq!(faulted.entry_count(), 0, "all-or-nothing");
+            faulted
+                .try_sequential_update_sharded(&updates, 4)
+                .expect("redo");
+            assert_eq!(faulted.raw_data(), clean.raw_data());
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! mainly from the disk seek rather than data transfer" (§4.2).
 
 use crate::clock::Secs;
+use crate::fault::{FaultPlan, FaultSpec, InjectedFault};
 use serde::{Deserialize, Serialize};
 
 /// Timing parameters of a disk (or RAID volume).
@@ -102,6 +103,13 @@ impl DiskStats {
 pub struct SimDisk {
     model: DiskModel,
     stats: DiskStats,
+    /// Operations performed so far (every read/write, any flavour, counts
+    /// as one op — the index the [`FaultPlan`] keys on).
+    ops: u64,
+    plan: FaultPlan,
+    /// A fired fault not yet collected by the storage layer (see the
+    /// [`crate::fault`] module docs for the "next checked boundary" rule).
+    pending: Option<InjectedFault>,
 }
 
 impl SimDisk {
@@ -110,6 +118,51 @@ impl SimDisk {
         SimDisk {
             model,
             stats: DiskStats::default(),
+            ops: 0,
+            plan: FaultPlan::none(),
+            pending: None,
+        }
+    }
+
+    /// Arm a deterministic fault schedule (replaces any previous plan).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.plan = plan;
+    }
+
+    /// Disarm all pending faults (armed and fired-but-uncollected).
+    pub fn clear_fault_plan(&mut self) {
+        self.plan = FaultPlan::none();
+        self.pending = None;
+    }
+
+    /// Whether any fault is still armed (not yet fired).
+    pub fn has_armed_faults(&self) -> bool {
+        !self.plan.is_empty()
+    }
+
+    /// Operations performed so far — the op index the next operation gets.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Collect a fired-but-uncollected fault, if any.
+    pub fn take_fault(&mut self) -> Option<InjectedFault> {
+        self.pending.take()
+    }
+
+    /// The first armed fault within the next `next_ops` operations, if any
+    /// (without consuming it). Lets fault-aware layers plan a partial
+    /// operation before charging the op that will fire the fault.
+    pub fn peek_fault(&self, next_ops: u64) -> Option<FaultSpec> {
+        self.plan.next_within(self.ops, self.ops + next_ops)
+    }
+
+    /// Advance the op counter by one and fire any armed fault for this op.
+    fn tick(&mut self) {
+        let op = self.ops;
+        self.ops += 1;
+        if let Some(kind) = self.plan.take(op) {
+            self.pending = Some(InjectedFault { op, kind });
         }
     }
 
@@ -130,6 +183,7 @@ impl SimDisk {
 
     /// Perform a sequential read of `bytes`; returns the cost.
     pub fn seq_read(&mut self, bytes: u64) -> Secs {
+        self.tick();
         let c = self.model.seq_read_cost(bytes);
         self.stats.seq_read_bytes += bytes;
         self.stats.busy_s += c;
@@ -138,6 +192,7 @@ impl SimDisk {
 
     /// Perform a sequential write of `bytes`; returns the cost.
     pub fn seq_write(&mut self, bytes: u64) -> Secs {
+        self.tick();
         let c = self.model.seq_write_cost(bytes);
         self.stats.seq_write_bytes += bytes;
         self.stats.busy_s += c;
@@ -150,6 +205,7 @@ impl SimDisk {
     /// `1/ways` share). Statistics record the full byte volume; the
     /// returned (and accrued) busy time is the parallel wall time.
     pub fn seq_read_striped(&mut self, bytes: u64, ways: u32) -> Secs {
+        self.tick();
         let ways = ways.max(1) as f64;
         let c = self.model.seq_read_cost(bytes) / ways;
         self.stats.seq_read_bytes += bytes;
@@ -160,6 +216,7 @@ impl SimDisk {
     /// Perform a sequential write of `bytes` striped across `ways` volumes
     /// (see [`SimDisk::seq_read_striped`]).
     pub fn seq_write_striped(&mut self, bytes: u64, ways: u32) -> Secs {
+        self.tick();
         let ways = ways.max(1) as f64;
         let c = self.model.seq_write_cost(bytes) / ways;
         self.stats.seq_write_bytes += bytes;
@@ -169,6 +226,7 @@ impl SimDisk {
 
     /// Perform a random read of `bytes`; returns the cost.
     pub fn rand_read(&mut self, bytes: u64) -> Secs {
+        self.tick();
         let c = self.model.rand_read_cost(bytes);
         self.stats.rand_reads += 1;
         self.stats.rand_read_bytes += bytes;
@@ -178,6 +236,7 @@ impl SimDisk {
 
     /// Perform a random write of `bytes`; returns the cost.
     pub fn rand_write(&mut self, bytes: u64) -> Secs {
+        self.tick();
         let c = self.model.rand_write_cost(bytes);
         self.stats.rand_writes += 1;
         self.stats.rand_write_bytes += bytes;
@@ -277,6 +336,37 @@ mod tests {
         assert_eq!(m.seq_read_bytes, 1000);
         assert_eq!(m.rand_writes, 1);
         assert_eq!(m.total_bytes(), 1500);
+    }
+
+    #[test]
+    fn fault_plan_fires_on_exact_op_and_is_one_shot() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let mut d = disk();
+        d.seq_read(10); // op 0
+        d.set_fault_plan(FaultPlan::fail_at(2));
+        assert!(d.has_armed_faults());
+        assert_eq!(d.ops(), 1);
+        d.seq_write(10); // op 1: no fault
+        assert!(d.take_fault().is_none());
+        assert_eq!(d.peek_fault(1).map(|s| s.kind), Some(FaultKind::Fail));
+        d.rand_read(10); // op 2: fault fires
+        let f = d.take_fault().expect("fault fired");
+        assert_eq!(f.op, 2);
+        assert_eq!(f.kind, FaultKind::Fail);
+        assert!(d.take_fault().is_none(), "one-shot");
+        assert!(!d.has_armed_faults());
+        d.rand_read(10);
+        assert!(d.take_fault().is_none());
+    }
+
+    #[test]
+    fn clear_fault_plan_disarms_pending() {
+        use crate::fault::FaultPlan;
+        let mut d = disk();
+        d.set_fault_plan(FaultPlan::bit_flip_at(0));
+        d.seq_read(10); // fires, pending
+        d.clear_fault_plan();
+        assert!(d.take_fault().is_none(), "cleared plans drop fired faults");
     }
 
     #[test]

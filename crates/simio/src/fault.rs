@@ -1,0 +1,183 @@
+//! Deterministic fault injection for simulated disks.
+//!
+//! A [`FaultPlan`] is a schedule of one-shot faults keyed by a disk's
+//! operation counter: every [`crate::SimDisk`] operation (sequential or
+//! random, read or write, striped or not) ticks the counter by one, and
+//! when the counter reaches an armed [`FaultSpec::at_op`] the fault fires
+//! exactly once. Because both the workload and the op counter are
+//! deterministic, the *same* plan against the *same* workload injects the
+//! *same* fault every run — which is what lets crash-consistency tests
+//! assert byte-identical convergence after a re-run.
+//!
+//! The disk itself is a pure timing model and holds no payload bytes, so a
+//! fired fault does not damage data by itself: it is recorded on the disk
+//! as a pending [`InjectedFault`] and the *storage layer using the disk*
+//! (chunk repository, disk index, chunk log) polls
+//! [`crate::SimDisk::take_fault`] at its fault-checked operations and
+//! translates the fault into typed errors and/or data damage:
+//!
+//! * [`FaultKind::Fail`] — the operation fails outright (device error).
+//!   Nothing is persisted by a failed write; a failed read returns no data.
+//! * [`FaultKind::TornWrite`] — the write *appears* to succeed (it was
+//!   buffered) but only a prefix of the bytes is durable; the damage is
+//!   detected later, at read time, by the container checksum trailer.
+//! * [`FaultKind::BitFlip`] — the write appears to succeed but a bit of
+//!   the persisted bytes rots (latent sector corruption); detected at read
+//!   time by the checksum trailer.
+//!
+//! A fault that fires on an operation whose caller does not poll
+//! `take_fault` stays pending and manifests at the next fault-checked
+//! operation on the same disk (the documented "next checked boundary"
+//! rule).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of an injected disk fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The operation fails outright (device error): a failed write persists
+    /// nothing, a failed read returns nothing.
+    Fail,
+    /// A write persists only a prefix of its bytes (crash before sync).
+    /// Silent at write time; detected at read time by checksums.
+    TornWrite,
+    /// A bit of the persisted bytes flips (latent sector corruption).
+    /// Silent at write time; detected at read time by checksums.
+    BitFlip,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Fail => write!(f, "I/O failure"),
+            FaultKind::TornWrite => write!(f, "torn write"),
+            FaultKind::BitFlip => write!(f, "bit flip"),
+        }
+    }
+}
+
+/// One armed fault: fire `kind` when the disk's op counter reaches `at_op`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Zero-based disk-operation index the fault fires on.
+    pub at_op: u64,
+    /// What happens to that operation.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of one-shot disk faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan with a single outright failure at operation `at_op`.
+    pub fn fail_at(at_op: u64) -> Self {
+        FaultPlan::none().with(FaultSpec {
+            at_op,
+            kind: FaultKind::Fail,
+        })
+    }
+
+    /// A plan with a single torn write at operation `at_op`.
+    pub fn torn_write_at(at_op: u64) -> Self {
+        FaultPlan::none().with(FaultSpec {
+            at_op,
+            kind: FaultKind::TornWrite,
+        })
+    }
+
+    /// A plan with a single bit flip at operation `at_op`.
+    pub fn bit_flip_at(at_op: u64) -> Self {
+        FaultPlan::none().with(FaultSpec {
+            at_op,
+            kind: FaultKind::BitFlip,
+        })
+    }
+
+    /// Builder: add another armed fault.
+    pub fn with(mut self, spec: FaultSpec) -> Self {
+        self.faults.push(spec);
+        self.faults.sort_by_key(|s| s.at_op);
+        self
+    }
+
+    /// Whether any fault is still armed.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The first armed fault with `at_op` in `[lo, hi)`, if any (without
+    /// consuming it).
+    pub fn next_within(&self, lo: u64, hi: u64) -> Option<FaultSpec> {
+        self.faults
+            .iter()
+            .find(|s| s.at_op >= lo && s.at_op < hi)
+            .copied()
+    }
+
+    /// Consume (and return the kind of) the fault armed for `op`, if any.
+    pub(crate) fn take(&mut self, op: u64) -> Option<FaultKind> {
+        let i = self.faults.iter().position(|s| s.at_op == op)?;
+        Some(self.faults.remove(i).kind)
+    }
+}
+
+/// A fault that has fired: the op it fired on and its kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectedFault {
+    /// The disk-operation index the fault fired on.
+    pub op: u64,
+    /// The fault kind.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} injected at disk op {}", self.kind, self.op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_consumes_one_shot() {
+        let mut p = FaultPlan::fail_at(3).with(FaultSpec {
+            at_op: 5,
+            kind: FaultKind::BitFlip,
+        });
+        assert!(p.take(0).is_none());
+        assert_eq!(p.take(3), Some(FaultKind::Fail));
+        assert!(p.take(3).is_none(), "one-shot: consumed");
+        assert_eq!(p.take(5), Some(FaultKind::BitFlip));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn next_within_window() {
+        let p = FaultPlan::torn_write_at(10);
+        assert!(p.next_within(0, 10).is_none());
+        let s = p.next_within(10, 12).expect("armed");
+        assert_eq!(s.at_op, 10);
+        assert_eq!(s.kind, FaultKind::TornWrite);
+        assert!(p.next_within(11, 20).is_none());
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        let f = InjectedFault {
+            op: 7,
+            kind: FaultKind::TornWrite,
+        };
+        assert_eq!(f.to_string(), "torn write injected at disk op 7");
+    }
+}

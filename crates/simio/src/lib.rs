@@ -22,6 +22,7 @@ pub mod clock;
 pub mod cluster;
 pub mod cpu;
 pub mod disk;
+pub mod fault;
 pub mod models;
 pub mod net;
 pub mod scale;
@@ -31,6 +32,7 @@ pub mod timed;
 pub use clock::{Secs, VirtualClock};
 pub use cpu::{CpuModel, CpuStats, SimCpu};
 pub use disk::{DiskModel, DiskStats, SimDisk};
+pub use fault::{FaultKind, FaultPlan, FaultSpec, InjectedFault};
 pub use net::{NetModel, NetStats, SimLink};
 pub use scale::ScaleModel;
 pub use timed::Timed;

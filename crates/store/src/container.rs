@@ -12,11 +12,96 @@
 //! length and materialize zeros on read).
 
 use bytes::Bytes;
-use debar_hash::{ContainerId, Fingerprint};
+use debar_hash::{ContainerId, Fingerprint, Sha1};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Default container size (paper §3.4).
 pub const DEFAULT_CONTAINER_BYTES: u64 = 8 << 20;
+
+/// Leading magic byte of the container wire format. Pre-magic encodings
+/// (format v1 started directly with the little-endian chunk count) fail
+/// loudly with [`CorruptKind::BadMagic`] instead of being misparsed.
+pub const CONTAINER_MAGIC: u8 = 0xDB;
+
+/// Current container wire-format version: magic + version header and a
+/// SHA-1 checksum trailer over everything before it.
+pub const CONTAINER_VERSION: u8 = 2;
+
+/// Header bytes ahead of the metadata section: magic, version, chunk count.
+const WIRE_HEADER: usize = 2 + 4;
+
+/// Checksum trailer length (SHA-1).
+const WIRE_TRAILER: usize = 20;
+
+/// Why a container's bytes failed validation.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CorruptKind {
+    /// The leading magic byte is wrong (not a container, or a pre-magic
+    /// fixture from an old format).
+    BadMagic,
+    /// The version byte names a format this build does not speak.
+    UnsupportedVersion(u8),
+    /// The buffer is too short for the section named.
+    Truncated(&'static str),
+    /// The SHA-1 checksum trailer does not match the payload.
+    ChecksumMismatch,
+    /// A chunk's metadata points outside the data section.
+    BadGeometry(&'static str),
+    /// A chunk's payload no longer hashes back to its fingerprint
+    /// (detected on restore verification).
+    PayloadMismatch,
+}
+
+impl fmt::Display for CorruptKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorruptKind::BadMagic => write!(f, "bad magic byte"),
+            CorruptKind::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            CorruptKind::Truncated(what) => write!(f, "truncated {what}"),
+            CorruptKind::ChecksumMismatch => write!(f, "checksum trailer mismatch"),
+            CorruptKind::BadGeometry(what) => write!(f, "bad geometry: {what}"),
+            CorruptKind::PayloadMismatch => {
+                write!(f, "chunk payload does not hash back to its fingerprint")
+            }
+        }
+    }
+}
+
+/// Deterministic damage applied to a container's persisted bytes by an
+/// injected fault (see `debar_simio::fault`): the shape of the corruption
+/// the checksum trailer must catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Damage {
+    /// Only a prefix of the bytes is durable (torn write): the serialized
+    /// image is truncated to two thirds of its length.
+    Torn,
+    /// One bit of the image flips (latent sector corruption); the position
+    /// is derived deterministically from `salt`.
+    BitFlip,
+}
+
+impl Damage {
+    /// Apply the damage to a serialized container image. `salt`
+    /// (typically the container ID) picks the deterministic flip position.
+    pub fn apply(self, raw: &mut Vec<u8>, salt: u64) {
+        match self {
+            Damage::Torn => {
+                let keep = raw.len() * 2 / 3;
+                raw.truncate(keep);
+            }
+            Damage::BitFlip => {
+                if raw.is_empty() {
+                    return;
+                }
+                let h = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let pos = (h % raw.len() as u64) as usize;
+                raw[pos] ^= 1 << (h >> 61);
+            }
+        }
+    }
+}
 
 /// A chunk payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -180,16 +265,32 @@ impl Container {
         self.find(fp).map(|(_, p)| p.materialize())
     }
 
-    /// Serialized on-disk size: metadata section + data section (the
-    /// repository charges the fixed container size regardless; this is the
-    /// self-described payload encoding).
-    pub fn serialized_len(&self) -> usize {
-        4 + self.metas.len() * 32 + self.data_bytes as usize
+    /// Chunks in stream (SISL) order: `(fingerprint, payload)` pairs.
+    /// Payload clones are cheap (`Bytes` is refcounted, zero-runs are a
+    /// length) — this is what the crash-consistent chunk-storing path uses
+    /// to re-queue the chunks of a container whose write faulted.
+    pub fn chunks(&self) -> impl Iterator<Item = (Fingerprint, Payload)> + '_ {
+        self.metas
+            .iter()
+            .zip(&self.payloads)
+            .map(|(m, p)| (m.fp, p.clone()))
     }
 
-    /// Encode: `[u32 chunk count] [fp:20 len:4 offset:8]* [data section]`.
+    /// Serialized on-disk size: header + metadata section + data section +
+    /// checksum trailer (the repository charges the fixed container size
+    /// regardless; this is the self-described payload encoding).
+    pub fn serialized_len(&self) -> usize {
+        WIRE_HEADER + self.metas.len() * 32 + self.data_bytes as usize + WIRE_TRAILER
+    }
+
+    /// Encode: `[magic:1 version:1 u32 chunk count] [fp:20 len:4 offset:8]*
+    /// [data section] [sha1 trailer:20]`. The trailer covers every byte
+    /// before it, so torn writes and bit flips are detected at
+    /// [`Container::deserialize`] time instead of being silently read.
     pub fn serialize(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.serialized_len());
+        out.push(CONTAINER_MAGIC);
+        out.push(CONTAINER_VERSION);
         out.extend_from_slice(&(self.metas.len() as u32).to_le_bytes());
         for m in &self.metas {
             out.extend_from_slice(m.fp.as_bytes());
@@ -199,45 +300,73 @@ impl Container {
         for p in &self.payloads {
             out.extend_from_slice(&p.materialize());
         }
+        let digest = Sha1::digest(&out);
+        out.extend_from_slice(&digest);
         out
     }
 
-    /// Decode a serialized container (payloads become `Real`).
-    pub fn deserialize(raw: &[u8], capacity: u64) -> Option<Container> {
-        if raw.len() < 4 {
-            return None;
+    /// Decode a serialized container (payloads become `Real`). Truncated,
+    /// garbled, pre-magic or future-format input fails loudly with the
+    /// specific [`CorruptKind`].
+    pub fn deserialize(raw: &[u8], capacity: u64) -> Result<Container, CorruptKind> {
+        if raw.len() < WIRE_HEADER + WIRE_TRAILER {
+            return Err(CorruptKind::Truncated("header"));
         }
-        let count = u32::from_le_bytes(raw[0..4].try_into().ok()?) as usize;
-        let meta_end = 4 + count * 32;
-        if raw.len() < meta_end {
-            return None;
+        if raw[0] != CONTAINER_MAGIC {
+            return Err(CorruptKind::BadMagic);
+        }
+        if raw[1] != CONTAINER_VERSION {
+            return Err(CorruptKind::UnsupportedVersion(raw[1]));
+        }
+        let body_end = raw.len() - WIRE_TRAILER;
+        if Sha1::digest(&raw[..body_end])[..] != raw[body_end..] {
+            return Err(CorruptKind::ChecksumMismatch);
+        }
+        let count = u32::from_le_bytes(
+            raw[2..6]
+                .try_into()
+                .map_err(|_| CorruptKind::Truncated("chunk count"))?,
+        ) as usize;
+        let meta_end = WIRE_HEADER + count * 32;
+        if body_end < meta_end {
+            return Err(CorruptKind::Truncated("metadata section"));
         }
         let mut metas = Vec::with_capacity(count);
         for i in 0..count {
-            let base = 4 + i * 32;
+            let base = WIRE_HEADER + i * 32;
             let mut fpb = [0u8; 20];
             fpb.copy_from_slice(&raw[base..base + 20]);
-            let len = u32::from_le_bytes(raw[base + 20..base + 24].try_into().ok()?);
-            let offset = u64::from_le_bytes(raw[base + 24..base + 32].try_into().ok()?);
+            let len = u32::from_le_bytes(
+                raw[base + 20..base + 24]
+                    .try_into()
+                    .map_err(|_| CorruptKind::Truncated("chunk length"))?,
+            );
+            let offset = u64::from_le_bytes(
+                raw[base + 24..base + 32]
+                    .try_into()
+                    .map_err(|_| CorruptKind::Truncated("chunk offset"))?,
+            );
             metas.push(ChunkMeta {
                 fp: Fingerprint(fpb),
                 len,
                 offset,
             });
         }
-        let data = &raw[meta_end..];
+        let data = &raw[meta_end..body_end];
         let mut payloads = Vec::with_capacity(count);
         let mut data_bytes = 0u64;
         for m in &metas {
             let start = m.offset as usize;
-            let end = start + m.len as usize;
+            let end = start
+                .checked_add(m.len as usize)
+                .ok_or(CorruptKind::BadGeometry("chunk span overflows"))?;
             if end > data.len() {
-                return None;
+                return Err(CorruptKind::BadGeometry("chunk span outside data section"));
             }
             payloads.push(Payload::Real(Bytes::copy_from_slice(&data[start..end])));
             data_bytes += m.len as u64;
         }
-        Some(Container {
+        Ok(Container {
             id: ContainerId::NULL,
             capacity,
             metas,
@@ -333,8 +462,92 @@ mod tests {
         let mut c = Container::new(1000);
         c.try_append(fp(1), Payload::Zero(100));
         let raw = c.serialize();
-        assert!(Container::deserialize(&raw[..raw.len() - 10], 1000).is_none());
-        assert!(Container::deserialize(&raw[..3], 1000).is_none());
+        assert_eq!(
+            Container::deserialize(&raw[..raw.len() - 10], 1000).unwrap_err(),
+            CorruptKind::ChecksumMismatch,
+            "torn tail must fail the checksum"
+        );
+        assert_eq!(
+            Container::deserialize(&raw[..3], 1000).unwrap_err(),
+            CorruptKind::Truncated("header")
+        );
+    }
+
+    #[test]
+    fn deserialize_rejects_old_format_and_wrong_version() {
+        let mut c = Container::new(1000);
+        c.try_append(fp(1), Payload::Zero(100));
+        // Format v1 started directly with the LE chunk count: no magic.
+        let mut old = (1u32).to_le_bytes().to_vec();
+        old.extend_from_slice(fp(1).as_bytes());
+        old.extend_from_slice(&100u32.to_le_bytes());
+        old.extend_from_slice(&0u64.to_le_bytes());
+        old.extend_from_slice(&[0u8; 100]);
+        assert_eq!(
+            Container::deserialize(&old, 1000).unwrap_err(),
+            CorruptKind::BadMagic,
+            "pre-magic fixtures must fail loudly"
+        );
+        let mut raw = c.serialize();
+        raw[1] = 9;
+        assert_eq!(
+            Container::deserialize(&raw, 1000).unwrap_err(),
+            CorruptKind::UnsupportedVersion(9)
+        );
+    }
+
+    #[test]
+    fn deserialize_detects_bit_flips_anywhere() {
+        let mut c = Container::new(1 << 16);
+        for i in 0..10u64 {
+            let body: Vec<u8> = (0..64).map(|j| (i * 3 + j) as u8).collect();
+            c.try_append(fp(i), Payload::Real(Bytes::from(body)));
+        }
+        let clean = c.serialize();
+        // Flip one bit at several positions across header, metadata, data
+        // and trailer: every flip must be detected, never silently read.
+        for pos in [2usize, 10, 40, clean.len() / 2, clean.len() - 1] {
+            let mut raw = clean.clone();
+            raw[pos] ^= 0x10;
+            assert!(
+                Container::deserialize(&raw, 1 << 16).is_err(),
+                "flip at {pos} must be detected"
+            );
+        }
+        assert!(Container::deserialize(&clean, 1 << 16).is_ok());
+    }
+
+    #[test]
+    fn damage_is_deterministic_and_detected() {
+        let mut c = Container::new(1 << 16);
+        c.try_append(fp(1), Payload::Zero(500));
+        let clean = c.serialize();
+        let mut a = clean.clone();
+        let mut b = clean.clone();
+        Damage::BitFlip.apply(&mut a, 42);
+        Damage::BitFlip.apply(&mut b, 42);
+        assert_eq!(a, b, "same salt, same damage");
+        assert_ne!(a, clean);
+        assert_eq!(
+            Container::deserialize(&a, 1 << 16).unwrap_err(),
+            CorruptKind::ChecksumMismatch
+        );
+        let mut t = clean.clone();
+        Damage::Torn.apply(&mut t, 0);
+        assert_eq!(t.len(), clean.len() * 2 / 3);
+        assert!(Container::deserialize(&t, 1 << 16).is_err());
+    }
+
+    #[test]
+    fn chunks_iterates_in_stream_order() {
+        let mut c = Container::new(1000);
+        c.try_append(fp(1), Payload::Zero(10));
+        c.try_append(fp(2), Payload::Real(Bytes::from_static(b"xy")));
+        let pairs: Vec<(Fingerprint, Payload)> = c.chunks().collect();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0], (fp(1), Payload::Zero(10)));
+        assert_eq!(pairs[1].0, fp(2));
+        assert_eq!(pairs[1].1.len(), 2);
     }
 
     #[test]

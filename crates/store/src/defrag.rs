@@ -90,7 +90,7 @@ mod tests {
         let mut repo = ChunkRepository::new(4, paper::repo_disk(), 1 << 20);
         // Store 8 containers: ids 0..8 land round-robin on nodes 0..3.
         let ids: Vec<ContainerId> = (0..8u64)
-            .map(|i| repo.store(container_with(i * 2..i * 2 + 2)).value)
+            .map(|i| repo.store(container_with(i * 2..i * 2 + 2)).value.unwrap())
             .collect();
         let t = defragment(&mut repo, &ids);
         assert_eq!(t.value.examined, 8);
@@ -106,7 +106,7 @@ mod tests {
             ids.iter().map(|&c| repo.locate(c).unwrap()).collect();
         assert_eq!(homes.len(), 1);
         for &cid in &ids {
-            assert!(repo.read_anywhere(cid).value.is_some());
+            assert!(repo.read_anywhere(cid).value.unwrap().is_some());
         }
     }
 
@@ -123,7 +123,7 @@ mod tests {
     #[test]
     fn already_aggregated_is_noop() {
         let mut repo = ChunkRepository::new(4, paper::repo_disk(), 1 << 20);
-        let a = repo.store(container_with(0..2)).value; // node 0
+        let a = repo.store(container_with(0..2)).value.unwrap(); // node 0
         defragment(&mut repo, &[a]);
         let t = defragment(&mut repo, &[a]);
         assert_eq!(t.value.migrated, 0);

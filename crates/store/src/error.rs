@@ -1,0 +1,52 @@
+//! Typed storage errors — the store-layer half of the DEBAR error
+//! taxonomy (`debar_core::DebarError` wraps these via `From`).
+
+use crate::container::CorruptKind;
+use debar_hash::ContainerId;
+use debar_simio::InjectedFault;
+use std::fmt;
+
+/// A fallible chunk-storage operation's error.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreError {
+    /// A container's bytes failed validation (checksum trailer, magic,
+    /// version or structural bounds) — torn writes and bit rot are
+    /// *detected*, never silently read.
+    CorruptContainer {
+        /// The corrupt container.
+        container: ContainerId,
+        /// What the validation found.
+        reason: CorruptKind,
+    },
+    /// A storage-node disk operation failed outright.
+    DiskFault {
+        /// The repository node whose disk faulted.
+        node: usize,
+        /// The injected fault that fired.
+        fault: InjectedFault,
+    },
+    /// A container listed or referenced by metadata does not exist.
+    MissingContainer {
+        /// The absent container.
+        container: ContainerId,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::CorruptContainer { container, reason } => {
+                write!(f, "container {container:?} is corrupt: {reason}")
+            }
+            StoreError::DiskFault { node, fault } => {
+                write!(f, "storage node {node} disk fault: {fault}")
+            }
+            StoreError::MissingContainer { container } => {
+                write!(f, "container {container:?} does not exist")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

@@ -18,14 +18,21 @@
 //! * [`defrag`] — the defragmentation mechanism sketched in §6.3:
 //!   re-aggregates a job's containers onto few storage nodes to restore
 //!   read locality.
+//! * [`error`] — typed storage errors ([`StoreError`]): containers carry
+//!   a versioned magic byte and a SHA-1 checksum trailer, repository
+//!   disks carry deterministic fault plans, and torn writes / bit rot /
+//!   injected failures surface as typed errors, never panics or silent
+//!   garbage.
 
 pub mod container;
 pub mod defrag;
+pub mod error;
 pub mod lpc;
 pub mod manager;
 pub mod repository;
 
-pub use container::{ChunkMeta, Container, Payload};
+pub use container::{ChunkMeta, Container, CorruptKind, Damage, Payload};
+pub use error::StoreError;
 pub use lpc::LpcCache;
 pub use manager::ContainerManager;
 pub use repository::{ChunkRepository, RepoStats};

@@ -57,6 +57,15 @@ impl ContainerManager {
         Some(sealed)
     }
 
+    /// Take the open container's chunks back in stream order without
+    /// sealing (crash rollback: an interrupted chunk-storing phase
+    /// re-queues unsealed chunks into the chunk log so a re-run stores
+    /// them into the same containers an uninterrupted run would).
+    pub fn take_open(&mut self) -> Vec<(Fingerprint, crate::container::Payload)> {
+        let open = std::mem::replace(&mut self.open, Container::new(self.capacity));
+        open.chunks().collect()
+    }
+
     /// Seal and return the open container if it holds any chunks (end of a
     /// chunk-storing pass, §5.3).
     pub fn flush(&mut self) -> Option<Container> {

@@ -5,18 +5,42 @@
 //! into the chunk repository, a container ID will be generated") and placed
 //! round-robin across nodes, which both spreads load and makes the node of
 //! any container derivable from its ID.
+//!
+//! # Fault injection
+//!
+//! Every node disk carries a deterministic [`FaultPlan`]
+//! (`debar_simio::fault`); store and read paths are fault-checked:
+//!
+//! * an outright [`FaultKind::Fail`] on a store persists **nothing** and
+//!   does **not** consume the container ID (ID allocation is part of the
+//!   durable commit — this is what makes an interrupted chunk-storing
+//!   phase re-runnable with byte-identical results);
+//! * a [`FaultKind::TornWrite`] or [`FaultKind::BitFlip`] on a store
+//!   *appears* to succeed (buffered write) but records [`Damage`] against
+//!   the stored container; every later read materializes the damaged
+//!   image through the real serialize → damage → deserialize pipeline and
+//!   surfaces [`StoreError::CorruptContainer`] from the checksum trailer;
+//! * a `Fail` on a read surfaces [`StoreError::DiskFault`].
 
-use crate::container::Container;
+use crate::container::{Container, Damage};
+use crate::error::StoreError;
 use debar_hash::ContainerId;
-use debar_simio::{DiskModel, Secs, SimDisk, Timed};
+use debar_simio::{DiskModel, FaultKind, FaultPlan, Secs, SimDisk, Timed};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// A container at rest on a node, with any injected damage it suffered.
+#[derive(Debug, Clone)]
+struct StoredContainer {
+    container: Container,
+    damage: Option<Damage>,
+}
 
 /// One storage node: a simulated disk plus its resident containers.
 #[derive(Debug, Clone)]
 pub struct StorageNode {
     disk: SimDisk,
-    containers: HashMap<u64, Container>,
+    containers: HashMap<u64, StoredContainer>,
 }
 
 impl StorageNode {
@@ -47,6 +71,8 @@ pub struct RepoStats {
     pub data_bytes: u64,
     /// Container reads served.
     pub reads: u64,
+    /// Reads that detected a corrupt container.
+    pub corrupt_reads: u64,
 }
 
 /// The multi-node container log.
@@ -93,6 +119,57 @@ impl ChunkRepository {
         &self.nodes
     }
 
+    /// Arm a deterministic fault schedule on one node's disk.
+    pub fn set_node_fault_plan(&mut self, node: usize, plan: FaultPlan) {
+        self.nodes[node].disk.set_fault_plan(plan);
+    }
+
+    /// Disarm every node's fault schedule.
+    pub fn clear_fault_plans(&mut self) {
+        for n in &mut self.nodes {
+            n.disk.clear_fault_plan();
+        }
+    }
+
+    /// A node disk's operation counter (for arming `FaultPlan`s at "the
+    /// next op on this node").
+    pub fn node_disk_ops(&self, node: usize) -> u64 {
+        self.nodes[node].disk.ops()
+    }
+
+    /// Inject damage directly against a stored container (the
+    /// per-container corruption hook the failure-kind scenarios use).
+    /// Returns `false` if the container does not exist.
+    pub fn corrupt_container(&mut self, cid: ContainerId, damage: Damage) -> bool {
+        match self.locate(cid) {
+            Some(node) => {
+                if let Some(sc) = self.nodes[node].containers.get_mut(&cid.raw()) {
+                    sc.damage = Some(damage);
+                    true
+                } else {
+                    false
+                }
+            }
+            None => false,
+        }
+    }
+
+    /// Clear injected damage (admin repair from a replica; test support).
+    /// Returns `false` if the container does not exist.
+    pub fn repair_container(&mut self, cid: ContainerId) -> bool {
+        match self.locate(cid) {
+            Some(node) => {
+                if let Some(sc) = self.nodes[node].containers.get_mut(&cid.raw()) {
+                    sc.damage = None;
+                    true
+                } else {
+                    false
+                }
+            }
+            None => false,
+        }
+    }
+
     /// The node a container lives on (round-robin by ID).
     pub fn node_of(&self, cid: ContainerId) -> usize {
         (cid.raw() % self.nodes.len() as u64) as usize
@@ -100,58 +177,127 @@ impl ChunkRepository {
 
     /// Store a sealed container: assigns its ID, places it round-robin and
     /// charges one sequential container write on the target node.
-    pub fn store(&mut self, mut container: Container) -> Timed<ContainerId> {
+    ///
+    /// A [`FaultKind::Fail`] injected on the write persists nothing and
+    /// leaves the ID unconsumed (retrying the store converges to the same
+    /// ID); torn writes and bit flips persist a damaged image that later
+    /// reads detect via the checksum trailer.
+    pub fn store(&mut self, mut container: Container) -> Timed<Result<ContainerId, StoreError>> {
         assert!(container.id().is_null(), "container already stored");
         assert!(
             !container.is_empty(),
             "refusing to store an empty container"
         );
         let id = ContainerId::new(self.next_id);
+        let node = self.node_of(id);
+        let cost = self.nodes[node].disk.seq_write(self.container_bytes);
+        let damage = match self.nodes[node].disk.take_fault() {
+            Some(fault) => match fault.kind {
+                FaultKind::Fail => {
+                    return Timed::new(Err(StoreError::DiskFault { node, fault }), cost);
+                }
+                FaultKind::TornWrite => Some(Damage::Torn),
+                FaultKind::BitFlip => Some(Damage::BitFlip),
+            },
+            None => None,
+        };
         self.next_id += 1;
         container.set_id(id);
         self.stats.containers += 1;
         self.stats.data_bytes += container.data_bytes();
-        let node = self.node_of(id);
-        let cost = self.nodes[node].disk.seq_write(self.container_bytes);
-        self.nodes[node].containers.insert(id.raw(), container);
-        Timed::new(id, cost)
+        self.nodes[node]
+            .containers
+            .insert(id.raw(), StoredContainer { container, damage });
+        Timed::new(Ok(id), cost)
+    }
+
+    /// Materialize a stored container, running any injected damage through
+    /// the real serialize → damage → deserialize pipeline so corruption is
+    /// *detected* by the checksum trailer, not silently read.
+    fn materialize(&self, node: usize, cid: ContainerId) -> Result<Option<Container>, StoreError> {
+        let Some(sc) = self.nodes[node].containers.get(&cid.raw()) else {
+            return Ok(None);
+        };
+        match sc.damage {
+            None => Ok(Some(sc.container.clone())),
+            Some(damage) => {
+                let mut raw = sc.container.serialize();
+                damage.apply(&mut raw, cid.raw());
+                match Container::deserialize(&raw, sc.container.capacity()) {
+                    Ok(mut c) => {
+                        // Damage missed the image (can't happen with the
+                        // current shapes, but stay honest if it does).
+                        c.set_id(cid);
+                        Ok(Some(c))
+                    }
+                    Err(reason) => Err(StoreError::CorruptContainer {
+                        container: cid,
+                        reason,
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Fault-check a read op on `node` that has already been charged.
+    fn read_fault(&mut self, node: usize) -> Result<(), StoreError> {
+        match self.nodes[node].disk.take_fault() {
+            Some(fault) => Err(StoreError::DiskFault { node, fault }),
+            None => Ok(()),
+        }
     }
 
     /// Read a container (one random container-sized I/O on its node).
     /// Returns a clone — cheap for zero payloads and refcounted for real
-    /// bytes.
-    pub fn read(&mut self, cid: ContainerId) -> Timed<Option<Container>> {
+    /// bytes. `Ok(None)` means the container does not exist; injected
+    /// faults and detected corruption surface as typed errors.
+    pub fn read(&mut self, cid: ContainerId) -> Timed<Result<Option<Container>, StoreError>> {
         if cid.is_null() {
-            return Timed::free(None);
+            return Timed::free(Ok(None));
         }
         let node = self.node_of(cid);
-        let found = self.nodes[node].containers.get(&cid.raw()).cloned();
-        let cost = if found.is_some() {
-            self.stats.reads += 1;
-            self.nodes[node].disk.rand_read(self.container_bytes)
-        } else {
-            0.0
-        };
-        Timed::new(found, cost)
+        if !self.nodes[node].containers.contains_key(&cid.raw()) {
+            return Timed::free(Ok(None));
+        }
+        self.stats.reads += 1;
+        let cost = self.nodes[node].disk.rand_read(self.container_bytes);
+        if let Err(e) = self.read_fault(node) {
+            return Timed::new(Err(e), cost);
+        }
+        let res = self.materialize(node, cid);
+        if matches!(res, Err(StoreError::CorruptContainer { .. })) {
+            self.stats.corrupt_reads += 1;
+        }
+        Timed::new(res, cost)
     }
 
     /// Read only a container's metadata section (fingerprints): the cheap
     /// prefetch LPC performs on an index hit. Charged as one small random
-    /// read (metadata section ≈ 32 bytes/chunk).
-    pub fn read_metas(&mut self, cid: ContainerId) -> Timed<Option<Vec<debar_hash::Fingerprint>>> {
+    /// read (metadata section ≈ 32 bytes/chunk). Damaged containers fail
+    /// here too — the metadata section is under the same checksum.
+    pub fn read_metas(
+        &mut self,
+        cid: ContainerId,
+    ) -> Timed<Result<Option<Vec<debar_hash::Fingerprint>>, StoreError>> {
         if cid.is_null() {
-            return Timed::free(None);
+            return Timed::free(Ok(None));
         }
         let node = self.node_of(cid);
-        match self.nodes[node].containers.get(&cid.raw()) {
-            Some(c) => {
-                let fps: Vec<_> = c.fingerprints().collect();
-                let meta_bytes = 4 + 32 * fps.len() as u64;
-                let cost = self.nodes[node].disk.rand_read(meta_bytes);
-                Timed::new(Some(fps), cost)
-            }
-            None => Timed::free(None),
+        let Some(sc) = self.nodes[node].containers.get(&cid.raw()) else {
+            return Timed::free(Ok(None));
+        };
+        let meta_bytes = 6 + 32 * sc.container.len() as u64 + 20;
+        let cost = self.nodes[node].disk.rand_read(meta_bytes);
+        if let Err(e) = self.read_fault(node) {
+            return Timed::new(Err(e), cost);
         }
+        let res = self
+            .materialize(node, cid)
+            .map(|c| c.map(|c| c.fingerprints().collect()));
+        if matches!(res, Err(StoreError::CorruptContainer { .. })) {
+            self.stats.corrupt_reads += 1;
+        }
+        Timed::new(res, cost)
     }
 
     /// Whether a container exists.
@@ -176,20 +322,20 @@ impl ChunkRepository {
     /// Move a container onto an explicit node (defragmentation, §6.3);
     /// charges a read on the source node and a write on the target.
     /// Returns the I/O cost, or `None` if the container does not exist.
+    /// Injected damage travels with the container; fault plans are not
+    /// checked here (defragmentation is background maintenance).
     pub fn migrate(&mut self, cid: ContainerId, target_node: usize) -> Option<Secs> {
         assert!(target_node < self.nodes.len());
         let source = self.locate(cid)?;
         if source == target_node {
             return Some(0.0);
         }
-        let container = self.nodes[source].containers.remove(&cid.raw())?;
+        let stored = self.nodes[source].containers.remove(&cid.raw())?;
         let mut cost = self.nodes[source].disk.rand_read(self.container_bytes);
         cost += self.nodes[target_node].disk.seq_write(self.container_bytes);
         // Migrated containers keep their ID; the node mapping for migrated
         // containers is overridden by presence.
-        self.nodes[target_node]
-            .containers
-            .insert(cid.raw(), container);
+        self.nodes[target_node].containers.insert(cid.raw(), stored);
         Some(cost)
     }
 
@@ -205,15 +351,24 @@ impl ChunkRepository {
     }
 
     /// Read a container wherever it lives (supports migrated containers).
-    pub fn read_anywhere(&mut self, cid: ContainerId) -> Timed<Option<Container>> {
+    pub fn read_anywhere(
+        &mut self,
+        cid: ContainerId,
+    ) -> Timed<Result<Option<Container>, StoreError>> {
         match self.locate(cid) {
             Some(node) => {
-                let found = self.nodes[node].containers.get(&cid.raw()).cloned();
                 self.stats.reads += 1;
                 let cost = self.nodes[node].disk.rand_read(self.container_bytes);
-                Timed::new(found, cost)
+                if let Err(e) = self.read_fault(node) {
+                    return Timed::new(Err(e), cost);
+                }
+                let res = self.materialize(node, cid);
+                if matches!(res, Err(StoreError::CorruptContainer { .. })) {
+                    self.stats.corrupt_reads += 1;
+                }
+                Timed::new(res, cost)
             }
-            None => Timed::free(None),
+            None => Timed::free(Ok(None)),
         }
     }
 }
@@ -241,12 +396,16 @@ mod tests {
         c
     }
 
+    fn store_ok(r: &mut ChunkRepository, c: Container) -> ContainerId {
+        r.store(c).value.expect("store succeeds")
+    }
+
     #[test]
     fn store_assigns_sequential_ids_round_robin() {
         let mut r = repo(4);
-        let a = r.store(container_with(0..3)).value;
-        let b = r.store(container_with(3..6)).value;
-        let c = r.store(container_with(6..9)).value;
+        let a = store_ok(&mut r, container_with(0..3));
+        let b = store_ok(&mut r, container_with(3..6));
+        let c = store_ok(&mut r, container_with(6..9));
         assert_eq!(a.raw(), 0);
         assert_eq!(b.raw(), 1);
         assert_eq!(c.raw(), 2);
@@ -259,22 +418,22 @@ mod tests {
     #[test]
     fn read_returns_stored_container() {
         let mut r = repo(2);
-        let id = r.store(container_with(0..5)).value;
-        let got = r.read(id).value.expect("stored container");
+        let id = store_ok(&mut r, container_with(0..5));
+        let got = r.read(id).value.expect("no fault").expect("stored");
         assert_eq!(got.len(), 5);
         assert_eq!(got.id(), id);
         assert!(got.read_chunk(&fp(2)).is_some());
-        assert!(r.read(ContainerId::new(999)).value.is_none());
-        assert!(r.read(ContainerId::NULL).value.is_none());
+        assert!(r.read(ContainerId::new(999)).value.expect("ok").is_none());
+        assert!(r.read(ContainerId::NULL).value.expect("ok").is_none());
     }
 
     #[test]
     fn read_metas_is_cheaper_than_full_read() {
         let mut r = repo(1);
-        let id = r.store(container_with(0..100)).value;
+        let id = store_ok(&mut r, container_with(0..100));
         let metas = r.read_metas(id);
         let full = r.read(id);
-        assert_eq!(metas.value.unwrap().len(), 100);
+        assert_eq!(metas.value.expect("ok").expect("stored").len(), 100);
         assert!(metas.cost < full.cost, "meta read must be cheaper");
     }
 
@@ -293,12 +452,19 @@ mod tests {
     #[test]
     fn migrate_moves_and_read_anywhere_finds() {
         let mut r = repo(3);
-        let id = r.store(container_with(0..4)).value; // node 0
+        let id = store_ok(&mut r, container_with(0..4)); // node 0
         let cost = r.migrate(id, 2).expect("exists");
         assert!(cost > 0.0);
         assert_eq!(r.locate(id), Some(2));
-        assert!(r.read(id).value.is_none(), "home node no longer has it");
-        let got = r.read_anywhere(id).value.expect("found after migration");
+        assert!(
+            r.read(id).value.expect("ok").is_none(),
+            "home node no longer has it"
+        );
+        let got = r
+            .read_anywhere(id)
+            .value
+            .expect("no fault")
+            .expect("found after migration");
         assert_eq!(got.len(), 4);
         // Self-migration is free.
         assert_eq!(r.migrate(id, 2), Some(0.0));
@@ -309,11 +475,70 @@ mod tests {
     fn container_ids_sorted() {
         let mut r = repo(2);
         for i in 0..5u64 {
-            r.store(container_with(i * 2..i * 2 + 2));
+            store_ok(&mut r, container_with(i * 2..i * 2 + 2));
         }
         let ids = r.container_ids();
         assert_eq!(ids.len(), 5);
         assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn store_fail_fault_persists_nothing_and_keeps_the_id() {
+        let mut r = repo(2);
+        // Node 0 receives container 0; fail its first disk op.
+        r.set_node_fault_plan(0, FaultPlan::fail_at(0));
+        let t = r.store(container_with(0..3));
+        let err = t.value.expect_err("injected failure must surface");
+        assert!(matches!(err, StoreError::DiskFault { node: 0, .. }));
+        assert_eq!(r.stats().containers, 0, "nothing persisted");
+        assert_eq!(r.container_ids().len(), 0);
+        // Retrying converges to the same ID: allocation is part of commit.
+        let id = store_ok(&mut r, container_with(0..3));
+        assert_eq!(id.raw(), 0);
+        assert!(r.read(id).value.expect("ok").is_some());
+    }
+
+    #[test]
+    fn torn_write_is_silent_then_detected_on_read() {
+        let mut r = repo(1);
+        r.set_node_fault_plan(0, FaultPlan::torn_write_at(0));
+        let id = store_ok(&mut r, container_with(0..10));
+        // The write "succeeded" (buffered) — but every read detects it.
+        let err = r.read(id).value.expect_err("corruption detected");
+        assert!(
+            matches!(err, StoreError::CorruptContainer { container, .. } if container == id),
+            "{err}"
+        );
+        assert!(r.read_metas(id).value.is_err());
+        assert_eq!(r.stats().corrupt_reads, 2);
+        // Deterministic: the same read keeps failing the same way.
+        assert_eq!(r.read(id).value.expect_err("still corrupt"), err);
+    }
+
+    #[test]
+    fn bit_flip_detected_and_repair_clears() {
+        let mut r = repo(2);
+        let id = store_ok(&mut r, container_with(0..5));
+        assert!(r.corrupt_container(id, Damage::BitFlip));
+        let err = r.read_anywhere(id).value.expect_err("detected");
+        assert!(
+            matches!(err, StoreError::CorruptContainer { container, .. } if container == id),
+            "{err}"
+        );
+        assert!(r.repair_container(id));
+        assert!(r.read(id).value.expect("clean again").is_some());
+        assert!(!r.corrupt_container(ContainerId::new(77), Damage::Torn));
+    }
+
+    #[test]
+    fn read_fail_fault_surfaces_as_disk_fault() {
+        let mut r = repo(1);
+        let id = store_ok(&mut r, container_with(0..2)); // op 0: write
+        r.set_node_fault_plan(0, FaultPlan::fail_at(1));
+        let err = r.read(id).value.expect_err("read fault");
+        assert!(matches!(err, StoreError::DiskFault { node: 0, .. }));
+        // One-shot: the next read succeeds.
+        assert!(r.read(id).value.expect("ok").is_some());
     }
 
     #[test]

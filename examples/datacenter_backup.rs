@@ -38,13 +38,15 @@ fn main() {
         let mut logical = 0u64;
         let mut transferred = 0u64;
         for (i, stream) in day.per_client.iter().enumerate() {
-            let rep = debar.backup(jobs[i], &Dataset::from_records("daily", stream.clone()));
+            let rep = debar
+                .backup(jobs[i], &Dataset::from_records("daily", stream.clone()))
+                .expect("backup");
             logical += rep.logical_bytes;
             transferred += rep.transferred_bytes;
         }
         let d1_wall = debar.align_clocks() - t0;
         let d2_note = if debar.should_run_dedup2() || day.day == days {
-            let d2 = debar.run_dedup2();
+            let d2 = debar.run_dedup2().expect("dedup2");
             debar_time += d2.total_wall();
             format!("{} stored", d2.store.stored_chunks)
         } else {
@@ -54,7 +56,7 @@ fn main() {
 
         let t0 = ddfs.now();
         for stream in &day.per_client {
-            ddfs.backup_stream(stream);
+            ddfs.backup_stream(stream).expect("backup");
         }
         let ddfs_wall = ddfs.now() - t0;
         ddfs_time += ddfs_wall;
@@ -70,7 +72,7 @@ fn main() {
             mibps(logical, ddfs_wall),
         );
     }
-    debar.force_siu();
+    debar.force_siu().expect("siu");
 
     let debar_stored = debar.repository().stats().data_bytes;
     let ddfs_stored = ddfs.stats().stored_bytes;

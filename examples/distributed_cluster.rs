@@ -33,9 +33,10 @@ fn main() {
         for (i, v) in gen.next_round().into_iter().enumerate() {
             logical += cluster
                 .backup(jobs[i], &Dataset::from_records("v", v))
+                .expect("backup")
                 .logical_bytes;
         }
-        let d2 = cluster.run_dedup2();
+        let d2 = cluster.run_dedup2().expect("dedup2");
         let wall = cluster.align_clocks() - t0;
         println!(
             "round {round}: {} servers, {} logical at {:.0} MiB/s aggregate, \
@@ -66,8 +67,8 @@ fn main() {
     // Demand keeps growing: split into 2, then 4 backup servers. Stored
     // data and run metadata migrate with the index parts.
     for _ in 0..2 {
-        cluster.force_siu();
-        let cost = cluster.scale_out();
+        cluster.force_siu().expect("siu");
+        let cost = cluster.scale_out().expect("scale-out");
         println!(
             "performance scaling: now {} servers (redistribution {:.2}s virtual)",
             cluster.server_count(),
@@ -78,12 +79,14 @@ fn main() {
 
     // Every version ever written — including those backed up before any
     // scaling — restores cleanly from the grown cluster.
-    cluster.force_siu();
+    cluster.force_siu().expect("siu");
     let mut restored = 0u64;
     for &job in &jobs {
         let versions = cluster.director.metadata.job(job).chain.len() as u32;
         for v in 0..versions {
-            let rep = cluster.restore_run(RunId { job, version: v });
+            let rep = cluster
+                .restore_run(RunId { job, version: v })
+                .expect("restore");
             assert_eq!(rep.failures, 0, "restore failed after scaling");
             restored += rep.bytes;
         }

@@ -20,7 +20,9 @@ fn main() {
         ..FileTreeConfig::default()
     });
     let v1 = gen.initial();
-    let d1 = system.backup(job, &Dataset::from_file_specs(&v1));
+    let d1 = system
+        .backup(job, &Dataset::from_file_specs(&v1))
+        .expect("backup");
     println!(
         "backup v1: {} logical in {} chunks, {} transferred ({:.2}x phase-I compression)",
         human_bytes(d1.logical_bytes),
@@ -30,7 +32,7 @@ fn main() {
     );
 
     // De-duplication phase II: SIL -> chunk storing -> SIU.
-    let d2 = system.dedup2();
+    let d2 = system.dedup2().expect("dedup2");
     println!(
         "dedup-2 v1: {} new chunks stored in {} containers, {} duplicates discarded ({} wall)",
         d2.store.stored_chunks,
@@ -43,25 +45,27 @@ fn main() {
     // filter (primed from the job chain) and CDC's resynchronization keep
     // the transfer tiny.
     let v2 = gen.mutate(&v1, MutationConfig::default());
-    let d1b = system.backup(job, &Dataset::from_file_specs(&v2));
+    let d1b = system
+        .backup(job, &Dataset::from_file_specs(&v2))
+        .expect("backup");
     println!(
         "backup v2: {} logical, only {} transferred ({:.2}x phase-I compression)",
         human_bytes(d1b.logical_bytes),
         human_bytes(d1b.transferred_bytes),
         d1b.compression_ratio(),
     );
-    let d2b = system.dedup2();
+    let d2b = system.dedup2().expect("dedup2");
     println!(
         "dedup-2 v2: {} new chunks, {} duplicates eliminated before storage",
         d2b.store.stored_chunks,
         d2b.dup_registered + d2b.dup_pending + d2b.store.discarded,
     );
-    system.finish();
+    system.finish().expect("finish");
 
     // Restore both versions; every chunk is re-hashed and checked against
     // its fingerprint.
     for version in 0..2u32 {
-        let rep = system.restore(RunId { job, version });
+        let rep = system.restore(RunId { job, version }).expect("restore");
         assert_eq!(rep.failures, 0, "restore verification failed");
         println!(
             "restore v{}: {} across {} files at {:.1} MiB/s (LPC hit ratio {:.1}%)",

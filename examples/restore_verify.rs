@@ -27,9 +27,11 @@ fn main() {
     let mut tree = gen.initial();
     let mut last_tree = tree.clone();
     for night in 0..10 {
-        let rep = system.backup(job, &Dataset::from_file_specs(&tree));
+        let rep = system
+            .backup(job, &Dataset::from_file_specs(&tree))
+            .expect("backup");
         if night % 3 == 2 {
-            system.dedup2();
+            system.dedup2().expect("dedup2");
         }
         println!(
             "night {night}: {} logical, {} transferred",
@@ -39,12 +41,12 @@ fn main() {
         last_tree = tree.clone();
         tree = gen.mutate(&tree, MutationConfig::default());
     }
-    system.dedup2();
-    system.finish();
+    system.dedup2().expect("dedup2");
+    system.finish().expect("finish");
 
     // --- Disaster-recovery drill: restore the latest stored version. ---
     let latest = RunId { job, version: 9 };
-    let rep = system.restore(latest);
+    let rep = system.restore(latest).expect("restore");
     assert_eq!(
         rep.failures, 0,
         "every chunk must re-hash to its fingerprint"
@@ -105,7 +107,7 @@ fn main() {
     );
     for &cid in &cids {
         assert!(
-            repo.read_anywhere(cid).value.is_some(),
+            repo.read_anywhere(cid).value.expect("clean read").is_some(),
             "container lost by defrag"
         );
     }

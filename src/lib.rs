@@ -30,15 +30,17 @@
 //!
 //! // Back up a real-byte file tree (CDC + SHA-1 at the client).
 //! let tree = FileTreeGen::new(FileTreeConfig::default()).initial();
-//! let report = system.backup(job, &Dataset::from_file_specs(&tree));
+//! let report = system.backup(job, &Dataset::from_file_specs(&tree)).expect("backup");
 //! assert!(report.logical_bytes > 0);
 //!
 //! // Phase II: sequential index lookup, chunk storing, sequential update.
-//! let d2 = system.dedup2();
+//! // Every fallible operation returns a typed `DebarError` — injected
+//! // faults, corrupt containers and unknown runs never panic.
+//! let d2 = system.dedup2().expect("dedup2");
 //! assert_eq!(d2.store.stored_chunks as usize, report.transferred_chunks as usize);
 //!
 //! // Restore and verify every chunk by its SHA-1.
-//! let restored = system.restore_latest(job);
+//! let restored = system.restore_latest(job).expect("restore");
 //! assert_eq!(restored.failures, 0);
 //! ```
 
@@ -53,7 +55,10 @@ pub use debar_store as store;
 pub use debar_workload as workload;
 
 pub use debar_core::{
-    ChunkedFile, ClientId, Dataset, DebarCluster, DebarConfig, DebarSystem, Dedup1Report,
-    Dedup2Report, FileContent, FileEntry, JobId, RestoreReport, RunId, ServerId, StreamChunk,
+    ChunkedFile, ClientId, Dataset, DebarCluster, DebarConfig, DebarError, DebarResult,
+    DebarSystem, Dedup1Report, Dedup2Phase, Dedup2Report, FileContent, FileEntry, JobId,
+    RestoreReport, RunId, ServerId, StreamChunk,
 };
 pub use debar_hash::{ContainerId, Fingerprint};
+pub use debar_simio::{FaultKind, FaultPlan, FaultSpec, InjectedFault};
+pub use debar_store::{CorruptKind, Damage, StoreError};

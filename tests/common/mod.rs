@@ -18,7 +18,33 @@
 
 use debar::hash::Sha1;
 use debar::workload::files::{FileSpec, FileTreeConfig, FileTreeGen, MutationConfig};
-use debar::{ClientId, Dataset, DebarCluster, DebarConfig, JobId, RunId};
+use debar::{
+    ClientId, Damage, Dataset, DebarCluster, DebarConfig, DebarError, Dedup2Phase, FaultPlan,
+    JobId, RunId,
+};
+
+/// The failure kind a scenario injects (beyond plain index loss).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Failure {
+    /// No injected failure.
+    None,
+    /// After all backups: wipe every index part and rebuild it from the
+    /// chunk repository before verifying/restoring.
+    RecoverIndexes,
+    /// Bit-flip one container after all backups: the corruption must be
+    /// *detected* — typed error on restore, counted by the verify audit,
+    /// typed error on the recovery rebuild — then repaired, rebuilt and
+    /// fully verified.
+    CorruptContainer,
+    /// Fail the final round's first container write: `run_dedup2` must
+    /// surface `InterruptedDedup2` and a re-run must converge to the
+    /// byte-identical state of a never-interrupted scenario.
+    InterruptDedup2,
+    /// Tear server 0's final SIU write sweep: `force_siu` must surface
+    /// `PartialSiu` (half the batch durable) and a re-run must converge
+    /// byte-identically.
+    PartialSiu,
+}
 
 /// A parameterized end-to-end scenario.
 #[derive(Debug, Clone)]
@@ -40,9 +66,8 @@ pub struct Scenario {
     /// Workload seed (trees are identical across cluster shapes for the
     /// same seed, which is what makes outcomes comparable).
     pub seed: u64,
-    /// After all backups: wipe every index part and rebuild it from the
-    /// chunk repository before verifying/restoring (failure injection).
-    pub recover_indexes: bool,
+    /// The injected failure kind.
+    pub failure: Failure,
 }
 
 impl Scenario {
@@ -58,13 +83,19 @@ impl Scenario {
             files: 8,
             siu_interval: 2,
             seed: 0x5CE0_A710,
-            recover_indexes: false,
+            failure: Failure::None,
         }
     }
 
     /// Builder: inject index loss + repository-scan recovery.
     pub fn with_recovery(mut self) -> Self {
-        self.recover_indexes = true;
+        self.failure = Failure::RecoverIndexes;
+        self
+    }
+
+    /// Builder: inject an explicit failure kind.
+    pub fn with_failure(mut self, failure: Failure) -> Self {
+        self.failure = failure;
         self
     }
 
@@ -227,7 +258,7 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
             let ds = Dataset::from_file_specs(tree);
             let logical = ds.logical_bytes();
             let sample = &tree[version % tree.len()];
-            cluster.backup(job, &ds);
+            cluster.backup(job, &ds).expect("backup");
             out.logical_bytes += logical;
             ledger.push(LedgerEntry {
                 job,
@@ -238,7 +269,31 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
                 sample_bytes: sample.data.len() as u64,
             });
         }
-        let d2 = cluster.run_dedup2();
+        if sc.failure == Failure::InterruptDedup2 && version == sc.versions - 1 {
+            // Crash the final round's chunk storing: whichever repository
+            // node takes the round's first container write fails it.
+            for n in 0..cluster.repository().node_count() {
+                cluster.set_repo_fault_plan(n, FaultPlan::fail_at(cluster.repo_node_ops(n)));
+            }
+            let err = cluster
+                .run_dedup2()
+                .expect_err("injected store fault must interrupt the round");
+            assert!(
+                matches!(
+                    &err,
+                    DebarError::InterruptedDedup2 {
+                        phase: Dedup2Phase::ChunkStoring,
+                        ..
+                    }
+                ),
+                "{}: expected InterruptedDedup2(ChunkStoring), got {err}",
+                sc.name
+            );
+            cluster.clear_fault_plans();
+            // The resumed round converges (compared byte-for-byte against
+            // the Failure::None scenario by the failure_kinds suite).
+        }
+        let d2 = cluster.run_dedup2().expect("dedup2");
         out.stored_chunks += d2.store.stored_chunks;
         out.stored_bytes += d2.store.stored_bytes;
         out.sweep_parts_engaged = out.sweep_parts_engaged.max(d2.sweep_parts);
@@ -246,15 +301,98 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
         out.siu_wall += d2.siu_wall;
         out.dedup2_wall += d2.total_wall();
     }
-    let (_, siu_wall) = cluster.force_siu();
+    if sc.failure == Failure::PartialSiu {
+        // Tear server 0's final SIU write sweep (the asynchronous-SIU
+        // schedule must leave it pending work: versions and siu_interval
+        // are chosen so the last round deferred its PSIU).
+        let ops = cluster.index_disk_ops(0);
+        cluster.set_index_fault_plan(0, FaultPlan::torn_write_at(ops + 1));
+        let err = cluster
+            .force_siu()
+            .expect_err("injected torn write must interrupt the SIU");
+        let DebarError::PartialSiu {
+            server: 0,
+            applied,
+            total,
+            ..
+        } = err
+        else {
+            panic!("{}: expected PartialSiu on server 0, got {err}", sc.name);
+        };
+        assert!(
+            total >= 2,
+            "{}: scenario must leave server 0 pending SIU work",
+            sc.name
+        );
+        assert_eq!(applied, total / 2, "{}: torn prefix", sc.name);
+        cluster.clear_fault_plans();
+        // The redo below re-applies the whole batch idempotently.
+    }
+    let (_, siu_wall) = cluster.force_siu().expect("siu");
     out.siu_wall += siu_wall;
     out.dedup2_wall += siu_wall;
 
-    if sc.recover_indexes {
+    if sc.failure == Failure::CorruptContainer {
+        // Bit-rot one container, deterministically chosen.
+        let cids = cluster.repository().container_ids();
+        let target = cids[cids.len() / 2];
+        assert!(cluster.corrupt_container(target, Damage::BitFlip));
+        // Detected on restore: at least one run's strict restore fails
+        // with the typed error naming the damaged container.
+        let mut detected = 0u64;
+        for entry in &ledger {
+            let run = RunId {
+                job: entry.job,
+                version: entry.version,
+            };
+            match cluster.restore_run(run) {
+                Ok(_) => {}
+                Err(DebarError::CorruptContainer { container, .. }) => {
+                    assert_eq!(container, target, "{}: wrong container blamed", sc.name);
+                    detected += 1;
+                }
+                Err(e) => panic!("{}: unexpected restore error {e}", sc.name),
+            }
+        }
+        assert!(
+            detected > 0,
+            "{}: no restore touched the corrupt container",
+            sc.name
+        );
+        // Detected by the verify audit: failures counted, walk completes.
+        let mut audit_failures = 0u64;
+        for entry in &ledger {
+            let run = RunId {
+                job: entry.job,
+                version: entry.version,
+            };
+            audit_failures += cluster.verify_run(run).expect("verify walks").failures;
+        }
+        assert!(audit_failures > 0, "{}: audit missed corruption", sc.name);
+        // Detected on the §4.1 recovery rebuild: the repository scan
+        // refuses to rebuild an index from a corrupt container.
+        let err = cluster
+            .recover_index(0)
+            .expect_err("recovery rebuild must detect corruption");
+        assert!(
+            matches!(&err, DebarError::CorruptContainer { container, .. } if *container == target),
+            "{}: expected CorruptContainer from rebuild, got {err}",
+            sc.name
+        );
+        // Repair (admin restores the container from a replica), then
+        // rebuild every part and fall through to the full verification
+        // walk below.
+        assert!(cluster.repair_container(target));
+        for s in 0..cluster.server_count() as u16 {
+            cluster.recover_index(s).expect("rebuild after repair");
+        }
+    }
+
+    if sc.failure == Failure::RecoverIndexes {
         // Lose every index part, then rebuild each from the repository.
         let entries_before = cluster.index_entries();
         for s in 0..cluster.server_count() as u16 {
-            let cost = cluster.recover_index(s);
+            let cost = cluster.recover_index(s).expect("recover");
             assert!(cost > 0.0, "{}: free index recovery", sc.name);
         }
         assert_eq!(
@@ -270,9 +408,9 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
             job: entry.job,
             version: entry.version,
         };
-        let v = cluster.verify_run(run);
+        let v = cluster.verify_run(run).expect("verify");
         out.verify_failures += v.failures;
-        let r = cluster.restore_run(run);
+        let r = cluster.restore_run(run).expect("restore");
         out.restore_failures += r.failures;
         out.restored_bytes += r.bytes;
         assert_eq!(
@@ -281,7 +419,9 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
             sc.name
         );
         assert_eq!(r.files, entry.files, "{}: run {run:?} file count", sc.name);
-        let f = cluster.restore_file(run, &entry.sample_path);
+        let f = cluster
+            .restore_file(run, &entry.sample_path)
+            .expect("restore-file");
         assert_eq!(
             f.bytes, entry.sample_bytes,
             "{}: partial restore of {} diverged",

@@ -44,14 +44,15 @@ fn random_workload(seed: u64, w_bits: u32, sweep_parts: usize) {
             let version = c.director.metadata.job(job).next_version();
             let bytes: u64 = recs.iter().map(|r| r.len as u64).sum();
             runs.push((job, version, bytes));
-            c.backup(job, &Dataset::from_records("s", recs));
+            c.backup(job, &Dataset::from_records("s", recs))
+                .expect("backup");
         }
         if rng.chance(0.7) || round == 3 {
-            stored_total += c.run_dedup2().store.stored_chunks;
+            stored_total += c.run_dedup2().expect("dedup2").store.stored_chunks;
         }
     }
-    stored_total += c.run_dedup2().store.stored_chunks;
-    c.force_siu();
+    stored_total += c.run_dedup2().expect("dedup2").store.stored_chunks;
+    c.force_siu().expect("siu");
 
     // Invariant 1: stored chunks == distinct fingerprints.
     assert_eq!(
@@ -72,7 +73,7 @@ fn random_workload(seed: u64, w_bits: u32, sweep_parts: usize) {
 
     // Invariant 3: every run restores its exact logical byte count.
     for (job, version, bytes) in runs {
-        let rep = c.restore_run(RunId { job, version });
+        let rep = c.restore_run(RunId { job, version }).expect("restore");
         assert_eq!(rep.failures, 0, "seed {seed}: restore failures");
         assert_eq!(rep.bytes, bytes, "seed {seed}: byte mismatch");
     }

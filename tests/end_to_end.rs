@@ -22,13 +22,15 @@ fn backup_restore_roundtrip_is_byte_exact() {
     let tree = tree_gen().initial();
     let logical: u64 = tree.iter().map(|f| f.data.len() as u64).sum();
 
-    let d1 = system.backup(job, &Dataset::from_file_specs(&tree));
+    let d1 = system
+        .backup(job, &Dataset::from_file_specs(&tree))
+        .expect("backup");
     assert_eq!(d1.logical_bytes, logical);
-    let d2 = system.dedup2();
+    let d2 = system.dedup2().expect("dedup2");
     assert!(d2.store.stored_chunks > 0);
-    system.finish();
+    system.finish().expect("finish");
 
-    let rep = system.restore_latest(job);
+    let rep = system.restore_latest(job).expect("restore");
     assert_eq!(
         rep.failures, 0,
         "every chunk must re-hash to its fingerprint"
@@ -45,13 +47,17 @@ fn incremental_versions_share_storage() {
     let v1 = gen.initial();
     let v2 = gen.mutate(&v1, MutationConfig::default());
 
-    let d1 = system.backup(job, &Dataset::from_file_specs(&v1));
-    system.dedup2();
+    let d1 = system
+        .backup(job, &Dataset::from_file_specs(&v1))
+        .expect("backup");
+    system.dedup2().expect("dedup2");
     let stored_v1 = system.cluster().repository().stats().data_bytes;
 
-    let d1b = system.backup(job, &Dataset::from_file_specs(&v2));
-    system.dedup2();
-    system.finish();
+    let d1b = system
+        .backup(job, &Dataset::from_file_specs(&v2))
+        .expect("backup");
+    system.dedup2().expect("dedup2");
+    system.finish().expect("finish");
     let stored_both = system.cluster().repository().stats().data_bytes;
 
     // The second version's new storage must be far below its logical size
@@ -66,7 +72,7 @@ fn incremental_versions_share_storage() {
 
     // Both versions restore clean.
     for version in 0..2u32 {
-        let rep = system.restore(RunId { job, version });
+        let rep = system.restore(RunId { job, version }).expect("restore");
         assert_eq!(rep.failures, 0, "version {version} failed verification");
     }
 }
@@ -81,11 +87,15 @@ fn distinct_jobs_deduplicate_against_each_other_in_phase2() {
     let b = system.define_job("b", ClientId(1));
     let tree = tree_gen().initial();
 
-    system.backup(a, &Dataset::from_file_specs(&tree));
-    let d2a = system.dedup2();
-    system.backup(b, &Dataset::from_file_specs(&tree));
-    let d2b = system.dedup2();
-    system.finish();
+    system
+        .backup(a, &Dataset::from_file_specs(&tree))
+        .expect("backup");
+    let d2a = system.dedup2().expect("dedup2");
+    system
+        .backup(b, &Dataset::from_file_specs(&tree))
+        .expect("backup");
+    let d2b = system.dedup2().expect("dedup2");
+    system.finish().expect("finish");
 
     assert!(d2a.store.stored_chunks > 0);
     assert_eq!(
@@ -97,7 +107,7 @@ fn distinct_jobs_deduplicate_against_each_other_in_phase2() {
         d2a.store.stored_chunks as usize
     );
 
-    let rep = system.restore_latest(b);
+    let rep = system.restore_latest(b).expect("restore");
     assert_eq!(rep.failures, 0);
 }
 
@@ -122,10 +132,12 @@ fn deterministic_end_to_end() {
         let mut system = DebarSystem::new(DebarConfig::tiny_test(1));
         let job = system.define_job("d", ClientId(0));
         let tree = tree_gen().initial();
-        system.backup(job, &Dataset::from_file_specs(&tree));
-        let d2 = system.dedup2();
-        system.finish();
-        let rep = system.restore_latest(job);
+        system
+            .backup(job, &Dataset::from_file_specs(&tree))
+            .expect("backup");
+        let d2 = system.dedup2().expect("dedup2");
+        system.finish().expect("finish");
+        let rep = system.restore_latest(job).expect("restore");
         (
             d2.store.stored_chunks,
             d2.store.containers,

@@ -1,0 +1,98 @@
+//! Failure-kind scenarios (ROADMAP: "failure kinds beyond index loss"):
+//! container corruption, mid-dedup-2 crashes and partial SIU, each driven
+//! through the shared scenario harness across the `sweep_parts` matrix.
+//!
+//! Two properties are pinned:
+//!
+//! 1. **Typed detection** — every injected fault surfaces as the matching
+//!    `DebarError` (no panics on any fault path), with corruption caught
+//!    on restore, by the verify audit *and* on the §4.1 recovery rebuild.
+//! 2. **Crash-consistent convergence** — a crash-interrupted dedup-2 or
+//!    SIU, re-run after the fault clears, converges to **byte-identical
+//!    index parts and restore bytes** versus a never-interrupted run of
+//!    the same scenario, for every partition count in the matrix
+//!    (`{1, 2, 4}` by default; CI widens it via `DEBAR_SWEEP_PARTS`).
+
+mod common;
+
+use common::{assert_equivalent, run_scenario, sweep_parts_matrix, Failure, Outcome, Scenario};
+
+/// Run one failure-kind scenario across the partition matrix, asserting
+/// cross-partition equivalence, and return the outcomes by parts.
+fn matrix(name: &'static str, w_bits: u32, failure: Failure) -> Vec<(usize, Outcome)> {
+    let mut outs: Vec<(usize, Outcome)> = Vec::new();
+    for parts in sweep_parts_matrix() {
+        let out = run_scenario(&Scenario::tiny(name, w_bits, parts).with_failure(failure));
+        if let Some((p0, base)) = outs.first() {
+            assert_equivalent(
+                base,
+                &out,
+                &format!("{name}: parts={parts} vs parts={p0} diverged"),
+            );
+        }
+        outs.push((parts, out));
+    }
+    outs
+}
+
+#[test]
+fn container_corruption_detected_on_restore_and_recovery() {
+    // The harness asserts the three detection sites internally (typed
+    // restore error naming the damaged container, verify-audit failure
+    // counts, typed recovery-rebuild error); here we additionally pin
+    // that the post-repair state is byte-identical across partitions.
+    matrix("corrupt", 0, Failure::CorruptContainer);
+}
+
+#[test]
+fn container_corruption_detected_multi_server() {
+    matrix("corrupt-w1", 1, Failure::CorruptContainer);
+}
+
+#[test]
+fn interrupted_dedup2_converges_to_uninterrupted_run() {
+    for (parts, faulted) in matrix("interrupt", 0, Failure::InterruptDedup2) {
+        let clean = run_scenario(&Scenario::tiny("interrupt", 0, parts));
+        assert_equivalent(
+            &clean,
+            &faulted,
+            &format!("interrupt: resumed run (parts={parts}) vs uninterrupted"),
+        );
+    }
+}
+
+#[test]
+fn interrupted_dedup2_converges_multi_server() {
+    for (parts, faulted) in matrix("interrupt-w1", 1, Failure::InterruptDedup2) {
+        let clean = run_scenario(&Scenario::tiny("interrupt-w1", 1, parts));
+        assert_equivalent(
+            &clean,
+            &faulted,
+            &format!("interrupt-w1: resumed run (parts={parts}) vs uninterrupted"),
+        );
+    }
+}
+
+#[test]
+fn partial_siu_converges_to_uninterrupted_run() {
+    for (parts, faulted) in matrix("partial-siu", 0, Failure::PartialSiu) {
+        let clean = run_scenario(&Scenario::tiny("partial-siu", 0, parts));
+        assert_equivalent(
+            &clean,
+            &faulted,
+            &format!("partial-siu: redone run (parts={parts}) vs uninterrupted"),
+        );
+    }
+}
+
+#[test]
+fn partial_siu_converges_multi_server() {
+    for (parts, faulted) in matrix("partial-siu-w1", 1, Failure::PartialSiu) {
+        let clean = run_scenario(&Scenario::tiny("partial-siu-w1", 1, parts));
+        assert_equivalent(
+            &clean,
+            &faulted,
+            &format!("partial-siu-w1: redone run (parts={parts}) vs uninterrupted"),
+        );
+    }
+}

@@ -44,11 +44,12 @@ fn unique_chunk_invariant(sweep_parts: usize) {
     for _round in 0..4 {
         for (i, v) in gen.next_round().into_iter().enumerate() {
             all_fps.extend(v.iter().map(|r| r.fp));
-            c.backup(jobs[i], &Dataset::from_records("v", v));
+            c.backup(jobs[i], &Dataset::from_records("v", v))
+                .expect("backup");
         }
-        stored_total += c.run_dedup2().store.stored_chunks;
+        stored_total += c.run_dedup2().expect("dedup2").store.stored_chunks;
     }
-    c.force_siu();
+    c.force_siu().expect("siu");
     // Invariant: chunks stored == distinct fingerprints ever seen, despite
     // ~90% duplication, cross-stream sharing and per-round adjudication.
     assert_eq!(stored_total, all_fps.len() as u64);
@@ -63,9 +64,10 @@ fn unique_chunk_invariant(sweep_parts: usize) {
 fn fingerprints_live_on_their_routing_server() {
     let mut c = cluster(2);
     let job = c.define_job("j", ClientId(0));
-    c.backup(job, &Dataset::from_records("s", records(0..2000)));
-    c.run_dedup2();
-    c.force_siu();
+    c.backup(job, &Dataset::from_records("s", records(0..2000)))
+        .expect("backup");
+    c.run_dedup2().expect("dedup2");
+    c.force_siu().expect("siu");
     for r in records(0..2000) {
         let owner = r.fp.server_number(2) as u16;
         assert!(
@@ -99,8 +101,9 @@ fn async_siu_never_double_stores_across_servers() {
     // Same content through three different jobs, dedup-2 after each with
     // SIU deferred until the third round.
     for (i, job) in [a, b, d].into_iter().enumerate() {
-        c.backup(job, &Dataset::from_records("s", recs.clone()));
-        let rep = c.run_dedup2();
+        c.backup(job, &Dataset::from_records("s", recs.clone()))
+            .expect("backup");
+        let rep = c.run_dedup2().expect("dedup2");
         if i == 0 {
             assert_eq!(rep.store.stored_chunks, 1800);
         } else {
@@ -110,10 +113,10 @@ fn async_siu_never_double_stores_across_servers() {
             );
         }
     }
-    c.force_siu();
+    c.force_siu().expect("siu");
     assert_eq!(c.index_entries(), 1800);
     for job in [a, b, d] {
-        let rep = c.restore_run(RunId { job, version: 0 });
+        let rep = c.restore_run(RunId { job, version: 0 }).expect("restore");
         assert_eq!(rep.failures, 0);
     }
 }
@@ -128,8 +131,9 @@ fn cluster_wall_times_scale_with_servers() {
         cfg.index_part_bytes = (256 * 512) >> w;
         let mut c = DebarCluster::new(cfg);
         let job = c.define_job("j", ClientId(0));
-        c.backup(job, &Dataset::from_records("s", records(0..4000)));
-        c.run_dedup2().sil_wall
+        c.backup(job, &Dataset::from_records("s", records(0..4000)))
+            .expect("backup");
+        c.run_dedup2().expect("dedup2").sil_wall
     };
     let one = run(0);
     let four = run(2);
@@ -157,10 +161,11 @@ fn restore_from_any_server_resolves_remote_parts() {
     let mut c = cluster(2);
     let job = c.define_job("j", ClientId(0));
     let recs = records(0..3000);
-    c.backup(job, &Dataset::from_records("s", recs.clone()));
-    c.run_dedup2();
-    c.force_siu();
-    let rep = c.restore_run(RunId { job, version: 0 });
+    c.backup(job, &Dataset::from_records("s", recs.clone()))
+        .expect("backup");
+    c.run_dedup2().expect("dedup2");
+    c.force_siu().expect("siu");
+    let rep = c.restore_run(RunId { job, version: 0 }).expect("restore");
     assert_eq!(rep.failures, 0);
     assert_eq!(rep.chunks, 3000);
     let expect: u64 = recs.iter().map(|r| r.len as u64).sum();

@@ -41,7 +41,7 @@ fn ddfs_throughput_collapses_when_bloom_saturates() {
         cfg.index = IndexParams::new(12, 512);
         let mut s = DdfsServer::new(cfg);
         s.preload((0..ballast).map(|i| (Fingerprint::of_counter(i), ContainerId::new(0))));
-        let rep = s.backup_stream(&stream);
+        let rep = s.backup_stream(&stream).expect("backup");
         rep.throughput_mibps()
     };
     let healthy = run(1_000); // m/n huge
@@ -92,11 +92,14 @@ fn preliminary_filter_cuts_network_traffic_not_compression() {
         cfg.filter_bytes = filter_bytes;
         let mut c = DebarCluster::new(cfg);
         let job = c.define_job("j", ClientId(0));
-        c.backup(job, &Dataset::from_records("s", version_a.clone()));
-        c.run_dedup2();
-        let rep = c.backup(job, &Dataset::from_records("s", version_b.clone()));
-        c.run_dedup2();
-        c.force_siu();
+        c.backup(job, &Dataset::from_records("s", version_a.clone()))
+            .expect("backup");
+        c.run_dedup2().expect("dedup2");
+        let rep = c
+            .backup(job, &Dataset::from_records("s", version_b.clone()))
+            .expect("backup");
+        c.run_dedup2().expect("dedup2");
+        c.force_siu().expect("siu");
         (rep.transferred_bytes, c.index_entries())
     };
     let (with_filter_tx, with_entries) = run(28 * 100_000);
@@ -118,10 +121,13 @@ fn sisl_gives_lpc_high_hit_rate_on_restore() {
     // eliminated by LPC."
     let mut c = DebarCluster::new(DebarConfig::tiny_test(0));
     let job = c.define_job("j", ClientId(0));
-    c.backup(job, &Dataset::from_records("s", records(0..4000)));
-    c.run_dedup2();
-    c.force_siu();
-    let rep = c.restore_run(debar::RunId { job, version: 0 });
+    c.backup(job, &Dataset::from_records("s", records(0..4000)))
+        .expect("backup");
+    c.run_dedup2().expect("dedup2");
+    c.force_siu().expect("siu");
+    let rep = c
+        .restore_run(debar::RunId { job, version: 0 })
+        .expect("restore");
     assert_eq!(rep.failures, 0);
     assert!(
         rep.lpc_hit_ratio() > 0.97,

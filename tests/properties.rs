@@ -52,11 +52,11 @@ proptest! {
         let recs: Vec<ChunkRecord> = counters.iter().map(|&x| ChunkRecord::of_counter(x)).collect();
         let logical: u64 = recs.iter().map(|r| r.len as u64).sum();
         let distinct: std::collections::HashSet<_> = recs.iter().map(|r| r.fp).collect();
-        c.backup(job, &Dataset::from_records("s", recs));
-        let d2 = c.run_dedup2();
+        c.backup(job, &Dataset::from_records("s", recs)).expect("backup");
+        let d2 = c.run_dedup2().expect("dedup2");
         prop_assert_eq!(d2.store.stored_chunks as usize, distinct.len());
         prop_assert_eq!(c.index_entries() as usize, distinct.len());
-        let rep = c.restore_run(RunId { job, version: 0 });
+        let rep = c.restore_run(RunId { job, version: 0 }).expect("restore");
         prop_assert_eq!(rep.failures, 0);
         prop_assert_eq!(rep.bytes, logical);
     }
@@ -79,9 +79,9 @@ proptest! {
                 .collect(),
         };
         let logical = ds.logical_bytes();
-        c.backup(job, &ds);
-        c.run_dedup2();
-        let rep = c.restore_run(RunId { job, version: 0 });
+        c.backup(job, &ds).expect("backup");
+        c.run_dedup2().expect("dedup2");
+        let rep = c.restore_run(RunId { job, version: 0 }).expect("restore");
         prop_assert_eq!(rep.failures, 0);
         prop_assert_eq!(rep.bytes, logical);
         prop_assert_eq!(rep.files as usize, files.len());
@@ -102,10 +102,10 @@ proptest! {
             let job = c.define_job("p", ClientId(0));
             let recs: Vec<ChunkRecord> =
                 counters.iter().map(|&x| ChunkRecord::of_counter(x)).collect();
-            c.backup(job, &Dataset::from_records("s", recs));
-            let d2 = c.run_dedup2();
-            c.force_siu();
-            let rep = c.restore_run(RunId { job, version: 0 });
+            c.backup(job, &Dataset::from_records("s", recs)).expect("backup");
+            let d2 = c.run_dedup2().expect("dedup2");
+            c.force_siu().expect("siu");
+            let rep = c.restore_run(RunId { job, version: 0 }).expect("restore");
             (d2.store.stored_chunks, c.index_entries(), rep.bytes, rep.failures)
         };
         prop_assert_eq!(run(1), run(parts));
@@ -118,11 +118,11 @@ proptest! {
         let mut c = DebarCluster::new(DebarConfig::tiny_test(0));
         let job = c.define_job("p", ClientId(0));
         let recs: Vec<ChunkRecord> = counters.iter().map(|&x| ChunkRecord::of_counter(x)).collect();
-        c.backup(job, &Dataset::from_records("s", recs.clone()));
-        c.run_dedup2();
-        let rep = c.backup(job, &Dataset::from_records("s", recs));
+        c.backup(job, &Dataset::from_records("s", recs.clone())).expect("backup");
+        c.run_dedup2().expect("dedup2");
+        let rep = c.backup(job, &Dataset::from_records("s", recs)).expect("backup");
         prop_assert_eq!(rep.transferred_chunks, 0, "job-chain filter must eliminate everything");
-        let d2 = c.run_dedup2();
+        let d2 = c.run_dedup2().expect("dedup2");
         prop_assert_eq!(d2.store.stored_chunks, 0);
     }
 }

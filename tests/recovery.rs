@@ -74,11 +74,13 @@ fn striped_recovery_rebuild_is_charged_cheaper() {
             ..FileTreeConfig::default()
         })
         .initial();
-        system.backup(job, &Dataset::from_file_specs(&tree));
-        system.dedup2();
-        system.finish();
-        let cost = system.cluster_mut().recover_index(0);
-        let rep = system.verify(RunId { job, version: 0 });
+        system
+            .backup(job, &Dataset::from_file_specs(&tree))
+            .expect("backup");
+        system.dedup2().expect("dedup2");
+        system.finish().expect("finish");
+        let cost = system.cluster_mut().recover_index(0).expect("recover");
+        let rep = system.verify(RunId { job, version: 0 }).expect("verify");
         assert_eq!(rep.failures, 0, "parts={parts}: recovery broke integrity");
         cost
     };

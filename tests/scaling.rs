@@ -7,7 +7,7 @@
 mod common;
 
 use debar::workload::ChunkRecord;
-use debar::{ClientId, Dataset, DebarCluster, DebarConfig, RunId};
+use debar::{ClientId, Dataset, DebarCluster, DebarConfig, DebarError, RunId};
 
 fn records(range: std::ops::Range<u64>) -> Vec<ChunkRecord> {
     range.map(ChunkRecord::of_counter).collect()
@@ -24,9 +24,10 @@ fn full_scaling_ladder_preserves_everything() {
     let step = |c: &mut DebarCluster, next: &mut u64| {
         let range = *next..*next + 1200;
         *next += 1200;
-        c.backup(job, &Dataset::from_records("s", records(range.clone())));
-        c.run_dedup2();
-        c.force_siu();
+        c.backup(job, &Dataset::from_records("s", records(range.clone())))
+            .expect("backup");
+        c.run_dedup2().expect("dedup2");
+        c.force_siu().expect("siu");
         range
     };
 
@@ -36,12 +37,12 @@ fn full_scaling_ladder_preserves_everything() {
     assert_eq!(c.index_entries(), entries, "capacity scaling lost entries");
 
     backed_up.push(step(&mut c, &mut next));
-    c.scale_out();
+    c.scale_out().expect("scale-out");
     assert_eq!(c.server_count(), 2);
 
     backed_up.push(step(&mut c, &mut next));
     c.scale_up_indexes();
-    c.scale_out();
+    c.scale_out().expect("scale-out");
     assert_eq!(c.server_count(), 4);
 
     backed_up.push(step(&mut c, &mut next));
@@ -53,7 +54,7 @@ fn full_scaling_ladder_preserves_everything() {
         }
     }
     for version in 0..backed_up.len() as u32 {
-        let rep = c.restore_run(RunId { job, version });
+        let rep = c.restore_run(RunId { job, version }).expect("restore");
         assert_eq!(rep.failures, 0, "version {version} broken after scaling");
     }
     assert_eq!(c.index_entries(), next);
@@ -66,15 +67,17 @@ fn dedup_still_works_after_scaling() {
     let mut c = DebarCluster::new(DebarConfig::tiny_test(0));
     let job = c.define_job("j", ClientId(0));
     let recs = records(0..2500);
-    c.backup(job, &Dataset::from_records("s", recs.clone()));
-    c.run_dedup2();
-    c.force_siu();
-    c.scale_out();
-    c.scale_out();
+    c.backup(job, &Dataset::from_records("s", recs.clone()))
+        .expect("backup");
+    c.run_dedup2().expect("dedup2");
+    c.force_siu().expect("siu");
+    c.scale_out().expect("scale-out");
+    c.scale_out().expect("scale-out");
     assert_eq!(c.server_count(), 4);
 
-    c.backup(job, &Dataset::from_records("s", recs));
-    let d2 = c.run_dedup2();
+    c.backup(job, &Dataset::from_records("s", recs))
+        .expect("backup");
+    let d2 = c.run_dedup2().expect("dedup2");
     assert_eq!(d2.store.stored_chunks, 0, "pre-scaling content re-stored");
     assert_eq!(c.index_entries(), 2500);
 }
@@ -83,13 +86,12 @@ fn dedup_still_works_after_scaling() {
 fn scale_out_requires_quiescence() {
     let mut c = DebarCluster::new(DebarConfig::tiny_test(0));
     let job = c.define_job("j", ClientId(0));
-    c.backup(job, &Dataset::from_records("s", records(0..500)));
-    // Undetermined fingerprints staged: scaling must refuse.
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        c.scale_out();
-    }));
+    c.backup(job, &Dataset::from_records("s", records(0..500)))
+        .expect("backup");
+    // Undetermined fingerprints staged: scaling must refuse with the
+    // typed error, not a panic.
     assert!(
-        result.is_err(),
+        matches!(c.scale_out(), Err(DebarError::NotQuiesced { server: 0 })),
         "scale-out must refuse non-quiesced servers"
     );
 }
@@ -102,15 +104,17 @@ fn striped_scaling_ladder_clamps_and_preserves_everything() {
     for parts in common::sweep_parts_matrix() {
         let mut c = DebarCluster::new(DebarConfig::tiny_test(0).with_sweep_parts(parts));
         let job = c.define_job("ladder", ClientId(0));
-        c.backup(job, &Dataset::from_records("s", records(0..1500)));
-        c.run_dedup2();
-        c.force_siu();
+        c.backup(job, &Dataset::from_records("s", records(0..1500)))
+            .expect("backup");
+        c.run_dedup2().expect("dedup2");
+        c.force_siu().expect("siu");
         c.scale_up_indexes(); // 256 -> 512 buckets per part
-        c.backup(job, &Dataset::from_records("s", records(1500..3000)));
-        c.run_dedup2();
-        c.force_siu();
-        c.scale_out(); // parts halve: 256 buckets each again
-        c.scale_out(); // 128 buckets each
+        c.backup(job, &Dataset::from_records("s", records(1500..3000)))
+            .expect("backup");
+        c.run_dedup2().expect("dedup2");
+        c.force_siu().expect("siu");
+        c.scale_out().expect("scale-out"); // parts halve: 256 buckets each again
+        c.scale_out().expect("scale-out"); // 128 buckets each
         assert_eq!(c.server_count(), 4);
         assert!(
             c.config().sweep_parts <= 128,
@@ -119,14 +123,15 @@ fn striped_scaling_ladder_clamps_and_preserves_everything() {
         );
         assert!(c.config().sweep_parts >= parts.min(128));
         let d2 = {
-            c.backup(job, &Dataset::from_records("s", records(3000..4000)));
-            c.run_dedup2()
+            c.backup(job, &Dataset::from_records("s", records(3000..4000)))
+                .expect("backup");
+            c.run_dedup2().expect("dedup2")
         };
         assert_eq!(d2.store.stored_chunks, 1000, "parts={parts}");
-        c.force_siu();
+        c.force_siu().expect("siu");
         assert_eq!(c.index_entries(), 4000, "parts={parts}");
         for version in 0..3u32 {
-            let rep = c.restore_run(RunId { job, version });
+            let rep = c.restore_run(RunId { job, version }).expect("restore");
             assert_eq!(rep.failures, 0, "parts={parts} version={version}");
         }
     }
@@ -142,10 +147,11 @@ fn siu_capacity_scaling_under_pressure() {
     let job = c.define_job("j", ClientId(0));
     for round in 0..4u64 {
         let range = round * 2000..(round + 1) * 2000;
-        c.backup(job, &Dataset::from_records("s", records(range)));
-        c.run_dedup2();
+        c.backup(job, &Dataset::from_records("s", records(range)))
+            .expect("backup");
+        c.run_dedup2().expect("dedup2");
     }
-    c.force_siu();
+    c.force_siu().expect("siu");
     assert_eq!(c.index_entries(), 8000);
     let util = c.index_utilization();
     assert!(

@@ -21,15 +21,20 @@ fn run_cluster(parts: usize) -> (u64, u64, u64, f64, u64) {
     let a = c.define_job("a", ClientId(0));
     let b = c.define_job("b", ClientId(1));
     // Overlapping streams: cross-stream duplicates + fresh content.
-    c.backup(a, &Dataset::from_records("s1", records(0..3000)));
-    c.backup(b, &Dataset::from_records("s2", records(1500..4500)));
-    let d2 = c.run_dedup2();
+    c.backup(a, &Dataset::from_records("s1", records(0..3000)))
+        .expect("backup");
+    c.backup(b, &Dataset::from_records("s2", records(1500..4500)))
+        .expect("backup");
+    let d2 = c.run_dedup2().expect("dedup2");
     // Second round re-backs-up one stream plus new content.
-    c.backup(a, &Dataset::from_records("s3", records(4000..6000)));
-    let d2b = c.run_dedup2();
-    c.force_siu();
+    c.backup(a, &Dataset::from_records("s3", records(4000..6000)))
+        .expect("backup");
+    let d2b = c.run_dedup2().expect("dedup2");
+    c.force_siu().expect("siu");
 
-    let restored = c.restore_run(RunId { job: a, version: 0 });
+    let restored = c
+        .restore_run(RunId { job: a, version: 0 })
+        .expect("restore");
     assert_eq!(restored.failures, 0);
     (
         d2.store.stored_chunks + d2b.store.stored_chunks,
@@ -93,20 +98,27 @@ fn striped_preset_runs_end_to_end() {
     // dedup-2 → restore cycle with the multi-part index engaged.
     let mut c = DebarCluster::new(DebarConfig::striped_scaled(4, 64 * 1024));
     let job = c.define_job("striped", ClientId(0));
-    c.backup(job, &Dataset::from_records("s", records(0..2000)));
-    let d2 = c.run_dedup2();
+    c.backup(job, &Dataset::from_records("s", records(0..2000)))
+        .expect("backup");
+    let d2 = c.run_dedup2().expect("dedup2");
     assert_eq!(d2.sweep_parts, 4, "preset must engage 4 partitions");
     assert_eq!(d2.store.stored_chunks, 2000);
-    c.force_siu();
-    assert_eq!(c.restore_run(RunId { job, version: 0 }).failures, 0);
+    c.force_siu().expect("siu");
+    assert_eq!(
+        c.restore_run(RunId { job, version: 0 })
+            .expect("restore")
+            .failures,
+        0
+    );
 }
 
 #[test]
 fn dedup2_report_surfaces_engaged_partitions() {
     let mut c = DebarCluster::new(DebarConfig::tiny_test(1).with_sweep_parts(3));
     let job = c.define_job("j", ClientId(0));
-    c.backup(job, &Dataset::from_records("s", records(0..1000)));
-    let d2 = c.run_dedup2();
+    c.backup(job, &Dataset::from_records("s", records(0..1000)))
+        .expect("backup");
+    let d2 = c.run_dedup2().expect("dedup2");
     assert_eq!(d2.sweep_parts, 3);
     // Every server's policy-visible mode matches.
     for s in 0..c.server_count() as u16 {
@@ -114,7 +126,7 @@ fn dedup2_report_surfaces_engaged_partitions() {
     }
     assert_eq!(c.director.policy().sweep_parts, 3);
     // An empty round reports the configured mode.
-    let d2_empty = c.run_dedup2();
+    let d2_empty = c.run_dedup2().expect("dedup2");
     assert_eq!(d2_empty.submitted_fps, 0);
     assert_eq!(d2_empty.sweep_parts, 3);
 }
@@ -127,21 +139,28 @@ fn scale_out_clamps_striped_parts_and_keeps_working() {
     let mut c = DebarCluster::new(DebarConfig::tiny_test(0).with_sweep_parts(256));
     let job = c.define_job("j", ClientId(0));
     let recs = records(0..2000);
-    c.backup(job, &Dataset::from_records("s", recs.clone()));
-    c.run_dedup2();
-    c.force_siu();
-    c.scale_out();
+    c.backup(job, &Dataset::from_records("s", recs.clone()))
+        .expect("backup");
+    c.run_dedup2().expect("dedup2");
+    c.force_siu().expect("siu");
+    c.scale_out().expect("scale-out");
     assert_eq!(c.server_count(), 2);
     assert_eq!(
         c.config().sweep_parts,
         128,
         "scale-out must clamp sweep_parts to the halved bucket count"
     );
-    c.backup(job, &Dataset::from_records("s", records(2000..3000)));
-    let d2 = c.run_dedup2();
+    c.backup(job, &Dataset::from_records("s", records(2000..3000)))
+        .expect("backup");
+    let d2 = c.run_dedup2().expect("dedup2");
     assert_eq!(d2.sweep_parts, 128);
-    c.force_siu();
+    c.force_siu().expect("siu");
     for version in 0..2u32 {
-        assert_eq!(c.restore_run(RunId { job, version }).failures, 0);
+        assert_eq!(
+            c.restore_run(RunId { job, version })
+                .expect("restore")
+                .failures,
+            0
+        );
     }
 }
