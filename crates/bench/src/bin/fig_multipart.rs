@@ -2,13 +2,19 @@
 //! sweep time and dedup-2 throughput as the number of index parts grows —
 //! the scalability argument behind DEBAR's striped index volume.
 //!
-//! Two measurements per partition count `P ∈ {1, 2, 4, 8, 16}`:
+//! Three measurements per partition count `P ∈ {1, 2, 4, 8, 16}`:
 //!
 //! 1. **Index-level sweep law** — one SIL sweep of a paper-geometry index
-//!    part striped over `P` part-disks; the virtual sweep time must be
-//!    exactly `1/P` of the single-volume sweep (the even-split maximum of
-//!    `SimDisk::seq_read_striped`).
-//! 2. **System-level dedup-2** — the same multi-round, two-job backup
+//!    part striped over `P` part-disks; with the physical per-partition
+//!    disk model the even-split sweep time must still be exactly `1/P` of
+//!    the single-volume sweep (each part-disk reads `total/P` bytes).
+//! 2. **Straggler law** — the same sweep under a *deliberately skewed*
+//!    layout (the first part-disk covers **half** the bucket range, the
+//!    rest split the remainder): the sweep completes at the **slowest
+//!    part**, i.e. half the scalar sweep regardless of `P` — not
+//!    `total/P`. The analytic even-split model could never show this;
+//!    the physical part-disk queues do.
+//! 3. **System-level dedup-2** — the same multi-round, two-job backup
 //!    workload on a [`DebarConfig::striped_scaled`] deployment; PSIL/PSIU
 //!    walls shrink ≈ `1/P` while the chunk-storing phase is unchanged, so
 //!    dedup-2 throughput rises and saturates — the paper's diminishing
@@ -37,6 +43,7 @@ const PARTS: [usize; 5] = [1, 2, 4, 8, 16];
 struct Point {
     parts: usize,
     index_sweep_s: f64,
+    skew_sweep_s: f64,
     sil_wall_s: f64,
     siu_wall_s: f64,
     d2_wall_s: f64,
@@ -57,6 +64,39 @@ fn index_sweep_secs(cfg: &DebarConfig, parts: usize) -> f64 {
     }
     let rep = idx.sequential_lookup_sharded(&mut cache, parts).value;
     assert_eq!(rep.parts, parts as u32, "sweep must engage all partitions");
+    rep.sweep_secs
+}
+
+/// The same sweep under a deliberately skewed `parts`-way layout: the
+/// first part-disk covers half the bucket range, the rest split the
+/// remainder. The physical model completes at the slowest part.
+fn skew_sweep_secs(cfg: &DebarConfig, parts: usize) -> f64 {
+    let mut idx = DiskIndex::with_paper_disk(cfg.index_part_params(), 0xF16);
+    idx.bulk_load((0..20_000u64).map(|i| (Fingerprint::of_counter(i), ContainerId::new(i))));
+    let buckets = idx.params().buckets();
+    let bounds: Vec<u64> = if parts == 1 {
+        vec![buckets]
+    } else {
+        let half = buckets / 2;
+        let rest = buckets - half;
+        let tail = (parts - 1) as u64;
+        (1..=tail)
+            .map(|i| half + rest * i / tail)
+            .fold(vec![half], |mut b, e| {
+                b.push(e);
+                b
+            })
+    };
+    idx.set_sweep_layout(Some(bounds));
+    let mut cache = IndexCache::new(8, 40_000);
+    for i in 0..10_000u64 {
+        cache.insert(Fingerprint::of_counter(i * 3), 0);
+    }
+    let rep = idx.sequential_lookup_sharded(&mut cache, parts).value;
+    assert_eq!(
+        rep.parts, parts as u32,
+        "skewed sweep must engage all parts"
+    );
     rep.sweep_secs
 }
 
@@ -108,6 +148,8 @@ fn main() {
         "parts",
         "index sweep (s)",
         "sweep speedup",
+        "skew sweep (s)",
+        "straggler x",
         "PSIL wall (s)",
         "PSIU wall (s)",
         "dedup-2 wall (s)",
@@ -116,11 +158,13 @@ fn main() {
     let mut points = Vec::new();
     for &parts in &PARTS {
         let index_sweep_s = index_sweep_secs(&law_cfg, parts);
+        let skew_sweep_s = skew_sweep_secs(&law_cfg, parts);
         let (sil_wall_s, siu_wall_s, d2_wall_s, d2_throughput_mibps) =
             system_point(parts, denom, rounds);
         points.push(Point {
             parts,
             index_sweep_s,
+            skew_sweep_s,
             sil_wall_s,
             siu_wall_s,
             d2_wall_s,
@@ -132,16 +176,36 @@ fn main() {
     let base_sil = base.sil_wall_s;
     for p in &points {
         let sweep_speedup = base_sweep / p.index_sweep_s;
-        // The index-level law is exact in the virtual-time model.
+        // The even-split law is exact in the physical model too: every
+        // part-disk reads total/P bytes.
         assert!(
             (sweep_speedup - p.parts as f64).abs() / (p.parts as f64) < 1e-9,
             "parts={}: sweep speedup {sweep_speedup} != 1/P law",
             p.parts
         );
+        // The straggler column must be populated and obey the physical
+        // law: a skewed sweep completes at the slowest part — half the
+        // scalar sweep for P >= 2 (its biggest part covers half the
+        // buckets), NOT total/P.
+        assert!(p.skew_sweep_s > 0.0, "straggler column unpopulated");
+        let expect_skew = if p.parts == 1 {
+            base_sweep
+        } else {
+            base_sweep / 2.0
+        };
+        assert!(
+            (p.skew_sweep_s - expect_skew).abs() / expect_skew < 1e-9,
+            "parts={}: skewed sweep {} != slowest-part law {expect_skew}",
+            p.parts,
+            p.skew_sweep_s
+        );
+        let straggler_x = p.skew_sweep_s / p.index_sweep_s;
         t.row(vec![
             p.parts.to_string(),
             format!("{:.6}", p.index_sweep_s),
             f(sweep_speedup, 2),
+            format!("{:.6}", p.skew_sweep_s),
+            f(straggler_x, 2),
             f(p.sil_wall_s, 3),
             f(p.siu_wall_s, 3),
             f(p.d2_wall_s, 3),
@@ -150,10 +214,13 @@ fn main() {
     }
     t.print();
     println!(
-        "\nShape: virtual sweep time divides exactly by P (max-of-partitions\n\
-         striping); PSIL/PSIU walls follow ≈ 1/P until the storing phase\n\
-         dominates, so dedup-2 throughput rises and saturates — the paper's\n\
-         multi-part scalability argument."
+        "\nShape: even-split sweep time divides exactly by P (each part-disk\n\
+         reads total/P bytes; max over parts); a skewed layout straggles at\n\
+         its slowest part-disk (half the scalar sweep here, straggler x =\n\
+         P/2) — visible only with real per-partition disk queues. PSIL/PSIU\n\
+         walls follow ≈ 1/P until the storing phase dominates, so dedup-2\n\
+         throughput rises and saturates — the paper's multi-part\n\
+         scalability argument."
     );
 
     // ---- BENCH_multipart.json (workspace root, manual JSON: no runtime
@@ -164,11 +231,14 @@ fn main() {
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
             "    {{ \"parts\": {}, \"index_sweep_s\": {:.9}, \"sweep_speedup\": {:.3}, \
+             \"skew_sweep_s\": {:.9}, \"straggler_x\": {:.3}, \
              \"sil_wall_s\": {:.6}, \"siu_wall_s\": {:.6}, \"d2_wall_s\": {:.6}, \
              \"sil_speedup\": {:.3}, \"d2_throughput_mibps\": {:.2} }}{}\n",
             p.parts,
             p.index_sweep_s,
             base_sweep / p.index_sweep_s,
+            p.skew_sweep_s,
+            p.skew_sweep_s / p.index_sweep_s,
             p.sil_wall_s,
             p.siu_wall_s,
             p.d2_wall_s,

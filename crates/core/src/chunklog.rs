@@ -5,10 +5,26 @@
 //! `<F, D(F)>` groups; phase II drains it sequentially for chunk storing
 //! (§5.3), which is why its sustained read rate (224 MB/s in the paper)
 //! bounds the dedup-2 chunk-storing throughput.
+//!
+//! # Fault model
+//!
+//! The log disk carries an armable [`debar_simio::FaultPlan`] like every
+//! other simulated device, and the fault-checked entry points
+//! ([`ChunkLog::try_append`], [`ChunkLog::try_drain`]) surface injected
+//! faults as [`DebarError::DiskFault`] — extending the typed failure
+//! story to de-duplication phase I. Log appends are synchronous (the
+//! backup run stalls on them), so *every* fault kind — outright failure,
+//! torn write, bit flip — is detected at the faulted operation itself:
+//! a failed append persists nothing and the record is **not** logged; a
+//! failed drain leaves every record in place for the retry. A fault fired
+//! through the unchecked legacy paths stays pending and manifests at the
+//! next checked operation (the "next checked boundary" rule of
+//! `debar_simio::fault`).
 
 use crate::dataset::StreamChunk;
+use crate::error::DebarError;
 use debar_hash::Fingerprint;
-use debar_simio::{Secs, SimDisk, Timed};
+use debar_simio::{FaultPlan, Secs, SimDisk, Timed};
 use debar_store::Payload;
 
 /// One `<F, D(F)>` group.
@@ -69,6 +85,24 @@ impl ChunkLog {
         self.bytes
     }
 
+    /// Arm a deterministic fault schedule on the log disk (replaces any
+    /// previous plan); [`ChunkLog::try_append`] and
+    /// [`ChunkLog::try_drain`] check it.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.disk.set_fault_plan(plan);
+    }
+
+    /// Disarm all log-disk faults (armed and fired-but-uncollected).
+    pub fn clear_fault_plan(&mut self) {
+        self.disk.clear_fault_plan();
+    }
+
+    /// The log disk's operation counter (for arming `FaultPlan`s relative
+    /// to "the next op"; every append and every drain is one op).
+    pub fn disk_ops(&self) -> u64 {
+        self.disk.ops()
+    }
+
     /// Append one record (sequential write); returns the cost.
     pub fn append(&mut self, rec: LogRecord) -> Secs {
         let b = rec.record_bytes();
@@ -77,11 +111,41 @@ impl ChunkLog {
         self.disk.seq_write(b)
     }
 
+    /// Fault-checked [`ChunkLog::append`]: an injected fault on the
+    /// append op surfaces as [`DebarError::DiskFault`] and the record is
+    /// **not** logged (a failed synchronous append persists nothing) —
+    /// the caller aborts its backup run and may retry it whole.
+    pub fn try_append(&mut self, rec: LogRecord) -> Result<Secs, DebarError> {
+        let b = rec.record_bytes();
+        let cost = self
+            .disk
+            .checked_op(|d| d.seq_write(b))
+            .map_err(|fault| DebarError::DiskFault { fault })?;
+        self.bytes += b;
+        self.records.push(rec);
+        Ok(cost)
+    }
+
     /// Drain the log sequentially (one large sequential read).
     pub fn drain(&mut self) -> Timed<Vec<LogRecord>> {
         let cost = self.disk.seq_read(self.bytes);
         self.bytes = 0;
         Timed::new(std::mem::take(&mut self.records), cost)
+    }
+
+    /// Fault-checked [`ChunkLog::drain`] (the phase-II replay): an
+    /// injected fault on the drain op surfaces as
+    /// [`DebarError::DiskFault`] and **every record stays in the log** —
+    /// the read pointer never advanced, so the resumed round's drain
+    /// replays the identical sequence.
+    pub fn try_drain(&mut self) -> Result<Timed<Vec<LogRecord>>, DebarError> {
+        let b = self.bytes;
+        let cost = self
+            .disk
+            .checked_op(|d| d.seq_read(b))
+            .map_err(|fault| DebarError::DiskFault { fault })?;
+        self.bytes = 0;
+        Ok(Timed::new(std::mem::take(&mut self.records), cost))
     }
 
     /// Put records back at the *front* of the log in order (crash
@@ -153,5 +217,72 @@ mod tests {
         let stats = log.disk_stats();
         assert_eq!(stats.rand_writes, 0, "log writes must be sequential");
         assert!(stats.seq_write_bytes > 1 << 20);
+    }
+
+    #[test]
+    fn append_fault_is_typed_and_record_not_logged() {
+        use debar_simio::FaultKind;
+        let mut log = ChunkLog::new();
+        log.try_append(rec(1, 100)).expect("clean append");
+        log.set_fault_plan(FaultPlan::fail_at(log.disk_ops()));
+        let err = log.try_append(rec(2, 200)).expect_err("armed fault fires");
+        let DebarError::DiskFault { fault } = err else {
+            panic!("expected DiskFault, got {err:?}");
+        };
+        assert_eq!(fault.kind, FaultKind::Fail);
+        assert_eq!(log.len(), 1, "failed append persists nothing");
+        assert_eq!(log.bytes(), 125);
+        // Retry succeeds and the drained sequence is exactly the durable
+        // appends.
+        log.try_append(rec(2, 200)).expect("retry");
+        let recs = log.try_drain().expect("drain").value;
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].fp, Fingerprint::of_counter(2));
+    }
+
+    #[test]
+    fn torn_and_bitflip_append_faults_also_surface_immediately() {
+        // Log appends are synchronous: silent-at-write-time kinds are
+        // still detected at the faulted op (no checksummed re-read to
+        // defer to).
+        for plan in [FaultPlan::torn_write_at(0), FaultPlan::bit_flip_at(0)] {
+            let mut log = ChunkLog::new();
+            log.set_fault_plan(plan);
+            let err = log.try_append(rec(7, 50)).expect_err("fault fires");
+            assert!(matches!(err, DebarError::DiskFault { .. }), "{err}");
+            assert!(log.is_empty());
+        }
+    }
+
+    #[test]
+    fn drain_fault_keeps_records_for_identical_replay() {
+        let mut log = ChunkLog::new();
+        for i in 0..5u64 {
+            log.append(rec(i, 100));
+        }
+        log.set_fault_plan(FaultPlan::fail_at(log.disk_ops()));
+        let err = log.try_drain().expect_err("drain fault");
+        assert!(matches!(err, DebarError::DiskFault { .. }), "{err}");
+        assert_eq!(log.len(), 5, "read pointer never advanced");
+        assert_eq!(log.bytes(), 5 * 125);
+        let recs = log.try_drain().expect("retry drains").value;
+        assert_eq!(recs.len(), 5);
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.fp, Fingerprint::of_counter(i as u64), "order kept");
+        }
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn unchecked_fault_surfaces_at_next_checked_boundary() {
+        let mut log = ChunkLog::new();
+        log.set_fault_plan(FaultPlan::fail_at(log.disk_ops()));
+        // The legacy unchecked append fires the fault silently...
+        log.append(rec(1, 100));
+        // ...and the next checked op reports it without consuming its own.
+        let err = log.try_append(rec(2, 100)).expect_err("pending fault");
+        assert!(matches!(err, DebarError::DiskFault { .. }), "{err}");
+        log.try_append(rec(2, 100)).expect("clean after collection");
+        assert_eq!(log.len(), 2);
     }
 }

@@ -98,9 +98,24 @@ impl DebarCluster {
         self.repo.node_disk_ops(node)
     }
 
-    /// Arm a deterministic fault schedule on one server's index disk.
+    /// Arm a deterministic fault schedule on one server's index disk
+    /// (volume level: the fault takes out the whole striped sweep).
     pub fn set_index_fault_plan(&mut self, server: ServerId, plan: FaultPlan) {
         self.servers[server as usize].set_index_fault_plan(plan);
+    }
+
+    /// Arm a deterministic fault schedule on **one part-disk** of one
+    /// server's striped index volume: the physical multi-part model lets
+    /// a fault take out exactly one partition of a striped sweep, which
+    /// then surfaces as [`DebarError::PartDiskFault`] naming the part.
+    pub fn set_index_part_fault_plan(&mut self, server: ServerId, part: usize, plan: FaultPlan) {
+        self.servers[server as usize].set_index_part_fault_plan(part, plan);
+    }
+
+    /// Arm a deterministic fault schedule on one server's chunk-log disk
+    /// (dedup-1 appends and the phase-II drain check it).
+    pub fn set_log_fault_plan(&mut self, server: ServerId, plan: FaultPlan) {
+        self.servers[server as usize].set_log_fault_plan(plan);
     }
 
     /// A server's index-disk op counter (for arming fault plans).
@@ -108,12 +123,24 @@ impl DebarCluster {
         self.servers[server as usize].index_disk_ops()
     }
 
-    /// Disarm every fault plan in the deployment (repository nodes and
-    /// index disks).
+    /// One index part-disk's op counter on one server (for arming
+    /// single-part fault plans).
+    pub fn index_part_disk_ops(&self, server: ServerId, part: usize) -> u64 {
+        self.servers[server as usize].index_part_disk_ops(part)
+    }
+
+    /// A server's chunk-log-disk op counter (for arming fault plans).
+    pub fn log_disk_ops(&self, server: ServerId) -> u64 {
+        self.servers[server as usize].log_disk_ops()
+    }
+
+    /// Disarm every fault plan in the deployment (repository nodes, index
+    /// volume disks, index part-disks and chunk-log disks).
     pub fn clear_fault_plans(&mut self) {
         self.repo.clear_fault_plans();
         for s in &mut self.servers {
             s.clear_index_fault_plan();
+            s.clear_log_fault_plan();
         }
     }
 
@@ -196,7 +223,16 @@ impl DebarCluster {
         let est: u64 = files.iter().map(ChunkedFile::bytes).sum();
         let sid = self.director.assign_server(est);
         let (record, report) =
-            self.servers[sid as usize].run_backup(run, client_id, filtering, files);
+            match self.servers[sid as usize].run_backup(run, client_id, filtering, files) {
+                Ok(r) => r,
+                Err(e) => {
+                    // An aborted run registers nothing — including its
+                    // placement load, or a faulted-then-retried history
+                    // would route later jobs differently than a clean one.
+                    self.director.unassign_server(sid, est);
+                    return Err(e);
+                }
+            };
         self.director.metadata.record_run(record);
         Ok(report)
     }
@@ -1524,6 +1560,182 @@ mod tests {
             })
             .expect("restore");
         assert_eq!(r.failures, 0);
+    }
+
+    #[test]
+    fn log_append_fault_aborts_backup_and_retry_converges() {
+        use debar_simio::FaultPlan;
+        let drive = |fault: bool| {
+            let mut c = cluster(0);
+            let job = c.define_job("j", ClientId(0));
+            let ds = Dataset::from_records("s", records(0..1500));
+            if fault {
+                // Fail the run's 5th log append: a few records are already
+                // durable in the log when the run aborts.
+                c.set_log_fault_plan(0, FaultPlan::fail_at(c.log_disk_ops(0) + 4));
+                let err = c.backup(job, &ds).expect_err("log fault aborts dedup-1");
+                assert!(matches!(err, DebarError::DiskFault { .. }), "{err}");
+                assert_eq!(
+                    c.undetermined_counts(),
+                    vec![0],
+                    "aborted run registers no undetermined fingerprints"
+                );
+                c.clear_fault_plans();
+            }
+            c.backup(job, &ds).expect("(re)backup");
+            let d2 = c.run_dedup2().expect("dedup2");
+            assert_eq!(d2.store.stored_chunks, 1500, "every chunk stored once");
+            c
+        };
+        let clean = drive(false);
+        let mut resumed = drive(true);
+        // The aborted run's stray log records were discarded (no storage
+        // verdict), so the index and containers converge byte-identically.
+        assert_eq!(
+            Sha1::digest(resumed.server(0).index().raw_data()),
+            Sha1::digest(clean.server(0).index().raw_data())
+        );
+        assert_eq!(
+            resumed.repository().stats().containers,
+            clean.repository().stats().containers
+        );
+        let run = RunId {
+            job: JobId(0),
+            version: 0,
+        };
+        assert_eq!(resumed.director.metadata.run(run).map(|r| r.run), Some(run));
+        let r = resumed.restore_run(run).expect("restore");
+        assert_eq!(r.failures, 0);
+        assert_eq!(r.chunks, 1500);
+    }
+
+    #[test]
+    fn log_drain_fault_interrupts_round_and_resumes_byte_identically() {
+        use debar_simio::FaultPlan;
+        let drive = |fault: bool| {
+            let mut c = cluster(0);
+            let job = c.define_job("j", ClientId(0));
+            c.backup(job, &Dataset::from_records("s", records(0..2000)))
+                .expect("backup");
+            if fault {
+                // Fault the phase-II drain op (the next log-disk op after
+                // the backup's appends).
+                c.set_log_fault_plan(0, FaultPlan::fail_at(c.log_disk_ops(0)));
+                let err = c.run_dedup2().expect_err("drain fault interrupts");
+                assert!(
+                    matches!(
+                        &err,
+                        DebarError::InterruptedDedup2 {
+                            phase: Dedup2Phase::ChunkStoring,
+                            ..
+                        }
+                    ),
+                    "{err}"
+                );
+                assert!(
+                    c.server(0).log_bytes() > 0,
+                    "drain fault must leave the log intact for the replay"
+                );
+                c.clear_fault_plans();
+            }
+            let d2 = c.run_dedup2().expect("(re)run");
+            assert_eq!(d2.round, 1, "interrupted round re-runs");
+            c
+        };
+        let clean = drive(false);
+        let mut resumed = drive(true);
+        assert_eq!(
+            Sha1::digest(resumed.server(0).index().raw_data()),
+            Sha1::digest(clean.server(0).index().raw_data())
+        );
+        assert_eq!(resumed.index_entries(), clean.index_entries());
+        let r = resumed
+            .restore_run(RunId {
+                job: JobId(0),
+                version: 0,
+            })
+            .expect("restore");
+        assert_eq!(r.failures, 0);
+        assert_eq!(r.chunks, 2000);
+    }
+
+    #[test]
+    fn siu_part_fault_names_part_in_partial_siu() {
+        use debar_simio::FaultPlan;
+        let mut c = DebarCluster::new(DebarConfig {
+            siu_interval: 2, // round 1 defers SIU: force_siu does the work
+            ..DebarConfig::tiny_test(0).with_sweep_parts(4)
+        });
+        let job = c.define_job("j", ClientId(0));
+        c.backup(job, &Dataset::from_records("s", records(0..1500)))
+            .expect("backup");
+        let d1 = c.run_dedup2().expect("dedup2");
+        assert!(!d1.siu_ran);
+        // Fail part-disk 1's SIU write op (its next op is the read sweep).
+        let ops = c.index_part_disk_ops(0, 1);
+        c.set_index_part_fault_plan(0, 1, FaultPlan::fail_at(ops + 1));
+        let err = c.force_siu().expect_err("part fault interrupts SIU");
+        let DebarError::PartialSiu {
+            server: 0,
+            part,
+            applied,
+            ..
+        } = err
+        else {
+            panic!("expected PartialSiu, got {err:?}");
+        };
+        assert_eq!(part, Some(1), "PartialSiu must name the failing part");
+        assert_eq!(applied, 0, "outright write failure applies nothing");
+        assert!(err.to_string().contains("part-disk 1"), "{err}");
+        c.clear_fault_plans();
+        c.force_siu().expect("redo");
+        assert_eq!(c.index_entries(), 1500);
+    }
+
+    #[test]
+    fn single_part_disk_fault_names_part_and_round_resumes() {
+        use debar_simio::FaultPlan;
+        let parts = 4usize;
+        let drive = |fault: bool| {
+            let mut c = DebarCluster::new(DebarConfig::tiny_test(0).with_sweep_parts(parts));
+            let job = c.define_job("j", ClientId(0));
+            c.backup(job, &Dataset::from_records("s", records(0..2000)))
+                .expect("backup");
+            if fault {
+                // Arm exactly one part-disk of the striped PSIL sweep.
+                let ops = c.index_part_disk_ops(0, 2);
+                c.set_index_part_fault_plan(0, 2, FaultPlan::fail_at(ops));
+                let err = c.run_dedup2().expect_err("part fault interrupts PSIL");
+                let DebarError::InterruptedDedup2 {
+                    phase: Dedup2Phase::Sil,
+                    server: 0,
+                    cause,
+                    ..
+                } = err
+                else {
+                    panic!("expected InterruptedDedup2(Sil), got {err}");
+                };
+                assert!(
+                    matches!(*cause, DebarError::PartDiskFault { part: 2, .. }),
+                    "cause must name part-disk 2, got {cause}"
+                );
+                c.clear_fault_plans();
+            }
+            let d2 = c.run_dedup2().expect("(re)run");
+            assert_eq!(d2.sweep_parts, parts as u32);
+            c
+        };
+        let clean = drive(false);
+        let resumed = drive(true);
+        assert_eq!(
+            Sha1::digest(resumed.server(0).index().raw_data()),
+            Sha1::digest(clean.server(0).index().raw_data()),
+            "single-part fault + re-run must converge byte-identically"
+        );
+        assert_eq!(
+            resumed.repository().stats().containers,
+            clean.repository().stats().containers
+        );
     }
 
     #[test]

@@ -26,6 +26,14 @@
 //!   so sweeps re-clamp to `min(parts, buckets)` at run time, and
 //!   cluster scale-out normalises the configuration with
 //!   [`DebarConfig::clamp_sweep_parts`].
+//! * The part-disks are **physical**: each server's index owns one
+//!   simulated disk per sweep partition (`debar_simio::PartDiskSet`),
+//!   re-split to the clamped partition count at every sweep per the same
+//!   rules. A sweep charges each part-disk the bytes its bucket range
+//!   covers and completes at the slowest part (exactly `1/parts` for the
+//!   even split), and a fault plan armed on a single part-disk
+//!   (`DebarCluster::set_index_part_fault_plan`) surfaces as
+//!   [`crate::DebarError::PartDiskFault`] naming that part.
 
 use debar_index::IndexParams;
 use debar_simio::ScaleModel;

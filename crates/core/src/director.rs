@@ -84,6 +84,15 @@ impl Director {
         server as ServerId
     }
 
+    /// Roll back an [`Director::assign_server`] whose run never happened
+    /// (the backup aborted on a fault): an aborted run must register
+    /// nothing, including its placement load, or a faulted-then-retried
+    /// history would route later jobs differently than a clean one.
+    pub fn unassign_server(&mut self, server: ServerId, estimated_bytes: u64) {
+        let b = &mut self.assigned_bytes[server as usize];
+        *b = b.saturating_sub(estimated_bytes.max(1));
+    }
+
     /// Whether the automatic dedup-2 trigger fires for the given per-server
     /// undetermined counts.
     pub fn should_run_dedup2(&self, undetermined: &[usize]) -> bool {
@@ -165,6 +174,22 @@ mod tests {
         // broken by earlier additional assignment).
         let next = d.assign_server(1000);
         assert_ne!(next, 0, "most-loaded server must not win");
+    }
+
+    #[test]
+    fn unassign_rolls_back_aborted_placement() {
+        let mut d = Director::new(&cfg(1)); // 2 servers
+        let s = d.assign_server(100);
+        assert_eq!(s, 0);
+        // The run aborted: rolling back must restore the clean-history
+        // routing, so the retry lands on the same server again.
+        d.unassign_server(s, 100);
+        assert_eq!(d.assign_server(100), 0, "retry routes like a clean run");
+        assert_eq!(d.assign_server(50), 1);
+        // Zero-byte estimates round-trip through the same .max(1) floor.
+        let s = d.assign_server(0);
+        d.unassign_server(s, 0);
+        assert_eq!(d.assign_server(50), s, "floor charge fully rolled back");
     }
 
     #[test]

@@ -59,6 +59,17 @@ pub enum DebarError {
         /// The injected fault that fired.
         fault: InjectedFault,
     },
+    /// A single **part-disk** of a striped index sweep failed: the
+    /// physical multi-part model puts every sweep partition on its own
+    /// device, so a fault can take out exactly one partition — this error
+    /// names it. The stripe's other part-disks are unaffected; re-running
+    /// the interrupted operation after the fault clears converges.
+    PartDiskFault {
+        /// The failing part-disk (partition index within the stripe).
+        part: u32,
+        /// The injected fault that fired.
+        fault: InjectedFault,
+    },
     /// A chunk referenced by a file index could not be resolved or read.
     MissingChunk {
         /// The unresolvable fingerprint.
@@ -123,6 +134,9 @@ pub enum DebarError {
         total: u64,
         /// The injected fault that fired.
         fault: InjectedFault,
+        /// The striped part-disk the fault fired on (`None` when the
+        /// volume-level index disk faulted).
+        part: Option<u32>,
     },
     /// Online scaling was requested while a server still holds staged
     /// dedup-2 state (run dedup-2 and `force_siu` first).
@@ -139,6 +153,9 @@ impl fmt::Display for DebarError {
                 write!(f, "container {container:?} is corrupt: {reason}")
             }
             DebarError::DiskFault { fault } => write!(f, "disk fault: {fault}"),
+            DebarError::PartDiskFault { part, fault } => {
+                write!(f, "index part-disk {part} fault: {fault}")
+            }
             DebarError::MissingChunk { fp, container } => match container {
                 Some(cid) => write!(f, "chunk {fp:?} missing from container {cid:?}"),
                 None => write!(f, "chunk {fp:?} is not resolvable in any index part"),
@@ -169,11 +186,18 @@ impl fmt::Display for DebarError {
                 applied,
                 total,
                 fault,
-            } => write!(
-                f,
-                "SIU on server {server} interrupted after {applied}/{total} updates: {fault} \
-                 (re-run SIU to resume)"
-            ),
+                part,
+            } => {
+                let on_part = match part {
+                    Some(p) => format!(" on part-disk {p}"),
+                    None => String::new(),
+                };
+                write!(
+                    f,
+                    "SIU on server {server} interrupted after {applied}/{total} updates\
+                     {on_part}: {fault} (re-run SIU to resume)"
+                )
+            }
             DebarError::NotQuiesced { server } => write!(
                 f,
                 "server {server} holds staged dedup-2 state; run dedup-2 + force_siu before scaling"
@@ -215,7 +239,13 @@ impl From<StoreError> for DebarError {
 
 impl From<IndexError> for DebarError {
     fn from(e: IndexError) -> Self {
-        DebarError::DiskFault { fault: e.fault() }
+        match e.part() {
+            Some(part) => DebarError::PartDiskFault {
+                part,
+                fault: e.fault(),
+            },
+            None => DebarError::DiskFault { fault: e.fault() },
+        }
     }
 }
 

@@ -164,19 +164,49 @@ impl BackupServer {
         }
     }
 
-    /// Arm a deterministic fault schedule on this server's index disk.
+    /// Arm a deterministic fault schedule on this server's index disk
+    /// (volume level: the fault takes out the whole striped sweep).
     pub fn set_index_fault_plan(&mut self, plan: FaultPlan) {
         self.index.set_fault_plan(plan);
     }
 
-    /// Disarm this server's index-disk faults.
+    /// Arm a deterministic fault schedule on **one part-disk** of this
+    /// server's striped index volume: the fault fires only when a sweep
+    /// charges that partition and surfaces as
+    /// [`DebarError::PartDiskFault`] naming the part.
+    pub fn set_index_part_fault_plan(&mut self, part: usize, plan: FaultPlan) {
+        self.index.set_part_fault_plan(part, plan);
+    }
+
+    /// Arm a deterministic fault schedule on this server's chunk-log disk
+    /// (dedup-1 appends and the phase-II drain check it).
+    pub fn set_log_fault_plan(&mut self, plan: FaultPlan) {
+        self.chunk_log.set_fault_plan(plan);
+    }
+
+    /// Disarm this server's index-disk faults (volume and part-disks).
     pub fn clear_index_fault_plan(&mut self) {
         self.index.clear_fault_plan();
+    }
+
+    /// Disarm this server's chunk-log faults.
+    pub fn clear_log_fault_plan(&mut self) {
+        self.chunk_log.clear_fault_plan();
     }
 
     /// The index disk's op counter (for arming fault plans).
     pub fn index_disk_ops(&self) -> u64 {
         self.index.disk_ops()
+    }
+
+    /// One index part-disk's op counter (for arming single-part plans).
+    pub fn index_part_disk_ops(&self, part: usize) -> u64 {
+        self.index.part_disk_ops(part)
+    }
+
+    /// The chunk-log disk's op counter (for arming fault plans).
+    pub fn log_disk_ops(&self) -> u64 {
+        self.chunk_log.disk_ops()
     }
 
     /// Undetermined fingerprints accumulated since the last dedup-2.
@@ -221,13 +251,21 @@ impl BackupServer {
     // ------------------------------------------------------------------
 
     /// Execute one backup job run (de-duplication phase I).
+    ///
+    /// Fault-aware: chunk-log appends go through the fault-checked path,
+    /// so an injected log-disk fault aborts the run with
+    /// [`DebarError::DiskFault`] instead of panicking or silently losing
+    /// the record. An aborted run registers nothing — no run record, no
+    /// undetermined fingerprints — and may be retried whole; records
+    /// appended before the fault stay in the log but, having no storage
+    /// verdict, are discarded by the next chunk-storing pass.
     pub fn run_backup(
         &mut self,
         run: RunId,
         client: ClientId,
         filtering: Vec<Fingerprint>,
         files: &[ChunkedFile],
-    ) -> (RunRecord, Dedup1Report) {
+    ) -> Result<(RunRecord, Dedup1Report), DebarError> {
         let start = self.clock.now();
         let mut filter = PrelimFilter::with_memory(self.cfg.filter_bytes);
         filter.prime(filtering);
@@ -264,7 +302,7 @@ impl BackupServer {
                         // Chunk-log appends go to a dedicated disk and are
                         // pipelined behind the network receive; only the
                         // excess (log slower than stream) stalls the run.
-                        log_cost += self.chunk_log.append(LogRecord::from(chunk));
+                        log_cost += self.chunk_log.try_append(LogRecord::from(chunk))?;
                         report.transferred_bytes += len;
                         report.transferred_chunks += 1;
                     }
@@ -296,7 +334,7 @@ impl BackupServer {
             logical_bytes: report.logical_bytes,
             logical_chunks: report.logical_chunks,
         };
-        (record, report)
+        Ok((record, report))
     }
 
     /// Take the accumulated undetermined fingerprints (start of dedup-2).
@@ -436,7 +474,21 @@ impl BackupServer {
         };
 
         let start = self.clock.now();
-        let t = self.chunk_log.drain();
+        // Fault-checked log replay: a drain fault leaves every record in
+        // the log (the read pointer never advanced), so the resumed
+        // round's drain replays the identical sequence — just carry the
+        // storage decisions over and report the interruption.
+        let t = match self.chunk_log.try_drain() {
+            Ok(t) => t,
+            Err(e) => {
+                self.carryover = decisions;
+                return StoreOutcome {
+                    report: StoreReport::default(),
+                    assigned: Vec::new(),
+                    fault: Some(e),
+                };
+            }
+        };
         let log_bytes = t.value.iter().map(|r| r.record_bytes()).sum();
         let records = self.clock.charge(t);
         let mut report = StoreReport {
@@ -604,17 +656,21 @@ impl BackupServer {
             }
             Err(e) => {
                 let total = updates.len() as u64;
-                let (applied, fault) = match e {
-                    IndexError::PartialSweep { applied, fault, .. } => (applied, fault),
-                    IndexError::SweepFault { fault } => (0, fault),
-                    _ => (0, e.fault()),
+                // SIU interruptions surface uniformly as PartialSiu (the
+                // redo contract is identical whether the volume or a
+                // single part-disk faulted), with the failing part-disk
+                // named when a single-part fault fired.
+                let applied = match e {
+                    IndexError::PartialSweep { applied, .. } => applied,
+                    _ => 0,
                 };
                 self.pending_updates = updates;
                 Err(DebarError::PartialSiu {
                     server: self.id,
                     applied,
                     total,
-                    fault,
+                    fault: e.fault(),
+                    part: e.part(),
                 })
             }
         }

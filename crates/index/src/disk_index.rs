@@ -5,10 +5,16 @@
 //! chosen adjacent bucket; when a bucket *and both its neighbours* are full
 //! the index reports that it needs capacity scaling (§4.1/§4.2).
 //!
-//! All I/O costs are charged through an owned [`SimDisk`] and returned as
-//! [`Timed`] values: random operations for per-fingerprint access (the Venti
-//! regime the paper escapes), sequential sweeps for SIL/SIU (implemented in
-//! [`crate::sweep`]).
+//! All I/O costs are charged through owned simulated devices and returned
+//! as [`Timed`] values: random operations for per-fingerprint access (the
+//! Venti regime the paper escapes) go to the volume-level [`SimDisk`];
+//! striped sequential sweeps for SIL/SIU (implemented in [`crate::sweep`])
+//! are charged **physically** through a [`PartDiskSet`] — one real
+//! [`SimDisk`] per sweep partition, each with its own op counter, queue
+//! and armable fault plan, the sweep completing at the slowest part. The
+//! volume disk still ticks once per sweep as the whole-volume statistics
+//! view, op-counting surface for volume-level fault plans, and retained
+//! even-split oracle.
 
 use crate::entry::{
     block_entries, block_find, block_full, block_push, block_set_cid, IndexEntry, BLOCK_BYTES,
@@ -17,7 +23,7 @@ use crate::params::IndexParams;
 use debar_hash::SplitMix64;
 use debar_hash::{ContainerId, Fingerprint};
 use debar_simio::models::paper;
-use debar_simio::{DiskModel, SimCpu, SimDisk, Timed};
+use debar_simio::{DiskModel, PartDiskSet, Secs, SimCpu, SimDisk, Timed};
 
 /// Result of a random-path insert.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +48,15 @@ pub struct DiskIndex {
     skip_bits: u32,
     data: Vec<u8>,
     disk: SimDisk,
+    /// The physical striped volume: one [`SimDisk`] per sweep partition,
+    /// each with its own op counter, queue and armable fault plan (the
+    /// per-spindle decomposition of §5.2). Sized lazily to each sweep's
+    /// clamped partition count; see [`DiskIndex::set_part_fault_plan`].
+    part_disks: PartDiskSet,
+    /// Explicit per-part bucket boundaries (cumulative end buckets) for
+    /// deliberately skewed stripes; `None` = even split. Bound to the
+    /// current bucket count: capacity scaling resets it to even.
+    sweep_layout: Option<Vec<u64>>,
     cpu: SimCpu,
     entries: u64,
     rng: SplitMix64,
@@ -76,6 +91,8 @@ impl DiskIndex {
             skip_bits,
             data: vec![0u8; bytes as usize],
             disk: SimDisk::new(disk_model),
+            part_disks: PartDiskSet::new(disk_model),
+            sweep_layout: None,
             cpu: SimCpu::new(paper::cpu()),
             entries: 0,
             rng: SplitMix64::new(seed),
@@ -115,7 +132,10 @@ impl DiskIndex {
         self.entries as f64 / self.params.max_entries() as f64
     }
 
-    /// I/O statistics of the backing disk.
+    /// I/O statistics of the backing **volume-level** disk: full byte
+    /// volumes per sweep, one op per sweep, busy time per the retained
+    /// even-split oracle. The physical per-partition view lives in
+    /// [`DiskIndex::part_disk_stats`].
     pub fn disk_stats(&self) -> debar_simio::DiskStats {
         self.disk.stats()
     }
@@ -129,23 +149,186 @@ impl DiskIndex {
         &mut self.disk
     }
 
-    /// Arm a deterministic fault schedule on this index's disk (see
-    /// `debar_simio::fault`): the fallible sweep entry points
+    /// Arm a deterministic fault schedule on this index's **volume-level**
+    /// disk (see `debar_simio::fault`): the fallible sweep entry points
     /// (`try_sequential_lookup_sharded`, `try_sequential_update_sharded`,
-    /// [`DiskIndex::try_bulk_load_striped`]) check it.
+    /// [`DiskIndex::try_bulk_load_striped`]) check it. A volume-level
+    /// fault takes out the whole stripe; to hit exactly one partition of a
+    /// striped sweep, use [`DiskIndex::set_part_fault_plan`].
     pub fn set_fault_plan(&mut self, plan: debar_simio::FaultPlan) {
         self.disk.set_fault_plan(plan);
     }
 
-    /// Disarm all faults on this index's disk.
+    /// Arm a deterministic fault schedule on **one part-disk** of the
+    /// striped volume (materializing it if no sweep has engaged it yet).
+    /// The fault fires only when a sweep charges that partition; the
+    /// fallible entry points surface it as an [`crate::IndexError`] whose
+    /// `part` names the failing part-disk.
+    pub fn set_part_fault_plan(&mut self, part: usize, plan: debar_simio::FaultPlan) {
+        self.part_disks.set_fault_plan(part, plan);
+    }
+
+    /// Disarm all faults on this index's disks (volume and every
+    /// part-disk).
     pub fn clear_fault_plan(&mut self) {
         self.disk.clear_fault_plan();
+        self.part_disks.clear_fault_plans();
     }
 
     /// The index disk's operation counter (for arming `FaultPlan`s
     /// relative to "the next op").
     pub fn disk_ops(&self) -> u64 {
         self.disk.ops()
+    }
+
+    /// Operation counter of one striped part-disk (0 if no sweep has
+    /// engaged it yet — its first op will be op 0).
+    pub fn part_disk_ops(&self, part: usize) -> u64 {
+        self.part_disks.ops(part)
+    }
+
+    /// Part-disks materialized so far (the widest stripe any sweep ran
+    /// on, or the highest part armed with a fault plan).
+    pub fn part_disk_count(&self) -> usize {
+        self.part_disks.len()
+    }
+
+    /// I/O statistics of one striped part-disk, if materialized.
+    pub fn part_disk_stats(&self, part: usize) -> Option<debar_simio::DiskStats> {
+        self.part_disks.part_stats(part)
+    }
+
+    /// Impose a deliberately skewed stripe: `bounds` are strictly
+    /// increasing cumulative end buckets, one per partition, ending at the
+    /// bucket count. Sweeps then charge each part-disk its own (uneven)
+    /// byte share and complete at the slowest part — the straggler the
+    /// even analytic model cannot show. `None` restores the even split.
+    /// The layout is bound to the current geometry: capacity scaling
+    /// resets it to even (a stale layout would misaddress the doubled
+    /// bucket range).
+    ///
+    /// Placement, probing and results are layout-independent; only the
+    /// physical time (and which part-disk a fault lands on) changes.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty, not strictly increasing, or does not
+    /// end exactly at [`IndexParams::buckets`].
+    pub fn set_sweep_layout(&mut self, bounds: Option<Vec<u64>>) {
+        if let Some(b) = &bounds {
+            assert!(!b.is_empty(), "layout needs at least one partition");
+            assert!(
+                b.windows(2).all(|w| w[0] < w[1]) && b[0] > 0,
+                "layout bounds must be strictly increasing and non-empty"
+            );
+            assert_eq!(
+                *b.last().expect("non-empty"),
+                self.params.buckets(),
+                "layout must cover the whole bucket range"
+            );
+        }
+        self.sweep_layout = bounds;
+    }
+
+    /// Resolve a sweep's partition layout: the explicit skewed layout if
+    /// one is set (and still matches the geometry), otherwise the even
+    /// split of `min(parts, buckets)` contiguous ranges. Returns
+    /// cumulative end-bucket bounds (one per engaged partition) and
+    /// resizes the physical part-disk bank to match.
+    pub(crate) fn resolve_sweep_bounds(&mut self, parts: usize) -> Vec<u64> {
+        let buckets = self.params.buckets();
+        let bounds = match &self.sweep_layout {
+            Some(b) if *b.last().expect("validated non-empty") == buckets => b.clone(),
+            _ => {
+                let p = crate::sweep::clamp_parts(parts, buckets);
+                (1..=p).map(|i| buckets * i as u64 / p as u64).collect()
+            }
+        };
+        self.part_disks.resize(bounds.len());
+        bounds
+    }
+
+    /// Per-part byte shares of a resolved sweep layout.
+    fn part_bytes(&self, bounds: &[u64]) -> Vec<u64> {
+        let mut start = 0u64;
+        bounds
+            .iter()
+            .map(|&end| {
+                let b = (end - start) * self.params.bucket_bytes as u64;
+                start = end;
+                b
+            })
+            .collect()
+    }
+
+    /// Charge one physical striped **read** sweep: the volume-level disk
+    /// ticks once (op counting, whole-volume statistics and the retained
+    /// even-split oracle), each part-disk reads its own byte share, and
+    /// the returned wall time is the max over per-part completion times.
+    pub(crate) fn charge_sweep_read(&mut self, bounds: &[u64]) -> Secs {
+        let bytes = self.part_bytes(bounds);
+        let _ = self
+            .disk
+            .seq_read_striped(self.params.total_bytes(), bounds.len() as u32);
+        self.part_disks.seq_read_split(&bytes)
+    }
+
+    /// Charge one physical striped **write** sweep (see
+    /// [`DiskIndex::charge_sweep_read`]).
+    pub(crate) fn charge_sweep_write(&mut self, bounds: &[u64]) -> Secs {
+        let bytes = self.part_bytes(bounds);
+        let _ = self
+            .disk
+            .seq_write_striped(self.params.total_bytes(), bounds.len() as u32);
+        self.part_disks.seq_write_split(&bytes)
+    }
+
+    /// Collect a fired-but-uncollected fault from the volume disk or any
+    /// part-disk (volume first), as `(part, fault)`.
+    pub(crate) fn take_any_fault(&mut self) -> Option<(Option<u32>, debar_simio::InjectedFault)> {
+        if let Some(f) = self.disk.take_fault() {
+            return Some((None, f));
+        }
+        self.part_disks.take_fault().map(|(p, f)| (Some(p), f))
+    }
+
+    /// Collect the fired fault of one specific disk (volume or part),
+    /// leaving other disks' pending faults in place: the fallible sweeps
+    /// attribute their error to the disk they *peeked*, so the reported
+    /// fault always matches the decision that was made on it, even when a
+    /// harness arms faults on several disks in one sweep window (the
+    /// siblings surface at the next checked boundary).
+    pub(crate) fn take_fault_on(
+        &mut self,
+        part: Option<u32>,
+    ) -> Option<debar_simio::InjectedFault> {
+        match part {
+            None => self.disk.take_fault(),
+            Some(p) => self.part_disks.take_fault_on(p as usize),
+        }
+    }
+
+    /// The first armed fault that would fire within the next
+    /// `ops_per_disk` operations of the volume disk or any part-disk.
+    pub(crate) fn peek_any_fault(
+        &self,
+        ops_per_disk: u64,
+    ) -> Option<(Option<u32>, debar_simio::FaultSpec)> {
+        if let Some(s) = self.disk.peek_fault(ops_per_disk) {
+            return Some((None, s));
+        }
+        self.part_disks
+            .peek_fault(ops_per_disk)
+            .map(|(p, s)| (Some(p), s))
+    }
+
+    /// Op counter of the disk an armed fault sits on (volume or part) —
+    /// for deciding whether a peeked fault lands on a sweep's read or
+    /// write op.
+    pub(crate) fn fault_disk_ops(&self, part: Option<u32>) -> u64 {
+        match part {
+            None => self.disk.ops(),
+            Some(p) => self.part_disks.ops(p as usize),
+        }
     }
 
     pub(crate) fn cpu_mut(&mut self) -> &mut SimCpu {
@@ -396,10 +579,12 @@ impl DiskIndex {
     }
 
     /// [`DiskIndex::bulk_load`] onto a striped multi-part index: the write
-    /// sweep of the rebuilt part is charged across `parts` part-disks
-    /// (max-of-partitions, ≈ `1/parts` — the recovery path of a striped
-    /// deployment). Placement is identical to the scalar load; `parts` is
-    /// clamped to the bucket count.
+    /// sweep of the rebuilt part is charged **physically** across the
+    /// striped part-disks — each part-disk writes the bytes its bucket
+    /// range covers and the sweep completes at the slowest part (even
+    /// split ≈ `1/parts`; the recovery path of a striped deployment).
+    /// Placement is identical to the scalar load; `parts` is clamped to
+    /// the bucket count.
     pub fn bulk_load_striped(
         &mut self,
         entries: impl IntoIterator<Item = (Fingerprint, ContainerId)>,
@@ -411,25 +596,27 @@ impl DiskIndex {
             extra += self.place_with_growth(&IndexEntry::new(fp, cid)).cost;
             loaded += 1;
         }
-        let ways = crate::sweep::clamp_parts(parts, self.params.buckets());
-        let cost = self.disk.seq_write_striped(self.params.total_bytes(), ways);
+        let bounds = self.resolve_sweep_bounds(parts);
+        let cost = self.charge_sweep_write(&bounds);
         Timed::new(loaded, cost + extra)
     }
 
     /// Fault-checked [`DiskIndex::bulk_load_striped`] (the recovery
-    /// rebuild's write path): any fault fired during the load surfaces as
-    /// [`crate::IndexError::SweepFault`]. The in-memory load has already
-    /// happened when the fault is detected; recovery callers treat the
-    /// rebuild as failed and re-run it from scratch (the rebuild resets
-    /// the part first, so a retry converges).
+    /// rebuild's write path): any fault fired during the load — on the
+    /// volume disk or on a single part-disk of the striped write sweep —
+    /// surfaces as [`crate::IndexError::SweepFault`] (with `part` naming
+    /// the failing part-disk when one faulted). The in-memory load has
+    /// already happened when the fault is detected; recovery callers treat
+    /// the rebuild as failed and re-run it from scratch (the rebuild
+    /// resets the part first, so a retry converges).
     pub fn try_bulk_load_striped(
         &mut self,
         entries: impl IntoIterator<Item = (Fingerprint, ContainerId)>,
         parts: usize,
     ) -> Result<Timed<u64>, crate::IndexError> {
         let t = self.bulk_load_striped(entries, parts);
-        match self.disk.take_fault() {
-            Some(fault) => Err(crate::IndexError::SweepFault { fault }),
+        match self.take_any_fault() {
+            Some((part, fault)) => Err(crate::IndexError::SweepFault { fault, part }),
             None => Ok(t),
         }
     }
@@ -448,6 +635,11 @@ impl DiskIndex {
             skip_bits: self.skip_bits,
             data: vec![0u8; new_params.total_bytes() as usize],
             disk: self.disk.clone(),
+            // Part-disks survive scaling (their queues and fault plans
+            // are device state); an explicit skewed layout does not — it
+            // addressed the old bucket range (documented re-split rule).
+            part_disks: self.part_disks.clone(),
+            sweep_layout: None,
             cpu: self.cpu.clone(),
             entries: 0,
             rng: self.rng.fork(),
@@ -515,11 +707,6 @@ impl BucketView<'_> {
     pub(crate) fn bucket_of(&self, fp: &Fingerprint) -> u64 {
         fp.route(self.skip_bits, self.skip_bits + self.params.n_bits)
             .1
-    }
-
-    /// Total bucket count.
-    pub(crate) fn buckets(&self) -> u64 {
-        self.params.buckets()
     }
 
     #[inline]
@@ -801,6 +988,27 @@ mod tests {
         assert_eq!(idx.lookup_uncharged(&fp(1)), Some(ContainerId::new(3)));
         assert_eq!(idx.entry_count(), 1, "update must not add entries");
         assert!(!idx.set_cid_uncharged(&fp(9), ContainerId::new(3)));
+    }
+
+    #[test]
+    fn bulk_load_part_fault_names_part() {
+        use debar_simio::FaultPlan;
+        let mut idx = small_index(30);
+        // Arm part 1 of a 4-way striped rebuild before any sweep exists.
+        idx.set_part_fault_plan(1, FaultPlan::fail_at(0));
+        let entries: Vec<_> = (0..100u64).map(|i| (fp(i), ContainerId::new(i))).collect();
+        let err = idx
+            .try_bulk_load_striped(entries.clone(), 4)
+            .expect_err("part fault fires on the write sweep");
+        assert!(
+            matches!(err, crate::IndexError::SweepFault { part: Some(1), .. }),
+            "{err:?}"
+        );
+        // Retry from a reset part converges (the recovery contract).
+        idx.reset_empty();
+        let t = idx.try_bulk_load_striped(entries, 4).expect("clean retry");
+        assert_eq!(t.value, 100);
+        assert_eq!(idx.entry_count(), 100);
     }
 
     #[test]

@@ -13,6 +13,9 @@ pub enum IndexError {
     SweepFault {
         /// The injected fault that fired.
         fault: InjectedFault,
+        /// The striped part-disk the fault fired on (`None` when the
+        /// volume-level disk faulted — the whole stripe).
+        part: Option<u32>,
     },
     /// An SIU write sweep was torn: only the first `applied` updates of
     /// the canonically sorted batch are durable. Re-running the same
@@ -24,6 +27,9 @@ pub enum IndexError {
         total: u64,
         /// The injected fault that fired.
         fault: InjectedFault,
+        /// The striped part-disk the tear fired on (`None` for the
+        /// volume-level disk).
+        part: Option<u32>,
     },
 }
 
@@ -31,22 +37,38 @@ impl IndexError {
     /// The underlying injected fault.
     pub fn fault(&self) -> InjectedFault {
         match self {
-            IndexError::SweepFault { fault } | IndexError::PartialSweep { fault, .. } => *fault,
+            IndexError::SweepFault { fault, .. } | IndexError::PartialSweep { fault, .. } => *fault,
+        }
+    }
+
+    /// The striped part-disk the fault fired on, if it was a single-part
+    /// fault rather than a volume-level one.
+    pub fn part(&self) -> Option<u32> {
+        match self {
+            IndexError::SweepFault { part, .. } | IndexError::PartialSweep { part, .. } => *part,
         }
     }
 }
 
 impl fmt::Display for IndexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let on_part = |part: &Option<u32>| match part {
+            Some(p) => format!(" on part-disk {p}"),
+            None => String::new(),
+        };
         match self {
-            IndexError::SweepFault { fault } => write!(f, "index sweep failed: {fault}"),
+            IndexError::SweepFault { fault, part } => {
+                write!(f, "index sweep failed{}: {fault}", on_part(part))
+            }
             IndexError::PartialSweep {
                 applied,
                 total,
                 fault,
+                part,
             } => write!(
                 f,
-                "index update sweep torn after {applied}/{total} updates: {fault}"
+                "index update sweep torn after {applied}/{total} updates{}: {fault}",
+                on_part(part)
             ),
         }
     }

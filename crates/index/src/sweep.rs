@@ -41,9 +41,36 @@
 //! [`DiskIndex::sequential_update_sharded`] split the bucket range into
 //! `P` contiguous partitions swept concurrently under
 //! `std::thread::scope`, modelling the multi-part index of §5.2 (each part
-//! on its own spindle set): virtual sweep/probe time is charged as the
-//! *maximum* over the even partitions (≈ `1/P`, via
-//! [`debar_simio::SimDisk::seq_read_striped`]).
+//! on its own spindle set).
+//!
+//! # Physical part-disks
+//!
+//! Sweep time is charged **physically**: each partition owns a real
+//! [`debar_simio::SimDisk`] in the index's
+//! [`debar_simio::PartDiskSet`], the sweep charges each part-disk exactly
+//! the bytes its bucket range covers, and the wall time is the **max over
+//! per-part completion times**. The rules:
+//!
+//! * **Even split** (the default): partitions differ by at most one
+//!   bucket, so for power-of-two `P` dividing the bucket count the
+//!   physical max is bit-identical to the retained analytic oracle
+//!   [`debar_simio::SimDisk::seq_read_striped`] (`total/bw/P`) — the
+//!   equivalence the property tests pin.
+//! * **Skewed split** ([`DiskIndex::set_sweep_layout`]): an uneven bucket
+//!   split makes the largest partition a visible *straggler* — sweep time
+//!   is the slowest part, not `total/P`. Placement and results are
+//!   layout-independent; only the clock (and fault targeting) changes.
+//! * **Re-split**: every sweep re-resolves its layout against the live
+//!   bucket count (`min(parts, buckets)` even partitions; a skewed layout
+//!   is dropped when capacity scaling changes the geometry), resizing the
+//!   part-disk bank — growth adds fresh disks, shrink drops the top disks
+//!   along with any faults still armed on them.
+//! * **Fault targeting**: volume-level [`debar_simio::FaultPlan`]s
+//!   (`DiskIndex::set_fault_plan`, one op per sweep) take out the whole
+//!   stripe; per-part plans ([`DiskIndex::set_part_fault_plan`], one op
+//!   per part per sweep direction) take out a single partition, and the
+//!   fallible entry points surface them as an [`IndexError`] whose `part`
+//!   names the failing part-disk.
 //!
 //! * SIL shards trivially: probing is read-only, each worker walks its own
 //!   slice of the sorted batch against a shared bucket view, and the
@@ -136,27 +163,19 @@ pub(crate) fn clamp_parts(parts: usize, buckets: u64) -> u32 {
     (parts.max(1) as u64).min(buckets).min(u32::MAX as u64) as u32
 }
 
-/// Bucket range `[start, end)` of partition `p` of `parts` over `buckets`.
-fn part_bounds(p: u32, parts: u32, buckets: u64) -> (u64, u64) {
-    let start = buckets * p as u64 / parts as u64;
-    let end = buckets * (p + 1) as u64 / parts as u64;
-    (start, end)
-}
-
 /// Split a fingerprint batch **sorted so `bucket_of` is non-decreasing**
 /// into per-partition sub-slices aligned to the partition bucket ranges
-/// (`partition_point` requires that monotonicity).
+/// given as cumulative end-bucket `bounds` (`partition_point` requires
+/// that monotonicity).
 fn split_sorted<'a, T>(
     sorted: &'a [T],
     fp_of: impl Fn(&T) -> &Fingerprint,
     view: &BucketView<'_>,
-    parts: u32,
+    bounds: &[u64],
 ) -> Vec<&'a [T]> {
-    let buckets = view.buckets();
-    let mut out = Vec::with_capacity(parts as usize);
+    let mut out = Vec::with_capacity(bounds.len());
     let mut lo = 0usize;
-    for p in 0..parts {
-        let (_, end_bucket) = part_bounds(p, parts, buckets);
+    for &end_bucket in bounds {
         let hi = lo + sorted[lo..].partition_point(|t| view.bucket_of(fp_of(t)) < end_bucket);
         out.push(&sorted[lo..hi]);
         lo = hi;
@@ -208,8 +227,15 @@ impl DiskIndex {
         cache: &mut IndexCache,
         parts: usize,
     ) -> Timed<SilReport> {
+        let bounds = self.resolve_sweep_bounds(parts);
+        self.lookup_kernel(cache, &bounds)
+    }
+
+    /// The shared SIL kernel over a resolved partition layout (cumulative
+    /// end-bucket `bounds`, one entry per engaged part-disk).
+    fn lookup_kernel(&mut self, cache: &mut IndexCache, bounds: &[u64]) -> Timed<SilReport> {
         let submitted = cache.len();
-        let parts = clamp_parts(parts, self.params().buckets());
+        let parts = bounds.len() as u32;
         let view = self.view();
         let mut fps: Vec<Fingerprint> = cache.iter().map(|n| n.fp).collect();
         // Sort by (bucket, 64-bit prefix): native-integer keys are far
@@ -224,7 +250,7 @@ impl DiskIndex {
             view.probe_sorted_into(&fps, &mut hits);
             hits
         } else {
-            let slices = split_sorted(&fps, |fp| fp, &view, parts);
+            let slices = split_sorted(&fps, |fp| fp, &view, bounds);
             let mut lists: Vec<Vec<(Fingerprint, ContainerId)>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = slices
                     .into_iter()
@@ -257,8 +283,11 @@ impl DiskIndex {
             duplicates.push(node);
         }
 
-        let total = self.params().total_bytes();
-        let sweep = self.disk_mut().seq_read_striped(total, parts);
+        // Physical stripe: each part-disk reads its own bucket-range byte
+        // share; the sweep completes at the slowest part. CPU probing
+        // keeps the even-split pipelined model (probe work is in-memory
+        // and balances across workers, not across bucket ranges).
+        let sweep = self.charge_sweep_read(bounds);
         let probe = self.cpu_mut().probe_fps_striped(submitted as u64, parts);
         Timed::new(
             SilReport {
@@ -335,9 +364,9 @@ impl DiskIndex {
         parts: usize,
     ) -> Timed<SiuReport> {
         let sorted = self.canonical_updates(updates);
-        let parts = clamp_parts(parts, self.params().buckets());
+        let bounds = self.resolve_sweep_bounds(parts);
         let limit = sorted.len();
-        self.update_kernel(&sorted, parts, limit)
+        self.update_kernel(&sorted, &bounds, limit)
     }
 
     /// The shared SIU kernel: classify the whole canonical batch, then
@@ -349,9 +378,10 @@ impl DiskIndex {
     fn update_kernel(
         &mut self,
         sorted: &[(Fingerprint, ContainerId)],
-        parts: u32,
+        bounds: &[u64],
         apply_limit: usize,
     ) -> Timed<SiuReport> {
+        let parts = bounds.len() as u32;
         // ---- Parallel classify against the pre-batch state (grouped
         //      merge-join probing, one shard per bucket partition). ----
         let fps: Vec<Fingerprint> = sorted.iter().map(|(fp, _)| *fp).collect();
@@ -365,7 +395,7 @@ impl DiskIndex {
             if parts == 1 {
                 classify(&fps)
             } else {
-                let slices = split_sorted(&fps, |fp| fp, &view, parts);
+                let slices = split_sorted(&fps, |fp| fp, &view, bounds);
                 let lists: Vec<Vec<bool>> = std::thread::scope(|scope| {
                     let handles: Vec<_> = slices
                         .into_iter()
@@ -381,8 +411,7 @@ impl DiskIndex {
         };
 
         // ---- Serial apply in canonical order. ----
-        let total_before = self.params().total_bytes();
-        let mut cost = self.disk_mut().seq_read_striped(total_before, parts);
+        let mut cost = self.charge_sweep_read(bounds);
         let mut report = SiuReport {
             parts,
             ..SiuReport::default()
@@ -406,8 +435,11 @@ impl DiskIndex {
                 cost += self.place_counted(fp, cid, &mut report);
             }
         }
-        let total_after = self.params().total_bytes();
-        cost += self.disk_mut().seq_write_striped(total_after, parts);
+        // Capacity scaling mid-apply may have changed the bucket count;
+        // the write sweep re-resolves the layout over the live geometry
+        // (an explicit skewed layout was reset to even by the scaling).
+        let wbounds = self.resolve_sweep_bounds(parts as usize);
+        cost += self.charge_sweep_write(&wbounds);
         let merge = self.cpu_mut().probe_fps_striped(sorted.len() as u64, parts);
         report.utilization_after = self.utilization();
         Timed::new(report, cost.max(merge))
@@ -445,12 +477,14 @@ impl DiskIndex {
         Timed::new(report, cost.max(merge))
     }
 
-    /// Fault-checked [`DiskIndex::sequential_lookup_sharded`]: if the
-    /// index disk's [`debar_simio::FaultPlan`] arms a fault on this
-    /// sweep's read op, the sweep charges its disk time, consumes the
-    /// fault and returns [`IndexError::SweepFault`] **without touching
-    /// the cache** — the caller re-submits the same batch after recovery
-    /// and converges to the uninterrupted result.
+    /// Fault-checked [`DiskIndex::sequential_lookup_sharded`]: if a
+    /// [`debar_simio::FaultPlan`] — on the volume-level disk *or on a
+    /// single part-disk of the stripe* — arms a fault on this sweep's
+    /// read op, the sweep charges its disk time, consumes the fault and
+    /// returns [`IndexError::SweepFault`] (with `part` naming the failing
+    /// part-disk for a single-part fault) **without touching the cache**
+    /// — the caller re-submits the same batch after recovery and
+    /// converges to the uninterrupted result.
     pub fn try_sequential_lookup_sharded(
         &mut self,
         cache: &mut IndexCache,
@@ -458,24 +492,27 @@ impl DiskIndex {
     ) -> Result<Timed<SilReport>, IndexError> {
         // The "next checked boundary" rule: a fault fired by an unchecked
         // operation (e.g. a capacity-scaling sweep) surfaces here.
-        if let Some(fault) = self.disk_mut().take_fault() {
-            return Err(IndexError::SweepFault { fault });
+        if let Some((part, fault)) = self.take_any_fault() {
+            return Err(IndexError::SweepFault { fault, part });
         }
-        let parts = clamp_parts(parts, self.params().buckets());
-        if self.disk_mut().peek_fault(1).is_some() {
-            let total = self.params().total_bytes();
-            let _ = self.disk_mut().seq_read_striped(total, parts);
+        let bounds = self.resolve_sweep_bounds(parts);
+        if let Some((part, _)) = self.peek_any_fault(1) {
+            let _ = self.charge_sweep_read(&bounds);
+            // Attribute the error to the disk that was peeked (volume
+            // first, then lowest part); faults armed on other disks in
+            // the same window stay pending per the boundary rule.
             let fault = self
-                .disk_mut()
-                .take_fault()
+                .take_fault_on(part)
                 .expect("peeked fault fires on the sweep op");
-            return Err(IndexError::SweepFault { fault });
+            return Err(IndexError::SweepFault { fault, part });
         }
-        Ok(self.sequential_lookup_sharded(cache, parts as usize))
+        Ok(self.lookup_kernel(cache, &bounds))
     }
 
     /// Fault-checked [`DiskIndex::sequential_update_sharded`]. An SIU
-    /// sweep performs two disk ops — the read sweep, then the write sweep:
+    /// sweep performs two disk ops per device — the read sweep, then the
+    /// write sweep (one op each on the volume disk, one each on every
+    /// engaged part-disk):
     ///
     /// * a fault on the **read** op applies nothing
     ///   ([`IndexError::SweepFault`]);
@@ -483,9 +520,13 @@ impl DiskIndex {
     ///   whole in-place update ([`IndexError::SweepFault`], nothing
     ///   applied);
     /// * a **torn** write op persists only the first half of the
-    ///   canonically sorted batch ([`IndexError::PartialSweep`]).
+    ///   canonically sorted batch ([`IndexError::PartialSweep`]) — a torn
+    ///   *part*-disk write applies the same canonical half-prefix (the
+    ///   established crash model: what matters downstream is that the
+    ///   durable set is a canonical prefix and redo is idempotent).
     ///
-    /// In every case re-running the *same* batch converges to the
+    /// Single-part faults carry the failing part-disk in the error's
+    /// `part`. In every case re-running the *same* batch converges to the
     /// uninterrupted result byte-for-byte: already-applied entries are
     /// overwritten in place with the same container IDs, the rest insert
     /// in the same canonical order.
@@ -495,17 +536,17 @@ impl DiskIndex {
         parts: usize,
     ) -> Result<Timed<SiuReport>, IndexError> {
         // The "next checked boundary" rule (see the lookup counterpart).
-        if let Some(fault) = self.disk_mut().take_fault() {
-            return Err(IndexError::SweepFault { fault });
+        if let Some((part, fault)) = self.take_any_fault() {
+            return Err(IndexError::SweepFault { fault, part });
         }
-        let parts = clamp_parts(parts, self.params().buckets());
-        let Some(spec) = self.disk_mut().peek_fault(2) else {
+        let bounds = self.resolve_sweep_bounds(parts);
+        let Some((armed_part, spec)) = self.peek_any_fault(2) else {
             let sorted = self.canonical_updates(updates);
             let limit = sorted.len();
-            return Ok(self.update_kernel(&sorted, parts, limit));
+            return Ok(self.update_kernel(&sorted, &bounds, limit));
         };
         let total = updates.len() as u64;
-        let on_read = spec.at_op == self.disk_mut().ops();
+        let on_read = spec.at_op == self.fault_disk_ops(armed_part);
         let apply_limit = if !on_read && spec.kind == debar_simio::FaultKind::TornWrite {
             updates.len() / 2
         } else {
@@ -513,26 +554,34 @@ impl DiskIndex {
         };
         if on_read {
             // The read sweep itself fails: charge it, nothing applied.
-            let bytes = self.params().total_bytes();
-            let _ = self.disk_mut().seq_read_striped(bytes, parts);
+            let _ = self.charge_sweep_read(&bounds);
         } else {
             // The write sweep fails (torn or outright): the kernel runs
             // with a limited apply prefix and charges both sweeps.
             let sorted = self.canonical_updates(updates);
-            let _ = self.update_kernel(&sorted, parts, apply_limit);
+            let _ = self.update_kernel(&sorted, &bounds, apply_limit);
         }
+        // Attribute the error to the disk whose peeked spec drove the
+        // on-read/torn decision above; faults armed on other disks in the
+        // same window stay pending and surface at the next checked
+        // boundary (multiple simultaneously-armed disks are a harness
+        // construction — one error per checked operation keeps the
+        // decision and the report consistent).
         let fault = self
-            .disk_mut()
-            .take_fault()
+            .take_fault_on(armed_part)
             .expect("peeked fault fires within the sweep's ops");
         if !on_read && spec.kind == debar_simio::FaultKind::TornWrite {
             Err(IndexError::PartialSweep {
                 applied: apply_limit as u64,
                 total,
                 fault,
+                part: armed_part,
             })
         } else {
-            Err(IndexError::SweepFault { fault })
+            Err(IndexError::SweepFault {
+                fault,
+                part: armed_part,
+            })
         }
     }
 
@@ -624,6 +673,7 @@ mod tests {
             applied,
             total,
             fault,
+            ..
         } = err
         else {
             panic!("expected PartialSweep, got {err:?}");
@@ -664,6 +714,198 @@ mod tests {
                 .expect("redo");
             assert_eq!(faulted.raw_data(), clean.raw_data());
         }
+    }
+
+    #[test]
+    fn single_part_fault_names_part_and_retry_converges() {
+        use debar_simio::FaultPlan;
+        let mut idx = index(50);
+        let updates: Vec<_> = (0..400u64).map(|i| (fp(i), ContainerId::new(i))).collect();
+        idx.sequential_update_sharded(&updates, 4);
+        let mut cache = cache_of(0..400);
+        let before = cache.len();
+        // Arm part-disk 2 only; its siblings stay clean.
+        idx.set_part_fault_plan(2, FaultPlan::fail_at(idx.part_disk_ops(2)));
+        let err = idx
+            .try_sequential_lookup_sharded(&mut cache, 4)
+            .expect_err("single-part fault must fire");
+        let IndexError::SweepFault {
+            part: Some(part), ..
+        } = err
+        else {
+            panic!("expected a part-naming SweepFault, got {err:?}");
+        };
+        assert_eq!(part, 2, "error must name the failing part-disk");
+        assert_eq!(cache.len(), before, "failed sweep must not drain the cache");
+        // Retry converges to the clean result.
+        let rep = idx
+            .try_sequential_lookup_sharded(&mut cache, 4)
+            .expect("clean retry")
+            .value;
+        assert_eq!(rep.duplicates.len(), 400);
+    }
+
+    #[test]
+    fn siu_part_fault_on_write_op_names_part_and_redo_converges() {
+        use debar_simio::{FaultKind, FaultPlan};
+        let updates: Vec<_> = (0..500u64)
+            .map(|i| (fp(i), ContainerId::new(i % 40)))
+            .collect();
+        let mut clean = index(51);
+        clean.sequential_update_sharded(&updates, 4);
+
+        // Outright failure on part 1's write op: all-or-nothing.
+        let mut faulted = index(51);
+        faulted.sequential_update_sharded(&[], 4); // materialize part disks
+        faulted.set_part_fault_plan(1, FaultPlan::fail_at(faulted.part_disk_ops(1) + 1));
+        let err = faulted
+            .try_sequential_update_sharded(&updates, 4)
+            .expect_err("part write fault fires");
+        assert!(
+            matches!(err, IndexError::SweepFault { part: Some(1), .. }),
+            "{err:?}"
+        );
+        assert_eq!(faulted.entry_count(), 0, "failed write applies nothing");
+        faulted
+            .try_sequential_update_sharded(&updates, 4)
+            .expect("redo");
+        assert_eq!(faulted.raw_data(), clean.raw_data());
+
+        // Torn write on part 3: canonical half-prefix durable, then redo.
+        let mut torn = index(51);
+        torn.sequential_update_sharded(&[], 4);
+        torn.set_part_fault_plan(3, FaultPlan::torn_write_at(torn.part_disk_ops(3) + 1));
+        let err = torn
+            .try_sequential_update_sharded(&updates, 4)
+            .expect_err("torn part write fires");
+        let IndexError::PartialSweep {
+            applied,
+            total,
+            fault,
+            part,
+        } = err
+        else {
+            panic!("expected PartialSweep, got {err:?}");
+        };
+        assert_eq!(part, Some(3), "tear must name its part-disk");
+        assert_eq!((applied, total), (250, 500));
+        assert_eq!(fault.kind, FaultKind::TornWrite);
+        assert_eq!(torn.entry_count(), 250);
+        torn.try_sequential_update_sharded(&updates, 4)
+            .expect("redo");
+        assert_eq!(torn.raw_data(), clean.raw_data());
+    }
+
+    #[test]
+    fn simultaneous_volume_and_part_faults_report_one_at_a_time() {
+        use debar_simio::FaultPlan;
+        // Faults armed on two disks in the same sweep window: the error is
+        // attributed to the peeked disk (volume first) and the sibling
+        // fault stays pending, surfacing at the next checked boundary —
+        // decision and report always refer to the same disk.
+        let mut idx = index(54);
+        let updates: Vec<_> = (0..300u64).map(|i| (fp(i), ContainerId::new(i))).collect();
+        idx.sequential_update_sharded(&updates, 4);
+        idx.set_fault_plan(FaultPlan::fail_at(idx.disk_ops()));
+        idx.set_part_fault_plan(1, FaultPlan::fail_at(idx.part_disk_ops(1)));
+        let mut cache = cache_of(0..300);
+        let err = idx
+            .try_sequential_lookup_sharded(&mut cache, 4)
+            .expect_err("volume fault reported first");
+        assert!(
+            matches!(err, IndexError::SweepFault { part: None, .. }),
+            "{err:?}"
+        );
+        let err = idx
+            .try_sequential_lookup_sharded(&mut cache, 4)
+            .expect_err("part fault surfaces at the next boundary");
+        assert!(
+            matches!(err, IndexError::SweepFault { part: Some(1), .. }),
+            "{err:?}"
+        );
+        let rep = idx
+            .try_sequential_lookup_sharded(&mut cache, 4)
+            .expect("clean after both collected")
+            .value;
+        assert_eq!(rep.duplicates.len(), 300);
+    }
+
+    #[test]
+    fn shrinking_stripe_drops_high_part_plans() {
+        use debar_simio::FaultPlan;
+        // A plan armed on part 3 of a 4-way stripe cannot fire once sweeps
+        // narrow to 2 partitions: the part-disk (and its plan) is gone —
+        // the documented re-split rule.
+        let mut idx = index(52);
+        let updates: Vec<_> = (0..200u64).map(|i| (fp(i), ContainerId::new(i))).collect();
+        idx.sequential_update_sharded(&updates, 4);
+        idx.set_part_fault_plan(3, FaultPlan::fail_at(idx.part_disk_ops(3)));
+        let mut cache = cache_of(0..200);
+        let rep = idx
+            .try_sequential_lookup_sharded(&mut cache, 2)
+            .expect("2-way sweep never touches part 3")
+            .value;
+        assert_eq!(rep.parts, 2);
+        assert_eq!(idx.part_disk_count(), 2);
+    }
+
+    #[test]
+    fn skewed_layout_straggles_at_slowest_part_with_identical_results() {
+        use debar_simio::models::paper;
+        let updates: Vec<_> = (0..1200u64).map(|i| (fp(i), ContainerId::new(i))).collect();
+        let mut even = index(53);
+        let mut skew = index(53);
+        even.sequential_update(&updates);
+        skew.sequential_update(&updates);
+
+        let buckets = skew.params().buckets(); // 256
+                                               // 4 parts, the first covering half the bucket range: the sweep
+                                               // must complete at that straggler, not at total/4.
+        let half = buckets / 2;
+        let rest = buckets - half;
+        skew.set_sweep_layout(Some(vec![
+            half,
+            half + rest / 3,
+            half + 2 * rest / 3,
+            buckets,
+        ]));
+
+        let mut ce = cache_of(0..800);
+        let mut cs = cache_of(0..800);
+        let p0_before = skew.part_disk_stats(0).map_or(0, |s| s.seq_read_bytes);
+        let even_rep = even.sequential_lookup_sharded(&mut ce, 4).value;
+        let skew_rep = skew.sequential_lookup_sharded(&mut cs, 4).value;
+        assert_eq!(skew_rep.parts, 4);
+        assert_eq!(
+            dup_set(&even_rep),
+            dup_set(&skew_rep),
+            "results are layout-independent"
+        );
+        let model = paper::index_disk();
+        let slowest = model.seq_read_cost(half * skew.params().bucket_bytes as u64);
+        assert_eq!(
+            skew_rep.sweep_secs, slowest,
+            "skewed sweep completes at the slowest part"
+        );
+        assert_eq!(
+            even_rep.sweep_secs,
+            model.seq_read_cost(skew.params().total_bytes()) / 4.0,
+            "even sweep keeps the 1/P law"
+        );
+        assert!(skew_rep.sweep_secs > even_rep.sweep_secs);
+        // The straggler part-disk moved half the index bytes this sweep.
+        let p0 = skew.part_disk_stats(0).expect("part 0 engaged");
+        assert_eq!(
+            p0.seq_read_bytes - p0_before,
+            half * skew.params().bucket_bytes as u64
+        );
+        // SIU under the same layout also stays byte-identical.
+        let more: Vec<_> = (1200..1800u64)
+            .map(|i| (fp(i), ContainerId::new(i)))
+            .collect();
+        even.sequential_update_sharded(&more, 4);
+        skew.sequential_update_sharded(&more, 4);
+        assert_eq!(even.raw_data(), skew.raw_data());
     }
 
     #[test]
@@ -1068,6 +1310,76 @@ mod tests {
             c.sequential_update(&routed);
             d.sequential_update_sharded(&routed, parts);
             proptest::prop_assert!(c.raw_data() == d.raw_data());
+        }
+
+        #[test]
+        fn prop_physical_sweep_time_is_max_of_part_bytes(
+            seed: u64,
+            n_bits in 1u32..9,
+            reg in 1usize..600,
+            probe in 1u64..500,
+            parts in 1usize..11,
+        ) {
+            // The physical-stripe law: for a random geometry and any
+            // partition count, sweep time equals the max over the
+            // per-part charged bytes — exactly, because the charge is
+            // computed per part-disk from its own bucket-range share.
+            use debar_simio::models::paper;
+            let mut idx = DiskIndex::with_paper_disk(IndexParams::new(n_bits, 512), seed);
+            idx.sequential_update(&random_batch(seed, reg, 3000));
+            let buckets = idx.params().buckets();
+            let p = clamp_parts(parts, buckets) as u64;
+            let read_before: Vec<u64> = (0..p as usize)
+                .map(|i| idx.part_disk_stats(i).map_or(0, |s| s.seq_read_bytes))
+                .collect();
+            let mut cache = cache_of(0..probe);
+            let rep = idx.sequential_lookup_sharded(&mut cache, parts).value;
+
+            proptest::prop_assert_eq!(rep.parts as u64, p);
+            let model = paper::index_disk();
+            let expected = (0..p)
+                .map(|i| {
+                    let start = buckets * i / p;
+                    let end = buckets * (i + 1) / p;
+                    model.seq_read_cost((end - start) * idx.params().bucket_bytes as u64)
+                })
+                .fold(0.0, f64::max);
+            proptest::prop_assert_eq!(rep.sweep_secs, expected);
+            // This sweep's per-part byte shares sum to the whole volume.
+            let charged: u64 = (0..p as usize)
+                .filter_map(|i| idx.part_disk_stats(i))
+                .map(|s| s.seq_read_bytes)
+                .sum::<u64>()
+                - read_before.iter().sum::<u64>();
+            proptest::prop_assert_eq!(charged, idx.params().total_bytes());
+        }
+
+        #[test]
+        fn prop_even_geometry_physical_matches_virtual_oracle(
+            seed: u64,
+            count in 1usize..800,
+            probe in 1u64..600,
+            pow in 0u32..4,
+        ) {
+            // Even power-of-two geometry: the physical per-part model must
+            // reproduce the retained analytic even-split oracle
+            // bit-for-bit — same sweep virtual time (total/bw/P), same
+            // index bytes as the scalar reference.
+            use debar_simio::models::paper;
+            let parts = 1usize << pow; // {1, 2, 4, 8} divides 256 buckets
+            let batch = random_batch(seed, count, 2500);
+            let mut scalar = index(seed ^ 0xE0);
+            let mut physical = index(seed ^ 0xE0);
+            scalar.sequential_update_scalar(&batch);
+            let siu = physical.sequential_update_sharded(&batch, parts).value;
+            proptest::prop_assert_eq!(siu.parts as usize, parts);
+            proptest::prop_assert!(scalar.raw_data() == physical.raw_data());
+
+            let mut cache = cache_of(0..probe);
+            let rep = physical.sequential_lookup_sharded(&mut cache, parts).value;
+            let model = paper::index_disk();
+            let oracle = model.seq_read_cost(physical.params().total_bytes()) / parts as f64;
+            proptest::prop_assert_eq!(rep.sweep_secs, oracle);
         }
 
         #[test]

@@ -204,6 +204,13 @@ impl SimDisk {
     /// share concurrently, so wall-clock time is `max` over parts ≈ a
     /// `1/ways` share). Statistics record the full byte volume; the
     /// returned (and accrued) busy time is the parallel wall time.
+    ///
+    /// This is the **analytic even-split model**, retained as the
+    /// equivalence oracle for the physical per-partition model
+    /// ([`crate::PartDiskSet`]): on an even power-of-two split the two
+    /// must agree bit-for-bit. Physical sweeps (real part-disk queues,
+    /// per-part byte shares, single-part fault targeting) live in
+    /// [`crate::partdisk`].
     pub fn seq_read_striped(&mut self, bytes: u64, ways: u32) -> Secs {
         self.tick();
         let ways = ways.max(1) as f64;
@@ -232,6 +239,28 @@ impl SimDisk {
         self.stats.rand_read_bytes += bytes;
         self.stats.busy_s += c;
         c
+    }
+
+    /// Run one **fault-checked** operation: collect a pending fault first
+    /// (the "next checked boundary" rule — the charge does NOT run then),
+    /// otherwise charge the op via `charge`; if an armed fault fires on
+    /// it, consume and return it as the error — the op's time was still
+    /// charged (the device was busy failing), but the caller must treat
+    /// the operation as having had no effect. This is the one place the
+    /// collect→charge→consume protocol lives; storage layers build their
+    /// typed errors on top of it.
+    pub fn checked_op(
+        &mut self,
+        charge: impl FnOnce(&mut SimDisk) -> Secs,
+    ) -> Result<Secs, InjectedFault> {
+        if let Some(fault) = self.take_fault() {
+            return Err(fault);
+        }
+        let cost = charge(self);
+        match self.take_fault() {
+            Some(fault) => Err(fault),
+            None => Ok(cost),
+        }
     }
 
     /// Perform a random write of `bytes`; returns the cost.
@@ -357,6 +386,26 @@ mod tests {
         assert!(!d.has_armed_faults());
         d.rand_read(10);
         assert!(d.take_fault().is_none());
+    }
+
+    #[test]
+    fn checked_op_charges_fires_and_collects_pending() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let mut d = disk();
+        // Clean op passes the cost through.
+        assert_eq!(d.checked_op(|d| d.seq_read(100_000_000)), Ok(1.0));
+        // Armed op: charged, fault consumed and returned.
+        d.set_fault_plan(FaultPlan::fail_at(d.ops()));
+        let err = d.checked_op(|d| d.seq_write(10)).expect_err("fires");
+        assert_eq!(err.kind, FaultKind::Fail);
+        assert_eq!(d.ops(), 2, "the failing op was still charged");
+        // Pending fault from an unchecked op: collected WITHOUT charging.
+        d.set_fault_plan(FaultPlan::bit_flip_at(d.ops()));
+        d.seq_read(10); // unchecked: fault fires silently
+        let err = d.checked_op(|d| d.seq_read(10)).expect_err("pending");
+        assert_eq!(err.kind, FaultKind::BitFlip);
+        assert_eq!(d.ops(), 3, "boundary collection does not charge");
+        assert!(d.checked_op(|d| d.seq_read(10)).is_ok());
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod disk;
 pub mod fault;
 pub mod models;
 pub mod net;
+pub mod partdisk;
 pub mod scale;
 pub mod throughput;
 pub mod timed;
@@ -34,5 +35,6 @@ pub use cpu::{CpuModel, CpuStats, SimCpu};
 pub use disk::{DiskModel, DiskStats, SimDisk};
 pub use fault::{FaultKind, FaultPlan, FaultSpec, InjectedFault};
 pub use net::{NetModel, NetStats, SimLink};
+pub use partdisk::PartDiskSet;
 pub use scale::ScaleModel;
 pub use timed::Timed;

@@ -1,0 +1,270 @@
+//! Physical per-partition disk model for striped sweeps.
+//!
+//! The multi-part index of paper §5.2 puts each index partition on its own
+//! spindle set. Up to PR 3 that was modelled *analytically*: one
+//! [`SimDisk`] charged an even-split maximum via
+//! [`SimDisk::seq_read_striped`] (`bytes / bandwidth / parts`), which makes
+//! every partition identical by construction — uneven partitions can never
+//! straggle and a [`FaultPlan`] can never target a single part.
+//!
+//! A [`PartDiskSet`] replaces that with **real devices**: one [`SimDisk`]
+//! per partition, each with its own operation counter, busy-time
+//! accounting and armable [`FaultPlan`]. A striped sweep charges each
+//! part-disk the bytes its partition *actually* covers and completes at
+//! the **max over per-part completion times** — so a skewed bucket split
+//! (or a slow device model on one part) produces a visible straggler, and
+//! a fault armed on one part-disk fires without touching its siblings.
+//!
+//! # Physical-stripe rules
+//!
+//! * The set resizes to the sweep's (clamped) partition count lazily, at
+//!   charge time: growing adds fresh disks built from the base
+//!   [`DiskModel`]; shrinking truncates from the top, dropping any faults
+//!   still armed on the removed disks. Part indices are stable across
+//!   growth, so a plan armed on part `p` survives as long as sweeps keep
+//!   engaging at least `p + 1` partitions (the documented re-split rule:
+//!   capacity scaling and scale-out only ever *grow* the clamp
+//!   `min(parts, buckets)` for a fixed configuration).
+//! * Each sweep ticks every engaged part-disk exactly once (per direction:
+//!   an SIU read-then-write sweep ticks each part twice), mirroring the
+//!   volume-level one-op-per-sweep rule of the virtual model.
+//! * For an **even** split the physical model reproduces the virtual
+//!   even-split maximum bit-for-bit when the partition count is a power of
+//!   two (`(bytes/P)/bw == (bytes/bw)/P` exactly, because dividing an IEEE
+//!   double by a power of two is exact): the retained virtual oracle and
+//!   the physical model agree, which the equivalence property tests pin.
+//!
+//! The per-disk [`DiskStats`] record the per-part byte volumes; callers
+//! that also keep a volume-level [`SimDisk`] (the disk index does) get
+//! both views — the physical queues here, the whole-volume totals there.
+
+use crate::clock::Secs;
+use crate::disk::{DiskModel, DiskStats, SimDisk};
+use crate::fault::{FaultPlan, FaultSpec, InjectedFault};
+
+/// A bank of per-partition [`SimDisk`]s behind one striped volume.
+#[derive(Debug, Clone)]
+pub struct PartDiskSet {
+    model: DiskModel,
+    disks: Vec<SimDisk>,
+}
+
+impl PartDiskSet {
+    /// An empty set; disks materialize on first resize/charge.
+    pub fn new(model: DiskModel) -> Self {
+        PartDiskSet {
+            model,
+            disks: Vec::new(),
+        }
+    }
+
+    /// The base timing model new part-disks are built from.
+    pub fn model(&self) -> DiskModel {
+        self.model
+    }
+
+    /// Part-disks currently materialized.
+    pub fn len(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// Whether no part-disk has materialized yet.
+    pub fn is_empty(&self) -> bool {
+        self.disks.is_empty()
+    }
+
+    /// Resize to exactly `parts` disks: growth adds fresh disks with the
+    /// base model, shrinking truncates from the top (dropping any armed
+    /// faults on the removed disks — see the module docs).
+    pub fn resize(&mut self, parts: usize) {
+        if parts < self.disks.len() {
+            self.disks.truncate(parts);
+        } else {
+            while self.disks.len() < parts {
+                self.disks.push(SimDisk::new(self.model));
+            }
+        }
+    }
+
+    /// Grow (never shrink) to at least `parts` disks, so fault plans can
+    /// be armed on a part before its first sweep.
+    pub fn ensure(&mut self, parts: usize) {
+        if parts > self.disks.len() {
+            self.resize(parts);
+        }
+    }
+
+    /// A part-disk view, if materialized.
+    pub fn disk(&self, part: usize) -> Option<&SimDisk> {
+        self.disks.get(part)
+    }
+
+    /// Operation counter of part `part` (0 for a disk not yet materialized:
+    /// its first op will be op 0).
+    pub fn ops(&self, part: usize) -> u64 {
+        self.disks.get(part).map_or(0, SimDisk::ops)
+    }
+
+    /// Arm a deterministic fault schedule on one part-disk (materializing
+    /// it if needed).
+    pub fn set_fault_plan(&mut self, part: usize, plan: FaultPlan) {
+        self.ensure(part + 1);
+        self.disks[part].set_fault_plan(plan);
+    }
+
+    /// Disarm every part-disk's faults (armed and fired-but-uncollected).
+    pub fn clear_fault_plans(&mut self) {
+        for d in &mut self.disks {
+            d.clear_fault_plan();
+        }
+    }
+
+    /// Whether any part-disk still has an armed fault.
+    pub fn has_armed_faults(&self) -> bool {
+        self.disks.iter().any(SimDisk::has_armed_faults)
+    }
+
+    /// Collect the first fired-but-uncollected fault across parts, with
+    /// the part index it fired on.
+    pub fn take_fault(&mut self) -> Option<(u32, InjectedFault)> {
+        self.disks
+            .iter_mut()
+            .enumerate()
+            .find_map(|(p, d)| d.take_fault().map(|f| (p as u32, f)))
+    }
+
+    /// Collect the fired-but-uncollected fault of one specific part-disk,
+    /// leaving every other part's pending fault in place (the caller
+    /// attributes an error to the disk it peeked; siblings surface at the
+    /// next checked boundary).
+    pub fn take_fault_on(&mut self, part: usize) -> Option<InjectedFault> {
+        self.disks.get_mut(part).and_then(SimDisk::take_fault)
+    }
+
+    /// The first armed fault that would fire within the next
+    /// `ops_per_part` operations of any part-disk (without consuming it).
+    pub fn peek_fault(&self, ops_per_part: u64) -> Option<(u32, FaultSpec)> {
+        self.disks
+            .iter()
+            .enumerate()
+            .find_map(|(p, d)| d.peek_fault(ops_per_part).map(|s| (p as u32, s)))
+    }
+
+    /// One striped **read** sweep: resize to `bytes.len()` parts, charge
+    /// each part-disk a sequential read of its own byte share, and return
+    /// the parallel wall time — the max over per-part completion times.
+    pub fn seq_read_split(&mut self, bytes: &[u64]) -> Secs {
+        self.resize(bytes.len());
+        self.disks
+            .iter_mut()
+            .zip(bytes)
+            .map(|(d, &b)| d.seq_read(b))
+            .fold(0.0, f64::max)
+    }
+
+    /// One striped **write** sweep (see [`PartDiskSet::seq_read_split`]).
+    pub fn seq_write_split(&mut self, bytes: &[u64]) -> Secs {
+        self.resize(bytes.len());
+        self.disks
+            .iter_mut()
+            .zip(bytes)
+            .map(|(d, &b)| d.seq_write(b))
+            .fold(0.0, f64::max)
+    }
+
+    /// Statistics of one part-disk, if materialized.
+    pub fn part_stats(&self, part: usize) -> Option<DiskStats> {
+        self.disks.get(part).map(SimDisk::stats)
+    }
+
+    /// Merged statistics across all part-disks. `busy_s` sums the per-part
+    /// busy times (device-seconds), which exceeds the striped wall time
+    /// whenever more than one part is engaged.
+    pub fn stats(&self) -> DiskStats {
+        let mut out = DiskStats::default();
+        for d in &self.disks {
+            out.merge(&d.stats());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultKind;
+
+    fn model() -> DiskModel {
+        DiskModel {
+            seek_s: 0.002,
+            read_bw: 100e6,
+            write_bw: 50e6,
+        }
+    }
+
+    #[test]
+    fn split_sweep_time_is_max_over_parts() {
+        let mut set = PartDiskSet::new(model());
+        // Uneven split: the 300 MB part is the straggler.
+        let t = set.seq_read_split(&[100_000_000, 300_000_000, 100_000_000]);
+        assert_eq!(t, 3.0, "wall time must be the slowest part");
+        assert_eq!(set.len(), 3);
+        assert_eq!(
+            set.part_stats(1).expect("part 1").seq_read_bytes,
+            300_000_000
+        );
+        assert_eq!(set.stats().seq_read_bytes, 500_000_000);
+        // Device-seconds exceed wall time once >1 part is busy.
+        assert!(set.stats().busy_s > t);
+    }
+
+    #[test]
+    fn even_power_of_two_split_matches_virtual_oracle_exactly() {
+        // The retained virtual model charges seq_read_cost(total)/P; a
+        // power-of-two even split must reproduce it bit-for-bit.
+        let total: u64 = 1 << 27;
+        for parts in [1u64, 2, 4, 8] {
+            let mut set = PartDiskSet::new(model());
+            let share = total / parts;
+            let bytes: Vec<u64> = (0..parts).map(|_| share).collect();
+            let physical = set.seq_read_split(&bytes);
+            let mut oracle = SimDisk::new(model());
+            let virtual_t = oracle.seq_read_striped(total, parts as u32);
+            assert_eq!(physical, virtual_t, "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn resize_preserves_low_parts_and_drops_high() {
+        let mut set = PartDiskSet::new(model());
+        set.seq_read_split(&[10, 10, 10, 10]);
+        assert_eq!(set.ops(2), 1);
+        set.set_fault_plan(3, FaultPlan::fail_at(9));
+        set.resize(2);
+        assert!(!set.has_armed_faults(), "shrink drops high-part plans");
+        assert_eq!(set.ops(0), 1, "surviving counters keep ticking");
+        set.resize(4);
+        assert_eq!(set.ops(3), 0, "regrown part is a fresh disk");
+    }
+
+    #[test]
+    fn single_part_fault_fires_on_that_part_only() {
+        let mut set = PartDiskSet::new(model());
+        set.seq_write_split(&[10, 10, 10]); // op 0 on each part
+        set.set_fault_plan(1, FaultPlan::fail_at(set.ops(1)));
+        let (p, spec) = set.peek_fault(1).expect("armed");
+        assert_eq!((p, spec.kind), (1, FaultKind::Fail));
+        set.seq_write_split(&[10, 10, 10]); // op 1: part 1 faults
+        let (part, fault) = set.take_fault().expect("fired");
+        assert_eq!(part, 1);
+        assert_eq!(fault.op, 1);
+        assert!(set.take_fault().is_none(), "one-shot, one part");
+        // Ensure() can pre-materialize a part for arming before any sweep.
+        let mut fresh = PartDiskSet::new(model());
+        fresh.set_fault_plan(2, FaultPlan::bit_flip_at(0));
+        assert_eq!(fresh.len(), 3);
+        assert!(fresh.has_armed_faults());
+        fresh.clear_fault_plans();
+        assert!(!fresh.has_armed_faults());
+    }
+}

@@ -44,6 +44,21 @@ pub enum Failure {
     /// `PartialSiu` (half the batch durable) and a re-run must converge
     /// byte-identically.
     PartialSiu,
+    /// Fail exactly **one part-disk** of server 0's striped PSIL sweep in
+    /// the final round: `run_dedup2` must surface
+    /// `InterruptedDedup2(Sil)` whose cause is `PartDiskFault` naming
+    /// that part, and a re-run must converge byte-identically. The part
+    /// index must be `< sweep_parts`.
+    PartDiskFault {
+        /// The part-disk to fault (partition index within the stripe).
+        part: usize,
+    },
+    /// Fail a chunk-log append during the first backup run: the backup
+    /// must surface `DebarError::DiskFault` (dedup-1 is fault-checked), a
+    /// retried backup must succeed, and the scenario must converge
+    /// byte-identically — the aborted run's stray log records carry no
+    /// storage verdict and are discarded.
+    ChunkLogFault,
 }
 
 /// A parameterized end-to-end scenario.
@@ -258,6 +273,27 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
             let ds = Dataset::from_file_specs(tree);
             let logical = ds.logical_bytes();
             let sample = &tree[version % tree.len()];
+            if sc.failure == Failure::ChunkLogFault && version == 0 && ci == 0 {
+                // Fail an early chunk-log append of the first run. The
+                // director's server assignment is deterministic but not
+                // known here, so arm every server's log disk; only the
+                // assigned one can fire.
+                for s in 0..cluster.server_count() as u16 {
+                    let ops = cluster.log_disk_ops(s);
+                    cluster.set_log_fault_plan(s, FaultPlan::fail_at(ops + 2));
+                }
+                let err = cluster
+                    .backup(job, &ds)
+                    .expect_err("injected log fault must abort dedup-1");
+                assert!(
+                    matches!(err, DebarError::DiskFault { .. }),
+                    "{}: expected DiskFault from the chunk log, got {err}",
+                    sc.name
+                );
+                cluster.clear_fault_plans();
+                // The retried run below converges; the aborted run's
+                // stray log records are discarded at chunk storing.
+            }
             cluster.backup(job, &ds).expect("backup");
             out.logical_bytes += logical;
             ledger.push(LedgerEntry {
@@ -268,6 +304,43 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
                 sample_path: sample.path.clone(),
                 sample_bytes: sample.data.len() as u64,
             });
+        }
+        if let Failure::PartDiskFault { part } = sc.failure {
+            if version == sc.versions - 1 {
+                assert!(
+                    part < sc.sweep_parts,
+                    "{}: faulted part {part} must be within the {}-way stripe",
+                    sc.name,
+                    sc.sweep_parts
+                );
+                // Fail exactly one part-disk of server 0's striped PSIL.
+                let ops = cluster.index_part_disk_ops(0, part);
+                cluster.set_index_part_fault_plan(0, part, FaultPlan::fail_at(ops));
+                let err = cluster
+                    .run_dedup2()
+                    .expect_err("injected part-disk fault must interrupt PSIL");
+                let DebarError::InterruptedDedup2 {
+                    phase: Dedup2Phase::Sil,
+                    server: 0,
+                    ref cause,
+                    ..
+                } = err
+                else {
+                    panic!(
+                        "{}: expected InterruptedDedup2(Sil) on server 0, got {err}",
+                        sc.name
+                    );
+                };
+                assert!(
+                    matches!(**cause, DebarError::PartDiskFault { part: p, .. }
+                        if p as usize == part),
+                    "{}: cause must name part-disk {part}, got {cause}",
+                    sc.name
+                );
+                cluster.clear_fault_plans();
+                // The resumed round converges (compared byte-for-byte
+                // against the Failure::None scenario by failure_kinds).
+            }
         }
         if sc.failure == Failure::InterruptDedup2 && version == sc.versions - 1 {
             // Crash the final round's chunk storing: whichever repository

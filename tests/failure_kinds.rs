@@ -1,6 +1,7 @@
 //! Failure-kind scenarios (ROADMAP: "failure kinds beyond index loss"):
-//! container corruption, mid-dedup-2 crashes and partial SIU, each driven
-//! through the shared scenario harness across the `sweep_parts` matrix.
+//! container corruption, mid-dedup-2 crashes, partial SIU, single
+//! part-disk faults and chunk-log faults, each driven through the shared
+//! scenario harness across the `sweep_parts` matrix.
 //!
 //! Two properties are pinned:
 //!
@@ -69,6 +70,95 @@ fn interrupted_dedup2_converges_multi_server() {
             &clean,
             &faulted,
             &format!("interrupt-w1: resumed run (parts={parts}) vs uninterrupted"),
+        );
+    }
+}
+
+/// The part-disk to fault for a `parts`-way stripe: the last part by
+/// default, or `DEBAR_FAULT_PART` (clamped into the stripe) — the CI
+/// `part-fault` leg selects different parts this way.
+fn fault_part_for(parts: usize) -> usize {
+    std::env::var("DEBAR_FAULT_PART")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .map_or(parts - 1, |p| p.min(parts - 1))
+}
+
+#[test]
+fn single_part_disk_fault_names_part_and_converges() {
+    // The physical multi-part model: a fault armed on exactly one
+    // part-disk of a striped sweep surfaces as a typed error naming that
+    // part (asserted inside the harness), and the interrupted round
+    // converges on redo — byte-identical index parts and restore bytes
+    // versus the never-interrupted scenario AND across partition counts.
+    let mut outs: Vec<(usize, Outcome)> = Vec::new();
+    for parts in sweep_parts_matrix() {
+        let part = fault_part_for(parts);
+        let faulted = run_scenario(
+            &Scenario::tiny("part-fault", 0, parts).with_failure(Failure::PartDiskFault { part }),
+        );
+        let clean = run_scenario(&Scenario::tiny("part-fault", 0, parts));
+        assert_equivalent(
+            &clean,
+            &faulted,
+            &format!("part-fault: resumed run (parts={parts}, part={part}) vs uninterrupted"),
+        );
+        if let Some((p0, base)) = outs.first() {
+            assert_equivalent(
+                base,
+                &faulted,
+                &format!("part-fault: parts={parts} vs parts={p0} diverged"),
+            );
+        }
+        outs.push((parts, faulted));
+    }
+}
+
+#[test]
+fn single_part_disk_fault_converges_multi_server() {
+    for parts in sweep_parts_matrix() {
+        let part = fault_part_for(parts);
+        let faulted = run_scenario(
+            &Scenario::tiny("part-fault-w1", 1, parts)
+                .with_failure(Failure::PartDiskFault { part }),
+        );
+        let clean = run_scenario(&Scenario::tiny("part-fault-w1", 1, parts));
+        assert_equivalent(
+            &clean,
+            &faulted,
+            &format!("part-fault-w1: resumed run (parts={parts}, part={part}) vs uninterrupted"),
+        );
+    }
+}
+
+#[test]
+fn chunk_log_fault_aborts_backup_and_retry_converges() {
+    // Dedup-1's chunk log is fault-checked: the injected append fault
+    // surfaces as DebarError::DiskFault (asserted inside the harness),
+    // the retried backup succeeds, and the aborted run's stray log
+    // records are discarded — outcomes byte-identical to a clean run.
+    for (parts, faulted) in matrix("log-fault", 0, Failure::ChunkLogFault) {
+        let clean = run_scenario(&Scenario::tiny("log-fault", 0, parts));
+        assert_equivalent(
+            &clean,
+            &faulted,
+            &format!("log-fault: retried run (parts={parts}) vs clean"),
+        );
+    }
+}
+
+#[test]
+fn chunk_log_fault_converges_multi_server() {
+    // Multi-server placement is load-balanced by the director, so this
+    // leg additionally pins that an aborted run leaks nothing into the
+    // placement state: a faulted-then-retried history must route every
+    // later job exactly like a clean one, or outcomes diverge.
+    for (parts, faulted) in matrix("log-fault-w1", 1, Failure::ChunkLogFault) {
+        let clean = run_scenario(&Scenario::tiny("log-fault-w1", 1, parts));
+        assert_equivalent(
+            &clean,
+            &faulted,
+            &format!("log-fault-w1: retried run (parts={parts}) vs clean"),
         );
     }
 }
