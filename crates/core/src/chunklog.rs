@@ -6,25 +6,42 @@
 //! (§5.3), which is why its sustained read rate (224 MB/s in the paper)
 //! bounds the dedup-2 chunk-storing throughput.
 //!
+//! # Striped drains (`store_workers`)
+//!
+//! The pipelined chunk-storing phase can drain the log with several store
+//! workers, each reading its own contiguous share of the log stripe from
+//! its own spindle set. The model mirrors the striped index volume
+//! (`debar_index::DiskIndex` over `debar_simio::PartDiskSet`): the
+//! volume-level disk still ticks once per drain (op counting, whole-log
+//! statistics, the retained even-split oracle), each **worker disk**
+//! reads its own byte share, and the drain completes at the max over
+//! per-worker completion times — exactly `1/W` for the even split. The
+//! record *sequence* is unaffected: workers stripe the bytes, the merge
+//! preserves append order, so chunk storing stays byte-identical at any
+//! worker count. Appends charge the volume (the stripe's aggregate write
+//! path) unchanged.
+//!
 //! # Fault model
 //!
 //! The log disk carries an armable [`debar_simio::FaultPlan`] like every
 //! other simulated device, and the fault-checked entry points
-//! ([`ChunkLog::try_append`], [`ChunkLog::try_drain`]) surface injected
-//! faults as [`DebarError::DiskFault`] — extending the typed failure
-//! story to de-duplication phase I. Log appends are synchronous (the
-//! backup run stalls on them), so *every* fault kind — outright failure,
-//! torn write, bit flip — is detected at the faulted operation itself:
-//! a failed append persists nothing and the record is **not** logged; a
-//! failed drain leaves every record in place for the retry. A fault fired
-//! through the unchecked legacy paths stays pending and manifests at the
-//! next checked operation (the "next checked boundary" rule of
+//! ([`ChunkLog::try_append`], [`ChunkLog::try_drain`],
+//! [`ChunkLog::try_drain_striped`]) surface injected faults as
+//! [`DebarError::DiskFault`] — extending the typed failure story to
+//! de-duplication phase I. Log appends are synchronous (the backup run
+//! stalls on them), so *every* fault kind — outright failure, torn
+//! write, bit flip — is detected at the faulted operation itself: a
+//! failed append persists nothing and the record is **not** logged; a
+//! failed drain — whether the volume or a single worker disk faulted —
+//! leaves every record in place for the retry. A fault fired through the
+//! unchecked legacy paths stays pending and manifests at the next
+//! checked operation (the "next checked boundary" rule of
 //! `debar_simio::fault`).
 
 use crate::dataset::StreamChunk;
 use crate::error::DebarError;
 use debar_hash::Fingerprint;
-use debar_simio::{FaultPlan, Secs, SimDisk, Timed};
+use debar_simio::{FaultPlan, PartDiskSet, Secs, SimDisk, Timed};
 use debar_store::Payload;
 
 /// One `<F, D(F)>` group.
@@ -52,10 +69,16 @@ impl From<&StreamChunk> for LogRecord {
     }
 }
 
-/// A sequential chunk log on its own disk.
+/// A sequential chunk log on its own disk, drainable as a stripe across
+/// per-worker disks (see the module docs).
 #[derive(Debug)]
 pub struct ChunkLog {
     disk: SimDisk,
+    /// The physical drain stripe: one disk per store worker, engaged only
+    /// by [`ChunkLog::try_drain_striped`] with `workers > 1`-capable
+    /// shares; the volume disk above stays the op-counting and statistics
+    /// surface for the whole log.
+    worker_disks: PartDiskSet,
     records: Vec<LogRecord>,
     bytes: u64,
 }
@@ -63,8 +86,10 @@ pub struct ChunkLog {
 impl ChunkLog {
     /// Create an empty log with the paper's log-disk model.
     pub fn new() -> Self {
+        let model = debar_simio::models::paper::log_disk();
         ChunkLog {
-            disk: SimDisk::new(debar_simio::models::paper::log_disk()),
+            disk: SimDisk::new(model),
+            worker_disks: PartDiskSet::new(model),
             records: Vec::new(),
             bytes: 0,
         }
@@ -92,15 +117,35 @@ impl ChunkLog {
         self.disk.set_fault_plan(plan);
     }
 
-    /// Disarm all log-disk faults (armed and fired-but-uncollected).
+    /// Arm a deterministic fault schedule on **one worker disk** of the
+    /// drain stripe (materializing it if no striped drain has engaged it
+    /// yet): the fault fires only when a striped drain charges that
+    /// worker's share, modelling the loss of a single store worker's
+    /// spindle set mid-pipeline. The stripe resizes to the drain's worker
+    /// count, so a plan armed on a worker the next drain does not engage
+    /// is dropped by the resize — callers that know the configured count
+    /// (the backup server does) validate against it.
+    pub fn set_worker_fault_plan(&mut self, worker: usize, plan: FaultPlan) {
+        self.worker_disks.set_fault_plan(worker, plan);
+    }
+
+    /// Disarm all log-disk faults (volume and worker disks, armed and
+    /// fired-but-uncollected).
     pub fn clear_fault_plan(&mut self) {
         self.disk.clear_fault_plan();
+        self.worker_disks.clear_fault_plans();
     }
 
     /// The log disk's operation counter (for arming `FaultPlan`s relative
     /// to "the next op"; every append and every drain is one op).
     pub fn disk_ops(&self) -> u64 {
         self.disk.ops()
+    }
+
+    /// One worker disk's operation counter (every striped drain that
+    /// engages the worker is one op on its disk).
+    pub fn worker_disk_ops(&self, worker: usize) -> u64 {
+        self.worker_disks.ops(worker)
     }
 
     /// Append one record (sequential write); returns the cost.
@@ -139,11 +184,42 @@ impl ChunkLog {
     /// the read pointer never advanced, so the resumed round's drain
     /// replays the identical sequence.
     pub fn try_drain(&mut self) -> Result<Timed<Vec<LogRecord>>, DebarError> {
+        self.try_drain_striped(1)
+    }
+
+    /// Fault-checked drain striped across `workers` store workers: each
+    /// worker disk reads its own (even) byte share of the log concurrently
+    /// and the drain completes at the slowest worker — exactly `1/W` of
+    /// the single-worker drain for the even split, while the returned
+    /// record sequence is byte-identical at any worker count.
+    ///
+    /// Charging mirrors the striped index volume: the volume-level disk
+    /// ticks once (op counting for volume fault plans, whole-log
+    /// statistics, the retained even-split oracle), then each worker disk
+    /// is charged its share. A fault on the volume *or* on any single
+    /// worker disk surfaces as [`DebarError::DiskFault`] with every
+    /// record left in the log for an identical replay.
+    pub fn try_drain_striped(
+        &mut self,
+        workers: usize,
+    ) -> Result<Timed<Vec<LogRecord>>, DebarError> {
+        let w = workers.max(1);
         let b = self.bytes;
-        let cost = self
+        let _ = self
             .disk
-            .checked_op(|d| d.seq_read(b))
+            .checked_op(|d| d.seq_read_striped(b, w as u32))
             .map_err(|fault| DebarError::DiskFault { fault })?;
+        let shares: Vec<u64> = (0..w as u64)
+            .map(|i| b * (i + 1) / w as u64 - b * i / w as u64)
+            .collect();
+        let cost = self.worker_disks.seq_read_split(&shares);
+        if let Some((worker, fault)) = self.worker_disks.take_fault() {
+            // The faulted worker's share never merged: the whole drain
+            // aborts with the read pointer unadvanced, and the typed
+            // error names the failing worker disk (the same attribution
+            // convention as the index's `PartDiskFault`).
+            return Err(DebarError::LogWorkerFault { worker, fault });
+        }
         self.bytes = 0;
         Ok(Timed::new(std::mem::take(&mut self.records), cost))
     }
@@ -267,6 +343,58 @@ mod tests {
         assert_eq!(log.bytes(), 5 * 125);
         let recs = log.try_drain().expect("retry drains").value;
         assert_eq!(recs.len(), 5);
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.fp, Fingerprint::of_counter(i as u64), "order kept");
+        }
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn striped_drain_divides_time_and_keeps_record_sequence() {
+        let build = || {
+            let mut log = ChunkLog::new();
+            for i in 0..16u64 {
+                log.append(rec(i, 1000));
+            }
+            log
+        };
+        let mut scalar = build();
+        let t1 = scalar.try_drain().expect("drain");
+        for workers in [2usize, 4, 8] {
+            let mut striped = build();
+            let tw = striped.try_drain_striped(workers).expect("striped drain");
+            assert_eq!(
+                tw.cost,
+                t1.cost / workers as f64,
+                "even-split drain must cost exactly 1/{workers}"
+            );
+            // The record sequence is byte-identical at any worker count.
+            assert_eq!(tw.value.len(), t1.value.len());
+            for (a, b) in tw.value.iter().zip(&t1.value) {
+                assert_eq!(a.fp, b.fp);
+                assert_eq!(a.payload, b.payload);
+            }
+        }
+    }
+
+    #[test]
+    fn single_worker_drain_fault_keeps_records_for_identical_replay() {
+        let mut log = ChunkLog::new();
+        for i in 0..6u64 {
+            log.append(rec(i, 100));
+        }
+        // Arm exactly one worker disk of a 3-way drain stripe.
+        log.set_worker_fault_plan(1, FaultPlan::fail_at(log.worker_disk_ops(1)));
+        let err = log.try_drain_striped(3).expect_err("worker fault fires");
+        assert!(
+            matches!(err, DebarError::LogWorkerFault { worker: 1, .. }),
+            "typed error must name the failing worker: {err}"
+        );
+        assert!(err.to_string().contains("worker disk 1"), "{err}");
+        assert_eq!(log.len(), 6, "read pointer never advanced");
+        assert_eq!(log.bytes(), 6 * 125);
+        let recs = log.try_drain_striped(3).expect("retry drains").value;
+        assert_eq!(recs.len(), 6);
         for (i, r) in recs.iter().enumerate() {
             assert_eq!(r.fp, Fingerprint::of_counter(i as u64), "order kept");
         }

@@ -1,21 +1,33 @@
 //! The DEBAR cluster: TPDS orchestration across `2^w` backup servers
 //! (paper §2, §5).
 //!
-//! Dedup-2 is bulk-synchronous (Fig. 5): every phase runs on all servers,
-//! a barrier aligns the virtual clocks, and the phase's wall-clock time is
-//! the slowest server's. The compute-heavy phases — PSIL and PSIU, which
-//! sweep each server's index part — run on real OS threads (one per
-//! server); the exchange and chunk-storing phases run sequentially for
-//! deterministic container-ID assignment, with their *virtual* time still
-//! accounted per server.
+//! Dedup-2 follows the paper's Fig. 5 phases, but the phases are a
+//! **pipeline**, not a lockstep of barriers. What overlaps, and what
+//! barriers remain:
 //!
-//! | phase | §, what happens |
-//! |---|---|
-//! | exchange | §5.2: undetermined fingerprints partitioned by first `w` bits and exchanged |
-//! | PSIL | each server sweeps its index part; verdicts routed back to origins |
-//! | chunk storing | §5.3: each origin drains its chunk log, stores designated chunks via SISL |
-//! | update routing | unregistered `(fp, container)` pairs exchanged to owner parts |
-//! | PSIU | §5.4: owners merge updates; may be deferred (asynchronous SIU) |
+//! | phase | §, what happens | sync model |
+//! |---|---|---|
+//! | exchange | §5.2: undetermined fingerprints partitioned by first `w` bits and exchanged | barrier **after** (all-to-all: every owner needs every origin's batch) |
+//! | PSIL | each server sweeps its index part on its own OS thread; verdicts routed back to origins | no exit barrier — each server's clock runs ahead on its own |
+//! | chunk storing | §5.3: each origin **packs** its chunk log into containers in parallel (one OS thread per server, `store_workers` worker disks striping each drain), then a serial canonical-order **commit** assigns container IDs | overlapped: server *i*'s pack starts at its own post-PSIL clock, while straggler servers are still sweeping — the saved window is reported as `Dedup2Report::store_overlap_saved` |
+//! | update routing | unregistered `(fp, container)` pairs exchanged to owner parts | barrier after (PSIU needs every origin's updates) |
+//! | PSIU | §5.4: owners merge updates on real threads; may be deferred (asynchronous SIU) | barrier after (round commit) |
+//!
+//! Two invariants make the pipelined phase safe:
+//!
+//! 1. **Packing is pure.** The parallel pack stage
+//!    ([`BackupServer::pack_chunks`]) touches only the server's own chunk
+//!    log and container manager — no repository, no container IDs — so
+//!    thread interleaving cannot influence results.
+//! 2. **Commit order is canonical.** The serial commit
+//!    ([`BackupServer::commit_packed`]) walks servers in ID order and
+//!    containers in seal order, so the repository sees exactly the
+//!    operation sequence of the old bulk-synchronous model: container
+//!    IDs, placement, fault-plan op indices and all results are
+//!    **byte-identical** — only the clocks move differently.
+//!
+//! The remaining barriers are genuine data dependencies (all-to-all
+//! exchanges and the round commit), not implementation convenience.
 
 use crate::client::BackupClient;
 use crate::config::DebarConfig;
@@ -118,6 +130,15 @@ impl DebarCluster {
         self.servers[server as usize].set_log_fault_plan(plan);
     }
 
+    /// Arm a deterministic fault schedule on **one worker disk** of one
+    /// server's chunk-log drain stripe: the pipelined chunk-storing
+    /// phase's striped drain lets a fault take out a single store
+    /// worker's spindle set, which surfaces as [`DebarError::DiskFault`]
+    /// with the whole log left intact for the redo.
+    pub fn set_log_worker_fault_plan(&mut self, server: ServerId, worker: usize, plan: FaultPlan) {
+        self.servers[server as usize].set_log_worker_fault_plan(worker, plan);
+    }
+
     /// A server's index-disk op counter (for arming fault plans).
     pub fn index_disk_ops(&self, server: ServerId) -> u64 {
         self.servers[server as usize].index_disk_ops()
@@ -132,6 +153,12 @@ impl DebarCluster {
     /// A server's chunk-log-disk op counter (for arming fault plans).
     pub fn log_disk_ops(&self, server: ServerId) -> u64 {
         self.servers[server as usize].log_disk_ops()
+    }
+
+    /// One chunk-log worker disk's op counter on one server (for arming
+    /// single-worker drain fault plans).
+    pub fn log_worker_disk_ops(&self, server: ServerId, worker: usize) -> u64 {
+        self.servers[server as usize].log_worker_disk_ops(worker)
     }
 
     /// Disarm every fault plan in the deployment (repository nodes, index
@@ -383,26 +410,81 @@ impl DebarCluster {
             .max()
             .filter(|&p| p > 0)
             .unwrap_or(self.cfg.sweep_parts.min(u32::MAX as usize) as u32);
-        let t2 = self.barrier();
+        // No barrier here: phase 3 is pipelined, each server's chunk
+        // storing starts at its *own* post-PSIL clock while stragglers
+        // are still sweeping. `t2` (the slowest server) still delimits
+        // the reported PSIL wall.
+        let t2 = self.now();
 
-        // ---- Phase 3: chunk storing (sequential for deterministic IDs;
-        //      virtual time still per-server). ----
+        // ---- Phase 3: pipelined chunk storing. ----
         // Start from the durable prefix of an interrupted attempt of this
         // round, so the (re)run's report covers the whole round.
         let mut store_total = std::mem::take(&mut self.carryover_store);
+        // Stage 1 — parallel pack: every server drains its chunk log
+        // (striped over `store_workers` worker disks) and packs SISL
+        // containers concurrently, one OS thread per server. Packing is
+        // pure (no repository access), so interleaving cannot influence
+        // results.
+        let sil_done: Vec<Secs> = self.servers.iter().map(|srv| srv.clock.now()).collect();
+        let packs: Vec<Result<crate::server::PackOutput, DebarError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .servers
+                    .iter_mut()
+                    .zip(&decisions)
+                    .map(|(srv, dec)| scope.spawn(move || srv.pack_chunks(dec)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("pack worker panicked"))
+                    .collect()
+            });
+        if packs.iter().any(Result::is_err) {
+            // A drain fault interrupts the phase before any container
+            // commits. Faulted servers already kept their logs intact and
+            // stashed their decisions; sibling packs roll back so their
+            // logs too look untouched, and the resumed round replays the
+            // identical sequence everywhere.
+            let mut first: Option<(ServerId, DebarError)> = None;
+            for (i, pack) in packs.into_iter().enumerate() {
+                match pack {
+                    Ok(p) => self.servers[i].abort_pack(p),
+                    Err(e) => {
+                        if first.is_none() {
+                            first = Some((i as ServerId, e));
+                        }
+                    }
+                }
+            }
+            let (sid, cause) = first.expect("checked above");
+            self.carryover_store = store_total;
+            let _ = self.barrier();
+            return Err(DebarError::InterruptedDedup2 {
+                round,
+                phase: Dedup2Phase::ChunkStoring,
+                server: sid,
+                cause: Box::new(cause),
+            });
+        }
+        // Stage 2 — serial commit in canonical server order: container
+        // IDs are assigned here, so the repository sees exactly the
+        // operation sequence of the bulk-synchronous model and results
+        // stay byte-identical.
         let mut routed_updates: Vec<Vec<(Fingerprint, ContainerId)>> = vec![Vec::new(); s];
         let mut tx3 = vec![0u64; s];
         let mut store_fault: Option<(ServerId, DebarError)> = None;
-        for i in 0..s {
+        for (i, pack) in packs.into_iter().enumerate() {
+            let pack = pack.expect("pack faults handled above");
             if store_fault.is_some() {
-                // An earlier server's pass faulted: this server's log was
-                // never drained; carry its decisions to the resumed round.
-                self.servers[i].stash_carryover(&decisions[i]);
+                // An earlier server's commit faulted mid-phase: roll this
+                // server's pack back whole (its log must look as if the
+                // drain never ran) and carry its decisions over.
+                self.servers[i].abort_pack(pack);
                 continue;
             }
             let outcome = {
                 let repo = &mut self.repo;
-                self.servers[i].store_chunks(&decisions[i], repo)
+                self.servers[i].commit_packed(pack, repo)
             };
             let rep = outcome.report;
             store_total.log_records += rep.log_records;
@@ -442,7 +524,18 @@ impl DebarCluster {
                 cause: Box::new(cause),
             });
         }
+        // The overlap the pipeline saved: the bulk-synchronous model
+        // would have started every store pass at the PSIL barrier `t2`
+        // and finished at `t2 + max(per-server store time)`; the
+        // pipelined phase finishes at `max(own start + own store time)`.
+        let store_walls = self
+            .servers
+            .iter()
+            .zip(&sil_done)
+            .map(|(srv, &c)| srv.clock.now() - c);
+        let bulk_sync_end = t2 + store_walls.fold(0.0_f64, f64::max);
         let t3 = self.barrier();
+        let store_overlap_saved = (bulk_sync_end - t3).max(0.0);
 
         // ---- Phase 4: PSIU (possibly deferred: asynchronous SIU). ----
         let (siu_reports, siu_updates) = if run_siu {
@@ -490,6 +583,7 @@ impl DebarCluster {
             new_fps,
             sil_sweeps,
             sweep_parts,
+            store_workers: self.cfg.store_workers.min(u32::MAX as usize) as u32,
             store: store_total,
             siu_ran: run_siu,
             siu_reports,
@@ -497,6 +591,7 @@ impl DebarCluster {
             exchange_wall: t1 - t0,
             sil_wall: t2 - t1,
             store_wall: t3 - t2,
+            store_overlap_saved,
             siu_wall: t4 - t3,
         })
     }
@@ -582,6 +677,7 @@ impl DebarCluster {
         let sid = record.server as usize;
         let w = self.cfg.w_bits;
         let start = self.servers[sid].clock.now();
+        let lpc_before = self.servers[sid].lpc.stats();
         let mut report = RestoreReport {
             run,
             files: 0,
@@ -589,6 +685,7 @@ impl DebarCluster {
             chunks: 0,
             lpc_hits: 0,
             lpc_misses: 0,
+            lpc: debar_store::LpcStats::default(),
             failures: 0,
             elapsed: 0.0,
         };
@@ -693,6 +790,14 @@ impl DebarCluster {
             }
         }
         report.elapsed = self.servers[sid].clock.since(start);
+        // Surface the locality-preserving cache's own view of this walk
+        // (delta of its cumulative counters, including evictions).
+        let lpc_after = self.servers[sid].lpc.stats();
+        report.lpc = debar_store::LpcStats {
+            hits: lpc_after.hits - lpc_before.hits,
+            misses: lpc_after.misses - lpc_before.misses,
+            evictions: lpc_after.evictions - lpc_before.evictions,
+        };
         Ok(report)
     }
 
@@ -1735,6 +1840,173 @@ mod tests {
         assert_eq!(
             resumed.repository().stats().containers,
             clean.repository().stats().containers
+        );
+    }
+
+    #[test]
+    fn store_workers_divide_store_wall_and_stay_byte_identical() {
+        let drive = |workers: usize| {
+            let mut c = DebarCluster::new(DebarConfig::tiny_test(0).with_store_workers(workers));
+            let job = c.define_job("j", ClientId(0));
+            c.backup(job, &Dataset::from_records("s", records(0..3000)))
+                .expect("backup");
+            let d2 = c.run_dedup2().expect("dedup2");
+            assert_eq!(d2.store_workers, workers as u32);
+            (c, d2)
+        };
+        let (base, d1) = drive(1);
+        for workers in [2usize, 4] {
+            let (c, dw) = drive(workers);
+            assert_eq!(
+                Sha1::digest(c.server(0).index().raw_data()),
+                Sha1::digest(base.server(0).index().raw_data()),
+                "workers={workers}: index parts must be byte-identical"
+            );
+            assert_eq!(c.repository().stats(), base.repository().stats());
+            assert_eq!(dw.store.stored_chunks, d1.store.stored_chunks);
+            assert_eq!(dw.store.containers, d1.store.containers);
+            assert!(
+                dw.store_wall < d1.store_wall,
+                "workers={workers}: store wall {} not below single-worker {}",
+                dw.store_wall,
+                d1.store_wall
+            );
+        }
+    }
+
+    #[test]
+    fn log_worker_drain_fault_interrupts_mid_pipeline_and_resumes() {
+        use debar_simio::FaultPlan;
+        let drive = |fault: bool| {
+            let mut c = DebarCluster::new(DebarConfig::tiny_test(0).with_store_workers(2));
+            let job = c.define_job("j", ClientId(0));
+            c.backup(job, &Dataset::from_records("s", records(0..2000)))
+                .expect("backup");
+            if fault {
+                // Arm exactly one worker disk of the 2-way drain stripe.
+                let ops = c.log_worker_disk_ops(0, 1);
+                c.set_log_worker_fault_plan(0, 1, FaultPlan::fail_at(ops));
+                let err = c.run_dedup2().expect_err("worker fault interrupts");
+                let DebarError::InterruptedDedup2 {
+                    phase: Dedup2Phase::ChunkStoring,
+                    ref cause,
+                    ..
+                } = err
+                else {
+                    panic!("expected InterruptedDedup2(ChunkStoring), got {err}");
+                };
+                assert!(
+                    matches!(**cause, DebarError::LogWorkerFault { worker: 1, .. }),
+                    "cause must name worker disk 1, got {cause}"
+                );
+                assert!(
+                    c.server(0).log_bytes() > 0,
+                    "drain fault must leave the log intact for the replay"
+                );
+                c.clear_fault_plans();
+            }
+            let d2 = c.run_dedup2().expect("(re)run");
+            assert_eq!(d2.round, 1, "interrupted round re-runs");
+            c
+        };
+        let clean = drive(false);
+        let mut resumed = drive(true);
+        assert_eq!(
+            Sha1::digest(resumed.server(0).index().raw_data()),
+            Sha1::digest(clean.server(0).index().raw_data())
+        );
+        assert_eq!(
+            resumed.repository().stats().containers,
+            clean.repository().stats().containers
+        );
+        let r = resumed
+            .restore_run(RunId {
+                job: JobId(0),
+                version: 0,
+            })
+            .expect("restore");
+        assert_eq!(r.failures, 0);
+        assert_eq!(r.chunks, 2000);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the 2-way drain stripe")]
+    fn log_worker_fault_plan_outside_stripe_rejected() {
+        use debar_simio::FaultPlan;
+        // The drain stripe resizes to store_workers at every drain, so a
+        // plan armed past it would be silently dropped — reject it loudly
+        // instead of letting a fault-injection test go green untested.
+        let mut c = DebarCluster::new(DebarConfig::tiny_test(0).with_store_workers(2));
+        c.set_log_worker_fault_plan(0, 2, FaultPlan::fail_at(0));
+    }
+
+    #[test]
+    fn pipelined_store_overlap_reported_and_multi_server_results_unchanged() {
+        // Two servers with asymmetric load: the lightly-loaded server's
+        // chunk storing starts while the straggler still sweeps, so the
+        // pipeline saves a positive overlap window — without changing any
+        // stored byte.
+        let mut c = cluster(1);
+        let a = c.define_job("heavy", ClientId(0));
+        let b = c.define_job("light", ClientId(1));
+        c.backup(a, &Dataset::from_records("s", records(0..4000)))
+            .expect("backup");
+        c.backup(b, &Dataset::from_records("s", records(50_000..51_000)))
+            .expect("backup");
+        let d2 = c.run_dedup2().expect("dedup2");
+        assert_eq!(d2.store.stored_chunks, 5000);
+        assert!(
+            d2.store_overlap_saved >= 0.0,
+            "overlap accounting must never go negative"
+        );
+        assert!(
+            d2.store_overlap_saved > 0.0,
+            "asymmetric PSIL loads must yield a positive overlap window"
+        );
+        // The pipelined wall is exactly the bulk-synchronous wall minus
+        // the saved overlap, so total accounting stays conservative.
+        assert!(d2.store_wall > 0.0);
+        for r in records(0..4000)
+            .iter()
+            .chain(records(50_000..51_000).iter())
+        {
+            assert!(c.resolve(&r.fp).is_some());
+        }
+    }
+
+    #[test]
+    fn restore_report_surfaces_lpc_stats() {
+        // Multi-version job: version 1 shares half its chunks with
+        // version 0, and the sequential SISL layout makes the LPC hit on
+        // nearly every chunk after each container fetch.
+        let mut c = cluster(0);
+        let job = c.define_job("j", ClientId(0));
+        c.backup(job, &Dataset::from_records("s", records(0..2000)))
+            .expect("backup");
+        c.run_dedup2().expect("dedup2");
+        c.backup(job, &Dataset::from_records("s", records(1000..3000)))
+            .expect("backup");
+        c.run_dedup2().expect("dedup2");
+        let rep = c.restore_run(RunId { job, version: 1 }).expect("restore");
+        assert_eq!(rep.failures, 0);
+        assert_eq!(
+            rep.lpc.hits + rep.lpc.misses,
+            rep.lpc_misses + rep.lpc_hits,
+            "cache-side and walk-side counters must agree on the total"
+        );
+        assert!(
+            rep.lpc.hit_ratio() > 0.9,
+            "multi-version restore must hit the LPC, ratio {}",
+            rep.lpc.hit_ratio()
+        );
+        // Tiny cache (8 containers) over a 2-version history: the walk
+        // evicts at least once, and the report makes that observable.
+        let older = c
+            .restore_run(RunId { job, version: 0 })
+            .expect("restore v0");
+        assert!(
+            rep.lpc.evictions + older.lpc.evictions > 0,
+            "evictions must be surfaced"
         );
     }
 

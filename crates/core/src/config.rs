@@ -78,6 +78,15 @@ pub struct DebarConfig {
     /// (≈ 1/parts). `1` reproduces the paper's single index volume per
     /// server and is the default everywhere.
     pub sweep_parts: usize,
+    /// Store workers per backup server for the pipelined chunk-storing
+    /// phase (§5.3): the chunk-log drain is striped across this many
+    /// worker disks (each reading its even byte share concurrently, wall
+    /// time the max over workers ≈ 1/workers), feeding the container
+    /// packer and the write-behind flush queue. Chunk-storing *results*
+    /// are byte-identical at any worker count — only the virtual drain
+    /// time divides. `1` reproduces the paper's single log volume per
+    /// server and is the default everywhere.
+    pub store_workers: usize,
     /// Master seed.
     pub seed: u64,
 }
@@ -100,6 +109,7 @@ impl DebarConfig {
             siu_interval: 3,
             dedup2_trigger_fps: 0,
             sweep_parts: 1,
+            store_workers: 1,
             seed: 0xDEBA_0001,
         }
     }
@@ -121,6 +131,7 @@ impl DebarConfig {
             siu_interval: 2,
             dedup2_trigger_fps: 0,
             sweep_parts: 1,
+            store_workers: 1,
             seed: 0xDEBA_0002,
         }
     }
@@ -140,6 +151,7 @@ impl DebarConfig {
             siu_interval: 1,
             dedup2_trigger_fps: 0,
             sweep_parts: 1,
+            store_workers: 1,
             seed: 0xDEBA_7E57,
         }
     }
@@ -168,6 +180,16 @@ impl DebarConfig {
     /// module docs for the validation/clamping rules).
     pub fn with_sweep_parts(mut self, parts: usize) -> Self {
         self.sweep_parts = parts;
+        self
+    }
+
+    /// Builder: drain each server's chunk log with `workers` store workers
+    /// in the pipelined chunk-storing phase (see the `store_workers`
+    /// field). Unlike `sweep_parts`, workers stripe the log *bytes*, not a
+    /// bucket geometry, so there is no clamping rule — any positive count
+    /// validates.
+    pub fn with_store_workers(mut self, workers: usize) -> Self {
+        self.store_workers = workers;
         self
     }
 
@@ -257,6 +279,11 @@ impl DebarConfig {
         }
         if self.sweep_parts < 1 {
             return Err(geometry("sweeps need at least one partition".into()));
+        }
+        if self.store_workers < 1 {
+            return Err(geometry(
+                "chunk storing needs at least one store worker".into(),
+            ));
         }
         let buckets = self.index_part_params().buckets();
         if self.sweep_parts as u64 > buckets {
@@ -362,6 +389,16 @@ mod tests {
         assert!(r.contains("cache"), "{r}");
         let r = geom(base.with_sweep_parts(100_000));
         assert!(r.contains("exceeds"), "{r}");
+        let r = geom(base.with_store_workers(0));
+        assert!(r.contains("store worker"), "{r}");
+    }
+
+    #[test]
+    fn store_workers_any_positive_count_validates() {
+        // Workers stripe log bytes, not a bucket geometry: no upper clamp.
+        for w in [1usize, 2, 7, 64] {
+            DebarConfig::tiny_test(0).with_store_workers(w).validate();
+        }
     }
 
     #[test]

@@ -70,6 +70,18 @@ pub enum DebarError {
         /// The injected fault that fired.
         fault: InjectedFault,
     },
+    /// A single **worker disk** of a striped chunk-log drain failed: the
+    /// pipelined chunk-storing phase stripes each server's drain across
+    /// `store_workers` devices, so a fault can take out exactly one
+    /// worker's share — this error names it. The whole log stays intact
+    /// (the read pointer never advanced on any worker); re-running the
+    /// interrupted round after the fault clears replays identically.
+    LogWorkerFault {
+        /// The failing worker disk (index within the drain stripe).
+        worker: u32,
+        /// The injected fault that fired.
+        fault: InjectedFault,
+    },
     /// A chunk referenced by a file index could not be resolved or read.
     MissingChunk {
         /// The unresolvable fingerprint.
@@ -155,6 +167,9 @@ impl fmt::Display for DebarError {
             DebarError::DiskFault { fault } => write!(f, "disk fault: {fault}"),
             DebarError::PartDiskFault { part, fault } => {
                 write!(f, "index part-disk {part} fault: {fault}")
+            }
+            DebarError::LogWorkerFault { worker, fault } => {
+                write!(f, "chunk-log worker disk {worker} fault: {fault}")
             }
             DebarError::MissingChunk { fp, container } => match container {
                 Some(cid) => write!(f, "chunk {fp:?} missing from container {cid:?}"),

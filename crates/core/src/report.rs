@@ -83,6 +83,10 @@ pub struct Dedup2Report {
     /// striped multi-part index of §5.2 — 1 means the paper's single
     /// index volume per server).
     pub sweep_parts: u32,
+    /// Store workers each server's chunk-log drain striped across in the
+    /// pipelined chunk-storing phase (1 = the paper's single log volume
+    /// per server).
+    pub store_workers: u32,
     /// Aggregate chunk-storing outcome.
     pub store: StoreReport,
     /// Whether PSIU ran this round.
@@ -95,8 +99,15 @@ pub struct Dedup2Report {
     pub exchange_wall: Secs,
     /// Wall time of the PSIL phase.
     pub sil_wall: Secs,
-    /// Wall time of the chunk-storing phase.
+    /// Wall time of the chunk-storing phase (pack + commit, measured from
+    /// the slowest server's PSIL completion — overlap already deducted).
     pub store_wall: Secs,
+    /// Wall time the chunk-storing pipeline saved by starting each
+    /// server's pack at its own post-PSIL clock instead of the PSIL
+    /// barrier: `(barrier start + slowest store) − pipelined finish`.
+    /// Zero for a single server (its own clock *is* the barrier) and
+    /// under perfectly symmetric PSIL loads.
+    pub store_overlap_saved: Secs,
     /// Wall time of the PSIU phase (zero when deferred).
     pub siu_wall: Secs,
 }
@@ -155,6 +166,11 @@ pub struct RestoreReport {
     pub lpc_hits: u64,
     /// LPC misses (container fetches).
     pub lpc_misses: u64,
+    /// The locality-preserving cache's own counters over this restore
+    /// (hits, misses, **evictions** — the delta of
+    /// `debar_store::LpcStats` across the walk), so restore-path cache
+    /// regressions are observable per run, not just in aggregate.
+    pub lpc: debar_store::LpcStats,
     /// Chunks whose payload failed verification or could not be found.
     pub failures: u64,
     /// Virtual seconds consumed.
@@ -213,6 +229,7 @@ mod tests {
             new_fps: 500,
             sil_sweeps: 1,
             sweep_parts: 1,
+            store_workers: 1,
             store: StoreReport {
                 log_records: 1000,
                 log_bytes: 8 << 20,
@@ -227,6 +244,7 @@ mod tests {
             exchange_wall: 0.5,
             sil_wall: 1.0,
             store_wall: 2.0,
+            store_overlap_saved: 0.25,
             siu_wall: 0.5,
         };
         assert_eq!(r.total_wall(), 4.0);

@@ -26,7 +26,7 @@ use debar_hash::{ContainerId, Fingerprint};
 use debar_index::{DiskIndex, IndexCache, IndexError, SiuReport};
 use debar_simio::models::paper;
 use debar_simio::{FaultPlan, Secs, SimCpu, SimLink, VirtualClock};
-use debar_store::{ChunkRepository, Container, ContainerManager, LpcCache, Payload};
+use debar_store::{ChunkRepository, Container, ContainerManager, LpcCache};
 use std::collections::{HashMap, HashSet};
 
 /// Per-origin storage decision for a fingerprint this origin submitted.
@@ -83,6 +83,47 @@ pub struct StoreOutcome {
     pub assigned: Vec<(Fingerprint, ContainerId)>,
     /// The interruption, if the pass faulted.
     pub fault: Option<DebarError>,
+}
+
+/// One container packed by the parallel pack stage
+/// ([`BackupServer::pack_chunks`]), carrying the drain-position metadata
+/// the serial commit needs to reproduce the sequential model's crash
+/// rollback exactly if its repository write faults.
+struct PackedContainer {
+    container: Container,
+    /// Drain index the log tail re-queues from if *this* container's
+    /// write faults: for an overflow-sealed container that is the index
+    /// of its trigger record (the record that did not fit and sits alone
+    /// in the next open container at that moment); for the final flushed
+    /// container it is `records.len()`.
+    requeue_from: usize,
+    /// Records discarded as duplicates up to the moment this container
+    /// sealed (the sequential model's `discarded` count at the fault).
+    discarded_at_seal: u64,
+}
+
+/// Output of one server's pack stage: the drained log, the packed
+/// container sequence and the merged storage decisions — everything the
+/// serial commit ([`BackupServer::commit_packed`]) or a crash rollback
+/// ([`BackupServer::abort_pack`]) needs. Packing touches no shared state
+/// (the repository is not involved), which is what lets every server's
+/// pack run concurrently under `std::thread::scope`.
+pub struct PackOutput {
+    /// The full drained record sequence, in log order.
+    records: Vec<LogRecord>,
+    /// Containers in seal order (SISL stream order across the pass).
+    containers: Vec<PackedContainer>,
+    /// Log statistics of the drain (records, bytes, clean-path discards).
+    log_records: u64,
+    log_bytes: u64,
+    discarded: u64,
+    /// Merged storage decisions (carryover ∪ this round's verdicts), for
+    /// carryover if the commit faults.
+    decisions: HashMap<Fingerprint, Decision>,
+    /// Virtual seconds the pack charged to this server's clock (log
+    /// drain plus per-record probes) — the pipeline depth container
+    /// writes hide behind.
+    produced: Secs,
 }
 
 /// A DEBAR backup server.
@@ -184,6 +225,26 @@ impl BackupServer {
         self.chunk_log.set_fault_plan(plan);
     }
 
+    /// Arm a deterministic fault schedule on **one worker disk** of this
+    /// server's chunk-log drain stripe: the fault fires only when a
+    /// striped drain charges that worker's share (mid-pipeline loss of a
+    /// single store worker's spindle set).
+    ///
+    /// # Panics
+    /// Panics when `worker >= store_workers`: the drain stripe resizes to
+    /// the configured worker count at every drain, so a plan armed past
+    /// it would be silently dropped instead of firing — a fault-injection
+    /// test written that way would go green without testing anything.
+    pub fn set_log_worker_fault_plan(&mut self, worker: usize, plan: FaultPlan) {
+        assert!(
+            worker < self.cfg.store_workers,
+            "worker {worker} outside the {}-way drain stripe: the plan would \
+             never fire",
+            self.cfg.store_workers
+        );
+        self.chunk_log.set_worker_fault_plan(worker, plan);
+    }
+
     /// Disarm this server's index-disk faults (volume and part-disks).
     pub fn clear_index_fault_plan(&mut self) {
         self.index.clear_fault_plan();
@@ -207,6 +268,12 @@ impl BackupServer {
     /// The chunk-log disk's op counter (for arming fault plans).
     pub fn log_disk_ops(&self) -> u64 {
         self.chunk_log.disk_ops()
+    }
+
+    /// One chunk-log worker disk's op counter (for arming single-worker
+    /// drain fault plans).
+    pub fn log_worker_disk_ops(&self, worker: usize) -> u64 {
+        self.chunk_log.worker_disk_ops(worker)
     }
 
     /// Undetermined fingerprints accumulated since the last dedup-2.
@@ -233,6 +300,12 @@ impl BackupServer {
     /// multi-part index; 1 = the paper's single index volume).
     pub fn sweep_parts(&self) -> usize {
         self.cfg.sweep_parts
+    }
+
+    /// Store workers this server's chunk-log drain stripes across (1 =
+    /// the paper's single log volume).
+    pub fn store_workers(&self) -> usize {
+        self.cfg.store_workers
     }
 
     /// Mutable index access (cluster restore path).
@@ -437,35 +510,46 @@ impl BackupServer {
         self.undetermined = fps;
     }
 
-    /// Carry storage decisions over to the next round without draining
-    /// the log (this server's chunk-storing never ran because an earlier
-    /// server's pass faulted in the same bulk-synchronous phase).
-    pub(crate) fn stash_carryover(&mut self, decisions: &HashMap<Fingerprint, Decision>) {
-        for (&fp, &d) in decisions {
-            merge_decision(&mut self.carryover, fp, d);
-        }
-    }
-
-    /// Chunk storing (§5.3): drain the chunk log sequentially and write the
-    /// chunks this server was designated to store into SISL containers,
-    /// submitting sealed containers to the repository.
-    ///
-    /// Crash-consistent: when a container write faults, the chunks of the
-    /// failed container, the unsealed open container and the undrained log
-    /// tail are re-queued at the front of the chunk log (a log read
-    /// pointer that never advanced), the remaining storage decisions are
-    /// carried over, and [`StoreOutcome::fault`] reports the interruption.
-    /// The durable prefix's assignments still flow to SIU; re-running the
-    /// round stores the re-queued chunks into the *same* container IDs an
-    /// uninterrupted run would have used.
+    /// Chunk storing (§5.3), one-call form: pack this server's chunk log
+    /// into containers ([`BackupServer::pack_chunks`]) and commit them to
+    /// the repository ([`BackupServer::commit_packed`]). The pipelined
+    /// cluster phase calls the two halves separately — packs in parallel
+    /// across servers, commits serially for deterministic container IDs —
+    /// with results byte-identical to this sequential composition.
     pub fn store_chunks(
         &mut self,
         decisions: &HashMap<Fingerprint, Decision>,
         repo: &mut ChunkRepository,
     ) -> StoreOutcome {
+        match self.pack_chunks(decisions) {
+            Ok(pack) => self.commit_packed(pack, repo),
+            Err(e) => StoreOutcome {
+                report: StoreReport::default(),
+                assigned: Vec::new(),
+                fault: Some(e),
+            },
+        }
+    }
+
+    /// The parallel pack stage of chunk storing: drain the chunk log
+    /// (striped across [`DebarConfig::store_workers`] worker disks, wall
+    /// time the max over even shares) and pack the chunks this server was
+    /// designated to store into SISL containers on the write-behind flush
+    /// queue. The repository is **not** touched — no container IDs are
+    /// assigned and no shared state is read — so every server's pack can
+    /// run concurrently on its own OS thread while stragglers are still
+    /// sweeping PSIL.
+    ///
+    /// A drain fault (volume or single worker disk) leaves every record
+    /// in the log, carries the merged storage decisions over and
+    /// surfaces as `Err` — the resumed round replays identically.
+    pub fn pack_chunks(
+        &mut self,
+        decisions: &HashMap<Fingerprint, Decision>,
+    ) -> Result<PackOutput, DebarError> {
         // Merge decisions carried over from an interrupted round; a Store
         // designation is binding and never downgraded.
-        let mut decisions = {
+        let decisions = {
             let mut merged = std::mem::take(&mut self.carryover);
             for (&fp, &d) in decisions {
                 merge_decision(&mut merged, fp, d);
@@ -478,111 +562,169 @@ impl BackupServer {
         // the log (the read pointer never advanced), so the resumed
         // round's drain replays the identical sequence — just carry the
         // storage decisions over and report the interruption.
-        let t = match self.chunk_log.try_drain() {
+        let t = match self.chunk_log.try_drain_striped(self.cfg.store_workers) {
             Ok(t) => t,
             Err(e) => {
                 self.carryover = decisions;
-                return StoreOutcome {
-                    report: StoreReport::default(),
-                    assigned: Vec::new(),
-                    fault: Some(e),
-                };
+                return Err(e);
             }
         };
         let log_bytes = t.value.iter().map(|r| r.record_bytes()).sum();
         let records = self.clock.charge(t);
-        let mut report = StoreReport {
-            log_records: records.len() as u64,
-            log_bytes,
-            ..StoreReport::default()
-        };
         let mut manager = ContainerManager::new(self.cfg.container_bytes);
-        // Fingerprints in the open container (container ID still null).
-        let mut open: HashSet<Fingerprint> = HashSet::new();
-        let mut assigned: Vec<(Fingerprint, ContainerId)> = Vec::new();
-        let mut stored: HashSet<Fingerprint> = HashSet::new();
-        // Container writes land on repository-node disks and are pipelined
-        // behind the log drain (the paper measures chunk storing at exactly
-        // the log's sustained read rate, §6.1.2); only the excess stalls.
-        let mut store_cost: Secs = 0.0;
-        let mut fault: Option<(DebarError, Vec<(Fingerprint, Payload)>)> = None;
-        let mut next = 0usize;
+        // Per-seal rollback metadata, zipped with the flushed batch below.
+        let mut seals: Vec<(usize, u64)> = Vec::new();
+        // Fingerprints already packed in this pass (open or sealed): the
+        // union the sequential model tracked as `open ∪ stored`.
+        let mut packed: HashSet<Fingerprint> = HashSet::new();
+        let mut discarded = 0u64;
 
-        while next < records.len() {
-            let rec = &records[next];
+        for (next, rec) in records.iter().enumerate() {
             let c = self.cpu.probe_fps(1);
             self.clock.advance(c);
             let store_it = matches!(decisions.get(&rec.fp), Some(Decision::Store))
-                && !open.contains(&rec.fp)
-                && !stored.contains(&rec.fp);
+                && !packed.contains(&rec.fp);
             if !store_it {
-                report.discarded += 1;
-                next += 1;
+                discarded += 1;
                 continue;
             }
-            report.stored_chunks += 1;
-            report.stored_bytes += rec.payload.len();
-            next += 1;
-            if let Some(sealed) = manager.append(rec.fp, rec.payload.clone()) {
-                match self.submit_container(sealed, repo, &mut open, &mut stored, &mut assigned) {
-                    Ok(cost) => {
-                        store_cost += cost;
-                        report.containers += 1;
-                    }
-                    Err((e, torn)) => {
-                        fault = Some((e, torn));
-                        break;
-                    }
-                }
+            let before = manager.queued();
+            manager.append_queued(rec.fp, rec.payload.clone());
+            if manager.queued() > before {
+                // A container sealed; `rec` is its trigger and sits alone
+                // in the fresh open container right now — the position the
+                // sequential model's crash rollback re-queues from.
+                seals.push((next, discarded));
             }
-            open.insert(rec.fp);
+            packed.insert(rec.fp);
         }
-        if fault.is_none() {
-            if let Some(sealed) = manager.flush() {
-                match self.submit_container(sealed, repo, &mut open, &mut stored, &mut assigned) {
-                    Ok(cost) => {
-                        store_cost += cost;
-                        report.containers += 1;
-                    }
-                    Err((e, torn)) => fault = Some((e, torn)),
-                }
-            }
+        if manager.pending_chunks() > 0 {
+            // The final flushed container: no trigger record — a fault on
+            // it re-queues only its own chunks.
+            seals.push((records.len(), discarded));
         }
+        let batch = manager.flush_batch();
+        debug_assert_eq!(batch.len(), seals.len());
+        let containers = batch
+            .into_iter()
+            .zip(seals)
+            .map(
+                |(container, (requeue_from, discarded_at_seal))| PackedContainer {
+                    container,
+                    requeue_from,
+                    discarded_at_seal,
+                },
+            )
+            .collect();
 
-        let fault = match fault {
-            None => {
-                debug_assert!(open.is_empty(), "all open chunks must be sealed");
-                None
+        Ok(PackOutput {
+            log_records: records.len() as u64,
+            records,
+            containers,
+            log_bytes,
+            discarded,
+            decisions,
+            produced: self.clock.since(start),
+        })
+    }
+
+    /// The serial commit stage of chunk storing: flush the packed
+    /// container batch to the repository in seal order. Container IDs are
+    /// assigned here, in canonical server order across the cluster, which
+    /// is what keeps the pipelined phase byte-identical to the sequential
+    /// model.
+    ///
+    /// Crash-consistent: when a container write faults, the chunks of the
+    /// failed container and the drained log tail from its seal position
+    /// are re-queued at the front of the chunk log (exactly the records a
+    /// sequential drain would not yet have consumed), the storage
+    /// decisions not yet durable are carried over, and
+    /// [`StoreOutcome::fault`] reports the interruption. The durable
+    /// prefix's assignments still flow to SIU; re-running the round
+    /// stores the re-queued chunks into the *same* container IDs an
+    /// uninterrupted run would have used.
+    pub fn commit_packed(&mut self, pack: PackOutput, repo: &mut ChunkRepository) -> StoreOutcome {
+        let PackOutput {
+            records,
+            containers,
+            log_records,
+            log_bytes,
+            discarded,
+            mut decisions,
+            produced,
+        } = pack;
+        let mut report = StoreReport {
+            log_records,
+            log_bytes,
+            discarded,
+            ..StoreReport::default()
+        };
+        let mut assigned: Vec<(Fingerprint, ContainerId)> = Vec::new();
+        // Stage each container's fingerprints (cheap: no payload clones)
+        // before the batch consumes them.
+        let staged_fps: Vec<Vec<Fingerprint>> = containers
+            .iter()
+            .map(|p| p.container.fingerprints().collect())
+            .collect();
+        let meta: Vec<(usize, u64)> = containers
+            .iter()
+            .map(|p| (p.requeue_from, p.discarded_at_seal))
+            .collect();
+        let stored_sizes: Vec<(u64, u64)> = containers
+            .iter()
+            .map(|p| (p.container.len() as u64, p.container.data_bytes()))
+            .collect();
+        let batch = repo.store_batch(containers.into_iter().map(|p| p.container));
+        // Container writes land on repository-node disks and are
+        // pipelined behind the log drain (the paper measures chunk
+        // storing at exactly the log's sustained read rate, §6.1.2); only
+        // the excess stalls. Round-robin placement spreads the batch over
+        // all repository nodes in parallel.
+        let store_cost = batch.cost;
+        let durable = batch.ids.len();
+        for (k, &cid) in batch.ids.iter().enumerate() {
+            report.containers += 1;
+            report.stored_chunks += stored_sizes[k].0;
+            report.stored_bytes += stored_sizes[k].1;
+            for &fp in &staged_fps[k] {
+                assigned.push((fp, cid));
             }
-            Some((e, failed_chunks)) => {
-                // Crash rollback. Stream order of the lost chunks:
-                // failed-container chunks, then the open container's,
-                // then the undrained log tail.
-                let mut requeue: Vec<LogRecord> = Vec::new();
-                for (fp, payload) in failed_chunks.into_iter().chain(manager.take_open()) {
-                    report.stored_chunks -= 1;
-                    report.stored_bytes -= payload.len();
-                    requeue.push(LogRecord { fp, payload });
-                }
-                requeue.extend(records[next..].iter().map(|r| LogRecord {
+        }
+        let fault = match batch.fault {
+            None => None,
+            Some((e, failed)) => {
+                // Crash rollback, reproducing the sequential model's log
+                // state at the moment container `durable`'s write failed:
+                // the failed container's chunks in stream order, then the
+                // log tail from its seal position (which starts with the
+                // trigger record the open container held).
+                let (requeue_from, discarded_at_seal) = meta[durable];
+                report.discarded = discarded_at_seal;
+                let mut requeue: Vec<LogRecord> =
+                    Vec::with_capacity(failed.len() + records.len().saturating_sub(requeue_from));
+                requeue.extend(
+                    failed
+                        .chunks()
+                        .map(|(fp, payload)| LogRecord { fp, payload }),
+                );
+                requeue.extend(records[requeue_from..].iter().map(|r| LogRecord {
                     fp: r.fp,
                     payload: r.payload.clone(),
                 }));
                 self.chunk_log.requeue_front(requeue);
                 // Decisions for everything not yet durable carry over to
                 // the resumed round.
-                for fp in &stored {
-                    decisions.remove(fp);
+                for fps in &staged_fps[..durable] {
+                    for fp in fps {
+                        decisions.remove(fp);
+                    }
                 }
                 self.carryover = decisions;
-                Some(e)
+                Some(e.into())
             }
         };
 
-        // Round-robin placement spreads container writes over all
-        // repository nodes in parallel.
         let store_path = store_cost / repo.node_count() as f64;
-        let produced = self.clock.since(start);
         if store_path > produced {
             self.clock.advance(store_path - produced);
         }
@@ -593,37 +735,16 @@ impl BackupServer {
         }
     }
 
-    /// Submit a sealed container; on a write fault, hand back the
-    /// container's chunks (stream order) for re-queueing.
-    #[allow(clippy::type_complexity)]
-    fn submit_container(
-        &mut self,
-        sealed: Container,
-        repo: &mut ChunkRepository,
-        open: &mut HashSet<Fingerprint>,
-        stored: &mut HashSet<Fingerprint>,
-        assigned: &mut Vec<(Fingerprint, ContainerId)>,
-    ) -> Result<Secs, (DebarError, Vec<(Fingerprint, Payload)>)> {
-        // Cheap staging (refcounted payloads): needed back if the write
-        // faults, because `store` consumes the container.
-        let staged: Vec<(Fingerprint, Payload)> = sealed.chunks().collect();
-        let t = repo.store(sealed);
-        match t.value {
-            Ok(cid) => {
-                for (fp, _) in staged {
-                    open.remove(&fp);
-                    stored.insert(fp);
-                    assigned.push((fp, cid));
-                }
-                Ok(t.cost)
-            }
-            Err(e) => {
-                for (fp, _) in &staged {
-                    open.remove(fp);
-                }
-                Err((e.into(), staged))
-            }
-        }
+    /// Roll a successful pack back without committing anything: re-queue
+    /// the full drained record sequence at the front of the log (order
+    /// preserved — the log's content is exactly what it was before the
+    /// drain) and carry the merged storage decisions over. The cluster
+    /// uses this when a *sibling* server's pass faulted in the same
+    /// bulk-synchronous phase: this server's log state must look as if
+    /// its drain never ran, so the resumed round replays identically.
+    pub fn abort_pack(&mut self, pack: PackOutput) {
+        self.chunk_log.requeue_front(pack.records);
+        self.carryover = pack.decisions;
     }
 
     /// Accept unregistered fingerprints routed to this index part.

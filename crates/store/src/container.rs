@@ -170,6 +170,21 @@ impl Container {
         }
     }
 
+    /// Create an empty container with its metadata/payload buffers
+    /// pre-sized for `chunk_hint` chunks, so the chunk-storing drain loop
+    /// appends without per-chunk buffer growth (the hint is typically
+    /// `capacity / expected_chunk_size`).
+    pub fn with_chunk_capacity(capacity: u64, chunk_hint: usize) -> Self {
+        assert!(capacity > 0, "container capacity must be positive");
+        Container {
+            id: ContainerId::NULL,
+            capacity,
+            metas: Vec::with_capacity(chunk_hint),
+            payloads: Vec::with_capacity(chunk_hint),
+            data_bytes: 0,
+        }
+    }
+
     /// The container's ID ([`ContainerId::NULL`] until the repository
     /// assigns one at store time).
     pub fn id(&self) -> ContainerId {

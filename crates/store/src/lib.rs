@@ -33,6 +33,6 @@ pub mod repository;
 
 pub use container::{ChunkMeta, Container, CorruptKind, Damage, Payload};
 pub use error::StoreError;
-pub use lpc::LpcCache;
+pub use lpc::{LpcCache, LpcStats};
 pub use manager::ContainerManager;
-pub use repository::{ChunkRepository, RepoStats};
+pub use repository::{BatchAppend, ChunkRepository, RepoStats};

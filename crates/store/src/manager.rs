@@ -5,27 +5,58 @@
 //! "SISL writes new chunks to the containers in the logical order that they
 //! appear in the backup stream. It hence creates a spatial locality for the
 //! chunk access" — the property LPC exploits on reads.
+//!
+//! # Write-behind flush queue
+//!
+//! The pipelined chunk-storing phase packs ahead of the repository: sealed
+//! containers accumulate in a **flush queue**
+//! ([`ContainerManager::append_queued`]) instead of stalling the drain
+//! loop on a per-container submit, and the store worker flushes the queue
+//! as one batch ([`ContainerManager::flush_batch`] →
+//! `ChunkRepository::store_batch`), amortizing per-submit overhead across
+//! the batch. The legacy one-at-a-time [`ContainerManager::append`] /
+//! [`ContainerManager::flush`] path is retained; both produce the same
+//! container sequence.
+//!
+//! Containers are pre-sized for `capacity / expected-chunk-size` chunks
+//! (paper §3.2/§3.4: 8 MB containers, 8 KB expected chunks ⇒ ~1024 chunk
+//! slots), so the drain loop appends without per-chunk buffer growth.
 
 use crate::container::Container;
 use crate::container::Payload;
 use debar_hash::Fingerprint;
 
-/// Stream-order container filler.
+/// Expected chunk size used to pre-size container buffers (paper §3.2).
+const EXPECTED_CHUNK_BYTES: u64 = 8 * 1024;
+
+/// Stream-order container filler with a write-behind flush queue.
 #[derive(Debug, Clone)]
 pub struct ContainerManager {
     capacity: u64,
+    /// Chunk-slot hint for pre-sizing fresh containers.
+    chunk_hint: usize,
     open: Container,
+    /// Sealed containers awaiting a batched flush, in seal order.
+    queue: Vec<Container>,
     sealed_count: u64,
 }
 
 impl ContainerManager {
     /// Create a manager producing containers of `capacity` data bytes.
     pub fn new(capacity: u64) -> Self {
+        let chunk_hint = (capacity / EXPECTED_CHUNK_BYTES).clamp(1, 1 << 16) as usize;
         ContainerManager {
             capacity,
-            open: Container::new(capacity),
+            chunk_hint,
+            open: Container::with_chunk_capacity(capacity, chunk_hint),
+            queue: Vec::new(),
             sealed_count: 0,
         }
+    }
+
+    /// A fresh, pre-sized container.
+    fn fresh(&self) -> Container {
+        Container::with_chunk_capacity(self.capacity, self.chunk_hint)
     }
 
     /// Container capacity.
@@ -43,6 +74,11 @@ impl ContainerManager {
         self.sealed_count
     }
 
+    /// Sealed containers waiting in the write-behind flush queue.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
     /// Append a chunk in stream order. When the open container cannot take
     /// the chunk, it is sealed and returned (ready for repository storage)
     /// and a fresh container receives the chunk.
@@ -50,20 +86,22 @@ impl ContainerManager {
         if self.open.try_append(fp, payload.clone()) {
             return None;
         }
-        let sealed = std::mem::replace(&mut self.open, Container::new(self.capacity));
+        let fresh = self.fresh();
+        let sealed = std::mem::replace(&mut self.open, fresh);
         let ok = self.open.try_append(fp, payload);
         debug_assert!(ok, "chunk must fit an empty container");
         self.sealed_count += 1;
         Some(sealed)
     }
 
-    /// Take the open container's chunks back in stream order without
-    /// sealing (crash rollback: an interrupted chunk-storing phase
-    /// re-queues unsealed chunks into the chunk log so a re-run stores
-    /// them into the same containers an uninterrupted run would).
-    pub fn take_open(&mut self) -> Vec<(Fingerprint, crate::container::Payload)> {
-        let open = std::mem::replace(&mut self.open, Container::new(self.capacity));
-        open.chunks().collect()
+    /// Append a chunk in stream order, pushing any sealed container onto
+    /// the write-behind flush queue instead of returning it — the
+    /// pipelined drain loop's path (compare queue depth via
+    /// [`ContainerManager::queued`] to observe seals).
+    pub fn append_queued(&mut self, fp: Fingerprint, payload: Payload) {
+        if let Some(sealed) = self.append(fp, payload) {
+            self.queue.push(sealed);
+        }
     }
 
     /// Seal and return the open container if it holds any chunks (end of a
@@ -73,10 +111,24 @@ impl ContainerManager {
             return None;
         }
         self.sealed_count += 1;
-        Some(std::mem::replace(
-            &mut self.open,
-            Container::new(self.capacity),
-        ))
+        let fresh = self.fresh();
+        Some(std::mem::replace(&mut self.open, fresh))
+    }
+
+    /// Drain the write-behind queue (sealed containers in seal order)
+    /// without touching the open container — a mid-pass flush.
+    pub fn take_batch(&mut self) -> Vec<Container> {
+        std::mem::take(&mut self.queue)
+    }
+
+    /// End-of-pass batched flush: seal the open container (if it holds
+    /// any chunks) onto the queue, then drain the whole queue — the batch
+    /// a store worker hands to `ChunkRepository::store_batch`.
+    pub fn flush_batch(&mut self) -> Vec<Container> {
+        if let Some(sealed) = self.flush() {
+            self.queue.push(sealed);
+        }
+        self.take_batch()
     }
 }
 
@@ -136,5 +188,59 @@ mod tests {
         );
         let sealed = m.append(fp(3), Payload::Zero(1)).expect("now seals");
         assert_eq!(sealed.len(), 2);
+    }
+
+    #[test]
+    fn queued_appends_batch_in_seal_order() {
+        let mut m = ContainerManager::new(64);
+        for i in 0..10u64 {
+            m.append_queued(fp(i), Payload::Zero(20));
+        }
+        // 10 chunks × 20 B into 64 B containers: 3 sealed, 1 open.
+        assert_eq!(m.queued(), 3);
+        assert_eq!(m.pending_chunks(), 1);
+        let batch = m.flush_batch();
+        assert_eq!(batch.len(), 4, "flush_batch seals the open container");
+        let fps: Vec<Fingerprint> = batch.iter().flat_map(|c| c.fingerprints()).collect();
+        assert_eq!(fps, (0..10u64).map(fp).collect::<Vec<_>>());
+        assert_eq!(m.queued(), 0);
+        assert!(m.flush_batch().is_empty(), "queue drained");
+    }
+
+    #[test]
+    fn queued_and_returned_paths_produce_identical_containers() {
+        let drive = |queued: bool| -> Vec<Vec<Fingerprint>> {
+            let mut m = ContainerManager::new(100);
+            let mut out = Vec::new();
+            for i in 0..17u64 {
+                if queued {
+                    m.append_queued(fp(i), Payload::Zero(30));
+                } else if let Some(c) = m.append(fp(i), Payload::Zero(30)) {
+                    out.push(c.fingerprints().collect());
+                }
+            }
+            if queued {
+                out.extend(
+                    m.flush_batch()
+                        .iter()
+                        .map(|c| c.fingerprints().collect::<Vec<_>>()),
+                );
+            } else if let Some(c) = m.flush() {
+                out.push(c.fingerprints().collect());
+            }
+            out
+        };
+        assert_eq!(drive(true), drive(false));
+    }
+
+    #[test]
+    fn take_batch_leaves_open_container_alone() {
+        let mut m = ContainerManager::new(64);
+        for i in 0..5u64 {
+            m.append_queued(fp(i), Payload::Zero(20));
+        }
+        let batch = m.take_batch();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(m.pending_chunks(), 2, "open container untouched");
     }
 }

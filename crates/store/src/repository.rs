@@ -75,6 +75,19 @@ pub struct RepoStats {
     pub corrupt_reads: u64,
 }
 
+/// Outcome of a multi-container batch append
+/// ([`ChunkRepository::store_batch`]).
+#[derive(Debug)]
+pub struct BatchAppend {
+    /// IDs assigned to the durably stored prefix, in batch order.
+    pub ids: Vec<ContainerId>,
+    /// Summed write cost of the durable prefix.
+    pub cost: Secs,
+    /// The first write fault, with the container whose write failed
+    /// handed back unconsumed for re-queueing; `None` on a clean batch.
+    pub fault: Option<(StoreError, Container)>,
+}
+
 /// The multi-node container log.
 #[derive(Debug, Clone)]
 pub struct ChunkRepository {
@@ -182,7 +195,55 @@ impl ChunkRepository {
     /// leaves the ID unconsumed (retrying the store converges to the same
     /// ID); torn writes and bit flips persist a damaged image that later
     /// reads detect via the checksum trailer.
-    pub fn store(&mut self, mut container: Container) -> Timed<Result<ContainerId, StoreError>> {
+    pub fn store(&mut self, container: Container) -> Timed<Result<ContainerId, StoreError>> {
+        let (cost, result) = self.store_inner(container);
+        Timed::new(result.map_err(|(e, _)| e), cost)
+    }
+
+    /// Multi-container batch append (the write-behind flush path of the
+    /// pipelined chunk-storing phase): store a sealed-container batch in
+    /// order, stopping at the first write fault.
+    ///
+    /// Per-container semantics — ID assignment, round-robin placement, one
+    /// sequential write op per container on its node, the fault rules of
+    /// [`ChunkRepository::store`] — are *identical* to storing the batch
+    /// one container at a time; the batch amortizes the per-submit
+    /// overhead (one call, one ID vector, no per-container staging
+    /// round-trips) and models the flush queue draining behind the
+    /// packer. On a fault, the failed container is handed back unconsumed
+    /// (its chunks re-queue into the chunk log) and the remaining batch is
+    /// dropped — those chunks are re-derived from the log tail on redo.
+    pub fn store_batch(&mut self, batch: impl IntoIterator<Item = Container>) -> BatchAppend {
+        let mut out = BatchAppend {
+            ids: Vec::new(),
+            cost: 0.0,
+            fault: None,
+        };
+        for container in batch {
+            let (cost, result) = self.store_inner(container);
+            match result {
+                Ok(id) => {
+                    out.ids.push(id);
+                    out.cost += cost;
+                }
+                Err((e, failed)) => {
+                    // The faulted op's time is the device failing, not
+                    // pipeline progress: excluded from the batch cost,
+                    // exactly like the one-at-a-time path.
+                    out.fault = Some((e, failed));
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// The shared store path: on a `Fail` fault the container is returned
+    /// unconsumed (nothing persisted, ID unconsumed).
+    fn store_inner(
+        &mut self,
+        mut container: Container,
+    ) -> (Secs, Result<ContainerId, (StoreError, Container)>) {
         assert!(container.id().is_null(), "container already stored");
         assert!(
             !container.is_empty(),
@@ -194,7 +255,10 @@ impl ChunkRepository {
         let damage = match self.nodes[node].disk.take_fault() {
             Some(fault) => match fault.kind {
                 FaultKind::Fail => {
-                    return Timed::new(Err(StoreError::DiskFault { node, fault }), cost);
+                    return (
+                        cost,
+                        Err((StoreError::DiskFault { node, fault }, container)),
+                    );
                 }
                 FaultKind::TornWrite => Some(Damage::Torn),
                 FaultKind::BitFlip => Some(Damage::BitFlip),
@@ -208,7 +272,7 @@ impl ChunkRepository {
         self.nodes[node]
             .containers
             .insert(id.raw(), StoredContainer { container, damage });
-        Timed::new(Ok(id), cost)
+        (cost, Ok(id))
     }
 
     /// Materialize a stored container, running any injected damage through
@@ -539,6 +603,57 @@ mod tests {
         assert!(matches!(err, StoreError::DiskFault { node: 0, .. }));
         // One-shot: the next read succeeds.
         assert!(r.read(id).value.expect("ok").is_some());
+    }
+
+    #[test]
+    fn store_batch_matches_one_at_a_time_semantics() {
+        // Same containers through both paths: identical IDs, placement,
+        // per-node op counts and summed cost.
+        let mut one = repo(3);
+        let mut costs = 0.0;
+        let mut ids = Vec::new();
+        for i in 0..5u64 {
+            let t = one.store(container_with(i * 3..i * 3 + 3));
+            costs += t.cost;
+            ids.push(t.value.expect("clean store"));
+        }
+        let mut batched = repo(3);
+        let batch: Vec<Container> = (0..5u64)
+            .map(|i| container_with(i * 3..i * 3 + 3))
+            .collect();
+        let out = batched.store_batch(batch);
+        assert!(out.fault.is_none());
+        assert_eq!(out.ids, ids);
+        assert_eq!(out.cost, costs);
+        assert_eq!(batched.stats(), one.stats());
+        for n in 0..3 {
+            assert_eq!(
+                batched.nodes()[n].disk_stats(),
+                one.nodes()[n].disk_stats(),
+                "node {n} op/byte accounting must match"
+            );
+        }
+    }
+
+    #[test]
+    fn store_batch_fault_returns_failed_container_and_drops_rest() {
+        let mut r = repo(2);
+        // Node 0 takes containers 0 and 2; fail its second write (= batch
+        // index 2).
+        r.set_node_fault_plan(0, FaultPlan::fail_at(1));
+        let batch: Vec<Container> = (0..4u64)
+            .map(|i| container_with(i * 2..i * 2 + 2))
+            .collect();
+        let out = r.store_batch(batch);
+        assert_eq!(out.ids.len(), 2, "durable prefix before the fault");
+        let (err, failed) = out.fault.expect("fault surfaced");
+        assert!(matches!(err, StoreError::DiskFault { node: 0, .. }));
+        assert_eq!(failed.len(), 2, "failed container handed back");
+        assert!(failed.id().is_null(), "unconsumed: no ID assigned");
+        assert_eq!(r.stats().containers, 2, "rest of the batch dropped");
+        // Redo of the failed container converges to the same ID.
+        let id = store_ok(&mut r, failed);
+        assert_eq!(id.raw(), 2);
     }
 
     #[test]

@@ -3,14 +3,15 @@
 //! One deterministic, multi-job / multi-client / multi-version
 //! backup-and-restore scenario, driven by real bytes from
 //! [`FileTreeGen`], runnable under any cluster shape: server count
-//! (`w_bits`), striped sweep partitions (`sweep_parts`), SIU interval,
-//! optional index-loss recovery. The same [`Scenario`] run under
-//! different `sweep_parts` must produce **byte-identical index state**
-//! (SHA-1 digests of every part's bucket array), identical dedup
-//! decisions, and identical restore bytes — only virtual time may
-//! differ. [`assert_equivalent`] pins exactly that, and
-//! [`sweep_parts_matrix`] lets CI widen the partition matrix via the
-//! `DEBAR_SWEEP_PARTS` environment variable.
+//! (`w_bits`), striped sweep partitions (`sweep_parts`), pipelined
+//! store workers (`store_workers`), SIU interval, optional index-loss
+//! recovery. The same [`Scenario`] run under different `sweep_parts` or
+//! `store_workers` must produce **byte-identical index state** (SHA-1
+//! digests of every part's bucket array), identical dedup decisions,
+//! and identical restore bytes — only virtual time may differ.
+//! [`assert_equivalent`] pins exactly that, and [`sweep_parts_matrix`] /
+//! [`store_workers_matrix`] let CI widen the matrices via the
+//! `DEBAR_SWEEP_PARTS` / `DEBAR_STORE_WORKERS` environment variables.
 
 // Each integration-test target compiles its own copy of this module and
 // uses a different subset of it.
@@ -59,6 +60,16 @@ pub enum Failure {
     /// byte-identically — the aborted run's stray log records carry no
     /// storage verdict and are discarded.
     ChunkLogFault,
+    /// Fail exactly **one worker disk** of server 0's striped chunk-log
+    /// drain in the final round's pipelined chunk-storing phase:
+    /// `run_dedup2` must surface `InterruptedDedup2(ChunkStoring)`, the
+    /// log must stay byte-for-byte intact for the replay, and a re-run
+    /// must converge byte-identically. The worker index must be
+    /// `< store_workers`.
+    ChunkLogDrainFault {
+        /// The worker disk to fault (index within the drain stripe).
+        worker: usize,
+    },
 }
 
 /// A parameterized end-to-end scenario.
@@ -70,6 +81,9 @@ pub struct Scenario {
     pub w_bits: u32,
     /// Striped sweep partitions per index part.
     pub sweep_parts: usize,
+    /// Store workers striping each server's chunk-log drain in the
+    /// pipelined chunk-storing phase.
+    pub store_workers: usize,
     /// Clients, each with its own job and evolving file tree.
     pub clients: usize,
     /// Backup versions per client (dedup-2 after each version round).
@@ -93,6 +107,7 @@ impl Scenario {
             name,
             w_bits,
             sweep_parts,
+            store_workers: 1,
             clients: 3,
             versions: 3,
             files: 8,
@@ -100,6 +115,13 @@ impl Scenario {
             seed: 0x5CE0_A710,
             failure: Failure::None,
         }
+    }
+
+    /// Builder: stripe each server's chunk-log drain over `workers` store
+    /// workers.
+    pub fn with_store_workers(mut self, workers: usize) -> Self {
+        self.store_workers = workers;
+        self
     }
 
     /// Builder: inject index loss + repository-scan recovery.
@@ -133,7 +155,9 @@ impl Scenario {
     }
 
     fn config(&self) -> DebarConfig {
-        let mut cfg = DebarConfig::tiny_test(self.w_bits).with_sweep_parts(self.sweep_parts);
+        let mut cfg = DebarConfig::tiny_test(self.w_bits)
+            .with_sweep_parts(self.sweep_parts)
+            .with_store_workers(self.store_workers);
         cfg.siu_interval = self.siu_interval;
         cfg.validate();
         cfg
@@ -199,7 +223,19 @@ impl Outcome {
 /// `DEBAR_SWEEP_PARTS` environment variable (the CI striped legs widen
 /// it, e.g. `DEBAR_SWEEP_PARTS=1,2,4,8`).
 pub fn sweep_parts_matrix() -> Vec<usize> {
-    match std::env::var("DEBAR_SWEEP_PARTS") {
+    env_matrix("DEBAR_SWEEP_PARTS", &[1, 2, 4])
+}
+
+/// The store-worker matrix the suites parameterize over: `{1, 2, 4}` by
+/// default, overridable as a comma-separated list through the
+/// `DEBAR_STORE_WORKERS` environment variable (the CI store-workers legs
+/// widen it, e.g. `DEBAR_STORE_WORKERS=2,4`).
+pub fn store_workers_matrix() -> Vec<usize> {
+    env_matrix("DEBAR_STORE_WORKERS", &[1, 2, 4])
+}
+
+fn env_matrix(var: &str, default: &[usize]) -> Vec<usize> {
+    match std::env::var(var) {
         Ok(s) => {
             let parsed: Vec<usize> = s
                 .split(',')
@@ -208,15 +244,15 @@ pub fn sweep_parts_matrix() -> Vec<usize> {
                 .collect();
             // A set-but-unparsable variable must fail loudly: a silent
             // fallback would green-light a CI leg that never engaged the
-            // partition counts its name claims.
+            // counts its name claims.
             assert!(
                 !parsed.is_empty(),
-                "DEBAR_SWEEP_PARTS is set but unparsable: {s:?} \
+                "{var} is set but unparsable: {s:?} \
                  (expected a comma-separated list of positive integers)"
             );
             parsed
         }
-        Err(_) => vec![1, 2, 4],
+        Err(_) => default.to_vec(),
     }
 }
 
@@ -337,6 +373,57 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
                     "{}: cause must name part-disk {part}, got {cause}",
                     sc.name
                 );
+                cluster.clear_fault_plans();
+                // The resumed round converges (compared byte-for-byte
+                // against the Failure::None scenario by failure_kinds).
+            }
+        }
+        if let Failure::ChunkLogDrainFault { worker } = sc.failure {
+            if version == sc.versions - 1 {
+                assert!(
+                    worker < sc.store_workers,
+                    "{}: faulted worker {worker} must be within the {}-way drain stripe",
+                    sc.name,
+                    sc.store_workers
+                );
+                // Fail exactly one worker disk of server 0's striped
+                // chunk-log drain, mid-pipeline.
+                let log_before = cluster.server(0).log_bytes();
+                let ops = cluster.log_worker_disk_ops(0, worker);
+                cluster.set_log_worker_fault_plan(0, worker, FaultPlan::fail_at(ops));
+                let err = cluster
+                    .run_dedup2()
+                    .expect_err("injected drain-worker fault must interrupt the round");
+                let DebarError::InterruptedDedup2 {
+                    phase: Dedup2Phase::ChunkStoring,
+                    ref cause,
+                    ..
+                } = err
+                else {
+                    panic!(
+                        "{}: expected InterruptedDedup2(ChunkStoring), got {err}",
+                        sc.name
+                    );
+                };
+                assert!(
+                    matches!(**cause, DebarError::LogWorkerFault { worker: w, .. }
+                        if w as usize == worker),
+                    "{}: cause must name worker disk {worker}, got {cause}",
+                    sc.name
+                );
+                assert_eq!(
+                    cluster.server(0).log_bytes(),
+                    log_before,
+                    "{}: drain fault must leave the log byte-for-byte intact",
+                    sc.name
+                );
+                if sc.w_bits == 0 {
+                    assert!(
+                        log_before > 0,
+                        "{}: the single-server leg must have records to replay",
+                        sc.name
+                    );
+                }
                 cluster.clear_fault_plans();
                 // The resumed round converges (compared byte-for-byte
                 // against the Failure::None scenario by failure_kinds).
@@ -476,6 +563,8 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
         );
     }
 
+    let mut lpc_hits = 0u64;
+    let mut lpc_lookups = 0u64;
     for entry in &ledger {
         let run = RunId {
             job: entry.job,
@@ -486,6 +575,8 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
         let r = cluster.restore_run(run).expect("restore");
         out.restore_failures += r.failures;
         out.restored_bytes += r.bytes;
+        lpc_hits += r.lpc.hits;
+        lpc_lookups += r.lpc.hits + r.lpc.misses;
         assert_eq!(
             r.bytes, entry.logical_bytes,
             "{}: run {run:?} restored byte count diverged from its backup",
@@ -501,6 +592,18 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
             sc.name, entry.sample_path
         );
         out.file_restore_bytes += f.bytes;
+    }
+
+    // The locality-preserving cache must actually work across a
+    // multi-version history: the SISL layout makes stream-local chunks
+    // hit after each container fetch, and the per-restore `RestoreReport`
+    // surfaces the cache's own counters.
+    if sc.versions > 1 {
+        assert!(
+            lpc_hits > 0 && lpc_lookups > 0,
+            "{}: multi-version restores must hit the LPC ({lpc_hits}/{lpc_lookups})",
+            sc.name
+        );
     }
 
     out.index_entries = cluster.index_entries();

@@ -16,7 +16,10 @@
 
 mod common;
 
-use common::{assert_equivalent, run_scenario, sweep_parts_matrix, Failure, Outcome, Scenario};
+use common::{
+    assert_equivalent, run_scenario, store_workers_matrix, sweep_parts_matrix, Failure, Outcome,
+    Scenario,
+};
 
 /// Run one failure-kind scenario across the partition matrix, asserting
 /// cross-partition equivalence, and return the outcomes by parts.
@@ -161,6 +164,49 @@ fn chunk_log_fault_converges_multi_server() {
             &format!("log-fault-w1: retried run (parts={parts}) vs clean"),
         );
     }
+}
+
+#[test]
+fn chunk_log_drain_fault_mid_pipeline_converges() {
+    // The pipelined chunk-storing phase: fail exactly one worker disk of
+    // server 0's striped chunk-log drain in the final round. The harness
+    // asserts the typed interruption and that the log stays byte-for-byte
+    // intact; here we additionally pin that the redo converges
+    // byte-identically to a never-interrupted run at every worker count.
+    let mut worker_counts: Vec<usize> = store_workers_matrix()
+        .into_iter()
+        .map(|w| w.max(2)) // a 1-way stripe has no worker to lose
+        .collect();
+    worker_counts.sort_unstable();
+    worker_counts.dedup();
+    for workers in worker_counts {
+        let faulted = run_scenario(
+            &Scenario::tiny("drain-fault", 0, 2)
+                .with_store_workers(workers)
+                .with_failure(Failure::ChunkLogDrainFault {
+                    worker: workers - 1,
+                }),
+        );
+        let clean = run_scenario(&Scenario::tiny("drain-fault", 0, 2).with_store_workers(workers));
+        assert_equivalent(
+            &clean,
+            &faulted,
+            &format!("drain-fault: resumed run (workers={workers}) vs uninterrupted"),
+        );
+    }
+}
+
+#[test]
+fn chunk_log_drain_fault_converges_multi_server() {
+    // Multi-server: the faulted server's siblings already packed in
+    // parallel; their rolled-back logs must replay identically too.
+    let faulted = run_scenario(
+        &Scenario::tiny("drain-fault-w1", 1, 2)
+            .with_store_workers(2)
+            .with_failure(Failure::ChunkLogDrainFault { worker: 1 }),
+    );
+    let clean = run_scenario(&Scenario::tiny("drain-fault-w1", 1, 2).with_store_workers(2));
+    assert_equivalent(&clean, &faulted, "drain-fault-w1: resumed vs uninterrupted");
 }
 
 #[test]

@@ -7,7 +7,10 @@
 
 mod common;
 
-use common::{assert_equivalent, assert_same_dedup, run_scenario, sweep_parts_matrix, Scenario};
+use common::{
+    assert_equivalent, assert_same_dedup, run_scenario, store_workers_matrix, sweep_parts_matrix,
+    Scenario,
+};
 
 /// tiny_test geometry: 256 buckets per index part (the runtime clamp
 /// ceiling for `sweep_parts_engaged`).
@@ -52,6 +55,38 @@ fn striped_parts_byte_identical_four_servers() {
     for parts in sweep_parts_matrix().into_iter().filter(|&p| p != 1) {
         let striped = run_scenario(&Scenario::tiny("sm-w2", 2, parts));
         assert_equivalent(&base, &striped, &format!("w=2 parts={parts}"));
+    }
+}
+
+#[test]
+fn store_workers_cross_sweep_parts_byte_identical() {
+    // The pipelined chunk-storing phase: any store-worker count crossed
+    // with any sweep-partition count must leave byte-identical index
+    // parts and restore bytes — workers stripe the drain *bytes* and the
+    // serial canonical-order commit pins container IDs, so only virtual
+    // time may move.
+    let base = run_scenario(&Scenario::tiny("sm-sw", 0, 1));
+    for parts in [1usize, 4] {
+        for workers in store_workers_matrix() {
+            if parts == 1 && workers == 1 {
+                continue; // the base point itself
+            }
+            let out = run_scenario(&Scenario::tiny("sm-sw", 0, parts).with_store_workers(workers));
+            assert_equivalent(
+                &base,
+                &out,
+                &format!("store_workers={workers} x sweep_parts={parts}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn store_workers_byte_identical_multi_server() {
+    let base = run_scenario(&Scenario::tiny("sm-sw2", 2, 1));
+    for workers in store_workers_matrix().into_iter().filter(|&w| w != 1) {
+        let out = run_scenario(&Scenario::tiny("sm-sw2", 2, 4).with_store_workers(workers));
+        assert_equivalent(&base, &out, &format!("w=2 store_workers={workers}"));
     }
 }
 
