@@ -28,6 +28,15 @@
 //!    per-worker efficiency and the cross-server overlap window reported
 //!    alongside. Chunk-storing results stay byte-identical at any worker
 //!    count — only the walls move.
+//! 5. **Repository-node scaling & replication overhead** — the same
+//!    saturation point with the drain striped (`W = 4`), varying the
+//!    physical repository node count: the container-write commit
+//!    completes at the most-loaded node, so the store wall divides as
+//!    nodes are added (max over real per-node queues, not an analytic
+//!    `cost / nodes`). A replication column quantifies the FASTEN-style
+//!    trade-off: `R = 2` writes every container to two distinct nodes —
+//!    exactly 2× the physical bytes, buying single-node-loss
+//!    survivability without changing one dedup decision.
 //!
 //! Writes `BENCH_multipart.json` into the workspace root and prints the
 //! tables. Run:
@@ -146,6 +155,23 @@ fn system_point(w_bits: u32, parts: usize, workers: usize, denom: u64, rounds: u
         c.validate();
         c
     };
+    drive_system(cfg, parts, workers, rounds).walls
+}
+
+/// Outcome of one system-level run: the walls plus the repository's
+/// physical write accounting (measurement 5 quantifies node scaling and
+/// the replication storage overhead with it).
+struct SystemRun {
+    walls: SystemWalls,
+    /// Chunk-log bytes drained across rounds (the throughput numerator).
+    log_bytes: u64,
+    /// Physical bytes written across every repository node disk —
+    /// replication multiplies this while the walls divide over nodes.
+    physical_write_bytes: u64,
+}
+
+/// Drive the standard workload on an arbitrary configuration.
+fn drive_system(cfg: DebarConfig, parts: usize, workers: usize, rounds: u64) -> SystemRun {
     let mut c = DebarCluster::new(cfg);
     // Two streams per server: job 2k fresh, job 2k+1 half-overlapping —
     // cross-job duplicates only dedup-2 can see. Multi-server points skew
@@ -197,7 +223,17 @@ fn system_point(w_bits: u32, parts: usize, workers: usize, denom: u64, rounds: u
     w.siu += siu_tail;
     w.wall += siu_tail;
     w.mibps = mibps(log_bytes, w.wall);
-    w
+    let physical_write_bytes = c
+        .repository()
+        .nodes()
+        .iter()
+        .map(|n| n.disk_stats().seq_write_bytes)
+        .sum();
+    SystemRun {
+        walls: w,
+        log_bytes,
+        physical_write_bytes,
+    }
 }
 
 fn main() {
@@ -388,6 +424,130 @@ fn main() {
          walls move."
     );
 
+    // ---- Measurement 5: physical repository nodes and replication. ----
+    // At the saturation point with the drain already striped (W = 4), the
+    // wall left standing is the container-write commit: per-node batched
+    // writes complete at the most-loaded node, so adding repository nodes
+    // moves the wall for real. Replication then buys node-loss
+    // survivability at a quantified storage overhead (the FASTEN
+    // trade-off).
+    let sat_workers = 4usize;
+    let repo_nodes_axis: [usize; 4] = [1, 2, 4, 8];
+    println!(
+        "\nPhysical repository nodes at P = {sat_parts}, W = {sat_workers}: \
+         store-wall scaling and replication overhead\n"
+    );
+    let mut rt = TablePrinter::new(&[
+        "repo nodes",
+        "replication",
+        "store wall (s)",
+        "store MiB/s",
+        "dedup-2 MiB/s",
+        "physical MiB",
+        "overhead x",
+    ]);
+    struct RepoPoint {
+        nodes: usize,
+        replication: usize,
+        store_wall_s: f64,
+        store_mibps: f64,
+        d2_throughput_mibps: f64,
+        physical_write_bytes: u64,
+    }
+    let mut repo_points: Vec<RepoPoint> = Vec::new();
+    let mut repl_points: Vec<RepoPoint> = Vec::new();
+    let point = |nodes: usize, replication: usize| {
+        let mut cfg = DebarConfig::striped_scaled(sat_parts, denom).with_store_workers(sat_workers);
+        cfg.repo_nodes = nodes;
+        let cfg = cfg.with_replication(replication);
+        cfg.validate();
+        let run = drive_system(cfg, sat_parts, sat_workers, rounds);
+        RepoPoint {
+            nodes,
+            replication,
+            store_wall_s: run.walls.store,
+            store_mibps: mibps(run.log_bytes, run.walls.store),
+            d2_throughput_mibps: run.walls.mibps,
+            physical_write_bytes: run.physical_write_bytes,
+        }
+    };
+    for &nodes in &repo_nodes_axis {
+        repo_points.push(point(nodes, 1));
+    }
+    // Replication overhead at a fixed node count: R = 2 doubles the
+    // physical container bytes on the node disks (every container on two
+    // distinct nodes) without touching a single dedup decision.
+    for r in [1usize, 2] {
+        repl_points.push(point(4, r));
+    }
+    for p in repo_points.iter().chain(repl_points.iter()) {
+        let base_phys = repl_points
+            .first()
+            .map_or(p.physical_write_bytes, |b| b.physical_write_bytes);
+        let overhead = if p.replication == 1 {
+            1.0
+        } else {
+            p.physical_write_bytes as f64 / base_phys as f64
+        };
+        rt.row(vec![
+            p.nodes.to_string(),
+            p.replication.to_string(),
+            f(p.store_wall_s, 3),
+            f(p.store_mibps, 1),
+            f(p.d2_throughput_mibps, 1),
+            f(p.physical_write_bytes as f64 / (1 << 20) as f64, 1),
+            f(overhead, 2),
+        ]);
+    }
+    rt.print();
+    // Node scaling: the store wall must never rise as repository nodes
+    // are added, and at full scale the 8-node wall must be strictly below
+    // the single-node one (the W >= 4 wall moves with `repo_nodes`).
+    for pair in repo_points.windows(2) {
+        assert!(
+            pair[1].store_wall_s <= pair[0].store_wall_s * (1.0 + 1e-9),
+            "store wall rose from {} to {} nodes",
+            pair[0].nodes,
+            pair[1].nodes
+        );
+        assert!(
+            pair[1].store_mibps >= pair[0].store_mibps * (1.0 - 1e-9),
+            "store MiB/s fell from {} to {} nodes",
+            pair[0].nodes,
+            pair[1].nodes
+        );
+    }
+    if !smoke {
+        let first = repo_points.first().expect("non-empty");
+        let last = repo_points.last().expect("non-empty");
+        assert!(
+            last.store_wall_s < first.store_wall_s,
+            "adding repository nodes must move the store wall at full scale"
+        );
+    }
+    // Replication accounting: same containers, same IDs — exactly R times
+    // the physical bytes on the node disks.
+    let (r1, r2) = (&repl_points[0], &repl_points[1]);
+    let overhead = r2.physical_write_bytes as f64 / r1.physical_write_bytes as f64;
+    assert!(
+        (overhead - 2.0).abs() < 1e-9,
+        "R=2 must write exactly 2x the physical container bytes, got {overhead}"
+    );
+    assert!(
+        r2.store_wall_s >= r1.store_wall_s,
+        "replica writes are charged to real disks; the wall cannot shrink"
+    );
+    println!(
+        "\nShape: with the drain striped, the chunk-storing wall is the\n\
+         container-write commit at the most-loaded repository node, so it\n\
+         divides as nodes are added (max over per-node queues — a real\n\
+         wall, not an analytic division). Replication R = 2 writes every\n\
+         container to two distinct nodes: exactly 2x the physical bytes\n\
+         (the FASTEN-style overhead buying single-node-loss survivability)\n\
+         and a correspondingly loaded store phase; dedup decisions and\n\
+         container IDs are untouched."
+    );
+
     // ---- BENCH_multipart.json (workspace root, manual JSON: no runtime
     //      serde_json in the container). ----
     let mut out = String::from("{\n  \"bench\": \"multipart\",\n");
@@ -430,6 +590,38 @@ fn main() {
             sp.d2_throughput_mibps,
             sp.mibps_per_worker,
             if i + 1 < store_points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"repo_points\": [\n");
+    for (i, p) in repo_points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"repo_nodes\": {}, \"replication\": {}, \"store_wall_s\": {:.6}, \
+             \"store_mibps\": {:.2}, \"d2_throughput_mibps\": {:.2}, \
+             \"physical_write_bytes\": {} }}{}\n",
+            p.nodes,
+            p.replication,
+            p.store_wall_s,
+            p.store_mibps,
+            p.d2_throughput_mibps,
+            p.physical_write_bytes,
+            if i + 1 < repo_points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"replication_points\": [\n");
+    for (i, p) in repl_points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"repo_nodes\": {}, \"replication\": {}, \"store_wall_s\": {:.6}, \
+             \"store_mibps\": {:.2}, \"d2_throughput_mibps\": {:.2}, \
+             \"physical_write_bytes\": {} }}{}\n",
+            p.nodes,
+            p.replication,
+            p.store_wall_s,
+            p.store_mibps,
+            p.d2_throughput_mibps,
+            p.physical_write_bytes,
+            if i + 1 < repl_points.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");

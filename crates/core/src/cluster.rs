@@ -69,7 +69,8 @@ impl DebarCluster {
         DebarCluster {
             director: Director::new(&cfg),
             servers,
-            repo: ChunkRepository::new(cfg.repo_nodes, paper::repo_disk(), cfg.container_bytes),
+            repo: ChunkRepository::new(cfg.repo_nodes, paper::repo_disk(), cfg.container_bytes)
+                .with_replication(cfg.replication),
             clients: HashMap::new(),
             carryover_store: StoreReport::default(),
             cfg,
@@ -101,13 +102,44 @@ impl DebarCluster {
     // ------------------------------------------------------------------
 
     /// Arm a deterministic fault schedule on one repository node's disk.
-    pub fn set_repo_fault_plan(&mut self, node: usize, plan: FaultPlan) {
-        self.repo.set_node_fault_plan(node, plan);
+    /// An out-of-range node is a typed error at arm time (same validation
+    /// rule as [`DebarCluster::set_log_worker_fault_plan`]), never a panic.
+    pub fn set_repo_fault_plan(&mut self, node: usize, plan: FaultPlan) -> DebarResult<()> {
+        Ok(self.repo.set_node_fault_plan(node, plan)?)
     }
 
     /// A repository node disk's op counter (for arming fault plans).
-    pub fn repo_node_ops(&self, node: usize) -> u64 {
-        self.repo.node_disk_ops(node)
+    pub fn repo_node_ops(&self, node: usize) -> DebarResult<u64> {
+        Ok(self.repo.node_disk_ops(node)?)
+    }
+
+    // ------------------------------------------------------------------
+    // Repository node administration (down / revive / repair)
+    // ------------------------------------------------------------------
+
+    /// Take one repository node offline: every read prefers a surviving
+    /// replica (counted in `RepoStats::failover_reads` and
+    /// [`RestoreReport::failover_reads`]) and stores targeting the node
+    /// surface [`DebarError::NodeDown`]. The node's data is retained —
+    /// [`DebarCluster::revive_repo_node`] restores access to it.
+    pub fn set_repo_node_down(&mut self, node: usize) -> DebarResult<()> {
+        Ok(self.repo.set_node_down(node)?)
+    }
+
+    /// Bring a downed repository node back online with its data intact.
+    pub fn revive_repo_node(&mut self, node: usize) -> DebarResult<()> {
+        Ok(self.repo.revive_node(node)?)
+    }
+
+    /// Repair one repository node from surviving replicas: a downed node
+    /// is treated as a replaced disk (wiped and re-replicated), an online
+    /// node is scrubbed in place (damaged or missing copies recopied).
+    /// Maintenance I/O runs in the background and is not charged to any
+    /// backup server's clock. Returns
+    /// [`DebarError::Unrecoverable`] — having changed nothing — when a
+    /// container's every other replica is lost too.
+    pub fn repair_repo_node(&mut self, node: usize) -> DebarResult<debar_store::RepairReport> {
+        Ok(self.repo.repair_node(node).value?)
     }
 
     /// Arm a deterministic fault schedule on one server's index disk
@@ -678,6 +710,7 @@ impl DebarCluster {
         let w = self.cfg.w_bits;
         let start = self.servers[sid].clock.now();
         let lpc_before = self.servers[sid].lpc.stats();
+        let failover_before = self.repo.stats().failover_reads;
         let mut report = RestoreReport {
             run,
             files: 0,
@@ -687,6 +720,7 @@ impl DebarCluster {
             lpc_misses: 0,
             lpc: debar_store::LpcStats::default(),
             failures: 0,
+            failover_reads: 0,
             elapsed: 0.0,
         };
         for file in &record.files {
@@ -798,6 +832,7 @@ impl DebarCluster {
             misses: lpc_after.misses - lpc_before.misses,
             evictions: lpc_after.evictions - lpc_before.evictions,
         };
+        report.failover_reads = self.repo.stats().failover_reads - failover_before;
         Ok(report)
     }
 
@@ -867,8 +902,11 @@ impl DebarCluster {
         new_cfg.w_bits += 1;
         new_cfg.index_part_bytes /= 2;
         // Halving each part can leave a striped deployment with more sweep
-        // partitions than buckets; apply the documented clamp rule.
+        // partitions than buckets; apply the documented clamp rule. The
+        // replication clamp rides along for the same reason (geometry must
+        // stay valid without aborting a scale-out).
         new_cfg.clamp_sweep_parts();
+        new_cfg.clamp_replication();
         new_cfg.validate();
         let old = std::mem::take(&mut self.servers);
         for srv in old {
@@ -1455,7 +1493,9 @@ mod tests {
         let job = c.define_job("j", ClientId(0));
         // Tear whichever node takes the first container write.
         for n in 0..c.repository().node_count() {
-            c.set_repo_fault_plan(n, FaultPlan::torn_write_at(c.repo_node_ops(n)));
+            let ops = c.repo_node_ops(n).expect("node in range");
+            c.set_repo_fault_plan(n, FaultPlan::torn_write_at(ops))
+                .expect("node in range");
         }
         c.backup(job, &Dataset::from_records("s", records(0..1500)))
             .expect("backup");
@@ -1470,6 +1510,103 @@ mod tests {
     }
 
     #[test]
+    fn node_down_restore_fails_over_and_reports_degraded_reads() {
+        // Replicated repository: downing either node after the backup
+        // leaves the restore byte-identical to the healthy run, with the
+        // degraded reads surfaced in the report.
+        let drive = |down: Option<usize>| {
+            let mut c = DebarCluster::new(DebarConfig {
+                replication: 2,
+                ..DebarConfig::tiny_test(0)
+            });
+            let job = c.define_job("j", ClientId(0));
+            c.backup(job, &Dataset::from_records("s", records(0..2500)))
+                .expect("backup");
+            c.run_dedup2().expect("dedup2");
+            if let Some(n) = down {
+                c.set_repo_node_down(n).expect("node in range");
+            }
+            let r = c
+                .restore_run(RunId { job, version: 0 })
+                .expect("restore survives a single node loss at R=2");
+            (c, r)
+        };
+        let (_, healthy) = drive(None);
+        assert_eq!(healthy.failover_reads, 0, "healthy restore is not degraded");
+        for node in 0..2 {
+            let (mut c, degraded) = drive(Some(node));
+            assert_eq!(degraded.bytes, healthy.bytes, "byte-identical restore");
+            assert_eq!(degraded.chunks, healthy.chunks);
+            assert_eq!(degraded.failures, 0);
+            assert!(
+                degraded.failover_reads > 0,
+                "node {node} down must surface degraded reads in the report"
+            );
+            // Repair re-replicates what the lost node held; the repository
+            // then reports full replication again.
+            let rep = c.repair_repo_node(node).expect("repair from replicas");
+            assert!(rep.recopied > 0, "replacement disk is re-populated");
+            assert!(c.repository().under_replicated().is_empty());
+            let again = c
+                .restore_run(RunId {
+                    job: JobId(0),
+                    version: 0,
+                })
+                .expect("restore after repair");
+            assert_eq!(again.failover_reads, 0, "repaired repository is healthy");
+            assert_eq!(again.bytes, healthy.bytes);
+        }
+    }
+
+    #[test]
+    fn node_down_without_replicas_is_typed_unrecoverable() {
+        let mut c = cluster(0);
+        assert_eq!(c.config().replication, 1);
+        let job = c.define_job("j", ClientId(0));
+        c.backup(job, &Dataset::from_records("s", records(0..2500)))
+            .expect("backup");
+        c.run_dedup2().expect("dedup2");
+        // Find a node that actually holds containers.
+        let node = c
+            .repository()
+            .locate(c.repository().container_ids()[0])
+            .expect("stored container has a home");
+        c.set_repo_node_down(node).expect("node in range");
+        let err = c
+            .restore_run(RunId { job, version: 0 })
+            .expect_err("sole copy is on the downed node");
+        assert!(
+            matches!(err, DebarError::Unrecoverable { node: n, .. } if n == node),
+            "{err}"
+        );
+        // The verify audit counts the problems instead of aborting.
+        let v = c.verify_run(RunId { job, version: 0 }).expect("audit");
+        assert!(v.failures > 0);
+        // Repair of the sole copy's node refuses without replicas...
+        let err = c.repair_repo_node(node).expect_err("nothing to copy from");
+        assert!(matches!(err, DebarError::Unrecoverable { .. }), "{err}");
+        // ...but revival restores the data untouched.
+        c.revive_repo_node(node).expect("node in range");
+        let r = c
+            .restore_run(RunId { job, version: 0 })
+            .expect("data survives a revive");
+        assert_eq!(r.failures, 0);
+        assert_eq!(r.failover_reads, 0);
+    }
+
+    #[test]
+    fn repo_admin_apis_reject_unknown_nodes() {
+        use debar_simio::FaultPlan;
+        let mut c = cluster(0);
+        let nodes = c.repository().node_count();
+        assert!(c.set_repo_node_down(nodes).is_err());
+        assert!(c.revive_repo_node(nodes).is_err());
+        assert!(c.repair_repo_node(nodes).is_err());
+        assert!(c.repo_node_ops(nodes).is_err());
+        assert!(c.set_repo_fault_plan(nodes, FaultPlan::fail_at(0)).is_err());
+    }
+
+    #[test]
     fn interrupted_chunk_storing_resumes_byte_identically() {
         use debar_simio::FaultPlan;
         let drive = |fault: bool| {
@@ -1480,7 +1617,9 @@ mod tests {
             if fault {
                 // Fail whichever node takes the first container write.
                 for n in 0..c.repository().node_count() {
-                    c.set_repo_fault_plan(n, FaultPlan::fail_at(c.repo_node_ops(n)));
+                    let ops = c.repo_node_ops(n).expect("node in range");
+                    c.set_repo_fault_plan(n, FaultPlan::fail_at(ops))
+                        .expect("node in range");
                 }
                 let err = c.run_dedup2().expect_err("store fault interrupts");
                 assert!(
@@ -1536,7 +1675,9 @@ mod tests {
             let mut stored_chunks = 0u64;
             let mut containers = 0u64;
             if fault {
-                c.set_repo_fault_plan(0, FaultPlan::fail_at(c.repo_node_ops(0) + 1));
+                let ops = c.repo_node_ops(0).expect("node in range");
+                c.set_repo_fault_plan(0, FaultPlan::fail_at(ops + 1))
+                    .expect("node in range");
                 let err = c.run_dedup2().expect_err("second write faults");
                 assert!(matches!(
                     err,

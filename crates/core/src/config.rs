@@ -65,6 +65,14 @@ pub struct DebarConfig {
     pub container_bytes: u64,
     /// Chunk-repository storage nodes.
     pub repo_nodes: usize,
+    /// Replication factor of the chunk repository: every container is
+    /// written to this many distinct storage nodes (the primary from the
+    /// placement policy plus the next ring nodes), each replica charged to
+    /// its own disk. Reads fail over to surviving replicas past downed
+    /// nodes, injected faults and corrupt copies. Must satisfy
+    /// `1 <= replication <= repo_nodes`; `1` (no replicas) reproduces the
+    /// paper's unreplicated container log and is the default everywhere.
+    pub replication: usize,
     /// Run PSIU once every `siu_interval` dedup-2 rounds (asynchronous SIU,
     /// §5.4: "one PSIU servicing more than one PSIL"). `1` = synchronous.
     pub siu_interval: u32,
@@ -106,6 +114,7 @@ impl DebarConfig {
             lpc_containers: 16,
             container_bytes: 8 << 20,
             repo_nodes: 2,
+            replication: 1,
             siu_interval: 3,
             dedup2_trigger_fps: 0,
             sweep_parts: 1,
@@ -128,6 +137,7 @@ impl DebarConfig {
             lpc_containers: 16,
             container_bytes: 8 << 20,
             repo_nodes: (1usize << w_bits).max(2),
+            replication: 1,
             siu_interval: 2,
             dedup2_trigger_fps: 0,
             sweep_parts: 1,
@@ -148,6 +158,7 @@ impl DebarConfig {
             lpc_containers: 8,
             container_bytes: 1 << 20,
             repo_nodes: 2,
+            replication: 1,
             siu_interval: 1,
             dedup2_trigger_fps: 0,
             sweep_parts: 1,
@@ -191,6 +202,24 @@ impl DebarConfig {
     pub fn with_store_workers(mut self, workers: usize) -> Self {
         self.store_workers = workers;
         self
+    }
+
+    /// Builder: write every container to `replication` distinct repository
+    /// nodes (see the `replication` field; `try_validate` rejects 0 and
+    /// values above `repo_nodes`).
+    pub fn with_replication(mut self, replication: usize) -> Self {
+        self.replication = replication;
+        self
+    }
+
+    /// Re-clamp `replication` to the current repository geometry:
+    /// `min(replication, repo_nodes)`, at least 1. Mirrors
+    /// [`DebarConfig::clamp_sweep_parts`] — a deployment whose node count
+    /// shrinks below its replication factor keeps as many replicas as
+    /// nodes exist (documented rule), instead of failing validation.
+    /// Scale-out applies this clamp alongside the sweep-parts one.
+    pub fn clamp_replication(&mut self) {
+        self.replication = self.replication.max(1).min(self.repo_nodes);
     }
 
     /// Re-clamp `sweep_parts` to the current part geometry. Performance
@@ -273,6 +302,18 @@ impl DebarConfig {
         }
         if self.repo_nodes == 0 {
             return Err(geometry("repository needs at least one node".into()));
+        }
+        if self.replication == 0 {
+            return Err(geometry(
+                "replication factor must be at least 1 (one copy)".into(),
+            ));
+        }
+        if self.replication > self.repo_nodes {
+            return Err(geometry(format!(
+                "replication {} exceeds the {} repository nodes; \
+                 replicas must land on distinct nodes",
+                self.replication, self.repo_nodes
+            )));
         }
         if self.siu_interval < 1 {
             return Err(geometry("siu_interval must be at least 1".into()));
@@ -391,6 +432,34 @@ mod tests {
         assert!(r.contains("exceeds"), "{r}");
         let r = geom(base.with_store_workers(0));
         assert!(r.contains("store worker"), "{r}");
+        let r = geom(base.with_replication(0));
+        assert!(r.contains("replication"), "{r}");
+        let r = geom(base.with_replication(3)); // tiny_test has 2 repo nodes
+        assert!(r.contains("distinct nodes"), "{r}");
+    }
+
+    #[test]
+    fn replication_within_node_count_validates() {
+        for r in [1usize, 2] {
+            DebarConfig::tiny_test(0).with_replication(r).validate();
+        }
+    }
+
+    #[test]
+    fn clamp_replication_applies_documented_rule() {
+        let mut cfg = DebarConfig::tiny_test(0).with_replication(2);
+        cfg.repo_nodes = 1;
+        cfg.clamp_replication();
+        assert_eq!(cfg.replication, 1);
+        cfg.validate();
+        // Clamping an in-range value is a no-op; zero is lifted to 1.
+        let mut cfg2 = DebarConfig::tiny_test(0).with_replication(2);
+        cfg2.clamp_replication();
+        assert_eq!(cfg2.replication, 2);
+        let mut cfg3 = DebarConfig::tiny_test(0);
+        cfg3.replication = 0;
+        cfg3.clamp_replication();
+        assert_eq!(cfg3.replication, 1);
     }
 
     #[test]

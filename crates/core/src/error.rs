@@ -59,6 +59,33 @@ pub enum DebarError {
         /// The injected fault that fired.
         fault: InjectedFault,
     },
+    /// A single **repository node** disk failed: the replicated physical
+    /// repository puts every storage node on its own device, so a fault
+    /// can take out exactly one node's read or write — this error names
+    /// it. Reads fail over to surviving replicas; a store fault persists
+    /// nothing anywhere and re-running the round converges.
+    RepoNodeFault {
+        /// The failing repository node.
+        node: usize,
+        /// The injected fault that fired.
+        fault: InjectedFault,
+    },
+    /// The operation needed a repository node that is down (unreachable
+    /// until revived or repaired).
+    NodeDown {
+        /// The downed repository node.
+        node: usize,
+    },
+    /// Every replica of a container is lost — no surviving healthy copy
+    /// exists to read or repair from (the `replication = 1` node-loss
+    /// case). Not resumable: revive the downed node or restore from a
+    /// replica to proceed.
+    Unrecoverable {
+        /// The container with no surviving copy.
+        container: ContainerId,
+        /// The repository node whose loss made it unrecoverable.
+        node: usize,
+    },
     /// A single **part-disk** of a striped index sweep failed: the
     /// physical multi-part model puts every sweep partition on its own
     /// device, so a fault can take out exactly one partition — this error
@@ -165,6 +192,18 @@ impl fmt::Display for DebarError {
                 write!(f, "container {container:?} is corrupt: {reason}")
             }
             DebarError::DiskFault { fault } => write!(f, "disk fault: {fault}"),
+            DebarError::RepoNodeFault { node, fault } => {
+                write!(f, "repository node {node} fault: {fault}")
+            }
+            DebarError::NodeDown { node } => {
+                write!(f, "repository node {node} is down")
+            }
+            DebarError::Unrecoverable { container, node } => {
+                write!(
+                    f,
+                    "container {container:?} unrecoverable: every replica lost with node {node}"
+                )
+            }
             DebarError::PartDiskFault { part, fault } => {
                 write!(f, "index part-disk {part} fault: {fault}")
             }
@@ -236,9 +275,16 @@ impl From<StoreError> for DebarError {
             StoreError::CorruptContainer { container, reason } => {
                 DebarError::CorruptContainer { container, reason }
             }
-            StoreError::DiskFault { fault, .. } => DebarError::DiskFault { fault },
+            StoreError::DiskFault { node, fault } => DebarError::RepoNodeFault { node, fault },
             StoreError::MissingContainer { container } => {
                 DebarError::MissingContainer { container }
+            }
+            StoreError::UnknownNode { node, nodes } => DebarError::IndexGeometry {
+                reason: format!("repository node {node} outside the {nodes}-node cluster"),
+            },
+            StoreError::NodeDown { node } => DebarError::NodeDown { node },
+            StoreError::Unrecoverable { container, node } => {
+                DebarError::Unrecoverable { container, node }
             }
             // StoreError is non_exhaustive; future kinds surface as faults
             // at op 0 rather than panicking.
@@ -292,6 +338,31 @@ mod tests {
         let cid = ContainerId::new(7);
         let e: DebarError = StoreError::MissingContainer { container: cid }.into();
         assert_eq!(e, DebarError::MissingContainer { container: cid });
+    }
+
+    #[test]
+    fn store_disk_fault_conversion_names_the_repo_node() {
+        let fault = InjectedFault {
+            op: 9,
+            kind: debar_simio::FaultKind::Fail,
+        };
+        let e: DebarError = StoreError::DiskFault { node: 3, fault }.into();
+        assert_eq!(e, DebarError::RepoNodeFault { node: 3, fault });
+        let cid = ContainerId::new(11);
+        let e: DebarError = StoreError::Unrecoverable {
+            container: cid,
+            node: 1,
+        }
+        .into();
+        assert_eq!(
+            e,
+            DebarError::Unrecoverable {
+                container: cid,
+                node: 1
+            }
+        );
+        let e: DebarError = StoreError::NodeDown { node: 2 }.into();
+        assert_eq!(e, DebarError::NodeDown { node: 2 });
     }
 
     #[test]

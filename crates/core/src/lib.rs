@@ -70,6 +70,36 @@
 //! Verify jobs ([`DebarCluster::verify_run`]) are the auditing exception:
 //! they *count* integrity problems in [`RestoreReport::failures`] instead
 //! of aborting, because an audit must survey the entire run.
+//!
+//! ## Replication, failover and repair
+//!
+//! The chunk repository is a cluster of physical storage nodes, and
+//! [`DebarConfig::replication`] writes every container to that many
+//! distinct node disks (each replica write charged to its own disk; the
+//! store phase completes at the most-loaded node). The replicas turn
+//! whole-node loss into a *degraded* state instead of a failed one:
+//!
+//! * **Failover reads.** A read whose preferred copy is on a downed node
+//!   ([`DebarCluster::set_repo_node_down`]), hits an injected `Fail`
+//!   fault, or fails its checksum trailer is transparently retried on the
+//!   surviving replicas — on every read path (restore, verify, LPC
+//!   prefetch, recovery rebuild). Degraded reads are counted in
+//!   `debar_store::RepoStats::failover_reads` and surfaced per restore in
+//!   [`RestoreReport::failover_reads`].
+//! * **Typed node errors.** A fault on a repository node's disk names the
+//!   node: [`DebarError::RepoNodeFault`]; a store targeting a downed node
+//!   is [`DebarError::NodeDown`]; and only when *every* replica of a
+//!   container is unreachable does the read surface
+//!   [`DebarError::Unrecoverable`] — at `replication = 1` that is any
+//!   single node loss, at `replication >= 2` it takes multiple failures.
+//! * **Repair.** [`DebarCluster::repair_repo_node`] re-replicates from
+//!   surviving copies: a downed node is treated as a replaced disk (wiped,
+//!   revived, re-populated), an online node is scrubbed in place. The
+//!   repair plans before it mutates, so an `Unrecoverable` refusal leaves
+//!   the repository unchanged. With `replication = 2` the loss of any
+//!   single node is survivable end-to-end: restores stay byte-identical
+//!   while degraded, and a repair restores full replication (proven by the
+//!   node-down scenario legs in `tests/failure_kinds.rs`).
 
 pub mod chunklog;
 pub mod client;

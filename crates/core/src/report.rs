@@ -173,6 +173,12 @@ pub struct RestoreReport {
     pub lpc: debar_store::LpcStats,
     /// Chunks whose payload failed verification or could not be found.
     pub failures: u64,
+    /// Degraded repository reads during the restore: container fetches
+    /// served from a surviving replica after the preferred copy was down,
+    /// faulted or corrupt (the delta of
+    /// `debar_store::RepoStats::failover_reads` across the walk). Zero on
+    /// a healthy repository.
+    pub failover_reads: u64,
     /// Virtual seconds consumed.
     pub elapsed: Secs,
 }

@@ -675,11 +675,13 @@ impl BackupServer {
             .map(|p| (p.container.len() as u64, p.container.data_bytes()))
             .collect();
         let batch = repo.store_batch(containers.into_iter().map(|p| p.container));
-        // Container writes land on repository-node disks and are
+        // Container writes land on physical repository-node disks and are
         // pipelined behind the log drain (the paper measures chunk
         // storing at exactly the log's sustained read rate, §6.1.2); only
-        // the excess stalls. Round-robin placement spreads the batch over
-        // all repository nodes in parallel.
+        // the excess stalls. Placement spreads the batch over the nodes
+        // draining in parallel, so the write path completes at the max
+        // over the nodes actually written — the most-loaded node is the
+        // straggler, and adding repository nodes moves the wall for real.
         let store_cost = batch.cost;
         let durable = batch.ids.len();
         for (k, &cid) in batch.ids.iter().enumerate() {
@@ -724,7 +726,7 @@ impl BackupServer {
             }
         };
 
-        let store_path = store_cost / repo.node_count() as f64;
+        let store_path = store_cost;
         if store_path > produced {
             self.clock.advance(store_path - produced);
         }

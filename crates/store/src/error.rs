@@ -31,6 +31,29 @@ pub enum StoreError {
         /// The absent container.
         container: ContainerId,
     },
+    /// A node id outside the cluster was used (arm-time validation: the
+    /// plan/operation could never apply to a real node).
+    UnknownNode {
+        /// The requested node.
+        node: usize,
+        /// How many nodes the repository has.
+        nodes: usize,
+    },
+    /// The operation targeted a node that is down (unreachable until
+    /// revived or repaired).
+    NodeDown {
+        /// The downed node.
+        node: usize,
+    },
+    /// Every replica of a container is lost — no surviving healthy copy
+    /// exists to read or repair from (the `replication = 1` node-loss
+    /// case).
+    Unrecoverable {
+        /// The container with no surviving copy.
+        container: ContainerId,
+        /// The node whose loss made it unrecoverable.
+        node: usize,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -44,6 +67,18 @@ impl fmt::Display for StoreError {
             }
             StoreError::MissingContainer { container } => {
                 write!(f, "container {container:?} does not exist")
+            }
+            StoreError::UnknownNode { node, nodes } => {
+                write!(f, "storage node {node} outside the {nodes}-node repository")
+            }
+            StoreError::NodeDown { node } => {
+                write!(f, "storage node {node} is down")
+            }
+            StoreError::Unrecoverable { container, node } => {
+                write!(
+                    f,
+                    "container {container:?} unrecoverable: every replica lost with node {node}"
+                )
             }
         }
     }

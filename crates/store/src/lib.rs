@@ -9,8 +9,11 @@
 //!   (the SISL layout adopted from DDFS) and submits sealed containers to
 //!   the repository, which assigns their IDs.
 //! * [`repository`] — the chunk repository: a uniform container log across
-//!   a cluster of storage nodes, providing the global de-duplication
-//!   storage pool.
+//!   a cluster of physical, replicated storage nodes, providing the global
+//!   de-duplication storage pool. Each container is written to
+//!   `replication` distinct node disks; reads fail over to surviving
+//!   replicas past downed nodes, injected faults and corrupt copies, and
+//!   a repair/scrub pass re-replicates what a lost node held.
 //! * [`lpc`] — locality-preserved caching (LPC): an LRU of containers'
 //!   fingerprint sets; one container fetch turns the following stream-local
 //!   chunk lookups into cache hits (paper §3.3/§6.2: 99.3% of random
@@ -35,4 +38,6 @@ pub use container::{ChunkMeta, Container, CorruptKind, Damage, Payload};
 pub use error::StoreError;
 pub use lpc::{LpcCache, LpcStats};
 pub use manager::ContainerManager;
-pub use repository::{BatchAppend, ChunkRepository, RepoStats};
+pub use repository::{
+    BatchAppend, ChunkRepository, Placement, RepairReport, RepoStats, StorageNode,
+};

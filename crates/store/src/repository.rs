@@ -1,26 +1,61 @@
 //! The chunk repository (paper §3.4): "a uniform container log storage to
-//! the backup servers", built from a cluster of storage nodes.
+//! the backup servers", built from a cluster of **physical, replicated
+//! storage nodes**.
 //!
 //! Container IDs are assigned at store time ("When a container is written
 //! into the chunk repository, a container ID will be generated") and placed
-//! round-robin across nodes, which both spreads load and makes the node of
-//! any container derivable from its ID.
+//! across nodes by a pluggable [`Placement`] policy — round-robin by
+//! default, which both spreads load and makes the primary node of any
+//! container derivable from its ID.
+//!
+//! # Replication, failover and repair
+//!
+//! With a replication factor `R` ([`ChunkRepository::with_replication`]),
+//! every container is written to `R` distinct nodes — the primary from the
+//! placement policy plus the next `R-1` nodes on the ring — and each
+//! replica write is charged to its own node disk. Because the replicas
+//! land on distinct disks, a batch append completes at the **max over
+//! per-node accumulated write time** ([`BatchAppend::cost`]), not the sum:
+//! the store phase is as slow as its most-loaded node, and skewed
+//! placement ([`Placement::Fixed`]) makes that straggler visible.
+//!
+//! Reads **fail over**: a downed node ([`ChunkRepository::set_node_down`]),
+//! an injected [`FaultKind::Fail`], or a copy whose checksum trailer
+//! detects corruption transparently redirects the read to the next
+//! surviving replica. A degraded read that succeeds this way is counted in
+//! [`RepoStats::failover_reads`]. Only when *every* copy is unreachable
+//! does the read fail — with the last typed error, or
+//! [`StoreError::Unrecoverable`] when all holding nodes are down (the
+//! `R = 1` node-loss case).
+//!
+//! [`ChunkRepository::repair_node`] is the scrub/re-replication pass: a
+//! downed node is repaired by *replacing* its disk (every copy it held is
+//! re-replicated from surviving healthy copies), an up node is scrubbed in
+//! place (only missing or damaged copies are recopied). The pass plans
+//! before it mutates: if any copy the node must hold has no surviving
+//! healthy source, it refuses with [`StoreError::Unrecoverable`] and
+//! changes nothing. Like defragmentation (§6.3), repair is background
+//! maintenance: it charges real read/write I/O but does not consume armed
+//! fault plans.
 //!
 //! # Fault injection
 //!
 //! Every node disk carries a deterministic [`FaultPlan`]
 //! (`debar_simio::fault`); store and read paths are fault-checked:
 //!
-//! * an outright [`FaultKind::Fail`] on a store persists **nothing** and
-//!   does **not** consume the container ID (ID allocation is part of the
-//!   durable commit — this is what makes an interrupted chunk-storing
-//!   phase re-runnable with byte-identical results);
-//! * a [`FaultKind::TornWrite`] or [`FaultKind::BitFlip`] on a store
-//!   *appears* to succeed (buffered write) but records [`Damage`] against
-//!   the stored container; every later read materializes the damaged
-//!   image through the real serialize → damage → deserialize pipeline and
-//!   surfaces [`StoreError::CorruptContainer`] from the checksum trailer;
-//! * a `Fail` on a read surfaces [`StoreError::DiskFault`].
+//! * an outright [`FaultKind::Fail`] on any replica write persists
+//!   **nothing on any node** and does **not** consume the container ID
+//!   (ID allocation is part of the durable commit — this is what makes an
+//!   interrupted chunk-storing phase re-runnable with byte-identical
+//!   results);
+//! * a [`FaultKind::TornWrite`] or [`FaultKind::BitFlip`] on a replica
+//!   write *appears* to succeed (buffered write) but records [`Damage`]
+//!   against **that node's copy only**; every later read materializes the
+//!   damaged image through the real serialize → damage → deserialize
+//!   pipeline, surfaces the checksum failure, and fails over to a clean
+//!   replica when one exists;
+//! * a `Fail` on a read surfaces [`StoreError::DiskFault`] — or fails
+//!   over, when another replica survives.
 
 use crate::container::{Container, Damage};
 use crate::error::StoreError;
@@ -29,18 +64,21 @@ use debar_simio::{DiskModel, FaultKind, FaultPlan, Secs, SimDisk, Timed};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
-/// A container at rest on a node, with any injected damage it suffered.
+/// A container copy at rest on a node, with any injected damage it
+/// suffered (damage is per-copy: one replica tearing does not corrupt its
+/// siblings).
 #[derive(Debug, Clone)]
 struct StoredContainer {
     container: Container,
     damage: Option<Damage>,
 }
 
-/// One storage node: a simulated disk plus its resident containers.
+/// One storage node: a simulated disk plus its resident container copies.
 #[derive(Debug, Clone)]
 pub struct StorageNode {
     disk: SimDisk,
     containers: HashMap<u64, StoredContainer>,
+    down: bool,
 }
 
 impl StorageNode {
@@ -48,10 +86,11 @@ impl StorageNode {
         StorageNode {
             disk: SimDisk::new(model),
             containers: HashMap::new(),
+            down: false,
         }
     }
 
-    /// Containers resident on this node.
+    /// Container copies resident on this node.
     pub fn container_count(&self) -> usize {
         self.containers.len()
     }
@@ -60,19 +99,56 @@ impl StorageNode {
     pub fn disk_stats(&self) -> debar_simio::DiskStats {
         self.disk.stats()
     }
+
+    /// Whether the node is down (unreachable for reads and writes).
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Whether this node holds a copy free of recorded damage.
+    fn clean_copy(&self, raw: u64) -> bool {
+        self.containers
+            .get(&raw)
+            .is_some_and(|sc| sc.damage.is_none())
+    }
+}
+
+/// Container placement policy: which node a container's *primary* copy
+/// lands on (replicas follow on the next ring nodes).
+///
+/// Set the policy before the first store: reads derive the replica ring
+/// from the current policy, so copies stored under a different one are
+/// only found by the presence-scanning paths
+/// ([`ChunkRepository::read_anywhere`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Round-robin by container ID — the paper's uniform container log.
+    RoundRobin,
+    /// Every primary copy on one fixed node (skew/straggler experiments).
+    Fixed(usize),
 }
 
 /// Aggregate repository statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct RepoStats {
-    /// Containers stored.
+    /// Containers stored (logical, not multiplied by replication).
     pub containers: u64,
     /// Total chunk-data bytes stored (logical container payload).
     pub data_bytes: u64,
     /// Container reads served.
     pub reads: u64,
-    /// Reads that detected a corrupt container.
+    /// Reads that detected a corrupt container copy.
     pub corrupt_reads: u64,
+    /// Degraded reads: served from a surviving replica after the preferred
+    /// copy was down, faulted or corrupt.
+    pub failover_reads: u64,
+}
+
+impl RepoStats {
+    /// Reads that needed no failover.
+    pub fn primary_reads(&self) -> u64 {
+        self.reads - self.failover_reads
+    }
 }
 
 /// Outcome of a multi-container batch append
@@ -81,26 +157,52 @@ pub struct RepoStats {
 pub struct BatchAppend {
     /// IDs assigned to the durably stored prefix, in batch order.
     pub ids: Vec<ContainerId>,
-    /// Summed write cost of the durable prefix.
+    /// Store-phase wall for the batch: replica writes land on distinct
+    /// node disks working in parallel, so the batch completes at the
+    /// **max over per-node accumulated write time** — the most-loaded
+    /// node is the straggler.
     pub cost: Secs,
+    /// Accumulated write time per node (indexed by node id) for the
+    /// durable prefix; `cost` is the max of these.
+    pub node_costs: Vec<Secs>,
     /// The first write fault, with the container whose write failed
     /// handed back unconsumed for re-queueing; `None` on a clean batch.
     pub fault: Option<(StoreError, Container)>,
 }
 
-/// The multi-node container log.
+/// Outcome of a [`ChunkRepository::repair_node`] scrub pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepairReport {
+    /// Container copies the node must hold (its replica-set share plus
+    /// copies migrated onto it).
+    pub scanned: u64,
+    /// Copies re-replicated onto the node from surviving healthy sources.
+    pub recopied: u64,
+}
+
+/// Per-node `(node, cost)` write charges plus the store outcome: on
+/// failure the container comes back unconsumed alongside the error.
+type StoreOutcome = (
+    Vec<(usize, Secs)>,
+    Result<ContainerId, (StoreError, Container)>,
+);
+
+/// The multi-node, replicated container log.
 #[derive(Debug, Clone)]
 pub struct ChunkRepository {
     nodes: Vec<StorageNode>,
     container_bytes: u64,
     next_id: u64,
     stats: RepoStats,
+    replication: usize,
+    placement: Placement,
 }
 
 impl ChunkRepository {
     /// Create a repository of `num_nodes` storage nodes whose disks follow
     /// `model`; `container_bytes` is the fixed on-disk container size used
-    /// for I/O charging.
+    /// for I/O charging. Replication defaults to 1 (no replicas); see
+    /// [`ChunkRepository::with_replication`].
     pub fn new(num_nodes: usize, model: DiskModel, container_bytes: u64) -> Self {
         assert!(num_nodes > 0, "repository needs at least one node");
         assert!(container_bytes > 0);
@@ -109,7 +211,39 @@ impl ChunkRepository {
             container_bytes,
             next_id: 0,
             stats: RepoStats::default(),
+            replication: 1,
+            placement: Placement::RoundRobin,
         }
+    }
+
+    /// Builder: set the replication factor — every container is written to
+    /// `replication` distinct nodes. Must satisfy
+    /// `1 <= replication <= node count` (enforced for configs by
+    /// `DebarConfig::try_validate`).
+    pub fn with_replication(mut self, replication: usize) -> Self {
+        assert!(
+            replication >= 1 && replication <= self.nodes.len(),
+            "replication {replication} outside 1..={}",
+            self.nodes.len()
+        );
+        self.replication = replication;
+        self
+    }
+
+    /// The configured replication factor.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Set the container placement policy (see [`Placement`] for the
+    /// change-after-store caveat). A fixed node outside the cluster is a
+    /// typed error.
+    pub fn set_placement(&mut self, placement: Placement) -> Result<(), StoreError> {
+        if let Placement::Fixed(node) = placement {
+            self.check_node(node)?;
+        }
+        self.placement = placement;
+        Ok(())
     }
 
     /// Number of storage nodes.
@@ -132,9 +266,31 @@ impl ChunkRepository {
         &self.nodes
     }
 
+    /// One node's view, or a typed error for an id outside the cluster.
+    pub fn node(&self, node: usize) -> Result<&StorageNode, StoreError> {
+        self.check_node(node)?;
+        Ok(&self.nodes[node])
+    }
+
+    /// Validate a node id at arm/call time — same rule as the store
+    /// workers' stripe-width check: an out-of-range id is a typed error,
+    /// never an index panic.
+    fn check_node(&self, node: usize) -> Result<(), StoreError> {
+        if node < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(StoreError::UnknownNode {
+                node,
+                nodes: self.nodes.len(),
+            })
+        }
+    }
+
     /// Arm a deterministic fault schedule on one node's disk.
-    pub fn set_node_fault_plan(&mut self, node: usize, plan: FaultPlan) {
+    pub fn set_node_fault_plan(&mut self, node: usize, plan: FaultPlan) -> Result<(), StoreError> {
+        self.check_node(node)?;
         self.nodes[node].disk.set_fault_plan(plan);
+        Ok(())
     }
 
     /// Disarm every node's fault schedule.
@@ -146,12 +302,37 @@ impl ChunkRepository {
 
     /// A node disk's operation counter (for arming `FaultPlan`s at "the
     /// next op on this node").
-    pub fn node_disk_ops(&self, node: usize) -> u64 {
-        self.nodes[node].disk.ops()
+    pub fn node_disk_ops(&self, node: usize) -> Result<u64, StoreError> {
+        self.check_node(node)?;
+        Ok(self.nodes[node].disk.ops())
     }
 
-    /// Inject damage directly against a stored container (the
-    /// per-container corruption hook the failure-kind scenarios use).
+    /// Take a node down: its copies stay on disk but every read and write
+    /// targeting it is refused until [`ChunkRepository::revive_node`] or
+    /// [`ChunkRepository::repair_node`].
+    pub fn set_node_down(&mut self, node: usize) -> Result<(), StoreError> {
+        self.check_node(node)?;
+        self.nodes[node].down = true;
+        Ok(())
+    }
+
+    /// Bring a downed node back with its data intact (the machine was
+    /// unreachable, not lost).
+    pub fn revive_node(&mut self, node: usize) -> Result<(), StoreError> {
+        self.check_node(node)?;
+        self.nodes[node].down = false;
+        Ok(())
+    }
+
+    /// Whether a node is down.
+    pub fn is_node_down(&self, node: usize) -> Result<bool, StoreError> {
+        self.check_node(node)?;
+        Ok(self.nodes[node].down)
+    }
+
+    /// Inject damage directly against a stored container copy (the
+    /// per-container corruption hook the failure-kind scenarios use); the
+    /// first-located copy is damaged, its replicas stay clean.
     /// Returns `false` if the container does not exist.
     pub fn corrupt_container(&mut self, cid: ContainerId, damage: Damage) -> bool {
         match self.locate(cid) {
@@ -167,8 +348,9 @@ impl ChunkRepository {
         }
     }
 
-    /// Clear injected damage (admin repair from a replica; test support).
-    /// Returns `false` if the container does not exist.
+    /// Clear injected damage on the first-located copy (admin repair from
+    /// a replica; test support). Returns `false` if the container does not
+    /// exist.
     pub fn repair_container(&mut self, cid: ContainerId) -> bool {
         match self.locate(cid) {
             Some(node) => {
@@ -183,20 +365,35 @@ impl ChunkRepository {
         }
     }
 
-    /// The node a container lives on (round-robin by ID).
+    /// The node a container's primary copy lives on (placement policy).
     pub fn node_of(&self, cid: ContainerId) -> usize {
-        (cid.raw() % self.nodes.len() as u64) as usize
+        match self.placement {
+            Placement::RoundRobin => (cid.raw() % self.nodes.len() as u64) as usize,
+            Placement::Fixed(node) => node,
+        }
     }
 
-    /// Store a sealed container: assigns its ID, places it round-robin and
-    /// charges one sequential container write on the target node.
+    /// The `replication` distinct nodes a container's copies are written
+    /// to: the primary plus the next ring nodes.
+    pub fn replica_nodes(&self, cid: ContainerId) -> Vec<usize> {
+        let n = self.nodes.len();
+        let primary = self.node_of(cid);
+        (0..self.replication).map(|k| (primary + k) % n).collect()
+    }
+
+    /// Store a sealed container: assigns its ID, writes one copy to each
+    /// of the `replication` placement nodes (each charged to its own
+    /// disk; the cost is the max — the replicas write in parallel).
     ///
-    /// A [`FaultKind::Fail`] injected on the write persists nothing and
-    /// leaves the ID unconsumed (retrying the store converges to the same
-    /// ID); torn writes and bit flips persist a damaged image that later
-    /// reads detect via the checksum trailer.
+    /// A [`FaultKind::Fail`] injected on any replica write persists
+    /// nothing anywhere and leaves the ID unconsumed (retrying the store
+    /// converges to the same ID); torn writes and bit flips persist a
+    /// damaged image *on that copy only* that later reads detect via the
+    /// checksum trailer. A down placement node refuses the write with
+    /// [`StoreError::NodeDown`].
     pub fn store(&mut self, container: Container) -> Timed<Result<ContainerId, StoreError>> {
-        let (cost, result) = self.store_inner(container);
+        let (writes, result) = self.store_inner(container);
+        let cost = writes.iter().fold(0.0, |m, &(_, c)| f64::max(m, c));
         Timed::new(result.map_err(|(e, _)| e), cost)
     }
 
@@ -204,27 +401,32 @@ impl ChunkRepository {
     /// pipelined chunk-storing phase): store a sealed-container batch in
     /// order, stopping at the first write fault.
     ///
-    /// Per-container semantics — ID assignment, round-robin placement, one
-    /// sequential write op per container on its node, the fault rules of
+    /// Per-container semantics — ID assignment, placement, one sequential
+    /// write op per replica on its node, the fault rules of
     /// [`ChunkRepository::store`] — are *identical* to storing the batch
     /// one container at a time; the batch amortizes the per-submit
-    /// overhead (one call, one ID vector, no per-container staging
-    /// round-trips) and models the flush queue draining behind the
-    /// packer. On a fault, the failed container is handed back unconsumed
-    /// (its chunks re-queue into the chunk log) and the remaining batch is
-    /// dropped — those chunks are re-derived from the log tail on redo.
+    /// overhead and models the flush queue draining behind the packer.
+    /// The batch wall ([`BatchAppend::cost`]) is the max over per-node
+    /// accumulated write time: the nodes drain their queues in parallel
+    /// and the most-loaded node is the straggler. On a fault, the failed
+    /// container is handed back unconsumed (its chunks re-queue into the
+    /// chunk log) and the remaining batch is dropped — those chunks are
+    /// re-derived from the log tail on redo.
     pub fn store_batch(&mut self, batch: impl IntoIterator<Item = Container>) -> BatchAppend {
         let mut out = BatchAppend {
             ids: Vec::new(),
             cost: 0.0,
+            node_costs: vec![0.0; self.nodes.len()],
             fault: None,
         };
         for container in batch {
-            let (cost, result) = self.store_inner(container);
+            let (writes, result) = self.store_inner(container);
             match result {
                 Ok(id) => {
                     out.ids.push(id);
-                    out.cost += cost;
+                    for (node, cost) in writes {
+                        out.node_costs[node] += cost;
+                    }
                 }
                 Err((e, failed)) => {
                     // The faulted op's time is the device failing, not
@@ -235,49 +437,65 @@ impl ChunkRepository {
                 }
             }
         }
+        out.cost = out.node_costs.iter().fold(0.0, |m, &c| f64::max(m, c));
         out
     }
 
-    /// The shared store path: on a `Fail` fault the container is returned
-    /// unconsumed (nothing persisted, ID unconsumed).
-    fn store_inner(
-        &mut self,
-        mut container: Container,
-    ) -> (Secs, Result<ContainerId, (StoreError, Container)>) {
+    /// The shared store path: on a `Fail` fault (or a down placement node)
+    /// the container is returned unconsumed (nothing persisted anywhere,
+    /// ID unconsumed). Returns every `(node, cost)` write charged.
+    fn store_inner(&mut self, mut container: Container) -> StoreOutcome {
         assert!(container.id().is_null(), "container already stored");
         assert!(
             !container.is_empty(),
             "refusing to store an empty container"
         );
         let id = ContainerId::new(self.next_id);
-        let node = self.node_of(id);
-        let cost = self.nodes[node].disk.seq_write(self.container_bytes);
-        let damage = match self.nodes[node].disk.take_fault() {
-            Some(fault) => match fault.kind {
-                FaultKind::Fail => {
-                    return (
-                        cost,
-                        Err((StoreError::DiskFault { node, fault }, container)),
-                    );
-                }
-                FaultKind::TornWrite => Some(Damage::Torn),
-                FaultKind::BitFlip => Some(Damage::BitFlip),
-            },
-            None => None,
-        };
+        let targets = self.replica_nodes(id);
+        // A down placement node refuses the write before anything is
+        // charged: nothing persisted, ID unconsumed.
+        if let Some(&node) = targets.iter().find(|&&n| self.nodes[n].down) {
+            return (Vec::new(), Err((StoreError::NodeDown { node }, container)));
+        }
+        let mut writes: Vec<(usize, Secs)> = Vec::with_capacity(targets.len());
+        let mut damages: Vec<(usize, Option<Damage>)> = Vec::with_capacity(targets.len());
+        for &node in &targets {
+            let cost = self.nodes[node].disk.seq_write(self.container_bytes);
+            writes.push((node, cost));
+            match self.nodes[node].disk.take_fault() {
+                Some(fault) => match fault.kind {
+                    FaultKind::Fail => {
+                        return (
+                            writes,
+                            Err((StoreError::DiskFault { node, fault }, container)),
+                        );
+                    }
+                    FaultKind::TornWrite => damages.push((node, Some(Damage::Torn))),
+                    FaultKind::BitFlip => damages.push((node, Some(Damage::BitFlip))),
+                },
+                None => damages.push((node, None)),
+            }
+        }
         self.next_id += 1;
         container.set_id(id);
         self.stats.containers += 1;
         self.stats.data_bytes += container.data_bytes();
-        self.nodes[node]
-            .containers
-            .insert(id.raw(), StoredContainer { container, damage });
-        (cost, Ok(id))
+        for (node, damage) in damages {
+            self.nodes[node].containers.insert(
+                id.raw(),
+                StoredContainer {
+                    container: container.clone(),
+                    damage,
+                },
+            );
+        }
+        (writes, Ok(id))
     }
 
-    /// Materialize a stored container, running any injected damage through
-    /// the real serialize → damage → deserialize pipeline so corruption is
-    /// *detected* by the checksum trailer, not silently read.
+    /// Materialize a stored container copy, running any injected damage
+    /// through the real serialize → damage → deserialize pipeline so
+    /// corruption is *detected* by the checksum trailer, not silently
+    /// read.
     fn materialize(&self, node: usize, cid: ContainerId) -> Result<Option<Container>, StoreError> {
         let Some(sc) = self.nodes[node].containers.get(&cid.raw()) else {
             return Ok(None);
@@ -311,68 +529,134 @@ impl ChunkRepository {
         }
     }
 
-    /// Read a container (one random container-sized I/O on its node).
-    /// Returns a clone — cheap for zero payloads and refcounted for real
-    /// bytes. `Ok(None)` means the container does not exist; injected
-    /// faults and detected corruption surface as typed errors.
-    pub fn read(&mut self, cid: ContainerId) -> Timed<Result<Option<Container>, StoreError>> {
+    /// The nodes holding a copy, in failover order: the replica ring
+    /// (primary first), then — for the presence-scanning paths — any node
+    /// a copy was migrated onto. Down nodes are included (the read loop
+    /// skips them and counts the skip as degradation).
+    fn holders(&self, cid: ContainerId, anywhere: bool) -> Vec<usize> {
+        let raw = cid.raw();
+        let mut order: Vec<usize> = self
+            .replica_nodes(cid)
+            .into_iter()
+            .filter(|&n| self.nodes[n].containers.contains_key(&raw))
+            .collect();
+        if anywhere {
+            for (n, node) in self.nodes.iter().enumerate() {
+                if node.containers.contains_key(&raw) && !order.contains(&n) {
+                    order.push(n);
+                }
+            }
+        }
+        order
+    }
+
+    /// The replica-failover read core shared by [`ChunkRepository::read`],
+    /// [`ChunkRepository::read_metas`] and
+    /// [`ChunkRepository::read_anywhere`]: try each holding node in
+    /// failover order, skipping down nodes; an injected `Fail` or a
+    /// detected-corrupt copy moves on to the next replica. A success after
+    /// any skip or failure is a degraded read
+    /// ([`RepoStats::failover_reads`]). When every copy is exhausted the
+    /// read fails with the last typed error — or
+    /// [`StoreError::Unrecoverable`] when no copy could even be attempted
+    /// (every holder down).
+    fn read_one(
+        &mut self,
+        cid: ContainerId,
+        meta_only: bool,
+        anywhere: bool,
+    ) -> Timed<Result<Option<Container>, StoreError>> {
         if cid.is_null() {
             return Timed::free(Ok(None));
         }
-        let node = self.node_of(cid);
-        if !self.nodes[node].containers.contains_key(&cid.raw()) {
+        let candidates = self.holders(cid, anywhere);
+        let Some(&first) = candidates.first() else {
             return Timed::free(Ok(None));
-        }
+        };
         self.stats.reads += 1;
-        let cost = self.nodes[node].disk.rand_read(self.container_bytes);
-        if let Err(e) = self.read_fault(node) {
-            return Timed::new(Err(e), cost);
+        let mut cost: Secs = 0.0;
+        let mut degraded = false;
+        let mut last_err: Option<StoreError> = None;
+        for &node in &candidates {
+            if self.nodes[node].down {
+                degraded = true;
+                continue;
+            }
+            let bytes = if meta_only {
+                // Metadata-section prefetch: ≈ 32 bytes/chunk under the
+                // same checksum trailer.
+                let len = self.nodes[node]
+                    .containers
+                    .get(&cid.raw())
+                    .map_or(0, |sc| sc.container.len()) as u64;
+                6 + 32 * len + 20
+            } else {
+                self.container_bytes
+            };
+            cost += self.nodes[node].disk.rand_read(bytes);
+            if let Err(e) = self.read_fault(node) {
+                degraded = true;
+                last_err = Some(e);
+                continue;
+            }
+            match self.materialize(node, cid) {
+                Ok(Some(c)) => {
+                    if degraded {
+                        self.stats.failover_reads += 1;
+                    }
+                    return Timed::new(Ok(Some(c)), cost);
+                }
+                Ok(None) => continue,
+                Err(e) => {
+                    self.stats.corrupt_reads += 1;
+                    degraded = true;
+                    last_err = Some(e);
+                }
+            }
         }
-        let res = self.materialize(node, cid);
-        if matches!(res, Err(StoreError::CorruptContainer { .. })) {
-            self.stats.corrupt_reads += 1;
-        }
-        Timed::new(res, cost)
+        // Every replica lost: the last attempt's error, or — when every
+        // holder was down and nothing could be attempted — the typed
+        // unrecoverable case naming the preferred holder.
+        let err = last_err.unwrap_or(StoreError::Unrecoverable {
+            container: cid,
+            node: first,
+        });
+        Timed::new(Err(err), cost)
+    }
+
+    /// Read a container from its replica ring (one random container-sized
+    /// I/O per attempted copy). Returns a clone — cheap for zero payloads
+    /// and refcounted for real bytes. `Ok(None)` means no ring node holds
+    /// the container; injected faults and detected corruption fail over to
+    /// surviving replicas and surface as typed errors only when every copy
+    /// is lost.
+    pub fn read(&mut self, cid: ContainerId) -> Timed<Result<Option<Container>, StoreError>> {
+        self.read_one(cid, false, false)
     }
 
     /// Read only a container's metadata section (fingerprints): the cheap
     /// prefetch LPC performs on an index hit. Charged as one small random
-    /// read (metadata section ≈ 32 bytes/chunk). Damaged containers fail
-    /// here too — the metadata section is under the same checksum.
+    /// read per attempted copy (metadata section ≈ 32 bytes/chunk).
+    /// Damaged copies fail over here too — the metadata section is under
+    /// the same checksum.
     pub fn read_metas(
         &mut self,
         cid: ContainerId,
     ) -> Timed<Result<Option<Vec<debar_hash::Fingerprint>>, StoreError>> {
-        if cid.is_null() {
-            return Timed::free(Ok(None));
-        }
-        let node = self.node_of(cid);
-        let Some(sc) = self.nodes[node].containers.get(&cid.raw()) else {
-            return Timed::free(Ok(None));
-        };
-        let meta_bytes = 6 + 32 * sc.container.len() as u64 + 20;
-        let cost = self.nodes[node].disk.rand_read(meta_bytes);
-        if let Err(e) = self.read_fault(node) {
-            return Timed::new(Err(e), cost);
-        }
-        let res = self
-            .materialize(node, cid)
-            .map(|c| c.map(|c| c.fingerprints().collect()));
-        if matches!(res, Err(StoreError::CorruptContainer { .. })) {
-            self.stats.corrupt_reads += 1;
-        }
-        Timed::new(res, cost)
+        let t = self.read_one(cid, true, false);
+        Timed::new(
+            t.value.map(|c| c.map(|c| c.fingerprints().collect())),
+            t.cost,
+        )
     }
 
-    /// Whether a container exists.
+    /// Whether any node holds a copy of the container.
     pub fn contains(&self, cid: ContainerId) -> bool {
-        !cid.is_null()
-            && self.nodes[self.node_of(cid)]
-                .containers
-                .contains_key(&cid.raw())
+        !cid.is_null() && !self.holders(cid, true).is_empty()
     }
 
-    /// All container IDs, ascending.
+    /// All container IDs, ascending (each counted once regardless of
+    /// replication).
     pub fn container_ids(&self) -> Vec<ContainerId> {
         let mut ids: Vec<ContainerId> = self
             .nodes
@@ -380,14 +664,16 @@ impl ChunkRepository {
             .flat_map(|n| n.containers.keys().map(|&r| ContainerId::new(r)))
             .collect();
         ids.sort();
+        ids.dedup();
         ids
     }
 
-    /// Move a container onto an explicit node (defragmentation, §6.3);
-    /// charges a read on the source node and a write on the target.
+    /// Move a container copy onto an explicit node (defragmentation,
+    /// §6.3); charges a read on the source node and a write on the target.
     /// Returns the I/O cost, or `None` if the container does not exist.
-    /// Injected damage travels with the container; fault plans are not
-    /// checked here (defragmentation is background maintenance).
+    /// Injected damage travels with the copy; fault plans are not checked
+    /// here (defragmentation is background maintenance). Sibling replicas
+    /// are untouched.
     pub fn migrate(&mut self, cid: ContainerId, target_node: usize) -> Option<Secs> {
         assert!(target_node < self.nodes.len());
         let source = self.locate(cid)?;
@@ -403,37 +689,122 @@ impl ChunkRepository {
         Some(cost)
     }
 
-    /// Locate a container after possible migration (presence scan fallback).
+    /// Locate a container's first copy in failover order (replica ring,
+    /// then migrated copies).
     pub fn locate(&self, cid: ContainerId) -> Option<usize> {
-        let home = self.node_of(cid);
-        if self.nodes[home].containers.contains_key(&cid.raw()) {
-            return Some(home);
-        }
-        self.nodes
-            .iter()
-            .position(|n| n.containers.contains_key(&cid.raw()))
+        self.holders(cid, true).into_iter().next()
     }
 
-    /// Read a container wherever it lives (supports migrated containers).
+    /// Read a container wherever a copy lives (supports migrated
+    /// containers), with the same replica failover as
+    /// [`ChunkRepository::read`].
     pub fn read_anywhere(
         &mut self,
         cid: ContainerId,
     ) -> Timed<Result<Option<Container>, StoreError>> {
-        match self.locate(cid) {
-            Some(node) => {
-                self.stats.reads += 1;
-                let cost = self.nodes[node].disk.rand_read(self.container_bytes);
-                if let Err(e) = self.read_fault(node) {
-                    return Timed::new(Err(e), cost);
-                }
-                let res = self.materialize(node, cid);
-                if matches!(res, Err(StoreError::CorruptContainer { .. })) {
-                    self.stats.corrupt_reads += 1;
-                }
-                Timed::new(res, cost)
-            }
-            None => Timed::free(Ok(None)),
+        self.read_one(cid, false, true)
+    }
+
+    /// How many healthy copies (up node, no recorded damage) exist.
+    fn healthy_copies(&self, cid: ContainerId) -> usize {
+        let raw = cid.raw();
+        self.nodes
+            .iter()
+            .filter(|n| !n.down && n.clean_copy(raw))
+            .count()
+    }
+
+    /// Containers with fewer healthy available copies than the replication
+    /// factor — the scrub work list ([`ChunkRepository::repair_node`]).
+    pub fn under_replicated(&self) -> Vec<ContainerId> {
+        self.container_ids()
+            .into_iter()
+            .filter(|&cid| self.healthy_copies(cid) < self.replication)
+            .collect()
+    }
+
+    /// The first holder in failover order, excluding `exclude`, that is up
+    /// and damage-free — the source a repair copies from.
+    fn healthy_source(&self, cid: ContainerId, exclude: usize) -> Option<usize> {
+        self.holders(cid, true)
+            .into_iter()
+            .find(|&n| n != exclude && !self.nodes[n].down && self.nodes[n].clean_copy(cid.raw()))
+    }
+
+    /// Repair/scrub one node back to full replication.
+    ///
+    /// A **down** node is repaired by replacing its disk: every copy it
+    /// must hold (its share of each replica set, plus copies migrated onto
+    /// it) is re-replicated from a surviving healthy source. An **up**
+    /// node is scrubbed in place: clean copies are kept, missing or
+    /// damaged ones recopied. Each recopy charges one container read on
+    /// the source and one sequential write on the repaired node; the
+    /// returned cost is the sum (the scrub is a background serial pass and
+    /// consumes no armed fault plans, like [`ChunkRepository::migrate`]).
+    ///
+    /// The pass plans before it mutates: if any needed copy has no
+    /// surviving healthy source (the `R = 1` node-loss case), it returns
+    /// [`StoreError::Unrecoverable`] naming the container and node, and
+    /// changes nothing.
+    pub fn repair_node(&mut self, node: usize) -> Timed<Result<RepairReport, StoreError>> {
+        if let Err(e) = self.check_node(node) {
+            return Timed::free(Err(e));
         }
+        let replace = self.nodes[node].down;
+        // What the node must hold afterwards.
+        let mut want: Vec<u64> = self.nodes[node].containers.keys().copied().collect();
+        for cid in self.container_ids() {
+            if self.replica_nodes(cid).contains(&node) {
+                want.push(cid.raw());
+            }
+        }
+        want.sort_unstable();
+        want.dedup();
+        // Plan first, mutate after.
+        let mut plan: Vec<(u64, usize)> = Vec::new();
+        for &raw in &want {
+            let cid = ContainerId::new(raw);
+            if !replace && self.nodes[node].clean_copy(raw) {
+                continue;
+            }
+            match self.healthy_source(cid, node) {
+                Some(src) => plan.push((raw, src)),
+                None => {
+                    return Timed::free(Err(StoreError::Unrecoverable {
+                        container: cid,
+                        node,
+                    }));
+                }
+            }
+        }
+        if replace {
+            self.nodes[node].containers.clear();
+        }
+        self.nodes[node].down = false;
+        let mut cost: Secs = 0.0;
+        let mut recopied = 0u64;
+        for (raw, src) in plan {
+            let Some(sc) = self.nodes[src].containers.get(&raw).cloned() else {
+                continue;
+            };
+            cost += self.nodes[src].disk.rand_read(self.container_bytes);
+            cost += self.nodes[node].disk.seq_write(self.container_bytes);
+            self.nodes[node].containers.insert(
+                raw,
+                StoredContainer {
+                    container: sc.container,
+                    damage: None,
+                },
+            );
+            recopied += 1;
+        }
+        Timed::new(
+            Ok(RepairReport {
+                scanned: want.len() as u64,
+                recopied,
+            }),
+            cost,
+        )
     }
 }
 
@@ -452,6 +823,10 @@ mod tests {
         ChunkRepository::new(nodes, paper::repo_disk(), 1 << 20)
     }
 
+    fn repo_r(nodes: usize, replication: usize) -> ChunkRepository {
+        repo(nodes).with_replication(replication)
+    }
+
     fn container_with(range: std::ops::Range<u64>) -> Container {
         let mut c = Container::new(1 << 20);
         for i in range {
@@ -462,6 +837,10 @@ mod tests {
 
     fn store_ok(r: &mut ChunkRepository, c: Container) -> ContainerId {
         r.store(c).value.expect("store succeeds")
+    }
+
+    fn arm(r: &mut ChunkRepository, node: usize, plan: FaultPlan) {
+        r.set_node_fault_plan(node, plan).expect("node in range");
     }
 
     #[test]
@@ -514,6 +893,28 @@ mod tests {
     }
 
     #[test]
+    fn replicated_store_charges_every_replica_disk() {
+        let mut r = repo_r(3, 2);
+        let id = store_ok(&mut r, container_with(0..2)); // primary node 0
+        assert_eq!(r.replica_nodes(id), vec![0, 1]);
+        assert_eq!(
+            r.nodes()[0].disk_stats().seq_write_bytes,
+            r.container_bytes()
+        );
+        assert_eq!(
+            r.nodes()[1].disk_stats().seq_write_bytes,
+            r.container_bytes()
+        );
+        assert_eq!(r.nodes()[2].disk_stats().seq_write_bytes, 0);
+        // Logical stats count the container once.
+        assert_eq!(r.stats().containers, 1);
+        // Replicas write in parallel: the store costs one write, not two.
+        let t = repo_r(3, 2).store(container_with(0..2));
+        let single = repo(3).store(container_with(0..2));
+        assert_eq!(t.cost, single.cost);
+    }
+
+    #[test]
     fn migrate_moves_and_read_anywhere_finds() {
         let mut r = repo(3);
         let id = store_ok(&mut r, container_with(0..4)); // node 0
@@ -547,10 +948,19 @@ mod tests {
     }
 
     #[test]
+    fn container_ids_deduplicated_across_replicas() {
+        let mut r = repo_r(2, 2);
+        for i in 0..3u64 {
+            store_ok(&mut r, container_with(i * 2..i * 2 + 2));
+        }
+        assert_eq!(r.container_ids().len(), 3, "each counted once");
+    }
+
+    #[test]
     fn store_fail_fault_persists_nothing_and_keeps_the_id() {
         let mut r = repo(2);
         // Node 0 receives container 0; fail its first disk op.
-        r.set_node_fault_plan(0, FaultPlan::fail_at(0));
+        arm(&mut r, 0, FaultPlan::fail_at(0));
         let t = r.store(container_with(0..3));
         let err = t.value.expect_err("injected failure must surface");
         assert!(matches!(err, StoreError::DiskFault { node: 0, .. }));
@@ -563,9 +973,27 @@ mod tests {
     }
 
     #[test]
+    fn replica_write_fail_fault_persists_nothing_anywhere() {
+        let mut r = repo_r(2, 2);
+        // The replica (second) write of container 0 lands on node 1.
+        arm(&mut r, 1, FaultPlan::fail_at(0));
+        let err = r
+            .store(container_with(0..3))
+            .value
+            .expect_err("replica write fault surfaces");
+        assert!(matches!(err, StoreError::DiskFault { node: 1, .. }));
+        assert_eq!(r.stats().containers, 0, "no copy persisted on any node");
+        assert_eq!(r.nodes()[0].container_count(), 0);
+        assert_eq!(r.nodes()[1].container_count(), 0);
+        // Redo converges to the same ID.
+        let id = store_ok(&mut r, container_with(0..3));
+        assert_eq!(id.raw(), 0);
+    }
+
+    #[test]
     fn torn_write_is_silent_then_detected_on_read() {
         let mut r = repo(1);
-        r.set_node_fault_plan(0, FaultPlan::torn_write_at(0));
+        arm(&mut r, 0, FaultPlan::torn_write_at(0));
         let id = store_ok(&mut r, container_with(0..10));
         // The write "succeeded" (buffered) — but every read detects it.
         let err = r.read(id).value.expect_err("corruption detected");
@@ -580,25 +1008,117 @@ mod tests {
     }
 
     #[test]
-    fn bit_flip_detected_and_repair_clears() {
-        let mut r = repo(2);
+    fn corrupt_primary_fails_over_to_clean_replica() {
+        let mut r = repo_r(2, 2);
+        // Tear only the primary (first) write of container 0 on node 0.
+        arm(&mut r, 0, FaultPlan::torn_write_at(0));
+        let id = store_ok(&mut r, container_with(0..10));
+        let got = r
+            .read(id)
+            .value
+            .expect("replica saves the read")
+            .expect("stored");
+        assert_eq!(got.len(), 10);
+        assert_eq!(r.stats().corrupt_reads, 1, "primary copy detected corrupt");
+        assert_eq!(r.stats().failover_reads, 1, "served degraded");
+        assert_eq!(r.stats().primary_reads(), 0);
+    }
+
+    #[test]
+    fn down_node_fails_over_and_is_counted() {
+        let mut r = repo_r(2, 2);
         let id = store_ok(&mut r, container_with(0..5));
-        assert!(r.corrupt_container(id, Damage::BitFlip));
-        let err = r.read_anywhere(id).value.expect_err("detected");
+        r.set_node_down(0).expect("node in range");
+        assert!(r.is_node_down(0).expect("node in range"));
+        let got = r.read(id).value.expect("replica serves").expect("stored");
+        assert_eq!(got.len(), 5);
+        assert_eq!(r.stats().failover_reads, 1);
+        // Only the replica's disk saw the read.
+        assert_eq!(r.nodes()[0].disk_stats().rand_read_bytes, 0);
+        r.revive_node(0).expect("node in range");
+        let _ = r.read(id);
+        assert_eq!(r.stats().failover_reads, 1, "healthy read is not degraded");
+        assert_eq!(r.stats().primary_reads(), 1);
+    }
+
+    #[test]
+    fn all_replicas_down_is_typed_unrecoverable() {
+        let mut r = repo(2);
+        let id = store_ok(&mut r, container_with(0..5)); // single copy, node 0
+        r.set_node_down(0).expect("node in range");
+        let err = r.read(id).value.expect_err("no surviving copy");
         assert!(
-            matches!(err, StoreError::CorruptContainer { container, .. } if container == id),
+            matches!(err, StoreError::Unrecoverable { container, node: 0 } if container == id),
             "{err}"
         );
-        assert!(r.repair_container(id));
-        assert!(r.read(id).value.expect("clean again").is_some());
-        assert!(!r.corrupt_container(ContainerId::new(77), Damage::Torn));
+        // Reviving the node restores the data (down ≠ lost).
+        r.revive_node(0).expect("node in range");
+        assert!(r.read(id).value.expect("ok").is_some());
+    }
+
+    #[test]
+    fn store_to_down_node_is_typed_node_down() {
+        let mut r = repo(2);
+        r.set_node_down(0).expect("node in range");
+        let err = r
+            .store(container_with(0..3))
+            .value
+            .expect_err("down node refuses the write");
+        assert!(matches!(err, StoreError::NodeDown { node: 0 }));
+        assert_eq!(r.stats().containers, 0);
+        // The ID stays unconsumed: after revival the store converges.
+        r.revive_node(0).expect("node in range");
+        assert_eq!(store_ok(&mut r, container_with(0..3)).raw(), 0);
+    }
+
+    #[test]
+    fn unknown_node_is_typed_error_not_a_panic() {
+        let mut r = repo(2);
+        let expect_unknown = |e: StoreError| {
+            assert!(
+                matches!(e, StoreError::UnknownNode { node: 7, nodes: 2 }),
+                "{e}"
+            );
+        };
+        expect_unknown(
+            r.set_node_fault_plan(7, FaultPlan::fail_at(0))
+                .expect_err("typed"),
+        );
+        expect_unknown(r.node_disk_ops(7).expect_err("typed"));
+        expect_unknown(r.node(7).expect_err("typed"));
+        expect_unknown(r.set_node_down(7).expect_err("typed"));
+        expect_unknown(r.revive_node(7).expect_err("typed"));
+        expect_unknown(r.is_node_down(7).expect_err("typed"));
+        expect_unknown(r.repair_node(7).value.expect_err("typed"));
+        expect_unknown(r.set_placement(Placement::Fixed(7)).expect_err("typed"));
+    }
+
+    #[test]
+    fn fixed_placement_skews_every_write_onto_one_node() {
+        let mut r = repo(4);
+        r.set_placement(Placement::Fixed(2)).expect("in range");
+        let batch: Vec<Container> = (0..4u64)
+            .map(|i| container_with(i * 2..i * 2 + 2))
+            .collect();
+        let out = r.store_batch(batch);
+        assert!(out.fault.is_none());
+        assert_eq!(r.nodes()[2].container_count(), 4);
+        // The straggler law: the skewed batch's wall is node 2's entire
+        // accumulated write time, with every other node idle.
+        assert_eq!(out.cost, out.node_costs[2]);
+        assert_eq!(out.node_costs[0], 0.0);
+        // Reads route to the fixed primary.
+        for &id in &out.ids {
+            assert_eq!(r.node_of(id), 2);
+            assert!(r.read(id).value.expect("ok").is_some());
+        }
     }
 
     #[test]
     fn read_fail_fault_surfaces_as_disk_fault() {
         let mut r = repo(1);
         let id = store_ok(&mut r, container_with(0..2)); // op 0: write
-        r.set_node_fault_plan(0, FaultPlan::fail_at(1));
+        arm(&mut r, 0, FaultPlan::fail_at(1));
         let err = r.read(id).value.expect_err("read fault");
         assert!(matches!(err, StoreError::DiskFault { node: 0, .. }));
         // One-shot: the next read succeeds.
@@ -606,9 +1126,21 @@ mod tests {
     }
 
     #[test]
+    fn read_fail_fault_fails_over_to_replica() {
+        let mut r = repo_r(2, 2);
+        let id = store_ok(&mut r, container_with(0..2)); // node 0 op 0: write
+        arm(&mut r, 0, FaultPlan::fail_at(1));
+        let got = r.read(id).value.expect("replica saves it").expect("stored");
+        assert_eq!(got.len(), 2);
+        assert_eq!(r.stats().failover_reads, 1);
+    }
+
+    #[test]
     fn store_batch_matches_one_at_a_time_semantics() {
         // Same containers through both paths: identical IDs, placement,
-        // per-node op counts and summed cost.
+        // per-node op/byte accounting — and the batch wall is the max
+        // over per-node accumulated write time (the nodes drain in
+        // parallel), where the one-at-a-time path sums serially.
         let mut one = repo(3);
         let mut costs = 0.0;
         let mut ids = Vec::new();
@@ -624,7 +1156,14 @@ mod tests {
         let out = batched.store_batch(batch);
         assert!(out.fault.is_none());
         assert_eq!(out.ids, ids);
-        assert_eq!(out.cost, costs);
+        assert_eq!(
+            out.cost,
+            out.node_costs.iter().fold(0.0, |m, &c| f64::max(m, c)),
+            "batch wall = max over per-node write time"
+        );
+        let summed: Secs = out.node_costs.iter().sum();
+        assert_eq!(summed, costs, "total device time matches one-at-a-time");
+        assert!(out.cost < costs, "parallel nodes beat the serial sum");
         assert_eq!(batched.stats(), one.stats());
         for n in 0..3 {
             assert_eq!(
@@ -640,7 +1179,7 @@ mod tests {
         let mut r = repo(2);
         // Node 0 takes containers 0 and 2; fail its second write (= batch
         // index 2).
-        r.set_node_fault_plan(0, FaultPlan::fail_at(1));
+        arm(&mut r, 0, FaultPlan::fail_at(1));
         let batch: Vec<Container> = (0..4u64)
             .map(|i| container_with(i * 2..i * 2 + 2))
             .collect();
@@ -657,6 +1196,60 @@ mod tests {
     }
 
     #[test]
+    fn repair_replaces_a_down_node_from_surviving_replicas() {
+        let mut r = repo_r(3, 2);
+        let ids: Vec<ContainerId> = (0..6u64)
+            .map(|i| store_ok(&mut r, container_with(i * 2..i * 2 + 2)))
+            .collect();
+        r.set_node_down(1).expect("node in range");
+        // Node 1 holds 4 copies: primaries of ids 1,4 + replicas of 0,3.
+        assert_eq!(r.under_replicated().len(), 4);
+        let t = r.repair_node(1);
+        let report = t.value.expect("recoverable");
+        assert_eq!(report.scanned, 4);
+        assert_eq!(report.recopied, 4, "a down node is replaced wholesale");
+        assert!(t.cost > 0.0);
+        assert!(!r.is_node_down(1).expect("node in range"));
+        assert!(r.under_replicated().is_empty(), "full replication restored");
+        // Post-repair reads are healthy, not degraded.
+        let before = r.stats().failover_reads;
+        for &id in &ids {
+            assert!(r.read(id).value.expect("clean").is_some());
+        }
+        assert_eq!(r.stats().failover_reads, before);
+    }
+
+    #[test]
+    fn repair_scrubs_a_damaged_copy_in_place() {
+        let mut r = repo_r(2, 2);
+        // Tear the replica (second) copy of container 0 on node 1.
+        arm(&mut r, 1, FaultPlan::torn_write_at(0));
+        let id = store_ok(&mut r, container_with(0..8));
+        assert_eq!(r.under_replicated(), vec![id]);
+        let report = r.repair_node(1).value.expect("recoverable");
+        assert_eq!(report.recopied, 1, "only the damaged copy is recopied");
+        assert!(r.under_replicated().is_empty());
+        // The scrubbed copy serves reads even with the primary down.
+        r.set_node_down(0).expect("node in range");
+        assert!(r.read(id).value.expect("replica clean").is_some());
+    }
+
+    #[test]
+    fn repair_of_sole_copy_refuses_with_unrecoverable() {
+        let mut r = repo(2); // replication = 1
+        let id = store_ok(&mut r, container_with(0..4)); // node 0
+        r.set_node_down(0).expect("node in range");
+        let err = r.repair_node(0).value.expect_err("no surviving source");
+        assert!(
+            matches!(err, StoreError::Unrecoverable { container, node: 0 } if container == id),
+            "{err}"
+        );
+        // Refusal changed nothing: revival restores the original copy.
+        r.revive_node(0).expect("node in range");
+        assert!(r.read(id).value.expect("intact").is_some());
+    }
+
+    #[test]
     #[should_panic]
     fn storing_empty_container_rejected() {
         repo(1).store(Container::new(100));
@@ -669,5 +1262,11 @@ mod tests {
         let mut c = container_with(0..1);
         c.set_id(ContainerId::new(5));
         r.store(c);
+    }
+
+    #[test]
+    #[should_panic]
+    fn replication_beyond_cluster_rejected() {
+        repo(2).with_replication(3);
     }
 }

@@ -70,6 +70,30 @@ pub enum Failure {
         /// The worker disk to fault (index within the drain stripe).
         worker: usize,
     },
+    /// Take **one repository node** down after all backups. At
+    /// `replication >= 2` every run must still verify and restore
+    /// byte-identically (degraded reads counted in
+    /// `RestoreReport::failover_reads`), and `repair_repo_node` must
+    /// restore full replication; at `replication = 1` the loss must
+    /// surface a typed `Unrecoverable` error naming the node — never a
+    /// panic or silent corruption — and a revive must restore the data.
+    RepoNodeDown {
+        /// The repository node to take down.
+        node: usize,
+    },
+    /// Fail exactly **one repository node's** disk at the final round's
+    /// chunk storing: `run_dedup2` must surface
+    /// `InterruptedDedup2(ChunkStoring)` whose cause is `RepoNodeFault`
+    /// naming that node, and a re-run must converge byte-identically.
+    /// When round-robin placement would not route any of the final
+    /// round's writes to the requested node (possible at low replication
+    /// with few new containers), the harness redirects the fault onto the
+    /// node taking the round's *first* container write, so the armed
+    /// fault always fires.
+    RepoNodeFault {
+        /// The repository node to fault.
+        node: usize,
+    },
 }
 
 /// A parameterized end-to-end scenario.
@@ -84,6 +108,9 @@ pub struct Scenario {
     /// Store workers striping each server's chunk-log drain in the
     /// pipelined chunk-storing phase.
     pub store_workers: usize,
+    /// Distinct repository nodes each container is written to
+    /// (`1 <= replication <= repo_nodes`).
+    pub replication: usize,
     /// Clients, each with its own job and evolving file tree.
     pub clients: usize,
     /// Backup versions per client (dedup-2 after each version round).
@@ -108,6 +135,7 @@ impl Scenario {
             w_bits,
             sweep_parts,
             store_workers: 1,
+            replication: 1,
             clients: 3,
             versions: 3,
             files: 8,
@@ -121,6 +149,13 @@ impl Scenario {
     /// workers.
     pub fn with_store_workers(mut self, workers: usize) -> Self {
         self.store_workers = workers;
+        self
+    }
+
+    /// Builder: write every container to `replication` distinct
+    /// repository nodes.
+    pub fn with_replication(mut self, replication: usize) -> Self {
+        self.replication = replication;
         self
     }
 
@@ -157,7 +192,8 @@ impl Scenario {
     fn config(&self) -> DebarConfig {
         let mut cfg = DebarConfig::tiny_test(self.w_bits)
             .with_sweep_parts(self.sweep_parts)
-            .with_store_workers(self.store_workers);
+            .with_store_workers(self.store_workers)
+            .with_replication(self.replication);
         cfg.siu_interval = self.siu_interval;
         cfg.validate();
         cfg
@@ -232,6 +268,15 @@ pub fn sweep_parts_matrix() -> Vec<usize> {
 /// widen it, e.g. `DEBAR_STORE_WORKERS=2,4`).
 pub fn store_workers_matrix() -> Vec<usize> {
     env_matrix("DEBAR_STORE_WORKERS", &[1, 2, 4])
+}
+
+/// The replication matrix the suites parameterize over: `{1, 2}` by
+/// default (so node-loss survivability at R=2 is proven in every default
+/// run), overridable as a comma-separated list through the
+/// `DEBAR_REPLICATION` environment variable. Values must not exceed the
+/// deployment's `repo_nodes`.
+pub fn replication_matrix() -> Vec<usize> {
+    env_matrix("DEBAR_REPLICATION", &[1, 2])
 }
 
 fn env_matrix(var: &str, default: &[usize]) -> Vec<usize> {
@@ -429,11 +474,63 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
                 // against the Failure::None scenario by failure_kinds).
             }
         }
+        if let Failure::RepoNodeFault { node } = sc.failure {
+            if version == sc.versions - 1 {
+                assert!(
+                    node < cluster.repository().node_count(),
+                    "{}: faulted node {node} must be within the {}-node repository",
+                    sc.name,
+                    cluster.repository().node_count()
+                );
+                // Fail exactly one repository node's next container
+                // write. The round's first new container gets the next
+                // sequential ID (= logical containers stored so far), and
+                // its replica ring covers `replication` nodes from
+                // `id % nodes` — redirect onto that ring if round-robin
+                // would miss the requested node entirely.
+                let nodes = cluster.repository().node_count();
+                let first = (cluster.repository().stats().containers % nodes as u64) as usize;
+                let node = if (node + nodes - first) % nodes < sc.replication {
+                    node
+                } else {
+                    first
+                };
+                let ops = cluster.repo_node_ops(node).expect("node in range");
+                cluster
+                    .set_repo_fault_plan(node, FaultPlan::fail_at(ops))
+                    .expect("node in range");
+                let err = cluster
+                    .run_dedup2()
+                    .expect_err("injected node fault must interrupt the round");
+                let DebarError::InterruptedDedup2 {
+                    phase: Dedup2Phase::ChunkStoring,
+                    ref cause,
+                    ..
+                } = err
+                else {
+                    panic!(
+                        "{}: expected InterruptedDedup2(ChunkStoring), got {err}",
+                        sc.name
+                    );
+                };
+                assert!(
+                    matches!(**cause, DebarError::RepoNodeFault { node: n, .. } if n == node),
+                    "{}: cause must name repository node {node}, got {cause}",
+                    sc.name
+                );
+                cluster.clear_fault_plans();
+                // The resumed round converges (compared byte-for-byte
+                // against the Failure::None scenario by failure_kinds).
+            }
+        }
         if sc.failure == Failure::InterruptDedup2 && version == sc.versions - 1 {
             // Crash the final round's chunk storing: whichever repository
             // node takes the round's first container write fails it.
             for n in 0..cluster.repository().node_count() {
-                cluster.set_repo_fault_plan(n, FaultPlan::fail_at(cluster.repo_node_ops(n)));
+                let ops = cluster.repo_node_ops(n).expect("node in range");
+                cluster
+                    .set_repo_fault_plan(n, FaultPlan::fail_at(ops))
+                    .expect("node in range");
             }
             let err = cluster
                 .run_dedup2()
@@ -491,6 +588,104 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
     let (_, siu_wall) = cluster.force_siu().expect("siu");
     out.siu_wall += siu_wall;
     out.dedup2_wall += siu_wall;
+
+    if let Failure::RepoNodeDown { node } = sc.failure {
+        assert!(
+            node < cluster.repository().node_count(),
+            "{}: downed node {node} must be within the {}-node repository",
+            sc.name,
+            cluster.repository().node_count()
+        );
+        cluster.set_repo_node_down(node).expect("node in range");
+        if sc.replication >= 2 {
+            // Degraded but survivable: every run verifies and restores
+            // byte-identically off the surviving replicas, and the
+            // degraded reads are surfaced in the restore reports.
+            let mut failover = 0u64;
+            for entry in &ledger {
+                let run = RunId {
+                    job: entry.job,
+                    version: entry.version,
+                };
+                let v = cluster.verify_run(run).expect("degraded verify walks");
+                assert_eq!(
+                    v.failures, 0,
+                    "{}: replicas must absorb the node loss",
+                    sc.name
+                );
+                let r = cluster.restore_run(run).expect("degraded restore");
+                assert_eq!(
+                    r.bytes, entry.logical_bytes,
+                    "{}: degraded restore of {run:?} diverged",
+                    sc.name
+                );
+                // The verify walk warms the LPC, so the repository
+                // fetches (and their failovers) may land on either
+                // report — count both.
+                failover += v.failover_reads + r.failover_reads;
+            }
+            assert!(
+                failover > 0,
+                "{}: node {node} down must surface degraded reads",
+                sc.name
+            );
+            // Repair treats the downed node as a replaced disk:
+            // re-populated from surviving replicas, fully replicated again.
+            let rep = cluster.repair_repo_node(node).expect("repair");
+            assert!(rep.recopied > 0, "{}: nothing re-replicated", sc.name);
+            assert!(
+                cluster.repository().under_replicated().is_empty(),
+                "{}: repair must restore full replication",
+                sc.name
+            );
+            assert!(!cluster.repository().is_node_down(node).expect("in range"));
+        } else {
+            // No replicas: the loss must be *typed*, never a panic or
+            // silent corruption — and a revive restores the data.
+            let mut detected = 0u64;
+            for entry in &ledger {
+                let run = RunId {
+                    job: entry.job,
+                    version: entry.version,
+                };
+                match cluster.restore_run(run) {
+                    Ok(_) => {}
+                    Err(DebarError::Unrecoverable { node: n, .. }) => {
+                        assert_eq!(n, node, "{}: wrong node blamed", sc.name);
+                        detected += 1;
+                    }
+                    Err(e) => panic!("{}: unexpected restore error {e}", sc.name),
+                }
+            }
+            assert!(
+                detected > 0,
+                "{}: no restore touched the downed node",
+                sc.name
+            );
+            let mut audit_failures = 0u64;
+            for entry in &ledger {
+                let run = RunId {
+                    job: entry.job,
+                    version: entry.version,
+                };
+                audit_failures += cluster.verify_run(run).expect("audit walks").failures;
+            }
+            assert!(audit_failures > 0, "{}: audit missed the loss", sc.name);
+            // Repair refuses — there is nothing to copy from — and the
+            // refusal changes nothing.
+            let err = cluster
+                .repair_repo_node(node)
+                .expect_err("sole copies cannot be repaired");
+            assert!(
+                matches!(err, DebarError::Unrecoverable { .. }),
+                "{}: expected Unrecoverable from repair, got {err}",
+                sc.name
+            );
+            cluster.revive_repo_node(node).expect("node in range");
+        }
+        // Fall through to the full verification walk below: the
+        // repository is healthy again either way.
+    }
 
     if sc.failure == Failure::CorruptContainer {
         // Bit-rot one container, deterministically chosen.

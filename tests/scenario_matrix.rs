@@ -8,8 +8,8 @@
 mod common;
 
 use common::{
-    assert_equivalent, assert_same_dedup, run_scenario, store_workers_matrix, sweep_parts_matrix,
-    Scenario,
+    assert_equivalent, assert_same_dedup, replication_matrix, run_scenario, store_workers_matrix,
+    sweep_parts_matrix, Scenario,
 };
 
 /// tiny_test geometry: 256 buckets per index part (the runtime clamp
@@ -87,6 +87,35 @@ fn store_workers_byte_identical_multi_server() {
     for workers in store_workers_matrix().into_iter().filter(|&w| w != 1) {
         let out = run_scenario(&Scenario::tiny("sm-sw2", 2, 4).with_store_workers(workers));
         assert_equivalent(&base, &out, &format!("w=2 store_workers={workers}"));
+    }
+}
+
+#[test]
+fn replication_factors_byte_identical() {
+    // Replication is pure redundancy: writing every container to R
+    // distinct repository nodes must not change a single dedup decision,
+    // container ID, index byte or restored byte — only physical bytes on
+    // the node disks (and virtual time) may move. Crossed with sweep
+    // striping to pin the interaction.
+    let base = run_scenario(&Scenario::tiny("sm-r", 0, 1));
+    for r in replication_matrix().into_iter().filter(|&r| r != 1) {
+        for parts in [1usize, 4] {
+            let replicated = run_scenario(&Scenario::tiny("sm-r", 0, parts).with_replication(r));
+            assert_equivalent(
+                &base,
+                &replicated,
+                &format!("replication={r} x sweep_parts={parts}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn replication_byte_identical_multi_server() {
+    let base = run_scenario(&Scenario::tiny("sm-r2", 2, 2));
+    for r in replication_matrix().into_iter().filter(|&r| r != 1) {
+        let replicated = run_scenario(&Scenario::tiny("sm-r2", 2, 2).with_replication(r));
+        assert_equivalent(&base, &replicated, &format!("w=2 replication={r}"));
     }
 }
 
