@@ -38,12 +38,17 @@ use crate::ids::{ClientId, JobId, RunId, ServerId};
 use crate::job::{JobSpec, Schedule};
 use crate::report::{Dedup1Report, Dedup2Report, RestoreReport, StoreReport};
 use crate::server::{BackupServer, Decision, SilPartOutput};
+use debar_filter::CuckooFilter;
 use debar_hash::{ContainerId, Fingerprint, Sha1};
 use debar_index::SiuReport;
 use debar_simio::models::paper;
 use debar_simio::{FaultPlan, Secs};
 use debar_store::{ChunkRepository, CorruptKind, Damage, Payload};
 use std::collections::HashMap;
+
+#[path = "gc.rs"]
+mod gc;
+pub use gc::GcReport;
 
 /// A DEBAR deployment: director + backup servers + chunk repository.
 pub struct DebarCluster {
@@ -57,6 +62,13 @@ pub struct DebarCluster {
     /// into the resumed round's report so crashed-plus-resumed totals
     /// match an uninterrupted history.
     carryover_store: StoreReport,
+    /// The deletable summary vector: a cuckoo filter holding one copy of
+    /// every fingerprint referenced by a recorded run (or preloaded as
+    /// ballast). Dedup-1 filter priming is gated on it, and garbage
+    /// collection *removes* reclaimed fingerprints — something the blocked
+    /// Bloom preliminary filter cannot do — so the filter chain stops
+    /// advertising dead chunks (see [`crate::cluster::GcReport`]).
+    summary: CuckooFilter,
 }
 
 impl DebarCluster {
@@ -73,8 +85,15 @@ impl DebarCluster {
                 .with_replication(cfg.replication),
             clients: HashMap::new(),
             carryover_store: StoreReport::default(),
+            summary: CuckooFilter::with_capacity(1024, cfg.seed ^ 0x6C1A_55E7),
             cfg,
         }
+    }
+
+    /// The cluster's deletable summary vector (one fingerprint copy per
+    /// referenced chunk; GC removes reclaimed fingerprints).
+    pub fn summary(&self) -> &CuckooFilter {
+        &self.summary
     }
 
     /// The configuration.
@@ -278,7 +297,20 @@ impl DebarCluster {
         let client_id = job_obj.spec.client;
         let version = job_obj.next_version();
         let run = RunId { job, version };
-        let filtering = self.director.metadata.filtering_fingerprints(job);
+        // Gate the preliminary-filter priming on the deletable summary
+        // vector: a fingerprint the summary no longer advertises (GC
+        // removed it) must not prime the filter. Every retained run's
+        // fingerprints are in the summary (inserted at record time, only
+        // removed when dead), so for live chains this retains everything
+        // and dedup-1 results are byte-identical to the ungated model —
+        // the gate is the safety interlock that makes deletion sound.
+        let filtering: Vec<Fingerprint> = self
+            .director
+            .metadata
+            .filtering_fingerprints(job)
+            .into_iter()
+            .filter(|fp| self.summary.contains(fp))
+            .collect();
         let est: u64 = files.iter().map(ChunkedFile::bytes).sum();
         let sid = self.director.assign_server(est);
         let (record, report) =
@@ -292,6 +324,16 @@ impl DebarCluster {
                     return Err(e);
                 }
             };
+        // Advertise the run's fingerprints in the summary vector — one
+        // copy per fingerprint cluster-wide (the multiset stays a set
+        // here), so a GC removal of a dead fingerprint fully withdraws it.
+        for file in &record.files {
+            for fp in &file.fingerprints {
+                if !self.summary.contains(fp) {
+                    self.summary.insert(fp);
+                }
+            }
+        }
         self.director.metadata.record_run(record);
         Ok(report)
     }
@@ -976,6 +1018,9 @@ impl DebarCluster {
         let mut per_server: Vec<Vec<(Fingerprint, ContainerId)>> =
             vec![Vec::new(); self.servers.len()];
         for (fp, cid) in entries {
+            if !self.summary.contains(&fp) {
+                self.summary.insert(&fp);
+            }
             per_server[fp.server_number(w) as usize].push((fp, cid));
         }
         for (srv, batch) in self.servers.iter_mut().zip(per_server) {

@@ -95,6 +95,13 @@ pub struct DebarConfig {
     /// time divides. `1` reproduces the paper's single log volume per
     /// server and is the default everywhere.
     pub store_workers: usize,
+    /// Retention window, in run versions per job: `expire_runs` retires
+    /// every run except the newest `retention` versions of each job, and
+    /// `delete_run` refuses to delete a protected run with the typed
+    /// [`crate::DebarError::RetainedRun`]. `0` disables retention-driven
+    /// expiry (nothing auto-expires; explicit `delete_run` still works on
+    /// any run) and is the default everywhere.
+    pub retention: u32,
     /// Master seed.
     pub seed: u64,
 }
@@ -119,6 +126,7 @@ impl DebarConfig {
             dedup2_trigger_fps: 0,
             sweep_parts: 1,
             store_workers: 1,
+            retention: 0,
             seed: 0xDEBA_0001,
         }
     }
@@ -142,6 +150,7 @@ impl DebarConfig {
             dedup2_trigger_fps: 0,
             sweep_parts: 1,
             store_workers: 1,
+            retention: 0,
             seed: 0xDEBA_0002,
         }
     }
@@ -163,6 +172,7 @@ impl DebarConfig {
             dedup2_trigger_fps: 0,
             sweep_parts: 1,
             store_workers: 1,
+            retention: 0,
             seed: 0xDEBA_7E57,
         }
     }
@@ -209,6 +219,14 @@ impl DebarConfig {
     /// values above `repo_nodes`).
     pub fn with_replication(mut self, replication: usize) -> Self {
         self.replication = replication;
+        self
+    }
+
+    /// Builder: protect the newest `retention` versions of every job from
+    /// expiry and deletion (see the `retention` field; `0` disables
+    /// retention-driven expiry).
+    pub fn with_retention(mut self, retention: u32) -> Self {
+        self.retention = retention;
         self
     }
 

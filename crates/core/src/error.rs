@@ -183,6 +183,24 @@ pub enum DebarError {
         /// The first non-quiesced server.
         server: ServerId,
     },
+    /// Garbage collection was requested while a server still holds staged
+    /// dedup-2 state — an in-flight backup races the collector. GC refuses
+    /// the race with this typed error instead of risking reclaiming a
+    /// chunk the staged round is about to reference; finish the round
+    /// (`run_dedup2` + `force_siu`) and re-run GC.
+    GcRace {
+        /// The first server with staged (un-quiesced) dedup-2 state.
+        server: ServerId,
+    },
+    /// `delete_run` targeted a run inside the retention window: the run is
+    /// one of the newest `retention` versions of its job and is protected
+    /// from deletion.
+    RetainedRun {
+        /// The protected run.
+        run: RunId,
+        /// The retention window that protects it.
+        retention: u32,
+    },
 }
 
 impl fmt::Display for DebarError {
@@ -255,6 +273,15 @@ impl fmt::Display for DebarError {
             DebarError::NotQuiesced { server } => write!(
                 f,
                 "server {server} holds staged dedup-2 state; run dedup-2 + force_siu before scaling"
+            ),
+            DebarError::GcRace { server } => write!(
+                f,
+                "GC races an in-flight backup: server {server} holds staged dedup-2 state; \
+                 run dedup-2 + force_siu, then re-run GC"
+            ),
+            DebarError::RetainedRun { run, retention } => write!(
+                f,
+                "run {run} is inside the {retention}-version retention window and cannot be deleted"
             ),
         }
     }
@@ -331,6 +358,22 @@ mod tests {
             path: "a/b".into(),
         };
         assert!(e.to_string().contains("a/b"));
+    }
+
+    #[test]
+    fn gc_errors_display_their_context() {
+        let e = DebarError::GcRace { server: 2 };
+        assert!(e.to_string().contains("server 2"), "{e}");
+        assert!(e.to_string().contains("re-run GC"), "{e}");
+        let e = DebarError::RetainedRun {
+            run: RunId {
+                job: JobId(1),
+                version: 4,
+            },
+            retention: 3,
+        };
+        assert!(e.to_string().contains("job1v4"), "{e}");
+        assert!(e.to_string().contains("3-version retention"), "{e}");
     }
 
     #[test]

@@ -100,6 +100,42 @@
 //!   single node is survivable end-to-end: restores stay byte-identical
 //!   while degraded, and a repair restores full replication (proven by the
 //!   node-down scenario legs in `tests/failure_kinds.rs`).
+//!
+//! ## Deletion & reclamation lifecycle
+//!
+//! Dedup metadata makes deletion global: a chunk dies only when **no
+//! retained run of any job** references it. The lifecycle
+//! (`crates/core/src/gc.rs`) is three phases, each typed and
+//! crash-consistent:
+//!
+//! * **Retire.** [`DebarCluster::delete_run`] drops one run's metadata —
+//!   refusing the newest [`DebarConfig::retention`] versions of its job
+//!   with [`DebarError::RetainedRun`] — and
+//!   [`DebarCluster::expire_runs`] retires everything outside the window
+//!   in one pass. Retiring keeps the job-chain slot, so version
+//!   numbering and the filtering-fingerprint chain of future backups are
+//!   unaffected.
+//! * **Collect.** [`DebarCluster::run_gc`] refuses to race staged
+//!   dedup-2 state ([`DebarError::GcRace`]), then: computes the live set
+//!   from the retained runs, compacts partially-dead containers
+//!   (store-new-then-delete-old, on **every replica**), deletes
+//!   whole-dead ones, rebuilds each server's index part without the dead
+//!   entries ([`debar_index::DiskIndex::try_gc_sweep`] aborts before
+//!   mutation on an armed fault), and withdraws the dead fingerprints
+//!   from the cluster's deletable **cuckoo summary vector** — so the
+//!   preliminary filter stops advertising dead chunks to dedup-1. The
+//!   [`cluster::GcReport`] accounts the reclaim exactly: the net
+//!   physical delta equals `replication × dead_chunk_bytes`.
+//! * **Converge.** A collection interrupted by an injected fault — at
+//!   compaction (a failed store consumes no container ID) or at the
+//!   index sweep (charged and fault-checked before a byte moves) —
+//!   surfaces typed, loses nothing, and re-running `run_gc` converges
+//!   to the byte-identical state of an uninterrupted collection;
+//!   victims already reclaimed by the interrupted attempt are detected
+//!   and skipped. Node repair after a collection re-replicates only
+//!   live containers — reclaimed ones are never resurrected (proven by
+//!   the GC scenario family in `tests/gc_lifecycle.rs` and the GC fault
+//!   legs in `tests/failure_kinds.rs`).
 
 pub mod chunklog;
 pub mod client;
@@ -115,7 +151,7 @@ pub mod report;
 pub mod server;
 pub mod system;
 
-pub use cluster::DebarCluster;
+pub use cluster::{DebarCluster, GcReport};
 pub use config::DebarConfig;
 pub use dataset::{ChunkedFile, Dataset, FileContent, FileEntry, StreamChunk};
 pub use error::{DebarError, DebarResult, Dedup2Phase};

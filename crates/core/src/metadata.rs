@@ -103,11 +103,34 @@ impl MetadataManager {
         self.runs.get(&run)
     }
 
-    /// The most recent run record for a job.
+    /// Retire a run: drop its record while keeping the job-chain slot (the
+    /// version numbering of later runs must not shift). Returns the retired
+    /// record, `None` if the run was unknown or already retired.
+    pub fn retire_run(&mut self, run: RunId) -> Option<RunRecord> {
+        self.runs.remove(&run)
+    }
+
+    /// Whether the job has ever recorded this run (even if since retired).
+    pub fn chain_contains(&self, run: RunId) -> bool {
+        self.try_job(run.job)
+            .is_some_and(|j| (run.version as usize) < j.chain.len())
+    }
+
+    /// Run records currently retained, in no particular order.
+    pub fn retained_runs(&self) -> impl Iterator<Item = &RunRecord> {
+        self.runs.values()
+    }
+
+    /// The most recent **retained** run record for a job: walks the chain
+    /// backwards past retired versions, so retention-driven expiry of old
+    /// runs never breaks the filtering-fingerprint chain of the next
+    /// backup.
     pub fn last_run(&self, job: JobId) -> Option<&RunRecord> {
         self.jobs[job.0 as usize]
-            .last_run()
-            .and_then(|r| self.runs.get(&r))
+            .chain
+            .iter()
+            .rev()
+            .find_map(|r| self.runs.get(r))
     }
 
     /// Filtering fingerprints for a job's next run: the fingerprints of its
@@ -202,6 +225,34 @@ mod tests {
         assert_eq!(m.filtering_fingerprints(a), vec![fp(1), fp(2)]);
         m.record_run(record(a, 1, vec![fp(3)]));
         assert_eq!(m.filtering_fingerprints(a), vec![fp(3)]);
+    }
+
+    #[test]
+    fn retire_keeps_chain_slots_and_last_run_walks_back() {
+        let mut m = MetadataManager::new();
+        let a = m.register_job(spec("a"));
+        m.record_run(record(a, 0, vec![fp(1)]));
+        m.record_run(record(a, 1, vec![fp(2)]));
+        m.record_run(record(a, 2, vec![fp(3)]));
+        // Retire the newest run: last_run must walk back to v1, and the
+        // chain slot survives so v3 still records as version 3.
+        let gone = m.retire_run(RunId { job: a, version: 2 }).unwrap();
+        assert_eq!(gone.run.version, 2);
+        assert_eq!(m.last_run(a).unwrap().run.version, 1);
+        assert_eq!(m.filtering_fingerprints(a), vec![fp(2)]);
+        assert!(m.chain_contains(RunId { job: a, version: 2 }));
+        assert!(m.run(RunId { job: a, version: 2 }).is_none());
+        assert!(m.retire_run(RunId { job: a, version: 2 }).is_none());
+        m.record_run(record(a, 3, vec![fp(4)]));
+        assert_eq!(m.last_run(a).unwrap().run.version, 3);
+        // Retire everything: no retained run, chain intact.
+        for v in [0u32, 1, 3] {
+            m.retire_run(RunId { job: a, version: v });
+        }
+        assert!(m.last_run(a).is_none());
+        assert!(m.filtering_fingerprints(a).is_empty());
+        assert_eq!(m.job(a).chain.len(), 4);
+        assert_eq!(m.retained_runs().count(), 0);
     }
 
     #[test]

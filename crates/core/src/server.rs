@@ -313,6 +313,14 @@ impl BackupServer {
         &mut self.index
     }
 
+    /// Drop the restore read caches (LPC + decoded-container cache).
+    /// Garbage collection calls this after reclaiming containers: a stale
+    /// cached mapping to a deleted container must never serve a read.
+    pub(crate) fn invalidate_read_caches(&mut self) {
+        self.lpc = LpcCache::new(self.cfg.lpc_containers);
+        self.container_cache.clear();
+    }
+
     /// Charge a network transfer to this server's clock.
     pub(crate) fn charge_net(&mut self, bytes: u64) {
         let c = self.nic.stream(bytes);

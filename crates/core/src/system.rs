@@ -90,6 +90,23 @@ impl DebarSystem {
         self.cluster.restore_file(run, path)
     }
 
+    /// Delete one run's metadata (typed refusal inside the retention
+    /// window); reclaim its unshared chunks with [`DebarSystem::gc`].
+    pub fn delete_run(&mut self, run: RunId) -> DebarResult<()> {
+        self.cluster.delete_run(run)
+    }
+
+    /// Retire every run outside the configured retention window.
+    pub fn expire_runs(&mut self) -> Vec<RunId> {
+        self.cluster.expire_runs()
+    }
+
+    /// Garbage-collect chunks no retained run references (see
+    /// [`DebarCluster::run_gc`] for the crash-consistency contract).
+    pub fn gc(&mut self) -> DebarResult<crate::cluster::GcReport> {
+        self.cluster.run_gc()
+    }
+
     /// The underlying cluster (stats, metadata, repository access).
     pub fn cluster(&self) -> &DebarCluster {
         &self.cluster

@@ -12,9 +12,15 @@
 //!   vector** (paper §1, §6.1.3), used by the `debar-ddfs` baseline. The
 //!   false-positive analysis in the paper's Fig. 12 discussion is exposed as
 //!   [`bloom::false_positive_rate`].
+//! * [`cuckoo`] — a deletable, growable **cuckoo filter**: the summary
+//!   vector the garbage collector can subtract reclaimed fingerprints
+//!   from (a Bloom filter cannot forget). No false negatives, multiset
+//!   semantics, deterministic displacement, segmented growth.
 
 pub mod bloom;
+pub mod cuckoo;
 pub mod prelim;
 
 pub use bloom::BloomFilter;
+pub use cuckoo::CuckooFilter;
 pub use prelim::{FilterVerdict, PrelimFilter, PrelimStats};

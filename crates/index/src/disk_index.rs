@@ -473,7 +473,9 @@ impl DiskIndex {
     }
 
     /// Overwrite an existing mapping in place (no structural change).
-    pub(crate) fn set_cid_uncharged(&mut self, fp: &Fingerprint, cid: ContainerId) -> bool {
+    /// Used by SIU's in-place update path and by GC compaction to repoint
+    /// moved live chunks at their fresh container.
+    pub fn set_cid_uncharged(&mut self, fp: &Fingerprint, cid: ContainerId) -> bool {
         let home = self.bucket_of(fp);
         let (left, right) = self.neighbours(home);
         for k in [home, left, right] {
@@ -619,6 +621,59 @@ impl DiskIndex {
             Some((part, fault)) => Err(crate::IndexError::SweepFault { fault, part }),
             None => Ok(t),
         }
+    }
+
+    /// Garbage-collection sweep: remove every entry whose fingerprint is
+    /// in `dead`, charged as one striped read sweep plus one striped
+    /// write sweep over `parts` partitions (the GC rewrites the part the
+    /// way SIU does, sequentially). Returns the number of entries
+    /// removed.
+    ///
+    /// **Crash consistency:** both sweep charges are fault-checked
+    /// *before* any byte of the index changes — a faulted GC sweep
+    /// surfaces [`crate::IndexError::SweepFault`] (naming the part-disk
+    /// when a single stripe faulted) and leaves the part untouched, so
+    /// re-running the sweep after clearing the fault converges to the
+    /// byte-identical result of an uninterrupted sweep. The in-memory
+    /// mutation is modeled as the shadow-write swap of the write sweep.
+    ///
+    /// **Determinism:** surviving entries are re-placed in bucket
+    /// iteration order (home-then-adjacent, direction derived from the
+    /// fingerprint), which restores the overflow invariant the probe
+    /// paths rely on — an entry lives in a neighbour only if its home
+    /// bucket is full — even when removals open holes in previously-full
+    /// buckets. Placement depends only on the pre-sweep contents and the
+    /// dead set, never on `parts`: striped shapes stay byte-identical.
+    pub fn try_gc_sweep(
+        &mut self,
+        dead: &std::collections::HashSet<Fingerprint>,
+        parts: usize,
+    ) -> Result<Timed<u64>, crate::IndexError> {
+        let bounds = self.resolve_sweep_bounds(parts);
+        let mut cost = self.charge_sweep_read(&bounds);
+        if let Some((part, fault)) = self.take_any_fault() {
+            return Err(crate::IndexError::SweepFault { fault, part });
+        }
+        cost += self.charge_sweep_write(&bounds);
+        if let Some((part, fault)) = self.take_any_fault() {
+            return Err(crate::IndexError::SweepFault { fault, part });
+        }
+        cost += self.cpu.probe_fps(self.entries);
+        let survivors: Vec<IndexEntry> = self
+            .iter_entries()
+            .filter(|e| !dead.contains(&e.fp))
+            .collect();
+        let removed = self.entries - survivors.len() as u64;
+        if removed == 0 {
+            return Ok(Timed::new(0, cost));
+        }
+        self.data.fill(0);
+        self.entries = 0;
+        let mut extra = 0.0;
+        for e in &survivors {
+            extra += self.place_with_growth(e).cost;
+        }
+        Ok(Timed::new(removed, cost + extra))
     }
 
     /// Capacity scaling (§4.1): rebuild with `2^(n+1)` buckets by copying
@@ -813,6 +868,7 @@ impl BucketView<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use debar_hash::Sha1;
 
     fn small_index(seed: u64) -> DiskIndex {
         // 2^6 buckets of 512 bytes: b = 20, capacity 1280.
@@ -1009,6 +1065,111 @@ mod tests {
         let t = idx.try_bulk_load_striped(entries, 4).expect("clean retry");
         assert_eq!(t.value, 100);
         assert_eq!(idx.entry_count(), 100);
+    }
+
+    #[test]
+    fn gc_sweep_removes_dead_and_keeps_live_reachable() {
+        let mut idx = small_index(31);
+        for i in 0..400u64 {
+            idx.insert_random(fp(i), ContainerId::new(i));
+        }
+        let dead: std::collections::HashSet<Fingerprint> =
+            (0..400u64).filter(|i| i % 3 == 0).map(fp).collect();
+        let t = idx.try_gc_sweep(&dead, 4).expect("clean sweep");
+        assert_eq!(t.value, dead.len() as u64);
+        assert!(t.cost > 0.0);
+        assert_eq!(idx.entry_count(), 400 - dead.len() as u64);
+        for i in 0..400u64 {
+            let got = idx.lookup_random(&fp(i)).value;
+            if i % 3 == 0 {
+                assert_eq!(got, None, "dead fp {i} survived the sweep");
+            } else {
+                assert_eq!(got, Some(ContainerId::new(i)), "live fp {i} lost");
+            }
+        }
+    }
+
+    #[test]
+    fn gc_sweep_noop_when_nothing_dead() {
+        let mut idx = small_index(32);
+        for i in 0..50u64 {
+            idx.insert_random(fp(i), ContainerId::new(i));
+        }
+        let before = Sha1::digest(idx.raw_data());
+        let absent: std::collections::HashSet<Fingerprint> = (1000..1010u64).map(fp).collect();
+        let t = idx.try_gc_sweep(&absent, 2).expect("clean sweep");
+        assert_eq!(t.value, 0);
+        assert!(t.cost > 0.0, "the sweep I/O is still charged");
+        assert_eq!(
+            Sha1::digest(idx.raw_data()),
+            before,
+            "no-op must not touch bytes"
+        );
+    }
+
+    #[test]
+    fn gc_sweep_part_fault_aborts_before_mutation_and_redo_converges() {
+        use debar_simio::FaultPlan;
+        let mut faulty = small_index(33);
+        let mut clean = small_index(33);
+        for i in 0..300u64 {
+            faulty.insert_random(fp(i), ContainerId::new(i));
+            clean.insert_random(fp(i), ContainerId::new(i));
+        }
+        let dead: std::collections::HashSet<Fingerprint> =
+            (0..300u64).filter(|i| i % 5 == 0).map(fp).collect();
+        let before = Sha1::digest(faulty.raw_data());
+        faulty.set_part_fault_plan(2, FaultPlan::fail_at(0));
+        let err = faulty
+            .try_gc_sweep(&dead, 4)
+            .expect_err("armed part must fault the sweep");
+        assert!(
+            matches!(err, crate::IndexError::SweepFault { part: Some(2), .. }),
+            "{err:?}"
+        );
+        assert_eq!(
+            Sha1::digest(faulty.raw_data()),
+            before,
+            "faulted sweep must leave the part untouched"
+        );
+        // Redo after clearing the fault converges byte-identically with an
+        // uninterrupted sweep, independent of the striping shape.
+        let t = faulty.try_gc_sweep(&dead, 4).expect("redo");
+        let tc = clean.try_gc_sweep(&dead, 1).expect("uninterrupted");
+        assert_eq!(t.value, tc.value);
+        assert_eq!(
+            Sha1::digest(faulty.raw_data()),
+            Sha1::digest(clean.raw_data())
+        );
+    }
+
+    #[test]
+    fn gc_sweep_restores_overflow_invariant() {
+        // Fill one home bucket past capacity so entries overflow to a
+        // neighbour, then GC entries out of the home bucket. The rebuild
+        // must re-home the overflowed survivors so the full-bucket-gated
+        // probe paths still find them.
+        let mut idx = small_index(34);
+        let target = fp(0).bucket_number(6);
+        let same_bucket: Vec<Fingerprint> = (0..100_000u64)
+            .map(fp)
+            .filter(|f| f.bucket_number(6) == target)
+            .take(25)
+            .collect();
+        for f in &same_bucket {
+            idx.insert_random(*f, ContainerId::new(7));
+        }
+        // Kill 10 of the colliding keys: the home bucket is no longer full.
+        let dead: std::collections::HashSet<Fingerprint> =
+            same_bucket.iter().take(10).copied().collect();
+        idx.try_gc_sweep(&dead, 1).expect("clean sweep");
+        for f in same_bucket.iter().skip(10) {
+            assert_eq!(
+                idx.lookup_random(f).value,
+                Some(ContainerId::new(7)),
+                "survivor unreachable after rebuild"
+            );
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! onto the smallest number of nodes, preferring the node that already
 //! holds the most of them (minimum data movement).
 
+use crate::error::StoreError;
 use crate::repository::ChunkRepository;
 use debar_hash::ContainerId;
 use debar_simio::{Secs, Timed};
@@ -33,14 +34,23 @@ pub struct DefragReport {
 
 /// Aggregate the given containers onto the node that already holds the
 /// plurality of them. Returns the report and the total migration I/O cost.
-pub fn defragment(repo: &mut ChunkRepository, cids: &[ContainerId]) -> Timed<DefragReport> {
+///
+/// A container id that does not exist in the repository is a typed
+/// [`StoreError::MissingContainer`] — having migrated nothing — rather
+/// than being silently skipped: a defrag plan referencing a reclaimed or
+/// never-stored container is stale metadata the caller must see.
+pub fn defragment(
+    repo: &mut ChunkRepository,
+    cids: &[ContainerId],
+) -> Result<Timed<DefragReport>, StoreError> {
     let mut per_node: HashMap<usize, u64> = HashMap::new();
     let mut located = Vec::with_capacity(cids.len());
     for &cid in cids {
-        if let Some(node) = repo.locate(cid) {
-            *per_node.entry(node).or_default() += 1;
-            located.push((cid, node));
-        }
+        let node = repo
+            .locate(cid)
+            .ok_or(StoreError::MissingContainer { container: cid })?;
+        *per_node.entry(node).or_default() += 1;
+        located.push((cid, node));
     }
     let nodes_before = per_node.len();
     // Deterministic plurality choice: most containers, ties to lowest node.
@@ -67,7 +77,7 @@ pub fn defragment(repo: &mut ChunkRepository, cids: &[ContainerId]) -> Timed<Def
         nodes_before,
         nodes_after: if located.is_empty() { 0 } else { 1 },
     };
-    Timed::new(report, cost)
+    Ok(Timed::new(report, cost))
 }
 
 #[cfg(test)]
@@ -92,7 +102,7 @@ mod tests {
         let ids: Vec<ContainerId> = (0..8u64)
             .map(|i| repo.store(container_with(i * 2..i * 2 + 2)).value.unwrap())
             .collect();
-        let t = defragment(&mut repo, &ids);
+        let t = defragment(&mut repo, &ids).expect("all containers exist");
         assert_eq!(t.value.examined, 8);
         assert_eq!(t.value.nodes_before, 4);
         assert_eq!(t.value.nodes_after, 1);
@@ -111,21 +121,37 @@ mod tests {
     }
 
     #[test]
-    fn empty_and_missing_sets() {
+    fn empty_set_is_noop() {
         let mut repo = ChunkRepository::new(2, paper::repo_disk(), 1 << 20);
-        let t = defragment(&mut repo, &[]);
+        let t = defragment(&mut repo, &[]).expect("empty set is valid");
         assert_eq!(t.value.examined, 0);
         assert_eq!(t.cost, 0.0);
-        let t = defragment(&mut repo, &[ContainerId::new(42)]);
-        assert_eq!(t.value.examined, 0);
+    }
+
+    #[test]
+    fn missing_container_is_typed_and_moves_nothing() {
+        let mut repo = ChunkRepository::new(4, paper::repo_disk(), 1 << 20);
+        let ids: Vec<ContainerId> = (0..4u64)
+            .map(|i| repo.store(container_with(i * 2..i * 2 + 2)).value.unwrap())
+            .collect();
+        let homes: Vec<usize> = ids.iter().map(|&c| repo.locate(c).unwrap()).collect();
+        let ghost = ContainerId::new(42);
+        let mut set = ids.clone();
+        set.push(ghost);
+        let err = defragment(&mut repo, &set).expect_err("stale plan must be typed");
+        assert_eq!(err, StoreError::MissingContainer { container: ghost });
+        // The refused plan changed nothing: every container is still on
+        // its original node.
+        let after: Vec<usize> = ids.iter().map(|&c| repo.locate(c).unwrap()).collect();
+        assert_eq!(homes, after, "typed refusal must not have migrated");
     }
 
     #[test]
     fn already_aggregated_is_noop() {
         let mut repo = ChunkRepository::new(4, paper::repo_disk(), 1 << 20);
         let a = repo.store(container_with(0..2)).value.unwrap(); // node 0
-        defragment(&mut repo, &[a]);
-        let t = defragment(&mut repo, &[a]);
+        defragment(&mut repo, &[a]).expect("known container");
+        let t = defragment(&mut repo, &[a]).expect("known container");
         assert_eq!(t.value.migrated, 0);
         assert_eq!(t.cost, 0.0);
     }

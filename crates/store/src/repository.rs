@@ -62,7 +62,7 @@ use crate::error::StoreError;
 use debar_hash::ContainerId;
 use debar_simio::{DiskModel, FaultKind, FaultPlan, Secs, SimDisk, Timed};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// A container copy at rest on a node, with any injected damage it
 /// suffered (damage is per-copy: one replica tearing does not corrupt its
@@ -142,6 +142,15 @@ pub struct RepoStats {
     /// Degraded reads: served from a surviving replica after the preferred
     /// copy was down, faulted or corrupt.
     pub failover_reads: u64,
+    /// Containers reclaimed by garbage collection (logical, not multiplied
+    /// by replication).
+    pub reclaimed_containers: u64,
+    /// Logical chunk-data bytes of reclaimed containers.
+    pub reclaimed_bytes: u64,
+    /// Physical bytes freed across every replica copy of reclaimed
+    /// containers (`reclaimed_bytes × copies`; monotone — the GC exactness
+    /// assertions compare its growth against the dead-container total).
+    pub reclaimed_physical_bytes: u64,
 }
 
 impl RepoStats {
@@ -196,6 +205,12 @@ pub struct ChunkRepository {
     stats: RepoStats,
     replication: usize,
     placement: Placement,
+    /// Tombstones of reclaimed container ids. A reclaimed container is
+    /// dead *cluster-wide*, including copies stranded on nodes that were
+    /// down when the deletion ran: every lookup path treats a tombstoned
+    /// id as nonexistent, and revive/repair purge stale copies instead of
+    /// resurrecting them.
+    reclaimed: HashSet<u64>,
 }
 
 impl ChunkRepository {
@@ -213,6 +228,7 @@ impl ChunkRepository {
             stats: RepoStats::default(),
             replication: 1,
             placement: Placement::RoundRobin,
+            reclaimed: HashSet::new(),
         }
     }
 
@@ -317,10 +333,16 @@ impl ChunkRepository {
     }
 
     /// Bring a downed node back with its data intact (the machine was
-    /// unreachable, not lost).
+    /// unreachable, not lost). Copies of containers reclaimed while the
+    /// node was down are purged on the way up — a revived node must not
+    /// resurrect garbage-collected data.
     pub fn revive_node(&mut self, node: usize) -> Result<(), StoreError> {
         self.check_node(node)?;
         self.nodes[node].down = false;
+        let reclaimed = &self.reclaimed;
+        self.nodes[node]
+            .containers
+            .retain(|raw, _| !reclaimed.contains(raw));
         Ok(())
     }
 
@@ -535,6 +557,11 @@ impl ChunkRepository {
     /// skips them and counts the skip as degradation).
     fn holders(&self, cid: ContainerId, anywhere: bool) -> Vec<usize> {
         let raw = cid.raw();
+        if self.reclaimed.contains(&raw) {
+            // Tombstoned: stale copies on downed nodes do not count as
+            // holders — a reclaimed container is gone cluster-wide.
+            return Vec::new();
+        }
         let mut order: Vec<usize> = self
             .replica_nodes(cid)
             .into_iter()
@@ -656,16 +683,86 @@ impl ChunkRepository {
     }
 
     /// All container IDs, ascending (each counted once regardless of
-    /// replication).
+    /// replication; reclaimed ids are excluded even while a stale copy
+    /// lingers on a downed node).
     pub fn container_ids(&self) -> Vec<ContainerId> {
         let mut ids: Vec<ContainerId> = self
             .nodes
             .iter()
             .flat_map(|n| n.containers.keys().map(|&r| ContainerId::new(r)))
+            .filter(|c| !self.reclaimed.contains(&c.raw()))
             .collect();
         ids.sort();
         ids.dedup();
         ids
+    }
+
+    /// Chunk-data bytes physically resident across every node's copies
+    /// (replicated copies counted once each; reclaimed tombstoned copies
+    /// stranded on downed nodes excluded). The GC exactness assertions
+    /// compare this figure's drop against the dead-container total.
+    pub fn physical_data_bytes(&self) -> u64 {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.containers.iter())
+            .filter(|(raw, _)| !self.reclaimed.contains(raw))
+            .map(|(_, sc)| sc.container.data_bytes())
+            .sum()
+    }
+
+    /// Reclaim a container: free its copy on every reachable node, charge
+    /// the frees to those node disks, tombstone the id so copies stranded
+    /// on downed nodes are purged at revive/repair instead of
+    /// resurrecting, and account the reclaimed bytes in
+    /// [`RepoStats`]. Returns the physical bytes freed (logical data
+    /// bytes × copies). Reclamation is background maintenance like
+    /// [`ChunkRepository::migrate`] and [`ChunkRepository::repair_node`]:
+    /// it charges I/O but consumes no armed fault plans (the
+    /// crash-consistency window of GC lives in the compaction writes and
+    /// index sweeps, which *are* fault-checked).
+    ///
+    /// An unknown or already-reclaimed id is a typed
+    /// [`StoreError::MissingContainer`] — double frees are never silent.
+    pub fn delete_container(&mut self, cid: ContainerId) -> Timed<Result<u64, StoreError>> {
+        let raw = cid.raw();
+        let copies: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.containers.contains_key(&raw))
+            .map(|(i, _)| i)
+            .collect();
+        if copies.is_empty() || self.reclaimed.contains(&raw) {
+            return Timed::free(Err(StoreError::MissingContainer { container: cid }));
+        }
+        let data_bytes = self.nodes[copies[0]].containers[&raw]
+            .container
+            .data_bytes();
+        let mut cost: Secs = 0.0;
+        for &node in &copies {
+            if self.nodes[node].down {
+                // Unreachable: the tombstone purges this copy at
+                // revive/repair. Its bytes still count as reclaimed —
+                // the copy is dead from this moment on.
+                continue;
+            }
+            self.nodes[node].containers.remove(&raw);
+            // Freeing a container is a metadata update on the node's
+            // container log, not a full rewrite.
+            cost += self.nodes[node].disk.seq_write(4096);
+        }
+        self.reclaimed.insert(raw);
+        let physical = data_bytes * copies.len() as u64;
+        self.stats.reclaimed_containers += 1;
+        self.stats.reclaimed_bytes += data_bytes;
+        self.stats.reclaimed_physical_bytes += physical;
+        Timed::new(Ok(physical), cost)
+    }
+
+    /// Whether an id has been reclaimed (tombstoned) by
+    /// [`ChunkRepository::delete_container`].
+    pub fn is_reclaimed(&self, cid: ContainerId) -> bool {
+        self.reclaimed.contains(&cid.raw())
     }
 
     /// Move a container copy onto an explicit node (defragmentation,
@@ -751,8 +848,16 @@ impl ChunkRepository {
             return Timed::free(Err(e));
         }
         let replace = self.nodes[node].down;
-        // What the node must hold afterwards.
-        let mut want: Vec<u64> = self.nodes[node].containers.keys().copied().collect();
+        // What the node must hold afterwards. Reclaimed (tombstoned)
+        // containers are excluded: repair must not re-replicate — or keep
+        // — garbage-collected data, even when the node went down before
+        // the GC ran and still holds a stale copy.
+        let mut want: Vec<u64> = self.nodes[node]
+            .containers
+            .keys()
+            .copied()
+            .filter(|raw| !self.reclaimed.contains(raw))
+            .collect();
         for cid in self.container_ids() {
             if self.replica_nodes(cid).contains(&node) {
                 want.push(cid.raw());
@@ -779,6 +884,13 @@ impl ChunkRepository {
         }
         if replace {
             self.nodes[node].containers.clear();
+        } else {
+            // In-place scrub: drop any stale copy of a reclaimed
+            // container (the replaced-disk path wipes them wholesale).
+            let reclaimed = &self.reclaimed;
+            self.nodes[node]
+                .containers
+                .retain(|raw, _| !reclaimed.contains(raw));
         }
         self.nodes[node].down = false;
         let mut cost: Secs = 0.0;
@@ -1268,5 +1380,86 @@ mod tests {
     #[should_panic]
     fn replication_beyond_cluster_rejected() {
         repo(2).with_replication(3);
+    }
+
+    #[test]
+    fn delete_frees_every_replica_and_accounts_physical_bytes() {
+        let mut r = repo_r(4, 2);
+        let a = store_ok(&mut r, container_with(0..3));
+        let b = store_ok(&mut r, container_with(3..6));
+        let bytes = 3 * 1000u64;
+        let before = r.physical_data_bytes();
+        assert_eq!(before, 2 * 2 * bytes, "R=2: every container twice");
+        let t = r.delete_container(a);
+        assert_eq!(t.value.expect("known container"), 2 * bytes);
+        assert!(t.cost > 0.0, "frees charge node I/O");
+        assert_eq!(r.physical_data_bytes(), before - 2 * bytes);
+        let s = r.stats();
+        assert_eq!(s.reclaimed_containers, 1);
+        assert_eq!(s.reclaimed_bytes, bytes);
+        assert_eq!(s.reclaimed_physical_bytes, 2 * bytes);
+        // Gone from every lookup path; the survivor is untouched.
+        assert!(!r.contains(a));
+        assert!(r.locate(a).is_none());
+        assert!(r.read_anywhere(a).value.expect("clean").is_none());
+        assert!(!r.container_ids().contains(&a));
+        assert!(r.read_anywhere(b).value.expect("clean").is_some());
+    }
+
+    #[test]
+    fn delete_unknown_or_double_is_typed() {
+        let mut r = repo(2);
+        let ghost = ContainerId::new(9);
+        assert_eq!(
+            r.delete_container(ghost).value,
+            Err(StoreError::MissingContainer { container: ghost })
+        );
+        let a = store_ok(&mut r, container_with(0..2));
+        r.delete_container(a).value.expect("first free");
+        assert_eq!(
+            r.delete_container(a).value,
+            Err(StoreError::MissingContainer { container: a }),
+            "double free must be typed, never silent"
+        );
+        let s = r.stats();
+        assert_eq!(s.reclaimed_containers, 1, "refused frees not accounted");
+    }
+
+    #[test]
+    fn delete_while_node_down_purges_stale_copy_on_revive() {
+        let mut r = repo_r(2, 2);
+        let a = store_ok(&mut r, container_with(0..2)); // both nodes hold a copy
+        r.set_node_down(0).expect("in range");
+        let freed = r.delete_container(a).value.expect("replica reachable");
+        assert_eq!(freed, 2 * 2000, "the stranded copy counts as reclaimed");
+        // Tombstoned cluster-wide even while node 0 still has it on disk.
+        assert!(r.is_reclaimed(a));
+        assert!(!r.contains(a));
+        assert!(r.container_ids().is_empty());
+        r.revive_node(0).expect("in range");
+        assert_eq!(
+            r.node(0).expect("in range").container_count(),
+            0,
+            "revive must purge the reclaimed copy, not resurrect it"
+        );
+        assert!(r.read_anywhere(a).value.expect("clean").is_none());
+    }
+
+    #[test]
+    fn repair_after_delete_does_not_resurrect() {
+        let mut r = repo_r(2, 2);
+        let a = store_ok(&mut r, container_with(0..2));
+        let b = store_ok(&mut r, container_with(2..4));
+        r.set_node_down(0).expect("in range");
+        r.delete_container(a).value.expect("replica reachable");
+        // Replace node 0's disk: it must come back holding only the live
+        // container's copy.
+        let rep = r.repair_node(0).value.expect("repairable");
+        assert_eq!(rep.scanned, 1, "the reclaimed container is not wanted");
+        assert_eq!(rep.recopied, 1);
+        assert!(!r.is_node_down(0).expect("in range"));
+        assert!(!r.contains(a));
+        assert_eq!(r.healthy_copies(b), 2);
+        assert!(r.under_replicated().is_empty());
     }
 }

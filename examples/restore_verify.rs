@@ -95,7 +95,7 @@ fn main() {
         .collect();
     // Defragment on a scratch copy of the repository state.
     let mut repo = system.cluster().repository().clone();
-    let t = defragment(&mut repo, &cids);
+    let t = defragment(&mut repo, &cids).expect("every referenced container exists");
     println!(
         "\ndefragmentation: v10 spanned {} containers on {} nodes -> {} node(s), \
          {} containers migrated ({:.2}s virtual I/O)",

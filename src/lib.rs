@@ -56,7 +56,7 @@ pub use debar_workload as workload;
 
 pub use debar_core::{
     ChunkedFile, ClientId, Dataset, DebarCluster, DebarConfig, DebarError, DebarResult,
-    DebarSystem, Dedup1Report, Dedup2Phase, Dedup2Report, FileContent, FileEntry, JobId,
+    DebarSystem, Dedup1Report, Dedup2Phase, Dedup2Report, FileContent, FileEntry, GcReport, JobId,
     RestoreReport, RunId, ServerId, StreamChunk,
 };
 pub use debar_hash::{ContainerId, Fingerprint};

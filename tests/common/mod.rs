@@ -81,6 +81,19 @@ pub enum Failure {
         /// The repository node to take down.
         node: usize,
     },
+    /// Fail every server's index volume disk at the GC sweep (armed on
+    /// the op right after compaction): `run_gc` must abort **before any
+    /// index byte moves** with a typed disk fault, and the redo must
+    /// converge byte-identically with an uninterrupted collection.
+    /// Requires `retention > 0` and an expiring scenario (so the sweep
+    /// has dead entries to engage).
+    GcFault,
+    /// Fail every repository node's next disk op at GC compaction: the
+    /// first victim read/store aborts typed (`RepoNodeFault` /
+    /// `Unrecoverable`), no live chunk is lost, and the redo converges
+    /// byte-identically. Requires `retention > 0` and an expiring
+    /// scenario.
+    CompactionFault,
     /// Fail exactly **one repository node's** disk at the final round's
     /// chunk storing: `run_dedup2` must surface
     /// `InterruptedDedup2(ChunkStoring)` whose cause is `RepoNodeFault`
@@ -124,6 +137,12 @@ pub struct Scenario {
     pub seed: u64,
     /// The injected failure kind.
     pub failure: Failure,
+    /// Retention window: after all backups, every run but the newest
+    /// `retention` versions per job is expired, garbage-collected
+    /// (reclaim exactness asserted), and its restore must fail with the
+    /// typed `UnknownRun`; the retained runs must still restore
+    /// byte-identically. `0` disables the deletion phase entirely.
+    pub retention: u32,
 }
 
 impl Scenario {
@@ -142,7 +161,15 @@ impl Scenario {
             siu_interval: 2,
             seed: 0x5CE0_A710,
             failure: Failure::None,
+            retention: 0,
         }
+    }
+
+    /// Builder: expire all but the newest `retention` versions per job
+    /// and garbage-collect before the verification walk.
+    pub fn with_retention(mut self, retention: u32) -> Self {
+        self.retention = retention;
+        self
     }
 
     /// Builder: stripe each server's chunk-log drain over `workers` store
@@ -193,7 +220,8 @@ impl Scenario {
         let mut cfg = DebarConfig::tiny_test(self.w_bits)
             .with_sweep_parts(self.sweep_parts)
             .with_store_workers(self.store_workers)
-            .with_replication(self.replication);
+            .with_replication(self.replication)
+            .with_retention(self.retention);
         cfg.siu_interval = self.siu_interval;
         cfg.validate();
         cfg
@@ -235,6 +263,18 @@ pub struct Outcome {
     pub verify_failures: u64,
     /// Partitions the PSIL sweeps engaged (max over rounds).
     pub sweep_parts_engaged: u32,
+    /// Dead fingerprints the GC phase found (0 when `retention == 0`).
+    pub gc_dead_fps: u64,
+    /// Net physical bytes the GC phase reclaimed, measured as the
+    /// repository's physical-byte delta (monotone across attempts, so a
+    /// faulted-then-redone collection sums to the clean total).
+    pub gc_reclaimed: u64,
+    /// Final physical bytes in the repository (all replicas).
+    pub physical_bytes: u64,
+    /// The scenario's replication factor (for normalizing physical-byte
+    /// comparisons across replication legs, where every container has
+    /// exactly R copies).
+    pub replication: usize,
     /// Summed PSIL wall time (virtual seconds) over dedup-2 rounds.
     pub sil_wall: f64,
     /// Summed PSIU wall time over dedup-2 rounds.
@@ -277,6 +317,18 @@ pub fn store_workers_matrix() -> Vec<usize> {
 /// deployment's `repo_nodes`.
 pub fn replication_matrix() -> Vec<usize> {
     env_matrix("DEBAR_REPLICATION", &[1, 2])
+}
+
+/// The retention-window matrix the GC suites parameterize over: `{1, 2}`
+/// by default (with the default 3-version scenario that expires 2 and 1
+/// generations per job respectively), overridable as a comma-separated
+/// list through the `DEBAR_RETENTION` environment variable (the CI GC
+/// matrix legs select values this way).
+pub fn retention_matrix() -> Vec<u32> {
+    env_matrix("DEBAR_RETENTION", &[1, 2])
+        .into_iter()
+        .map(|r| r as u32)
+        .collect()
 }
 
 fn env_matrix(var: &str, default: &[usize]) -> Vec<usize> {
@@ -340,6 +392,10 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
         restore_failures: 0,
         verify_failures: 0,
         sweep_parts_engaged: 0,
+        gc_dead_fps: 0,
+        gc_reclaimed: 0,
+        physical_bytes: 0,
+        replication: sc.replication,
         sil_wall: 0.0,
         siu_wall: 0.0,
         dedup2_wall: 0.0,
@@ -550,6 +606,18 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
             // The resumed round converges (compared byte-for-byte against
             // the Failure::None scenario by the failure_kinds suite).
         }
+        if sc.retention > 0 && version == sc.versions - 1 {
+            // With staged dedup-2 state a chunk's liveness is undecidable:
+            // GC must refuse to race the in-flight backup, typed.
+            let err = cluster
+                .run_gc()
+                .expect_err("GC must refuse to race staged dedup-2 state");
+            assert!(
+                matches!(err, DebarError::GcRace { .. }),
+                "{}: expected GcRace, got {err}",
+                sc.name
+            );
+        }
         let d2 = cluster.run_dedup2().expect("dedup2");
         out.stored_chunks += d2.store.stored_chunks;
         out.stored_bytes += d2.store.stored_bytes;
@@ -588,6 +656,145 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
     let (_, siu_wall) = cluster.force_siu().expect("siu");
     out.siu_wall += siu_wall;
     out.dedup2_wall += siu_wall;
+
+    if sc.retention > 0 {
+        // ---- Deletion lifecycle: expire, (optionally crash the) GC,
+        // assert reclaim exactness, prune the ledger to retained runs.
+        let expired = cluster.expire_runs();
+        let expected_expired = (sc.versions as u32).saturating_sub(sc.retention) as usize;
+        assert_eq!(
+            expired.len(),
+            expected_expired * sc.clients,
+            "{}: expiry must retire exactly the pre-window generations",
+            sc.name
+        );
+        for run in &expired {
+            assert!(
+                (run.version as usize) + (sc.retention as usize) < sc.versions,
+                "{}: {run:?} expired inside the retention window",
+                sc.name
+            );
+        }
+        let phys_before = cluster.repository().physical_data_bytes();
+        let mut gc_was_faulted = false;
+        match sc.failure {
+            Failure::GcFault => {
+                // Arm every server's index volume disk on its *next* op:
+                // compaction touches no index disk, so the first armed op
+                // is the GC sweep's striped read charge.
+                for s in 0..cluster.server_count() as u16 {
+                    let ops = cluster.index_disk_ops(s);
+                    cluster.set_index_fault_plan(s, FaultPlan::fail_at(ops));
+                }
+                let err = cluster
+                    .run_gc()
+                    .expect_err("armed index disk must fault the GC sweep");
+                assert!(
+                    matches!(
+                        err,
+                        DebarError::DiskFault { .. } | DebarError::PartDiskFault { .. }
+                    ),
+                    "{}: expected a typed index fault from the GC sweep, got {err}",
+                    sc.name
+                );
+                cluster.clear_fault_plans();
+                gc_was_faulted = true;
+            }
+            Failure::CompactionFault => {
+                // Arm every repository node: whichever node takes GC's
+                // first victim read (or compaction store) faults it.
+                for n in 0..cluster.repository().node_count() {
+                    let ops = cluster.repo_node_ops(n).expect("node in range");
+                    cluster
+                        .set_repo_fault_plan(n, FaultPlan::fail_at(ops))
+                        .expect("node in range");
+                }
+                let err = cluster
+                    .run_gc()
+                    .expect_err("armed repo node must fault the GC compaction");
+                assert!(
+                    matches!(
+                        err,
+                        DebarError::RepoNodeFault { .. } | DebarError::Unrecoverable { .. }
+                    ),
+                    "{}: expected a typed repository fault from compaction, got {err}",
+                    sc.name
+                );
+                cluster.clear_fault_plans();
+                gc_was_faulted = true;
+            }
+            _ => {}
+        }
+        // Reclaimed bytes are monotone: an aborted attempt never grows
+        // the repository.
+        let phys_mid = cluster.repository().physical_data_bytes();
+        assert!(
+            phys_mid <= phys_before,
+            "{}: a faulted GC attempt grew the repository",
+            sc.name
+        );
+        let rep = cluster.run_gc().expect("gc");
+        let phys_after = cluster.repository().physical_data_bytes();
+        assert!(
+            phys_after <= phys_mid,
+            "{}: GC grew the repository",
+            sc.name
+        );
+        out.gc_reclaimed = phys_before - phys_after;
+        out.gc_dead_fps = rep.dead_fps;
+        if expected_expired > 0 {
+            assert!(
+                rep.dead_fps > 0 && out.gc_reclaimed > 0,
+                "{}: expiring {expected_expired} generations must reclaim something",
+                sc.name
+            );
+        }
+        if !gc_was_faulted {
+            // Reclaim exactness: the net physical delta is exactly the
+            // dead chunk bytes on every replica. (After a faulted attempt
+            // the redo's report covers only the remaining work, so the
+            // exactness claim is pinned by byte-identical convergence
+            // with the clean leg instead.)
+            assert_eq!(
+                rep.net_physical_reclaimed(),
+                sc.replication as u64 * rep.dead_chunk_bytes,
+                "{}: GC must reclaim replication x dead bytes exactly",
+                sc.name
+            );
+            assert_eq!(
+                out.gc_reclaimed,
+                rep.net_physical_reclaimed(),
+                "{}: physical delta must match the GC report",
+                sc.name
+            );
+        }
+        // A second collection right away is a no-op: nothing dead left.
+        let rep2 = cluster.run_gc().expect("idempotent gc");
+        assert_eq!(
+            (rep2.dead_fps, rep2.containers_deleted, rep2.index_removed),
+            (0, 0, 0),
+            "{}: immediate re-collection must find nothing",
+            sc.name
+        );
+        // Expired runs are gone, typed; retained runs stay in the ledger
+        // for the byte-identical verification walk below.
+        for run in &expired {
+            let err = cluster
+                .restore_run(*run)
+                .expect_err("an expired run must not restore");
+            assert!(
+                matches!(err, DebarError::UnknownRun { .. }),
+                "{}: expected UnknownRun for expired {run:?}, got {err}",
+                sc.name
+            );
+        }
+        ledger.retain(|e| (e.version as usize) + (sc.retention as usize) >= sc.versions);
+        assert!(
+            !ledger.is_empty(),
+            "{}: retention must keep the newest generations",
+            sc.name
+        );
+    }
 
     if let Failure::RepoNodeDown { node } = sc.failure {
         assert!(
@@ -805,6 +1012,7 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
     out.index_digests = (0..cluster.server_count() as u16)
         .map(|s| Sha1::digest(cluster.server(s).index().raw_data()))
         .collect();
+    out.physical_bytes = cluster.repository().physical_data_bytes();
     out
 }
 
@@ -816,6 +1024,24 @@ pub fn assert_equivalent(base: &Outcome, other: &Outcome, label: &str) {
     assert_eq!(
         base.index_digests, other.index_digests,
         "{label}: index part bytes diverged"
+    );
+    // Physical bytes (and bytes GC reclaimed) scale *exactly* with the
+    // replication factor — every container has R copies — so the
+    // comparison normalizes by R and stays valid across replication
+    // legs too.
+    assert_eq!(
+        base.physical_bytes * other.replication as u64,
+        other.physical_bytes * base.replication as u64,
+        "{label}: repository physical bytes diverged (per replica)"
+    );
+    assert_eq!(
+        base.gc_dead_fps, other.gc_dead_fps,
+        "{label}: GC dead-fingerprint count diverged"
+    );
+    assert_eq!(
+        base.gc_reclaimed * other.replication as u64,
+        other.gc_reclaimed * base.replication as u64,
+        "{label}: GC reclaimed bytes diverged (per replica)"
     );
     assert_same_dedup(base, other, label);
 }

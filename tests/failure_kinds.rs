@@ -332,6 +332,69 @@ fn repo_node_fault_converges_multi_server() {
 }
 
 #[test]
+fn gc_sweep_fault_aborts_pre_mutation_and_converges() {
+    // The GC index sweep is fault-checked *before* it moves a byte: the
+    // armed volume-disk fault surfaces typed (asserted inside the
+    // harness), the aborted attempt never grows the repository, and the
+    // redone collection converges byte-identically with an
+    // uninterrupted one — index parts, repository bytes and every
+    // retained restore.
+    for parts in sweep_parts_matrix() {
+        let faulted = run_scenario(
+            &Scenario::tiny("gc-fault", 0, parts)
+                .with_retention(1)
+                .with_failure(Failure::GcFault),
+        );
+        let clean = run_scenario(&Scenario::tiny("gc-fault", 0, parts).with_retention(1));
+        assert_equivalent(
+            &clean,
+            &faulted,
+            &format!("gc-fault: redone collection (parts={parts}) vs uninterrupted"),
+        );
+    }
+}
+
+#[test]
+fn gc_sweep_fault_converges_multi_server() {
+    let faulted = run_scenario(
+        &Scenario::tiny("gc-fault-w1", 1, 2)
+            .with_retention(1)
+            .with_failure(Failure::GcFault),
+    );
+    let clean = run_scenario(&Scenario::tiny("gc-fault-w1", 1, 2).with_retention(1));
+    assert_equivalent(&clean, &faulted, "gc-fault-w1: redone vs uninterrupted");
+}
+
+#[test]
+fn gc_compaction_fault_loses_no_live_chunk_and_converges() {
+    // Compaction is store-new-then-delete-old: the armed repository
+    // fault aborts the collection typed with the victim intact, and the
+    // redo skips what the interrupted attempt already reclaimed — the
+    // converged state is byte-identical to a clean collection at every
+    // replication factor.
+    for r in replication_matrix() {
+        for parts in sweep_parts_matrix() {
+            let faulted = run_scenario(
+                &Scenario::tiny("gc-compact-fault", 0, parts)
+                    .with_retention(1)
+                    .with_replication(r)
+                    .with_failure(Failure::CompactionFault),
+            );
+            let clean = run_scenario(
+                &Scenario::tiny("gc-compact-fault", 0, parts)
+                    .with_retention(1)
+                    .with_replication(r),
+            );
+            assert_equivalent(
+                &clean,
+                &faulted,
+                &format!("gc-compact-fault: redone collection (parts={parts}, r={r}) vs clean"),
+            );
+        }
+    }
+}
+
+#[test]
 fn partial_siu_converges_to_uninterrupted_run() {
     for (parts, faulted) in matrix("partial-siu", 0, Failure::PartialSiu) {
         let clean = run_scenario(&Scenario::tiny("partial-siu", 0, parts));

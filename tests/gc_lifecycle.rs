@@ -1,0 +1,255 @@
+//! The GC scenario-test family (ROADMAP: deletion, retention &
+//! reclamation): retention-window expiry, garbage collection with
+//! container compaction, and the deletable summary vector — driven
+//! through the shared scenario harness across the `sweep_parts` ×
+//! `replication` × `retention` matrices, plus direct cluster scenarios
+//! for the replication-aware legs the harness does not parameterize
+//! (node loss *during* a collection, repair after one).
+//!
+//! Three properties are pinned:
+//!
+//! 1. **Byte-identical retained restores** — after expiring K of N
+//!    generations and collecting, every retained run verifies and
+//!    restores byte-identically, at every partition count, and every
+//!    expired run fails typed (`UnknownRun`).
+//! 2. **Reclaim exactness** — the repository's physical-byte delta is
+//!    exactly `replication × dead_chunk_bytes` (asserted inside the
+//!    harness), monotone across faulted attempts, and doubles from
+//!    R=1 to R=2 on the same workload.
+//! 3. **Crash-consistent convergence** — a collection interrupted at
+//!    the index sweep or at compaction, redone after the fault clears,
+//!    converges byte-identically with an uninterrupted collection; a
+//!    node lost mid-collection aborts typed and the post-repair redo
+//!    converges too, with no reclaimed container resurrected.
+
+mod common;
+
+use common::{
+    assert_equivalent, replication_matrix, retention_matrix, run_scenario, sweep_parts_matrix,
+    Outcome, Scenario,
+};
+use debar::hash::Sha1;
+use debar::workload::ChunkRecord;
+use debar::{ClientId, Dataset, DebarCluster, DebarConfig, DebarError, JobId, RunId};
+
+#[test]
+fn expire_then_restore_byte_identical_across_sweep_parts() {
+    // The harness asserts the lifecycle internally (typed GcRace while
+    // staged, expiry counts, reclaim exactness, idempotent
+    // re-collection, typed UnknownRun for expired runs, byte-identical
+    // retained restores); here we additionally pin that the post-GC
+    // index parts and repository bytes are identical across partition
+    // counts — the GC sweep rebuild is partition-independent.
+    for retention in retention_matrix() {
+        let mut outs: Vec<(usize, Outcome)> = Vec::new();
+        for parts in sweep_parts_matrix() {
+            let out = run_scenario(&Scenario::tiny("gc", 0, parts).with_retention(retention));
+            if let Some((p0, base)) = outs.first() {
+                assert_equivalent(
+                    base,
+                    &out,
+                    &format!("gc: retention={retention} parts={parts} vs parts={p0} diverged"),
+                );
+            }
+            outs.push((parts, out));
+        }
+    }
+}
+
+#[test]
+fn expire_then_restore_multi_server() {
+    for parts in sweep_parts_matrix() {
+        run_scenario(&Scenario::tiny("gc-w1", 1, parts).with_retention(1));
+    }
+}
+
+#[test]
+fn gc_reclaims_exactly_per_replication() {
+    // Dedup decisions are replication-independent, so the same workload
+    // must reclaim exactly twice the physical bytes at R=2: every dead
+    // chunk had two copies.
+    let r1 = run_scenario(&Scenario::tiny("gc-r", 0, 2).with_retention(1));
+    let r2 = run_scenario(
+        &Scenario::tiny("gc-r", 0, 2)
+            .with_retention(1)
+            .with_replication(2),
+    );
+    assert!(r1.gc_reclaimed > 0, "gc-r: nothing reclaimed at R=1");
+    assert_eq!(
+        r2.gc_reclaimed,
+        2 * r1.gc_reclaimed,
+        "gc-r: R=2 must reclaim exactly two copies of every dead chunk"
+    );
+    assert_eq!(
+        r2.gc_dead_fps, r1.gc_dead_fps,
+        "gc-r: the dead set is a logical property, not a physical one"
+    );
+    // And within each replication factor, the partition matrix agrees.
+    for r in replication_matrix() {
+        let mut outs: Vec<(usize, Outcome)> = Vec::new();
+        for parts in sweep_parts_matrix() {
+            let out = run_scenario(
+                &Scenario::tiny("gc-rm", 0, parts)
+                    .with_retention(1)
+                    .with_replication(r),
+            );
+            if let Some((p0, base)) = outs.first() {
+                assert_equivalent(
+                    base,
+                    &out,
+                    &format!("gc-rm: r={r} parts={parts} vs parts={p0} diverged"),
+                );
+            }
+            outs.push((parts, out));
+        }
+    }
+}
+
+#[test]
+fn index_recovery_rebuild_converges_after_gc() {
+    // §4.1 recovery after a collection: the rebuilt index comes from the
+    // post-GC containers (compacted ones hold only live chunks), so the
+    // rebuild must reproduce the swept entry count — and the whole
+    // scenario stays partition-independent.
+    let mut outs: Vec<(usize, Outcome)> = Vec::new();
+    for parts in sweep_parts_matrix() {
+        let out = run_scenario(
+            &Scenario::tiny("gc-recover", 0, parts)
+                .with_retention(1)
+                .with_recovery(),
+        );
+        if let Some((p0, base)) = outs.first() {
+            assert_equivalent(
+                base,
+                &out,
+                &format!("gc-recover: parts={parts} vs parts={p0} diverged"),
+            );
+        }
+        outs.push((parts, out));
+    }
+}
+
+/// Direct-cluster fixture: two jobs whose streams share a middle range,
+/// so the collection has whole-dead victims (the unshared prefix),
+/// compaction victims (the straddling containers) and survivors.
+fn overlapping_cluster(cfg: DebarConfig) -> (DebarCluster, JobId, JobId) {
+    let mut c = DebarCluster::new(cfg);
+    let a = c.define_job("a", ClientId(0));
+    let b = c.define_job("b", ClientId(1));
+    for (job, range) in [(a, 0..800u64), (b, 400..1200u64)] {
+        let recs: Vec<ChunkRecord> = range.map(ChunkRecord::of_counter).collect();
+        c.backup(job, &Dataset::from_records("s", recs))
+            .expect("backup");
+        c.run_dedup2().expect("dedup2");
+        c.force_siu().expect("siu");
+    }
+    (c, a, b)
+}
+
+#[test]
+fn node_loss_mid_collection_aborts_typed_and_repair_redo_converges() {
+    // R=2: take a node down *mid-lifecycle*, run the collection against
+    // the degraded repository — it must abort typed (a compaction store
+    // cannot reach all replicas), losing nothing — then repair the node
+    // and redo. The redo must converge byte-identically with a
+    // never-degraded twin, and no reclaimed container may resurrect.
+    let cfg = DebarConfig::tiny_test(0).with_replication(2);
+    let (mut degraded, a, _) = overlapping_cluster(cfg);
+    let (mut clean, ca, cb) = overlapping_cluster(cfg);
+    for (c, job) in [(&mut degraded, a), (&mut clean, ca)] {
+        c.delete_run(RunId { job, version: 0 }).expect("delete");
+    }
+
+    degraded.set_repo_node_down(0).expect("node in range");
+    let err = degraded
+        .run_gc()
+        .expect_err("GC against a downed replica node must abort typed");
+    assert!(
+        matches!(
+            err,
+            DebarError::NodeDown { .. }
+                | DebarError::RepoNodeFault { .. }
+                | DebarError::Unrecoverable { .. }
+        ),
+        "expected a typed node error from the degraded collection, got {err}"
+    );
+    // Repair re-replicates from surviving copies and purges the stale
+    // copies of anything the aborted attempt already reclaimed.
+    degraded.repair_repo_node(0).expect("repair");
+    let rep = degraded.run_gc().expect("redo after repair");
+    let rep_clean = clean.run_gc().expect("uninterrupted");
+    assert_eq!(
+        rep.dead_fps, rep_clean.dead_fps,
+        "the dead set is decided by metadata, not by the node loss"
+    );
+    // Convergence: identical container sets, physical bytes and index
+    // parts; the retained run restores byte-identically on both.
+    assert_eq!(
+        degraded.repository().container_ids(),
+        clean.repository().container_ids(),
+        "redo after repair must reach the clean container set"
+    );
+    assert_eq!(
+        degraded.repository().physical_data_bytes(),
+        clean.repository().physical_data_bytes(),
+        "redo after repair must reclaim the same physical bytes"
+    );
+    assert_eq!(
+        Sha1::digest(degraded.server(0).index().raw_data()),
+        Sha1::digest(clean.server(0).index().raw_data()),
+        "redo after repair must converge to byte-identical index parts"
+    );
+    assert!(
+        degraded.repository().under_replicated().is_empty(),
+        "repair + redo must leave full replication"
+    );
+    // Jobs are defined in the same order on both clusters, so the
+    // surviving job's run id matches across them.
+    let run = RunId {
+        job: cb,
+        version: 0,
+    };
+    let rc = clean.restore_run(run).expect("clean restore");
+    let rd = degraded
+        .restore_run(run)
+        .expect("degraded-then-repaired restore");
+    assert_eq!(rd.bytes, rc.bytes, "retained run diverged after repair");
+    assert_eq!(rd.failures, 0);
+}
+
+#[test]
+fn repair_after_gc_does_not_resurrect_reclaimed_containers() {
+    // A node repaired *after* a collection must not bring reclaimed
+    // containers back: the repair plans from the live container set, and
+    // the tombstoned copies on the repaired node are purged, not copied.
+    let (mut c, a, b) = overlapping_cluster(DebarConfig::tiny_test(0).with_replication(2));
+    c.delete_run(RunId { job: a, version: 0 }).expect("delete");
+    let rep = c.run_gc().expect("gc");
+    assert!(
+        rep.containers_deleted > 0,
+        "fixture must reclaim containers"
+    );
+    let cids_after_gc = c.repository().container_ids();
+    let phys_after_gc = c.repository().physical_data_bytes();
+
+    c.set_repo_node_down(1).expect("node in range");
+    c.repair_repo_node(1).expect("repair");
+    assert_eq!(
+        c.repository().container_ids(),
+        cids_after_gc,
+        "repair resurrected a reclaimed container"
+    );
+    assert_eq!(
+        c.repository().physical_data_bytes(),
+        phys_after_gc,
+        "repair changed the repository's physical bytes"
+    );
+    assert!(
+        c.repository().under_replicated().is_empty(),
+        "repair must restore full replication"
+    );
+    let r = c
+        .restore_run(RunId { job: b, version: 0 })
+        .expect("restore after repair");
+    assert_eq!(r.failures, 0);
+}
