@@ -44,11 +44,16 @@ use debar_index::SiuReport;
 use debar_simio::models::paper;
 use debar_simio::{FaultPlan, Secs};
 use debar_store::{ChunkRepository, CorruptKind, Damage, Payload};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 #[path = "gc.rs"]
 mod gc;
 pub use gc::GcReport;
+
+#[path = "layout.rs"]
+mod layout;
+pub(crate) use layout::LayoutTracker;
+pub use layout::{CapReport, LayoutReport};
 
 /// A DEBAR deployment: director + backup servers + chunk repository.
 pub struct DebarCluster {
@@ -69,6 +74,17 @@ pub struct DebarCluster {
     /// Bloom preliminary filter cannot do — so the filter chain stops
     /// advertising dead chunks (see [`crate::cluster::GcReport`]).
     summary: CuckooFilter,
+    /// Runs recorded since the last rewrite-on-backup capping pass
+    /// (populated only under [`crate::config::LayoutMode::Capped`]; the
+    /// pass after each round's chunk-storing commit drains it — see
+    /// `layout.rs`). Runs survive here across a faulted pass for the
+    /// redo.
+    uncapped_runs: Vec<RunId>,
+    /// Containers left holding superseded chunk copies by capping
+    /// rewrites: the owning index parts no longer point at them, and the
+    /// next [`DebarCluster::run_gc`] reclaims the dead copies (copy-aware
+    /// liveness) and drains this queue.
+    superseded: BTreeSet<ContainerId>,
 }
 
 impl DebarCluster {
@@ -86,6 +102,8 @@ impl DebarCluster {
             clients: HashMap::new(),
             carryover_store: StoreReport::default(),
             summary: CuckooFilter::with_capacity(1024, cfg.seed ^ 0x6C1A_55E7),
+            uncapped_runs: Vec::new(),
+            superseded: BTreeSet::new(),
             cfg,
         }
     }
@@ -335,6 +353,11 @@ impl DebarCluster {
             }
         }
         self.director.metadata.record_run(record);
+        if self.cfg.layout.is_capped() {
+            // Queue the run for the rewrite-on-backup capping pass of the
+            // round that makes its chunks durable (see `layout.rs`).
+            self.uncapped_runs.push(run);
+        }
         Ok(report)
     }
 
@@ -611,6 +634,23 @@ impl DebarCluster {
         let t3 = self.barrier();
         let store_overlap_saved = (bulk_sync_end - t3).max(0.0);
 
+        // ---- Phase 3b: rewrite-on-backup container capping. ----
+        // Runs only under `LayoutMode::Capped`, after the chunk-storing
+        // commit (container IDs are canonical and every chunk of the
+        // round's runs is durable) and before PSIU (repoints overwrite
+        // the pending mappings in place, so the same SIU registers the
+        // colocated layout). A fault keeps the affected runs queued and
+        // leaves the round uncommitted, so the redo converges.
+        let mut cap = match self.cap_rewrite_pass() {
+            Ok(c) => c,
+            Err(e) => {
+                let _ = self.barrier();
+                return Err(e);
+            }
+        };
+        let t3b = self.barrier();
+        cap.wall = t3b - t3;
+
         // ---- Phase 4: PSIU (possibly deferred: asynchronous SIU). ----
         let (siu_reports, siu_updates) = if run_siu {
             let results: Vec<Result<(SiuReport, u64), DebarError>> = std::thread::scope(|scope| {
@@ -659,6 +699,7 @@ impl DebarCluster {
             sweep_parts,
             store_workers: self.cfg.store_workers.min(u32::MAX as usize) as u32,
             store: store_total,
+            cap,
             siu_ran: run_siu,
             siu_reports,
             siu_updates,
@@ -666,7 +707,7 @@ impl DebarCluster {
             sil_wall: t2 - t1,
             store_wall: t3 - t2,
             store_overlap_saved,
-            siu_wall: t4 - t3,
+            siu_wall: t4 - t3b,
         })
     }
 
@@ -758,13 +799,13 @@ impl DebarCluster {
             files: 0,
             bytes: 0,
             chunks: 0,
-            lpc_hits: 0,
-            lpc_misses: 0,
             lpc: debar_store::LpcStats::default(),
+            layout: LayoutReport::default(),
             failures: 0,
             failover_reads: 0,
             elapsed: 0.0,
         };
+        let mut tracker = LayoutTracker::default();
         for file in &record.files {
             if let Some(p) = only_path {
                 if file.path != p {
@@ -775,12 +816,8 @@ impl DebarCluster {
             for fp in &file.fingerprints {
                 report.chunks += 1;
                 let cid = match self.servers[sid].lpc.lookup(fp) {
-                    Some(cid) => {
-                        report.lpc_hits += 1;
-                        cid
-                    }
+                    Some(cid) => cid,
                     None => {
-                        report.lpc_misses += 1;
                         let owner = fp.server_number(w) as usize;
                         let found = self.lookup_with_owner(sid, owner, fp);
                         let Some(cid) = found else {
@@ -824,6 +861,7 @@ impl DebarCluster {
                         cid
                     }
                 };
+                tracker.observe(cid);
                 let chunk = self.servers[sid]
                     .container_cache
                     .get(&cid)
@@ -875,6 +913,7 @@ impl DebarCluster {
             evictions: lpc_after.evictions - lpc_before.evictions,
         };
         report.failover_reads = self.repo.stats().failover_reads - failover_before;
+        report.layout = tracker.finish(report.chunks, report.bytes);
         Ok(report)
     }
 
@@ -2177,8 +2216,13 @@ mod tests {
         assert_eq!(rep.failures, 0);
         assert_eq!(
             rep.lpc.hits + rep.lpc.misses,
-            rep.lpc_misses + rep.lpc_hits,
-            "cache-side and walk-side counters must agree on the total"
+            rep.chunks,
+            "the cache adjudicates every walked chunk exactly once"
+        );
+        assert_eq!(
+            rep.lpc_hit_ratio(),
+            rep.lpc.hit_ratio(),
+            "report-side ratio is backed by the embedded LpcStats"
         );
         assert!(
             rep.lpc.hit_ratio() > 0.9,

@@ -83,6 +83,11 @@ pub struct GcReport {
     pub index_removed: u64,
     /// Fingerprint copies withdrawn from the summary vector.
     pub summary_removed: u64,
+    /// Containers drained from the capping queue: victims examined
+    /// because a rewrite-on-backup pass superseded copies in them (see
+    /// `layout.rs`; always 0 under
+    /// [`crate::config::LayoutMode::Scatter`]).
+    pub superseded_containers: u64,
     /// Virtual I/O time the collection charged.
     pub wall: Secs,
 }
@@ -198,6 +203,10 @@ impl DebarCluster {
             }
         }
         report.dead_fps = dead_per_server.iter().map(|d| d.len() as u64).sum();
+        // Containers holding copies a capping rewrite superseded carry no
+        // dead *entries* (the fingerprints are live, just repointed):
+        // they enter the plan through the cluster's capping queue.
+        victims.extend(self.superseded.iter().copied());
 
         // ---- Compaction/deletion, ascending container ID (deterministic
         // plan; container IDs for compaction copies allocate in the same
@@ -207,6 +216,7 @@ impl DebarCluster {
                 // Already reclaimed by an interrupted earlier attempt (or
                 // a preloaded mapping whose container never existed): the
                 // index sweep below is all that's left to do.
+                self.superseded.remove(&cid);
                 continue;
             }
             report.containers_examined += 1;
@@ -217,18 +227,28 @@ impl DebarCluster {
                 Ok(None) => return Err(DebarError::MissingContainer { container: cid }),
                 Err(e) => return Err(e.into()),
             };
+            // Copy-aware liveness: a chunk is live *in this container*
+            // only if its fingerprint is live AND the owning index part
+            // still resolves it here — a live fingerprint repointed by a
+            // capping rewrite (or an earlier compaction) leaves a dead
+            // copy behind that must reclaim.
+            let live_here = |m: &debar_store::ChunkMeta| {
+                live.contains(&m.fp) && self.resolve(&m.fp) == Some(cid)
+            };
             let dead_bytes: u64 = container
                 .metas()
                 .iter()
-                .filter(|m| !live.contains(&m.fp))
+                .filter(|m| !live_here(m))
                 .map(|m| m.len as u64)
                 .sum();
             if dead_bytes == 0 {
-                // Every chunk is live: the dead index entry that named
-                // this container is stale metadata, nothing to reclaim.
+                // Every chunk is live here: the entry that named this
+                // container is stale metadata (or a superseded victim
+                // whose rewrite never repointed — kept queued), nothing
+                // to reclaim.
                 continue;
             }
-            let any_live = container.metas().iter().any(|m| live.contains(&m.fp));
+            let any_live = container.metas().iter().any(&live_here);
             if any_live {
                 // Partially dead: copy the live chunks into a fresh
                 // container *first* — durable on all replicas before any
@@ -238,7 +258,7 @@ impl DebarCluster {
                 let mut live_bytes = 0u64;
                 for i in 0..container.len() {
                     let (m, p) = container.slot(i);
-                    if live.contains(&m.fp) {
+                    if live_here(m) {
                         let fits = fresh.try_append(m.fp, p.clone());
                         debug_assert!(fits, "live subset must fit the same geometry");
                         live_bytes += m.len as u64;
@@ -269,6 +289,9 @@ impl DebarCluster {
             report.containers_deleted += 1;
             report.freed_physical_bytes += freed;
             report.dead_chunk_bytes += dead_bytes;
+            if self.superseded.remove(&cid) {
+                report.superseded_containers += 1;
+            }
         }
 
         // ---- Per-server index sweep; summary withdrawal rides on each

@@ -136,6 +136,47 @@
 //!   live containers — reclaimed ones are never resurrected (proven by
 //!   the GC scenario family in `tests/gc_lifecycle.rs` and the GC fault
 //!   legs in `tests/failure_kinds.rs`).
+//!
+//! ## Restore & container layout
+//!
+//! Out-of-line dedup scatters each new generation's chunks across
+//! ever-older containers, so restore of the *latest* backup — the one
+//! users actually read — degrades with generation count. The layout
+//! subsystem (`crates/core/src/layout.rs`) makes that trade observable
+//! and boundable:
+//!
+//! * **Fragmentation telemetry.** Every restore surfaces a
+//!   [`cluster::LayoutReport`] in [`RestoreReport::layout`]: distinct
+//!   containers touched, containers per restored MiB
+//!   ([`cluster::LayoutReport::containers_per_mib`], the read-amplification
+//!   proxy) and the chunk-fragmentation level
+//!   ([`cluster::LayoutReport::mean_run_length`] — mean run of
+//!   consecutive chunks sharing a container; 1.0 is fully scattered).
+//! * **Layout modes.** [`DebarConfig::layout`] selects
+//!   [`config::LayoutMode::Scatter`] (the paper's behavior: duplicates
+//!   always reference their original containers) or
+//!   [`config::LayoutMode::Capped`]`{ max_refs_per_mib }`: after each
+//!   dedup-2 round's chunk-storing commit, any freshly recorded run
+//!   whose chunk sequence references more distinct containers than
+//!   `max_refs_per_mib × logical MiB` gets its sparsest referenced
+//!   containers **rewritten** — the run's chunks re-materialize, in
+//!   stream order, into fresh containers of its own, and the owning
+//!   index parts repoint. Restore *bytes* stay byte-identical across
+//!   both modes; `Capped` trades a little dedup ratio
+//!   ([`cluster::CapReport::bytes_rewritten`], surfaced per round in
+//!   [`Dedup2Report::cap`]) for a bounded containers-per-MiB.
+//! * **GC interaction.** A rewrite leaves superseded copies in the old
+//!   containers; the cluster queues those containers and the next
+//!   [`DebarCluster::run_gc`] reclaims them with **copy-aware
+//!   liveness** (a chunk copy is live only where the owner index still
+//!   resolves it), keeping the reclaim-exactness law `net physical
+//!   delta = replication × dead chunk bytes` intact
+//!   ([`cluster::GcReport::superseded_containers`]).
+//!
+//! The rewrite pass is deterministic (canonical run order, ranked
+//! victims, serial fresh-container stores) and crash-consistent under
+//! the same store-new-then-repoint contract as GC compaction; see the
+//! `fig_restore` bench for the Scatter-vs-Capped generation sweep.
 
 pub mod chunklog;
 pub mod client;
@@ -151,8 +192,8 @@ pub mod report;
 pub mod server;
 pub mod system;
 
-pub use cluster::{DebarCluster, GcReport};
-pub use config::DebarConfig;
+pub use cluster::{CapReport, DebarCluster, GcReport, LayoutReport};
+pub use config::{DebarConfig, LayoutMode};
 pub use dataset::{ChunkedFile, Dataset, FileContent, FileEntry, StreamChunk};
 pub use error::{DebarError, DebarResult, Dedup2Phase};
 pub use ids::{ClientId, JobId, RunId, ServerId};

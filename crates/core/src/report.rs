@@ -89,6 +89,11 @@ pub struct Dedup2Report {
     pub store_workers: u32,
     /// Aggregate chunk-storing outcome.
     pub store: StoreReport,
+    /// Rewrite-on-backup container-capping outcome (all-zero under the
+    /// default [`crate::LayoutMode::Scatter`]; see
+    /// [`crate::cluster::CapReport`]). Its wall is part of
+    /// [`Dedup2Report::total_wall`].
+    pub cap: crate::cluster::CapReport,
     /// Whether PSIU ran this round.
     pub siu_ran: bool,
     /// Per-server SIU reports when it ran.
@@ -115,7 +120,7 @@ pub struct Dedup2Report {
 impl Dedup2Report {
     /// Total wall time of the round.
     pub fn total_wall(&self) -> Secs {
-        self.exchange_wall + self.sil_wall + self.store_wall + self.siu_wall
+        self.exchange_wall + self.sil_wall + self.store_wall + self.cap.wall + self.siu_wall
     }
 
     /// PSIL speed in fingerprints/second.
@@ -162,15 +167,17 @@ pub struct RestoreReport {
     pub bytes: u64,
     /// Chunks restored.
     pub chunks: u64,
-    /// LPC hits during the restore.
-    pub lpc_hits: u64,
-    /// LPC misses (container fetches).
-    pub lpc_misses: u64,
-    /// The locality-preserving cache's own counters over this restore
-    /// (hits, misses, **evictions** — the delta of
-    /// `debar_store::LpcStats` across the walk), so restore-path cache
-    /// regressions are observable per run, not just in aggregate.
+    /// The locality-preserving cache's counters over this restore (hits,
+    /// misses, **evictions** — the delta of `debar_store::LpcStats`
+    /// across the walk), so restore-path cache regressions are
+    /// observable per run, not just in aggregate. A hit serves the chunk
+    /// from cache; a miss is a container fetch from the repository.
     pub lpc: debar_store::LpcStats,
+    /// Container-fragmentation telemetry for this restore: distinct
+    /// containers touched, containers per restored MiB and the mean
+    /// run-length of consecutive chunks sharing a container (see
+    /// [`crate::LayoutReport`]).
+    pub layout: crate::cluster::LayoutReport,
     /// Chunks whose payload failed verification or could not be found.
     pub failures: u64,
     /// Degraded repository reads during the restore: container fetches
@@ -191,11 +198,11 @@ impl RestoreReport {
 
     /// LPC hit ratio during the restore.
     pub fn lpc_hit_ratio(&self) -> f64 {
-        let total = self.lpc_hits + self.lpc_misses;
+        let total = self.lpc.hits + self.lpc.misses;
         if total == 0 {
             0.0
         } else {
-            self.lpc_hits as f64 / total as f64
+            self.lpc.hits as f64 / total as f64
         }
     }
 }
@@ -244,6 +251,7 @@ mod tests {
                 discarded: 500,
                 containers: 1,
             },
+            cap: crate::cluster::CapReport::default(),
             siu_ran: true,
             siu_reports: Vec::new(),
             siu_updates: 500,

@@ -11,9 +11,10 @@
 //! * [`repository`] — the chunk repository: a uniform container log across
 //!   a cluster of physical, replicated storage nodes, providing the global
 //!   de-duplication storage pool. Each container is written to
-//!   `replication` distinct node disks; reads fail over to surviving
-//!   replicas past downed nodes, injected faults and corrupt copies, and
-//!   a repair/scrub pass re-replicates what a lost node held.
+//!   `replication` distinct node disks; reads pick the least-loaded
+//!   replica and fail over to surviving copies past downed nodes,
+//!   injected faults and corrupt copies, and a repair/scrub pass
+//!   re-replicates what a lost node held.
 //! * [`lpc`] — locality-preserved caching (LPC): an LRU of containers'
 //!   fingerprint sets; one container fetch turns the following stream-local
 //!   chunk lookups into cache hits (paper §3.3/§6.2: 99.3% of random

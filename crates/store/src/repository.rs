@@ -19,11 +19,16 @@
 //! the store phase is as slow as its most-loaded node, and skewed
 //! placement ([`Placement::Fixed`]) makes that straggler visible.
 //!
-//! Reads **fail over**: a downed node ([`ChunkRepository::set_node_down`]),
-//! an injected [`FaultKind::Fail`], or a copy whose checksum trailer
-//! detects corruption transparently redirects the read to the next
-//! surviving replica. A degraded read that succeeds this way is counted in
-//! [`RepoStats::failover_reads`]. Only when *every* copy is unreachable
+//! Reads **balance and fail over**: with `R >= 2` the read path picks the
+//! **least-loaded replica** first (by accumulated random-read bytes on the
+//! holding nodes' disks; ties keep ring order, so a fresh repository still
+//! prefers the primary), spreading restore traffic across the replica set
+//! instead of hammering the ring head. A downed node
+//! ([`ChunkRepository::set_node_down`]), an injected [`FaultKind::Fail`],
+//! or a copy whose checksum trailer detects corruption transparently
+//! redirects the read to the next candidate. A degraded read that succeeds
+//! this way is counted in [`RepoStats::failover_reads`] — balanced reads
+//! off the primary are *not* degraded; only skips and failures are. Only when *every* copy is unreachable
 //! does the read fail — with the last typed error, or
 //! [`StoreError::Unrecoverable`] when all holding nodes are down (the
 //! `R = 1` node-loss case).
@@ -596,10 +601,16 @@ impl ChunkRepository {
         if cid.is_null() {
             return Timed::free(Ok(None));
         }
-        let candidates = self.holders(cid, anywhere);
+        let mut candidates = self.holders(cid, anywhere);
         let Some(&first) = candidates.first() else {
             return Timed::free(Ok(None));
         };
+        // Least-loaded replica selection: serve from the candidate whose
+        // disk has accumulated the least random-read traffic. The sort is
+        // stable, so ties keep failover order (primary first) — and down
+        // nodes are *not* filtered here: a down candidate is discovered at
+        // read time and counted as a failover, same as before balancing.
+        candidates.sort_by_key(|&n| self.nodes[n].disk.stats().rand_read_bytes);
         self.stats.reads += 1;
         let mut cost: Secs = 0.0;
         let mut degraded = false;
@@ -1151,6 +1162,24 @@ mod tests {
         let _ = r.read(id);
         assert_eq!(r.stats().failover_reads, 1, "healthy read is not degraded");
         assert_eq!(r.stats().primary_reads(), 1);
+    }
+
+    #[test]
+    fn reads_balance_across_replicas_at_r2() {
+        let mut r = repo_r(2, 2);
+        let id = store_ok(&mut r, container_with(0..4));
+        for _ in 0..6 {
+            assert!(r.read(id).value.expect("clean").is_some());
+        }
+        // Least-loaded selection alternates the serving copy: both node
+        // disks carry read traffic instead of the ring head taking all.
+        let a = r.nodes()[0].disk_stats().rand_read_bytes;
+        let b = r.nodes()[1].disk_stats().rand_read_bytes;
+        assert!(a > 0 && b > 0, "reads spread across both replicas");
+        assert_eq!(a, b, "equal-size reads alternate evenly: {a} vs {b}");
+        // Balanced reads off the primary are healthy, not degraded.
+        assert_eq!(r.stats().failover_reads, 0);
+        assert_eq!(r.stats().primary_reads(), 6);
     }
 
     #[test]

@@ -55,9 +55,9 @@ pub use debar_store as store;
 pub use debar_workload as workload;
 
 pub use debar_core::{
-    ChunkedFile, ClientId, Dataset, DebarCluster, DebarConfig, DebarError, DebarResult,
+    CapReport, ChunkedFile, ClientId, Dataset, DebarCluster, DebarConfig, DebarError, DebarResult,
     DebarSystem, Dedup1Report, Dedup2Phase, Dedup2Report, FileContent, FileEntry, GcReport, JobId,
-    RestoreReport, RunId, ServerId, StreamChunk,
+    LayoutMode, LayoutReport, RestoreReport, RunId, ServerId, StreamChunk,
 };
 pub use debar_hash::{ContainerId, Fingerprint};
 pub use debar_simio::{FaultKind, FaultPlan, FaultSpec, InjectedFault};

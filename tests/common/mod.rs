@@ -21,7 +21,7 @@ use debar::hash::Sha1;
 use debar::workload::files::{FileSpec, FileTreeConfig, FileTreeGen, MutationConfig};
 use debar::{
     ClientId, Damage, Dataset, DebarCluster, DebarConfig, DebarError, Dedup2Phase, FaultPlan,
-    JobId, RunId,
+    JobId, LayoutMode, RunId,
 };
 
 /// The failure kind a scenario injects (beyond plain index loss).
@@ -137,6 +137,11 @@ pub struct Scenario {
     pub seed: u64,
     /// The injected failure kind.
     pub failure: Failure,
+    /// Container layout policy: `Scatter` (duplicates always reference
+    /// their original containers) or `Capped` (rewrite-on-backup bounds
+    /// each run's containers-per-MiB). Restore bytes must be identical
+    /// across layouts for the same workload.
+    pub layout: LayoutMode,
     /// Retention window: after all backups, every run but the newest
     /// `retention` versions per job is expired, garbage-collected
     /// (reclaim exactness asserted), and its restore must fail with the
@@ -161,8 +166,15 @@ impl Scenario {
             siu_interval: 2,
             seed: 0x5CE0_A710,
             failure: Failure::None,
+            layout: LayoutMode::Scatter,
             retention: 0,
         }
+    }
+
+    /// Builder: select the container layout policy.
+    pub fn with_layout(mut self, layout: LayoutMode) -> Self {
+        self.layout = layout;
+        self
     }
 
     /// Builder: expire all but the newest `retention` versions per job
@@ -221,6 +233,7 @@ impl Scenario {
             .with_sweep_parts(self.sweep_parts)
             .with_store_workers(self.store_workers)
             .with_replication(self.replication)
+            .with_layout(self.layout)
             .with_retention(self.retention);
         cfg.siu_interval = self.siu_interval;
         cfg.validate();
@@ -317,6 +330,53 @@ pub fn store_workers_matrix() -> Vec<usize> {
 /// deployment's `repo_nodes`.
 pub fn replication_matrix() -> Vec<usize> {
     env_matrix("DEBAR_REPLICATION", &[1, 2])
+}
+
+/// The container-layout matrix the suites parameterize over: `{scatter,
+/// capped}` by default, overridable as a comma-separated list of layout
+/// tokens through the `DEBAR_LAYOUT` environment variable (the CI
+/// restore-matrix legs select values this way). Tokens: `scatter`, or
+/// `capped` / `capped:N` for `Capped { max_refs_per_mib: N }` (default
+/// budget 2).
+pub fn layout_matrix() -> Vec<LayoutMode> {
+    let parse = |tok: &str| -> Option<LayoutMode> {
+        let tok = tok.trim();
+        match tok {
+            "scatter" => Some(LayoutMode::Scatter),
+            "capped" => Some(LayoutMode::Capped {
+                max_refs_per_mib: 2,
+            }),
+            _ => {
+                let n = tok
+                    .strip_prefix("capped:")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)?;
+                Some(LayoutMode::Capped {
+                    max_refs_per_mib: n,
+                })
+            }
+        }
+    };
+    match std::env::var("DEBAR_LAYOUT") {
+        Ok(s) => {
+            let parsed: Vec<LayoutMode> = s.split(',').filter_map(parse).collect();
+            // Same loudness rule as the numeric matrices: a set-but-bogus
+            // variable must fail, not silently run the default layouts.
+            assert!(
+                parsed.len() == s.split(',').count(),
+                "DEBAR_LAYOUT is set but unparsable: {s:?} \
+                 (expected a comma-separated list of scatter|capped|capped:N)"
+            );
+            parsed
+        }
+        Err(_) => vec![
+            LayoutMode::Scatter,
+            LayoutMode::Capped {
+                max_refs_per_mib: 2,
+            },
+        ],
+    }
 }
 
 /// The retention-window matrix the GC suites parameterize over: `{1, 2}`
@@ -1044,6 +1104,32 @@ pub fn assert_equivalent(base: &Outcome, other: &Outcome, label: &str) {
         "{label}: GC reclaimed bytes diverged (per replica)"
     );
     assert_same_dedup(base, other, label);
+}
+
+/// The cross-**layout** comparison: `Capped` re-materializes duplicate
+/// chunks into fresh containers, so index digests, stored bytes and
+/// physical bytes legitimately diverge from `Scatter` — but the restored
+/// byte streams must be identical, chunk for chunk. This pins exactly
+/// the layout-invariant half of a scenario's outcome.
+pub fn assert_same_restore(base: &Outcome, other: &Outcome, label: &str) {
+    assert_eq!(
+        base.logical_bytes, other.logical_bytes,
+        "{label}: workload drifted — scenario not deterministic"
+    );
+    assert_eq!(
+        base.restored_bytes, other.restored_bytes,
+        "{label}: restored bytes diverged across layouts"
+    );
+    assert_eq!(
+        base.file_restore_bytes, other.file_restore_bytes,
+        "{label}: partial-restore bytes diverged across layouts"
+    );
+    assert_eq!(other.restore_failures, 0, "{label}: restore failures");
+    assert_eq!(other.verify_failures, 0, "{label}: verify failures");
+    assert_eq!(
+        base.index_entries, other.index_entries,
+        "{label}: a rewrite repoints entries, it must never add or drop any"
+    );
 }
 
 /// The shape-independent half of [`assert_equivalent`]: same dedup

@@ -8,9 +8,11 @@
 mod common;
 
 use common::{
-    assert_equivalent, assert_same_dedup, replication_matrix, run_scenario, store_workers_matrix,
-    sweep_parts_matrix, Scenario,
+    assert_equivalent, assert_same_dedup, assert_same_restore, layout_matrix, replication_matrix,
+    run_scenario, store_workers_matrix, sweep_parts_matrix, Scenario,
 };
+use debar::workload::files::FileSpec;
+use debar::{ClientId, Dataset, DebarConfig, RunId};
 
 /// tiny_test geometry: 256 buckets per index part (the runtime clamp
 /// ceiling for `sweep_parts_engaged`).
@@ -163,6 +165,126 @@ fn synchronous_and_async_siu_agree_under_striping() {
         let lazy = run_scenario(&Scenario::tiny("sm-siu", 0, parts).with_siu_interval(3));
         assert_equivalent(&lazy1, &lazy, &format!("async-siu parts={parts}"));
     }
+}
+
+#[test]
+fn layout_matrix_restores_byte_identical_across_layouts() {
+    // The container-layout axis: `Capped` re-materializes scattered
+    // duplicates into fresh containers, which legitimately moves stored
+    // bytes, container IDs and index cid columns — but the restored byte
+    // streams must match `Scatter` exactly, and within one layout the
+    // outcome must stay byte-identical across sweep striping (the rewrite
+    // pass is deterministic). Crossed with replication for the capped
+    // mode, since rewrites store through the same replicated path.
+    let base = run_scenario(&Scenario::tiny("sm-l", 0, 1));
+    for layout in layout_matrix() {
+        let one = run_scenario(&Scenario::tiny("sm-l", 0, 1).with_layout(layout));
+        assert_same_restore(&base, &one, &format!("{layout:?} vs scatter"));
+        let striped = run_scenario(&Scenario::tiny("sm-l", 0, 4).with_layout(layout));
+        assert_equivalent(&one, &striped, &format!("{layout:?} parts=4"));
+        for r in replication_matrix().into_iter().filter(|&r| r != 1) {
+            let replicated = run_scenario(
+                &Scenario::tiny("sm-l", 0, 1)
+                    .with_layout(layout)
+                    .with_replication(r),
+            );
+            assert_equivalent(&one, &replicated, &format!("{layout:?} replication={r}"));
+        }
+    }
+}
+
+#[test]
+fn lpc_evictions_accounted_and_monotone_across_generations() {
+    // LPC eviction accounting across a long churn history. Each
+    // generation rewrites one of `K` file slices with fresh bytes, so
+    // generation `g`'s restore reads chunks scattered over
+    // `min(g+1, K)` source generations' containers. While that working
+    // set fits the LPC (tiny_test caps it at `lpc_containers`
+    // containers), restores evict at most a stale entry or two; once it
+    // exceeds capacity, every restore cycles more containers than the
+    // cache holds and evictions turn — and stay — nonzero.
+    const K: usize = 12; // file slices = churn period
+    const GENS: usize = 24; // two full churn periods
+    const FILE_BYTES: usize = 64 << 10;
+    let cfg = DebarConfig::tiny_test(0);
+    let cap = cfg.lpc_containers as u64;
+    assert!(cap < K as u64, "churn period must exceed the LPC capacity");
+    let mut cluster = debar::DebarCluster::new(cfg);
+    let job = cluster.define_job("lpc-churn", ClientId(0));
+
+    // Deterministic fresh bytes per (generation, slice) — a tiny xorshift
+    // keeps the content unique so rewritten slices never deduplicate.
+    let fill = |seed: u64| -> Vec<u8> {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..FILE_BYTES)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s >> 24) as u8
+            })
+            .collect()
+    };
+    let mut slices: Vec<Vec<u8>> = (0..K).map(|i| fill(i as u64)).collect();
+    let mut evictions = Vec::with_capacity(GENS);
+    for g in 0..GENS {
+        if g > 0 {
+            slices[g % K] = fill((1000 + g) as u64);
+        }
+        let tree: Vec<FileSpec> = slices
+            .iter()
+            .enumerate()
+            .map(|(i, data)| FileSpec {
+                path: format!("f{i:02}"),
+                data: data.clone().into(),
+            })
+            .collect();
+        cluster
+            .backup(job, &Dataset::from_file_specs(&tree))
+            .expect("backup");
+        cluster.run_dedup2().expect("dedup2");
+        let rep = cluster
+            .restore_run(RunId {
+                job,
+                version: g as u32,
+            })
+            .expect("restore");
+        assert_eq!(rep.failures, 0, "gen {g}");
+        assert_eq!(
+            rep.lpc.hits + rep.lpc.misses,
+            rep.chunks,
+            "gen {g}: every chunk adjudicated by the cache exactly once"
+        );
+        if g >= K {
+            assert!(
+                rep.layout.containers_touched > cap,
+                "gen {g}: churn must scatter past the LPC capacity \
+                 ({} containers touched, cap {cap})",
+                rep.layout.containers_touched
+            );
+        }
+        evictions.push(rep.lpc.evictions);
+    }
+    assert_eq!(
+        evictions[0], 0,
+        "gen 0 reads one container: nothing to evict"
+    );
+    // Fitting regime: evictions bounded by the odd stale entry.
+    let early_max = *evictions[..cap as usize - 1]
+        .iter()
+        .max()
+        .expect("nonempty");
+    // Thrashing regime: nonzero on every restore, and never below the
+    // fitting regime — the working set only grows.
+    let late = &evictions[K..];
+    assert!(
+        late.iter().all(|&e| e > 0),
+        "past one churn period every restore must evict: {evictions:?}"
+    );
+    assert!(
+        late.iter().all(|&e| e >= early_max),
+        "evictions must be monotone across the capacity boundary: {evictions:?}"
+    );
 }
 
 #[test]
