@@ -6,6 +6,15 @@
 //! (§5.3), which is why its sustained read rate (224 MB/s in the paper)
 //! bounds the dedup-2 chunk-storing throughput.
 //!
+//! What the log carries depends on [`crate::DedupMode`]: under
+//! `OutOfLine` (the paper) every filter survivor is appended with its
+//! fingerprint still *undetermined* — duplicates included — and the
+//! sweep discards them at drain time; under `Inline` only chunks the
+//! backup path already determined **new** are appended (their storage
+//! decision rides along as pre-staged carryover, so nothing drained is
+//! discarded); under `Hybrid` the log holds both record kinds — the
+//! budget-resolved new chunks and the cold undetermined remainder.
+//!
 //! # Striped drains (`store_workers`)
 //!
 //! The pipelined chunk-storing phase can drain the log with several store

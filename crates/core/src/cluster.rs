@@ -29,6 +29,7 @@
 //! The remaining barriers are genuine data dependencies (all-to-all
 //! exchanges and the round commit), not implementation convenience.
 
+use crate::chunklog::LogRecord;
 use crate::client::BackupClient;
 use crate::config::DebarConfig;
 use crate::dataset::{ChunkedFile, Dataset};
@@ -36,9 +37,10 @@ use crate::director::Director;
 use crate::error::{DebarError, DebarResult, Dedup2Phase};
 use crate::ids::{ClientId, JobId, RunId, ServerId};
 use crate::job::{JobSpec, Schedule};
+use crate::metadata::{FileIndexEntry, RunRecord};
 use crate::report::{Dedup1Report, Dedup2Report, RestoreReport, StoreReport};
 use crate::server::{BackupServer, Decision, SilPartOutput};
-use debar_filter::CuckooFilter;
+use debar_filter::{CuckooFilter, FilterVerdict, PrelimFilter};
 use debar_hash::{ContainerId, Fingerprint, Sha1};
 use debar_index::SiuReport;
 use debar_simio::models::paper;
@@ -331,17 +333,25 @@ impl DebarCluster {
             .collect();
         let est: u64 = files.iter().map(ChunkedFile::bytes).sum();
         let sid = self.director.assign_server(est);
-        let (record, report) =
-            match self.servers[sid as usize].run_backup(run, client_id, filtering, files) {
-                Ok(r) => r,
-                Err(e) => {
-                    // An aborted run registers nothing — including its
-                    // placement load, or a faulted-then-retried history
-                    // would route later jobs differently than a clean one.
-                    self.director.unassign_server(sid, est);
-                    return Err(e);
-                }
-            };
+        // Mode dispatch: pure out-of-line runs entirely on the assigned
+        // server (the paper's dedup-1); inline and hybrid need cross-server
+        // access (owner index probes, checking-file consults), so their
+        // loop lives at cluster level.
+        let result = if self.cfg.dedup_mode.is_inline() {
+            self.run_backup_inline(sid, run, client_id, filtering, files)
+        } else {
+            self.servers[sid as usize].run_backup(run, client_id, filtering, files)
+        };
+        let (record, report) = match result {
+            Ok(r) => r,
+            Err(e) => {
+                // An aborted run registers nothing — including its
+                // placement load, or a faulted-then-retried history
+                // would route later jobs differently than a clean one.
+                self.director.unassign_server(sid, est);
+                return Err(e);
+            }
+        };
         // Advertise the run's fingerprints in the summary vector — one
         // copy per fingerprint cluster-wide (the multiset stays a set
         // here), so a GC removal of a dead fingerprint fully withdraws it.
@@ -359,6 +369,211 @@ impl DebarCluster {
             self.uncapped_runs.push(run);
         }
         Ok(report)
+    }
+
+    /// The inline/hybrid dedup-1 loop ([`crate::DedupMode`]): identical to
+    /// [`BackupServer::run_backup`] except that filter-missed fingerprints
+    /// are resolved at backup time against the hot window — the assigned
+    /// server's LPC, the owner part's checking file, and (within the
+    /// hybrid probe budget) a random disk-index probe whose hit prefetches
+    /// the container's fingerprints into the LPC. Resolved-new chunks are
+    /// logged with a `Store` decision staged for the next chunk-storing
+    /// pass; under [`crate::DedupMode::Hybrid`] the cold remainder past
+    /// the probe budget falls back to the paper's out-of-line path (log +
+    /// undetermined set).
+    ///
+    /// Abort semantics match the out-of-line run: on any fault the staged
+    /// decisions and checking entries are rolled back, so records appended
+    /// before the fault carry no verdict and are discarded by the next
+    /// chunk-storing pass.
+    fn run_backup_inline(
+        &mut self,
+        sid: ServerId,
+        run: RunId,
+        client: ClientId,
+        filtering: Vec<Fingerprint>,
+        files: &[ChunkedFile],
+    ) -> DebarResult<(RunRecord, Dedup1Report)> {
+        let sid = sid as usize;
+        let w = self.cfg.w_bits;
+        let start = self.servers[sid].clock.now();
+        let mut filter = PrelimFilter::with_memory(self.cfg.filter_bytes);
+        filter.prime(filtering);
+        // `None` = unlimited (pure inline); hybrid runs down a per-run
+        // probe budget and goes cold after.
+        let budget = self.cfg.dedup_mode.probe_budget();
+        let mut probes: u64 = 0;
+        // Staged (fp → Store on sid, fp → checking on owner) entries of
+        // *this run*, undone whole if the run aborts.
+        let mut staged: Vec<Fingerprint> = Vec::new();
+
+        let mut report = Dedup1Report {
+            run,
+            server: sid as ServerId,
+            logical_bytes: 0,
+            logical_chunks: 0,
+            transferred_bytes: 0,
+            transferred_chunks: 0,
+            filtered_dups: 0,
+            undetermined_added: 0,
+            inline_hits: 0,
+            inline_index_reads: 0,
+            backlog_bytes: 0,
+            elapsed: 0.0,
+        };
+        let mut file_indices = Vec::with_capacity(files.len());
+        let mut log_cost: Secs = 0.0;
+        for file in files {
+            let mut fps = Vec::with_capacity(file.chunks.len());
+            let mut fbytes = 0u64;
+            for chunk in &file.chunks {
+                let len = chunk.len();
+                report.logical_bytes += len;
+                report.logical_chunks += 1;
+                fbytes += len;
+                fps.push(chunk.fp);
+                self.servers[sid].charge_ingest_fp();
+                if filter.check(chunk.fp) == FilterVerdict::Duplicate {
+                    report.filtered_dups += 1;
+                    continue;
+                }
+                let fp = chunk.fp;
+                let owner = fp.server_number(w) as usize;
+                // 1. The hot window's free tier: container fingerprints
+                // already prefetched into the assigned server's LPC.
+                if self.servers[sid].lpc.lookup(&fp).is_some() {
+                    report.inline_hits += 1;
+                    filter.mark_determined(&fp);
+                    continue;
+                }
+                let may_probe = budget.map(|b| probes < b).unwrap_or(true);
+                if !may_probe {
+                    // Hybrid cold path: the paper's out-of-line dedup-1.
+                    self.servers[sid].charge_net(len);
+                    log_cost += match self.servers[sid].try_log_append(LogRecord::from(chunk)) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            self.rollback_inline_staging(sid, &staged);
+                            return Err(e);
+                        }
+                    };
+                    report.transferred_bytes += len;
+                    report.transferred_chunks += 1;
+                    report.backlog_bytes += len;
+                    continue;
+                }
+                // 2. The owner part's checking file: a store is already
+                // scheduled (SIU pending) — probing the index would miss
+                // and wrongly designate a second storer. When the owner is
+                // remote and the consult short-circuits, charge the
+                // request/response hop it rode on; on a miss the probe's
+                // own hop carries it for free.
+                if self.servers[owner].checking_contains(&fp) {
+                    if owner != sid {
+                        self.servers[sid].charge_net(64);
+                        self.servers[owner].charge_net(64);
+                    }
+                    report.inline_hits += 1;
+                    filter.mark_determined(&fp);
+                    continue;
+                }
+                // 3. The budgeted random index probe (authoritative).
+                probes += 1;
+                report.inline_index_reads += 1;
+                match self.lookup_with_owner(sid, owner, &fp) {
+                    Some(cid) => {
+                        report.inline_hits += 1;
+                        filter.mark_determined(&fp);
+                        // Prefetch the hit container's fingerprints into
+                        // the LPC (and its payloads into the decoded
+                        // cache, keeping the two in lockstep exactly like
+                        // the restore path): nearby chunks of the same
+                        // old stream now dedup without further probes.
+                        let t = self.repo.read_anywhere(cid);
+                        let container = match self.servers[sid].clock.charge(t) {
+                            Ok(Some(c)) => c,
+                            Ok(None) => continue, // reclaimed under us: verdict stands
+                            Err(e) => {
+                                self.rollback_inline_staging(sid, &staged);
+                                return Err(e.into());
+                            }
+                        };
+                        let evicted = self.servers[sid]
+                            .lpc
+                            .insert_container(cid, container.fingerprints().collect());
+                        for e in evicted {
+                            self.servers[sid].container_cache.remove(&e);
+                        }
+                        self.servers[sid]
+                            .container_cache
+                            .insert(cid, crate::server::CachedContainer::new(container));
+                    }
+                    None => {
+                        // Determined new at backup time: transfer and log
+                        // the chunk, stage its Store decision for the next
+                        // chunk-storing pass, and suppress duplicates via
+                        // the owner's checking file until SIU registers it.
+                        self.servers[sid].charge_net(len);
+                        log_cost += match self.servers[sid].try_log_append(LogRecord::from(chunk)) {
+                            Ok(c) => c,
+                            Err(e) => {
+                                self.rollback_inline_staging(sid, &staged);
+                                return Err(e);
+                            }
+                        };
+                        report.transferred_bytes += len;
+                        report.transferred_chunks += 1;
+                        self.servers[sid].stage_inline_store(fp);
+                        if owner != sid {
+                            self.servers[sid].charge_net(64);
+                            self.servers[owner].charge_net(64);
+                        }
+                        self.servers[owner].stage_inline_checking(fp);
+                        staged.push(fp);
+                        filter.mark_determined(&fp);
+                    }
+                }
+            }
+            file_indices.push(FileIndexEntry {
+                path: file.path.clone(),
+                fingerprints: fps,
+                bytes: fbytes,
+            });
+        }
+        let produced = self.servers[sid].clock.since(start);
+        if log_cost > produced {
+            self.servers[sid].clock.advance(log_cost - produced);
+        }
+        // Pure inline leaves nothing undetermined (every transfer verdict
+        // was resolved and downgraded); hybrid's cold remainder goes to
+        // the out-of-line sweep.
+        let und = filter.take_undetermined();
+        report.undetermined_added = und.len() as u64;
+        self.servers[sid].extend_undetermined(und);
+        report.elapsed = self.servers[sid].clock.since(start);
+        let record = RunRecord {
+            run,
+            server: sid as ServerId,
+            client,
+            files: file_indices,
+            logical_bytes: report.logical_bytes,
+            logical_chunks: report.logical_chunks,
+        };
+        Ok((record, report))
+    }
+
+    /// Undo an aborted inline run's staged state: its `Store` decisions on
+    /// the assigned server and its checking entries on the owner parts.
+    /// Only entries this run added are in `staged` (a fingerprint already
+    /// checking or carried over is resolved as a duplicate before staging),
+    /// so removal cannot clobber another run's scheduling.
+    fn rollback_inline_staging(&mut self, sid: usize, staged: &[Fingerprint]) {
+        let w = self.cfg.w_bits;
+        for fp in staged {
+            self.servers[sid].unstage_inline_store(fp);
+            let owner = fp.server_number(w) as usize;
+            self.servers[owner].unstage_inline_checking(fp);
+        }
     }
 
     /// Align all server clocks to the slowest and return that time.
@@ -395,6 +610,11 @@ impl DebarCluster {
         let (round, run_siu) = self.director.peek_dedup2();
         let s = self.servers.len();
         let w = self.cfg.w_bits;
+        // Decisions the backup path already resolved (inline/hybrid dedup):
+        // they enter the round as carryover, bypassing PSIL. Counted before
+        // the round so a faulted attempt reports them again on the resume;
+        // the counters reset only on commit below.
+        let predetermined_fps: u64 = self.servers.iter().map(BackupServer::inline_staged).sum();
         let t0 = self.barrier();
 
         // ---- Phase 1: partition undetermined fingerprints, exchange. ----
@@ -688,10 +908,16 @@ impl DebarCluster {
         };
         let t4 = self.barrier();
         self.director.commit_dedup2();
+        // The round committed: the staged inline decisions it consumed are
+        // accounted for.
+        for srv in &mut self.servers {
+            srv.reset_inline_staged();
+        }
 
         Ok(Dedup2Report {
             round,
             submitted_fps,
+            predetermined_fps,
             dup_registered,
             dup_pending,
             new_fps,

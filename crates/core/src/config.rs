@@ -80,6 +80,67 @@ impl LayoutMode {
     }
 }
 
+/// *When* duplicate detection happens (the inline/out-of-line trade;
+/// ROADMAP item 5).
+///
+/// DEBAR's two-phase design (paper §5) is pure **out-of-line**: the backup
+/// path only consults the in-memory preliminary filter, logs every
+/// undetermined chunk, and defers the authoritative disk-index lookup to
+/// the dedup-2 sweep. The DDFS baseline (`crates/ddfs`) is pure **inline**:
+/// every chunk is resolved against the on-disk index at ingest. Li et al.
+/// (PAPERS.md) show a *hybrid* — inline dedup against a bounded hot
+/// window, out-of-line sweep for the cold remainder — wins on both disk
+/// traffic and backup latency. This axis makes the choice first-class.
+///
+/// Restore bytes are identical across modes (content addressing doesn't
+/// care when a duplicate was detected); what moves is the backup clock,
+/// the backup-path random index reads, and the dedup-2 backlog (chunk-log
+/// bytes + undetermined fingerprints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DedupMode {
+    /// The paper's behavior (default everywhere): the backup path never
+    /// touches the disk index; every filter-missed chunk is logged and its
+    /// fingerprint joins the undetermined set for the dedup-2 sweep.
+    OutOfLine,
+    /// DDFS-style: every filter-missed fingerprint is resolved at backup
+    /// time — LPC first, then a random disk-index probe with
+    /// container-fingerprint prefetch on hit. Nothing is left undetermined;
+    /// dedup-2 only stores the chunks already known new. Slowest backup
+    /// path (random reads on ingest), no backlog.
+    Inline,
+    /// Li-et-al-style bounded inline window: each backup run may spend at
+    /// most `window` random index probes on filter-missed fingerprints
+    /// (hits prefetch their container into the LPC, widening the hot
+    /// window for free); the cold remainder falls back to the out-of-line
+    /// path. `window = 0` is rejected by validation — that spelling is
+    /// [`DedupMode::OutOfLine`]. Like `store_workers`, the budget is not a
+    /// geometry: any positive value validates, no clamping rule.
+    Hybrid {
+        /// Random index-probe budget per backup run. Larger = closer to
+        /// inline (smaller backlog, slower ingest); smaller = closer to
+        /// out-of-line.
+        window: u32,
+    },
+}
+
+impl DedupMode {
+    /// True when the backup path resolves at least some fingerprints
+    /// against the disk index (inline or hybrid).
+    pub fn is_inline(&self) -> bool {
+        !matches!(self, DedupMode::OutOfLine)
+    }
+
+    /// The per-run random index-probe budget: `None` = unlimited (pure
+    /// inline), `Some(0)` = never probe (pure out-of-line).
+    pub fn probe_budget(&self) -> Option<u64> {
+        match self {
+            DedupMode::OutOfLine => Some(0),
+            DedupMode::Inline => None,
+            DedupMode::Hybrid { window } => Some(*window as u64),
+        }
+    }
+}
+
 /// Configuration of a DEBAR deployment.
 ///
 /// Sizes are *actual* in-memory sizes; use the `*_scaled` constructors to
@@ -149,6 +210,13 @@ pub struct DebarConfig {
     /// bytes are identical across modes; dedup ratio and restore clock
     /// trade against each other.
     pub layout: LayoutMode,
+    /// When duplicate detection happens: [`DedupMode::OutOfLine`] (the
+    /// paper's behavior, default everywhere), [`DedupMode::Inline`]
+    /// (DDFS-style resolve-at-ingest), or [`DedupMode::Hybrid`] (bounded
+    /// inline window, cold remainder out-of-line). Restore bytes are
+    /// identical across modes; backup latency and dedup-2 backlog trade
+    /// against each other.
+    pub dedup_mode: DedupMode,
     /// Master seed.
     pub seed: u64,
 }
@@ -175,6 +243,7 @@ impl DebarConfig {
             store_workers: 1,
             retention: 0,
             layout: LayoutMode::Scatter,
+            dedup_mode: DedupMode::OutOfLine,
             seed: 0xDEBA_0001,
         }
     }
@@ -200,6 +269,7 @@ impl DebarConfig {
             store_workers: 1,
             retention: 0,
             layout: LayoutMode::Scatter,
+            dedup_mode: DedupMode::OutOfLine,
             seed: 0xDEBA_0002,
         }
     }
@@ -223,6 +293,7 @@ impl DebarConfig {
             store_workers: 1,
             retention: 0,
             layout: LayoutMode::Scatter,
+            dedup_mode: DedupMode::OutOfLine,
             seed: 0xDEBA_7E57,
         }
     }
@@ -285,6 +356,14 @@ impl DebarConfig {
     /// of 0 refs/MiB).
     pub fn with_layout(mut self, layout: LayoutMode) -> Self {
         self.layout = layout;
+        self
+    }
+
+    /// Builder: select when duplicate detection happens (see the
+    /// `dedup_mode` field; `try_validate` rejects a hybrid window of 0
+    /// probes — that spelling is [`DedupMode::OutOfLine`]).
+    pub fn with_dedup_mode(mut self, mode: DedupMode) -> Self {
+        self.dedup_mode = mode;
         self
     }
 
@@ -412,6 +491,20 @@ impl DebarConfig {
                     .into(),
             ));
         }
+        if let DedupMode::Hybrid { window: 0 } = self.dedup_mode {
+            return Err(geometry(
+                "hybrid dedup needs a positive inline probe window \
+                 (window >= 1); a zero window is spelled DedupMode::OutOfLine"
+                    .into(),
+            ));
+        }
+        if self.filter_bytes < debar_filter::NODE_BYTES {
+            return Err(geometry(format!(
+                "preliminary-filter budget ({} B) below one {}-byte node",
+                self.filter_bytes,
+                debar_filter::NODE_BYTES
+            )));
+        }
         let buckets = self.index_part_params().buckets();
         if self.sweep_parts as u64 > buckets {
             return Err(geometry(format!(
@@ -526,6 +619,36 @@ mod tests {
             max_refs_per_mib: 0,
         }));
         assert!(r.contains("reference budget"), "{r}");
+        let r = geom(base.with_dedup_mode(DedupMode::Hybrid { window: 0 }));
+        assert!(r.contains("probe window"), "{r}");
+        let r = geom(DebarConfig {
+            filter_bytes: debar_filter::NODE_BYTES - 1,
+            ..base
+        });
+        assert!(r.contains("filter budget"), "{r}");
+    }
+
+    #[test]
+    fn dedup_mode_defaults_to_out_of_line_and_others_validate() {
+        for cfg in [
+            DebarConfig::single_server_scaled(1024),
+            DebarConfig::cluster_scaled(2, 32 << 30, 1024),
+            DebarConfig::tiny_test(0),
+        ] {
+            assert_eq!(cfg.dedup_mode, DedupMode::OutOfLine);
+            assert!(!cfg.dedup_mode.is_inline());
+            assert_eq!(cfg.dedup_mode.probe_budget(), Some(0));
+        }
+        let inline = DebarConfig::tiny_test(0).with_dedup_mode(DedupMode::Inline);
+        inline.validate();
+        assert!(inline.dedup_mode.is_inline());
+        assert_eq!(inline.dedup_mode.probe_budget(), None);
+        // Like store_workers: any positive window validates, no upper clamp.
+        for w in [1u32, 7, 100_000] {
+            let hybrid = DebarConfig::tiny_test(0).with_dedup_mode(DedupMode::Hybrid { window: w });
+            hybrid.validate();
+            assert_eq!(hybrid.dedup_mode.probe_budget(), Some(w as u64));
+        }
     }
 
     #[test]

@@ -177,6 +177,38 @@
 //! victims, serial fresh-container stores) and crash-consistent under
 //! the same store-new-then-repoint contract as GC compaction; see the
 //! `fig_restore` bench for the Scatter-vs-Capped generation sweep.
+//!
+//! ## Deduplication modes
+//!
+//! [`DebarConfig::dedup_mode`] selects *when* a filter-missed
+//! fingerprint is resolved against the disk index — the axis the paper
+//! contrasts with DDFS's inline scheme (§1, §6):
+//!
+//! * [`DedupMode::OutOfLine`] (default, the paper's TPDS): dedup-1 only
+//!   consults the in-memory preliminary filter; every miss is appended
+//!   to the chunk log with its fingerprint *undetermined*, and the
+//!   batched dedup-2 sweep (PSIL → chunk storing → PSIU) resolves the
+//!   whole backlog later with sequential index I/O.
+//! * [`DedupMode::Inline`] (the DDFS-style baseline): every filter miss
+//!   is resolved *at backup time* — locality-preserving-cache lookup,
+//!   then pending-set consult, then a random disk-index probe, with a
+//!   container prefetch on a probe hit. Known duplicates never enter
+//!   the chunk log; genuinely new chunks are logged with their storage
+//!   decision pre-staged, so dedup-2 has **no backlog**
+//!   ([`Dedup1Report::backlog_bytes`]` == 0`) and its sweep sees zero
+//!   submitted fingerprints — at the cost of random index reads on the
+//!   backup path ([`Dedup1Report::inline_index_reads`]).
+//! * [`DedupMode::Hybrid`]` { window }`: inline resolution against the
+//!   hot tier only, under a per-run budget of `window` random index
+//!   probes; once the budget is spent, the cold remainder falls back to
+//!   the out-of-line log. Backlog shrinks below `OutOfLine`'s while
+//!   backup-path index reads stay bounded below `Inline`'s.
+//!
+//! Restore bytes and dedup outcomes are mode-invariant — only *where*
+//! the index I/O is spent moves (proven across modes, sweep stripes and
+//! replication by `tests/dedup_modes.rs`; quantified by the `fig_modes`
+//! bench). Chunks resolved inline arrive at dedup-2 as pre-staged
+//! carryover decisions, surfaced in [`Dedup2Report::predetermined_fps`].
 
 pub mod chunklog;
 pub mod client;
@@ -193,7 +225,7 @@ pub mod server;
 pub mod system;
 
 pub use cluster::{CapReport, DebarCluster, GcReport, LayoutReport};
-pub use config::{DebarConfig, LayoutMode};
+pub use config::{DebarConfig, DedupMode, LayoutMode};
 pub use dataset::{ChunkedFile, Dataset, FileContent, FileEntry, StreamChunk};
 pub use error::{DebarError, DebarResult, Dedup2Phase};
 pub use ids::{ClientId, JobId, RunId, ServerId};

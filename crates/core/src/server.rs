@@ -147,8 +147,15 @@ pub struct BackupServer {
     /// Storage decisions carried over from an interrupted chunk-storing
     /// phase: the chunk log still holds the matching records (re-queued at
     /// crash rollback), and the resumed round's [`BackupServer::store_chunks`]
-    /// merges these ahead of the new round's verdicts.
+    /// merges these ahead of the new round's verdicts. Inline/hybrid
+    /// backups stage their resolved-new `Store` decisions here too — the
+    /// chunk-storing pass consumes both through the same merge.
     carryover: HashMap<Fingerprint, Decision>,
+    /// Store decisions staged by the *backup path* (inline/hybrid dedup)
+    /// since the last completed dedup-2 round — the
+    /// `Dedup2Report::predetermined_fps` source. Reset only after a round
+    /// commits, so a faulted round's resume still reports them.
+    inline_staged: u64,
     /// LPC read cache (fingerprint side).
     pub(crate) lpc: LpcCache,
     /// Payload side of the LPC: resident containers for chunk extraction.
@@ -199,6 +206,7 @@ impl BackupServer {
             checking: HashSet::new(),
             pending_updates: Vec::new(),
             carryover: HashMap::new(),
+            inline_staged: 0,
             lpc: LpcCache::new(cfg.lpc_containers),
             container_cache: HashMap::new(),
             cfg,
@@ -360,6 +368,9 @@ impl BackupServer {
             transferred_chunks: 0,
             filtered_dups: 0,
             undetermined_added: 0,
+            inline_hits: 0,
+            inline_index_reads: 0,
+            backlog_bytes: 0,
             elapsed: 0.0,
         };
         let mut file_indices = Vec::with_capacity(files.len());
@@ -406,6 +417,9 @@ impl BackupServer {
         let und = filter.take_undetermined();
         report.undetermined_added = und.len() as u64;
         self.undetermined.extend(und);
+        // Pure out-of-line: everything transferred awaits the dedup-2
+        // sweep (the inline/hybrid path in `cluster.rs` logs less).
+        report.backlog_bytes = report.transferred_bytes;
         report.elapsed = self.clock.since(start);
         let record = RunRecord {
             run,
@@ -421,6 +435,73 @@ impl BackupServer {
     /// Take the accumulated undetermined fingerprints (start of dedup-2).
     pub fn take_undetermined(&mut self) -> Vec<Fingerprint> {
         std::mem::take(&mut self.undetermined)
+    }
+
+    // ------------------------------------------------------------------
+    // Inline/hybrid dedup support (the cluster-level backup loop in
+    // `cluster.rs` drives these; pure out-of-line never touches them)
+    // ------------------------------------------------------------------
+
+    /// Charge the per-chunk ingest cost (fingerprint over the wire + one
+    /// in-memory filter probe) to this server's clock.
+    pub(crate) fn charge_ingest_fp(&mut self) {
+        let c = self.nic.stream(25) + self.cpu.probe_fps(1);
+        self.clock.advance(c);
+    }
+
+    /// Fault-checked chunk-log append (the inline loop's transfer path).
+    pub(crate) fn try_log_append(&mut self, rec: LogRecord) -> Result<Secs, DebarError> {
+        self.chunk_log.try_append(rec)
+    }
+
+    /// Accumulate undetermined fingerprints (the hybrid cold remainder).
+    pub(crate) fn extend_undetermined(&mut self, fps: Vec<Fingerprint>) {
+        self.undetermined.extend(fps);
+    }
+
+    /// Whether this part's checking file holds `fp` (a store is scheduled,
+    /// SIU pending) — the inline loop's pending-duplicate consult.
+    pub(crate) fn checking_contains(&self, fp: &Fingerprint) -> bool {
+        self.checking.contains(fp)
+    }
+
+    /// Stage an inline-resolved `Store` decision for a chunk this server
+    /// just logged: the next chunk-storing pass consumes it through the
+    /// same carryover merge an interrupted round uses.
+    pub(crate) fn stage_inline_store(&mut self, fp: Fingerprint) {
+        merge_decision(&mut self.carryover, fp, Decision::Store);
+        self.inline_staged += 1;
+    }
+
+    /// Roll one staged inline `Store` back (backup abort: the stray log
+    /// record must carry no verdict, exactly like an aborted out-of-line
+    /// run's records).
+    pub(crate) fn unstage_inline_store(&mut self, fp: &Fingerprint) {
+        self.carryover.remove(fp);
+        self.inline_staged = self.inline_staged.saturating_sub(1);
+    }
+
+    /// Add an inline-scheduled fingerprint to this part's checking file
+    /// (duplicate suppression until SIU registers it).
+    pub(crate) fn stage_inline_checking(&mut self, fp: Fingerprint) {
+        self.checking.insert(fp);
+    }
+
+    /// Roll one inline checking entry back (backup abort).
+    pub(crate) fn unstage_inline_checking(&mut self, fp: &Fingerprint) {
+        self.checking.remove(fp);
+    }
+
+    /// Store decisions the backup path staged since the last completed
+    /// dedup-2 round (`Dedup2Report::predetermined_fps`).
+    pub fn inline_staged(&self) -> u64 {
+        self.inline_staged
+    }
+
+    /// Clear the inline-staged counter (cluster-driven, after the round's
+    /// chunk-storing phase committed the staged decisions).
+    pub(crate) fn reset_inline_staged(&mut self) {
+        self.inline_staged = 0;
     }
 
     // ------------------------------------------------------------------
@@ -892,6 +973,7 @@ impl BackupServer {
             checking: HashSet::new(),
             pending_updates: Vec::new(),
             carryover: HashMap::new(),
+            inline_staged: 0,
             lpc: LpcCache::new(new_cfg.lpc_containers),
             container_cache: HashMap::new(),
             cfg: new_cfg,
@@ -907,6 +989,7 @@ impl BackupServer {
             checking: HashSet::new(),
             pending_updates: Vec::new(),
             carryover: HashMap::new(),
+            inline_staged: 0,
             lpc: LpcCache::new(new_cfg.lpc_containers),
             container_cache: HashMap::new(),
             cfg: new_cfg,

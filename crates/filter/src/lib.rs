@@ -23,4 +23,4 @@ pub mod prelim;
 
 pub use bloom::BloomFilter;
 pub use cuckoo::CuckooFilter;
-pub use prelim::{FilterVerdict, PrelimFilter, PrelimStats};
+pub use prelim::{FilterVerdict, PrelimFilter, PrelimStats, NODE_BYTES};

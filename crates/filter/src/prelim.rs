@@ -79,6 +79,10 @@ pub struct PrelimFilter {
     stats: PrelimStats,
 }
 
+/// Memory footprint of one filter node (20-byte fingerprint + flags +
+/// queue slot); the unit [`PrelimFilter::with_memory`] divides a budget by.
+pub const NODE_BYTES: u64 = 28;
+
 impl PrelimFilter {
     /// Create a filter holding at most `capacity` fingerprints.
     ///
@@ -95,10 +99,27 @@ impl PrelimFilter {
         }
     }
 
-    /// Create a filter sized for a memory budget (≈28 bytes per node:
-    /// 20-byte fingerprint + flags + queue slot).
+    /// Create a filter sized for a memory budget ([`NODE_BYTES`] per node).
+    ///
+    /// # Panics
+    /// Panics if `bytes` cannot hold even one node — mirroring
+    /// `BloomFilter::with_memory`, a zero (or sub-node) budget is a
+    /// configuration error, not a silent one-entry filter. Use
+    /// [`PrelimFilter::try_with_memory`] for the fallible form.
     pub fn with_memory(bytes: u64) -> Self {
-        Self::new(((bytes / 28).max(1)) as usize)
+        match Self::try_with_memory(bytes) {
+            Some(f) => f,
+            None => panic!("filter memory budget below one {NODE_BYTES}-byte node: {bytes}"),
+        }
+    }
+
+    /// Fallible form of [`PrelimFilter::with_memory`]: `None` if the budget
+    /// cannot hold a single [`NODE_BYTES`]-sized node.
+    pub fn try_with_memory(bytes: u64) -> Option<Self> {
+        if bytes < NODE_BYTES {
+            return None;
+        }
+        Some(Self::new((bytes / NODE_BYTES) as usize))
     }
 
     /// Number of resident fingerprints.
@@ -125,22 +146,21 @@ impl PrelimFilter {
     /// the job chain (inserted as *old*; they never join the undetermined
     /// set). Ingestion stops silently at capacity — for large jobs the paper
     /// loads filtering fingerprints "group by group" instead.
+    ///
+    /// A fingerprint already resident keeps its node untouched: priming
+    /// over a *new*-marked entry must not downgrade it (that would drop the
+    /// chunk from the undetermined set and it would never reach dedup-2),
+    /// and a reprieve earned via `referenced` survives too.
     pub fn prime(&mut self, filtering: impl IntoIterator<Item = Fingerprint>) {
         for fp in filtering {
             if self.nodes.len() >= self.capacity {
                 break;
             }
-            if self
-                .nodes
-                .insert(
-                    fp,
-                    Node {
-                        is_new: false,
-                        referenced: false,
-                    },
-                )
-                .is_none()
-            {
+            if let std::collections::hash_map::Entry::Vacant(slot) = self.nodes.entry(fp) {
+                slot.insert(Node {
+                    is_new: false,
+                    referenced: false,
+                });
                 self.queue.push_back(fp);
             }
         }
@@ -155,8 +175,16 @@ impl PrelimFilter {
             self.stats.duplicates += 1;
             return FilterVerdict::Duplicate;
         }
-        if self.nodes.len() >= self.capacity {
-            self.evict_one();
+        if self.nodes.len() >= self.capacity && !self.evict_one() {
+            // No victim could be freed (the replacement queue was exhausted,
+            // e.g. after external state corruption): the capacity bound still
+            // holds. The fingerprint is not lost — it goes straight to the
+            // undetermined spill, exactly as if it had been inserted and
+            // immediately evicted.
+            self.spilled.push(fp);
+            self.stats.spills += 1;
+            self.stats.transfers += 1;
+            return FilterVerdict::Transfer;
         }
         self.nodes.insert(
             fp,
@@ -170,12 +198,14 @@ impl PrelimFilter {
         FilterVerdict::Transfer
     }
 
-    /// Second-chance (CLOCK) eviction.
-    fn evict_one(&mut self) {
+    /// Second-chance (CLOCK) eviction. Returns whether a slot was freed;
+    /// `false` means the replacement queue ran dry without producing a
+    /// victim, and the caller must not insert.
+    fn evict_one(&mut self) -> bool {
         loop {
             let candidate = match self.queue.pop_front() {
                 Some(fp) => fp,
-                None => return, // queue exhausted (shouldn't happen)
+                None => return false, // queue exhausted: nothing to evict
             };
             let Some(node) = self.nodes.get_mut(&candidate) else {
                 continue; // stale queue slot
@@ -191,7 +221,7 @@ impl PrelimFilter {
                 self.spilled.push(candidate);
                 self.stats.spills += 1;
             }
-            return;
+            return true;
         }
     }
 
@@ -216,6 +246,23 @@ impl PrelimFilter {
             node.is_new = false;
         }
         out
+    }
+
+    /// Downgrade a resident *new* node to *old*: its duplicate status has
+    /// been resolved out of band (inline dedup against the disk index), so
+    /// it must not join the undetermined set. Returns whether the
+    /// fingerprint was resident. The node keeps filtering duplicates for
+    /// the rest of the session; call immediately after [`PrelimFilter::check`]
+    /// returned [`FilterVerdict::Transfer`], before any further check can
+    /// evict (and spill) the entry.
+    pub fn mark_determined(&mut self, fp: &Fingerprint) -> bool {
+        match self.nodes.get_mut(fp) {
+            Some(node) => {
+                node.is_new = false;
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -326,6 +373,86 @@ mod tests {
     }
 
     #[test]
+    fn with_memory_zero_budget_is_rejected() {
+        // Consistent with `BloomFilter::with_memory(0, k)`: a budget that
+        // cannot hold one node is a typed error, not a silent 1-entry
+        // filter.
+        assert!(PrelimFilter::try_with_memory(0).is_none());
+        assert!(PrelimFilter::try_with_memory(NODE_BYTES - 1).is_none());
+        let f = PrelimFilter::try_with_memory(NODE_BYTES).expect("one node fits");
+        assert_eq!(f.capacity(), 1);
+        let r = std::panic::catch_unwind(|| PrelimFilter::with_memory(0));
+        assert!(r.is_err(), "with_memory(0) must panic");
+    }
+
+    #[test]
+    fn check_holds_capacity_bound_when_queue_is_exhausted() {
+        // Regression: with a full table but an empty replacement queue,
+        // `evict_one` used to bail out silently and `check` inserted past
+        // `capacity`. The state is unreachable through the public API (the
+        // queue mirrors the resident set), so manufacture it directly.
+        let mut f = PrelimFilter::new(4);
+        for i in 0..4u64 {
+            f.check(fp(i));
+        }
+        assert_eq!(f.len(), f.capacity());
+        f.queue.clear(); // corrupt: residents with no replacement slots
+        assert_eq!(f.check(fp(100)), FilterVerdict::Transfer);
+        assert!(
+            f.len() <= f.capacity(),
+            "check must never grow past capacity (len {} > cap {})",
+            f.len(),
+            f.capacity()
+        );
+        // The fingerprint is not lost: it was spilled to the undetermined
+        // set instead of being inserted.
+        assert!(f.take_undetermined().contains(&fp(100)));
+    }
+
+    #[test]
+    fn prime_preserves_resident_new_nodes() {
+        // Regression: priming over a fingerprint already checked in as
+        // *new* used to overwrite the node with `is_new: false`, silently
+        // dropping the chunk from the undetermined set — it would never
+        // reach dedup-2 and could never be stored.
+        let mut f = PrelimFilter::new(100);
+        assert_eq!(f.check(fp(7)), FilterVerdict::Transfer);
+        // A later job in the same session primes with an overlapping chain.
+        f.prime([fp(7), fp(8)]);
+        let und = f.take_undetermined();
+        assert!(
+            und.contains(&fp(7)),
+            "prime collision dropped a new fingerprint from the undetermined set"
+        );
+        // The primed-only fingerprint stays old.
+        assert!(!und.contains(&fp(8)));
+    }
+
+    #[test]
+    fn prime_preserves_referenced_bit() {
+        let mut f = PrelimFilter::new(4);
+        for i in 0..4u64 {
+            f.check(fp(i));
+        }
+        f.check(fp(0)); // referenced
+        f.prime([fp(0)]); // collision must not clear the reprieve
+        f.check(fp(100)); // evicts fp(1), not the hot fp(0)
+        assert_eq!(f.check(fp(0)), FilterVerdict::Duplicate, "reprieve lost");
+    }
+
+    #[test]
+    fn mark_determined_removes_from_undetermined() {
+        let mut f = PrelimFilter::new(100);
+        assert_eq!(f.check(fp(1)), FilterVerdict::Transfer);
+        assert_eq!(f.check(fp(2)), FilterVerdict::Transfer);
+        assert!(f.mark_determined(&fp(1)));
+        assert!(!f.mark_determined(&fp(99)), "non-resident");
+        assert_eq!(f.take_undetermined(), vec![fp(2)]);
+        // Determined nodes keep filtering duplicates.
+        assert_eq!(f.check(fp(1)), FilterVerdict::Duplicate);
+    }
+
+    #[test]
     fn internal_duplication_within_one_run_is_filtered() {
         // "the internal duplication of a job dataset can be easily
         // identified instead of resorting to the index lookup" (§5.1).
@@ -356,6 +483,61 @@ mod tests {
             let und_set: std::collections::HashSet<_> = und.iter().copied().collect();
             proptest::prop_assert_eq!(und.len(), und_set.len(), "duplicate in undetermined set");
             proptest::prop_assert_eq!(und_set, transferred);
+        }
+
+        #[test]
+        fn prop_len_bounded_under_arbitrary_interleavings(ops: Vec<u8>, cap in 1usize..12) {
+            // `len() <= capacity()` must hold after every operation, for any
+            // interleaving of check / prime / take_undetermined. Each byte
+            // encodes one op: low bits pick the op, high bits the fingerprint.
+            let mut f = PrelimFilter::new(cap);
+            for &b in &ops {
+                let v = (b >> 2) as u64;
+                match b & 0b11 {
+                    0 | 1 => {
+                        f.check(fp(v));
+                    }
+                    2 => f.prime((v..v + 4).map(fp)),
+                    _ => {
+                        f.take_undetermined();
+                    }
+                }
+                proptest::prop_assert!(
+                    f.len() <= f.capacity(),
+                    "len {} exceeded capacity {}",
+                    f.len(),
+                    f.capacity()
+                );
+            }
+        }
+
+        #[test]
+        fn prop_take_undetermined_exactly_once_per_window(
+            windows: Vec<Vec<u8>>,
+            cap in 1usize..12,
+        ) {
+            // Across successive take_undetermined windows, every fingerprint
+            // that earned a Transfer verdict inside a window is returned by
+            // that window's collection exactly once (spilled and resident
+            // paths de-duplicated), and never re-returned by a later window
+            // unless it transferred again.
+            let mut f = PrelimFilter::new(cap);
+            for window in &windows {
+                let mut transferred = std::collections::HashSet::new();
+                for &b in window {
+                    if f.check(fp(b as u64)) == FilterVerdict::Transfer {
+                        transferred.insert(fp(b as u64));
+                    }
+                }
+                let und = f.take_undetermined();
+                let und_set: std::collections::HashSet<_> = und.iter().copied().collect();
+                proptest::prop_assert_eq!(
+                    und.len(),
+                    und_set.len(),
+                    "duplicate within one window's undetermined set"
+                );
+                proptest::prop_assert_eq!(und_set, transferred);
+            }
         }
     }
 }

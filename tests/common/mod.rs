@@ -20,8 +20,8 @@
 use debar::hash::Sha1;
 use debar::workload::files::{FileSpec, FileTreeConfig, FileTreeGen, MutationConfig};
 use debar::{
-    ClientId, Damage, Dataset, DebarCluster, DebarConfig, DebarError, Dedup2Phase, FaultPlan,
-    JobId, LayoutMode, RunId,
+    ClientId, Damage, Dataset, DebarCluster, DebarConfig, DebarError, Dedup2Phase, DedupMode,
+    FaultPlan, JobId, LayoutMode, RunId,
 };
 
 /// The failure kind a scenario injects (beyond plain index loss).
@@ -148,6 +148,12 @@ pub struct Scenario {
     /// typed `UnknownRun`; the retained runs must still restore
     /// byte-identically. `0` disables the deletion phase entirely.
     pub retention: u32,
+    /// When the backup path resolves filter-missed fingerprints:
+    /// `OutOfLine` (the paper's TPDS default), `Inline` (DDFS-style
+    /// resolve-at-backup, no dedup-2 backlog) or `Hybrid { window }`
+    /// (bounded inline probes, cold remainder out-of-line). Restore
+    /// bytes must be identical across modes for the same workload.
+    pub dedup_mode: DedupMode,
 }
 
 impl Scenario {
@@ -168,7 +174,14 @@ impl Scenario {
             failure: Failure::None,
             layout: LayoutMode::Scatter,
             retention: 0,
+            dedup_mode: DedupMode::OutOfLine,
         }
+    }
+
+    /// Builder: select when filter-missed fingerprints are resolved.
+    pub fn with_dedup_mode(mut self, mode: DedupMode) -> Self {
+        self.dedup_mode = mode;
+        self
     }
 
     /// Builder: select the container layout policy.
@@ -234,7 +247,8 @@ impl Scenario {
             .with_store_workers(self.store_workers)
             .with_replication(self.replication)
             .with_layout(self.layout)
-            .with_retention(self.retention);
+            .with_retention(self.retention)
+            .with_dedup_mode(self.dedup_mode);
         cfg.siu_interval = self.siu_interval;
         cfg.validate();
         cfg
@@ -375,6 +389,49 @@ pub fn layout_matrix() -> Vec<LayoutMode> {
             LayoutMode::Capped {
                 max_refs_per_mib: 2,
             },
+        ],
+    }
+}
+
+/// The dedup-mode matrix the suites parameterize over: `{OutOfLine,
+/// Inline, Hybrid { window: 4 }}` by default, overridable as a
+/// comma-separated list of mode tokens through the `DEBAR_DEDUP_MODE`
+/// environment variable (the CI mode-matrix legs select values this
+/// way). Tokens: `outofline`, `inline`, or `hybrid` / `hybrid:N` for
+/// `Hybrid { window: N }` (default window 4).
+pub fn mode_matrix() -> Vec<DedupMode> {
+    let parse = |tok: &str| -> Option<DedupMode> {
+        let tok = tok.trim();
+        match tok {
+            "outofline" => Some(DedupMode::OutOfLine),
+            "inline" => Some(DedupMode::Inline),
+            "hybrid" => Some(DedupMode::Hybrid { window: 4 }),
+            _ => {
+                let n = tok
+                    .strip_prefix("hybrid:")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)?;
+                Some(DedupMode::Hybrid { window: n })
+            }
+        }
+    };
+    match std::env::var("DEBAR_DEDUP_MODE") {
+        Ok(s) => {
+            let parsed: Vec<DedupMode> = s.split(',').filter_map(parse).collect();
+            // Same loudness rule as the numeric matrices: a set-but-bogus
+            // variable must fail, not silently run the default modes.
+            assert!(
+                parsed.len() == s.split(',').count(),
+                "DEBAR_DEDUP_MODE is set but unparsable: {s:?} \
+                 (expected a comma-separated list of outofline|inline|hybrid|hybrid:N)"
+            );
+            parsed
+        }
+        Err(_) => vec![
+            DedupMode::OutOfLine,
+            DedupMode::Inline,
+            DedupMode::Hybrid { window: 4 },
         ],
     }
 }
