@@ -44,7 +44,7 @@ use debar_filter::{CuckooFilter, FilterVerdict, PrelimFilter};
 use debar_hash::{ContainerId, Fingerprint, Sha1};
 use debar_index::SiuReport;
 use debar_simio::models::paper;
-use debar_simio::{FaultPlan, Secs};
+use debar_simio::{FaultPlan, Secs, Timed};
 use debar_store::{ChunkRepository, CorruptKind, Damage, Payload};
 use std::collections::{BTreeSet, HashMap};
 
@@ -100,7 +100,9 @@ impl DebarCluster {
             director: Director::new(&cfg),
             servers,
             repo: ChunkRepository::new(cfg.repo_nodes, paper::repo_disk(), cfg.container_bytes)
-                .with_replication(cfg.replication),
+                .with_replication(cfg.replication)
+                .with_retry(cfg.retry)
+                .with_health_policy(cfg.health),
             clients: HashMap::new(),
             carryover_store: StoreReport::default(),
             summary: CuckooFilter::with_capacity(1024, cfg.seed ^ 0x6C1A_55E7),
@@ -181,6 +183,35 @@ impl DebarCluster {
         Ok(self.repo.repair_node(node).value?)
     }
 
+    /// One repository node's health as tracked by the configured
+    /// [`debar_store::HealthPolicy`] (always `Healthy` when tracking is
+    /// disabled). An out-of-range node is a typed error.
+    pub fn repo_node_health(&mut self, node: usize) -> DebarResult<debar_store::Health> {
+        Ok(self.repo.node_health(node)?)
+    }
+
+    /// Cluster-wide integrity scrub: walk every container copy on every
+    /// up repository node, verify its checksummed image, and re-replicate
+    /// every corrupt or missing copy from a clean survivor. Returns the
+    /// [`debar_store::ScrubReport`] accounting every copy checked,
+    /// corruption found, repair made and copy left unrecoverable.
+    ///
+    /// The scrub walks repository state that an in-flight dedup-2 round is
+    /// still appending to, so — like [`DebarCluster::run_gc`] and
+    /// [`DebarCluster::scale_out`] — it requires every server to be
+    /// quiesced and refuses with the typed [`DebarError::NotQuiesced`]
+    /// otherwise (finish the round with `run_dedup2` + `force_siu`).
+    /// Maintenance I/O runs in the background: the returned cost is the
+    /// slowest node's share, charged to no backup server's clock.
+    pub fn scrub(&mut self) -> DebarResult<Timed<debar_store::ScrubReport>> {
+        if let Some(sid) = self.servers.iter().position(|s| !s.is_quiesced()) {
+            return Err(DebarError::NotQuiesced {
+                server: sid as ServerId,
+            });
+        }
+        Ok(self.repo.scrub_all())
+    }
+
     /// Arm a deterministic fault schedule on one server's index disk
     /// (volume level: the fault takes out the whole striped sweep).
     pub fn set_index_fault_plan(&mut self, server: ServerId, plan: FaultPlan) {
@@ -244,14 +275,17 @@ impl DebarCluster {
 
     /// Inject damage against a stored container (torn write / bit rot);
     /// every later read of it surfaces [`DebarError::CorruptContainer`].
-    /// Returns `false` if the container does not exist.
-    pub fn corrupt_container(&mut self, cid: ContainerId, damage: Damage) -> bool {
-        self.repo.corrupt_container(cid, damage)
+    /// Targeting a container that does not exist is the typed
+    /// [`DebarError::MissingContainer`], never a silent no-op.
+    pub fn corrupt_container(&mut self, cid: ContainerId, damage: Damage) -> DebarResult<()> {
+        Ok(self.repo.corrupt_container(cid, damage)?)
     }
 
-    /// Clear injected damage (admin repair from a replica).
-    pub fn repair_container(&mut self, cid: ContainerId) -> bool {
-        self.repo.repair_container(cid)
+    /// Clear injected damage (admin repair from a replica). Targeting a
+    /// container that does not exist is the typed
+    /// [`DebarError::MissingContainer`].
+    pub fn repair_container(&mut self, cid: ContainerId) -> DebarResult<()> {
+        Ok(self.repo.repair_container(cid)?)
     }
 
     /// Per-server undetermined fingerprint counts.
@@ -1020,6 +1054,8 @@ impl DebarCluster {
         let start = self.servers[sid].clock.now();
         let lpc_before = self.servers[sid].lpc.stats();
         let failover_before = self.repo.stats().failover_reads;
+        let corrupt_before = self.repo.stats().corrupt_reads;
+        let retried_before = self.repo.stats().retried_ops;
         let mut report = RestoreReport {
             run,
             files: 0,
@@ -1029,6 +1065,8 @@ impl DebarCluster {
             layout: LayoutReport::default(),
             failures: 0,
             failover_reads: 0,
+            corrupt_reads: 0,
+            retried_ops: 0,
             elapsed: 0.0,
         };
         let mut tracker = LayoutTracker::default();
@@ -1139,6 +1177,8 @@ impl DebarCluster {
             evictions: lpc_after.evictions - lpc_before.evictions,
         };
         report.failover_reads = self.repo.stats().failover_reads - failover_before;
+        report.corrupt_reads = self.repo.stats().corrupt_reads - corrupt_before;
+        report.retried_ops = self.repo.stats().retried_ops - retried_before;
         report.layout = tracker.finish(report.chunks, report.bytes);
         Ok(report)
     }
@@ -1772,7 +1812,8 @@ mod tests {
         c.run_dedup2().expect("dedup2");
         let run = RunId { job, version: 0 };
         let target = c.repository().container_ids()[0];
-        assert!(c.corrupt_container(target, Damage::BitFlip));
+        c.corrupt_container(target, Damage::BitFlip)
+            .expect("container exists");
         // Strict restore fails fast with the typed error...
         let err = c.restore_run(run).expect_err("corruption detected");
         assert!(
@@ -1790,7 +1831,7 @@ mod tests {
             "{err}"
         );
         // Repair, then everything converges again.
-        assert!(c.repair_container(target));
+        c.repair_container(target).expect("container exists");
         c.recover_index(0).expect("rebuild after repair");
         let r = c.restore_run(run).expect("restore after repair");
         assert_eq!(r.failures, 0);

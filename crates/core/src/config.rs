@@ -36,7 +36,8 @@
 //!   [`crate::DebarError::PartDiskFault`] naming that part.
 
 use debar_index::IndexParams;
-use debar_simio::ScaleModel;
+use debar_simio::{RetryPolicy, ScaleModel};
+use debar_store::HealthPolicy;
 use serde::{Deserialize, Serialize};
 
 /// Physical container-layout policy for duplicate chunks (the
@@ -217,6 +218,22 @@ pub struct DebarConfig {
     /// identical across modes; backup latency and dedup-2 backlog trade
     /// against each other.
     pub dedup_mode: DedupMode,
+    /// Retry policy for repository-node I/O: each fault-checked read or
+    /// write may take up to `max_attempts` total tries, charging
+    /// `backoff_cost` seconds of simulated time to the failing node's disk
+    /// between tries. Transient faults that clear within the budget never
+    /// surface to the caller; exhaustion is the typed
+    /// [`crate::DebarError::RetriesExhausted`]. The default
+    /// (`max_attempts` 1, no backoff) is fail-fast — the pre-retry
+    /// behavior everywhere.
+    pub retry: RetryPolicy,
+    /// Error thresholds driving each repository node's health state
+    /// machine (healthy → suspect → quarantined): reads prefer healthier
+    /// replicas, writes refuse quarantined targets while replication can
+    /// still be honored, and `repair_node` resets a node to healthy. The
+    /// default (both thresholds 0) disables health tracking — the
+    /// pre-health behavior everywhere.
+    pub health: HealthPolicy,
     /// Master seed.
     pub seed: u64,
 }
@@ -244,6 +261,8 @@ impl DebarConfig {
             retention: 0,
             layout: LayoutMode::Scatter,
             dedup_mode: DedupMode::OutOfLine,
+            retry: RetryPolicy::none(),
+            health: HealthPolicy::default(),
             seed: 0xDEBA_0001,
         }
     }
@@ -270,6 +289,8 @@ impl DebarConfig {
             retention: 0,
             layout: LayoutMode::Scatter,
             dedup_mode: DedupMode::OutOfLine,
+            retry: RetryPolicy::none(),
+            health: HealthPolicy::default(),
             seed: 0xDEBA_0002,
         }
     }
@@ -294,6 +315,8 @@ impl DebarConfig {
             retention: 0,
             layout: LayoutMode::Scatter,
             dedup_mode: DedupMode::OutOfLine,
+            retry: RetryPolicy::none(),
+            health: HealthPolicy::default(),
             seed: 0xDEBA_7E57,
         }
     }
@@ -364,6 +387,24 @@ impl DebarConfig {
     /// probes — that spelling is [`DedupMode::OutOfLine`]).
     pub fn with_dedup_mode(mut self, mode: DedupMode) -> Self {
         self.dedup_mode = mode;
+        self
+    }
+
+    /// Builder: absorb transient repository-node faults with up to
+    /// `max_attempts` total tries per I/O, charging `backoff_cost`
+    /// simulated seconds between tries (see the `retry` field;
+    /// `try_validate` rejects 0 attempts and non-finite or negative
+    /// backoff).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Builder: track repository-node health with the given error
+    /// thresholds (see the `health` field; `try_validate` rejects a
+    /// suspect threshold above the quarantine one when both are set).
+    pub fn with_health(mut self, health: HealthPolicy) -> Self {
+        self.health = health;
         self
     }
 
@@ -498,6 +539,27 @@ impl DebarConfig {
                     .into(),
             ));
         }
+        if self.retry.max_attempts == 0 {
+            return Err(geometry(
+                "retry policy needs at least 1 attempt (1 = fail-fast)".into(),
+            ));
+        }
+        if !self.retry.backoff_cost.is_finite() || self.retry.backoff_cost < 0.0 {
+            return Err(geometry(format!(
+                "retry backoff cost {} must be a finite non-negative duration",
+                self.retry.backoff_cost
+            )));
+        }
+        if self.health.suspect_after > 0
+            && self.health.quarantine_after > 0
+            && self.health.suspect_after > self.health.quarantine_after
+        {
+            return Err(geometry(format!(
+                "health thresholds out of order: suspect_after {} exceeds quarantine_after {} \
+                 (a node would quarantine before it turns suspect)",
+                self.health.suspect_after, self.health.quarantine_after
+            )));
+        }
         if self.filter_bytes < debar_filter::NODE_BYTES {
             return Err(geometry(format!(
                 "preliminary-filter budget ({} B) below one {}-byte node",
@@ -626,6 +688,17 @@ mod tests {
             ..base
         });
         assert!(r.contains("filter budget"), "{r}");
+        let r = geom(base.with_retry(RetryPolicy {
+            max_attempts: 0,
+            backoff_cost: 0.0,
+        }));
+        assert!(r.contains("attempt"), "{r}");
+        let r = geom(base.with_retry(RetryPolicy::new(3, -0.5)));
+        assert!(r.contains("backoff"), "{r}");
+        let r = geom(base.with_retry(RetryPolicy::new(3, f64::NAN)));
+        assert!(r.contains("backoff"), "{r}");
+        let r = geom(base.with_health(HealthPolicy::new(5, 2)));
+        assert!(r.contains("out of order"), "{r}");
     }
 
     #[test]
@@ -666,6 +739,32 @@ mod tests {
         });
         capped.validate();
         assert!(capped.layout.is_capped());
+    }
+
+    #[test]
+    fn retry_and_health_default_off_and_builders_validate() {
+        for cfg in [
+            DebarConfig::single_server_scaled(1024),
+            DebarConfig::cluster_scaled(2, 32 << 30, 1024),
+            DebarConfig::tiny_test(0),
+        ] {
+            assert_eq!(cfg.retry, RetryPolicy::none(), "fail-fast by default");
+            assert!(!cfg.retry.retries());
+            assert!(!cfg.health.is_enabled(), "health tracking off by default");
+        }
+        let cfg = DebarConfig::tiny_test(0)
+            .with_retry(RetryPolicy::new(3, 0.004))
+            .with_health(HealthPolicy::new(2, 5));
+        cfg.validate();
+        assert!(cfg.retry.retries());
+        assert!(cfg.health.is_enabled());
+        // One-sided health policies validate (0 disables that tier).
+        DebarConfig::tiny_test(0)
+            .with_health(HealthPolicy::new(0, 3))
+            .validate();
+        DebarConfig::tiny_test(0)
+            .with_health(HealthPolicy::new(3, 0))
+            .validate();
     }
 
     #[test]

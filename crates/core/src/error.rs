@@ -201,6 +201,26 @@ pub enum DebarError {
         /// The retention window that protects it.
         retention: u32,
     },
+    /// A repository node kept failing after every attempt the configured
+    /// retry policy allows (`max_attempts` total tries with backoff). The
+    /// fault out-lived the retry budget — it is behaving like a permanent
+    /// failure, not a transient one. Repair or revive the node (or raise
+    /// the budget) and re-run.
+    RetriesExhausted {
+        /// The repository node whose disk kept failing.
+        node: usize,
+        /// Total attempts made before giving up.
+        attempts: u32,
+    },
+    /// A write targeted a repository node the health tracker has
+    /// quarantined (its error count crossed the configured threshold).
+    /// Writes refuse quarantined targets while enough healthy nodes
+    /// remain to honor the replication factor; `repair_node` clears the
+    /// quarantine.
+    NodeQuarantined {
+        /// The quarantined repository node.
+        node: usize,
+    },
 }
 
 impl fmt::Display for DebarError {
@@ -283,6 +303,15 @@ impl fmt::Display for DebarError {
                 f,
                 "run {run} is inside the {retention}-version retention window and cannot be deleted"
             ),
+            DebarError::RetriesExhausted { node, attempts } => write!(
+                f,
+                "repository node {node} still failing after {attempts} attempts; \
+                 repair the node or raise the retry budget"
+            ),
+            DebarError::NodeQuarantined { node } => write!(
+                f,
+                "repository node {node} is quarantined; repair it before writing there"
+            ),
         }
     }
 }
@@ -313,6 +342,10 @@ impl From<StoreError> for DebarError {
             StoreError::Unrecoverable { container, node } => {
                 DebarError::Unrecoverable { container, node }
             }
+            StoreError::RetriesExhausted { node, attempts } => {
+                DebarError::RetriesExhausted { node, attempts }
+            }
+            StoreError::NodeQuarantined { node } => DebarError::NodeQuarantined { node },
             // StoreError is non_exhaustive; future kinds surface as faults
             // at op 0 rather than panicking.
             _ => DebarError::DiskFault {
@@ -406,6 +439,27 @@ mod tests {
         );
         let e: DebarError = StoreError::NodeDown { node: 2 }.into();
         assert_eq!(e, DebarError::NodeDown { node: 2 });
+    }
+
+    #[test]
+    fn self_healing_errors_convert_and_display_their_context() {
+        let e: DebarError = StoreError::RetriesExhausted {
+            node: 4,
+            attempts: 3,
+        }
+        .into();
+        assert_eq!(
+            e,
+            DebarError::RetriesExhausted {
+                node: 4,
+                attempts: 3
+            }
+        );
+        assert!(e.to_string().contains("node 4"), "{e}");
+        assert!(e.to_string().contains("3 attempts"), "{e}");
+        let e: DebarError = StoreError::NodeQuarantined { node: 1 }.into();
+        assert_eq!(e, DebarError::NodeQuarantined { node: 1 });
+        assert!(e.to_string().contains("quarantined"), "{e}");
     }
 
     #[test]

@@ -29,9 +29,10 @@
 //!
 //! * **Injected device faults** (`debar_simio::FaultPlan`): every
 //!   simulated disk carries a deterministic, op-indexed fault schedule
-//!   (outright failure, torn write, bit flip). Arm them per repository
-//!   node ([`DebarCluster::set_repo_fault_plan`]) or per index part-disk
-//!   ([`DebarCluster::set_index_fault_plan`]).
+//!   (outright failure, torn write, bit flip, or a *transient* failure
+//!   that clears after a budgeted number of attempts). Arm them per
+//!   repository node ([`DebarCluster::set_repo_fault_plan`]) or per index
+//!   part-disk ([`DebarCluster::set_index_fault_plan`]).
 //! * **Persisted corruption**: containers are serialized with a versioned
 //!   magic byte and a SHA-1 checksum trailer; torn writes and bit rot are
 //!   *detected* on every read path — restore, verify, LPC prefetch and
@@ -100,6 +101,65 @@
 //!   single node is survivable end-to-end: restores stay byte-identical
 //!   while degraded, and a repair restores full replication (proven by the
 //!   node-down scenario legs in `tests/failure_kinds.rs`).
+//!
+//! ## Self-healing: transient faults, retry, health and scrub
+//!
+//! Real device errors are mostly *transient* — a path flap or a sector
+//! retry, not a dead disk. The self-healing layer absorbs those without
+//! surfacing them, names the persistent ones, and closes the loop with a
+//! cluster-wide integrity scrub:
+//!
+//! * **Retry with backoff.** [`DebarConfig::retry`]
+//!   (`debar_simio::RetryPolicy`) gives every fault-checked repository
+//!   I/O up to `max_attempts` total tries, charging `backoff_cost`
+//!   simulated seconds to the failing node's disk between tries. A
+//!   `FaultKind::Transient { fails_for }` whose budget is within the
+//!   policy **never reaches the caller** — the operation completes with
+//!   the retries counted in `debar_store::RepoStats::retried_ops` (and
+//!   per restore in [`RestoreReport::retried_ops`]). A fault that
+//!   out-lives the budget is the typed
+//!   [`DebarError::RetriesExhausted`]`{ node, attempts }`. The default
+//!   policy (1 attempt) is fail-fast: exactly the pre-retry behavior.
+//!
+//!   What retries, by fault kind and direction:
+//!
+//!   | Fault kind   | Write path              | Read path |
+//!   |--------------|-------------------------|-----------|
+//!   | `Fail`       | retried                 | retried   |
+//!   | `Transient`  | retried                 | retried   |
+//!   | `TornWrite`  | never (silent at write) | retried   |
+//!   | `BitFlip`    | never (silent at write) | retried   |
+//!
+//!   Torn writes and bit flips are *silent* at write time — there is
+//!   nothing to retry; they are caught by the checksum trailer on the
+//!   next read (and by the scrub), which is where the retry loop and
+//!   failover apply.
+//! * **Health & quarantine.** [`DebarConfig::health`]
+//!   (`debar_store::HealthPolicy`) counts errors per repository node —
+//!   every failed fault-checked attempt and every corrupt copy detected —
+//!   and walks the node `Healthy → Suspect → Quarantined` as the
+//!   thresholds are crossed. Replica reads prefer healthier copies;
+//!   writes refuse a quarantined target with the typed
+//!   [`DebarError::NodeQuarantined`] *unless* honoring the refusal would
+//!   leave fewer usable nodes than [`DebarConfig::replication`]
+//!   (availability wins). [`DebarCluster::repair_repo_node`] resets the
+//!   repaired node to healthy. The default (thresholds 0) disables
+//!   tracking entirely.
+//! * **Scrub with read-repair.** [`DebarCluster::scrub`] walks every
+//!   container copy on every up node under the same quiesce gate as GC
+//!   and scale-out, verifies each copy's checksummed image, rewrites
+//!   corrupt copies from a clean survivor and re-replicates missing ring
+//!   copies, returning a `debar_store::ScrubReport` that accounts every
+//!   copy checked, corruption found, repair made and copy left
+//!   unrecoverable. The failover read path performs the same repair
+//!   *inline*: a read that detects a corrupt copy and then finds a clean
+//!   replica rewrites the corrupt copy on its way out (counted in
+//!   `RepoStats::read_repairs`, detections in
+//!   [`RestoreReport::corrupt_reads`]). A scrub after repairs finds
+//!   nothing; at `replication >= 2` the chaos scenarios in
+//!   `tests/chaos.rs` drive seeded transient/permanent/corruption
+//!   schedules and prove restores converge byte-identically after the
+//!   cluster heals itself.
 //!
 //! ## Deletion & reclamation lifecycle
 //!
@@ -227,6 +287,8 @@ pub mod system;
 pub use cluster::{CapReport, DebarCluster, GcReport, LayoutReport};
 pub use config::{DebarConfig, DedupMode, LayoutMode};
 pub use dataset::{ChunkedFile, Dataset, FileContent, FileEntry, StreamChunk};
+pub use debar_simio::RetryPolicy;
+pub use debar_store::{Health, HealthPolicy, ScrubReport};
 pub use error::{DebarError, DebarResult, Dedup2Phase};
 pub use ids::{ClientId, JobId, RunId, ServerId};
 pub use report::{Dedup1Report, Dedup2Report, RestoreReport};

@@ -201,11 +201,22 @@ pub struct RestoreReport {
     /// Chunks whose payload failed verification or could not be found.
     pub failures: u64,
     /// Degraded repository reads during the restore: container fetches
-    /// served from a surviving replica after the preferred copy was down,
-    /// faulted or corrupt (the delta of
-    /// `debar_store::RepoStats::failover_reads` across the walk). Zero on
-    /// a healthy repository.
+    /// served from a surviving replica after the preferred copy was down
+    /// or faulted (the delta of `debar_store::RepoStats::failover_reads`
+    /// across the walk). Zero on a healthy repository.
     pub failover_reads: u64,
+    /// Corrupt container copies detected during the restore: fetches that
+    /// found a copy failing its checksum and moved on to (and
+    /// read-repaired from) a clean replica (the delta of
+    /// `debar_store::RepoStats::corrupt_reads` across the walk). Counted
+    /// separately from `failover_reads` so silent-damage incidence is
+    /// visible on its own.
+    pub corrupt_reads: u64,
+    /// Repository I/O attempts beyond the first during the restore —
+    /// transient faults absorbed by the retry policy (the delta of
+    /// `debar_store::RepoStats::retried_ops` across the walk). Zero under
+    /// the fail-fast default policy.
+    pub retried_ops: u64,
     /// Virtual seconds consumed.
     pub elapsed: Secs,
 }

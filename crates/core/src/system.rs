@@ -107,6 +107,12 @@ impl DebarSystem {
         self.cluster.run_gc()
     }
 
+    /// Cluster-wide integrity scrub with read-repair (see
+    /// [`DebarCluster::scrub`] for the quiesce contract).
+    pub fn scrub(&mut self) -> DebarResult<debar_simio::Timed<debar_store::ScrubReport>> {
+        self.cluster.scrub()
+    }
+
     /// The underlying cluster (stats, metadata, repository access).
     pub fn cluster(&self) -> &DebarCluster {
         &self.cluster

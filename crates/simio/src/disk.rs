@@ -176,6 +176,17 @@ impl SimDisk {
         self.stats
     }
 
+    /// Charge `secs` of busy time without performing an I/O operation —
+    /// the retry-backoff wait a [`crate::RetryPolicy`] bills to the disk
+    /// that failed. Not an op: the counter does not tick and no armed
+    /// fault can fire (a re-armed transient stays aimed at the retried
+    /// I/O itself). Returns the charged time for clock accrual.
+    pub fn stall(&mut self, secs: Secs) -> Secs {
+        let secs = secs.max(0.0);
+        self.stats.busy_s += secs;
+        secs
+    }
+
     /// Reset statistics (model unchanged).
     pub fn reset_stats(&mut self) {
         self.stats = DiskStats::default();

@@ -24,6 +24,12 @@
 //! * [`FaultKind::BitFlip`] — the write appears to succeed but a bit of
 //!   the persisted bytes rots (latent sector corruption); detected at read
 //!   time by the checksum trailer.
+//! * [`FaultKind::Transient { fails_for }`] — the operation fails like
+//!   [`FaultKind::Fail`] but the fault *re-arms itself* for the next
+//!   `fails_for - 1` operations on the same disk, then clears: a caller
+//!   that retries within that budget eventually succeeds. This models
+//!   transient device errors (bus resets, path flaps) that a
+//!   [`RetryPolicy`] is designed to absorb.
 //!
 //! A fault that fires on an operation whose caller does not poll
 //! `take_fault` stays pending and manifests at the next fault-checked
@@ -45,6 +51,16 @@ pub enum FaultKind {
     /// A bit of the persisted bytes flips (latent sector corruption).
     /// Silent at write time; detected at read time by checksums.
     BitFlip,
+    /// A transient device error: the operation fails like [`FaultKind::Fail`]
+    /// but the fault re-arms for the next operation on the same disk until
+    /// it has failed `fails_for` operations in total, then clears. A caller
+    /// retrying under a [`RetryPolicy`] with `max_attempts > fails_for`
+    /// never observes the fault.
+    Transient {
+        /// How many consecutive operations (attempts) still fail, counting
+        /// this one. Always at least 1 when armed.
+        fails_for: u32,
+    },
 }
 
 impl fmt::Display for FaultKind {
@@ -53,7 +69,56 @@ impl fmt::Display for FaultKind {
             FaultKind::Fail => write!(f, "I/O failure"),
             FaultKind::TornWrite => write!(f, "torn write"),
             FaultKind::BitFlip => write!(f, "bit flip"),
+            FaultKind::Transient { fails_for } => {
+                write!(f, "transient I/O failure ({fails_for} attempts left)")
+            }
         }
+    }
+}
+
+/// Retry policy for fault-checked repository operations.
+///
+/// `max_attempts` is the *total* number of tries (1 = no retries — the
+/// default, preserving fail-fast semantics). Each retry after a failed
+/// attempt charges `backoff_cost` seconds of simulated time to the disk
+/// that failed, modelling the backoff wait plus the re-issued I/O setup.
+/// Exhausting the budget surfaces a typed retries-exhausted error naming
+/// the node instead of the raw device fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts per fault-checked operation; at least 1.
+    pub max_attempts: u32,
+    /// Simulated seconds charged to the failing disk per retry.
+    pub backoff_cost: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_cost: 0.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, no backoff).
+    pub fn none() -> Self {
+        RetryPolicy::default()
+    }
+
+    /// A policy with `max_attempts` total attempts and `backoff_cost`
+    /// simulated seconds charged per retry.
+    pub fn new(max_attempts: u32, backoff_cost: f64) -> Self {
+        RetryPolicy {
+            max_attempts,
+            backoff_cost,
+        }
+    }
+
+    /// Whether this policy allows any retry at all.
+    pub fn retries(&self) -> bool {
+        self.max_attempts > 1
     }
 }
 
@@ -102,6 +167,18 @@ impl FaultPlan {
         })
     }
 
+    /// A plan with a transient failure starting at operation `at_op` that
+    /// fails `fails_for` consecutive operations, then clears. `fails_for`
+    /// is clamped to at least 1.
+    pub fn transient_at(at_op: u64, fails_for: u32) -> Self {
+        FaultPlan::none().with(FaultSpec {
+            at_op,
+            kind: FaultKind::Transient {
+                fails_for: fails_for.max(1),
+            },
+        })
+    }
+
     /// Builder: add another armed fault.
     pub fn with(mut self, spec: FaultSpec) -> Self {
         self.faults.push(spec);
@@ -124,9 +201,26 @@ impl FaultPlan {
     }
 
     /// Consume (and return the kind of) the fault armed for `op`, if any.
+    ///
+    /// A [`FaultKind::Transient`] with more than one failure left re-arms
+    /// itself for the next operation (`op + 1`) with its budget decremented,
+    /// so consecutive operations on the same disk keep failing until the
+    /// transient clears.
     pub(crate) fn take(&mut self, op: u64) -> Option<FaultKind> {
         let i = self.faults.iter().position(|s| s.at_op == op)?;
-        Some(self.faults.remove(i).kind)
+        let kind = self.faults.remove(i).kind;
+        if let FaultKind::Transient { fails_for } = kind {
+            if fails_for > 1 {
+                self.faults.push(FaultSpec {
+                    at_op: op + 1,
+                    kind: FaultKind::Transient {
+                        fails_for: fails_for - 1,
+                    },
+                });
+                self.faults.sort_by_key(|s| s.at_op);
+            }
+        }
+        Some(kind)
     }
 }
 
@@ -170,6 +264,40 @@ mod tests {
         assert_eq!(s.at_op, 10);
         assert_eq!(s.kind, FaultKind::TornWrite);
         assert!(p.next_within(11, 20).is_none());
+    }
+
+    #[test]
+    fn transient_rearms_then_clears() {
+        let mut p = FaultPlan::transient_at(4, 3);
+        assert!(p.take(3).is_none());
+        assert_eq!(p.take(4), Some(FaultKind::Transient { fails_for: 3 }));
+        assert_eq!(p.take(5), Some(FaultKind::Transient { fails_for: 2 }));
+        assert_eq!(p.take(6), Some(FaultKind::Transient { fails_for: 1 }));
+        assert!(p.take(7).is_none(), "budget spent: transient cleared");
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn transient_rearm_only_hits_consecutive_ops() {
+        // If the caller does not re-issue the very next op, the re-armed
+        // transient waits there (the standard next-op semantics of at_op).
+        let mut p = FaultPlan::transient_at(2, 2);
+        assert_eq!(p.take(2), Some(FaultKind::Transient { fails_for: 2 }));
+        assert!(p.take(4).is_none());
+        assert_eq!(
+            p.next_within(0, 10).map(|s| s.at_op),
+            Some(3),
+            "re-armed at the consecutive op"
+        );
+    }
+
+    #[test]
+    fn retry_policy_default_is_fail_fast() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.max_attempts, 1);
+        assert_eq!(p.backoff_cost, 0.0);
+        assert!(!p.retries());
+        assert!(RetryPolicy::new(3, 0.5).retries());
     }
 
     #[test]

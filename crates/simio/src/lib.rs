@@ -33,7 +33,7 @@ pub mod timed;
 pub use clock::{Secs, VirtualClock};
 pub use cpu::{CpuModel, CpuStats, SimCpu};
 pub use disk::{DiskModel, DiskStats, SimDisk};
-pub use fault::{FaultKind, FaultPlan, FaultSpec, InjectedFault};
+pub use fault::{FaultKind, FaultPlan, FaultSpec, InjectedFault, RetryPolicy};
 pub use net::{NetModel, NetStats, SimLink};
 pub use partdisk::PartDiskSet;
 pub use scale::ScaleModel;

@@ -65,10 +65,8 @@ pub fn defragment(
     let mut migrated = 0u64;
     for (cid, node) in &located {
         if *node != target {
-            if let Some(c) = repo.migrate(*cid, target) {
-                cost += c;
-                migrated += 1;
-            }
+            cost += repo.migrate(*cid, target)?;
+            migrated += 1;
         }
     }
     let report = DefragReport {

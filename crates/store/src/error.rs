@@ -54,6 +54,20 @@ pub enum StoreError {
         /// The node whose loss made it unrecoverable.
         node: usize,
     },
+    /// A fault-checked operation kept failing after every attempt the
+    /// retry policy allows (`max_attempts` total tries with backoff).
+    RetriesExhausted {
+        /// The node whose disk kept failing.
+        node: usize,
+        /// Total attempts made before giving up.
+        attempts: u32,
+    },
+    /// The operation targeted a node the health tracker has quarantined
+    /// (error threshold crossed; refuse writes until repaired).
+    NodeQuarantined {
+        /// The quarantined node.
+        node: usize,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -79,6 +93,15 @@ impl fmt::Display for StoreError {
                     f,
                     "container {container:?} unrecoverable: every replica lost with node {node}"
                 )
+            }
+            StoreError::RetriesExhausted { node, attempts } => {
+                write!(
+                    f,
+                    "storage node {node} still failing after {attempts} attempts"
+                )
+            }
+            StoreError::NodeQuarantined { node } => {
+                write!(f, "storage node {node} is quarantined")
             }
         }
     }

@@ -11,10 +11,13 @@
 //! * [`repository`] — the chunk repository: a uniform container log across
 //!   a cluster of physical, replicated storage nodes, providing the global
 //!   de-duplication storage pool. Each container is written to
-//!   `replication` distinct node disks; reads pick the least-loaded
-//!   replica and fail over to surviving copies past downed nodes,
-//!   injected faults and corrupt copies, and a repair/scrub pass
-//!   re-replicates what a lost node held.
+//!   `replication` distinct node disks; reads pick the healthiest,
+//!   least-loaded replica and fail over to surviving copies past downed
+//!   nodes, injected faults and corrupt copies (read-repairing corrupt
+//!   ones inline); transient faults are absorbed by a retry policy with
+//!   backoff; per-node error counts drive a health state machine
+//!   (healthy → suspect → quarantined); and repair/scrub passes
+//!   re-replicate what a lost node held or a scrub found damaged.
 //! * [`lpc`] — locality-preserved caching (LPC): an LRU of containers'
 //!   fingerprint sets; one container fetch turns the following stream-local
 //!   chunk lookups into cache hits (paper §3.3/§6.2: 99.3% of random
@@ -40,5 +43,6 @@ pub use error::StoreError;
 pub use lpc::{LpcCache, LpcStats};
 pub use manager::ContainerManager;
 pub use repository::{
-    BatchAppend, ChunkRepository, Placement, RepairReport, RepoStats, StorageNode,
+    BatchAppend, ChunkRepository, Health, HealthPolicy, Placement, RepairReport, RepoStats,
+    ScrubReport, StorageNode,
 };

@@ -43,6 +43,37 @@
 //! maintenance: it charges real read/write I/O but does not consume armed
 //! fault plans.
 //!
+//! # Self-healing: retry, health, quarantine, scrub
+//!
+//! Production device errors are mostly *transient*; the repository heals
+//! itself instead of surfacing every blip:
+//!
+//! * **Retry with backoff** ([`ChunkRepository::with_retry`]): each
+//!   fault-checked read/write gets up to `max_attempts` tries; every retry
+//!   charges `backoff_cost` simulated seconds to the failing node's disk
+//!   and is counted in [`RepoStats::retried_ops`]. A
+//!   [`FaultKind::Transient`] that clears within the budget never reaches
+//!   the caller; exhaustion surfaces as [`StoreError::RetriesExhausted`]
+//!   naming the node. The default policy is one attempt — fail-fast,
+//!   exactly the pre-retry behavior.
+//! * **Health tracking** ([`Health`], [`HealthPolicy`]): every failed
+//!   attempt and every detected-corrupt copy counts against the node;
+//!   crossing the configured thresholds drives it `Healthy` → `Suspect` →
+//!   `Quarantined`. Replica-read balancing prefers healthier copies;
+//!   writes whose placement hits a quarantined node are refused with the
+//!   typed [`StoreError::NodeQuarantined`] — unless refusing would leave
+//!   fewer than `replication` usable nodes, in which case availability
+//!   wins and the write proceeds. [`ChunkRepository::repair_node`] resets
+//!   the node to `Healthy`.
+//! * **Scrub + read-repair** ([`ChunkRepository::scrub_all`]): a
+//!   cluster-wide background pass that reads every container copy on
+//!   every up node, verifies the v2 checksum trailer, and re-replicates
+//!   corrupt or missing copies from clean survivors ([`ScrubReport`]
+//!   accounts every copy; the pass cost is the max over per-node time —
+//!   nodes scrub in parallel). Independently, any failover read that
+//!   detected a corrupt copy *read-repairs* it inline from the clean copy
+//!   it returns ([`RepoStats::read_repairs`]).
+//!
 //! # Fault injection
 //!
 //! Every node disk carries a deterministic [`FaultPlan`]
@@ -65,9 +96,54 @@
 use crate::container::{Container, Damage};
 use crate::error::StoreError;
 use debar_hash::ContainerId;
-use debar_simio::{DiskModel, FaultKind, FaultPlan, Secs, SimDisk, Timed};
+use debar_simio::{DiskModel, FaultKind, FaultPlan, RetryPolicy, Secs, SimDisk, Timed};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
+
+/// A storage node's tracked health, driven by its error count against the
+/// repository's [`HealthPolicy`] thresholds. Reads prefer healthier
+/// replicas; writes refuse `Quarantined` placement targets (unless the
+/// replication factor could not otherwise be met);
+/// [`ChunkRepository::repair_node`] resets a node to `Healthy`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Health {
+    /// No concerning error history.
+    #[default]
+    Healthy,
+    /// Error count crossed `suspect_after`: deprioritized for reads,
+    /// still written to.
+    Suspect,
+    /// Error count crossed `quarantine_after`: skipped by read balancing,
+    /// refused as a write target while enough healthy nodes exist.
+    Quarantined,
+}
+
+/// Error thresholds driving a node's [`Health`]. A threshold of 0
+/// disables that tier; the default (both 0) disables health tracking
+/// entirely — every node stays `Healthy` no matter how it misbehaves,
+/// which is the pre-health behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthPolicy {
+    /// Errors before a node becomes [`Health::Suspect`] (0 = never).
+    pub suspect_after: u32,
+    /// Errors before a node becomes [`Health::Quarantined`] (0 = never).
+    pub quarantine_after: u32,
+}
+
+impl HealthPolicy {
+    /// A policy with both thresholds set.
+    pub fn new(suspect_after: u32, quarantine_after: u32) -> Self {
+        HealthPolicy {
+            suspect_after,
+            quarantine_after,
+        }
+    }
+
+    /// Whether any tier is active.
+    pub fn is_enabled(&self) -> bool {
+        self.suspect_after > 0 || self.quarantine_after > 0
+    }
+}
 
 /// A container copy at rest on a node, with any injected damage it
 /// suffered (damage is per-copy: one replica tearing does not corrupt its
@@ -84,6 +160,11 @@ pub struct StorageNode {
     disk: SimDisk,
     containers: HashMap<u64, StoredContainer>,
     down: bool,
+    health: Health,
+    /// Errors observed against this node (failed attempts, detected
+    /// corrupt copies) — the counter the [`HealthPolicy`] thresholds
+    /// compare against. Reset by repair.
+    errors: u32,
 }
 
 impl StorageNode {
@@ -92,6 +173,8 @@ impl StorageNode {
             disk: SimDisk::new(model),
             containers: HashMap::new(),
             down: false,
+            health: Health::Healthy,
+            errors: 0,
         }
     }
 
@@ -108,6 +191,16 @@ impl StorageNode {
     /// Whether the node is down (unreachable for reads and writes).
     pub fn is_down(&self) -> bool {
         self.down
+    }
+
+    /// The node's tracked health.
+    pub fn health(&self) -> Health {
+        self.health
+    }
+
+    /// Errors observed against this node since creation or last repair.
+    pub fn error_count(&self) -> u32 {
+        self.errors
     }
 
     /// Whether this node holds a copy free of recorded damage.
@@ -142,11 +235,21 @@ pub struct RepoStats {
     pub data_bytes: u64,
     /// Container reads served.
     pub reads: u64,
-    /// Reads that detected a corrupt container copy.
+    /// Corrupt container copies detected by reads (the corrupt-copy half
+    /// of the failover split: a read that fails over past a checksum
+    /// failure counts here, not in `failover_reads`, so telemetry can
+    /// tell silent corruption from downed hardware).
     pub corrupt_reads: u64,
-    /// Degraded reads: served from a surviving replica after the preferred
-    /// copy was down, faulted or corrupt.
+    /// Degraded reads served from a surviving replica after the preferred
+    /// copy was *down or faulted* (corrupt-copy failovers are counted in
+    /// `corrupt_reads` instead).
     pub failover_reads: u64,
+    /// Retries performed by fault-checked operations under the
+    /// [`RetryPolicy`] (attempts beyond each operation's first).
+    pub retried_ops: u64,
+    /// Corrupt copies rewritten inline by a failover read from the clean
+    /// replica it returned (read-repair).
+    pub read_repairs: u64,
     /// Containers reclaimed by garbage collection (logical, not multiplied
     /// by replication).
     pub reclaimed_containers: u64,
@@ -159,7 +262,8 @@ pub struct RepoStats {
 }
 
 impl RepoStats {
-    /// Reads that needed no failover.
+    /// Reads that needed no down-node/fault failover (reads degraded only
+    /// by a corrupt copy are tracked in `corrupt_reads`).
     pub fn primary_reads(&self) -> u64 {
         self.reads - self.failover_reads
     }
@@ -194,6 +298,23 @@ pub struct RepairReport {
     pub recopied: u64,
 }
 
+/// Outcome of a cluster-wide [`ChunkRepository::scrub_all`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScrubReport {
+    /// Container copies read and checksum-verified (every copy on every
+    /// up node).
+    pub copies_checked: u64,
+    /// Copies whose checksum verification failed.
+    pub corrupt_found: u64,
+    /// Copies rewritten from a clean surviving source: every corrupt copy
+    /// with a clean sibling, plus missing ring copies while the container
+    /// was under-replicated.
+    pub repaired: u64,
+    /// Corrupt copies with no clean surviving source anywhere — left in
+    /// place for a later repair (the `R = 1` corruption case).
+    pub unrecoverable: u64,
+}
+
 /// Per-node `(node, cost)` write charges plus the store outcome: on
 /// failure the container comes back unconsumed alongside the error.
 type StoreOutcome = (
@@ -210,6 +331,8 @@ pub struct ChunkRepository {
     stats: RepoStats,
     replication: usize,
     placement: Placement,
+    retry: RetryPolicy,
+    health_policy: HealthPolicy,
     /// Tombstones of reclaimed container ids. A reclaimed container is
     /// dead *cluster-wide*, including copies stranded on nodes that were
     /// down when the deletion ran: every lookup path treats a tombstoned
@@ -233,6 +356,8 @@ impl ChunkRepository {
             stats: RepoStats::default(),
             replication: 1,
             placement: Placement::RoundRobin,
+            retry: RetryPolicy::default(),
+            health_policy: HealthPolicy::default(),
             reclaimed: HashSet::new(),
         }
     }
@@ -254,6 +379,66 @@ impl ChunkRepository {
     /// The configured replication factor.
     pub fn replication(&self) -> usize {
         self.replication
+    }
+
+    /// Builder: set the retry policy for fault-checked reads and writes
+    /// (`max_attempts` is clamped to at least 1; negative backoff is
+    /// clamped to 0 at charge time).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.set_retry(retry);
+        self
+    }
+
+    /// Set the retry policy (see [`ChunkRepository::with_retry`]).
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        self.retry = RetryPolicy {
+            max_attempts: retry.max_attempts.max(1),
+            backoff_cost: retry.backoff_cost.max(0.0),
+        };
+    }
+
+    /// The active retry policy.
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Builder: set the node-health thresholds (see [`HealthPolicy`]).
+    pub fn with_health_policy(mut self, policy: HealthPolicy) -> Self {
+        self.health_policy = policy;
+        self
+    }
+
+    /// Set the node-health thresholds (see [`HealthPolicy`]). Applies to
+    /// errors recorded from now on; current health is not re-derived.
+    pub fn set_health_policy(&mut self, policy: HealthPolicy) {
+        self.health_policy = policy;
+    }
+
+    /// The active node-health thresholds.
+    pub fn health_policy(&self) -> HealthPolicy {
+        self.health_policy
+    }
+
+    /// One node's tracked health, or a typed error for an id outside the
+    /// cluster.
+    pub fn node_health(&self, node: usize) -> Result<Health, StoreError> {
+        self.check_node(node)?;
+        Ok(self.nodes[node].health)
+    }
+
+    /// Record an error against a node and advance its health through the
+    /// policy thresholds. Called on every failed fault-checked attempt
+    /// (including absorbed transient retries) and every detected-corrupt
+    /// copy.
+    fn record_node_error(&mut self, node: usize) {
+        let n = &mut self.nodes[node];
+        n.errors = n.errors.saturating_add(1);
+        let p = self.health_policy;
+        if p.quarantine_after > 0 && n.errors >= p.quarantine_after {
+            n.health = Health::Quarantined;
+        } else if p.suspect_after > 0 && n.errors >= p.suspect_after {
+            n.health = Health::Suspect;
+        }
     }
 
     /// Set the container placement policy (see [`Placement`] for the
@@ -360,35 +545,41 @@ impl ChunkRepository {
     /// Inject damage directly against a stored container copy (the
     /// per-container corruption hook the failure-kind scenarios use); the
     /// first-located copy is damaged, its replicas stay clean.
-    /// Returns `false` if the container does not exist.
-    pub fn corrupt_container(&mut self, cid: ContainerId, damage: Damage) -> bool {
-        match self.locate(cid) {
-            Some(node) => {
-                if let Some(sc) = self.nodes[node].containers.get_mut(&cid.raw()) {
-                    sc.damage = Some(damage);
-                    true
-                } else {
-                    false
-                }
+    ///
+    /// An unknown or reclaimed container is the typed
+    /// [`StoreError::MissingContainer`], never a silent no-op.
+    pub fn corrupt_container(
+        &mut self,
+        cid: ContainerId,
+        damage: Damage,
+    ) -> Result<(), StoreError> {
+        let node = self
+            .locate(cid)
+            .ok_or(StoreError::MissingContainer { container: cid })?;
+        match self.nodes[node].containers.get_mut(&cid.raw()) {
+            Some(sc) => {
+                sc.damage = Some(damage);
+                Ok(())
             }
-            None => false,
+            None => Err(StoreError::MissingContainer { container: cid }),
         }
     }
 
     /// Clear injected damage on the first-located copy (admin repair from
-    /// a replica; test support). Returns `false` if the container does not
-    /// exist.
-    pub fn repair_container(&mut self, cid: ContainerId) -> bool {
-        match self.locate(cid) {
-            Some(node) => {
-                if let Some(sc) = self.nodes[node].containers.get_mut(&cid.raw()) {
-                    sc.damage = None;
-                    true
-                } else {
-                    false
-                }
+    /// a replica; test support).
+    ///
+    /// An unknown or reclaimed container is the typed
+    /// [`StoreError::MissingContainer`], never a silent no-op.
+    pub fn repair_container(&mut self, cid: ContainerId) -> Result<(), StoreError> {
+        let node = self
+            .locate(cid)
+            .ok_or(StoreError::MissingContainer { container: cid })?;
+        match self.nodes[node].containers.get_mut(&cid.raw()) {
+            Some(sc) => {
+                sc.damage = None;
+                Ok(())
             }
-            None => false,
+            None => Err(StoreError::MissingContainer { container: cid }),
         }
     }
 
@@ -484,23 +675,34 @@ impl ChunkRepository {
         if let Some(&node) = targets.iter().find(|&&n| self.nodes[n].down) {
             return (Vec::new(), Err((StoreError::NodeDown { node }, container)));
         }
+        // A quarantined placement node refuses the write the same way —
+        // unless refusing would leave fewer than `replication` usable
+        // nodes (availability wins over strictness: with the cluster that
+        // degraded, the quarantined disk is still the best option).
+        let usable = self
+            .nodes
+            .iter()
+            .filter(|n| !n.down && n.health != Health::Quarantined)
+            .count();
+        if usable >= self.replication {
+            if let Some(&node) = targets
+                .iter()
+                .find(|&&n| self.nodes[n].health == Health::Quarantined)
+            {
+                return (
+                    Vec::new(),
+                    Err((StoreError::NodeQuarantined { node }, container)),
+                );
+            }
+        }
         let mut writes: Vec<(usize, Secs)> = Vec::with_capacity(targets.len());
         let mut damages: Vec<(usize, Option<Damage>)> = Vec::with_capacity(targets.len());
         for &node in &targets {
-            let cost = self.nodes[node].disk.seq_write(self.container_bytes);
+            let (cost, outcome) = self.write_attempts(node);
             writes.push((node, cost));
-            match self.nodes[node].disk.take_fault() {
-                Some(fault) => match fault.kind {
-                    FaultKind::Fail => {
-                        return (
-                            writes,
-                            Err((StoreError::DiskFault { node, fault }, container)),
-                        );
-                    }
-                    FaultKind::TornWrite => damages.push((node, Some(Damage::Torn))),
-                    FaultKind::BitFlip => damages.push((node, Some(Damage::BitFlip))),
-                },
-                None => damages.push((node, None)),
+            match outcome {
+                Ok(damage) => damages.push((node, damage)),
+                Err(e) => return (writes, Err((e, container))),
             }
         }
         self.next_id += 1;
@@ -517,6 +719,46 @@ impl ChunkRepository {
             );
         }
         (writes, Ok(id))
+    }
+
+    /// One replica write under the retry policy: charge a sequential
+    /// container write per attempt (plus backoff between attempts) until
+    /// it succeeds or the budget is spent. Returns the node's total
+    /// charged time and either the silent damage the surviving write
+    /// carries, or the typed error after exhaustion. Torn writes and bit
+    /// flips are *not* retried — they look successful at write time.
+    fn write_attempts(&mut self, node: usize) -> (Secs, Result<Option<Damage>, StoreError>) {
+        let max = self.retry.max_attempts.max(1);
+        let mut cost: Secs = 0.0;
+        let mut attempt = 1u32;
+        loop {
+            cost += self.nodes[node].disk.seq_write(self.container_bytes);
+            let Some(fault) = self.nodes[node].disk.take_fault() else {
+                return (cost, Ok(None));
+            };
+            match fault.kind {
+                FaultKind::TornWrite => return (cost, Ok(Some(Damage::Torn))),
+                FaultKind::BitFlip => return (cost, Ok(Some(Damage::BitFlip))),
+                FaultKind::Fail | FaultKind::Transient { .. } => {
+                    self.record_node_error(node);
+                    if attempt < max {
+                        cost += self.nodes[node].disk.stall(self.retry.backoff_cost);
+                        self.stats.retried_ops += 1;
+                        attempt += 1;
+                        continue;
+                    }
+                    let err = if max > 1 {
+                        StoreError::RetriesExhausted {
+                            node,
+                            attempts: max,
+                        }
+                    } else {
+                        StoreError::DiskFault { node, fault }
+                    };
+                    return (cost, Err(err));
+                }
+            }
+        }
     }
 
     /// Materialize a stored container copy, running any injected damage
@@ -548,11 +790,36 @@ impl ChunkRepository {
         }
     }
 
-    /// Fault-check a read op on `node` that has already been charged.
-    fn read_fault(&mut self, node: usize) -> Result<(), StoreError> {
-        match self.nodes[node].disk.take_fault() {
-            Some(fault) => Err(StoreError::DiskFault { node, fault }),
-            None => Ok(()),
+    /// One replica read under the retry policy: charge a random read of
+    /// `bytes` per attempt (plus backoff between attempts) until the op
+    /// is fault-free or the budget is spent. Any fault kind fired on a
+    /// read op is a failed read; transients that clear within the budget
+    /// are absorbed.
+    fn read_attempts(&mut self, node: usize, bytes: u64) -> (Secs, Result<(), StoreError>) {
+        let max = self.retry.max_attempts.max(1);
+        let mut cost: Secs = 0.0;
+        let mut attempt = 1u32;
+        loop {
+            cost += self.nodes[node].disk.rand_read(bytes);
+            let Some(fault) = self.nodes[node].disk.take_fault() else {
+                return (cost, Ok(()));
+            };
+            self.record_node_error(node);
+            if attempt < max {
+                cost += self.nodes[node].disk.stall(self.retry.backoff_cost);
+                self.stats.retried_ops += 1;
+                attempt += 1;
+                continue;
+            }
+            let err = if max > 1 {
+                StoreError::RetriesExhausted {
+                    node,
+                    attempts: max,
+                }
+            } else {
+                StoreError::DiskFault { node, fault }
+            };
+            return (cost, Err(err));
         }
     }
 
@@ -585,11 +852,13 @@ impl ChunkRepository {
     /// The replica-failover read core shared by [`ChunkRepository::read`],
     /// [`ChunkRepository::read_metas`] and
     /// [`ChunkRepository::read_anywhere`]: try each holding node in
-    /// failover order, skipping down nodes; an injected `Fail` or a
-    /// detected-corrupt copy moves on to the next replica. A success after
-    /// any skip or failure is a degraded read
-    /// ([`RepoStats::failover_reads`]). When every copy is exhausted the
-    /// read fails with the last typed error — or
+    /// failover order, skipping down nodes; an injected failure (after
+    /// any retries the policy allows) or a detected-corrupt copy moves on
+    /// to the next replica. A success after a down/faulted skip is a
+    /// degraded read ([`RepoStats::failover_reads`]); corrupt copies are
+    /// counted separately ([`RepoStats::corrupt_reads`]) and read-repaired
+    /// from the clean copy the read returns. When every copy is exhausted
+    /// the read fails with the last typed error — or
     /// [`StoreError::Unrecoverable`] when no copy could even be attempted
     /// (every holder down).
     fn read_one(
@@ -605,19 +874,27 @@ impl ChunkRepository {
         let Some(&first) = candidates.first() else {
             return Timed::free(Ok(None));
         };
-        // Least-loaded replica selection: serve from the candidate whose
-        // disk has accumulated the least random-read traffic. The sort is
-        // stable, so ties keep failover order (primary first) — and down
-        // nodes are *not* filtered here: a down candidate is discovered at
-        // read time and counted as a failover, same as before balancing.
-        candidates.sort_by_key(|&n| self.nodes[n].disk.stats().rand_read_bytes);
+        // Health-then-load replica selection: prefer the healthiest
+        // candidate, then the one whose disk has accumulated the least
+        // random-read traffic. The sort is stable, so ties keep failover
+        // order (primary first) — and down nodes are *not* filtered here:
+        // a down candidate is discovered at read time and counted as a
+        // failover, same as before balancing. Preferring a healthy copy
+        // over a suspect/quarantined one is a reorder, not a degradation.
+        candidates.sort_by_key(|&n| {
+            (
+                self.nodes[n].health,
+                self.nodes[n].disk.stats().rand_read_bytes,
+            )
+        });
         self.stats.reads += 1;
         let mut cost: Secs = 0.0;
-        let mut degraded = false;
+        let mut degraded_fault = false;
+        let mut corrupt_nodes: Vec<usize> = Vec::new();
         let mut last_err: Option<StoreError> = None;
         for &node in &candidates {
             if self.nodes[node].down {
-                degraded = true;
+                degraded_fault = true;
                 continue;
             }
             let bytes = if meta_only {
@@ -631,23 +908,26 @@ impl ChunkRepository {
             } else {
                 self.container_bytes
             };
-            cost += self.nodes[node].disk.rand_read(bytes);
-            if let Err(e) = self.read_fault(node) {
-                degraded = true;
+            let (read_cost, outcome) = self.read_attempts(node, bytes);
+            cost += read_cost;
+            if let Err(e) = outcome {
+                degraded_fault = true;
                 last_err = Some(e);
                 continue;
             }
             match self.materialize(node, cid) {
                 Ok(Some(c)) => {
-                    if degraded {
+                    if degraded_fault {
                         self.stats.failover_reads += 1;
                     }
+                    cost += self.read_repair(cid, &c, &corrupt_nodes);
                     return Timed::new(Ok(Some(c)), cost);
                 }
                 Ok(None) => continue,
                 Err(e) => {
                     self.stats.corrupt_reads += 1;
-                    degraded = true;
+                    self.record_node_error(node);
+                    corrupt_nodes.push(node);
                     last_err = Some(e);
                 }
             }
@@ -660,6 +940,27 @@ impl ChunkRepository {
             node: first,
         });
         Timed::new(Err(err), cost)
+    }
+
+    /// Inline read-repair: rewrite every corrupt copy a failover read
+    /// detected from the clean image it is about to return. The repair
+    /// write is charged to the corrupt node's disk as maintenance I/O
+    /// (like [`ChunkRepository::repair_node`], it does not consume armed
+    /// fault plans) and counted in [`RepoStats::read_repairs`].
+    fn read_repair(&mut self, cid: ContainerId, clean: &Container, corrupt: &[usize]) -> Secs {
+        let mut cost: Secs = 0.0;
+        for &node in corrupt {
+            if self.nodes[node].down {
+                continue;
+            }
+            cost += self.nodes[node].disk.seq_write(self.container_bytes);
+            if let Some(sc) = self.nodes[node].containers.get_mut(&cid.raw()) {
+                sc.container = clean.clone();
+                sc.damage = None;
+                self.stats.read_repairs += 1;
+            }
+        }
+        cost
     }
 
     /// Read a container from its replica ring (one random container-sized
@@ -778,23 +1079,32 @@ impl ChunkRepository {
 
     /// Move a container copy onto an explicit node (defragmentation,
     /// §6.3); charges a read on the source node and a write on the target.
-    /// Returns the I/O cost, or `None` if the container does not exist.
-    /// Injected damage travels with the copy; fault plans are not checked
-    /// here (defragmentation is background maintenance). Sibling replicas
-    /// are untouched.
-    pub fn migrate(&mut self, cid: ContainerId, target_node: usize) -> Option<Secs> {
-        assert!(target_node < self.nodes.len());
-        let source = self.locate(cid)?;
+    /// Returns the I/O cost. Injected damage travels with the copy; fault
+    /// plans are not checked here (defragmentation is background
+    /// maintenance). Sibling replicas are untouched.
+    ///
+    /// A target outside the cluster is the typed
+    /// [`StoreError::UnknownNode`] and an unknown/reclaimed container the
+    /// typed [`StoreError::MissingContainer`] — never a panic or a silent
+    /// no-op.
+    pub fn migrate(&mut self, cid: ContainerId, target_node: usize) -> Result<Secs, StoreError> {
+        self.check_node(target_node)?;
+        let source = self
+            .locate(cid)
+            .ok_or(StoreError::MissingContainer { container: cid })?;
         if source == target_node {
-            return Some(0.0);
+            return Ok(0.0);
         }
-        let stored = self.nodes[source].containers.remove(&cid.raw())?;
+        let stored = self.nodes[source]
+            .containers
+            .remove(&cid.raw())
+            .ok_or(StoreError::MissingContainer { container: cid })?;
         let mut cost = self.nodes[source].disk.rand_read(self.container_bytes);
         cost += self.nodes[target_node].disk.seq_write(self.container_bytes);
         // Migrated containers keep their ID; the node mapping for migrated
         // containers is overridden by presence.
         self.nodes[target_node].containers.insert(cid.raw(), stored);
-        Some(cost)
+        Ok(cost)
     }
 
     /// Locate a container's first copy in failover order (replica ring,
@@ -904,6 +1214,10 @@ impl ChunkRepository {
                 .retain(|raw, _| !reclaimed.contains(raw));
         }
         self.nodes[node].down = false;
+        // A repaired node starts its health history over: the operator
+        // (or the healing loop) has replaced/verified the hardware.
+        self.nodes[node].health = Health::Healthy;
+        self.nodes[node].errors = 0;
         let mut cost: Secs = 0.0;
         let mut recopied = 0u64;
         for (raw, src) in plan {
@@ -928,6 +1242,100 @@ impl ChunkRepository {
             }),
             cost,
         )
+    }
+
+    /// Cluster-wide scrub: read and checksum-verify **every container
+    /// copy on every up node**, re-replicating corrupt copies (and
+    /// missing ring copies of under-replicated containers) from clean
+    /// surviving sources. A corrupt copy with no clean source anywhere is
+    /// counted [`ScrubReport::unrecoverable`] and left in place for a
+    /// later repair.
+    ///
+    /// The scrub is background maintenance like
+    /// [`ChunkRepository::repair_node`]: it charges real read/write I/O
+    /// per node but consumes no armed fault plans and does not change
+    /// node health. Nodes scrub their own copies in parallel, so the
+    /// returned cost is the **max over per-node accumulated time**, not
+    /// the sum. Down nodes are skipped entirely — their copies are
+    /// [`ChunkRepository::repair_node`]'s job at revive time.
+    pub fn scrub_all(&mut self) -> Timed<ScrubReport> {
+        let mut report = ScrubReport::default();
+        let mut node_costs: Vec<Secs> = vec![0.0; self.nodes.len()];
+        for cid in self.container_ids() {
+            let raw = cid.raw();
+            // Verify every resident copy on every up node.
+            let holders: Vec<usize> = (0..self.nodes.len())
+                .filter(|&n| !self.nodes[n].down && self.nodes[n].containers.contains_key(&raw))
+                .collect();
+            let mut bad: Vec<usize> = Vec::new();
+            for &node in &holders {
+                node_costs[node] += self.nodes[node].disk.rand_read(self.container_bytes);
+                report.copies_checked += 1;
+                if self.materialize(node, cid).is_err() {
+                    report.corrupt_found += 1;
+                    bad.push(node);
+                }
+            }
+            // Repair corrupt copies in place from a clean source; then
+            // top the container back up to its replication factor if ring
+            // copies are missing (a node silently lost one). The
+            // healthy-copy guard keeps scrub from undoing defragmentation:
+            // a migrated copy is not "missing" while replication is met.
+            for node in bad {
+                match self.healthy_source(cid, node) {
+                    Some(src) => {
+                        node_costs[src] += self.nodes[src].disk.rand_read(self.container_bytes);
+                        node_costs[node] += self.nodes[node].disk.seq_write(self.container_bytes);
+                        if let Some(image) = self.nodes[src]
+                            .containers
+                            .get(&raw)
+                            .map(|sc| sc.container.clone())
+                        {
+                            self.nodes[node].containers.insert(
+                                raw,
+                                StoredContainer {
+                                    container: image,
+                                    damage: None,
+                                },
+                            );
+                            report.repaired += 1;
+                        }
+                    }
+                    None => report.unrecoverable += 1,
+                }
+            }
+            let missing: Vec<usize> = self
+                .replica_nodes(cid)
+                .into_iter()
+                .filter(|&n| !self.nodes[n].down && !self.nodes[n].containers.contains_key(&raw))
+                .collect();
+            for node in missing {
+                if self.healthy_copies(cid) >= self.replication {
+                    break;
+                }
+                let Some(src) = self.healthy_source(cid, node) else {
+                    continue;
+                };
+                node_costs[src] += self.nodes[src].disk.rand_read(self.container_bytes);
+                node_costs[node] += self.nodes[node].disk.seq_write(self.container_bytes);
+                if let Some(image) = self.nodes[src]
+                    .containers
+                    .get(&raw)
+                    .map(|sc| sc.container.clone())
+                {
+                    self.nodes[node].containers.insert(
+                        raw,
+                        StoredContainer {
+                            container: image,
+                            damage: None,
+                        },
+                    );
+                    report.repaired += 1;
+                }
+            }
+        }
+        let cost = node_costs.iter().fold(0.0, |m, &c| f64::max(m, c));
+        Timed::new(report, cost)
     }
 }
 
@@ -1055,8 +1463,18 @@ mod tests {
             .expect("found after migration");
         assert_eq!(got.len(), 4);
         // Self-migration is free.
-        assert_eq!(r.migrate(id, 2), Some(0.0));
-        assert_eq!(r.migrate(ContainerId::new(123), 0), None);
+        assert_eq!(r.migrate(id, 2), Ok(0.0));
+        // Unknown container and out-of-range target are typed, not
+        // panics or silent no-ops.
+        let ghost = ContainerId::new(123);
+        assert_eq!(
+            r.migrate(ghost, 0),
+            Err(StoreError::MissingContainer { container: ghost })
+        );
+        assert_eq!(
+            r.migrate(id, 9),
+            Err(StoreError::UnknownNode { node: 9, nodes: 3 })
+        );
     }
 
     #[test]
@@ -1142,9 +1560,17 @@ mod tests {
             .expect("replica saves the read")
             .expect("stored");
         assert_eq!(got.len(), 10);
+        // The failover split: a checksum failure counts in corrupt_reads,
+        // not failover_reads — telemetry tells corruption from downed
+        // hardware apart.
         assert_eq!(r.stats().corrupt_reads, 1, "primary copy detected corrupt");
-        assert_eq!(r.stats().failover_reads, 1, "served degraded");
-        assert_eq!(r.stats().primary_reads(), 0);
+        assert_eq!(r.stats().failover_reads, 0, "not a down/fault failover");
+        // The read also repaired the corrupt copy inline from the clean
+        // replica it returned: the next read of either copy is healthy.
+        assert_eq!(r.stats().read_repairs, 1);
+        assert!(r.under_replicated().is_empty(), "read-repair healed it");
+        assert!(r.read(id).value.expect("clean").is_some());
+        assert_eq!(r.stats().corrupt_reads, 1, "no further corruption seen");
     }
 
     #[test]
@@ -1490,5 +1916,278 @@ mod tests {
         assert!(!r.contains(a));
         assert_eq!(r.healthy_copies(b), 2);
         assert!(r.under_replicated().is_empty());
+    }
+
+    #[test]
+    fn typed_damage_hooks_refuse_unknown_containers() {
+        let mut r = repo(2);
+        let ghost = ContainerId::new(42);
+        assert_eq!(
+            r.corrupt_container(ghost, Damage::BitFlip),
+            Err(StoreError::MissingContainer { container: ghost })
+        );
+        assert_eq!(
+            r.repair_container(ghost),
+            Err(StoreError::MissingContainer { container: ghost })
+        );
+        let id = store_ok(&mut r, container_with(0..3));
+        r.corrupt_container(id, Damage::BitFlip).expect("exists");
+        assert!(r.read(id).value.is_err(), "damage landed");
+        r.repair_container(id).expect("exists");
+        assert!(r.read(id).value.expect("clean").is_some());
+        // Reclaimed ids are gone for the hooks too.
+        r.delete_container(id).value.expect("live");
+        assert_eq!(
+            r.corrupt_container(id, Damage::Torn),
+            Err(StoreError::MissingContainer { container: id })
+        );
+    }
+
+    #[test]
+    fn transient_write_fault_is_absorbed_by_retry() {
+        let mut r = repo(1).with_retry(RetryPolicy::new(3, 0.01));
+        // Fails the first two attempts (ops 0 and 1), clears on the third.
+        arm(&mut r, 0, FaultPlan::transient_at(0, 2));
+        let t = r.store(container_with(0..4));
+        let id = t.value.expect("in-budget transient never surfaces");
+        assert_eq!(id.raw(), 0);
+        assert_eq!(r.stats().retried_ops, 2, "two retries absorbed it");
+        assert!(r.read(id).value.expect("clean").is_some());
+        // The two backoff waits were charged to the node disk on top of
+        // the three attempted writes.
+        let busy = r.nodes()[0].disk_stats().busy_s;
+        assert!(busy >= 2.0 * 0.01, "backoff charged: busy {busy}");
+        assert_eq!(
+            r.nodes()[0].disk_stats().seq_write_bytes,
+            3 * r.container_bytes(),
+            "every attempt moved real bytes"
+        );
+    }
+
+    #[test]
+    fn transient_read_fault_is_absorbed_by_retry() {
+        let mut r = repo(1).with_retry(RetryPolicy::new(2, 0.0));
+        let id = store_ok(&mut r, container_with(0..4)); // op 0
+        arm(&mut r, 0, FaultPlan::transient_at(1, 1));
+        let got = r.read(id).value.expect("retry absorbs it").expect("stored");
+        assert_eq!(got.len(), 4);
+        assert_eq!(r.stats().retried_ops, 1);
+        // The same node served it: not a failover, not corrupt.
+        assert_eq!(r.stats().failover_reads, 0);
+        assert_eq!(r.stats().corrupt_reads, 0);
+    }
+
+    #[test]
+    fn retries_exhausted_is_typed_and_names_the_node() {
+        let mut r = repo(1).with_retry(RetryPolicy::new(2, 0.0));
+        // Outlasts the two-attempt budget.
+        arm(&mut r, 0, FaultPlan::transient_at(0, 5));
+        let err = r
+            .store(container_with(0..4))
+            .value
+            .expect_err("budget spent");
+        assert_eq!(
+            err,
+            StoreError::RetriesExhausted {
+                node: 0,
+                attempts: 2
+            },
+            "{err}"
+        );
+        assert_eq!(r.stats().containers, 0, "nothing persisted");
+        assert_eq!(r.stats().retried_ops, 1, "the one in-budget retry");
+        // Same typed error on the read path.
+        let mut r = repo(1).with_retry(RetryPolicy::new(2, 0.0));
+        let id = store_ok(&mut r, container_with(0..4));
+        arm(&mut r, 0, FaultPlan::transient_at(1, 5));
+        let err = r.read(id).value.expect_err("budget spent");
+        assert_eq!(
+            err,
+            StoreError::RetriesExhausted {
+                node: 0,
+                attempts: 2
+            }
+        );
+    }
+
+    #[test]
+    fn health_walks_suspect_then_quarantined_and_repair_resets() {
+        let mut r = repo(2).with_health_policy(HealthPolicy::new(1, 2));
+        let id = store_ok(&mut r, container_with(0..3)); // node 0
+        assert_eq!(r.node_health(0).expect("in range"), Health::Healthy);
+        arm(&mut r, 0, FaultPlan::fail_at(1));
+        assert!(r.read(id).value.is_err());
+        assert_eq!(r.node_health(0).expect("in range"), Health::Suspect);
+        arm(&mut r, 0, FaultPlan::fail_at(2));
+        assert!(r.read(id).value.is_err());
+        assert_eq!(r.node_health(0).expect("in range"), Health::Quarantined);
+        assert_eq!(r.node(0).expect("in range").error_count(), 2);
+        // Repair wipes the history.
+        r.repair_node(0).value.expect("repairable");
+        assert_eq!(r.node_health(0).expect("in range"), Health::Healthy);
+        assert_eq!(r.node(0).expect("in range").error_count(), 0);
+    }
+
+    #[test]
+    fn writes_refuse_quarantined_targets_unless_r_would_be_violated() {
+        let mut r = repo(2).with_health_policy(HealthPolicy::new(0, 1));
+        let a = store_ok(&mut r, container_with(0..3)); // id 0 -> node 0
+        let _ = store_ok(&mut r, container_with(3..6)); // id 1 -> node 1
+        arm(&mut r, 0, FaultPlan::fail_at(1));
+        assert!(
+            r.read(a).value.is_err(),
+            "error drives node 0 to quarantine"
+        );
+        assert_eq!(r.node_health(0).expect("in range"), Health::Quarantined);
+        // id 2 would land on node 0: refused typed while node 1 is usable.
+        let err = r
+            .store(container_with(6..9))
+            .value
+            .expect_err("quarantined target");
+        assert_eq!(err, StoreError::NodeQuarantined { node: 0 });
+        assert_eq!(r.stats().containers, 2, "nothing persisted, ID unconsumed");
+        // Quarantine node 1 too: refusing both would violate R, so
+        // availability wins and the write proceeds onto quarantine.
+        let next = r.node_disk_ops(1).expect("in range");
+        arm(&mut r, 1, FaultPlan::fail_at(next));
+        assert!(r.read(ContainerId::new(1)).value.is_err());
+        assert_eq!(r.node_health(1).expect("in range"), Health::Quarantined);
+        let id = store_ok(&mut r, container_with(6..9));
+        assert_eq!(id.raw(), 2, "last-resort write proceeds");
+        // A Fixed placement pinned to a quarantined node is always typed.
+        let mut f = repo(2).with_health_policy(HealthPolicy::new(0, 1));
+        let b = store_ok(&mut f, container_with(0..3));
+        arm(&mut f, 0, FaultPlan::fail_at(1));
+        assert!(f.read(b).value.is_err());
+        f.set_placement(Placement::Fixed(0)).expect("in range");
+        // Node 1 stays usable, so the pinned quarantined target refuses.
+        let err = f
+            .store(container_with(9..12))
+            .value
+            .expect_err("pinned quarantined target");
+        assert_eq!(err, StoreError::NodeQuarantined { node: 0 });
+    }
+
+    #[test]
+    fn reads_prefer_healthy_replicas_over_suspect_ones() {
+        let mut r = repo_r(2, 2).with_health_policy(HealthPolicy::new(1, 3));
+        let id = store_ok(&mut r, container_with(0..4));
+        // First read: balancing picks node 0 (tie, ring order), which
+        // fails and marks itself Suspect; node 1 serves the failover.
+        arm(&mut r, 0, FaultPlan::fail_at(1));
+        assert!(r.read(id).value.expect("failover").is_some());
+        assert_eq!(r.stats().failover_reads, 1);
+        assert_eq!(r.node_health(0).expect("in range"), Health::Suspect);
+        let node0_bytes = r.nodes()[0].disk_stats().rand_read_bytes;
+        // Subsequent reads prefer the healthy replica even though it has
+        // accumulated more read traffic — and they are not "degraded".
+        for _ in 0..4 {
+            assert!(r.read(id).value.expect("healthy copy").is_some());
+        }
+        assert_eq!(
+            r.nodes()[0].disk_stats().rand_read_bytes,
+            node0_bytes,
+            "suspect node sees no more reads"
+        );
+        assert_eq!(r.stats().failover_reads, 1, "preference is not failover");
+    }
+
+    #[test]
+    fn scrub_detects_and_repairs_every_corrupt_copy_at_r2() {
+        let mut r = repo_r(3, 2);
+        let ids: Vec<ContainerId> = (0..4u64)
+            .map(|i| store_ok(&mut r, container_with(i * 3..i * 3 + 3)))
+            .collect();
+        // Damage the primary copies of two containers.
+        r.corrupt_container(ids[0], Damage::BitFlip).expect("live");
+        r.corrupt_container(ids[2], Damage::Torn).expect("live");
+        assert_eq!(r.under_replicated().len(), 2);
+        let t = r.scrub_all();
+        let report = t.value;
+        assert_eq!(report.copies_checked, 8, "every copy on every node");
+        assert_eq!(report.corrupt_found, 2);
+        assert_eq!(report.repaired, 2, "100% of corrupt copies repaired");
+        assert_eq!(report.unrecoverable, 0);
+        assert!(t.cost > 0.0);
+        assert!(r.under_replicated().is_empty());
+        for &id in &ids {
+            assert!(r.read(id).value.expect("clean").is_some());
+        }
+        assert_eq!(r.stats().corrupt_reads, 0, "scrub reads are maintenance");
+        // Idempotence: a second scrub finds a fully healthy cluster.
+        let again = r.scrub_all().value;
+        assert_eq!(again.corrupt_found, 0);
+        assert_eq!(again.repaired, 0);
+        assert_eq!(again.copies_checked, 8);
+    }
+
+    #[test]
+    fn scrub_counts_unrecoverable_sole_copies() {
+        let mut r = repo(2); // R = 1
+        let id = store_ok(&mut r, container_with(0..4));
+        r.corrupt_container(id, Damage::BitFlip).expect("live");
+        let report = r.scrub_all().value;
+        assert_eq!(report.copies_checked, 1);
+        assert_eq!(report.corrupt_found, 1);
+        assert_eq!(report.repaired, 0, "no clean source anywhere");
+        assert_eq!(report.unrecoverable, 1);
+        // The copy is left in place: a later admin repair still works.
+        r.repair_container(id).expect("still resident");
+        assert!(r.read(id).value.expect("clean").is_some());
+    }
+
+    #[test]
+    fn scrub_rebuilds_missing_ring_copies_without_undoing_migration() {
+        let mut r = repo_r(3, 2);
+        let id = store_ok(&mut r, container_with(0..4)); // ring {0, 1}
+                                                         // Node 1 silently loses its copy.
+        r.nodes[1].containers.clear();
+        assert_eq!(r.under_replicated(), vec![id]);
+        let report = r.scrub_all().value;
+        assert_eq!(report.corrupt_found, 0);
+        assert_eq!(report.repaired, 1, "missing ring copy re-replicated");
+        assert!(r.under_replicated().is_empty());
+        // A migrated R=1 container is NOT "missing" from its ring node:
+        // scrub must not duplicate it back.
+        let mut m = repo(3);
+        let mid = store_ok(&mut m, container_with(0..4)); // node 0
+        m.migrate(mid, 2).expect("in range");
+        let report = m.scrub_all().value;
+        assert_eq!(report.copies_checked, 1);
+        assert_eq!(report.repaired, 0, "replication met: no resurrection");
+        assert_eq!(m.locate(mid), Some(2), "migrated copy stays put");
+    }
+
+    #[test]
+    fn repair_node_twice_is_a_noop_and_scrub_after_finds_nothing() {
+        let mut r = repo_r(3, 2);
+        for i in 0..5u64 {
+            store_ok(&mut r, container_with(i * 2..i * 2 + 2));
+        }
+        r.set_node_down(1).expect("in range");
+        let first = r.repair_node(1).value.expect("repairable");
+        assert!(first.recopied > 0);
+        let counts: Vec<usize> = r.nodes().iter().map(|n| n.container_count()).collect();
+        let stats = r.stats();
+        // Second repair: same scan, zero recopies, identical state.
+        let second = r.repair_node(1).value.expect("still repairable");
+        assert_eq!(second.scanned, first.scanned);
+        assert_eq!(second.recopied, 0, "repair is idempotent");
+        assert_eq!(
+            r.nodes()
+                .iter()
+                .map(|n| n.container_count())
+                .collect::<Vec<_>>(),
+            counts
+        );
+        assert_eq!(r.stats(), stats, "no stats drift from the no-op repair");
+        // And a scrub right after repair finds a fully healthy cluster —
+        // including after GC reclaimed containers (no resurrection).
+        let a = r.container_ids()[0];
+        r.delete_container(a).value.expect("live");
+        let report = r.scrub_all().value;
+        assert_eq!(report.corrupt_found, 0);
+        assert_eq!(report.repaired, 0);
+        assert!(!r.contains(a), "scrub does not resurrect reclaimed ids");
     }
 }

@@ -60,5 +60,5 @@ pub use debar_core::{
     GcReport, JobId, LayoutMode, LayoutReport, RestoreReport, RunId, ServerId, StreamChunk,
 };
 pub use debar_hash::{ContainerId, Fingerprint};
-pub use debar_simio::{FaultKind, FaultPlan, FaultSpec, InjectedFault};
-pub use debar_store::{CorruptKind, Damage, StoreError};
+pub use debar_simio::{FaultKind, FaultPlan, FaultSpec, InjectedFault, RetryPolicy};
+pub use debar_store::{CorruptKind, Damage, Health, HealthPolicy, ScrubReport, StoreError};

@@ -21,7 +21,7 @@ use debar::hash::Sha1;
 use debar::workload::files::{FileSpec, FileTreeConfig, FileTreeGen, MutationConfig};
 use debar::{
     ClientId, Damage, Dataset, DebarCluster, DebarConfig, DebarError, Dedup2Phase, DedupMode,
-    FaultPlan, JobId, LayoutMode, RunId,
+    FaultPlan, HealthPolicy, JobId, LayoutMode, RetryPolicy, RunId,
 };
 
 /// The failure kind a scenario injects (beyond plain index loss).
@@ -107,6 +107,19 @@ pub enum Failure {
         /// The repository node to fault.
         node: usize,
     },
+    /// Seeded **transient chaos**: ahead of every round's dedup-2 and
+    /// ahead of the verification walk, arm a deterministic schedule of
+    /// `FaultKind::Transient` faults across every repository node, each
+    /// with a failure budget strictly inside the scenario's retry policy.
+    /// The whole scenario must complete with *zero* surfaced errors (the
+    /// retry layer absorbs every fault), at least one retry must actually
+    /// happen, and the outcome must be byte-identical to a fault-free,
+    /// retry-free run of the same workload. Requires
+    /// `retry.max_attempts >= 2`.
+    TransientChaos {
+        /// Schedule seed (same seed = same schedule, bit-for-bit).
+        seed: u64,
+    },
 }
 
 /// A parameterized end-to-end scenario.
@@ -154,6 +167,12 @@ pub struct Scenario {
     /// (bounded inline probes, cold remainder out-of-line). Restore
     /// bytes must be identical across modes for the same workload.
     pub dedup_mode: DedupMode,
+    /// Retry policy for repository-node I/O (default: fail-fast, no
+    /// retries). The chaos suite enables retries and proves outcomes are
+    /// byte-identical to a fault-free, retry-free run.
+    pub retry: RetryPolicy,
+    /// Repository-node health thresholds (default: tracking disabled).
+    pub health: HealthPolicy,
 }
 
 impl Scenario {
@@ -175,7 +194,21 @@ impl Scenario {
             layout: LayoutMode::Scatter,
             retention: 0,
             dedup_mode: DedupMode::OutOfLine,
+            retry: RetryPolicy::none(),
+            health: HealthPolicy::default(),
         }
+    }
+
+    /// Builder: absorb transient repository faults with a retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Builder: track repository-node health with the given thresholds.
+    pub fn with_health(mut self, health: HealthPolicy) -> Self {
+        self.health = health;
+        self
     }
 
     /// Builder: select when filter-missed fingerprints are resolved.
@@ -248,7 +281,9 @@ impl Scenario {
             .with_replication(self.replication)
             .with_layout(self.layout)
             .with_retention(self.retention)
-            .with_dedup_mode(self.dedup_mode);
+            .with_dedup_mode(self.dedup_mode)
+            .with_retry(self.retry)
+            .with_health(self.health);
         cfg.siu_interval = self.siu_interval;
         cfg.validate();
         cfg
@@ -302,6 +337,9 @@ pub struct Outcome {
     /// comparisons across replication legs, where every container has
     /// exactly R copies).
     pub replication: usize,
+    /// Repository I/O attempts beyond the first (transient faults
+    /// absorbed by the retry policy); 0 under the fail-fast default.
+    pub retried_ops: u64,
     /// Summed PSIL wall time (virtual seconds) over dedup-2 rounds.
     pub sil_wall: f64,
     /// Summed PSIU wall time over dedup-2 rounds.
@@ -470,6 +508,39 @@ fn env_matrix(var: &str, default: &[usize]) -> Vec<usize> {
     }
 }
 
+/// One step of the chaos schedule's LCG (PCG-style multiplier; the high
+/// bits are well mixed).
+fn chaos_step(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Arm one seeded round of transient chaos: every repository node gets a
+/// `Transient` fault at a near-future op with a failure budget strictly
+/// inside the retry policy's `max_attempts`, so a retrying caller must
+/// absorb it. Deterministic in (seed, round, node).
+fn arm_transient_chaos(cluster: &mut DebarCluster, sc: &Scenario, seed: u64, round: u64) {
+    assert!(
+        sc.retry.max_attempts >= 2,
+        "{}: transient chaos needs a retrying policy (max_attempts >= 2)",
+        sc.name
+    );
+    for node in 0..cluster.repository().node_count() {
+        let mut rng = seed
+            ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (node as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
+        let budget = (sc.retry.max_attempts - 1).max(1) as u64;
+        let fails_for = 1 + (chaos_step(&mut rng) % budget) as u32;
+        let ops = cluster.repo_node_ops(node).expect("node in range");
+        let at = ops + chaos_step(&mut rng) % 3;
+        cluster
+            .set_repo_fault_plan(node, FaultPlan::transient_at(at, fails_for))
+            .expect("node in range");
+    }
+}
+
 /// Drive one scenario end to end and collect its [`Outcome`].
 ///
 /// Workload: every client's tree derives from one shared base tree (pool
@@ -513,6 +584,7 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
         gc_reclaimed: 0,
         physical_bytes: 0,
         replication: sc.replication,
+        retried_ops: 0,
         sil_wall: 0.0,
         siu_wall: 0.0,
         dedup2_wall: 0.0,
@@ -734,6 +806,11 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
                 "{}: expected GcRace, got {err}",
                 sc.name
             );
+        }
+        if let Failure::TransientChaos { seed } = sc.failure {
+            // Every armed fault is transient and within the retry budget:
+            // the round must complete as if nothing happened.
+            arm_transient_chaos(&mut cluster, sc, seed, version as u64);
         }
         let d2 = cluster.run_dedup2().expect("dedup2");
         out.stored_chunks += d2.store.stored_chunks;
@@ -1015,7 +1092,9 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
         // Bit-rot one container, deterministically chosen.
         let cids = cluster.repository().container_ids();
         let target = cids[cids.len() / 2];
-        assert!(cluster.corrupt_container(target, Damage::BitFlip));
+        cluster
+            .corrupt_container(target, Damage::BitFlip)
+            .expect("container exists");
         // Detected on restore: at least one run's strict restore fails
         // with the typed error naming the damaged container.
         let mut detected = 0u64;
@@ -1061,7 +1140,7 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
         // Repair (admin restores the container from a replica), then
         // rebuild every part and fall through to the full verification
         // walk below.
-        assert!(cluster.repair_container(target));
+        cluster.repair_container(target).expect("container exists");
         for s in 0..cluster.server_count() as u16 {
             cluster.recover_index(s).expect("rebuild after repair");
         }
@@ -1080,6 +1159,12 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
             "{}: recovery changed the entry count",
             sc.name
         );
+    }
+
+    if let Failure::TransientChaos { seed } = sc.failure {
+        // Read-side chaos: the verification walk below must absorb a
+        // fresh transient schedule too (reads retry every fault kind).
+        arm_transient_chaos(&mut cluster, sc, seed, 0xFEED_FACE);
     }
 
     let mut lpc_hits = 0u64;
@@ -1130,6 +1215,14 @@ pub fn run_scenario(sc: &Scenario) -> Outcome {
         .map(|s| Sha1::digest(cluster.server(s).index().raw_data()))
         .collect();
     out.physical_bytes = cluster.repository().physical_data_bytes();
+    out.retried_ops = cluster.repository().stats().retried_ops;
+    if matches!(sc.failure, Failure::TransientChaos { .. }) {
+        assert!(
+            out.retried_ops > 0,
+            "{}: the chaos schedule never engaged the retry layer",
+            sc.name
+        );
+    }
     out
 }
 
